@@ -1,0 +1,630 @@
+//! GCA: GSM-based place discovery over a cell-ID movement graph.
+//!
+//! §2.2.2 of the paper: *"GCA is a GSM-based place discovery algorithm that
+//! performs clustering on Cell ID data to create place signatures. \[…\]
+//! Cell ID may change even when a user stays at same place due to network
+//! load, small time signal fading, and inter-network (2G to 3G or vice
+//! versa) handoff. Such a change in Cell ID while the user is stationary is
+//! called 'oscillating effect'. GCA models the oscillating effect among
+//! Cell IDs using an undirected weighted graph (movement graph) and then
+//! performs clustering with the help of heuristics such as edge weights,
+//! node degree, etc."*
+//!
+//! The implementation here follows that outline:
+//!
+//! 1. **Movement graph.** Nodes are cell identities. For every *bounce*
+//!    pattern `a → b → a` in the observation stream the edge `(a, b)` gains
+//!    weight. A user passing through on a road produces monotone sequences
+//!    (`a → b → c`) and almost never bounces, so bounce weight separates
+//!    oscillation from travel far more cleanly than raw transition counts.
+//! 2. **Clustering.** Edges with weight ≥ `min_bounce_weight` are kept;
+//!    connected components of the remaining graph are cluster candidates.
+//! 3. **Qualification.** A cluster is a *place* only if the user once
+//!    stayed inside it contiguously for at least `min_stay` (prior work
+//!    uses 10 minutes — \[19\] in the paper).
+//! 4. **Visit extraction.** The stream is re-scanned; maximal runs inside
+//!    one qualified cluster (allowing small gaps) become visits with
+//!    arrival/departure timestamps.
+//!
+//! GCA is the algorithm PMWare offloads to the cloud instance (§2.3.1):
+//! it is a batch computation over the raw stream, after which cheap online
+//! tracking ([`CellPlaceTracker`]) recognises revisits on the phone.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::signature::{
+    DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature,
+};
+
+/// Tunable parameters of GCA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcaConfig {
+    /// Minimum bounce weight for an edge to count as oscillation.
+    pub min_bounce_weight: u32,
+    /// Minimum contiguous stay for a cluster to qualify as a place.
+    pub min_stay: SimDuration,
+    /// Maximum time between consecutive observations for them to be
+    /// considered adjacent (larger gaps break bounce patterns and runs).
+    pub max_sample_gap: SimDuration,
+    /// Maximum number of missing/foreign samples tolerated inside a visit
+    /// run before the visit is closed.
+    pub run_gap_tolerance: u32,
+    /// Cap on signature size (the paper shows five-cell signatures).
+    pub max_signature_cells: usize,
+}
+
+impl Default for GcaConfig {
+    fn default() -> Self {
+        GcaConfig {
+            min_bounce_weight: 2,
+            min_stay: SimDuration::from_minutes(10),
+            max_sample_gap: SimDuration::from_minutes(5),
+            run_gap_tolerance: 3,
+            max_signature_cells: 5,
+        }
+    }
+}
+
+/// The movement graph: an inspectable intermediate result (C-INTERMEDIATE).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MovementGraph {
+    /// Bounce weight per unordered cell pair.
+    edges: BTreeMap<(CellGlobalId, CellGlobalId), u32>,
+    /// Total observed dwell per cell.
+    dwell: BTreeMap<CellGlobalId, SimDuration>,
+}
+
+impl MovementGraph {
+    /// Builds the graph from a time-ordered observation stream.
+    pub fn build(observations: &[GsmObservation], config: &GcaConfig) -> MovementGraph {
+        let mut graph = MovementGraph::default();
+        // Dwell accounting: each observation holds its cell until the next
+        // sample (capped by the max gap).
+        for w in observations.windows(2) {
+            let dt = w[1].time.since(w[0].time);
+            let dt = dt.min(config.max_sample_gap);
+            *graph
+                .dwell
+                .entry(w[0].cell)
+                .or_insert(SimDuration::ZERO) += dt;
+        }
+        if let Some(last) = observations.last() {
+            graph.dwell.entry(last.cell).or_insert(SimDuration::ZERO);
+        }
+        // Bounce patterns a → b → a over adjacent samples.
+        for w in observations.windows(3) {
+            let adjacent = w[1].time.since(w[0].time) <= config.max_sample_gap
+                && w[2].time.since(w[1].time) <= config.max_sample_gap;
+            if adjacent && w[0].cell == w[2].cell && w[0].cell != w[1].cell {
+                let key = edge_key(w[0].cell, w[1].cell);
+                *graph.edges.entry(key).or_insert(0) += 1;
+            }
+        }
+        graph
+    }
+
+    /// Bounce weight of an edge (0 if absent).
+    pub fn edge_weight(&self, a: CellGlobalId, b: CellGlobalId) -> u32 {
+        self.edges.get(&edge_key(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Number of edges with non-zero weight.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total dwell recorded for a cell.
+    pub fn dwell(&self, cell: CellGlobalId) -> SimDuration {
+        self.dwell.get(&cell).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// All cells seen.
+    pub fn cells(&self) -> impl Iterator<Item = CellGlobalId> + '_ {
+        self.dwell.keys().copied()
+    }
+
+    /// Connected components over edges with weight ≥ `min_weight`.
+    /// Cells without any qualifying edge form singleton components.
+    pub fn components(&self, min_weight: u32) -> Vec<BTreeSet<CellGlobalId>> {
+        let mut parent: HashMap<CellGlobalId, CellGlobalId> =
+            self.dwell.keys().map(|c| (*c, *c)).collect();
+
+        fn find(
+            parent: &mut HashMap<CellGlobalId, CellGlobalId>,
+            x: CellGlobalId,
+        ) -> CellGlobalId {
+            let mut root = x;
+            while parent[&root] != root {
+                root = parent[&root];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[&cur] != root {
+                let next = parent[&cur];
+                parent.insert(cur, root);
+                cur = next;
+            }
+            root
+        }
+
+        for (&(a, b), &w) in &self.edges {
+            if w >= min_weight {
+                parent.entry(a).or_insert(a);
+                parent.entry(b).or_insert(b);
+                let ra = find(&mut parent, a);
+                let rb = find(&mut parent, b);
+                if ra != rb {
+                    parent.insert(ra, rb);
+                }
+            }
+        }
+
+        let keys: Vec<CellGlobalId> = parent.keys().copied().collect();
+        let mut groups: BTreeMap<CellGlobalId, BTreeSet<CellGlobalId>> = BTreeMap::new();
+        for cell in keys {
+            let root = find(&mut parent, cell);
+            groups.entry(root).or_default().insert(cell);
+        }
+        groups.into_values().collect()
+    }
+}
+
+fn edge_key(a: CellGlobalId, b: CellGlobalId) -> (CellGlobalId, CellGlobalId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Result of a GCA run: discovered places plus the movement graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcaOutput {
+    /// Qualified places with signatures and visit histories.
+    pub places: Vec<DiscoveredPlace>,
+    /// The movement graph, for inspection and offline analytics.
+    pub graph: MovementGraph,
+}
+
+/// Runs GCA over a time-ordered GSM observation stream.
+///
+/// # Panics
+///
+/// Panics in debug builds if `observations` is not time-ordered.
+pub fn discover_places(
+    observations: &[GsmObservation],
+    config: &GcaConfig,
+) -> GcaOutput {
+    debug_assert!(
+        observations.windows(2).all(|w| w[0].time <= w[1].time),
+        "observations must be time-ordered"
+    );
+    let graph = MovementGraph::build(observations, config);
+    let components = graph.components(config.min_bounce_weight);
+
+    // Map every cell to its component index.
+    let mut component_of: HashMap<CellGlobalId, usize> = HashMap::new();
+    for (idx, comp) in components.iter().enumerate() {
+        for cell in comp {
+            component_of.insert(*cell, idx);
+        }
+    }
+
+    // Extract contiguous runs per component.
+    let runs = extract_runs(observations, &component_of, config);
+
+    // Qualify components: need one run of at least min_stay.
+    let mut visits_by_component: BTreeMap<usize, Vec<DiscoveredVisit>> = BTreeMap::new();
+    for run in &runs {
+        visits_by_component
+            .entry(run.component)
+            .or_default()
+            .push(DiscoveredVisit { arrival: run.start, departure: run.end });
+    }
+
+    let mut places = Vec::new();
+    for (component, visits) in visits_by_component {
+        let longest = visits
+            .iter()
+            .map(|v| v.duration())
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        if longest < config.min_stay {
+            continue;
+        }
+        // Keep only visits of at least min_stay; brief passes through the
+        // cluster's cells are travel, not stays.
+        let visits: Vec<DiscoveredVisit> = visits
+            .into_iter()
+            .filter(|v| v.duration() >= config.min_stay)
+            .collect();
+        if visits.is_empty() {
+            continue;
+        }
+        // Signature: the strongest cells of the component by dwell.
+        let mut cells: Vec<CellGlobalId> = components[component].iter().copied().collect();
+        cells.sort_by_key(|c| std::cmp::Reverse(graph.dwell(*c).as_seconds()));
+        cells.truncate(config.max_signature_cells);
+        let signature = PlaceSignature::Cells(cells.into_iter().collect());
+        let id = DiscoveredPlaceId(places.len() as u32);
+        places.push(DiscoveredPlace::new(id, signature, visits));
+    }
+
+    GcaOutput { places, graph }
+}
+
+#[derive(Debug)]
+struct Run {
+    component: usize,
+    start: SimTime,
+    end: SimTime,
+}
+
+fn extract_runs(
+    observations: &[GsmObservation],
+    component_of: &HashMap<CellGlobalId, usize>,
+    config: &GcaConfig,
+) -> Vec<Run> {
+    let mut runs = Vec::new();
+    let mut current: Option<Run> = None;
+    let mut foreign = 0u32;
+
+    for obs in observations {
+        let comp = component_of.get(&obs.cell).copied();
+        match (&mut current, comp) {
+            (Some(run), Some(c)) if c == run.component => {
+                // Break the run across large time gaps (device off / no
+                // coverage for a while).
+                if obs.time.since(run.end)
+                    > config.max_sample_gap.mul_f64((config.run_gap_tolerance + 1) as f64)
+                {
+                    runs.push(current.take().expect("checked above"));
+                    current = Some(Run { component: c, start: obs.time, end: obs.time });
+                } else {
+                    run.end = obs.time;
+                }
+                foreign = 0;
+            }
+            (Some(run), other) => {
+                foreign += 1;
+                if foreign > config.run_gap_tolerance {
+                    runs.push(current.take().expect("checked above"));
+                    foreign = 0;
+                    if let Some(c) = other {
+                        current =
+                            Some(Run { component: c, start: obs.time, end: obs.time });
+                    }
+                } else {
+                    // Tolerated glitch: extend the run's end so that a
+                    // momentary foreign cell does not shorten the stay.
+                    run.end = obs.time;
+                }
+            }
+            (None, Some(c)) => {
+                current = Some(Run { component: c, start: obs.time, end: obs.time });
+                foreign = 0;
+            }
+            (None, None) => {}
+        }
+    }
+    if let Some(run) = current {
+        runs.push(run);
+    }
+    runs
+}
+
+/// Online recogniser: once GCA signatures exist (computed on the cloud),
+/// the phone tracks arrivals/departures by mapping each serving cell to its
+/// place (§2.3.1: "after discovery of place signatures, mobile service can
+/// track user's visit in those places").
+#[derive(Debug, Clone)]
+pub struct CellPlaceTracker {
+    cell_to_place: HashMap<CellGlobalId, DiscoveredPlaceId>,
+    confirm_in: u32,
+    confirm_out: u32,
+    state: TrackerState,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TrackerState {
+    Away {
+        /// Consecutive samples inside some candidate place.
+        candidate: Option<(DiscoveredPlaceId, u32, SimTime)>,
+    },
+    At {
+        place: DiscoveredPlaceId,
+        arrival: SimTime,
+        /// Consecutive samples outside the place.
+        strikes: u32,
+        last_inside: SimTime,
+    },
+}
+
+/// An event emitted by the online tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlaceEvent {
+    /// The user arrived at a known place.
+    Arrival {
+        /// Which place.
+        place: DiscoveredPlaceId,
+        /// When the arrival was confirmed (first in-place sample).
+        time: SimTime,
+    },
+    /// The user left a known place.
+    Departure {
+        /// Which place.
+        place: DiscoveredPlaceId,
+        /// When the departure was confirmed (last in-place sample).
+        time: SimTime,
+    },
+}
+
+impl CellPlaceTracker {
+    /// Creates a tracker over known places. `confirm_in` / `confirm_out`
+    /// are the number of consecutive samples required to confirm an arrival
+    /// or a departure (debouncing the oscillation effect).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either confirmation count is zero.
+    pub fn new(places: &[DiscoveredPlace], confirm_in: u32, confirm_out: u32) -> Self {
+        assert!(confirm_in > 0 && confirm_out > 0, "confirmation counts must be positive");
+        let mut cell_to_place = HashMap::new();
+        for place in places {
+            if let PlaceSignature::Cells(cells) = &place.signature {
+                for cell in cells {
+                    // First-writer-wins: overlapping signatures (merged
+                    // places) resolve to the earlier place.
+                    cell_to_place.entry(*cell).or_insert(place.id);
+                }
+            }
+        }
+        CellPlaceTracker {
+            cell_to_place,
+            confirm_in,
+            confirm_out,
+            state: TrackerState::Away { candidate: None },
+        }
+    }
+
+    /// The place currently occupied, if any.
+    pub fn current_place(&self) -> Option<DiscoveredPlaceId> {
+        match &self.state {
+            TrackerState::At { place, .. } => Some(*place),
+            TrackerState::Away { .. } => None,
+        }
+    }
+
+    /// Feeds one observation; returns the events it triggered (0–2: a
+    /// departure may be followed immediately by a new arrival candidate).
+    pub fn update(&mut self, obs: &GsmObservation) -> Vec<PlaceEvent> {
+        let here = self.cell_to_place.get(&obs.cell).copied();
+        let mut events = Vec::new();
+        match &mut self.state {
+            TrackerState::Away { candidate } => match here {
+                Some(place) => {
+                    let (count, since) = match candidate {
+                        Some((p, n, since)) if *p == place => (*n + 1, *since),
+                        _ => (1, obs.time),
+                    };
+                    if count >= self.confirm_in {
+                        events.push(PlaceEvent::Arrival { place, time: since });
+                        self.state = TrackerState::At {
+                            place,
+                            arrival: since,
+                            strikes: 0,
+                            last_inside: obs.time,
+                        };
+                    } else {
+                        *candidate = Some((place, count, since));
+                    }
+                }
+                None => *candidate = None,
+            },
+            TrackerState::At { place, strikes, last_inside, .. } => {
+                if here == Some(*place) {
+                    *strikes = 0;
+                    *last_inside = obs.time;
+                } else {
+                    *strikes += 1;
+                    if *strikes >= self.confirm_out {
+                        events.push(PlaceEvent::Departure {
+                            place: *place,
+                            time: *last_inside,
+                        });
+                        self.state = TrackerState::Away {
+                            candidate: here.map(|p| (p, 1, obs.time)),
+                        };
+                    }
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_world::tower::NetworkLayer;
+    use pmware_world::{CellId, Lac, Plmn};
+
+    fn cell(id: u32) -> CellGlobalId {
+        CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 45 },
+            lac: Lac(1),
+            cell: CellId(id),
+        }
+    }
+
+    fn obs(minute: u64, c: CellGlobalId) -> GsmObservation {
+        GsmObservation {
+            time: SimTime::from_seconds(minute * 60),
+            cell: c,
+            layer: NetworkLayer::G2,
+            rssi_dbm: -70.0,
+        }
+    }
+
+    /// A synthetic day: stay oscillating between cells 1/2 (minutes 0–59),
+    /// travel through 10,11,12 (one minute each), stay oscillating between
+    /// cells 3/4 (minutes 63–122).
+    fn synthetic_stream() -> Vec<GsmObservation> {
+        let mut v = Vec::new();
+        for m in 0..60 {
+            let c = if m % 7 == 3 { cell(2) } else { cell(1) };
+            v.push(obs(m, c));
+        }
+        v.push(obs(60, cell(10)));
+        v.push(obs(61, cell(11)));
+        v.push(obs(62, cell(12)));
+        for m in 63..123 {
+            let c = if m % 5 == 2 { cell(4) } else { cell(3) };
+            v.push(obs(m, c));
+        }
+        v
+    }
+
+    #[test]
+    fn movement_graph_counts_bounces_not_transitions() {
+        let stream = synthetic_stream();
+        let graph = MovementGraph::build(&stream, &GcaConfig::default());
+        // Oscillating pairs have high bounce weight.
+        assert!(graph.edge_weight(cell(1), cell(2)) >= 5);
+        assert!(graph.edge_weight(cell(3), cell(4)) >= 5);
+        // Travel cells never bounce.
+        assert_eq!(graph.edge_weight(cell(10), cell(11)), 0);
+        assert_eq!(graph.edge_weight(cell(11), cell(12)), 0);
+        assert_eq!(graph.edge_weight(cell(2), cell(10)), 0);
+    }
+
+    #[test]
+    fn discovers_two_places_from_synthetic_stream() {
+        let stream = synthetic_stream();
+        let out = discover_places(&stream, &GcaConfig::default());
+        assert_eq!(out.places.len(), 2, "places: {:?}", out.places);
+        for place in &out.places {
+            match &place.signature {
+                PlaceSignature::Cells(cells) => {
+                    assert!(cells.len() >= 2, "oscillation pair expected");
+                }
+                other => panic!("GCA must emit cell signatures, got {other:?}"),
+            }
+            assert_eq!(place.visits.len(), 1);
+            assert!(place.visits[0].duration() >= SimDuration::from_minutes(50));
+        }
+        // The two signatures are disjoint.
+        let (a, b) = (&out.places[0].signature, &out.places[1].signature);
+        if let (PlaceSignature::Cells(a), PlaceSignature::Cells(b)) = (a, b) {
+            assert!(a.is_disjoint(b));
+        }
+    }
+
+    #[test]
+    fn travel_cells_do_not_become_places() {
+        let stream = synthetic_stream();
+        let out = discover_places(&stream, &GcaConfig::default());
+        for place in &out.places {
+            if let PlaceSignature::Cells(cells) = &place.signature {
+                for c in [cell(10), cell(11), cell(12)] {
+                    assert!(!cells.contains(&c), "travel cell in signature");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_stay_below_min_stay_is_dropped() {
+        // Oscillate for only 5 minutes.
+        let mut v = Vec::new();
+        for m in 0..5 {
+            let c = if m % 2 == 0 { cell(1) } else { cell(2) };
+            v.push(obs(m, c));
+        }
+        let out = discover_places(&v, &GcaConfig::default());
+        assert!(out.places.is_empty());
+    }
+
+    #[test]
+    fn repeated_visits_are_separate() {
+        // Stay at place A (0–30), away with distant cells (35–95, an hour
+        // at unclustered singletons), return to A (100–130).
+        let mut v = Vec::new();
+        for m in 0..30 {
+            v.push(obs(m, if m % 3 == 1 { cell(2) } else { cell(1) }));
+        }
+        for m in 35..95 {
+            // Travel: monotone new cells, never bouncing.
+            v.push(obs(m, cell(100 + m as u32)));
+        }
+        for m in 100..130 {
+            v.push(obs(m, if m % 3 == 1 { cell(2) } else { cell(1) }));
+        }
+        let out = discover_places(&v, &GcaConfig::default());
+        assert_eq!(out.places.len(), 1);
+        assert_eq!(out.places[0].visits.len(), 2, "{:?}", out.places[0].visits);
+        let v0 = out.places[0].visits[0];
+        let v1 = out.places[0].visits[1];
+        assert!(v0.departure < v1.arrival);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let out = discover_places(&[], &GcaConfig::default());
+        assert!(out.places.is_empty());
+        assert_eq!(out.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn tracker_emits_arrival_and_departure() {
+        let stream = synthetic_stream();
+        let out = discover_places(&stream, &GcaConfig::default());
+        let mut tracker = CellPlaceTracker::new(&out.places, 2, 3);
+        let mut events = Vec::new();
+        for o in &stream {
+            events.extend(tracker.update(o));
+        }
+        // Expect at least: arrival at place 1, departure, arrival at place
+        // 2 (final departure never confirmed because the stream ends).
+        let arrivals = events
+            .iter()
+            .filter(|e| matches!(e, PlaceEvent::Arrival { .. }))
+            .count();
+        let departures = events
+            .iter()
+            .filter(|e| matches!(e, PlaceEvent::Departure { .. }))
+            .count();
+        assert_eq!(arrivals, 2, "events: {events:?}");
+        assert_eq!(departures, 1, "events: {events:?}");
+        assert!(tracker.current_place().is_some());
+    }
+
+    #[test]
+    fn tracker_debounces_oscillation() {
+        let stream = synthetic_stream();
+        let out = discover_places(&stream, &GcaConfig::default());
+        let mut tracker = CellPlaceTracker::new(&out.places, 2, 3);
+        // During the first stay the oscillation between cells 1 and 2 must
+        // not produce spurious departures.
+        let mut events = Vec::new();
+        for o in stream.iter().take(60) {
+            events.extend(tracker.update(o));
+        }
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, PlaceEvent::Departure { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "confirmation counts")]
+    fn tracker_rejects_zero_confirmation() {
+        let _ = CellPlaceTracker::new(&[], 0, 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Kang et al. time-based clustering of GPS coordinates.
+//!
+//! §2.2.2 / §5 of the paper: *"Kang et al. designed a clustering algorithm
+//! to find places using GPS coordinates based on temporal and spatial stay
+//! threshold."* (Kang, Welbourne, Stewart, Borriello — WMASH 2004.)
+//!
+//! The algorithm is a single pass over the fix stream:
+//!
+//! * keep a current cluster with a running centroid;
+//! * a fix within `distance_threshold` of the centroid joins the cluster;
+//! * a fix outside it *pends*; a second consecutive outside fix closes the
+//!   cluster (single outliers are discarded as GPS noise, per the original
+//!   paper's "pending" buffer);
+//! * a closed cluster whose time span is at least `time_threshold` becomes
+//!   a place; closed clusters are merged with previously discovered places
+//!   whose centroids are within `merge_distance`.
+
+use pmware_geo::{GeoPoint, Meters};
+use pmware_world::{GpsFix, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::signature::{
+    DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature,
+};
+
+/// Tunable parameters of the Kang et al. clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KangConfig {
+    /// Maximum distance from the running centroid to join the cluster.
+    pub distance_threshold: Meters,
+    /// Minimum cluster time span to qualify as a place.
+    pub time_threshold: SimDuration,
+    /// Distance under which a new cluster merges into an existing place.
+    pub merge_distance: Meters,
+}
+
+impl Default for KangConfig {
+    fn default() -> Self {
+        KangConfig {
+            distance_threshold: Meters::new(120.0),
+            time_threshold: SimDuration::from_minutes(10),
+            merge_distance: Meters::new(120.0),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    sum_lat: f64,
+    sum_lng: f64,
+    count: usize,
+    start: SimTime,
+    end: SimTime,
+    max_radius: f64,
+}
+
+impl Cluster {
+    fn new(fix: &GpsFix) -> Cluster {
+        Cluster {
+            sum_lat: fix.position.latitude(),
+            sum_lng: fix.position.longitude(),
+            count: 1,
+            start: fix.time,
+            end: fix.time,
+            max_radius: 0.0,
+        }
+    }
+
+    fn centroid(&self) -> GeoPoint {
+        GeoPoint::new(
+            self.sum_lat / self.count as f64,
+            self.sum_lng / self.count as f64,
+        )
+        .expect("mean of valid coordinates is valid")
+    }
+
+    fn add(&mut self, fix: &GpsFix) {
+        self.sum_lat += fix.position.latitude();
+        self.sum_lng += fix.position.longitude();
+        self.count += 1;
+        self.end = fix.time;
+        let d = self.centroid().equirectangular_distance(fix.position).value();
+        self.max_radius = self.max_radius.max(d);
+    }
+
+    fn span(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Runs the clustering over a time-ordered GPS fix stream.
+///
+/// # Panics
+///
+/// Panics in debug builds if `fixes` is not time-ordered.
+pub fn discover_places(fixes: &[GpsFix], config: &KangConfig) -> Vec<DiscoveredPlace> {
+    debug_assert!(
+        fixes.windows(2).all(|w| w[0].time <= w[1].time),
+        "fixes must be time-ordered"
+    );
+    let mut places: Vec<DiscoveredPlace> = Vec::new();
+    let mut current: Option<Cluster> = None;
+    let mut pending: Option<GpsFix> = None;
+
+    for fix in fixes {
+        match &mut current {
+            None => current = Some(Cluster::new(fix)),
+            Some(cluster) => {
+                let d = cluster.centroid().equirectangular_distance(fix.position);
+                if d <= config.distance_threshold {
+                    cluster.add(fix);
+                    pending = None;
+                } else if let Some(first_out) = pending.take() {
+                    // Two consecutive fixes outside: the stay is over.
+                    let finished = current.take().expect("in Some branch");
+                    close_cluster(finished, &mut places, config);
+                    // Start the next cluster from the two outside fixes if
+                    // they agree with each other, else from the newest.
+                    let mut next = Cluster::new(&first_out);
+                    if next
+                        .centroid()
+                        .equirectangular_distance(fix.position)
+                        <= config.distance_threshold
+                    {
+                        next.add(fix);
+                    } else {
+                        next = Cluster::new(fix);
+                    }
+                    current = Some(next);
+                } else {
+                    pending = Some(*fix);
+                }
+            }
+        }
+    }
+    if let Some(cluster) = current {
+        close_cluster(cluster, &mut places, config);
+    }
+    places
+}
+
+fn close_cluster(cluster: Cluster, places: &mut Vec<DiscoveredPlace>, config: &KangConfig) {
+    if cluster.span() < config.time_threshold {
+        return;
+    }
+    let centroid = cluster.centroid();
+    let visit = DiscoveredVisit { arrival: cluster.start, departure: cluster.end };
+    // Merge into an existing place when centroids are close.
+    for place in places.iter_mut() {
+        if let PlaceSignature::Coordinates { center, radius } = &mut place.signature {
+            if center.equirectangular_distance(centroid) <= config.merge_distance {
+                place.visits.push(visit);
+                // Grow the effective radius to cover the new evidence.
+                let needed = center.equirectangular_distance(centroid).value()
+                    + cluster.max_radius;
+                if needed > radius.value() {
+                    *radius = Meters::new(needed);
+                }
+                return;
+            }
+        }
+    }
+    let id = DiscoveredPlaceId(places.len() as u32);
+    places.push(DiscoveredPlace::new(
+        id,
+        PlaceSignature::Coordinates {
+            center: centroid,
+            radius: Meters::new(cluster.max_radius.max(30.0)),
+        },
+        vec![visit],
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(minute: u64, base: GeoPoint, offset_m: f64, bearing: f64) -> GpsFix {
+        GpsFix {
+            time: SimTime::from_seconds(minute * 60),
+            position: base.destination(bearing, Meters::new(offset_m)),
+            accuracy: Meters::new(6.0),
+        }
+    }
+
+    fn home() -> GeoPoint {
+        GeoPoint::new(12.97, 77.59).unwrap()
+    }
+
+    fn work() -> GeoPoint {
+        home().destination(90.0, Meters::new(2_000.0))
+    }
+
+    /// 30 min at home (jittered fixes), travel fixes every minute, 30 min
+    /// at work.
+    fn commute_stream() -> Vec<GpsFix> {
+        let mut v = Vec::new();
+        for m in 0..30 {
+            v.push(fix(m, home(), (m % 5) as f64 * 6.0, (m * 40 % 360) as f64));
+        }
+        // Travel: 10 fixes marching east 200 m apart.
+        for i in 0..10 {
+            v.push(fix(30 + i, home(), 200.0 * (i + 1) as f64, 90.0));
+        }
+        for m in 40..70 {
+            v.push(fix(m, work(), (m % 4) as f64 * 8.0, (m * 70 % 360) as f64));
+        }
+        v
+    }
+
+    #[test]
+    fn discovers_home_and_work() {
+        let places = discover_places(&commute_stream(), &KangConfig::default());
+        assert_eq!(places.len(), 2, "{places:?}");
+        let centers: Vec<GeoPoint> = places
+            .iter()
+            .map(|p| match p.signature {
+                PlaceSignature::Coordinates { center, .. } => center,
+                _ => panic!("kang emits coordinates"),
+            })
+            .collect();
+        assert!(centers[0].equirectangular_distance(home()).value() < 30.0);
+        assert!(centers[1].equirectangular_distance(work()).value() < 30.0);
+        for p in &places {
+            assert_eq!(p.visits.len(), 1);
+            assert!(p.visits[0].duration() >= SimDuration::from_minutes(25));
+        }
+    }
+
+    #[test]
+    fn travel_does_not_create_places() {
+        let places = discover_places(&commute_stream(), &KangConfig::default());
+        // Only the two stays qualify; each travel fix cluster spans < 10 min.
+        assert_eq!(places.len(), 2);
+    }
+
+    #[test]
+    fn revisit_merges_into_existing_place() {
+        let mut v = commute_stream();
+        // Travel back.
+        for i in 0..10 {
+            v.push(fix(70 + i, work(), 200.0 * (i + 1) as f64, 270.0));
+        }
+        for m in 80..110 {
+            v.push(fix(m, home(), (m % 5) as f64 * 6.0, (m * 55 % 360) as f64));
+        }
+        let places = discover_places(&v, &KangConfig::default());
+        assert_eq!(places.len(), 2, "{places:?}");
+        let home_place = &places[0];
+        assert_eq!(home_place.visits.len(), 2, "revisit should merge");
+    }
+
+    #[test]
+    fn single_outlier_fix_does_not_split_stay() {
+        let mut v: Vec<GpsFix> = (0..15)
+            .map(|m| fix(m, home(), (m % 3) as f64 * 5.0, 0.0))
+            .collect();
+        // One wild multipath fix 500 m away.
+        v.push(fix(15, home(), 500.0, 45.0));
+        v.extend((16..30).map(|m| fix(m, home(), (m % 3) as f64 * 5.0, 180.0)));
+        let places = discover_places(&v, &KangConfig::default());
+        assert_eq!(places.len(), 1);
+        assert_eq!(places[0].visits.len(), 1, "outlier must not split the visit");
+    }
+
+    #[test]
+    fn short_stay_dropped() {
+        let v: Vec<GpsFix> = (0..5).map(|m| fix(m, home(), 3.0, 0.0)).collect();
+        let places = discover_places(&v, &KangConfig::default());
+        assert!(places.is_empty());
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert!(discover_places(&[], &KangConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn radius_reflects_cluster_spread() {
+        let mut v = Vec::new();
+        for m in 0..20 {
+            v.push(fix(m, home(), 40.0, (m * 90) as f64 % 360.0));
+        }
+        let places = discover_places(&v, &KangConfig::default());
+        assert_eq!(places.len(), 1);
+        if let PlaceSignature::Coordinates { radius, .. } = places[0].signature {
+            assert!(radius.value() >= 30.0 && radius.value() <= 120.0, "{radius}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Place and route discovery algorithms from the PMWare paper.
+//!
+//! PMWare bootstraps its inference engine with three place-discovery
+//! algorithms (§2.2.2), all reimplemented here:
+//!
+//! * [`gca`] — **GCA**, the GSM-based discovery algorithm from the authors'
+//!   PlaceMap work: it models the *oscillation effect* among cell IDs with
+//!   an undirected weighted movement graph and clusters cells into place
+//!   signatures using edge-weight heuristics.
+//! * [`sensloc`] — the **SensLoc** WiFi algorithm (Kim et al., SenSys 2010):
+//!   Tanimoto-coefficient similarity over access-point fingerprints detects
+//!   arrivals, departures, and revisits.
+//! * [`gps_cluster`] — **Kang et al.**'s time-based clustering of GPS
+//!   coordinates into physical places.
+//!
+//! plus [`route`] discovery/similarity (§2.1.2) and the deployment-study
+//! scoring metric ([`matching`]): classifying each discovered place as
+//! *correct*, *merged*, or *divided* against diary ground truth (§4).
+//!
+//! All algorithms are pure functions over observation streams — the same
+//! code runs inside the simulated phone (PMS) and the cloud instance (PCI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gca;
+pub mod gps_cluster;
+pub mod matching;
+pub mod route;
+pub mod sensloc;
+pub mod signature;
+
+pub use matching::{classify_places, MatchOutcome, MatchingReport};
+pub use signature::{DiscoveredPlace, DiscoveredVisit, PlaceSignature};

@@ -1,0 +1,326 @@
+//! Scoring discovered places against diary ground truth.
+//!
+//! §4 of the paper evaluates place discovery with three outcomes over the
+//! tagged, evaluable places: *"PMWare using GSM data (augmented with
+//! opportunistic WiFi sensing) was able to correctly discover 79.03% of the
+//! places, merged 14.52% of places, and divided 6.45% of places."*
+//!
+//! The classification implemented here:
+//!
+//! * a discovered place is **merged** when its visits cover two or more
+//!   distinct ground-truth places (e.g. the paper's adjacent academic
+//!   building and library sharing one cell cluster);
+//! * it is **divided** when it maps to a single true place that is also
+//!   covered by *other* discovered places (one physical place split across
+//!   several signatures);
+//! * otherwise the mapping is one-to-one and the place is **correct**.
+//!
+//! Attribution is temporal: each discovered visit is attributed to the
+//! ground-truth place occupied for the majority of the visit interval.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pmware_world::{PlaceId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::signature::{DiscoveredPlace, DiscoveredPlaceId};
+
+/// One ground-truth stay (a diary entry).
+///
+/// Mirrors `pmware_mobility::TrueVisit` without the agent field so that
+/// this crate stays independent of the mobility substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruthVisit {
+    /// The ground-truth place.
+    pub place: PlaceId,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Departure instant.
+    pub departure: SimTime,
+}
+
+/// Classification of one discovered place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchOutcome {
+    /// One-to-one with a ground-truth place.
+    Correct,
+    /// Covers two or more ground-truth places.
+    Merged,
+    /// One of several discovered places covering the same ground-truth
+    /// place.
+    Divided,
+    /// No ground-truth attribution (e.g. visits during travel); excluded
+    /// from the percentages, like the paper's untagged places.
+    NoMatch,
+}
+
+/// The verdict for one discovered place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceMatch {
+    /// Which discovered place.
+    pub discovered: DiscoveredPlaceId,
+    /// Its classification.
+    pub outcome: MatchOutcome,
+    /// The ground-truth places attributed to it.
+    pub true_places: Vec<PlaceId>,
+}
+
+/// Aggregate report over a discovery run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchingReport {
+    /// Per-place verdicts.
+    pub matches: Vec<PlaceMatch>,
+    /// Count of correct places.
+    pub correct: usize,
+    /// Count of merged places.
+    pub merged: usize,
+    /// Count of divided places.
+    pub divided: usize,
+    /// Count of unattributable places.
+    pub no_match: usize,
+}
+
+impl MatchingReport {
+    /// Places that could be evaluated (everything but `NoMatch`).
+    pub fn evaluable(&self) -> usize {
+        self.correct + self.merged + self.divided
+    }
+
+    /// Fraction of evaluable places classified `Correct` (0 if none).
+    pub fn correct_fraction(&self) -> f64 {
+        fraction(self.correct, self.evaluable())
+    }
+
+    /// Fraction of evaluable places classified `Merged`.
+    pub fn merged_fraction(&self) -> f64 {
+        fraction(self.merged, self.evaluable())
+    }
+
+    /// Fraction of evaluable places classified `Divided`.
+    pub fn divided_fraction(&self) -> f64 {
+        fraction(self.divided, self.evaluable())
+    }
+
+    /// Distinct ground-truth places covered by any discovered place.
+    pub fn covered_true_places(&self) -> usize {
+        self.matches
+            .iter()
+            .flat_map(|m| m.true_places.iter())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+}
+
+fn fraction(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+/// Overlap between two half-open intervals.
+fn overlap(a0: SimTime, a1: SimTime, b0: SimTime, b1: SimTime) -> SimDuration {
+    let start = a0.max(b0);
+    let end = a1.min(b1);
+    end.since(start)
+}
+
+/// Classifies every discovered place against the diary.
+///
+/// `min_share` is the fraction of a discovered place's attributed time a
+/// ground-truth place must account for to be listed (defending against a
+/// few minutes of overlap from a neighbouring stay). The paper's analysis
+/// corresponds to `min_share ≈ 0.2`.
+///
+/// # Panics
+///
+/// Panics if `min_share` is outside `[0, 1]`.
+pub fn classify_places(
+    discovered: &[DiscoveredPlace],
+    ground_truth: &[GroundTruthVisit],
+    min_share: f64,
+) -> MatchingReport {
+    assert!(
+        (0.0..=1.0).contains(&min_share),
+        "min_share must be a fraction, got {min_share}"
+    );
+
+    // Attribute each discovered place's visit time to true places.
+    let mut attribution: Vec<BTreeMap<PlaceId, SimDuration>> =
+        Vec::with_capacity(discovered.len());
+    for place in discovered {
+        let mut shares: BTreeMap<PlaceId, SimDuration> = BTreeMap::new();
+        for visit in &place.visits {
+            for gt in ground_truth {
+                let o = overlap(visit.arrival, visit.departure, gt.arrival, gt.departure);
+                if o > SimDuration::ZERO {
+                    *shares.entry(gt.place).or_insert(SimDuration::ZERO) += o;
+                }
+            }
+        }
+        attribution.push(shares);
+    }
+
+    // Keep true places above the share threshold.
+    let significant: Vec<BTreeSet<PlaceId>> = attribution
+        .iter()
+        .map(|shares| {
+            let total: u64 = shares.values().map(|d| d.as_seconds()).sum();
+            if total == 0 {
+                return BTreeSet::new();
+            }
+            shares
+                .iter()
+                .filter(|(_, d)| d.as_seconds() as f64 >= total as f64 * min_share)
+                .map(|(p, _)| *p)
+                .collect()
+        })
+        .collect();
+
+    // Invert: true place -> discovered places covering it.
+    let mut coverage: BTreeMap<PlaceId, Vec<usize>> = BTreeMap::new();
+    for (idx, places) in significant.iter().enumerate() {
+        for p in places {
+            coverage.entry(*p).or_default().push(idx);
+        }
+    }
+
+    let mut matches = Vec::with_capacity(discovered.len());
+    let (mut correct, mut merged, mut divided, mut no_match) = (0, 0, 0, 0);
+    for (idx, place) in discovered.iter().enumerate() {
+        let true_places: Vec<PlaceId> = significant[idx].iter().copied().collect();
+        let outcome = if true_places.is_empty() {
+            no_match += 1;
+            MatchOutcome::NoMatch
+        } else if true_places.len() >= 2 {
+            merged += 1;
+            MatchOutcome::Merged
+        } else {
+            let t = true_places[0];
+            if coverage.get(&t).map(Vec::len).unwrap_or(0) >= 2 {
+                divided += 1;
+                MatchOutcome::Divided
+            } else {
+                correct += 1;
+                MatchOutcome::Correct
+            }
+        };
+        matches.push(PlaceMatch { discovered: place.id, outcome, true_places });
+    }
+
+    MatchingReport { matches, correct, merged, divided, no_match }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::{DiscoveredVisit, PlaceSignature};
+    use pmware_geo::{GeoPoint, Meters};
+
+    fn t(min: u64) -> SimTime {
+        SimTime::from_seconds(min * 60)
+    }
+
+    fn gt(place: u32, a: u64, d: u64) -> GroundTruthVisit {
+        GroundTruthVisit { place: PlaceId(place), arrival: t(a), departure: t(d) }
+    }
+
+    fn dp(id: u32, visits: &[(u64, u64)]) -> DiscoveredPlace {
+        DiscoveredPlace::new(
+            DiscoveredPlaceId(id),
+            PlaceSignature::Coordinates {
+                center: GeoPoint::new(0.0, 0.0).unwrap(),
+                radius: Meters::new(50.0),
+            },
+            visits
+                .iter()
+                .map(|&(a, d)| DiscoveredVisit { arrival: t(a), departure: t(d) })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn one_to_one_is_correct() {
+        let discovered = vec![dp(0, &[(0, 60)]), dp(1, &[(100, 160)])];
+        let truth = vec![gt(10, 0, 60), gt(11, 100, 160)];
+        let report = classify_places(&discovered, &truth, 0.2);
+        assert_eq!(report.correct, 2);
+        assert_eq!(report.merged, 0);
+        assert_eq!(report.divided, 0);
+        assert_eq!(report.correct_fraction(), 1.0);
+        assert_eq!(report.covered_true_places(), 2);
+    }
+
+    #[test]
+    fn covering_two_places_is_merged() {
+        // One discovered place whose single signature absorbs visits to two
+        // adjacent true places (the academic building + library case).
+        let discovered = vec![dp(0, &[(0, 60), (100, 160)])];
+        let truth = vec![gt(10, 0, 60), gt(11, 100, 160)];
+        let report = classify_places(&discovered, &truth, 0.2);
+        assert_eq!(report.merged, 1);
+        assert_eq!(report.matches[0].true_places.len(), 2);
+    }
+
+    #[test]
+    fn two_discovered_for_one_true_is_divided() {
+        let discovered = vec![dp(0, &[(0, 60)]), dp(1, &[(100, 160)])];
+        let truth = vec![gt(10, 0, 160)];
+        let report = classify_places(&discovered, &truth, 0.2);
+        assert_eq!(report.divided, 2);
+        assert_eq!(report.divided_fraction(), 1.0);
+    }
+
+    #[test]
+    fn travel_only_place_is_no_match() {
+        let discovered = vec![dp(0, &[(200, 230)])];
+        let truth = vec![gt(10, 0, 60)];
+        let report = classify_places(&discovered, &truth, 0.2);
+        assert_eq!(report.no_match, 1);
+        assert_eq!(report.evaluable(), 0);
+        assert_eq!(report.correct_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tiny_overlap_below_share_is_ignored() {
+        // 60 min at place 10, then 5 min brushing place 11 on the way out.
+        let discovered = vec![dp(0, &[(0, 65)])];
+        let truth = vec![gt(10, 0, 60), gt(11, 60, 65)];
+        let report = classify_places(&discovered, &truth, 0.2);
+        assert_eq!(report.correct, 1, "5/65 < 20% share must not merge");
+        assert_eq!(report.matches[0].true_places, vec![PlaceId(10)]);
+    }
+
+    #[test]
+    fn mixed_report_fractions() {
+        let discovered = vec![
+            dp(0, &[(0, 60)]),            // correct → place 1
+            dp(1, &[(100, 160), (200, 260)]), // merged → places 2,3
+            dp(2, &[(300, 330)]),         // divided (with dp 3) → place 4
+            dp(3, &[(340, 370)]),         // divided → place 4
+            dp(4, &[(500, 520)]),         // no match
+        ];
+        let truth = vec![
+            gt(1, 0, 60),
+            gt(2, 100, 160),
+            gt(3, 200, 260),
+            gt(4, 300, 370),
+        ];
+        let report = classify_places(&discovered, &truth, 0.2);
+        assert_eq!(report.correct, 1);
+        assert_eq!(report.merged, 1);
+        assert_eq!(report.divided, 2);
+        assert_eq!(report.no_match, 1);
+        assert_eq!(report.evaluable(), 4);
+        assert!((report.correct_fraction() - 0.25).abs() < 1e-12);
+        assert!((report.merged_fraction() - 0.25).abs() < 1e-12);
+        assert!((report.divided_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_share")]
+    fn bad_share_rejected() {
+        let _ = classify_places(&[], &[], 1.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! End-to-end validation: the discovery algorithms run on *simulated radio
+//! data* (not synthetic streams) and must find the places an agent really
+//! visited.
+
+use pmware_algorithms::gca::{self, GcaConfig};
+use pmware_algorithms::gps_cluster::{self, KangConfig};
+use pmware_algorithms::matching::{classify_places, GroundTruthVisit};
+use pmware_algorithms::sensloc::{self, SensLocConfig};
+use pmware_device::{Device, EnergyModel};
+use pmware_mobility::Population;
+use pmware_world::builder::{RegionProfile, WorldBuilder};
+use pmware_world::radio::{RadioConfig, RadioEnvironment};
+use pmware_world::{GpsFix, GsmObservation, SimTime, WifiScan};
+
+fn ground_truth(it: &pmware_mobility::Itinerary) -> Vec<GroundTruthVisit> {
+    it.visits()
+        .iter()
+        .map(|v| GroundTruthVisit {
+            place: v.place,
+            arrival: v.arrival,
+            departure: v.departure,
+        })
+        .collect()
+}
+
+#[test]
+fn gca_discovers_agent_places_from_simulated_gsm() {
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(100).build();
+    let pop = Population::generate(&world, 1, 101);
+    let agent = &pop.agents()[0];
+    let days = 7;
+    let it = pop.itinerary(&world, agent.id(), days);
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let mut phone = Device::new(env, &it, EnergyModel::htc_explorer(), 102);
+
+    // Sample GSM every minute for a week, as PMS does.
+    let mut stream: Vec<GsmObservation> = Vec::new();
+    for minute in 0..days * 24 * 60 {
+        let t = SimTime::from_seconds(minute * 60);
+        if let Some(obs) = phone.sample_gsm(t) {
+            stream.push(obs);
+        }
+    }
+
+    let out = gca::discover_places(&stream, &GcaConfig::default());
+    assert!(
+        !out.places.is_empty(),
+        "a week of life must yield discovered places"
+    );
+
+    let truth = ground_truth(&it);
+    let report = classify_places(&out.places, &truth, 0.2);
+
+    // Home and work dominate the week; they must be discoverable.
+    let covered = report.covered_true_places();
+    let true_count = it.visited_places().len();
+    assert!(
+        covered * 2 >= true_count,
+        "GCA covered only {covered}/{true_count} true places"
+    );
+    // Most evaluable places should be correct (paper: 79%; we accept a
+    // generous band here — the precise calibration is the deployment-study
+    // experiment's job).
+    assert!(report.evaluable() > 0);
+    assert!(
+        report.correct_fraction() >= 0.5,
+        "correct fraction {:.2} too low (correct={} merged={} divided={})",
+        report.correct_fraction(),
+        report.correct,
+        report.merged,
+        report.divided
+    );
+}
+
+#[test]
+fn sensloc_discovers_wifi_covered_places() {
+    let world = WorldBuilder::new(RegionProfile::urban_europe()).seed(200).build();
+    let pop = Population::generate(&world, 1, 201);
+    let agent = &pop.agents()[0];
+    let days = 5;
+    let it = pop.itinerary(&world, agent.id(), days);
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let mut phone = Device::new(env, &it, EnergyModel::htc_explorer(), 202);
+
+    // Scan WiFi every two minutes (an aggressive, accuracy-first plan).
+    let mut scans: Vec<WifiScan> = Vec::new();
+    for step in 0..days * 24 * 30 {
+        let t = SimTime::from_seconds(step * 120);
+        scans.push(phone.scan_wifi(t));
+    }
+
+    let places = sensloc::discover_places(&scans, &SensLocConfig::default());
+    assert!(!places.is_empty(), "urban-europe world has WiFi at >90% of places");
+
+    let truth = ground_truth(&it);
+    let report = classify_places(&places, &truth, 0.2);
+    assert!(report.evaluable() > 0);
+    assert!(
+        report.correct_fraction() >= 0.5,
+        "correct fraction {:.2} too low (correct={} merged={} divided={})",
+        report.correct_fraction(),
+        report.correct,
+        report.merged,
+        report.divided
+    );
+}
+
+#[test]
+fn kang_discovers_places_from_gps() {
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(300).build();
+    let pop = Population::generate(&world, 1, 301);
+    let agent = &pop.agents()[0];
+    let days = 3;
+    let it = pop.itinerary(&world, agent.id(), days);
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let mut phone = Device::new(env, &it, EnergyModel::htc_explorer(), 302);
+
+    // A GPS fix every minute (continuous high-accuracy tracking).
+    let mut fixes: Vec<GpsFix> = Vec::new();
+    for minute in 0..days * 24 * 60 {
+        let t = SimTime::from_seconds(minute * 60);
+        if let Some(fix) = phone.fix_gps(t) {
+            fixes.push(fix);
+        }
+    }
+    assert!(!fixes.is_empty());
+
+    let places = gps_cluster::discover_places(&fixes, &KangConfig::default());
+    assert!(!places.is_empty());
+
+    let truth = ground_truth(&it);
+    let report = classify_places(&places, &truth, 0.2);
+    assert!(report.evaluable() > 0);
+    // GPS is the most precise interface: correctness should be high among
+    // outdoor-visible places. Indoor places lose most fixes, so coverage is
+    // partial but what is found should be right.
+    assert!(
+        report.correct_fraction() >= 0.6,
+        "correct fraction {:.2} too low (correct={} merged={} divided={})",
+        report.correct_fraction(),
+        report.correct,
+        report.merged,
+        report.divided
+    );
+}

@@ -1,0 +1,212 @@
+//! Property-based tests for the discovery algorithms' invariants.
+
+use std::collections::BTreeSet;
+
+use pmware_algorithms::gca::{self, GcaConfig, MovementGraph};
+use pmware_algorithms::gps_cluster::{self, KangConfig};
+use pmware_algorithms::matching::{classify_places, GroundTruthVisit, MatchOutcome};
+use pmware_algorithms::route::{route_similarity, RouteGeometry};
+use pmware_algorithms::sensloc::tanimoto;
+use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature};
+use pmware_geo::{GeoPoint, Meters};
+use pmware_world::tower::NetworkLayer;
+use pmware_world::{Bssid, CellGlobalId, CellId, GpsFix, GsmObservation, Lac, PlaceId, Plmn, SimTime};
+use proptest::prelude::*;
+
+fn cell(id: u32) -> CellGlobalId {
+    CellGlobalId {
+        plmn: Plmn { mcc: 404, mnc: 45 },
+        lac: Lac(1),
+        cell: CellId(id),
+    }
+}
+
+fn obs(minute: u64, id: u32) -> GsmObservation {
+    GsmObservation {
+        time: SimTime::from_seconds(minute * 60),
+        cell: cell(id),
+        layer: NetworkLayer::G2,
+        rssi_dbm: -70.0,
+    }
+}
+
+/// Strategy: a random walk of cell ids — arbitrary soup of stays/travel.
+fn cell_stream() -> impl Strategy<Value = Vec<GsmObservation>> {
+    prop::collection::vec(0u32..12, 10..400).prop_map(|ids| {
+        ids.into_iter()
+            .enumerate()
+            .map(|(m, id)| obs(m as u64, id))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gca_clusters_are_disjoint_and_signatures_bounded(stream in cell_stream()) {
+        let config = GcaConfig::default();
+        let out = gca::discover_places(&stream, &config);
+        let mut seen: BTreeSet<CellGlobalId> = BTreeSet::new();
+        for place in &out.places {
+            let PlaceSignature::Cells(cells) = &place.signature else {
+                panic!("GCA emits cell signatures");
+            };
+            prop_assert!(!cells.is_empty());
+            prop_assert!(cells.len() <= config.max_signature_cells);
+            for c in cells {
+                prop_assert!(seen.insert(*c), "cell {c} in two signatures");
+            }
+            // Visits well-formed, ordered, long enough.
+            for v in &place.visits {
+                prop_assert!(v.arrival <= v.departure);
+                prop_assert!(v.duration() >= config.min_stay);
+            }
+            for w in place.visits.windows(2) {
+                prop_assert!(w[0].departure <= w[1].arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn movement_graph_weights_bounded_by_stream(stream in cell_stream()) {
+        let config = GcaConfig::default();
+        let graph = MovementGraph::build(&stream, &config);
+        // Total bounce weight can never exceed the number of triples.
+        let total: u32 = (0..12u32)
+            .flat_map(|a| (a + 1..12).map(move |b| (a, b)))
+            .map(|(a, b)| graph.edge_weight(cell(a), cell(b)))
+            .sum();
+        prop_assert!(total as usize <= stream.len().saturating_sub(2));
+    }
+
+    #[test]
+    fn tanimoto_properties(
+        a in prop::collection::btree_set(0u64..40, 0..15),
+        b in prop::collection::btree_set(0u64..40, 0..15),
+    ) {
+        let sa: BTreeSet<Bssid> = a.iter().map(|&x| Bssid(x)).collect();
+        let sb: BTreeSet<Bssid> = b.iter().map(|&x| Bssid(x)).collect();
+        let t = tanimoto(&sa, &sb);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert_eq!(t, tanimoto(&sb, &sa));
+        if !sa.is_empty() {
+            prop_assert_eq!(tanimoto(&sa, &sa), 1.0);
+        }
+        if sa.is_disjoint(&sb) {
+            prop_assert_eq!(t, 0.0);
+        }
+    }
+
+    #[test]
+    fn kang_visits_are_ordered_and_centroids_enclosed(
+        offsets in prop::collection::vec((0.0..360.0f64, 0.0..80.0f64), 20..120),
+    ) {
+        let base = GeoPoint::new(12.97, 77.59).unwrap();
+        let fixes: Vec<GpsFix> = offsets
+            .iter()
+            .enumerate()
+            .map(|(m, (bearing, dist))| GpsFix {
+                time: SimTime::from_seconds(m as u64 * 60),
+                position: base.destination(*bearing, Meters::new(*dist)),
+                accuracy: Meters::new(6.0),
+            })
+            .collect();
+        let places = gps_cluster::discover_places(&fixes, &KangConfig::default());
+        for place in &places {
+            let PlaceSignature::Coordinates { center, .. } = place.signature else {
+                panic!("kang emits coordinates");
+            };
+            // All fixes are within 80 m of base; the centroid must be too
+            // (it is a mean of a subset).
+            prop_assert!(base.equirectangular_distance(center).value() <= 81.0);
+            for w in place.visits.windows(2) {
+                prop_assert!(w[0].departure <= w[1].arrival);
+            }
+        }
+        // Everything is one tight blob: at most one place comes out.
+        prop_assert!(places.len() <= 1);
+    }
+
+    #[test]
+    fn route_similarity_bounds_and_symmetry(
+        a in prop::collection::vec(0u32..20, 1..25),
+        b in prop::collection::vec(0u32..20, 1..25),
+    ) {
+        let ra = RouteGeometry::CellSequence(a.iter().map(|&i| cell(i)).collect());
+        let rb = RouteGeometry::CellSequence(b.iter().map(|&i| cell(i)).collect());
+        let s = route_similarity(&ra, &rb);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - route_similarity(&rb, &ra)).abs() < 1e-12);
+        prop_assert!((route_similarity(&ra, &ra) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_outcomes_partition_places(
+        visits in prop::collection::vec((0u64..200, 1u64..40), 1..12),
+        gt in prop::collection::vec((0u32..6, 0u64..200, 1u64..40), 1..12),
+    ) {
+        let discovered: Vec<DiscoveredPlace> = visits
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                DiscoveredPlace::new(
+                    DiscoveredPlaceId(i as u32),
+                    PlaceSignature::WifiAps(BTreeSet::new()),
+                    vec![DiscoveredVisit {
+                        arrival: SimTime::from_seconds(start * 60),
+                        departure: SimTime::from_seconds((start + len) * 60),
+                    }],
+                )
+            })
+            .collect();
+        let truth: Vec<GroundTruthVisit> = gt
+            .iter()
+            .map(|&(p, start, len)| GroundTruthVisit {
+                place: PlaceId(p),
+                arrival: SimTime::from_seconds(start * 60),
+                departure: SimTime::from_seconds((start + len) * 60),
+            })
+            .collect();
+        let report = classify_places(&discovered, &truth, 0.2);
+        // Counts partition the discovered set.
+        prop_assert_eq!(
+            report.correct + report.merged + report.divided + report.no_match,
+            discovered.len()
+        );
+        prop_assert_eq!(report.matches.len(), discovered.len());
+        // Per-place outcomes agree with the aggregate counts.
+        let correct = report
+            .matches
+            .iter()
+            .filter(|m| m.outcome == MatchOutcome::Correct)
+            .count();
+        prop_assert_eq!(correct, report.correct);
+        // Fractions are probabilities.
+        for f in [
+            report.correct_fraction(),
+            report.merged_fraction(),
+            report.divided_fraction(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gca_is_insensitive_to_trailing_silence(stream in cell_stream()) {
+        // Appending a long gap then one observation must not corrupt
+        // earlier places (runs are split across big gaps).
+        let config = GcaConfig::default();
+        let base = gca::discover_places(&stream, &config);
+        let mut extended = stream.clone();
+        let last = stream.last().unwrap().time;
+        extended.push(GsmObservation {
+            time: last + pmware_world::SimDuration::from_hours(10),
+            cell: cell(99),
+            layer: NetworkLayer::G2,
+            rssi_dbm: -70.0,
+        });
+        let ext = gca::discover_places(&extended, &config);
+        prop_assert!(ext.places.len() >= base.places.len());
+    }
+}

@@ -1,0 +1,196 @@
+//! The simulated ad-swiping participant.
+//!
+//! §4: *"each advertisement was displayed as a card and the user could
+//! like a card by a simple gesture of swiping it on left if it was context
+//! relevant and dislike it by swiping it on right if it was not. \[…\] The
+//! ratio of total number of likes obtained for the advertisements to the
+//! number of dislikes obtained turned out to be 17 : 3."*
+//!
+//! The model decides each swipe from *ground truth*: an ad is contextually
+//! relevant when the advertised POI is genuinely near the user's true
+//! position at serving time and its category is one the user cares about.
+//! Place-discovery errors therefore show up as dislikes — a merged place's
+//! centroid sits between two buildings, pulling in ads for the wrong
+//! neighbourhood — preserving the causal link the paper measured.
+
+use std::collections::BTreeSet;
+
+use pmware_geo::{GeoPoint, Meters};
+use pmware_mobility::AgentProfile;
+use pmware_world::PlaceCategory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::placeads::AdCard;
+
+/// A recorded swipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Swipe {
+    /// Contextually relevant.
+    Like,
+    /// Not relevant.
+    Dislike,
+}
+
+/// The participant's taste and swipe behaviour.
+#[derive(Debug, Clone)]
+pub struct UserTasteModel {
+    preferred: BTreeSet<PlaceCategory>,
+    /// Relevance radius: an ad for a POI farther than this from the user's
+    /// true position is out of context.
+    relevance_radius: Meters,
+    /// P(like) for a relevant card.
+    p_like_relevant: f64,
+    /// P(like) for an irrelevant card (people still like a good deal).
+    p_like_irrelevant: f64,
+    rng: StdRng,
+    likes: u32,
+    dislikes: u32,
+}
+
+impl UserTasteModel {
+    /// Builds the model from an agent's profile: the categories they
+    /// actually frequent are the ones whose offers they care about.
+    pub fn from_agent(agent: &AgentProfile, seed: u64) -> UserTasteModel {
+        let mut preferred: BTreeSet<PlaceCategory> =
+            agent.frequented_categories().collect();
+        // Everyone eats and shops.
+        preferred.insert(PlaceCategory::Restaurant);
+        preferred.insert(PlaceCategory::Shopping);
+        UserTasteModel {
+            preferred,
+            relevance_radius: Meters::new(2_500.0),
+            p_like_relevant: 0.93,
+            p_like_irrelevant: 0.15,
+            rng: StdRng::seed_from_u64(seed),
+            likes: 0,
+            dislikes: 0,
+        }
+    }
+
+    /// Whether a category interests this user.
+    pub fn prefers(&self, category: PlaceCategory) -> bool {
+        self.preferred.contains(&category)
+    }
+
+    /// Swipes one card given the user's *true* position when it was served.
+    pub fn swipe(&mut self, card: &AdCard, true_position: GeoPoint) -> Swipe {
+        let distance = true_position.equirectangular_distance(card.ad.position);
+        let relevant =
+            distance <= self.relevance_radius && self.prefers(card.ad.category);
+        let p_like = if relevant {
+            self.p_like_relevant
+        } else {
+            self.p_like_irrelevant
+        };
+        let swipe = if self.rng.gen_bool(p_like) { Swipe::Like } else { Swipe::Dislike };
+        match swipe {
+            Swipe::Like => self.likes += 1,
+            Swipe::Dislike => self.dislikes += 1,
+        }
+        swipe
+    }
+
+    /// Total likes so far.
+    pub fn likes(&self) -> u32 {
+        self.likes
+    }
+
+    /// Total dislikes so far.
+    pub fn dislikes(&self) -> u32 {
+        self.dislikes
+    }
+
+    /// The like:dislike ratio as a fraction of likes (§4 reports 17:3 =
+    /// 0.85). `None` before any swipe.
+    pub fn like_fraction(&self) -> Option<f64> {
+        let total = self.likes + self.dislikes;
+        (total > 0).then(|| self.likes as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placeads::Ad;
+    use pmware_mobility::Population;
+    use pmware_world::builder::{RegionProfile, WorldBuilder};
+    use pmware_world::SimTime;
+
+    fn model() -> UserTasteModel {
+        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(1).build();
+        let pop = Population::generate(&world, 1, 2);
+        UserTasteModel::from_agent(&pop.agents()[0], 3)
+    }
+
+    fn card_at(position: GeoPoint, category: PlaceCategory) -> AdCard {
+        AdCard {
+            ad: Ad {
+                id: 0,
+                poi_name: "poi".into(),
+                category,
+                position,
+                offer: "20% off".into(),
+            },
+            served_at: SimTime::EPOCH,
+            trigger_position: Some(position),
+            trigger_place: None,
+        }
+    }
+
+    #[test]
+    fn everyone_prefers_food_and_shopping() {
+        let m = model();
+        assert!(m.prefers(PlaceCategory::Restaurant));
+        assert!(m.prefers(PlaceCategory::Shopping));
+    }
+
+    #[test]
+    fn nearby_relevant_ads_are_mostly_liked() {
+        let mut m = model();
+        let user = GeoPoint::new(12.97, 77.59).unwrap();
+        let near = user.destination(90.0, Meters::new(300.0));
+        for _ in 0..200 {
+            let _ = m.swipe(&card_at(near, PlaceCategory::Restaurant), user);
+        }
+        let frac = m.like_fraction().unwrap();
+        assert!(frac > 0.85, "relevant like fraction {frac}");
+    }
+
+    #[test]
+    fn faraway_ads_are_mostly_disliked() {
+        let mut m = model();
+        let user = GeoPoint::new(12.97, 77.59).unwrap();
+        let far = user.destination(90.0, Meters::new(5_000.0));
+        for _ in 0..200 {
+            let _ = m.swipe(&card_at(far, PlaceCategory::Restaurant), user);
+        }
+        let frac = m.like_fraction().unwrap();
+        assert!(frac < 0.35, "irrelevant like fraction {frac}");
+    }
+
+    #[test]
+    fn unpreferred_category_is_irrelevant_even_nearby() {
+        let mut m = model();
+        let user = GeoPoint::new(12.97, 77.59).unwrap();
+        let near = user.destination(90.0, Meters::new(100.0));
+        // Healthcare is only preferred if the agent frequents it; construct
+        // a category the tiny world's agent cannot frequent (no such places
+        // exist in the tiny mix).
+        assert!(!m.prefers(PlaceCategory::Healthcare));
+        for _ in 0..200 {
+            let _ = m.swipe(&card_at(near, PlaceCategory::Healthcare), user);
+        }
+        assert!(m.like_fraction().unwrap() < 0.35);
+    }
+
+    #[test]
+    fn counters_track_swipes() {
+        let mut m = model();
+        let user = GeoPoint::new(12.97, 77.59).unwrap();
+        assert_eq!(m.like_fraction(), None);
+        let _ = m.swipe(&card_at(user, PlaceCategory::Shopping), user);
+        assert_eq!(m.likes() + m.dislikes(), 1);
+    }
+}

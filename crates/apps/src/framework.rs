@@ -1,0 +1,256 @@
+//! The connected-application framework: one trait and a pump.
+//!
+//! §2.2.4's contract, seen from the application side: an app states its
+//! name, its [`AppRequirement`], and an [`IntentFilter`]; PMWare delivers
+//! matching intents. [`ConnectedApp`] captures that contract as a trait so
+//! that heterogeneous apps can be installed and pumped uniformly, and
+//! [`AppHarness`] does the plumbing (registration, channel draining) that
+//! every host — examples, the deployment study, downstream users —
+//! otherwise re-implements by hand.
+
+use crossbeam::channel::Receiver;
+use pmware_core::intents::{Intent, IntentFilter};
+use pmware_core::pms::PmwareMobileService;
+use pmware_core::requirements::AppRequirement;
+use pmware_device::PositionProvider;
+
+/// A third-party application connected to PMWare.
+pub trait ConnectedApp {
+    /// Registration name (unique per PMS).
+    fn name(&self) -> &str;
+    /// What the app asks of the middleware (§2.4 step 1).
+    fn requirement(&self) -> AppRequirement;
+    /// Which broadcasts it listens to.
+    fn filter(&self) -> IntentFilter;
+    /// Handles one delivered intent.
+    fn on_intent(&mut self, intent: &Intent);
+}
+
+/// Installs [`ConnectedApp`]s on a PMS and pumps their intents.
+///
+/// # Examples
+///
+/// ```no_run
+/// use pmware_apps::framework::{AppHarness, ConnectedApp};
+/// use pmware_core::intents::{Intent, IntentFilter};
+/// use pmware_core::requirements::{AppRequirement, Granularity};
+///
+/// struct Counter {
+///     intents: usize,
+/// }
+///
+/// impl ConnectedApp for Counter {
+///     fn name(&self) -> &str {
+///         "counter"
+///     }
+///     fn requirement(&self) -> AppRequirement {
+///         AppRequirement::places(Granularity::Area)
+///     }
+///     fn filter(&self) -> IntentFilter {
+///         IntentFilter::all()
+///     }
+///     fn on_intent(&mut self, _intent: &Intent) {
+///         self.intents += 1;
+///     }
+/// }
+/// ```
+#[derive(Default)]
+pub struct AppHarness {
+    apps: Vec<Installed>,
+}
+
+struct Installed {
+    app: Box<dyn ConnectedApp>,
+    rx: Receiver<Intent>,
+}
+
+impl AppHarness {
+    /// An empty harness.
+    pub fn new() -> Self {
+        AppHarness::default()
+    }
+
+    /// Registers `app` with `pms` and takes ownership of it.
+    pub fn install<P: PositionProvider>(
+        &mut self,
+        pms: &mut PmwareMobileService<'_, P>,
+        app: Box<dyn ConnectedApp>,
+    ) {
+        let rx = pms.register_app(app.name().to_owned(), app.requirement(), app.filter());
+        self.apps.push(Installed { app, rx });
+    }
+
+    /// Number of installed apps.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Returns `true` with no installed apps.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Drains every app's pending intents into its `on_intent`; returns the
+    /// number of intents delivered. Call between simulation slices.
+    pub fn pump(&mut self) -> usize {
+        let mut delivered = 0;
+        for installed in &mut self.apps {
+            for intent in installed.rx.try_iter() {
+                installed.app.on_intent(&intent);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Borrows an installed app by name (downcast-free inspection is up to
+    /// the caller; keep a concrete handle when specifics are needed).
+    pub fn app(&self, name: &str) -> Option<&dyn ConnectedApp> {
+        self.apps
+            .iter()
+            .find(|i| i.app.name() == name)
+            .map(|i| i.app.as_ref())
+    }
+}
+
+// The shipped applications implement the trait so they can be installed
+// generically; their inherent methods remain for callers that need typed
+// results (served cards, fired reminders, …).
+
+impl ConnectedApp for crate::lifelog::LifeLogApp {
+    fn name(&self) -> &str {
+        "lifelog"
+    }
+    fn requirement(&self) -> AppRequirement {
+        crate::lifelog::LifeLogApp::requirement()
+    }
+    fn filter(&self) -> IntentFilter {
+        crate::lifelog::LifeLogApp::filter()
+    }
+    fn on_intent(&mut self, intent: &Intent) {
+        crate::lifelog::LifeLogApp::on_intent(self, intent);
+    }
+}
+
+impl ConnectedApp for crate::todo::TodoApp {
+    fn name(&self) -> &str {
+        "todo"
+    }
+    fn requirement(&self) -> AppRequirement {
+        crate::todo::TodoApp::requirement()
+    }
+    fn filter(&self) -> IntentFilter {
+        crate::todo::TodoApp::filter()
+    }
+    fn on_intent(&mut self, intent: &Intent) {
+        let _ = crate::todo::TodoApp::on_intent(self, intent);
+    }
+}
+
+impl ConnectedApp for crate::placeads::PlaceAdsApp {
+    fn name(&self) -> &str {
+        "placeads"
+    }
+    fn requirement(&self) -> AppRequirement {
+        crate::placeads::PlaceAdsApp::requirement()
+    }
+    fn filter(&self) -> IntentFilter {
+        crate::placeads::PlaceAdsApp::filter()
+    }
+    fn on_intent(&mut self, intent: &Intent) {
+        let _ = crate::placeads::PlaceAdsApp::on_intent(self, intent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_core::intents::actions;
+    use pmware_core::requirements::Granularity;
+    use pmware_world::SimTime;
+    use serde_json::json;
+
+    struct Probe {
+        name: String,
+        seen: Vec<String>,
+    }
+
+    impl ConnectedApp for Probe {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn requirement(&self) -> AppRequirement {
+            AppRequirement::places(Granularity::Area)
+        }
+        fn filter(&self) -> IntentFilter {
+            IntentFilter::for_actions([actions::PLACE_ARRIVAL])
+        }
+        fn on_intent(&mut self, intent: &Intent) {
+            self.seen.push(intent.action.clone());
+        }
+    }
+
+    #[test]
+    fn shipped_apps_expose_their_contracts() {
+        let lifelog = crate::lifelog::LifeLogApp::new(0.5, 1);
+        assert_eq!(ConnectedApp::name(&lifelog), "lifelog");
+        assert_eq!(
+            ConnectedApp::requirement(&lifelog).granularity,
+            Granularity::Building
+        );
+        let todo = crate::todo::TodoApp::new();
+        assert_eq!(ConnectedApp::name(&todo), "todo");
+        assert!(ConnectedApp::filter(&todo).matches(actions::PLACE_ARRIVAL));
+    }
+
+    #[test]
+    fn trait_dispatch_delivers_intents() {
+        let mut probe = Probe { name: "probe".into(), seen: Vec::new() };
+        let intent = Intent::new(actions::PLACE_ARRIVAL, SimTime::EPOCH, json!({}));
+        ConnectedApp::on_intent(&mut probe, &intent);
+        assert_eq!(probe.seen, vec![actions::PLACE_ARRIVAL.to_owned()]);
+    }
+
+    #[test]
+    fn harness_end_to_end() {
+        use parking_lot::Mutex;
+        use pmware_cloud::{CellDatabase, CloudInstance};
+        use pmware_core::pms::PmsConfig;
+        use pmware_device::{Device, EnergyModel};
+        use pmware_mobility::Population;
+        use pmware_world::builder::{RegionProfile, WorldBuilder};
+        use pmware_world::radio::{RadioConfig, RadioEnvironment};
+        use std::sync::Arc;
+
+        let world = WorldBuilder::new(RegionProfile::urban_india()).seed(5000).build();
+        let cloud = Arc::new(Mutex::new(CloudInstance::new(
+            CellDatabase::from_world(&world),
+            5001,
+        )));
+        let pop = Population::generate(&world, 1, 5002);
+        let it = pop.itinerary(&world, pop.agents()[0].id(), 3);
+        let env = RadioEnvironment::new(&world, RadioConfig::default());
+        let device = Device::new(env, &it, EnergyModel::htc_explorer(), 5003);
+        let mut pms = PmwareMobileService::new(
+            device,
+            cloud,
+            PmsConfig::for_participant(50),
+            SimTime::EPOCH,
+        )
+        .unwrap();
+
+        let mut harness = AppHarness::new();
+        harness.install(
+            &mut pms,
+            Box::new(Probe { name: "probe".into(), seen: Vec::new() }),
+        );
+        harness.install(&mut pms, Box::new(crate::lifelog::LifeLogApp::new(1.0, 5004)));
+        assert_eq!(harness.len(), 2);
+
+        pms.run(SimTime::from_day_time(3, 0, 0, 0)).unwrap();
+        let delivered = harness.pump();
+        assert!(delivered > 0, "three days should deliver intents");
+        assert!(harness.app("probe").is_some());
+        assert!(harness.app("nope").is_none());
+    }
+}

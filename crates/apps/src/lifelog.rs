@@ -1,0 +1,255 @@
+//! The life-logging application of §3 (Figure 4).
+//!
+//! *"We have packaged PMWare mobile service with a life-logging application
+//! that enables users to validate discovered places as well as to provide
+//! a semantic meaning to the places \[…\] Our mobile application uses that
+//! capability to present fine-grained information to the user about her
+//! stay time at visited places and visiting days."*
+//!
+//! The Figure 4 map/list/detail UI is reproduced as a textual report; the
+//! *tagging* behaviour — each participant labels ~70 % of their places
+//! (§4) — is simulated with the agent's tag probability.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pmware_core::intents::{actions, Intent, IntentFilter};
+use pmware_core::requirements::{AppRequirement, Granularity};
+use pmware_world::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-place history the app accumulates (the Figure 4c detail view).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlaceHistory {
+    /// User-assigned label, if tagged.
+    pub label: Option<String>,
+    /// Number of visits seen.
+    pub visits: u32,
+    /// Total stay time across completed visits.
+    pub total_stay: SimDuration,
+    /// Days on which the place was visited.
+    pub visit_days: BTreeSet<u64>,
+    /// Whether the place's departure side has been observed at least once
+    /// (§4 excludes tagged places "without departure information").
+    pub has_departure_info: bool,
+}
+
+/// The life-logging connected application.
+#[derive(Debug)]
+pub struct LifeLogApp {
+    history: BTreeMap<u32, PlaceHistory>,
+    open_arrivals: BTreeMap<u32, SimTime>,
+    tag_probability: f64,
+    rng: StdRng,
+    /// Labels decided but not yet pushed to PMS.
+    pending_labels: Vec<(u32, String)>,
+}
+
+impl LifeLogApp {
+    /// The requirement: building-level diary.
+    pub fn requirement() -> AppRequirement {
+        AppRequirement::places(Granularity::Building)
+    }
+
+    /// Listens to every place event.
+    pub fn filter() -> IntentFilter {
+        IntentFilter::for_actions([
+            actions::PLACE_ARRIVAL,
+            actions::PLACE_DEPARTURE,
+            actions::PLACE_NEW,
+        ])
+    }
+
+    /// Creates the app with the participant's tagging probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag_probability` is outside `[0, 1]`.
+    pub fn new(tag_probability: f64, seed: u64) -> LifeLogApp {
+        assert!(
+            (0.0..=1.0).contains(&tag_probability),
+            "tag probability must be in [0,1], got {tag_probability}"
+        );
+        LifeLogApp {
+            history: BTreeMap::new(),
+            open_arrivals: BTreeMap::new(),
+            tag_probability,
+            rng: StdRng::seed_from_u64(seed),
+            pending_labels: Vec::new(),
+        }
+    }
+
+    /// The place histories, keyed by PMS place id.
+    pub fn history(&self) -> &BTreeMap<u32, PlaceHistory> {
+        &self.history
+    }
+
+    /// Labels decided since the last call (push these to PMS with
+    /// `label_place`).
+    pub fn take_pending_labels(&mut self) -> Vec<(u32, String)> {
+        std::mem::take(&mut self.pending_labels)
+    }
+
+    /// Number of tagged places.
+    pub fn tagged_count(&self) -> usize {
+        self.history.values().filter(|h| h.label.is_some()).count()
+    }
+
+    /// Places tagged *and* carrying departure info — the §4 evaluable set.
+    pub fn evaluable_places(&self) -> Vec<u32> {
+        self.history
+            .iter()
+            .filter(|(_, h)| h.label.is_some() && h.has_departure_info)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Processes one intent.
+    pub fn on_intent(&mut self, intent: &Intent) {
+        let Some(place) = intent.extras["place"].as_u64().map(|p| p as u32) else {
+            return;
+        };
+        match intent.action.as_str() {
+            actions::PLACE_NEW => {
+                let tag = self.rng.gen_bool(self.tag_probability);
+                let entry = self.history.entry(place).or_default();
+                if tag && entry.label.is_none() {
+                    // The user opens the map view (Figure 4a) and names the
+                    // pin; the simulated label encodes the place id.
+                    let label = format!("my-place-{place}");
+                    entry.label = Some(label.clone());
+                    self.pending_labels.push((place, label));
+                }
+                // PLACE_NEW carries the visit history PMWare already knows
+                // (the Figure 4c detail view); fold it into the diary.
+                if let Some(history) = intent.extras["history"].as_array() {
+                    for visit in history {
+                        let (Some(arrival), Some(departure)) =
+                            (visit[0].as_u64(), visit[1].as_u64())
+                        else {
+                            continue;
+                        };
+                        entry.visits += 1;
+                        entry
+                            .visit_days
+                            .insert(SimTime::from_seconds(arrival).day());
+                        if departure > arrival {
+                            entry.total_stay +=
+                                SimDuration::from_seconds(departure - arrival);
+                            entry.has_departure_info = true;
+                        }
+                    }
+                }
+            }
+            actions::PLACE_ARRIVAL => {
+                let entry = self.history.entry(place).or_default();
+                entry.visits += 1;
+                entry.visit_days.insert(intent.time.day());
+                self.open_arrivals.insert(place, intent.time);
+            }
+            actions::PLACE_DEPARTURE => {
+                let entry = self.history.entry(place).or_default();
+                entry.has_departure_info = true;
+                if let Some(arrival) = self.open_arrivals.remove(&place) {
+                    entry.total_stay += intent.time.since(arrival);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Renders the Figure 4b/4c style report: one line per place with its
+    /// label, visit count, visiting days, and total stay.
+    pub fn report(&self) -> String {
+        let mut out = String::from("place | label | visits | days | total stay\n");
+        for (id, h) in &self.history {
+            out.push_str(&format!(
+                "{:>5} | {} | {:>6} | {:>4} | {}\n",
+                id,
+                h.label.as_deref().unwrap_or("(untagged)"),
+                h.visits,
+                h.visit_days.len(),
+                h.total_stay,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn intent(action: &str, place: u64, day: u64, hour: u64) -> Intent {
+        Intent::new(
+            action,
+            SimTime::from_day_time(day, hour, 0, 0),
+            json!({"place": place}),
+        )
+    }
+
+    #[test]
+    fn accumulates_stays_and_days() {
+        let mut app = LifeLogApp::new(1.0, 1);
+        app.on_intent(&intent(actions::PLACE_NEW, 0, 0, 3));
+        app.on_intent(&intent(actions::PLACE_ARRIVAL, 0, 0, 9));
+        app.on_intent(&intent(actions::PLACE_DEPARTURE, 0, 0, 17));
+        app.on_intent(&intent(actions::PLACE_ARRIVAL, 0, 1, 9));
+        app.on_intent(&intent(actions::PLACE_DEPARTURE, 0, 1, 18));
+        let h = &app.history()[&0];
+        assert_eq!(h.visits, 2);
+        assert_eq!(h.visit_days.len(), 2);
+        assert_eq!(h.total_stay, SimDuration::from_hours(17));
+        assert!(h.has_departure_info);
+    }
+
+    #[test]
+    fn tagging_follows_probability() {
+        // p = 1: everything tagged; p = 0: nothing.
+        let mut always = LifeLogApp::new(1.0, 2);
+        let mut never = LifeLogApp::new(0.0, 3);
+        for place in 0..20 {
+            always.on_intent(&intent(actions::PLACE_NEW, place, 0, 3));
+            never.on_intent(&intent(actions::PLACE_NEW, place, 0, 3));
+        }
+        assert_eq!(always.tagged_count(), 20);
+        assert_eq!(never.tagged_count(), 0);
+        assert_eq!(always.take_pending_labels().len(), 20);
+        // Intermediate probability lands in between.
+        let mut sometimes = LifeLogApp::new(0.7, 4);
+        for place in 0..300 {
+            sometimes.on_intent(&intent(actions::PLACE_NEW, place, 0, 3));
+        }
+        let frac = sometimes.tagged_count() as f64 / 300.0;
+        assert!((frac - 0.7).abs() < 0.1, "tag fraction {frac}");
+    }
+
+    #[test]
+    fn evaluable_needs_tag_and_departure() {
+        let mut app = LifeLogApp::new(1.0, 5);
+        // Place 0: tagged + departure → evaluable.
+        app.on_intent(&intent(actions::PLACE_NEW, 0, 0, 3));
+        app.on_intent(&intent(actions::PLACE_ARRIVAL, 0, 0, 9));
+        app.on_intent(&intent(actions::PLACE_DEPARTURE, 0, 0, 17));
+        // Place 1: tagged, never departed → not evaluable.
+        app.on_intent(&intent(actions::PLACE_NEW, 1, 0, 3));
+        app.on_intent(&intent(actions::PLACE_ARRIVAL, 1, 0, 20));
+        assert_eq!(app.evaluable_places(), vec![0]);
+    }
+
+    #[test]
+    fn report_contains_labels() {
+        let mut app = LifeLogApp::new(1.0, 6);
+        app.on_intent(&intent(actions::PLACE_NEW, 7, 0, 3));
+        let report = app.report();
+        assert!(report.contains("my-place-7"), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tag probability")]
+    fn bad_probability_rejected() {
+        let _ = LifeLogApp::new(1.5, 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! PlaceADs: contextual advertisements on place events (§3, §4).
+//!
+//! *"PlaceADs is developed as a connected mobile application, which uses
+//! PMWare middleware for sensing and discovering places. For example,
+//! whenever a new place is visited, PlaceADs gets an intent broadcast from
+//! PMWare mobile service with the details of the place. PlaceADs
+//! subsequently fetches targeted contextual advertisements suggesting
+//! nearby points of interests such as restaurants, cafes, etc."*
+//!
+//! The app consumes `PLACE_ARRIVAL`/`PLACE_NEW` intents (area-level
+//! granularity suffices — Figure 2), looks up nearby offers in an
+//! [`AdInventory`] built from the world's commercial places, and serves the
+//! closest not-recently-served card.
+
+use pmware_core::intents::{actions, Intent};
+use pmware_geo::{grid::SpatialGrid, GeoPoint, Meters};
+use pmware_world::{PlaceCategory, SimTime, World};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One advertisement in the inventory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ad {
+    /// Inventory index.
+    pub id: u32,
+    /// Advertised point of interest.
+    pub poi_name: String,
+    /// POI category.
+    pub category: PlaceCategory,
+    /// POI position.
+    pub position: GeoPoint,
+    /// Offer text.
+    pub offer: String,
+}
+
+/// The ad inventory: offers attached to the world's commercial places.
+#[derive(Debug, Clone)]
+pub struct AdInventory {
+    ads: Vec<Ad>,
+    index: SpatialGrid<u32>,
+}
+
+/// Categories that carry advertisements.
+const AD_CATEGORIES: [PlaceCategory; 4] = [
+    PlaceCategory::Shopping,
+    PlaceCategory::Restaurant,
+    PlaceCategory::Entertainment,
+    PlaceCategory::Fitness,
+];
+
+impl AdInventory {
+    /// Builds the inventory from a world's commercial places.
+    pub fn from_world(world: &World) -> AdInventory {
+        let mut ads = Vec::new();
+        let mut index = SpatialGrid::new(Meters::new(500.0)).expect("positive cell");
+        for place in world.places() {
+            if !AD_CATEGORIES.contains(&place.category()) {
+                continue;
+            }
+            let id = ads.len() as u32;
+            let ad = Ad {
+                id,
+                poi_name: place.name().to_owned(),
+                category: place.category(),
+                position: place.position(),
+                offer: format!("{}% off at {}", 10 + (id % 4) * 10, place.name()),
+            };
+            index.insert(place.position(), id);
+            ads.push(ad);
+        }
+        AdInventory { ads, index }
+    }
+
+    /// Number of ads.
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// Returns `true` when no ads exist.
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+
+    /// An ad by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown id.
+    pub fn ad(&self, id: u32) -> &Ad {
+        &self.ads[id as usize]
+    }
+
+    /// Ads within `radius` of a position, best first: universally popular
+    /// categories (restaurants, shopping — the offers the paper's §3
+    /// example names) rank before niche ones, then by distance. This is
+    /// the app's "targeted contextual advertisements" policy.
+    pub fn nearby(&self, position: GeoPoint, radius: Meters) -> Vec<&Ad> {
+        let mut found: Vec<(u8, Meters, u32)> = Vec::new();
+        self.index.for_each_within(position, radius, |_, id, d| {
+            let category_rank = match self.ads[*id as usize].category {
+                PlaceCategory::Restaurant | PlaceCategory::Shopping => 0,
+                _ => 1,
+            };
+            found.push((category_rank, d, *id));
+        });
+        found.sort_by(|a, b| {
+            (a.0, a.1.value())
+                .partial_cmp(&(b.0, b.1.value()))
+                .expect("finite distances")
+        });
+        found.into_iter().map(|(_, _, id)| self.ad(id)).collect()
+    }
+}
+
+/// A served card, awaiting a swipe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdCard {
+    /// The ad being shown.
+    pub ad: Ad,
+    /// When it was pushed.
+    pub served_at: SimTime,
+    /// The (coarsened) position the triggering intent carried.
+    pub trigger_position: Option<GeoPoint>,
+    /// The PMS place id that triggered it.
+    pub trigger_place: Option<u32>,
+}
+
+/// The PlaceADs connected application.
+#[derive(Debug)]
+pub struct PlaceAdsApp {
+    inventory: AdInventory,
+    search_radius: Meters,
+    /// Minimum time between re-serving the same ad.
+    cooldown: pmware_world::SimDuration,
+    last_served: HashMap<u32, SimTime>,
+    served: Vec<AdCard>,
+}
+
+impl PlaceAdsApp {
+    /// The intent filter PlaceADs registers with PMS: arrivals only — ads
+    /// must be contextual to where the user *is right now*, and PLACE_NEW
+    /// broadcasts arrive from the nightly batch recomputation.
+    pub fn filter() -> pmware_core::intents::IntentFilter {
+        pmware_core::intents::IntentFilter::for_actions([actions::PLACE_ARRIVAL])
+    }
+
+    /// The requirement PlaceADs states (area-level granularity, Figure 2).
+    pub fn requirement() -> pmware_core::requirements::AppRequirement {
+        pmware_core::requirements::AppRequirement::places(
+            pmware_core::requirements::Granularity::Area,
+        )
+    }
+
+    /// Creates the app over an inventory.
+    pub fn new(inventory: AdInventory) -> PlaceAdsApp {
+        PlaceAdsApp {
+            inventory,
+            search_radius: Meters::new(1_200.0),
+            cooldown: pmware_world::SimDuration::from_hours(12),
+            last_served: HashMap::new(),
+            served: Vec::new(),
+        }
+    }
+
+    /// Cards served so far.
+    pub fn served(&self) -> &[AdCard] {
+        &self.served
+    }
+
+    /// Processes one intent; returns the card pushed, if any.
+    pub fn on_intent(&mut self, intent: &Intent) -> Option<AdCard> {
+        if intent.action != actions::PLACE_ARRIVAL {
+            return None;
+        }
+        let lat = intent.extras["latitude"].as_f64()?;
+        let lng = intent.extras["longitude"].as_f64()?;
+        let position = GeoPoint::new(lat, lng).ok()?;
+        let place = intent.extras["place"].as_u64().map(|p| p as u32);
+
+        let candidates = self.inventory.nearby(position, self.search_radius);
+        let now = intent.time;
+        let chosen = candidates.into_iter().find(|ad| {
+            self.last_served
+                .get(&ad.id)
+                .map(|t| now.since(*t) >= self.cooldown)
+                .unwrap_or(true)
+        })?;
+        let card = AdCard {
+            ad: chosen.clone(),
+            served_at: now,
+            trigger_position: Some(position),
+            trigger_place: place,
+        };
+        self.last_served.insert(card.ad.id, now);
+        self.served.push(card.clone());
+        Some(card)
+    }
+
+    /// Drains a receiver of intents, serving cards for each.
+    pub fn drain(&mut self, rx: &crossbeam::channel::Receiver<Intent>) -> Vec<AdCard> {
+        rx.try_iter()
+            .collect::<Vec<_>>()
+            .iter()
+            .filter_map(|i| self.on_intent(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_world::builder::{RegionProfile, WorldBuilder};
+    use serde_json::json;
+
+    fn world() -> World {
+        WorldBuilder::new(RegionProfile::urban_india()).seed(9).build()
+    }
+
+    fn arrival_at(position: GeoPoint, minute: u64) -> Intent {
+        Intent::new(
+            actions::PLACE_ARRIVAL,
+            SimTime::from_seconds(minute * 60),
+            json!({
+                "place": 0,
+                "latitude": position.latitude(),
+                "longitude": position.longitude(),
+                "granularity": "area",
+            }),
+        )
+    }
+
+    #[test]
+    fn inventory_covers_commercial_places() {
+        let w = world();
+        let inv = AdInventory::from_world(&w);
+        let commercial = w
+            .places()
+            .iter()
+            .filter(|p| AD_CATEGORIES.contains(&p.category()))
+            .count();
+        assert_eq!(inv.len(), commercial);
+        assert!(!inv.is_empty());
+    }
+
+    #[test]
+    fn nearby_sorts_popular_categories_first_then_distance() {
+        let w = world();
+        let inv = AdInventory::from_world(&w);
+        let center = w.bounds().center();
+        let near = inv.nearby(center, Meters::new(3_000.0));
+        assert!(near.len() >= 2);
+        let rank = |c: PlaceCategory| match c {
+            PlaceCategory::Restaurant | PlaceCategory::Shopping => 0u8,
+            _ => 1,
+        };
+        let mut last = (0u8, Meters::ZERO);
+        for ad in &near {
+            let key = (rank(ad.category), center.equirectangular_distance(ad.position));
+            assert!(
+                key.0 > last.0 || (key.0 == last.0 && key.1 >= last.1),
+                "ordering violated"
+            );
+            last = key;
+        }
+    }
+
+    #[test]
+    fn serves_card_on_arrival_near_commerce() {
+        let w = world();
+        let inv = AdInventory::from_world(&w);
+        let shop = w
+            .places()
+            .iter()
+            .find(|p| p.category() == PlaceCategory::Shopping)
+            .unwrap();
+        let mut app = PlaceAdsApp::new(inv);
+        let card = app
+            .on_intent(&arrival_at(shop.position(), 10))
+            .expect("a shop is in range of itself");
+        assert!(card.trigger_position.is_some());
+        assert_eq!(app.served().len(), 1);
+    }
+
+    #[test]
+    fn cooldown_prevents_spam() {
+        let w = world();
+        let inv = AdInventory::from_world(&w);
+        let shop = w
+            .places()
+            .iter()
+            .find(|p| p.category() == PlaceCategory::Shopping)
+            .unwrap();
+        let mut app = PlaceAdsApp::new(inv);
+        let n_candidates = {
+            let inv2 = AdInventory::from_world(&w);
+            inv2.nearby(shop.position(), Meters::new(1_200.0)).len()
+        };
+        // Serve repeatedly from the same spot within the cooldown: each ad
+        // can appear once, after which nothing is served.
+        let mut served = 0;
+        for minute in 0..n_candidates as u64 + 5 {
+            if app.on_intent(&arrival_at(shop.position(), minute)).is_some() {
+                served += 1;
+            }
+        }
+        assert_eq!(served, n_candidates);
+        // After the cooldown, serving resumes.
+        let later = 13 * 60; // 13 h in minutes
+        assert!(app.on_intent(&arrival_at(shop.position(), later)).is_some());
+    }
+
+    #[test]
+    fn ignores_intents_without_position() {
+        let w = world();
+        let mut app = PlaceAdsApp::new(AdInventory::from_world(&w));
+        let intent = Intent::new(
+            actions::PLACE_ARRIVAL,
+            SimTime::EPOCH,
+            json!({"place": 0, "latitude": null, "longitude": null}),
+        );
+        assert!(app.on_intent(&intent).is_none());
+    }
+
+    #[test]
+    fn ignores_unrelated_actions() {
+        let w = world();
+        let mut app = PlaceAdsApp::new(AdInventory::from_world(&w));
+        let intent = Intent::new(
+            actions::ROUTE_COMPLETED,
+            SimTime::EPOCH,
+            json!({"route": 0}),
+        );
+        assert!(app.on_intent(&intent).is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! The To-Do geo-reminder app: the paper's walk-through use case (§2.4).
+//!
+//! *"Consider a scenario where a To-Do application intends to alert user
+//! with some reminders when the user enters/leaves her workplace. \[…\] it
+//! requires building-level granularity with a tracking between 9 AM to
+//! 6 PM."*
+
+use pmware_core::intents::{actions, Intent, IntentFilter};
+use pmware_core::requirements::{AppRequirement, Granularity};
+use pmware_world::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A reminder shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reminder {
+    /// When it fired.
+    pub time: SimTime,
+    /// The message.
+    pub message: String,
+    /// Whether it fired on arrival (true) or departure (false).
+    pub on_arrival: bool,
+}
+
+/// The To-Do application.
+#[derive(Debug, Clone)]
+pub struct TodoApp {
+    /// The PMS place id of the user's workplace (configured once the user
+    /// has tagged it in the life-logging UI).
+    workplace: Option<u32>,
+    arrival_notes: Vec<String>,
+    departure_notes: Vec<String>,
+    fired: Vec<Reminder>,
+}
+
+impl TodoApp {
+    /// The requirement the app states in its request (§2.4 step 1):
+    /// building-level granularity, tracked 9 AM – 6 PM.
+    pub fn requirement() -> AppRequirement {
+        AppRequirement::places(Granularity::Building).with_window(9, 18)
+    }
+
+    /// The intent filter for its place alerts (§2.4 step 1: "specifies its
+    /// own intent-filter that will listen to the place alerts").
+    pub fn filter() -> IntentFilter {
+        IntentFilter::for_actions([actions::PLACE_ARRIVAL, actions::PLACE_DEPARTURE])
+    }
+
+    /// Creates an app with no workplace configured yet.
+    pub fn new() -> TodoApp {
+        TodoApp {
+            workplace: None,
+            arrival_notes: vec!["stand-up at 9:30".to_owned()],
+            departure_notes: vec!["buy milk on the way home".to_owned()],
+            fired: Vec::new(),
+        }
+    }
+
+    /// Configures the workplace place id.
+    pub fn set_workplace(&mut self, place: u32) {
+        self.workplace = Some(place);
+    }
+
+    /// The configured workplace.
+    pub fn workplace(&self) -> Option<u32> {
+        self.workplace
+    }
+
+    /// Adds a note to fire on arrival.
+    pub fn add_arrival_note(&mut self, note: impl Into<String>) {
+        self.arrival_notes.push(note.into());
+    }
+
+    /// Adds a note to fire on departure.
+    pub fn add_departure_note(&mut self, note: impl Into<String>) {
+        self.departure_notes.push(note.into());
+    }
+
+    /// Reminders fired so far.
+    pub fn fired(&self) -> &[Reminder] {
+        &self.fired
+    }
+
+    /// Processes one intent (§2.4 step 5); returns newly fired reminders.
+    pub fn on_intent(&mut self, intent: &Intent) -> Vec<Reminder> {
+        let Some(workplace) = self.workplace else { return Vec::new() };
+        let Some(place) = intent.extras["place"].as_u64() else { return Vec::new() };
+        if place as u32 != workplace {
+            return Vec::new();
+        }
+        let notes = match intent.action.as_str() {
+            actions::PLACE_ARRIVAL => &self.arrival_notes,
+            actions::PLACE_DEPARTURE => &self.departure_notes,
+            _ => return Vec::new(),
+        };
+        let on_arrival = intent.action == actions::PLACE_ARRIVAL;
+        let new: Vec<Reminder> = notes
+            .iter()
+            .map(|n| Reminder { time: intent.time, message: n.clone(), on_arrival })
+            .collect();
+        self.fired.extend(new.iter().cloned());
+        new
+    }
+}
+
+impl Default for TodoApp {
+    fn default() -> Self {
+        TodoApp::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn intent(action: &str, place: u64, hour: u64) -> Intent {
+        Intent::new(
+            action,
+            SimTime::from_day_time(0, hour, 0, 0),
+            json!({"place": place}),
+        )
+    }
+
+    #[test]
+    fn fires_on_workplace_arrival_and_departure() {
+        let mut app = TodoApp::new();
+        app.set_workplace(3);
+        let fired = app.on_intent(&intent(actions::PLACE_ARRIVAL, 3, 9));
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].on_arrival);
+        let fired = app.on_intent(&intent(actions::PLACE_DEPARTURE, 3, 17));
+        assert_eq!(fired.len(), 1);
+        assert!(!fired[0].on_arrival);
+        assert_eq!(app.fired().len(), 2);
+    }
+
+    #[test]
+    fn other_places_do_not_fire() {
+        let mut app = TodoApp::new();
+        app.set_workplace(3);
+        assert!(app.on_intent(&intent(actions::PLACE_ARRIVAL, 5, 9)).is_empty());
+    }
+
+    #[test]
+    fn unconfigured_app_is_silent() {
+        let mut app = TodoApp::new();
+        assert!(app.on_intent(&intent(actions::PLACE_ARRIVAL, 3, 9)).is_empty());
+    }
+
+    #[test]
+    fn requirement_matches_use_case() {
+        let r = TodoApp::requirement();
+        assert_eq!(r.granularity, Granularity::Building);
+        assert!(r.active_at_hour(9) && r.active_at_hour(17));
+        assert!(!r.active_at_hour(8) && !r.active_at_hour(18));
+    }
+
+    #[test]
+    fn multiple_notes_all_fire() {
+        let mut app = TodoApp::new();
+        app.set_workplace(1);
+        app.add_arrival_note("check email");
+        let fired = app.on_intent(&intent(actions::PLACE_ARRIVAL, 1, 10));
+        assert_eq!(fired.len(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Criterion micro-benchmarks for the simulation substrates (CRIT):
+//! world construction, radio propagation, spatial indexing, and
+//! trajectory evaluation — the per-tick costs behind every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmware_geo::{grid::SpatialGrid, GeoPoint, Meters};
+use pmware_mobility::Population;
+use pmware_world::builder::{RegionProfile, WorldBuilder};
+use pmware_world::radio::{RadioConfig, RadioEnvironment};
+use pmware_world::SimTime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_world_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world");
+    group.sample_size(20);
+    group.bench_function("build-urban-india", |b| {
+        b.iter(|| {
+            WorldBuilder::new(RegionProfile::urban_india())
+                .seed(black_box(5))
+                .build()
+        });
+    });
+    group.bench_function("build-test-tiny", |b| {
+        b.iter(|| {
+            WorldBuilder::new(RegionProfile::test_tiny())
+                .seed(black_box(5))
+                .build()
+        });
+    });
+    group.finish();
+}
+
+fn bench_radio(c: &mut Criterion) {
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(6).build();
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let pos = world.places()[0].position();
+    let mut group = c.benchmark_group("radio");
+    group.bench_function("observe-gsm", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut serving = None;
+        b.iter(|| {
+            let out = env.observe_gsm(black_box(pos), SimTime::EPOCH, serving, &mut rng);
+            if let Some((_, s)) = out {
+                serving = Some(s);
+            }
+            out
+        });
+    });
+    group.bench_function("scan-wifi", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| env.scan_wifi(black_box(pos), SimTime::EPOCH, &mut rng));
+    });
+    group.bench_function("fix-gps", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| env.fix_gps(black_box(pos), SimTime::EPOCH, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_spatial_grid(c: &mut Criterion) {
+    let center = GeoPoint::new(12.97, 77.59).unwrap();
+    let mut group = c.benchmark_group("spatial-grid");
+    for n in [100usize, 1_000, 10_000] {
+        let mut grid = SpatialGrid::new(Meters::new(250.0)).unwrap();
+        for i in 0..n {
+            let bearing = (i * 37 % 360) as f64;
+            let dist = (i * 13 % 3_000) as f64;
+            grid.insert(center.destination(bearing, Meters::new(dist)), i);
+        }
+        group.bench_with_input(BenchmarkId::new("within-500m", n), &grid, |b, g| {
+            b.iter(|| g.within(black_box(center), Meters::new(500.0)).len());
+        });
+        group.bench_with_input(BenchmarkId::new("nearest", n), &grid, |b, g| {
+            b.iter(|| g.nearest(black_box(center), Meters::new(2_000.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_itinerary(c: &mut Criterion) {
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(10).build();
+    let pop = Population::generate(&world, 1, 11);
+    let agent = pop.agents()[0].clone();
+    let mut group = c.benchmark_group("mobility");
+    group.sample_size(30);
+    group.bench_function("build-itinerary-14d", |b| {
+        b.iter(|| pop.itinerary(&world, agent.id(), black_box(14)));
+    });
+    let it = pop.itinerary(&world, agent.id(), 14);
+    group.bench_function("position-at", |b| {
+        let mut minute = 0u64;
+        b.iter(|| {
+            minute = (minute + 61) % (14 * 24 * 60);
+            it.position_at(SimTime::from_seconds(black_box(minute * 60)))
+        });
+    });
+    group.bench_function("visits", |b| {
+        b.iter(|| it.visits().len());
+    });
+    group.finish();
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let a = GeoPoint::new(12.9716, 77.5946).unwrap();
+    let b2 = GeoPoint::new(12.9816, 77.6046).unwrap();
+    let mut group = c.benchmark_group("geo");
+    group.bench_function("haversine", |b| {
+        b.iter(|| black_box(a).haversine_distance(black_box(b2)));
+    });
+    group.bench_function("equirectangular", |b| {
+        b.iter(|| black_box(a).equirectangular_distance(black_box(b2)));
+    });
+    group.bench_function("destination", |b| {
+        b.iter(|| black_box(a).destination(black_box(47.0), Meters::new(1_234.0)));
+    });
+    group.finish();
+}
+
+
+/// Keep the full suite's wall-clock reasonable: per-benchmark sampling is
+/// trimmed (the workloads here are deterministic simulations, not noisy
+/// syscalls, so 20 samples resolve them fine).
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_world_build,
+    bench_radio,
+    bench_spatial_grid,
+    bench_itinerary,
+    bench_geo
+
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Experiment harnesses for the PMWare reproduction.
+//!
+//! Each module regenerates one of the paper's quantitative artefacts (see
+//! `DESIGN.md` §4 for the experiment index); the binaries under `src/bin`
+//! print the tables, and the criterion benches under `benches/` measure
+//! micro-performance.
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig1_power` | Figure 1 — battery duration per interface × period |
+//! | `fig2_characterization` | Figure 2 — app taxonomy by granularity |
+//! | `deployment_study` | §4 — 16 participants × 2 weeks, all statistics |
+//! | `wifi_coverage` | §1 item 4 — WiFi-covered fraction of a day by region |
+//! | `ablation_triggered` | §2.2.2 — triggered sensing vs alternatives |
+//! | `ablation_redundancy` | §1 item 3 — shared PMS vs isolated pipelines |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod sensing_modes;
+pub mod wifi_coverage;

@@ -1,0 +1,359 @@
+//! `pmware` — command-line front end for the PMWare reproduction.
+//!
+//! ```text
+//! pmware world    [--region india|europe] [--seed N]
+//! pmware simulate [--region ...] [--seed N] [--days N] [--granularity area|building|room]
+//! pmware study    [--participants N] [--days N] [--seed N]
+//! pmware query    [--seed N] [--days N]
+//! pmware help
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use args::Args;
+use parking_lot::Mutex;
+use pmware_apps::{AdInventory, PlaceAdsApp, UserTasteModel};
+use pmware_bench::deployment::{run_study, StudyConfig};
+use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_core::intents::IntentFilter;
+use pmware_core::pms::{PmsConfig, PmwareMobileService};
+use pmware_core::requirements::{AppRequirement, Granularity};
+use pmware_device::{Device, EnergyModel};
+use pmware_geo::Meters;
+use pmware_mobility::Population;
+use pmware_world::builder::{RegionProfile, WorldBuilder};
+use pmware_world::radio::{RadioConfig, RadioEnvironment};
+use pmware_world::{SimTime, World};
+
+const HELP: &str = "\
+pmware — PMWare middleware reproduction (ACM Middleware 2014)
+
+USAGE:
+    pmware <command> [flags]
+
+COMMANDS:
+    world       Build a synthetic city and describe it
+    simulate    Run one participant's phone through PMWare
+    study       Run the §4 deployment study
+    query       Run the §2.3.2 analytics queries on a simulated history
+    help        Show this message
+
+COMMON FLAGS:
+    --region india|europe   World profile        (default india)
+    --seed N                Master seed          (default 2014)
+    --days N                Simulated days       (default 7; study: 14)
+    --participants N        Study cohort size    (default 16)
+    --granularity g         area|building|room   (default building)
+";
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let command = args.positional(0).unwrap_or("help").to_owned();
+    let result = match command.as_str() {
+        "world" => cmd_world(&args),
+        "simulate" => cmd_simulate(&args),
+        "study" => cmd_study(&args),
+        "query" => cmd_query(&args),
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `pmware help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn region(args: &Args) -> Result<RegionProfile, String> {
+    match args.flag("region").unwrap_or("india") {
+        "india" => Ok(RegionProfile::urban_india()),
+        "europe" => Ok(RegionProfile::urban_europe()),
+        other => Err(format!("unknown region {other:?} (india|europe)")),
+    }
+}
+
+fn granularity(args: &Args) -> Result<Granularity, String> {
+    match args.flag("granularity").unwrap_or("building") {
+        "area" => Ok(Granularity::Area),
+        "building" => Ok(Granularity::Building),
+        "room" => Ok(Granularity::Room),
+        other => Err(format!("unknown granularity {other:?} (area|building|room)")),
+    }
+}
+
+fn build_world(args: &Args) -> Result<(World, u64), String> {
+    let seed = args.get("seed", 2014u64).map_err(|e| e.to_string())?;
+    let world = WorldBuilder::new(region(args)?).seed(seed).build();
+    Ok((world, seed))
+}
+
+fn cmd_world(args: &Args) -> Result<(), String> {
+    let (world, seed) = build_world(args)?;
+    println!("world seed {seed}");
+    println!("  extent       : {:.1} x {:.1} km",
+        world.bounds().width().to_kilometers().value(),
+        world.bounds().height().to_kilometers().value());
+    println!("  cell towers  : {}", world.towers().len());
+    println!("  access points: {}", world.access_points().len());
+    println!("  places       : {}", world.places().len());
+    println!("  road nodes   : {}", world.roads().node_count());
+
+    // Per-category place counts.
+    let mut counts = std::collections::BTreeMap::new();
+    for place in world.places() {
+        *counts.entry(place.category().label()).or_insert(0u32) += 1;
+    }
+    println!("  by category  :");
+    for (label, n) in counts {
+        println!("    {label:<14} {n}");
+    }
+
+    // WiFi coverage of places.
+    let covered = world
+        .places()
+        .iter()
+        .filter(|p| {
+            let mut any = false;
+            world.for_each_ap_near(p.position(), p.radius(), |_, _| any = true);
+            any
+        })
+        .count();
+    println!(
+        "  wifi at places: {covered}/{} ({:.0}%)",
+        world.places().len(),
+        covered as f64 / world.places().len() as f64 * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let (world, seed) = build_world(args)?;
+    let days = args.get("days", 7u64).map_err(|e| e.to_string())?;
+    let granularity = granularity(args)?;
+    let population = Population::generate(&world, 1, seed + 1);
+    let agent = &population.agents()[0];
+    let itinerary = population.itinerary(&world, agent.id(), days);
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 2);
+    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        CellDatabase::from_world(&world),
+        seed + 3,
+    )));
+    let mut pms = PmwareMobileService::new(
+        device,
+        cloud,
+        PmsConfig::for_participant(0),
+        SimTime::EPOCH,
+    )
+    .map_err(|e| e.to_string())?;
+    let _rx = pms.register_app(
+        "cli",
+        AppRequirement::places(granularity),
+        IntentFilter::all(),
+    );
+    pms.run(SimTime::from_day_time(days, 0, 0, 0))
+        .map_err(|e| e.to_string())?;
+
+    println!("simulated {days} days at {} granularity", granularity.label());
+    println!("places discovered: {}", pms.places().len());
+    for place in pms.places() {
+        println!(
+            "  {:<14} {:>2} cells {:>2} APs {:>3} visits{}{}",
+            place.id.to_string(),
+            place.cells.len(),
+            place.wifi_aps.len(),
+            place.visit_count,
+            place
+                .position
+                .map(|p| format!("  est {p}"))
+                .unwrap_or_default(),
+            place
+                .label
+                .as_deref()
+                .map(|l| format!("  [{l}]"))
+                .unwrap_or_default(),
+        );
+    }
+    println!("routes: {}", pms.routes().routes().len());
+    let c = pms.counters();
+    println!(
+        "events: {} arrivals / {} departures / {} routes / {} offloads",
+        c.arrivals, c.departures, c.routes, c.gca_offloads
+    );
+    let report = pms.finish(SimTime::from_day_time(days, 0, 0, 0));
+    println!("energy: {:.1} kJ", report.energy_joules / 1_000.0);
+    for (interface, joules) in &report.energy_by_interface {
+        println!("  {:>14}: {joules:>9.1} J", interface.label());
+    }
+    Ok(())
+}
+
+fn cmd_study(args: &Args) -> Result<(), String> {
+    let config = StudyConfig {
+        participants: args.get("participants", 16usize).map_err(|e| e.to_string())?,
+        days: args.get("days", 14u64).map_err(|e| e.to_string())?,
+        seed: args.get("seed", 2014u64).map_err(|e| e.to_string())?,
+        region: region(args)?,
+    };
+    if !args.has("quiet") {
+        println!(
+            "running {} participants x {} days (seed {})...",
+            config.participants, config.days, config.seed
+        );
+    }
+    let results = run_study(&config);
+    println!("places discovered : {:>4}  (paper: 123)", results.total_discovered());
+    println!("places tagged     : {:>4}  (paper: 85)", results.total_tagged());
+    println!(
+        "tagged fraction   : {:>4.1}% (paper: ~70%)",
+        results.tagged_fraction() * 100.0
+    );
+    println!(
+        "correct / merged / divided: {:.1}% / {:.1}% / {:.1}%  (paper: 79.0 / 14.5 / 6.5)",
+        results.correct_fraction() * 100.0,
+        results.merged_fraction() * 100.0,
+        results.divided_fraction() * 100.0
+    );
+    println!(
+        "ad likes : dislikes = {} : {} ({:.1}%; paper 17:3 = 85%)",
+        results.likes(),
+        results.dislikes(),
+        results.like_fraction() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let (world, seed) = build_world(args)?;
+    let days = args.get("days", 14u64).map_err(|e| e.to_string())?;
+    let population = Population::generate(&world, 1, seed + 1);
+    let agent = &population.agents()[0];
+    let itinerary = population.itinerary(&world, agent.id(), days);
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 2);
+    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        CellDatabase::from_world(&world),
+        seed + 3,
+    )));
+    let mut pms = PmwareMobileService::new(
+        device,
+        cloud,
+        PmsConfig::for_participant(0),
+        SimTime::EPOCH,
+    )
+    .map_err(|e| e.to_string())?;
+    // PlaceADs doubles as a demand source so the history is rich.
+    let _rx = pms.register_app("placeads", PlaceAdsApp::requirement(), PlaceAdsApp::filter());
+    let _inventory = AdInventory::from_world(&world);
+    let _taste = UserTasteModel::from_agent(agent, seed + 4);
+    pms.run(SimTime::from_day_time(days, 0, 0, 0))
+        .map_err(|e| e.to_string())?;
+    let end = SimTime::from_day_time(days, 0, 0, 0);
+
+    let home = pms
+        .places()
+        .iter()
+        .max_by_key(|p| {
+            p.gca_visits
+                .iter()
+                .filter(|v| v.arrival.hour_of_day() >= 17 || v.arrival.hour_of_day() <= 5)
+                .count()
+        })
+        .ok_or("no places discovered")?
+        .id;
+    println!("analytics over {days} simulated days (home = {home}):");
+
+    let resp = pms
+        .cloud_client_mut()
+        .call(
+            "/api/v1/analytics/arrival",
+            serde_json::json!({"place": home.0, "window": [15, 24]}),
+            end,
+        )
+        .map_err(|e| e.to_string())?;
+    let s = resp.body["second_of_day"].as_u64().unwrap_or(0);
+    println!("  evening home arrival : {:02}:{:02}", s / 3600, (s % 3600) / 60);
+
+    let resp = pms
+        .cloud_client_mut()
+        .call(
+            "/api/v1/analytics/next_visit",
+            serde_json::json!({"place": home.0, "now": end}),
+            end,
+        )
+        .map_err(|e| e.to_string())?;
+    let next: SimTime =
+        serde_json::from_value(resp.body["time"].clone()).map_err(|e| e.to_string())?;
+    println!("  next home visit      : {next}");
+
+    let resp = pms
+        .cloud_client_mut()
+        .call(
+            "/api/v1/analytics/frequency",
+            serde_json::json!({"place": home.0}),
+            end,
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  home visit frequency : {:.1}/week",
+        resp.body["visits_per_week"].as_f64().unwrap_or(0.0)
+    );
+
+    let resp = pms
+        .cloud_client_mut()
+        .call("/api/v1/analytics/activity", serde_json::json!({}), end)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "  daily movement       : {:.0} min/day",
+        resp.body["mean_daily_moving_minutes"].as_f64().unwrap_or(0.0)
+    );
+    let _ = Meters::ZERO;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_mapping() {
+        assert_eq!(
+            region(&Args::parse(["--region", "india"])).unwrap().name,
+            "urban-india"
+        );
+        assert_eq!(
+            region(&Args::parse(["--region", "europe"])).unwrap().name,
+            "urban-europe"
+        );
+        assert_eq!(region(&Args::parse(Vec::<String>::new())).unwrap().name, "urban-india");
+        assert!(region(&Args::parse(["--region", "mars"])).is_err());
+    }
+
+    #[test]
+    fn granularity_mapping() {
+        assert_eq!(
+            granularity(&Args::parse(["--granularity", "room"])).unwrap(),
+            Granularity::Room
+        );
+        assert_eq!(
+            granularity(&Args::parse(Vec::<String>::new())).unwrap(),
+            Granularity::Building
+        );
+        assert!(granularity(&Args::parse(["--granularity", "galaxy"])).is_err());
+    }
+
+    #[test]
+    fn world_builds_from_flags() {
+        let (world, seed) = build_world(&Args::parse(["--seed", "5"])).unwrap();
+        assert_eq!(seed, 5);
+        assert!(!world.places().is_empty());
+    }
+}

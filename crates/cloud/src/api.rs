@@ -1,0 +1,179 @@
+//! The REST-shaped transport: requests, responses, status codes.
+//!
+//! The paper's cloud instance "exposes REST based APIs which are used by
+//! PMS to invoke cloud-hosted modules" (§2.3.3). This module models that
+//! boundary faithfully — method + path + bearer token + JSON body — while
+//! staying in-process. Bodies are real JSON (`serde_json::Value`) and are
+//! additionally renderable to wire bytes, so the marshalling cost and
+//! shape match what the Django service saw.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// HTTP-style method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Read.
+    Get,
+    /// Create/submit.
+    Post,
+}
+
+/// A request to the cloud instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Path, e.g. `/api/v1/places/discover`.
+    pub path: String,
+    /// Bearer token, when authenticated.
+    pub token: Option<String>,
+    /// JSON body (`Value::Null` for body-less requests).
+    pub body: Value,
+}
+
+impl Request {
+    /// A GET request.
+    pub fn get(path: impl Into<String>) -> Request {
+        Request { method: Method::Get, path: path.into(), token: None, body: Value::Null }
+    }
+
+    /// A POST request with a JSON body.
+    pub fn post(path: impl Into<String>, body: Value) -> Request {
+        Request { method: Method::Post, path: path.into(), token: None, body }
+    }
+
+    /// Attaches a bearer token.
+    pub fn with_token(mut self, token: impl Into<String>) -> Request {
+        self.token = Some(token.into());
+        self
+    }
+
+    /// Serialises the request to wire bytes (JSON envelope).
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("request is serializable"))
+    }
+
+    /// Parses a request from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` for malformed payloads.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Request, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+/// A response from the cloud instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// HTTP-style status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: Value,
+}
+
+impl Response {
+    /// 200 with a body.
+    pub fn ok(body: Value) -> Response {
+        Response { status: 200, body }
+    }
+
+    /// 400 with an error message.
+    pub fn bad_request(message: impl Into<String>) -> Response {
+        Response::error(400, message)
+    }
+
+    /// 401 with an error message.
+    pub fn unauthorized(message: impl Into<String>) -> Response {
+        Response::error(401, message)
+    }
+
+    /// 404 with an error message.
+    pub fn not_found(message: impl Into<String>) -> Response {
+        Response::error(404, message)
+    }
+
+    fn error(status: u16, message: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: serde_json::json!({ "error": message.into() }),
+        }
+    }
+
+    /// Returns `true` for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Deserialises the body into a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` when the body does not match `T`.
+    pub fn parse<T: serde::de::DeserializeOwned>(&self) -> Result<T, serde_json::Error> {
+        serde_json::from_value(self.body.clone())
+    }
+
+    /// Serialises the response to wire bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from(serde_json::to_vec(self).expect("response is serializable"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn request_builders() {
+        let r = Request::get("/api/v1/places").with_token("tok-1");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.token.as_deref(), Some("tok-1"));
+        assert_eq!(r.body, Value::Null);
+
+        let r = Request::post("/api/v1/registration", json!({"imei": "x"}));
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.body["imei"], "x");
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let r = Request::post("/api/v1/places/sync", json!({"places": []}))
+            .with_token("abc");
+        let bytes = r.to_bytes();
+        let back = Request::from_bytes(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_bytes_error() {
+        assert!(Request::from_bytes(b"{not json").is_err());
+    }
+
+    #[test]
+    fn response_helpers() {
+        assert!(Response::ok(json!({"x": 1})).is_success());
+        let e = Response::unauthorized("token expired");
+        assert_eq!(e.status, 401);
+        assert!(!e.is_success());
+        assert_eq!(e.body["error"], "token expired");
+        assert_eq!(Response::bad_request("no").status, 400);
+        assert_eq!(Response::not_found("no").status, 404);
+    }
+
+    #[test]
+    fn typed_parse() {
+        #[derive(Deserialize)]
+        struct Payload {
+            count: u32,
+        }
+        let r = Response::ok(json!({"count": 5}));
+        let p: Payload = r.parse().unwrap();
+        assert_eq!(p.count, 5);
+        let bad: Result<Payload, _> = Response::ok(json!({"nope": 1})).parse();
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Cell-ID geolocation (§2.3.3, "Misc" endpoint family).
+//!
+//! *"PMWare cloud instance also hosts miscellaneous services such as
+//! geo-location API which is used to convert Cell IDs into their
+//! approximate geo-coordinates using Open Cell ID and Google Maps
+//! geo-location APIs."* We have neither service, so the stand-in is a
+//! cell database extracted from the simulated world's tower layout — the
+//! same crowd-sourced mapping OpenCellID approximates for the real world.
+
+use std::collections::HashMap;
+
+use pmware_geo::GeoPoint;
+use pmware_world::{CellGlobalId, World};
+use serde::{Deserialize, Serialize};
+
+/// A database mapping cell identities to approximate coordinates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CellDatabase {
+    cells: HashMap<CellGlobalId, GeoPoint>,
+}
+
+impl CellDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        CellDatabase::default()
+    }
+
+    /// Builds the database from a world's tower layout (the OpenCellID
+    /// stand-in: complete and accurate because the "crowd" is a simulator).
+    pub fn from_world(world: &World) -> Self {
+        let cells = world
+            .towers()
+            .iter()
+            .map(|t| (t.cell(), t.position()))
+            .collect();
+        CellDatabase { cells }
+    }
+
+    /// Number of known cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if no cells are known.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Adds or replaces one cell entry.
+    pub fn insert(&mut self, cell: CellGlobalId, position: GeoPoint) {
+        self.cells.insert(cell, position);
+    }
+
+    /// Approximate coordinates of one cell.
+    pub fn locate(&self, cell: CellGlobalId) -> Option<GeoPoint> {
+        self.cells.get(&cell).copied()
+    }
+
+    /// Approximate centroid of a cell-set place signature: the mean of the
+    /// member cells' tower positions. Returns `None` when no cell is known.
+    pub fn locate_signature<'a, I>(&self, cells: I) -> Option<GeoPoint>
+    where
+        I: IntoIterator<Item = &'a CellGlobalId>,
+    {
+        let known: Vec<GeoPoint> = cells
+            .into_iter()
+            .filter_map(|c| self.locate(*c))
+            .collect();
+        GeoPoint::centroid(&known).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_world::builder::{RegionProfile, WorldBuilder};
+    use pmware_world::{CellId, Lac, Plmn};
+
+    #[test]
+    fn from_world_knows_every_tower() {
+        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(1).build();
+        let db = CellDatabase::from_world(&world);
+        assert_eq!(db.len(), world.towers().len());
+        for t in world.towers() {
+            assert_eq!(db.locate(t.cell()), Some(t.position()));
+        }
+    }
+
+    #[test]
+    fn unknown_cell_is_none() {
+        let db = CellDatabase::new();
+        assert!(db.is_empty());
+        let cell = CellGlobalId {
+            plmn: Plmn { mcc: 1, mnc: 1 },
+            lac: Lac(1),
+            cell: CellId(1),
+        };
+        assert_eq!(db.locate(cell), None);
+    }
+
+    #[test]
+    fn signature_centroid_averages_known_cells() {
+        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(2).build();
+        let db = CellDatabase::from_world(&world);
+        let towers = &world.towers()[..3];
+        let cells: Vec<CellGlobalId> = towers.iter().map(|t| t.cell()).collect();
+        let centroid = db.locate_signature(cells.iter()).unwrap();
+        let expected = GeoPoint::centroid(
+            &towers.iter().map(|t| t.position()).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(centroid, expected);
+    }
+
+    #[test]
+    fn signature_of_unknown_cells_is_none() {
+        let db = CellDatabase::new();
+        let cell = CellGlobalId {
+            plmn: Plmn { mcc: 1, mnc: 1 },
+            lac: Lac(1),
+            cell: CellId(1),
+        };
+        assert!(db.locate_signature([cell].iter()).is_none());
+    }
+}

@@ -1,0 +1,839 @@
+//! The cloud instance: endpoint routing and per-user storage.
+
+use std::collections::HashMap;
+
+use pmware_algorithms::gca::{self, GcaConfig};
+use pmware_algorithms::route::{CanonicalRoute, RouteStore};
+use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
+use pmware_world::{CellGlobalId, CellId, GsmObservation, Lac, Plmn, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Deserialize;
+use serde_json::json;
+#[cfg(test)]
+use serde_json::Value;
+
+use crate::analytics::ProfileHistory;
+use crate::api::{Method, Request, Response};
+use crate::auth::{DeviceIdentity, TokenStore, UserId};
+use crate::geolocate::CellDatabase;
+use crate::predict::{self, MarkovPredictor};
+use crate::profile::{ContactEntry, MobilityProfile};
+
+/// Per-user server-side state.
+#[derive(Debug)]
+struct UserStore {
+    places: Vec<DiscoveredPlace>,
+    routes: RouteStore,
+    history: ProfileHistory,
+    contacts: Vec<ContactEntry>,
+}
+
+impl Default for UserStore {
+    fn default() -> Self {
+        UserStore {
+            places: Vec::new(),
+            routes: RouteStore::new(0.5),
+            history: ProfileHistory::new(),
+            contacts: Vec::new(),
+        }
+    }
+}
+
+/// The PMWare cloud instance (PCI).
+///
+/// # Examples
+///
+/// ```
+/// use pmware_cloud::{CellDatabase, CloudInstance, Request};
+/// use pmware_world::SimTime;
+/// use serde_json::json;
+///
+/// let mut cloud = CloudInstance::new(CellDatabase::new(), 1);
+/// let req = Request::post(
+///     "/api/v1/registration",
+///     json!({"imei": "350123", "email": "a@example.com"}),
+/// );
+/// let resp = cloud.handle(&req, SimTime::EPOCH);
+/// assert!(resp.is_success());
+/// assert!(resp.body["token"].is_string());
+/// ```
+#[derive(Debug)]
+pub struct CloudInstance {
+    tokens: TokenStore,
+    users: HashMap<UserId, UserStore>,
+    cells: CellDatabase,
+    gca_config: GcaConfig,
+    rng: StdRng,
+    outage: bool,
+}
+
+#[derive(Deserialize)]
+struct RegistrationBody {
+    imei: String,
+    email: String,
+}
+
+#[derive(Deserialize)]
+struct DiscoverBody {
+    observations: Vec<GsmObservation>,
+}
+
+#[derive(Deserialize)]
+struct SyncPlacesBody {
+    places: Vec<DiscoveredPlace>,
+}
+
+#[derive(Deserialize)]
+struct LabelBody {
+    place: DiscoveredPlaceId,
+    label: String,
+}
+
+#[derive(Deserialize)]
+struct SyncRoutesBody {
+    routes: Vec<CanonicalRoute>,
+}
+
+#[derive(Deserialize)]
+struct RouteQueryBody {
+    from: DiscoveredPlaceId,
+    to: DiscoveredPlaceId,
+}
+
+#[derive(Deserialize)]
+struct SyncProfileBody {
+    profile: MobilityProfile,
+}
+
+#[derive(Deserialize)]
+struct SyncContactsBody {
+    contacts: Vec<ContactEntry>,
+}
+
+#[derive(Deserialize)]
+struct SocialQueryBody {
+    place: Option<DiscoveredPlaceId>,
+}
+
+#[derive(Deserialize)]
+struct GeolocateBody {
+    mcc: u16,
+    mnc: u16,
+    lac: u16,
+    cid: u32,
+}
+
+#[derive(Deserialize)]
+struct GeolocateSignatureBody {
+    cells: Vec<CellGlobalId>,
+}
+
+#[derive(Deserialize)]
+struct ArrivalBody {
+    place: DiscoveredPlaceId,
+    window: Option<(u64, u64)>,
+}
+
+#[derive(Deserialize)]
+struct NextVisitBody {
+    place: DiscoveredPlaceId,
+    now: SimTime,
+}
+
+#[derive(Deserialize)]
+struct PlaceOnlyBody {
+    place: DiscoveredPlaceId,
+}
+
+impl CloudInstance {
+    /// Creates an instance with a 24-hour token TTL.
+    pub fn new(cells: CellDatabase, seed: u64) -> Self {
+        CloudInstance {
+            tokens: TokenStore::new(SimDuration::from_hours(24)),
+            users: HashMap::new(),
+            cells,
+            gca_config: GcaConfig::default(),
+            rng: StdRng::seed_from_u64(seed),
+            outage: false,
+        }
+    }
+
+    /// Fault injection for tests and resilience experiments: while an
+    /// outage is active every request fails with 503, as if the Azure
+    /// instance were unreachable. The phone must keep working (§2.3.1's
+    /// offload has a local fallback).
+    pub fn set_outage(&mut self, outage: bool) {
+        self.outage = outage;
+    }
+
+    /// Whether an outage is currently injected.
+    pub fn outage(&self) -> bool {
+        self.outage
+    }
+
+    /// Overrides the GCA configuration used by the discovery offload.
+    pub fn set_gca_config(&mut self, config: GcaConfig) {
+        self.gca_config = config;
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.tokens.user_count()
+    }
+
+    /// Handles one request at simulated instant `now` — the single entry
+    /// point, exactly like an HTTP dispatcher.
+    pub fn handle(&mut self, request: &Request, now: SimTime) -> Response {
+        if self.outage {
+            return Response { status: 503, body: json!({"error": "service unavailable"}) };
+        }
+        let path = request.path.as_str();
+        // Unauthenticated endpoints.
+        if let (Method::Post, "/api/v1/registration") = (request.method, path) {
+            return self.register(request, now);
+        }
+
+        // Everything else requires a valid token.
+        let Some(token) = request.token.as_deref() else {
+            return Response::unauthorized("missing bearer token");
+        };
+        let Some(user) = self.tokens.validate(token, now) else {
+            return Response::unauthorized("invalid or expired token");
+        };
+
+        match (request.method, path) {
+            (Method::Post, "/api/v1/token/refresh") => {
+                match self.tokens.refresh(token, now, &mut self.rng) {
+                    Some(t) => Response::ok(json!({
+                        "token": t.token,
+                        "expires_at": t.expires_at,
+                    })),
+                    None => Response::unauthorized("token not refreshable"),
+                }
+            }
+            (Method::Post, "/api/v1/places/discover") => {
+                self.with_body::<DiscoverBody>(request, |cloud, body| {
+                    let out = gca::discover_places(&body.observations, &cloud.gca_config);
+                    let store = cloud.users.entry(user).or_default();
+                    store.places = out.places.clone();
+                    Response::ok(json!({ "places": out.places }))
+                })
+            }
+            (Method::Post, "/api/v1/places/sync") => {
+                self.with_body::<SyncPlacesBody>(request, |cloud, body| {
+                    let store = cloud.users.entry(user).or_default();
+                    store.places = body.places;
+                    Response::ok(json!({ "stored": store.places.len() }))
+                })
+            }
+            (Method::Get, "/api/v1/places") => {
+                let places = self
+                    .users
+                    .get(&user)
+                    .map(|s| s.places.clone())
+                    .unwrap_or_default();
+                Response::ok(json!({ "places": places }))
+            }
+            (Method::Post, "/api/v1/places/label") => {
+                self.with_body::<LabelBody>(request, |cloud, body| {
+                    let store = cloud.users.entry(user).or_default();
+                    match store.places.iter_mut().find(|p| p.id == body.place) {
+                        Some(place) => {
+                            place.label = Some(body.label);
+                            Response::ok(json!({ "labelled": place.id }))
+                        }
+                        None => Response::not_found("unknown place"),
+                    }
+                })
+            }
+            (Method::Post, "/api/v1/routes/sync") => {
+                self.with_body::<SyncRoutesBody>(request, |cloud, body| {
+                    let store = cloud.users.entry(user).or_default();
+                    let mut fresh = RouteStore::new(0.5);
+                    for route in body.routes {
+                        for start in &route.traversals {
+                            let _ = fresh.record(
+                                pmware_algorithms::route::RouteObservation {
+                                    from: route.from,
+                                    to: route.to,
+                                    start: *start,
+                                    end: *start,
+                                    geometry: route.geometry.clone(),
+                                },
+                            );
+                        }
+                    }
+                    store.routes = fresh;
+                    Response::ok(json!({ "stored": store.routes.routes().len() }))
+                })
+            }
+            (Method::Get, "/api/v1/routes") => {
+                let routes = self
+                    .users
+                    .get(&user)
+                    .map(|s| s.routes.routes().to_vec())
+                    .unwrap_or_default();
+                Response::ok(json!({ "routes": routes }))
+            }
+            (Method::Post, "/api/v1/routes/query") => {
+                self.with_body::<RouteQueryBody>(request, |cloud, body| {
+                    let routes: Vec<CanonicalRoute> = cloud
+                        .users
+                        .get(&user)
+                        .map(|s| {
+                            s.routes
+                                .between(body.from, body.to)
+                                .into_iter()
+                                .cloned()
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    Response::ok(json!({ "routes": routes }))
+                })
+            }
+            (Method::Post, "/api/v1/profiles/sync") => {
+                self.with_body::<SyncProfileBody>(request, |cloud, body| {
+                    let store = cloud.users.entry(user).or_default();
+                    let day = body.profile.day;
+                    store.history.upsert(body.profile);
+                    Response::ok(json!({ "synced_day": day }))
+                })
+            }
+            (Method::Get, p) if p.starts_with("/api/v1/profiles/") => {
+                let day: Result<u64, _> = p["/api/v1/profiles/".len()..].parse();
+                match day {
+                    Err(_) => Response::bad_request("day must be an integer"),
+                    Ok(day) => match self.users.get(&user).and_then(|s| s.history.day(day))
+                    {
+                        Some(profile) => Response::ok(json!({ "profile": profile })),
+                        None => Response::not_found("no profile for that day"),
+                    },
+                }
+            }
+            (Method::Post, "/api/v1/social/sync") => {
+                self.with_body::<SyncContactsBody>(request, |cloud, body| {
+                    let store = cloud.users.entry(user).or_default();
+                    store.contacts.extend(body.contacts);
+                    Response::ok(json!({ "stored": store.contacts.len() }))
+                })
+            }
+            (Method::Post, "/api/v1/social/query") => {
+                self.with_body::<SocialQueryBody>(request, |cloud, body| {
+                    let contacts: Vec<ContactEntry> = cloud
+                        .users
+                        .get(&user)
+                        .map(|s| {
+                            s.contacts
+                                .iter()
+                                .filter(|c| match body.place {
+                                    Some(p) => c.place == Some(p),
+                                    None => true,
+                                })
+                                .cloned()
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    Response::ok(json!({ "contacts": contacts }))
+                })
+            }
+            (Method::Post, "/api/v1/misc/geolocate") => {
+                self.with_body::<GeolocateBody>(request, |cloud, body| {
+                    let cell = CellGlobalId {
+                        plmn: Plmn { mcc: body.mcc, mnc: body.mnc },
+                        lac: Lac(body.lac),
+                        cell: CellId(body.cid),
+                    };
+                    match cloud.cells.locate(cell) {
+                        Some(p) => Response::ok(json!({
+                            "latitude": p.latitude(),
+                            "longitude": p.longitude(),
+                        })),
+                        None => Response::not_found("unknown cell"),
+                    }
+                })
+            }
+            (Method::Post, "/api/v1/misc/geolocate_signature") => {
+                self.with_body::<GeolocateSignatureBody>(request, |cloud, body| {
+                    match cloud.cells.locate_signature(body.cells.iter()) {
+                        Some(p) => Response::ok(json!({
+                            "latitude": p.latitude(),
+                            "longitude": p.longitude(),
+                        })),
+                        None => Response::not_found("no known cells in signature"),
+                    }
+                })
+            }
+            (Method::Post, "/api/v1/analytics/arrival") => {
+                self.with_body::<ArrivalBody>(request, |cloud, body| {
+                    let history = cloud.history_of(user);
+                    let window = body.window.unwrap_or((0, 24));
+                    match predict::predict_arrival_in_window(history, body.place, window) {
+                        Some(s) => Response::ok(json!({ "second_of_day": s })),
+                        None => Response::not_found("no arrivals in window"),
+                    }
+                })
+            }
+            (Method::Post, "/api/v1/analytics/next_visit") => {
+                self.with_body::<NextVisitBody>(request, |cloud, body| {
+                    let history = cloud.history_of(user);
+                    match predict::predict_next_visit(history, body.place, body.now) {
+                        Some(t) => Response::ok(json!({ "time": t })),
+                        None => Response::not_found("no visit pattern for place"),
+                    }
+                })
+            }
+            (Method::Post, "/api/v1/analytics/frequency") => {
+                self.with_body::<PlaceOnlyBody>(request, |cloud, body| {
+                    let history = cloud.history_of(user);
+                    Response::ok(json!({
+                        "visits_per_week": history.visits_per_week(body.place),
+                        "visit_count": history.visit_count(body.place),
+                    }))
+                })
+            }
+            (Method::Post, "/api/v1/analytics/activity") => {
+                let history = self.history_of(user);
+                Response::ok(json!({
+                    "mean_daily_moving_minutes": history.mean_daily_moving_minutes(),
+                }))
+            }
+            (Method::Post, "/api/v1/analytics/next_place") => {
+                self.with_body::<PlaceOnlyBody>(request, |cloud, body| {
+                    let history = cloud.history_of(user);
+                    let model = MarkovPredictor::train(history);
+                    Response::ok(json!({
+                        "predictions": model.predict_next(body.place),
+                    }))
+                })
+            }
+            _ => Response::not_found(format!("no route for {path}")),
+        }
+    }
+
+    fn register(&mut self, request: &Request, now: SimTime) -> Response {
+        let body: RegistrationBody = match serde_json::from_value(request.body.clone()) {
+            Ok(b) => b,
+            Err(e) => return Response::bad_request(format!("invalid body: {e}")),
+        };
+        if body.imei.is_empty() || body.email.is_empty() {
+            return Response::bad_request("imei and email are required");
+        }
+        let identity = DeviceIdentity { imei: body.imei, email: body.email };
+        let (user, token) = self.tokens.register(identity, now, &mut self.rng);
+        self.users.entry(user).or_default();
+        Response::ok(json!({
+            "user": user,
+            "token": token.token,
+            "expires_at": token.expires_at,
+        }))
+    }
+
+    fn history_of(&self, user: UserId) -> &ProfileHistory {
+        self.users
+            .get(&user)
+            .map(|s| &s.history)
+            .unwrap_or_else(|| once_empty::empty())
+    }
+
+    fn with_body<B: serde::de::DeserializeOwned>(
+        &mut self,
+        request: &Request,
+        f: impl FnOnce(&mut Self, B) -> Response,
+    ) -> Response {
+        match serde_json::from_value::<B>(request.body.clone()) {
+            Ok(body) => f(self, body),
+            Err(e) => Response::bad_request(format!("invalid body: {e}")),
+        }
+    }
+}
+
+/// A process-wide empty history for unregistered/blank users, avoiding an
+/// `Option` plumbed through every analytics endpoint.
+mod once_empty {
+    use crate::analytics::ProfileHistory;
+    use std::sync::OnceLock;
+
+    pub(super) fn empty() -> &'static ProfileHistory {
+        static EMPTY: OnceLock<ProfileHistory> = OnceLock::new();
+        EMPTY.get_or_init(ProfileHistory::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PlaceEntry;
+    use pmware_world::builder::{RegionProfile, WorldBuilder};
+
+    fn cloud() -> CloudInstance {
+        CloudInstance::new(CellDatabase::new(), 42)
+    }
+
+    fn register(cloud: &mut CloudInstance, n: u32, now: SimTime) -> String {
+        let req = Request::post(
+            "/api/v1/registration",
+            json!({"imei": format!("imei-{n}"), "email": format!("u{n}@x.com")}),
+        );
+        let resp = cloud.handle(&req, now);
+        assert!(resp.is_success(), "{resp:?}");
+        resp.body["token"].as_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn registration_and_auth_flow() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        assert_eq!(c.user_count(), 1);
+
+        // Authenticated GET works.
+        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
+        assert!(resp.is_success());
+
+        // Missing token → 401.
+        let resp = c.handle(&Request::get("/api/v1/places"), now);
+        assert_eq!(resp.status, 401);
+
+        // Bogus token → 401.
+        let resp = c.handle(&Request::get("/api/v1/places").with_token("tok-x"), now);
+        assert_eq!(resp.status, 401);
+
+        // Expired token → 401.
+        let later = now + SimDuration::from_hours(25);
+        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), later);
+        assert_eq!(resp.status, 401);
+    }
+
+    #[test]
+    fn registration_requires_identity() {
+        let mut c = cloud();
+        let resp = c.handle(
+            &Request::post("/api/v1/registration", json!({"imei": "", "email": ""})),
+            SimTime::EPOCH,
+        );
+        assert_eq!(resp.status, 400);
+        let resp = c.handle(
+            &Request::post("/api/v1/registration", json!({"nope": 1})),
+            SimTime::EPOCH,
+        );
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn token_refresh_rotates() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        let resp = c.handle(
+            &Request::post("/api/v1/token/refresh", Value::Null).with_token(&token),
+            now + SimDuration::from_hours(20),
+        );
+        assert!(resp.is_success());
+        let new_token = resp.body["token"].as_str().unwrap().to_owned();
+        assert_ne!(new_token, token);
+        // The old token no longer validates.
+        let resp = c.handle(
+            &Request::get("/api/v1/places").with_token(&token),
+            now + SimDuration::from_hours(21),
+        );
+        assert_eq!(resp.status, 401);
+    }
+
+    #[test]
+    fn gca_offload_discovers_and_stores() {
+        use pmware_world::tower::NetworkLayer;
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        // Synthetic oscillating stream (same shape as the GCA unit tests).
+        let cell = |id: u32| CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 45 },
+            lac: Lac(1),
+            cell: CellId(id),
+        };
+        let observations: Vec<GsmObservation> = (0..40)
+            .map(|m| GsmObservation {
+                time: SimTime::from_seconds(m * 60),
+                cell: if m % 3 == 1 { cell(2) } else { cell(1) },
+                layer: NetworkLayer::G2,
+                rssi_dbm: -70.0,
+            })
+            .collect();
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/places/discover",
+                json!({ "observations": observations }),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success(), "{resp:?}");
+        let places = resp.body["places"].as_array().unwrap();
+        assert_eq!(places.len(), 1);
+        // And the places are now listed.
+        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
+        assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn place_labelling() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        let place = DiscoveredPlace::new(
+            DiscoveredPlaceId(0),
+            pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
+            vec![],
+        );
+        let resp = c.handle(
+            &Request::post("/api/v1/places/sync", json!({ "places": [place] }))
+                .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/places/label",
+                json!({"place": 0, "label": "Home"}),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success(), "{resp:?}");
+        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
+        assert_eq!(resp.body["places"][0]["label"], "Home");
+        // Unknown place → 404.
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/places/label",
+                json!({"place": 9, "label": "X"}),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn profile_sync_and_fetch() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        let mut profile = MobilityProfile::new(2);
+        profile.places.push(PlaceEntry {
+            place: DiscoveredPlaceId(0),
+            arrival: SimTime::from_day_time(2, 9, 0, 0),
+            departure: SimTime::from_day_time(2, 17, 0, 0),
+        });
+        let resp = c.handle(
+            &Request::post("/api/v1/profiles/sync", json!({ "profile": profile }))
+                .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        let resp = c.handle(
+            &Request::get("/api/v1/profiles/2").with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        assert_eq!(resp.body["profile"]["day"], 2);
+        // Missing day → 404; malformed day → 400.
+        assert_eq!(
+            c.handle(&Request::get("/api/v1/profiles/9").with_token(&token), now)
+                .status,
+            404
+        );
+        assert_eq!(
+            c.handle(&Request::get("/api/v1/profiles/xyz").with_token(&token), now)
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn analytics_endpoints_answer_the_papers_queries() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        // Two weeks of evening home arrivals at 18h.
+        for day in 0..14 {
+            let mut profile = MobilityProfile::new(day);
+            profile.places.push(PlaceEntry {
+                place: DiscoveredPlaceId(1),
+                arrival: SimTime::from_day_time(day, 9, 0, 0),
+                departure: SimTime::from_day_time(day, 17, 0, 0),
+            });
+            profile.places.push(PlaceEntry {
+                place: DiscoveredPlaceId(0),
+                arrival: SimTime::from_day_time(day, 18, 0, 0),
+                departure: SimTime::from_day_time(day, 23, 0, 0),
+            });
+            let resp = c.handle(
+                &Request::post("/api/v1/profiles/sync", json!({ "profile": profile }))
+                    .with_token(&token),
+                now,
+            );
+            assert!(resp.is_success());
+        }
+        // Query 1: evening home arrival.
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/analytics/arrival",
+                json!({"place": 0, "window": [15, 24]}),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        assert_eq!(resp.body["second_of_day"].as_u64().unwrap() / 3_600, 18);
+        // Query 2: next visit to place 1.
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/analytics/next_visit",
+                json!({"place": 1, "now": SimTime::from_day_time(14, 0, 0, 0)}),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success(), "{resp:?}");
+        // Query 3: frequency.
+        let resp = c.handle(
+            &Request::post("/api/v1/analytics/frequency", json!({"place": 0}))
+                .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        assert!((resp.body["visits_per_week"].as_f64().unwrap() - 7.0).abs() < 1e-9);
+        // Markov next place from work is home.
+        let resp = c.handle(
+            &Request::post("/api/v1/analytics/next_place", json!({"place": 1}))
+                .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        let preds = resp.body["predictions"].as_array().unwrap();
+        assert_eq!(preds[0][0], 0);
+    }
+
+    #[test]
+    fn geolocation_endpoint_uses_cell_database() {
+        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(3).build();
+        let tower = &world.towers()[0];
+        let mut c = CloudInstance::new(CellDatabase::from_world(&world), 1);
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        let cell = tower.cell();
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/misc/geolocate",
+                json!({
+                    "mcc": cell.plmn.mcc,
+                    "mnc": cell.plmn.mnc,
+                    "lac": cell.lac.0,
+                    "cid": cell.cell.0,
+                }),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        let lat = resp.body["latitude"].as_f64().unwrap();
+        assert!((lat - tower.position().latitude()).abs() < 1e-9);
+        // Unknown cell → 404.
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/misc/geolocate",
+                json!({"mcc": 1, "mnc": 1, "lac": 1, "cid": 1}),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn social_sync_and_query_by_place() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        let contacts = vec![
+            ContactEntry {
+                contact: "peer-1".into(),
+                start: SimTime::from_seconds(0),
+                end: SimTime::from_seconds(600),
+                place: Some(DiscoveredPlaceId(0)),
+            },
+            ContactEntry {
+                contact: "peer-2".into(),
+                start: SimTime::from_seconds(0),
+                end: SimTime::from_seconds(600),
+                place: Some(DiscoveredPlaceId(1)),
+            },
+        ];
+        let resp = c.handle(
+            &Request::post("/api/v1/social/sync", json!({ "contacts": contacts }))
+                .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success());
+        // Targeted query: only workplace contacts (§2.2.2 targeted sensing).
+        let resp = c.handle(
+            &Request::post("/api/v1/social/query", json!({"place": 0}))
+                .with_token(&token),
+            now,
+        );
+        let got = resp.body["contacts"].as_array().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0]["contact"], "peer-1");
+        // Unfiltered query returns everything.
+        let resp = c.handle(
+            &Request::post("/api/v1/social/query", json!({"place": null}))
+                .with_token(&token),
+            now,
+        );
+        assert_eq!(resp.body["contacts"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn users_are_isolated() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let t0 = register(&mut c, 0, now);
+        let t1 = register(&mut c, 1, now);
+        let place = DiscoveredPlace::new(
+            DiscoveredPlaceId(0),
+            pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
+            vec![],
+        );
+        c.handle(
+            &Request::post("/api/v1/places/sync", json!({ "places": [place] }))
+                .with_token(&t0),
+            now,
+        );
+        let resp = c.handle(&Request::get("/api/v1/places").with_token(&t1), now);
+        assert_eq!(resp.body["places"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        let resp = c.handle(&Request::get("/api/v1/nope").with_token(&token), now);
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn malformed_body_is_400() {
+        let mut c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&mut c, 0, now);
+        let resp = c.handle(
+            &Request::post("/api/v1/places/sync", json!({"wrong": true}))
+                .with_token(&token),
+            now,
+        );
+        assert_eq!(resp.status, 400);
+    }
+}

@@ -1,0 +1,42 @@
+//! PMWare Cloud Instance (PCI).
+//!
+//! §2.3 of the paper: the cloud instance *"is responsible for storing and
+//! managing long-term human mobility patterns, helping mobile service in
+//! place/route discovery process, as well as performing advanced analytics
+//! and prediction operations"*. The authors ran it as a Django/Apache
+//! service on Windows Azure; here it is an in-process server speaking the
+//! same REST/JSON shape through [`api::Request`]/[`api::Response`] values,
+//! which exercises routing, token auth, and JSON marshalling without a
+//! network.
+//!
+//! The six endpoint families of §2.3.3 are implemented in [`instance`]:
+//!
+//! | Family | Endpoints |
+//! |---|---|
+//! | Registration | `POST /api/v1/registration`, `POST /api/v1/token/refresh` |
+//! | Places | discover (GCA offload), sync, list, label |
+//! | Routes | discover, sync, list (with usage frequency) |
+//! | Mobility profiles | sync, fetch by day |
+//! | Social contacts | sync, query by place |
+//! | Misc | cell-ID geolocation (an OpenCellID stand-in) |
+//!
+//! plus the analytics/prediction queries of §2.3.2 ([`analytics`],
+//! [`predict`]): typical arrival time at a place, next-visit prediction,
+//! and visit frequency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+pub mod api;
+pub mod auth;
+pub mod geolocate;
+pub mod instance;
+pub mod predict;
+pub mod profile;
+
+pub use api::{Method, Request, Response};
+pub use auth::{AuthToken, DeviceIdentity, UserId};
+pub use geolocate::CellDatabase;
+pub use instance::CloudInstance;
+pub use profile::{ActivitySummary, ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};

@@ -1,0 +1,145 @@
+//! Property-based tests for the cloud instance: auth lifecycle, profile
+//! analytics invariants, and API robustness against arbitrary requests.
+
+use pmware_algorithms::signature::DiscoveredPlaceId;
+use pmware_cloud::analytics::ProfileHistory;
+use pmware_cloud::{CellDatabase, CloudInstance, MobilityProfile, PlaceEntry, Request};
+use pmware_world::{SimDuration, SimTime};
+use proptest::prelude::*;
+use serde_json::json;
+
+fn history_from(entries: &[(u32, u64, u64, u64)]) -> ProfileHistory {
+    // (place, day, start_hour, len_hours)
+    let mut h = ProfileHistory::new();
+    for &(place, day, hour, len) in entries {
+        let day = day % 28;
+        let hour = hour % 20;
+        let len = 1 + len % (23 - hour);
+        let mut p = h.day(day).cloned().unwrap_or_else(|| MobilityProfile::new(day));
+        p.places.push(PlaceEntry {
+            place: DiscoveredPlaceId(place % 8),
+            arrival: SimTime::from_day_time(day, hour, 0, 0),
+            departure: SimTime::from_day_time(day, hour + len, 0, 0),
+        });
+        h.upsert(p);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn visit_counts_are_consistent(entries in prop::collection::vec(
+        (0u32..8, 0u64..28, 0u64..20, 0u64..8), 0..60)) {
+        let h = history_from(&entries);
+        let total_entries: usize = h.iter().map(|p| p.places.len()).sum();
+        let by_place: usize = (0..8).map(|p| h.visit_count(DiscoveredPlaceId(p))).sum();
+        prop_assert_eq!(total_entries, by_place);
+        for p in 0..8 {
+            let id = DiscoveredPlaceId(p);
+            let hist = h.weekday_histogram(id);
+            prop_assert_eq!(hist.iter().sum::<u32>() as usize, h.visit_count(id));
+            prop_assert!(h.visits_per_week(id) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn typical_arrival_is_within_window(entries in prop::collection::vec(
+        (0u32..8, 0u64..28, 0u64..20, 0u64..8), 1..60),
+        lo in 0u64..22,
+    ) {
+        let h = history_from(&entries);
+        let hi = lo + 2;
+        for p in 0..8 {
+            if let Some(s) =
+                h.typical_arrival_second_of_day(DiscoveredPlaceId(p), Some((lo, hi)))
+            {
+                prop_assert!(s >= lo * 3_600 && s < hi * 3_600);
+            }
+        }
+    }
+
+    #[test]
+    fn markov_distributions_are_probabilities(entries in prop::collection::vec(
+        (0u32..8, 0u64..28, 0u64..20, 0u64..8), 0..60)) {
+        let h = history_from(&entries);
+        let model = pmware_cloud::predict::MarkovPredictor::train(&h);
+        for p in 0..8 {
+            let dist = model.predict_next(DiscoveredPlaceId(p));
+            if dist.is_empty() {
+                continue;
+            }
+            let total: f64 = dist.iter().map(|(_, pr)| pr).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            for w in dist.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_next_visit_is_in_the_future(entries in prop::collection::vec(
+        (0u32..8, 0u64..28, 0u64..20, 0u64..8), 1..60),
+        now_secs in 0u64..(40 * 86_400),
+    ) {
+        let h = history_from(&entries);
+        let now = SimTime::from_seconds(now_secs);
+        for p in 0..8 {
+            if let Some(t) = pmware_cloud::predict::predict_next_visit(
+                &h,
+                DiscoveredPlaceId(p),
+                now,
+            ) {
+                prop_assert!(t > now);
+                prop_assert!(t <= now + SimDuration::from_days(15));
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_paths_never_panic_and_need_auth(
+        path_tail in "[a-z/0-9]{0,24}",
+        with_token in any::<bool>(),
+        body_num in any::<i64>(),
+    ) {
+        let mut cloud = CloudInstance::new(CellDatabase::new(), 1);
+        let resp = cloud.handle(
+            &Request::post(
+                "/api/v1/registration",
+                json!({"imei": "i", "email": "e"}),
+            ),
+            SimTime::EPOCH,
+        );
+        let token = resp.body["token"].as_str().unwrap().to_owned();
+        let mut req = Request::post(format!("/api/v1/{path_tail}"), json!({"x": body_num}));
+        if with_token {
+            req = req.with_token(&token);
+        }
+        let resp = cloud.handle(&req, SimTime::EPOCH);
+        // Never a success for garbage paths; always a structured error.
+        if path_tail != "registration" {
+            prop_assert!(resp.status == 400 || resp.status == 401 || resp.status == 404,
+                "unexpected status {} for {}", resp.status, req.path);
+        }
+        if !with_token && path_tail != "registration" {
+            prop_assert_eq!(resp.status, 401);
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_any_request(
+        path in "/[a-z/0-9]{0,30}",
+        token in prop::option::of("[A-Za-z0-9-]{1,40}"),
+        n in any::<i64>(),
+        s in "[a-zA-Z0-9 ]{0,40}",
+    ) {
+        let mut req = Request::post(path, json!({"n": n, "s": s}));
+        if let Some(t) = token {
+            req = req.with_token(t);
+        }
+        let bytes = req.to_bytes();
+        let back = Request::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, req);
+    }
+}

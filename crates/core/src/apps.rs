@@ -1,0 +1,227 @@
+//! The connected-applications module (§2.2.4).
+//!
+//! *"This module manages all the connected applications and their
+//! requirements. \[…\] requirements of the connected applications influence
+//! the decision of sensing different location interfaces in PMWare."*
+//!
+//! [`ConnectedApps`] owns the intent bus and the per-app requirement table;
+//! its aggregate *demand* at any hour is what the triggered-sensing
+//! scheduler acts on.
+
+use crossbeam::channel::Receiver;
+use serde::{Deserialize, Serialize};
+
+use crate::intents::{Intent, IntentBus, IntentFilter};
+use crate::requirements::{AppRequirement, Granularity, RouteAccuracy};
+
+/// Identifier of a connected application (its registration name).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AppId(pub String);
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app:{}", self.0)
+    }
+}
+
+/// One registered application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRegistration {
+    /// Application name.
+    pub id: AppId,
+    /// What it asked PMWare for.
+    pub requirement: AppRequirement,
+    /// Which broadcasts it listens to.
+    pub filter: IntentFilter,
+}
+
+/// The aggregate sensing demand of all connected apps at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Demand {
+    /// Finest granularity any active app needs (None: no app active).
+    pub granularity: Option<Granularity>,
+    /// Most accurate route mode any active app needs.
+    pub route: Option<RouteAccuracy>,
+    /// Whether any active app wants social contacts.
+    pub social: bool,
+}
+
+/// Registry of connected applications, owning the broadcast bus.
+#[derive(Debug, Default)]
+pub struct ConnectedApps {
+    apps: Vec<AppRegistration>,
+    bus: IntentBus,
+}
+
+impl ConnectedApps {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ConnectedApps::default()
+    }
+
+    /// Registers an application (§2.4 steps 1–2) and returns the channel
+    /// its intents arrive on. Re-registering a name replaces the previous
+    /// registration.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        requirement: AppRequirement,
+        filter: IntentFilter,
+    ) -> Receiver<Intent> {
+        let name = name.into();
+        self.apps.retain(|a| a.id.0 != name);
+        self.bus.unregister(&name);
+        let rx = self.bus.register(name.clone(), filter.clone());
+        self.apps.push(AppRegistration {
+            id: AppId(name),
+            requirement,
+            filter,
+        });
+        rx
+    }
+
+    /// Unregisters an application; returns whether it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        let before = self.apps.len();
+        self.apps.retain(|a| a.id.0 != name);
+        self.bus.unregister(name);
+        self.apps.len() != before
+    }
+
+    /// Registered applications.
+    pub fn iter(&self) -> impl Iterator<Item = &AppRegistration> {
+        self.apps.iter()
+    }
+
+    /// Number of registered applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Returns `true` with no registered applications.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// The broadcast bus (PMS broadcasts through this).
+    pub fn bus_mut(&mut self) -> &mut IntentBus {
+        &mut self.bus
+    }
+
+    /// Aggregate demand at hour-of-day `hour`.
+    pub fn demand_at_hour(&self, hour: u64) -> Demand {
+        let mut demand = Demand::default();
+        for app in &self.apps {
+            if !app.requirement.active_at_hour(hour) {
+                continue;
+            }
+            demand.granularity = Some(match demand.granularity {
+                Some(g) => g.max(app.requirement.granularity),
+                None => app.requirement.granularity,
+            });
+            demand.route = match (demand.route, app.requirement.route_accuracy) {
+                (Some(RouteAccuracy::High), _) | (_, Some(RouteAccuracy::High)) => {
+                    Some(RouteAccuracy::High)
+                }
+                (Some(RouteAccuracy::Low), _) | (_, Some(RouteAccuracy::Low)) => {
+                    Some(RouteAccuracy::Low)
+                }
+                _ => None,
+            };
+            demand.social |= app.requirement.social_contacts;
+        }
+        demand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intents::actions;
+
+    #[test]
+    fn demand_is_max_over_active_apps() {
+        let mut apps = ConnectedApps::new();
+        let _rx1 = apps.register(
+            "ads",
+            AppRequirement::places(Granularity::Area),
+            IntentFilter::all(),
+        );
+        let _rx2 = apps.register(
+            "todo",
+            AppRequirement::places(Granularity::Building).with_window(9, 18),
+            IntentFilter::all(),
+        );
+        let _rx3 = apps.register(
+            "tracker",
+            AppRequirement::places(Granularity::Room)
+                .with_window(6, 8)
+                .with_routes(RouteAccuracy::High),
+            IntentFilter::all(),
+        );
+        // 7am: ads (area) + tracker (room, high routes).
+        let d = apps.demand_at_hour(7);
+        assert_eq!(d.granularity, Some(Granularity::Room));
+        assert_eq!(d.route, Some(RouteAccuracy::High));
+        // 10am: ads + todo → building, no routes.
+        let d = apps.demand_at_hour(10);
+        assert_eq!(d.granularity, Some(Granularity::Building));
+        assert_eq!(d.route, None);
+        // 11pm: only ads.
+        let d = apps.demand_at_hour(23);
+        assert_eq!(d.granularity, Some(Granularity::Area));
+        assert!(!d.social);
+    }
+
+    #[test]
+    fn no_apps_no_demand() {
+        let apps = ConnectedApps::new();
+        let d = apps.demand_at_hour(12);
+        assert_eq!(d.granularity, None);
+        assert_eq!(d.route, None);
+        assert!(!d.social);
+    }
+
+    #[test]
+    fn social_demand_flagged() {
+        let mut apps = ConnectedApps::new();
+        let _rx = apps.register(
+            "meetups",
+            AppRequirement::places(Granularity::Building).with_social(),
+            IntentFilter::for_actions([actions::SOCIAL_CONTACT]),
+        );
+        assert!(apps.demand_at_hour(12).social);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut apps = ConnectedApps::new();
+        let _a = apps.register(
+            "x",
+            AppRequirement::places(Granularity::Room),
+            IntentFilter::all(),
+        );
+        let _b = apps.register(
+            "x",
+            AppRequirement::places(Granularity::Area),
+            IntentFilter::all(),
+        );
+        assert_eq!(apps.len(), 1);
+        assert_eq!(apps.demand_at_hour(0).granularity, Some(Granularity::Area));
+    }
+
+    #[test]
+    fn unregister_removes_demand() {
+        let mut apps = ConnectedApps::new();
+        let _rx = apps.register(
+            "x",
+            AppRequirement::places(Granularity::Room),
+            IntentFilter::all(),
+        );
+        assert!(apps.unregister("x"));
+        assert!(apps.is_empty());
+        assert_eq!(apps.demand_at_hour(0).granularity, None);
+        assert!(!apps.unregister("x"));
+    }
+}

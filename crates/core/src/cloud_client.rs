@@ -1,0 +1,392 @@
+//! REST client for the cloud instance (§2.2.5).
+//!
+//! *"Communication module handles two different kind of communication i.e.
+//! REST API based communication with the cloud instance and inter
+//! application communication between PMS and connected applications."*
+//!
+//! Every call serialises the request to wire bytes and parses them back on
+//! the "server" side, so the JSON marshalling path is exercised exactly as
+//! it would be over HTTP. The cloud instance is shared behind a mutex —
+//! sixteen simulated phones talk to one server, as in the deployment study.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmware_algorithms::route::CanonicalRoute;
+use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
+use pmware_cloud::{CloudInstance, MobilityProfile, Request, Response, UserId};
+use pmware_world::{CellGlobalId, GsmObservation, SimTime};
+use pmware_geo::GeoPoint;
+use serde::Deserialize;
+use serde_json::json;
+
+use crate::error::PmsError;
+
+/// A client bound to one registered device.
+#[derive(Debug, Clone)]
+pub struct CloudClient {
+    cloud: Arc<Mutex<CloudInstance>>,
+    user: UserId,
+    token: String,
+    token_expires: SimTime,
+}
+
+impl CloudClient {
+    /// Registers a device with the cloud and returns a ready client
+    /// (§2.2.1: one-time registration request retrieving an auth token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] when registration fails.
+    pub fn register(
+        cloud: Arc<Mutex<CloudInstance>>,
+        imei: &str,
+        email: &str,
+        now: SimTime,
+    ) -> Result<CloudClient, PmsError> {
+        let request = Request::post(
+            "/api/v1/registration",
+            json!({ "imei": imei, "email": email }),
+        );
+        let response = Self::transport(&cloud, &request, now);
+        let response = Self::check(&request, response)?;
+        #[derive(Deserialize)]
+        struct Body {
+            user: UserId,
+            token: String,
+            expires_at: SimTime,
+        }
+        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        Ok(CloudClient {
+            cloud,
+            user: body.user,
+            token: body.token,
+            token_expires: body.expires_at,
+        })
+    }
+
+    /// The registered user id.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Re-registers the device after its token was irrecoverably lost
+    /// (e.g. it expired while the cloud was unreachable). Registration is
+    /// idempotent per device identity, so the same user id comes back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] while the cloud stays unreachable.
+    pub fn reregister(
+        &mut self,
+        imei: &str,
+        email: &str,
+        now: SimTime,
+    ) -> Result<(), PmsError> {
+        let fresh = CloudClient::register(self.cloud.clone(), imei, email, now)?;
+        self.user = fresh.user;
+        self.token = fresh.token;
+        self.token_expires = fresh.token_expires;
+        Ok(())
+    }
+
+    /// When the current token expires.
+    pub fn token_expires(&self) -> SimTime {
+        self.token_expires
+    }
+
+    /// Refreshes the token when it is within `margin` of expiry
+    /// ("refreshed periodically based on its expiry time", §2.2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] when the refresh is rejected.
+    pub fn refresh_if_needed(
+        &mut self,
+        now: SimTime,
+        margin: pmware_world::SimDuration,
+    ) -> Result<bool, PmsError> {
+        if now + margin < self.token_expires {
+            return Ok(false);
+        }
+        let response = self.call("/api/v1/token/refresh", json!(null), now)?;
+        #[derive(Deserialize)]
+        struct Body {
+            token: String,
+            expires_at: SimTime,
+        }
+        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        self.token = body.token;
+        self.token_expires = body.expires_at;
+        Ok(true)
+    }
+
+    /// Offloads GCA place discovery to the cloud (§2.3.1) and returns the
+    /// discovered places.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] / [`PmsError::Decode`] on failure.
+    pub fn discover_places(
+        &mut self,
+        observations: &[GsmObservation],
+        now: SimTime,
+    ) -> Result<Vec<DiscoveredPlace>, PmsError> {
+        let response = self.call(
+            "/api/v1/places/discover",
+            json!({ "observations": observations }),
+            now,
+        )?;
+        #[derive(Deserialize)]
+        struct Body {
+            places: Vec<DiscoveredPlace>,
+        }
+        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        Ok(body.places)
+    }
+
+    /// Pushes the authoritative place list to the cloud.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] on failure.
+    pub fn sync_places(
+        &mut self,
+        places: &[DiscoveredPlace],
+        now: SimTime,
+    ) -> Result<(), PmsError> {
+        self.call("/api/v1/places/sync", json!({ "places": places }), now)?;
+        Ok(())
+    }
+
+    /// Labels a place (§2.2.5 semantic labelling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] when the place is unknown server-side.
+    pub fn label_place(
+        &mut self,
+        place: DiscoveredPlaceId,
+        label: &str,
+        now: SimTime,
+    ) -> Result<(), PmsError> {
+        self.call(
+            "/api/v1/places/label",
+            json!({ "place": place, "label": label }),
+            now,
+        )?;
+        Ok(())
+    }
+
+    /// Syncs a day's mobility profile (§2.2.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] on failure.
+    pub fn sync_profile(
+        &mut self,
+        profile: &MobilityProfile,
+        now: SimTime,
+    ) -> Result<(), PmsError> {
+        self.call("/api/v1/profiles/sync", json!({ "profile": profile }), now)?;
+        Ok(())
+    }
+
+    /// Syncs the canonical route table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] on failure.
+    pub fn sync_routes(
+        &mut self,
+        routes: &[CanonicalRoute],
+        now: SimTime,
+    ) -> Result<(), PmsError> {
+        self.call("/api/v1/routes/sync", json!({ "routes": routes }), now)?;
+        Ok(())
+    }
+
+    /// Syncs social contacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] on failure.
+    pub fn sync_contacts(
+        &mut self,
+        contacts: &[pmware_cloud::ContactEntry],
+        now: SimTime,
+    ) -> Result<(), PmsError> {
+        self.call("/api/v1/social/sync", json!({ "contacts": contacts }), now)?;
+        Ok(())
+    }
+
+    /// Resolves a cell-set signature to approximate coordinates via the
+    /// cloud's geolocation endpoint. Returns `None` when unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] on transport-level failures (404 is
+    /// mapped to `Ok(None)`).
+    pub fn geolocate_signature(
+        &mut self,
+        cells: &[CellGlobalId],
+        now: SimTime,
+    ) -> Result<Option<GeoPoint>, PmsError> {
+        let request = Request::post(
+            "/api/v1/misc/geolocate_signature",
+            json!({ "cells": cells }),
+        )
+        .with_token(&self.token);
+        let response = Self::transport(&self.cloud, &request, now);
+        if response.status == 404 {
+            return Ok(None);
+        }
+        let response = Self::check(&request, response)?;
+        #[derive(Deserialize)]
+        struct Body {
+            latitude: f64,
+            longitude: f64,
+        }
+        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        GeoPoint::new(body.latitude, body.longitude)
+            .map(Some)
+            .map_err(|e| PmsError::Decode(e.to_string()))
+    }
+
+    /// Sends an arbitrary authenticated request — the escape hatch apps use
+    /// for analytics queries (§2.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] for non-2xx responses.
+    pub fn call(
+        &mut self,
+        path: &str,
+        body: serde_json::Value,
+        now: SimTime,
+    ) -> Result<Response, PmsError> {
+        let request = Request::post(path, body).with_token(&self.token);
+        let response = Self::transport(&self.cloud, &request, now);
+        Self::check(&request, response)
+    }
+
+    /// Sends an authenticated GET.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] for non-2xx responses.
+    pub fn get(&mut self, path: &str, now: SimTime) -> Result<Response, PmsError> {
+        let request = Request::get(path).with_token(&self.token);
+        let response = Self::transport(&self.cloud, &request, now);
+        Self::check(&request, response)
+    }
+
+    /// The wire: serialise, deliver, deserialise — both directions.
+    fn transport(
+        cloud: &Arc<Mutex<CloudInstance>>,
+        request: &Request,
+        now: SimTime,
+    ) -> Response {
+        let bytes = request.to_bytes();
+        let parsed = Request::from_bytes(&bytes).expect("request round-trips");
+        let response = cloud.lock().handle(&parsed, now);
+        let bytes = response.to_bytes();
+        serde_json::from_slice(&bytes).expect("response round-trips")
+    }
+
+    fn check(request: &Request, response: Response) -> Result<Response, PmsError> {
+        if response.is_success() {
+            Ok(response)
+        } else {
+            Err(PmsError::Cloud {
+                path: request.path.clone(),
+                status: response.status,
+                message: response.body["error"]
+                    .as_str()
+                    .unwrap_or("unknown error")
+                    .to_owned(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_cloud::CellDatabase;
+    use pmware_world::SimDuration;
+
+    fn cloud() -> Arc<Mutex<CloudInstance>> {
+        Arc::new(Mutex::new(CloudInstance::new(CellDatabase::new(), 5)))
+    }
+
+    #[test]
+    fn register_and_basic_flow() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
+                .unwrap();
+        assert_eq!(cloud.lock().user_count(), 1);
+        // Sync an empty place list.
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        // Fetch them back through the raw GET.
+        let resp = client.get("/api/v1/places", SimTime::EPOCH).unwrap();
+        assert_eq!(resp.body["places"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn refresh_only_when_near_expiry() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        // Far from expiry: no refresh.
+        let refreshed = client
+            .refresh_if_needed(SimTime::EPOCH, SimDuration::from_hours(2))
+            .unwrap();
+        assert!(!refreshed);
+        // Near expiry: refresh happens and extends the horizon.
+        let near = SimTime::EPOCH + SimDuration::from_hours(23);
+        let old_expiry = client.token_expires();
+        let refreshed = client
+            .refresh_if_needed(near, SimDuration::from_hours(2))
+            .unwrap();
+        assert!(refreshed);
+        assert!(client.token_expires() > old_expiry);
+    }
+
+    #[test]
+    fn expired_token_surfaces_cloud_error() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let long_after = SimTime::EPOCH + SimDuration::from_days(3);
+        let err = client.sync_places(&[], long_after).unwrap_err();
+        match err {
+            PmsError::Cloud { status, .. } => assert_eq!(status, 401),
+            other => panic!("expected cloud error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn label_unknown_place_is_cloud_404() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let err = client
+            .label_place(DiscoveredPlaceId(9), "Home", SimTime::EPOCH)
+            .unwrap_err();
+        match err {
+            PmsError::Cloud { status, .. } => assert_eq!(status, 404),
+            other => panic!("expected cloud error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn geolocate_unknown_signature_is_none() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let got = client.geolocate_signature(&[], SimTime::EPOCH).unwrap();
+        assert!(got.is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! PMS error type.
+
+use std::fmt;
+
+/// Errors surfaced by the PMWare mobile service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmsError {
+    /// The cloud rejected or failed a request.
+    Cloud {
+        /// Endpoint path.
+        path: String,
+        /// HTTP-style status.
+        status: u16,
+        /// Server-provided message, if any.
+        message: String,
+    },
+    /// The device is not registered with the cloud yet.
+    NotRegistered,
+    /// A connected application id was not found.
+    UnknownApp(String),
+    /// A response body could not be decoded.
+    Decode(String),
+}
+
+impl fmt::Display for PmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmsError::Cloud { path, status, message } => {
+                write!(f, "cloud request {path} failed with status {status}: {message}")
+            }
+            PmsError::NotRegistered => write!(f, "device is not registered with the cloud"),
+            PmsError::UnknownApp(name) => write!(f, "unknown connected application {name}"),
+            PmsError::Decode(msg) => write!(f, "could not decode response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PmsError::Cloud {
+            path: "/api/v1/places".into(),
+            status: 401,
+            message: "expired".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("401") && s.contains("/api/v1/places"));
+        assert!(PmsError::NotRegistered.to_string().contains("not registered"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmsError>();
+    }
+}

@@ -1,0 +1,722 @@
+//! The PMWare Mobile Service orchestrator.
+//!
+//! *"There is only one instance of PMS running which can be used by
+//! multiple connected third party applications, thereby eliminating sensing
+//! and processing redundancy."* (§2.2)
+//!
+//! [`PmwareMobileService::run`] advances simulated time tick by tick:
+//! the triggered-sensing scheduler decides what to sample, the sensors pay
+//! energy, the inference engine turns observations into place events,
+//! events flow to connected apps as intents (coarsened per the user's
+//! privacy preferences), routes are extracted between stays, profiles are
+//! cut per day, and a nightly maintenance pass offloads GCA to the cloud,
+//! reconciles the place registry, and syncs everything (§2.2.2–§2.2.5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use pmware_algorithms::gca::PlaceEvent;
+use pmware_algorithms::route::{cell_route, gps_route, RouteObservation, RouteStore};
+use pmware_algorithms::sensloc::WifiPlaceEvent;
+use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSignature};
+use pmware_cloud::CloudInstance;
+use pmware_device::{Device, MovementDetector, PositionProvider};
+use pmware_geo::GeoPoint;
+use pmware_world::{SimDuration, SimTime};
+use serde_json::json;
+
+use crate::apps::ConnectedApps;
+use crate::cloud_client::CloudClient;
+use crate::error::PmsError;
+use crate::inference::{InferenceConfig, InferenceEngine};
+use crate::intents::{actions, Intent, IntentFilter};
+use crate::preferences::{coarsen_position, UserPreferences};
+use crate::profile_builder::ProfileBuilder;
+use crate::registry::{PlaceRegistry, PmPlaceId, ReconcileMode};
+use crate::requirements::{AppRequirement, RouteAccuracy};
+use crate::sensing::{SensingConfig, SensingScheduler};
+
+/// Supplies the positions of other PMWare users' devices for Bluetooth
+/// proximity scans (the simulation's stand-in for radios actually hearing
+/// each other). The deployment harness implements this over the whole
+/// agent population.
+pub trait PeerProvider {
+    /// Peers (opaque contact id, true position) present at `t`.
+    fn peers_at(&self, t: SimTime) -> Vec<(String, GeoPoint)>;
+}
+
+/// PMS configuration.
+#[derive(Debug, Clone)]
+pub struct PmsConfig {
+    /// Device IMEI for registration.
+    pub imei: String,
+    /// Account email for registration.
+    pub email: String,
+    /// Main loop tick (default one minute, the GSM period).
+    pub tick: SimDuration,
+    /// Scheduler periods.
+    pub sensing: SensingConfig,
+    /// Inference parameters.
+    pub inference: InferenceConfig,
+    /// Hour of day at which the nightly maintenance (GCA offload, syncs)
+    /// runs.
+    pub maintenance_hour: u64,
+    /// Signature overlap for registry reconciliation.
+    pub reconcile_overlap: f64,
+    /// Every this-many days the nightly maintenance re-clusters the *full*
+    /// observation log (authoritative compaction) instead of only the new
+    /// suffix.
+    pub compaction_period_days: u64,
+    /// Refresh the token when within this margin of expiry.
+    pub token_refresh_margin: SimDuration,
+    /// Movement-detector window (samples).
+    pub movement_window: usize,
+}
+
+impl PmsConfig {
+    /// A configuration for one named participant.
+    pub fn for_participant(n: u32) -> PmsConfig {
+        PmsConfig {
+            imei: format!("3504{n:011}"),
+            email: format!("participant{n}@pmware.study"),
+            tick: SimDuration::from_minutes(1),
+            sensing: SensingConfig::default(),
+            inference: InferenceConfig::default(),
+            maintenance_hour: 3,
+            reconcile_overlap: 0.18,
+            compaction_period_days: 4,
+            token_refresh_margin: SimDuration::from_hours(2),
+            movement_window: 3,
+        }
+    }
+}
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmsCounters {
+    /// Confirmed arrivals broadcast.
+    pub arrivals: u64,
+    /// Confirmed departures broadcast.
+    pub departures: u64,
+    /// Route traversals recorded.
+    pub routes: u64,
+    /// Social encounters recorded.
+    pub encounters: u64,
+    /// GCA offloads performed.
+    pub gca_offloads: u64,
+    /// GCA offloads that fell back to local computation.
+    pub gca_local_fallbacks: u64,
+    /// Day profiles synced to the cloud.
+    pub profiles_synced: u64,
+    /// Token refreshes performed.
+    pub token_refreshes: u64,
+}
+
+/// End-of-run summary.
+#[derive(Debug, Clone)]
+pub struct PmsReport {
+    /// Snapshot of the place registry.
+    pub places: Vec<crate::registry::PmPlace>,
+    /// Total battery energy drained (joules).
+    pub energy_joules: f64,
+    /// Energy by interface.
+    pub energy_by_interface: Vec<(pmware_device::Interface, f64)>,
+    /// Event counters.
+    pub counters: PmsCounters,
+    /// Intents delivered to connected apps.
+    pub intents_delivered: u64,
+}
+
+#[derive(Debug, Clone)]
+struct OpenEncounter {
+    start: SimTime,
+    last_seen: SimTime,
+    place: Option<PmPlaceId>,
+}
+
+/// The mobile service bound to one device.
+pub struct PmwareMobileService<'w, P> {
+    config: PmsConfig,
+    device: Device<'w, P>,
+    client: CloudClient,
+    apps: ConnectedApps,
+    prefs: UserPreferences,
+    scheduler: SensingScheduler,
+    movement: MovementDetector,
+    engine: InferenceEngine,
+    registry: PlaceRegistry,
+    profiles: ProfileBuilder,
+    routes: RouteStore,
+    peer_provider: Option<Box<dyn PeerProvider + Send>>,
+    open_encounters: HashMap<String, OpenEncounter>,
+    /// Encounters closed since the last maintenance sync.
+    pending_contacts: Vec<pmware_cloud::ContactEntry>,
+    /// Completed day profiles not yet accepted by the cloud (retried at
+    /// every maintenance pass — an outage must not lose data).
+    pending_profiles: Vec<pmware_cloud::MobilityProfile>,
+    current_place: Option<PmPlaceId>,
+    last_departure: Option<(PmPlaceId, SimTime)>,
+    clock: SimTime,
+    last_maintenance_day: Option<u64>,
+    /// Number of GSM observations already shipped to the cloud for
+    /// discovery; maintenance offloads only the suffix past this point
+    /// (the paper's §2.3.1 "one time computation" per batch of new data).
+    offloaded_upto: usize,
+    counters: PmsCounters,
+}
+
+impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
+    /// Creates a PMS: registers the device with the cloud at `now`
+    /// (§2.2.1) and starts the clock there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] when registration fails.
+    pub fn new(
+        device: Device<'w, P>,
+        cloud: Arc<Mutex<CloudInstance>>,
+        config: PmsConfig,
+        now: SimTime,
+    ) -> Result<Self, PmsError> {
+        let client = CloudClient::register(cloud, &config.imei, &config.email, now)?;
+        let scheduler = SensingScheduler::new(config.sensing.clone());
+        let movement = MovementDetector::new(config.movement_window);
+        let engine = InferenceEngine::new(config.inference.clone());
+        Ok(PmwareMobileService {
+            config,
+            device,
+            client,
+            apps: ConnectedApps::new(),
+            prefs: UserPreferences::new(),
+            scheduler,
+            movement,
+            engine,
+            registry: PlaceRegistry::new(),
+            profiles: ProfileBuilder::new(),
+            routes: RouteStore::new(0.5),
+            peer_provider: None,
+            open_encounters: HashMap::new(),
+            pending_contacts: Vec::new(),
+            pending_profiles: Vec::new(),
+            current_place: None,
+            last_departure: None,
+            clock: now,
+            last_maintenance_day: None,
+            offloaded_upto: 0,
+            counters: PmsCounters::default(),
+        })
+    }
+
+    /// Registers a connected application (§2.4 steps 1–2).
+    pub fn register_app(
+        &mut self,
+        name: impl Into<String>,
+        requirement: AppRequirement,
+        filter: IntentFilter,
+    ) -> Receiver<Intent> {
+        self.apps.register(name, requirement, filter)
+    }
+
+    /// User privacy preferences (per-app granularity caps, kill switch).
+    pub fn preferences_mut(&mut self) -> &mut UserPreferences {
+        &mut self.prefs
+    }
+
+    /// Installs the Bluetooth peer oracle for social discovery.
+    pub fn set_peer_provider(&mut self, provider: Box<dyn PeerProvider + Send>) {
+        self.peer_provider = Some(provider);
+    }
+
+    /// The live (non-retired) places PMWare currently knows.
+    pub fn places(&self) -> Vec<&crate::registry::PmPlace> {
+        self.registry.active_places().collect()
+    }
+
+    /// The place currently occupied, if the tracker is confident.
+    pub fn current_place(&self) -> Option<PmPlaceId> {
+        self.current_place
+    }
+
+    /// Labels a place (§2.2.5); synced to the cloud at the next
+    /// maintenance pass. Returns whether the id exists.
+    pub fn label_place(&mut self, id: PmPlaceId, label: impl Into<String>) -> bool {
+        self.registry.set_label(id, label)
+    }
+
+    /// The cloud client, for analytics queries by apps or the harness.
+    pub fn cloud_client_mut(&mut self) -> &mut CloudClient {
+        &mut self.client
+    }
+
+    /// Battery state of the underlying device.
+    pub fn battery(&self) -> &pmware_device::Battery {
+        self.device.battery()
+    }
+
+    /// Canonical routes recorded so far.
+    pub fn routes(&self) -> &RouteStore {
+        &self.routes
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> PmsCounters {
+        self.counters
+    }
+
+    /// Runs the main loop until `until`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] only for registration-level failures;
+    /// transient cloud errors during maintenance fall back to local
+    /// computation and keep the loop alive (a phone keeps sensing when the
+    /// network drops).
+    pub fn run(&mut self, until: SimTime) -> Result<(), PmsError> {
+        while self.clock < until {
+            let t = self.clock;
+            self.tick(t)?;
+            self.clock = t + self.config.tick;
+        }
+        Ok(())
+    }
+
+    fn tick(&mut self, t: SimTime) -> Result<(), PmsError> {
+        self.device.bill_baseline(t);
+
+        // Token refresh (§2.2.1) — an expired token would break syncs. If
+        // the token was lost entirely (it expired while the cloud was
+        // unreachable), fall back to re-registration, which is idempotent
+        // per device identity.
+        match self.client.refresh_if_needed(t, self.config.token_refresh_margin) {
+            Ok(true) => self.counters.token_refreshes += 1,
+            Ok(false) => {}
+            Err(_) => {
+                let (imei, email) = (self.config.imei.clone(), self.config.email.clone());
+                if self.client.reregister(&imei, &email, t).is_ok() {
+                    self.counters.token_refreshes += 1;
+                }
+            }
+        }
+
+        let demand = self.apps.demand_at_hour(t.hour_of_day());
+        let motion = self.movement.state();
+        let decision = self.scheduler.decide(t, demand, motion);
+
+        if decision.accel {
+            let reading = self.device.read_accelerometer(t);
+            let state = self.movement.update(reading);
+            // §6 extension: daily activity summary in the mobility profile.
+            self.profiles
+                .on_motion(t, self.config.sensing.accel_period, state.is_moving());
+        }
+
+        if decision.gsm {
+            if let Some(obs) = self.device.sample_gsm(t) {
+                let events = self.engine.on_gsm(obs);
+                for event in events {
+                    self.handle_place_event(event, demand.route);
+                }
+            }
+        }
+
+        if decision.wifi {
+            let scan = self.device.scan_wifi(t);
+            let events = self.engine.on_wifi(&scan);
+            self.handle_wifi_events(&events);
+        }
+
+        if decision.gps {
+            if let Some(fix) = self.device.fix_gps(t) {
+                self.engine.on_gps(fix);
+            }
+        }
+
+        if decision.bluetooth {
+            self.bluetooth_pass(t);
+        }
+
+        // Nightly maintenance.
+        let due = match self.last_maintenance_day {
+            None => t.hour_of_day() >= self.config.maintenance_hour && t.day() > 0,
+            Some(d) => t.day() > d && t.hour_of_day() >= self.config.maintenance_hour,
+        };
+        if due {
+            self.maintenance(t);
+            self.last_maintenance_day = Some(t.day());
+        }
+        Ok(())
+    }
+
+    fn handle_place_event(&mut self, event: PlaceEvent, route_mode: Option<RouteAccuracy>) {
+        match event {
+            PlaceEvent::Arrival { place, time } => {
+                let stable = PmPlaceId(place.0);
+                if self.registry.place(stable).is_none() {
+                    return;
+                }
+                if self.current_place == Some(stable) {
+                    return; // re-confirmation after a tracker rebuild
+                }
+                if self.current_place.is_some() {
+                    // Missed departure: close it at the new arrival time.
+                    self.profiles.on_departure(time);
+                }
+                // Close route tracking between the previous departure and
+                // this arrival.
+                if let Some((from, departed)) = self.last_departure.take() {
+                    if from != stable || route_mode.is_some() {
+                        self.record_route(from, stable, departed, time, route_mode);
+                    }
+                }
+                self.current_place = Some(stable);
+                self.registry.record_visit(stable);
+                self.profiles.on_arrival(DiscoveredPlaceId(stable.0), time);
+                self.counters.arrivals += 1;
+                self.broadcast_place_event(actions::PLACE_ARRIVAL, stable, time);
+            }
+            PlaceEvent::Departure { place, time } => {
+                let stable = PmPlaceId(place.0);
+                if self.current_place != Some(stable) {
+                    return;
+                }
+                self.current_place = None;
+                self.profiles.on_departure(time);
+                self.last_departure = Some((stable, time));
+                self.counters.departures += 1;
+                self.broadcast_place_event(actions::PLACE_DEPARTURE, stable, time);
+            }
+        }
+    }
+
+    fn record_route(
+        &mut self,
+        from: PmPlaceId,
+        to: PmPlaceId,
+        start: SimTime,
+        end: SimTime,
+        mode: Option<RouteAccuracy>,
+    ) {
+        // High-accuracy mode prefers the GPS trace when fixes exist
+        // (§2.2.2); otherwise the GSM cell sequence.
+        let geometry = match mode {
+            Some(RouteAccuracy::High) => gps_route(self.engine.gps_log(), start, end)
+                .unwrap_or_else(|| cell_route(self.engine.gsm_log(), start, end)),
+            _ => cell_route(self.engine.gsm_log(), start, end),
+        };
+        let observation = RouteObservation {
+            from: DiscoveredPlaceId(from.0),
+            to: DiscoveredPlaceId(to.0),
+            start,
+            end,
+            geometry,
+        };
+        if let Some(route_id) = self.routes.record(observation) {
+            self.counters.routes += 1;
+            self.profiles.on_route(route_id, start, end);
+            let intent = Intent::new(
+                actions::ROUTE_COMPLETED,
+                end,
+                json!({ "route": route_id, "from": from.0, "to": to.0 }),
+            );
+            self.apps.bus_mut().broadcast(&intent);
+        }
+    }
+
+    fn handle_wifi_events(&mut self, events: &[WifiPlaceEvent]) {
+        for event in events {
+            if let WifiPlaceEvent::Departure { place, .. } = event {
+                // Opportunistic augmentation (§4: "GSM data augmented with
+                // opportunistic WiFi sensing"): attach the stay's AP
+                // signature to the place the tracker had us at.
+                let aps: Vec<_> = self
+                    .engine
+                    .wifi_places()
+                    .iter()
+                    .find(|p| p.id == *place)
+                    .and_then(|p| match &p.signature {
+                        PlaceSignature::WifiAps(aps) => Some(aps.iter().copied().collect()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                if let Some(current) = self.current_place {
+                    self.registry.augment_with_wifi(current, aps);
+                }
+            }
+        }
+    }
+
+    fn bluetooth_pass(&mut self, t: SimTime) {
+        let Some(provider) = &self.peer_provider else { return };
+        let peers = provider.peers_at(t);
+        let found = self.device.scan_bluetooth(t, &peers);
+        let stale_after = SimDuration::from_seconds(
+            self.config.sensing.bluetooth_period.as_seconds() * 2 + 60,
+        );
+        for contact in found {
+            let entry = self
+                .open_encounters
+                .entry(contact)
+                .or_insert(OpenEncounter { start: t, last_seen: t, place: self.current_place });
+            entry.last_seen = t;
+            if entry.place.is_none() {
+                entry.place = self.current_place;
+            }
+        }
+        // Close encounters not seen recently.
+        let mut closed: Vec<(String, OpenEncounter)> = Vec::new();
+        self.open_encounters.retain(|contact, enc| {
+            if t.since(enc.last_seen) > stale_after {
+                closed.push((contact.clone(), enc.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (contact, enc) in closed {
+            self.finish_encounter(&contact, &enc);
+        }
+    }
+
+    fn finish_encounter(&mut self, contact: &str, enc: &OpenEncounter) {
+        self.counters.encounters += 1;
+        self.profiles.on_contact(
+            contact,
+            enc.start,
+            enc.last_seen,
+            enc.place.map(|p| DiscoveredPlaceId(p.0)),
+        );
+        self.pending_contacts.push(pmware_cloud::ContactEntry {
+            contact: contact.to_owned(),
+            start: enc.start,
+            end: enc.last_seen,
+            place: enc.place.map(|p| DiscoveredPlaceId(p.0)),
+        });
+        let intent = Intent::new(
+            actions::SOCIAL_CONTACT,
+            enc.last_seen,
+            json!({
+                "contact": contact,
+                "place": enc.place.map(|p| p.0),
+            }),
+        );
+        self.apps.bus_mut().broadcast(&intent);
+    }
+
+    fn broadcast_place_event(&mut self, action: &str, place: PmPlaceId, time: SimTime) {
+        self.broadcast_place_event_with_history(action, place, time, &[]);
+    }
+
+    fn broadcast_place_event_with_history(
+        &mut self,
+        action: &str,
+        place: PmPlaceId,
+        time: SimTime,
+        history: &[(u64, u64)],
+    ) {
+        let Some(info) = self.registry.place(place).cloned() else { return };
+        let requirements: HashMap<String, AppRequirement> = self
+            .apps
+            .iter()
+            .map(|a| (a.id.0.clone(), a.requirement.clone()))
+            .collect();
+        let prefs = self.prefs.clone();
+        self.apps.bus_mut().broadcast_with(action, |app_name| {
+            let requirement = requirements.get(app_name)?;
+            // Apps only hear place events inside their tracking window
+            // (§2.4 step 1: "building-level granularity with a tracking
+            // between 9 AM to 6 PM").
+            if !requirement.active_at_hour(time.hour_of_day()) {
+                return None;
+            }
+            let granularity =
+                prefs.effective_granularity(app_name, requirement.granularity)?;
+            let position = info
+                .position
+                .map(|p| coarsen_position(p, granularity));
+            Some(Intent::new(
+                action,
+                time,
+                json!({
+                    "place": place.0,
+                    "label": info.label,
+                    "latitude": position.map(|p| p.latitude()),
+                    "longitude": position.map(|p| p.longitude()),
+                    "granularity": granularity.label(),
+                    "visit_count": info.visit_count,
+                    "history": history,
+                }),
+            ))
+        });
+    }
+
+    /// Nightly maintenance: GCA offload (falling back to local discovery
+    /// when the cloud errors), registry reconciliation, tracker rebuild,
+    /// PLACE_NEW broadcasts, geolocation of new places, and profile/route
+    /// syncs.
+    fn maintenance(&mut self, t: SimTime) {
+        self.counters.gca_offloads += 1;
+        // Nightly incremental discovery, as the paper describes (§2.3.1):
+        // each offload clusters only the observations gathered since the
+        // last one. Once a week the full log is re-clustered instead — an
+        // authoritative compaction that heals signature drift (duplicate
+        // places whose day-signatures stopped overlapping) and retires
+        // superseded entries.
+        let authoritative = t.day() % self.config.compaction_period_days == 0;
+        let observations: &[pmware_world::GsmObservation] = if authoritative {
+            self.engine.gsm_log()
+        } else {
+            &self.engine.gsm_log()[self.offloaded_upto..]
+        };
+        let places: Vec<DiscoveredPlace> =
+            match self.client.discover_places(observations, t) {
+                Ok(places) => places,
+                Err(_) => {
+                    self.counters.gca_local_fallbacks += 1;
+                    pmware_algorithms::gca::discover_places(
+                        observations,
+                        &self.config.inference.gca,
+                    )
+                    .places
+                }
+            };
+        self.offloaded_upto = self.engine.gsm_log().len();
+        let mode = if authoritative {
+            ReconcileMode::Authoritative
+        } else {
+            ReconcileMode::Incremental
+        };
+        let recon = self.registry.reconcile_with_mode(
+            &places,
+            t,
+            self.config.reconcile_overlap,
+            mode,
+        );
+        // The online tracker recognises every *live* place by its
+        // accumulated signature, keyed directly by stable id.
+        let known: Vec<DiscoveredPlace> = self
+            .registry
+            .active_places()
+            .map(|p| {
+                DiscoveredPlace::new(
+                    DiscoveredPlaceId(p.id.0),
+                    PlaceSignature::Cells(p.cells.clone()),
+                    Vec::new(),
+                )
+            })
+            .collect();
+        self.engine.rebuild_tracker(&known);
+
+        // Geolocate and announce brand-new places. The PLACE_NEW intent
+        // carries the place's detected visit history (what Figure 4c's
+        // detail view shows) so that apps like the life logger can render
+        // stay times without having witnessed the visits live.
+        for id in recon.created {
+            let cells: Vec<_> = self
+                .registry
+                .place(id)
+                .map(|p| p.cells.iter().copied().collect())
+                .unwrap_or_default();
+            if let Ok(Some(position)) = self.client.geolocate_signature(&cells, t) {
+                self.registry.set_position(id, position);
+            }
+            let history: Vec<(u64, u64)> = self
+                .registry
+                .place(id)
+                .map(|p| {
+                    p.gca_visits
+                        .iter()
+                        .map(|v| (v.arrival.as_seconds(), v.departure.as_seconds()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            self.broadcast_place_event_with_history(actions::PLACE_NEW, id, t, &history);
+        }
+
+        // Sync finished day profiles, keeping any the cloud rejects for the
+        // next pass (outage resilience: syncing is at-least-once).
+        self.pending_profiles
+            .extend(self.profiles.take_completed_before(t.day()));
+        let mut still_pending = Vec::new();
+        for profile in self.pending_profiles.drain(..) {
+            if self.client.sync_profile(&profile, t).is_ok() {
+                self.counters.profiles_synced += 1;
+            } else {
+                still_pending.push(profile);
+            }
+        }
+        self.pending_profiles = still_pending;
+
+        // Sync the authoritative place snapshot (including labels) and the
+        // route table.
+        let snapshot: Vec<DiscoveredPlace> = self
+            .registry
+            .active_places()
+            .map(|p| {
+                let mut d = DiscoveredPlace::new(
+                    DiscoveredPlaceId(p.id.0),
+                    PlaceSignature::Cells(p.cells.clone()),
+                    Vec::new(),
+                );
+                d.label = p.label.clone();
+                d
+            })
+            .collect();
+        let _ = self.client.sync_places(&snapshot, t);
+        let _ = self.client.sync_routes(self.routes.routes(), t);
+        if !self.pending_contacts.is_empty() {
+            let contacts = std::mem::take(&mut self.pending_contacts);
+            if self.client.sync_contacts(&contacts, t).is_err() {
+                self.pending_contacts = contacts; // retry next maintenance
+            }
+        }
+    }
+
+    /// Ends the study at `now`: closes open stays/encounters, syncs the
+    /// remaining profiles, and returns the final report.
+    pub fn finish(mut self, now: SimTime) -> PmsReport {
+        let open: Vec<(String, OpenEncounter)> = self
+            .open_encounters
+            .drain()
+            .collect();
+        for (contact, enc) in open {
+            self.finish_encounter(&contact, &enc);
+        }
+        let remaining: Vec<_> = self
+            .pending_profiles
+            .drain(..)
+            .chain(self.profiles.finish(now))
+            .collect();
+        for profile in remaining {
+            if self.client.sync_profile(&profile, now).is_ok() {
+                self.counters.profiles_synced += 1;
+            }
+        }
+        if !self.pending_contacts.is_empty() {
+            let contacts = std::mem::take(&mut self.pending_contacts);
+            let _ = self.client.sync_contacts(&contacts, now);
+        }
+        let battery = self.device.battery();
+        PmsReport {
+            places: self.registry.active_places().cloned().collect(),
+            energy_joules: battery.drained_joules(),
+            energy_by_interface: battery.breakdown().collect(),
+            counters: self.counters,
+            intents_delivered: 0, // replaced below
+        }
+        .with_intents(self.apps.bus_mut().delivered_count())
+    }
+}
+
+impl PmsReport {
+    fn with_intents(mut self, delivered: u64) -> Self {
+        self.intents_delivered = delivered;
+        self
+    }
+}

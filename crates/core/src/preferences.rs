@@ -1,0 +1,178 @@
+//! User preferences: the privacy layer (§2.2.1).
+//!
+//! *"User can configure the place granularity permission for every
+//! connected application to preserve her privacy. For instance, a mobile
+//! advertisement application want to access place information at building
+//! level granularity but user may choose to set permission for only
+//! area-level granularity. This module also provides a single control to
+//! switch off all place-centric applications."*
+
+use std::collections::HashMap;
+
+use pmware_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+use crate::requirements::Granularity;
+
+/// Per-user privacy preferences.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UserPreferences {
+    /// Per-app granularity cap; apps not listed get what they ask for.
+    caps: HashMap<String, Granularity>,
+    /// The global kill switch: when set, no place information flows to any
+    /// connected application.
+    sharing_disabled: bool,
+}
+
+impl UserPreferences {
+    /// Default preferences: nothing capped, sharing on.
+    pub fn new() -> Self {
+        UserPreferences::default()
+    }
+
+    /// Caps `app` at `granularity`.
+    pub fn set_cap(&mut self, app: impl Into<String>, granularity: Granularity) {
+        self.caps.insert(app.into(), granularity);
+    }
+
+    /// Removes an app's cap.
+    pub fn clear_cap(&mut self, app: &str) {
+        self.caps.remove(app);
+    }
+
+    /// The cap for an app, if any.
+    pub fn cap(&self, app: &str) -> Option<Granularity> {
+        self.caps.get(app).copied()
+    }
+
+    /// Switches all place sharing off/on (the single control of §2.2.1).
+    pub fn set_sharing_disabled(&mut self, disabled: bool) {
+        self.sharing_disabled = disabled;
+    }
+
+    /// Whether the kill switch is engaged.
+    pub fn sharing_disabled(&self) -> bool {
+        self.sharing_disabled
+    }
+
+    /// The granularity `app` actually receives when it asked for
+    /// `requested`: the coarser of request and cap, or `None` when the
+    /// kill switch is on.
+    pub fn effective_granularity(
+        &self,
+        app: &str,
+        requested: Granularity,
+    ) -> Option<Granularity> {
+        if self.sharing_disabled {
+            return None;
+        }
+        Some(match self.caps.get(app) {
+            Some(cap) => requested.min(*cap),
+            None => requested,
+        })
+    }
+}
+
+/// Coarsens a position to a granularity's precision by snapping it to a
+/// grid of that cell size — the payload an app with a coarser permission
+/// sees.
+pub fn coarsen_position(position: GeoPoint, granularity: Granularity) -> GeoPoint {
+    let cell_m = granularity.coarseness_m();
+    // ~111_320 m per degree of latitude.
+    let lat_step = cell_m / 111_320.0;
+    let lat = (position.latitude() / lat_step).round() * lat_step;
+    // Scale longitude by the *snapped* latitude so that every point in a
+    // cell uses the same step (using the raw latitude would let two nearby
+    // points snap to different grids).
+    let lng_step = cell_m / (111_320.0 * lat.to_radians().cos().max(0.01));
+    let lng = (position.longitude() / lng_step).round() * lng_step;
+    GeoPoint::new(lat.clamp(-90.0, 90.0), lng.clamp(-180.0, 180.0))
+        .expect("snapped coordinates stay in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_geo::Meters;
+
+    #[test]
+    fn cap_coarsens_but_never_refines() {
+        let mut prefs = UserPreferences::new();
+        prefs.set_cap("ads", Granularity::Area);
+        // Request finer than cap → capped.
+        assert_eq!(
+            prefs.effective_granularity("ads", Granularity::Building),
+            Some(Granularity::Area)
+        );
+        // Request coarser than cap → request wins.
+        prefs.set_cap("logger", Granularity::Room);
+        assert_eq!(
+            prefs.effective_granularity("logger", Granularity::Area),
+            Some(Granularity::Area)
+        );
+        // Uncapped app gets what it asks.
+        assert_eq!(
+            prefs.effective_granularity("other", Granularity::Room),
+            Some(Granularity::Room)
+        );
+    }
+
+    #[test]
+    fn kill_switch_blocks_everything() {
+        let mut prefs = UserPreferences::new();
+        prefs.set_sharing_disabled(true);
+        assert!(prefs.sharing_disabled());
+        assert_eq!(prefs.effective_granularity("x", Granularity::Area), None);
+        prefs.set_sharing_disabled(false);
+        assert!(prefs.effective_granularity("x", Granularity::Area).is_some());
+    }
+
+    #[test]
+    fn clear_cap_restores_requests() {
+        let mut prefs = UserPreferences::new();
+        prefs.set_cap("ads", Granularity::Area);
+        assert_eq!(prefs.cap("ads"), Some(Granularity::Area));
+        prefs.clear_cap("ads");
+        assert_eq!(prefs.cap("ads"), None);
+        assert_eq!(
+            prefs.effective_granularity("ads", Granularity::Room),
+            Some(Granularity::Room)
+        );
+    }
+
+    #[test]
+    fn coarsening_displaces_proportionally() {
+        let p = GeoPoint::new(12.971_234, 77.594_567).unwrap();
+        let room = coarsen_position(p, Granularity::Room);
+        let building = coarsen_position(p, Granularity::Building);
+        let area = coarsen_position(p, Granularity::Area);
+        let d_room = p.equirectangular_distance(room).value();
+        let d_building = p.equirectangular_distance(building).value();
+        let d_area = p.equirectangular_distance(area).value();
+        // Displacement is bounded by half the cell diagonal.
+        assert!(d_room <= 10.0, "room displaced {d_room}");
+        assert!(d_building <= 100.0, "building displaced {d_building}");
+        assert!(d_area <= 1_000.0, "area displaced {d_area}");
+    }
+
+    #[test]
+    fn coarsening_is_stable_within_a_cell() {
+        // Two points a few metres apart snap to the same area-level cell.
+        let a = GeoPoint::new(12.9712, 77.5946).unwrap();
+        let b = a.destination(45.0, Meters::new(20.0));
+        assert_eq!(
+            coarsen_position(a, Granularity::Area),
+            coarsen_position(b, Granularity::Area)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut prefs = UserPreferences::new();
+        prefs.set_cap("ads", Granularity::Area);
+        prefs.set_sharing_disabled(true);
+        let json = serde_json::to_string(&prefs).unwrap();
+        let back: UserPreferences = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, prefs);
+    }
+}

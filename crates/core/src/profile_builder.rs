@@ -1,0 +1,289 @@
+//! Day-specific mobility-profile assembly (§2.2.3).
+//!
+//! *"It takes the output of place inference module and subsequently builds
+//! mobility profile for a given day \[…\] This module has the
+//! responsibility to sync the profile on the cloud instance."*
+//!
+//! The builder receives arrival/departure/route/contact/motion callbacks
+//! from the PMS event loop and cuts them into per-day [`MobilityProfile`]s,
+//! splitting stays that cross midnight. Days are held open until they can
+//! no longer change: a stay that began on day *N* and is still open pins
+//! day *N* (its midnight-split entries do not exist yet), so
+//! [`take_completed_before`](ProfileBuilder::take_completed_before) ships a
+//! day only once every stay touching it has closed — shipping earlier and
+//! re-syncing later would overwrite the cloud's copy with a fragment.
+
+use std::collections::BTreeMap;
+
+use pmware_algorithms::route::RouteId;
+use pmware_algorithms::signature::DiscoveredPlaceId;
+use pmware_cloud::{ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};
+use pmware_world::time::DAY;
+use pmware_world::SimTime;
+
+/// Accumulates per-day profiles.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileBuilder {
+    days: BTreeMap<u64, MobilityProfile>,
+    open_place: Option<(DiscoveredPlaceId, SimTime)>,
+    /// Days already handed out by `take_completed_before` (never recreate).
+    shipped_below: u64,
+}
+
+impl ProfileBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ProfileBuilder::default()
+    }
+
+    fn profile_for(&mut self, day: u64) -> &mut MobilityProfile {
+        self.days
+            .entry(day)
+            .or_insert_with(|| MobilityProfile::new(day))
+    }
+
+    /// Records an arrival at a place.
+    pub fn on_arrival(&mut self, place: DiscoveredPlaceId, time: SimTime) {
+        // Close any dangling open stay defensively.
+        if self.open_place.is_some() {
+            self.on_departure(time);
+        }
+        self.open_place = Some((place, time));
+    }
+
+    /// Records the departure from the currently-open place, splitting the
+    /// stay at midnight boundaries. No-op when no stay is open.
+    pub fn on_departure(&mut self, time: SimTime) {
+        let Some((place, arrival)) = self.open_place.take() else {
+            return;
+        };
+        let mut start = arrival;
+        while start < time {
+            let day = start.day();
+            let day_end = SimTime::from_seconds((day + 1) * DAY);
+            let end = time.min(day_end);
+            self.profile_for(day).places.push(PlaceEntry {
+                place,
+                arrival: start,
+                departure: end,
+            });
+            start = end;
+        }
+        if arrival == time {
+            // Zero-length stay still counts as a touch on that day.
+            self.profile_for(arrival.day()).places.push(PlaceEntry {
+                place,
+                arrival,
+                departure: time,
+            });
+        }
+    }
+
+    /// The currently open stay, if any.
+    pub fn open_place(&self) -> Option<(DiscoveredPlaceId, SimTime)> {
+        self.open_place
+    }
+
+    /// Records a completed route traversal.
+    pub fn on_route(&mut self, route: RouteId, start: SimTime, end: SimTime) {
+        self.profile_for(start.day())
+            .routes
+            .push(RouteEntry { route, start, end });
+    }
+
+    /// Records a social encounter.
+    pub fn on_contact(
+        &mut self,
+        contact: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        place: Option<DiscoveredPlaceId>,
+    ) {
+        self.profile_for(start.day()).contacts.push(ContactEntry {
+            contact: contact.into(),
+            start,
+            end,
+            place,
+        });
+    }
+
+    /// Accounts one classified motion window toward the day's activity
+    /// summary (the §6 activity-tracking extension).
+    pub fn on_motion(
+        &mut self,
+        time: SimTime,
+        window: pmware_world::SimDuration,
+        moving: bool,
+    ) {
+        let activity = &mut self.profile_for(time.day()).activity;
+        if moving {
+            activity.moving_seconds += window.as_seconds();
+        } else {
+            activity.stationary_seconds += window.as_seconds();
+        }
+    }
+
+    /// Takes every profile that is *final* for days strictly before `day`,
+    /// in day order. A day is final once no open stay can still add
+    /// entries to it; an open stay pins its arrival day and everything
+    /// after. Taken days are never recreated — callers own them.
+    pub fn take_completed_before(&mut self, day: u64) -> Vec<MobilityProfile> {
+        let limit = match self.open_place {
+            Some((_, arrival)) => day.min(arrival.day()),
+            None => day,
+        };
+        let rest = self.days.split_off(&limit);
+        let done = std::mem::replace(&mut self.days, rest);
+        self.shipped_below = self.shipped_below.max(limit);
+        done.into_values().collect()
+    }
+
+    /// Flushes everything (end of study): closes any open stay at `now`
+    /// and returns all remaining profiles in day order.
+    pub fn finish(&mut self, now: SimTime) -> Vec<MobilityProfile> {
+        self.on_departure(now);
+        std::mem::take(&mut self.days).into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(day: u64, hour: u64, minute: u64) -> SimTime {
+        SimTime::from_day_time(day, hour, minute, 0)
+    }
+
+    #[test]
+    fn simple_day_of_visits() {
+        let mut b = ProfileBuilder::new();
+        b.on_arrival(DiscoveredPlaceId(0), t(0, 0, 0));
+        b.on_departure(t(0, 8, 30));
+        b.on_route(RouteId(0), t(0, 8, 30), t(0, 9, 0));
+        b.on_arrival(DiscoveredPlaceId(1), t(0, 9, 0));
+        b.on_departure(t(0, 17, 0));
+        let profiles = b.finish(t(0, 17, 0));
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert_eq!(p.day, 0);
+        assert_eq!(p.places.len(), 2);
+        assert_eq!(p.routes.len(), 1);
+        assert_eq!(p.places[0].place, DiscoveredPlaceId(0));
+        assert_eq!(p.places[1].departure, t(0, 17, 0));
+    }
+
+    #[test]
+    fn overnight_stay_is_split_at_midnight() {
+        let mut b = ProfileBuilder::new();
+        b.on_arrival(DiscoveredPlaceId(0), t(0, 20, 0));
+        b.on_departure(t(1, 8, 0));
+        let profiles = b.finish(t(1, 8, 0));
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].places.len(), 1);
+        assert_eq!(profiles[0].places[0].departure, t(1, 0, 0));
+        assert_eq!(profiles[1].places[0].arrival, t(1, 0, 0));
+        assert_eq!(profiles[1].places[0].departure, t(1, 8, 0));
+    }
+
+    #[test]
+    fn multi_day_stay_produces_one_entry_per_day() {
+        let mut b = ProfileBuilder::new();
+        b.on_arrival(DiscoveredPlaceId(0), t(0, 12, 0));
+        b.on_departure(t(3, 12, 0));
+        let profiles = b.finish(t(3, 12, 0));
+        assert_eq!(profiles.len(), 4);
+        for p in &profiles {
+            assert_eq!(p.places.len(), 1);
+        }
+    }
+
+    #[test]
+    fn open_overnight_stay_pins_its_arrival_day() {
+        let mut b = ProfileBuilder::new();
+        // Day 0 visits, then an overnight stay starting at 20:00.
+        b.on_arrival(DiscoveredPlaceId(1), t(0, 9, 0));
+        b.on_departure(t(0, 17, 0));
+        b.on_arrival(DiscoveredPlaceId(0), t(0, 20, 0));
+        // It is now day 1, 03:00 (the maintenance pass): day 0 is NOT
+        // final — the open stay will still add its 20:00–24:00 entry.
+        assert!(b.take_completed_before(1).is_empty());
+        // The stay departs at day 1, 08:00 → day 0 becomes final with
+        // both entries intact.
+        b.on_departure(t(1, 8, 0));
+        b.on_arrival(DiscoveredPlaceId(1), t(1, 9, 0));
+        let done = b.take_completed_before(2);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].day, 0);
+        assert_eq!(done[0].places.len(), 2, "work + evening-home entries");
+        // Day 1 ships later with the morning-home slice and the new work
+        // stay.
+        b.on_departure(t(1, 17, 0));
+        let rest = b.finish(t(1, 17, 0));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].day, 1);
+        assert_eq!(rest[0].places.len(), 2, "morning-home slice + work");
+    }
+
+    #[test]
+    fn shipped_days_are_never_recreated_by_late_events() {
+        let mut b = ProfileBuilder::new();
+        b.on_arrival(DiscoveredPlaceId(0), t(0, 9, 0));
+        b.on_departure(t(0, 10, 0));
+        let done = b.take_completed_before(1);
+        assert_eq!(done.len(), 1);
+        // Pathological late event for day 0 would create a fragment; the
+        // builder accepts it (at-least-once upstream) but a normal flow
+        // never produces one because open stays pin their days.
+        assert!(b.take_completed_before(1).is_empty());
+    }
+
+    #[test]
+    fn take_completed_before_returns_only_final_days() {
+        let mut b = ProfileBuilder::new();
+        b.on_arrival(DiscoveredPlaceId(0), t(0, 9, 0));
+        b.on_departure(t(0, 17, 0));
+        b.on_arrival(DiscoveredPlaceId(1), t(1, 9, 0));
+        b.on_departure(t(1, 10, 0));
+        // At day-1 processing with nothing open: day 0 is final.
+        let done = b.take_completed_before(1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].day, 0);
+        let done = b.take_completed_before(1);
+        assert!(done.is_empty());
+        let rest = b.finish(t(1, 10, 0));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].day, 1);
+    }
+
+    #[test]
+    fn arrival_without_departure_is_closed_by_next_arrival() {
+        let mut b = ProfileBuilder::new();
+        b.on_arrival(DiscoveredPlaceId(0), t(0, 9, 0));
+        // Missing departure event (tracker glitch): next arrival closes it.
+        b.on_arrival(DiscoveredPlaceId(1), t(0, 12, 0));
+        b.on_departure(t(0, 13, 0));
+        let profiles = b.finish(t(0, 13, 0));
+        assert_eq!(profiles[0].places.len(), 2);
+        assert_eq!(profiles[0].places[0].departure, t(0, 12, 0));
+    }
+
+    #[test]
+    fn contacts_and_motion_recorded() {
+        let mut b = ProfileBuilder::new();
+        b.on_contact("peer-3", t(0, 10, 0), t(0, 11, 0), Some(DiscoveredPlaceId(1)));
+        b.on_motion(t(0, 10, 0), pmware_world::SimDuration::from_minutes(1), true);
+        b.on_motion(t(0, 10, 1), pmware_world::SimDuration::from_minutes(1), false);
+        let profiles = b.finish(t(0, 12, 0));
+        assert_eq!(profiles[0].contacts.len(), 1);
+        assert_eq!(profiles[0].contacts[0].contact, "peer-3");
+        assert_eq!(profiles[0].activity.moving_seconds, 60);
+        assert_eq!(profiles[0].activity.stationary_seconds, 60);
+    }
+
+    #[test]
+    fn departure_without_arrival_is_noop() {
+        let mut b = ProfileBuilder::new();
+        b.on_departure(t(0, 5, 0));
+        assert!(b.finish(t(0, 6, 0)).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Place-accuracy requirements (Figure 2).
+//!
+//! *"PMWare categorizes the requirements of place-centric applications into
+//! three different categories (i.e. area-level, building-level, and
+//! room-level) and accordingly, samples location interfaces to minimize
+//! overall battery consumption."* (§1)
+//!
+//! [`app_characterization`] regenerates the Figure 2 taxonomy: which class
+//! of application needs which granularity, and therefore which location
+//! interfaces PMWare samples for it.
+
+use pmware_device::Interface;
+use serde::{Deserialize, Serialize};
+
+/// The three place-granularity classes of Figure 2.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Granularity {
+    /// Area-level (~a shopping street): GSM alone suffices.
+    Area,
+    /// Building-level: GPS in conjunction with GSM (§2.4 step 3).
+    Building,
+    /// Room-level: WiFi fingerprints (plus continuous GSM).
+    Room,
+}
+
+impl Granularity {
+    /// All granularities, coarsest first.
+    pub const ALL: [Granularity; 3] =
+        [Granularity::Area, Granularity::Building, Granularity::Room];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::Area => "area",
+            Granularity::Building => "building",
+            Granularity::Room => "room",
+        }
+    }
+
+    /// The location interfaces PMWare samples (beyond always-on GSM) to
+    /// satisfy this granularity.
+    pub fn triggered_interfaces(self) -> &'static [Interface] {
+        match self {
+            Granularity::Area => &[],
+            Granularity::Building => &[Interface::Gps],
+            Granularity::Room => &[Interface::WifiScan],
+        }
+    }
+
+    /// The approximate spatial coarseness (metres) a payload at this
+    /// granularity reveals — used by the privacy filter.
+    pub fn coarseness_m(self) -> f64 {
+        match self {
+            Granularity::Area => 1_000.0,
+            Granularity::Building => 100.0,
+            Granularity::Room => 10.0,
+        }
+    }
+}
+
+/// Route tracking accuracy (§2.2.2): *"PMWare has two modes of route
+/// tracking, low accuracy mode and high accuracy mode."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteAccuracy {
+    /// GSM-only cell sequences.
+    Low,
+    /// WiFi departure detection + GPS trace.
+    High,
+}
+
+/// What one connected application asks of PMWare (§2.4 step 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppRequirement {
+    /// Requested place granularity.
+    pub granularity: Granularity,
+    /// Tracking window as hours of day `[start, end)`; `None` = always.
+    pub tracking_window: Option<(u64, u64)>,
+    /// Route tracking mode, if the app wants routes at all.
+    pub route_accuracy: Option<RouteAccuracy>,
+    /// Whether the app wants social-contact events.
+    pub social_contacts: bool,
+}
+
+impl AppRequirement {
+    /// A place-events-only requirement at the given granularity.
+    pub fn places(granularity: Granularity) -> Self {
+        AppRequirement {
+            granularity,
+            tracking_window: None,
+            route_accuracy: None,
+            social_contacts: false,
+        }
+    }
+
+    /// Restricts tracking to `[start, end)` hours of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `end > 24`.
+    pub fn with_window(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end && end <= 24, "invalid window {start}..{end}");
+        self.tracking_window = Some((start, end));
+        self
+    }
+
+    /// Adds route tracking.
+    pub fn with_routes(mut self, accuracy: RouteAccuracy) -> Self {
+        self.route_accuracy = Some(accuracy);
+        self
+    }
+
+    /// Adds social-contact discovery.
+    pub fn with_social(mut self) -> Self {
+        self.social_contacts = true;
+        self
+    }
+
+    /// Whether this app is tracking at hour-of-day `hour`.
+    pub fn active_at_hour(&self, hour: u64) -> bool {
+        match self.tracking_window {
+            Some((start, end)) => hour >= start && hour < end,
+            None => true,
+        }
+    }
+}
+
+/// One row of the Figure 2 characterization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharacterizationRow {
+    /// Application class.
+    pub application: &'static str,
+    /// Example products the paper names (§1).
+    pub examples: &'static str,
+    /// Required granularity.
+    pub granularity: Granularity,
+}
+
+/// Regenerates the Figure 2 taxonomy of place-aware applications.
+pub fn app_characterization() -> Vec<CharacterizationRow> {
+    vec![
+        CharacterizationRow {
+            application: "activity tracking",
+            examples: "Moves, fitness loggers",
+            granularity: Granularity::Room,
+        },
+        CharacterizationRow {
+            application: "indoor navigation / content sharing",
+            examples: "museum guides, device pairing",
+            granularity: Granularity::Room,
+        },
+        CharacterizationRow {
+            application: "geo-reminders / to-do",
+            examples: "Place-Its, geo-notes",
+            granularity: Granularity::Building,
+        },
+        CharacterizationRow {
+            application: "check-ins and meetups",
+            examples: "Foursquare, Facebook Places",
+            granularity: Granularity::Building,
+        },
+        CharacterizationRow {
+            application: "life logging / visit diaries",
+            examples: "Moves, Google Now",
+            granularity: Granularity::Building,
+        },
+        CharacterizationRow {
+            application: "contextual advertisements",
+            examples: "Groupon, PlaceADs",
+            granularity: Granularity::Area,
+        },
+        CharacterizationRow {
+            application: "participatory sensing / exposure",
+            examples: "PEIR",
+            granularity: Granularity::Area,
+        },
+        CharacterizationRow {
+            application: "traffic / ride sharing",
+            examples: "route recommenders",
+            granularity: Granularity::Area,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_orders_coarse_to_fine() {
+        assert!(Granularity::Area < Granularity::Building);
+        assert!(Granularity::Building < Granularity::Room);
+        // max() picks the finest requirement.
+        let finest = [Granularity::Area, Granularity::Room, Granularity::Building]
+            .into_iter()
+            .max()
+            .unwrap();
+        assert_eq!(finest, Granularity::Room);
+    }
+
+    #[test]
+    fn interfaces_per_granularity() {
+        assert!(Granularity::Area.triggered_interfaces().is_empty());
+        assert_eq!(Granularity::Building.triggered_interfaces(), &[Interface::Gps]);
+        assert_eq!(Granularity::Room.triggered_interfaces(), &[Interface::WifiScan]);
+    }
+
+    #[test]
+    fn coarseness_decreases_with_finer_granularity() {
+        assert!(Granularity::Area.coarseness_m() > Granularity::Building.coarseness_m());
+        assert!(Granularity::Building.coarseness_m() > Granularity::Room.coarseness_m());
+    }
+
+    #[test]
+    fn requirement_builder() {
+        let r = AppRequirement::places(Granularity::Building)
+            .with_window(9, 18)
+            .with_routes(RouteAccuracy::High)
+            .with_social();
+        assert_eq!(r.granularity, Granularity::Building);
+        assert!(r.active_at_hour(9));
+        assert!(r.active_at_hour(17));
+        assert!(!r.active_at_hour(18));
+        assert!(!r.active_at_hour(3));
+        assert_eq!(r.route_accuracy, Some(RouteAccuracy::High));
+        assert!(r.social_contacts);
+    }
+
+    #[test]
+    fn no_window_means_always_active() {
+        let r = AppRequirement::places(Granularity::Area);
+        for h in 0..24 {
+            assert!(r.active_at_hour(h));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window")]
+    fn bad_window_rejected() {
+        let _ = AppRequirement::places(Granularity::Area).with_window(18, 9);
+    }
+
+    #[test]
+    fn characterization_covers_all_granularities() {
+        let rows = app_characterization();
+        assert!(rows.len() >= 6);
+        for g in Granularity::ALL {
+            assert!(
+                rows.iter().any(|r| r.granularity == g),
+                "missing granularity {g:?} in Figure 2 table"
+            );
+        }
+        // Contextual ads are area-level (the paper's §1 example).
+        let ads = rows
+            .iter()
+            .find(|r| r.application.contains("advertisements"))
+            .unwrap();
+        assert_eq!(ads.granularity, Granularity::Area);
+        // Activity tracking is room-level (the paper's §1 example).
+        let activity = rows
+            .iter()
+            .find(|r| r.application.contains("activity"))
+            .unwrap();
+        assert_eq!(activity.granularity, Granularity::Room);
+    }
+}

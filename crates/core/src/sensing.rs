@@ -1,0 +1,318 @@
+//! The triggered-sensing scheduler (§2.2.2).
+//!
+//! *"PMWare uses triggered sensing approach where it continuously samples
+//! low energy location interfaces such as GSM continuously and samples
+//! high energy location interfaces such as WiFi, GPS based on the demand
+//! of connected applications."*
+//!
+//! Policy, per tick:
+//!
+//! * **GSM**: every `gsm_period`, unconditionally — the cheap backbone.
+//! * **Accelerometer**: every `accel_period`, unconditionally — it drives
+//!   the movement detector that triggers everything else.
+//! * **WiFi**: only when some active app needs room-level accuracy (or
+//!   high-accuracy routes, which use WiFi to detect departure): scans fire
+//!   on movement-state *transitions* and at a slow opportunistic period
+//!   while stationary.
+//! * **GPS**: only for building-level demand or high-accuracy routes, and
+//!   only while *moving* (a stationary user's place is pinned by the other
+//!   interfaces; burning fixes indoors is wasted energy) plus one fix on
+//!   the moving→stationary transition to pinpoint the arrival.
+//! * **Bluetooth**: only for social-contact demand, while stationary.
+
+use pmware_world::{MotionState, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::apps::Demand;
+use crate::requirements::{Granularity, RouteAccuracy};
+
+/// Scheduler periods.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SensingConfig {
+    /// GSM sampling period (the paper's "every minute").
+    pub gsm_period: SimDuration,
+    /// Accelerometer window period.
+    pub accel_period: SimDuration,
+    /// Opportunistic WiFi period while stationary with room-level demand.
+    pub wifi_stationary_period: SimDuration,
+    /// WiFi period while moving with room-level demand (departure/arrival
+    /// detection needs denser scans in motion).
+    pub wifi_moving_period: SimDuration,
+    /// GPS period while moving with building-level demand.
+    pub gps_moving_period: SimDuration,
+    /// Bluetooth inquiry period while stationary with social demand.
+    pub bluetooth_period: SimDuration,
+    /// When set, GPS is sampled at `gps_moving_period` regardless of
+    /// motion state — the naive "continuous GPS" plan PMWare's triggered
+    /// sensing is compared against (never enabled in normal operation).
+    pub gps_continuous: bool,
+}
+
+impl Default for SensingConfig {
+    fn default() -> Self {
+        SensingConfig {
+            gsm_period: SimDuration::from_minutes(1),
+            accel_period: SimDuration::from_minutes(1),
+            wifi_stationary_period: SimDuration::from_minutes(10),
+            wifi_moving_period: SimDuration::from_minutes(2),
+            gps_moving_period: SimDuration::from_minutes(2),
+            bluetooth_period: SimDuration::from_minutes(10),
+            gps_continuous: false,
+        }
+    }
+}
+
+/// What to sample this tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SensingDecision {
+    /// Read the serving cell.
+    pub gsm: bool,
+    /// Read an accelerometer window.
+    pub accel: bool,
+    /// Perform a WiFi scan.
+    pub wifi: bool,
+    /// Attempt a GPS fix.
+    pub gps: bool,
+    /// Perform a Bluetooth inquiry.
+    pub bluetooth: bool,
+}
+
+/// The stateful scheduler.
+#[derive(Debug, Clone)]
+pub struct SensingScheduler {
+    config: SensingConfig,
+    last_gsm: Option<SimTime>,
+    last_accel: Option<SimTime>,
+    last_wifi: Option<SimTime>,
+    last_gps: Option<SimTime>,
+    last_bluetooth: Option<SimTime>,
+    prev_motion: MotionState,
+}
+
+impl SensingScheduler {
+    /// Creates a scheduler.
+    pub fn new(config: SensingConfig) -> Self {
+        SensingScheduler {
+            config,
+            last_gsm: None,
+            last_accel: None,
+            last_wifi: None,
+            last_gps: None,
+            last_bluetooth: None,
+            prev_motion: MotionState::Stationary,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SensingConfig {
+        &self.config
+    }
+
+    fn due(last: Option<SimTime>, now: SimTime, period: SimDuration) -> bool {
+        match last {
+            None => true,
+            Some(t) => now.since(t) >= period,
+        }
+    }
+
+    /// Decides what to sample at `now`, given the app demand and the
+    /// current smoothed motion state. Call exactly once per tick; the
+    /// decision records what was sampled.
+    pub fn decide(
+        &mut self,
+        now: SimTime,
+        demand: Demand,
+        motion: MotionState,
+    ) -> SensingDecision {
+        let transition = motion != self.prev_motion;
+        self.prev_motion = motion;
+
+        let mut decision = SensingDecision::default();
+
+        if Self::due(self.last_gsm, now, self.config.gsm_period) {
+            decision.gsm = true;
+            self.last_gsm = Some(now);
+        }
+        if Self::due(self.last_accel, now, self.config.accel_period) {
+            decision.accel = true;
+            self.last_accel = Some(now);
+        }
+
+        let wifi_demanded = demand.granularity == Some(Granularity::Room)
+            || demand.route == Some(RouteAccuracy::High);
+        if wifi_demanded {
+            let period = if motion.is_moving() {
+                self.config.wifi_moving_period
+            } else {
+                self.config.wifi_stationary_period
+            };
+            if transition || Self::due(self.last_wifi, now, period) {
+                decision.wifi = true;
+                self.last_wifi = Some(now);
+            }
+        }
+
+        let gps_demanded = demand.granularity == Some(Granularity::Building)
+            || demand.route == Some(RouteAccuracy::High);
+        if gps_demanded {
+            let arriving = transition && !motion.is_moving();
+            let due = Self::due(self.last_gps, now, self.config.gps_moving_period);
+            if ((motion.is_moving() || self.config.gps_continuous) && due) || arriving {
+                decision.gps = true;
+                self.last_gps = Some(now);
+            }
+        }
+
+        if demand.social
+            && !motion.is_moving()
+            && Self::due(self.last_bluetooth, now, self.config.bluetooth_period)
+        {
+            decision.bluetooth = true;
+            self.last_bluetooth = Some(now);
+        }
+
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(g: Granularity) -> Demand {
+        Demand { granularity: Some(g), route: None, social: false }
+    }
+
+    fn run_day(
+        scheduler: &mut SensingScheduler,
+        demand: Demand,
+        motion: impl Fn(u64) -> MotionState,
+    ) -> (u32, u32, u32, u32) {
+        let (mut gsm, mut wifi, mut gps, mut bt) = (0, 0, 0, 0);
+        for minute in 0..24 * 60 {
+            let d = scheduler.decide(
+                SimTime::from_seconds(minute * 60),
+                demand,
+                motion(minute),
+            );
+            gsm += d.gsm as u32;
+            wifi += d.wifi as u32;
+            gps += d.gps as u32;
+            bt += d.bluetooth as u32;
+        }
+        (gsm, wifi, gps, bt)
+    }
+
+    #[test]
+    fn gsm_runs_continuously_regardless_of_demand() {
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let (gsm, wifi, gps, bt) = run_day(
+            &mut s,
+            Demand::default(),
+            |_| MotionState::Stationary,
+        );
+        assert_eq!(gsm, 24 * 60);
+        assert_eq!(wifi, 0);
+        assert_eq!(gps, 0);
+        assert_eq!(bt, 0);
+    }
+
+    #[test]
+    fn area_demand_never_triggers_expensive_interfaces() {
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let (_, wifi, gps, _) = run_day(
+            &mut s,
+            demand(Granularity::Area),
+            |m| if m % 60 < 10 { MotionState::Moving } else { MotionState::Stationary },
+        );
+        assert_eq!(wifi, 0);
+        assert_eq!(gps, 0);
+    }
+
+    #[test]
+    fn room_demand_triggers_wifi_not_gps() {
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let (_, wifi, gps, _) = run_day(
+            &mut s,
+            demand(Granularity::Room),
+            |m| if m % 120 < 15 { MotionState::Moving } else { MotionState::Stationary },
+        );
+        assert!(wifi > 0);
+        assert_eq!(gps, 0);
+    }
+
+    #[test]
+    fn building_demand_triggers_gps_only_while_moving() {
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        // Stationary all day: no GPS at all.
+        let (_, _, gps, _) =
+            run_day(&mut s, demand(Granularity::Building), |_| MotionState::Stationary);
+        assert_eq!(gps, 0);
+        // Moving one hour a day: a bounded number of fixes.
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let (_, _, gps, _) = run_day(
+            &mut s,
+            demand(Granularity::Building),
+            |m| if m < 60 { MotionState::Moving } else { MotionState::Stationary },
+        );
+        // ~every 2 min for 60 min plus the arrival fix.
+        assert!(gps >= 25 && gps <= 35, "gps = {gps}");
+    }
+
+    #[test]
+    fn wifi_fires_on_motion_transitions() {
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let d = demand(Granularity::Room);
+        // Warm up stationary.
+        for m in 0..20 {
+            let _ = s.decide(SimTime::from_seconds(m * 60), d, MotionState::Stationary);
+        }
+        // Transition to moving must scan immediately even if the periodic
+        // timer is not due.
+        let dec = s.decide(SimTime::from_seconds(20 * 60), d, MotionState::Moving);
+        assert!(dec.wifi, "transition should force a scan");
+    }
+
+    #[test]
+    fn moving_wifi_denser_than_stationary() {
+        let config = SensingConfig::default();
+        let mut s = SensingScheduler::new(config.clone());
+        let d = demand(Granularity::Room);
+        let (_, wifi_moving, _, _) = run_day(&mut s, d, |_| MotionState::Moving);
+        let mut s = SensingScheduler::new(config);
+        let (_, wifi_stationary, _, _) = run_day(&mut s, d, |_| MotionState::Stationary);
+        assert!(wifi_moving > wifi_stationary * 2);
+    }
+
+    #[test]
+    fn bluetooth_only_with_social_demand_and_stationary() {
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let social = Demand {
+            granularity: Some(Granularity::Building),
+            route: None,
+            social: true,
+        };
+        let (_, _, _, bt) = run_day(&mut s, social, |_| MotionState::Stationary);
+        assert!(bt > 0 && bt <= 24 * 6 + 1, "bt = {bt}");
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let (_, _, _, bt_moving) = run_day(&mut s, social, |_| MotionState::Moving);
+        assert_eq!(bt_moving, 0);
+    }
+
+    #[test]
+    fn high_accuracy_routes_bring_both_wifi_and_gps() {
+        let mut s = SensingScheduler::new(SensingConfig::default());
+        let d = Demand {
+            granularity: Some(Granularity::Area),
+            route: Some(RouteAccuracy::High),
+            social: false,
+        };
+        let (_, wifi, gps, _) = run_day(
+            &mut s,
+            d,
+            |m| if m % 60 < 20 { MotionState::Moving } else { MotionState::Stationary },
+        );
+        assert!(wifi > 0, "WiFi detects departures in high-accuracy mode");
+        assert!(gps > 0, "GPS traces the route in high-accuracy mode");
+    }
+}

@@ -1,0 +1,164 @@
+//! A minimal discrete-event queue.
+//!
+//! Schedulers in the middleware (periodic GSM sampling, triggered WiFi
+//! scans, token refreshes) post events to a time-ordered queue and drain
+//! them in order. Ties are broken by insertion order, so the simulation is
+//! fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pmware_world::SimTime;
+
+/// A time-ordered event queue.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_device::EventQueue;
+/// use pmware_world::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_seconds(20), "later");
+/// q.schedule(SimTime::from_seconds(10), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_seconds(10), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_seconds(20), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at `time`. Events at equal times fire in the order
+    /// they were scheduled.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let entry = Entry { time, seq: self.seq, event };
+        self.seq += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Removes and returns the earliest event only if it is due at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_seconds(30), 3);
+        q.schedule(SimTime::from_seconds(10), 1);
+        q.schedule(SimTime::from_seconds(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_seconds(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_seconds(100), "future");
+        assert_eq!(q.pop_due(SimTime::from_seconds(50)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_due(SimTime::from_seconds(100)),
+            Some((SimTime::from_seconds(100), "future"))
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_seconds(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_seconds(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

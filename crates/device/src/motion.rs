@@ -1,0 +1,150 @@
+//! Accelerometer-based movement detection.
+//!
+//! PMWare duty-cycles expensive interfaces using an "accelerometer based
+//! activity detector" (§2.2.2): WiFi scanning for SensLoc-style discovery is
+//! triggered only around movement. The raw accelerometer is noisy, so the
+//! detector majority-votes over a sliding window and only changes state
+//! after a few consistent readings — the hysteresis keeps single glitches
+//! from triggering scans.
+
+use std::collections::VecDeque;
+
+use pmware_world::MotionState;
+
+/// Sliding-window majority-vote movement detector.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_device::MovementDetector;
+/// use pmware_world::MotionState;
+///
+/// let mut d = MovementDetector::new(3);
+/// assert_eq!(d.state(), MotionState::Stationary);
+/// d.update(MotionState::Moving);
+/// d.update(MotionState::Moving);
+/// assert_eq!(d.state(), MotionState::Stationary); // not yet confident
+/// d.update(MotionState::Moving);
+/// assert_eq!(d.state(), MotionState::Moving);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovementDetector {
+    window: VecDeque<MotionState>,
+    capacity: usize,
+    state: MotionState,
+    transitions: u64,
+}
+
+impl MovementDetector {
+    /// Creates a detector with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        MovementDetector {
+            window: VecDeque::with_capacity(window),
+            capacity: window,
+            state: MotionState::Stationary,
+            transitions: 0,
+        }
+    }
+
+    /// Feeds one accelerometer reading; returns the (possibly new) state.
+    pub fn update(&mut self, reading: MotionState) -> MotionState {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(reading);
+        if self.window.len() == self.capacity {
+            let moving = self
+                .window
+                .iter()
+                .filter(|s| s.is_moving())
+                .count();
+            let new_state = if moving * 2 > self.capacity {
+                MotionState::Moving
+            } else {
+                MotionState::Stationary
+            };
+            if new_state != self.state {
+                self.transitions += 1;
+                self.state = new_state;
+            }
+        }
+        self.state
+    }
+
+    /// Current smoothed state.
+    pub fn state(&self) -> MotionState {
+        self.state
+    }
+
+    /// Number of state transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_glitch_ignored() {
+        let mut d = MovementDetector::new(5);
+        for _ in 0..5 {
+            d.update(MotionState::Stationary);
+        }
+        d.update(MotionState::Moving); // glitch
+        assert_eq!(d.state(), MotionState::Stationary);
+        for _ in 0..4 {
+            d.update(MotionState::Stationary);
+        }
+        assert_eq!(d.state(), MotionState::Stationary);
+        assert_eq!(d.transitions(), 0);
+    }
+
+    #[test]
+    fn sustained_movement_detected() {
+        let mut d = MovementDetector::new(5);
+        for _ in 0..5 {
+            d.update(MotionState::Stationary);
+        }
+        for _ in 0..3 {
+            d.update(MotionState::Moving);
+        }
+        assert_eq!(d.state(), MotionState::Moving);
+        assert_eq!(d.transitions(), 1);
+    }
+
+    #[test]
+    fn returns_to_stationary() {
+        let mut d = MovementDetector::new(3);
+        for _ in 0..3 {
+            d.update(MotionState::Moving);
+        }
+        assert_eq!(d.state(), MotionState::Moving);
+        for _ in 0..2 {
+            d.update(MotionState::Stationary);
+        }
+        assert_eq!(d.state(), MotionState::Stationary);
+        assert_eq!(d.transitions(), 2);
+    }
+
+    #[test]
+    fn before_window_fills_stays_default() {
+        let mut d = MovementDetector::new(10);
+        for _ in 0..9 {
+            assert_eq!(d.update(MotionState::Moving), MotionState::Stationary);
+        }
+        assert_eq!(d.update(MotionState::Moving), MotionState::Moving);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = MovementDetector::new(0);
+    }
+}

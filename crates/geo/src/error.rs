@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Error returned when constructing geographic values from invalid input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// Latitude outside the `[-90, +90]` degree range, or not finite.
+    InvalidLatitude(f64),
+    /// Longitude outside the `[-180, +180]` degree range, or not finite.
+    InvalidLongitude(f64),
+    /// A distance or length that must be non-negative and finite was not.
+    InvalidDistance(f64),
+    /// An operation that needs at least `required` points received `actual`.
+    TooFewPoints {
+        /// Minimum number of points the operation needs.
+        required: usize,
+        /// Number of points actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} is outside [-90, 90] or not finite")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} is outside [-180, 180] or not finite")
+            }
+            GeoError::InvalidDistance(v) => {
+                write!(f, "distance {v} is negative or not finite")
+            }
+            GeoError::TooFewPoints { required, actual } => {
+                write!(f, "operation requires at least {required} points, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GeoError::InvalidLatitude(123.0);
+        assert!(e.to_string().contains("123"));
+        let e = GeoError::TooFewPoints { required: 2, actual: 0 };
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

@@ -1,0 +1,246 @@
+//! A fixed-cell spatial hash index for point sets.
+//!
+//! The radio model asks "which towers / access points are within `r` metres
+//! of this position" thousands of times per simulated minute; a flat scan
+//! over every antenna would dominate runtime. [`SpatialGrid`] buckets items
+//! into cells of a configurable size and answers radius queries by scanning
+//! only the overlapping cells.
+
+use std::collections::HashMap;
+
+use crate::{GeoError, GeoPoint, Meters};
+
+/// Approximate metres per degree of latitude.
+const METERS_PER_DEG_LAT: f64 = 111_320.0;
+
+/// A spatial hash over items with a geographic position.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_geo::{grid::SpatialGrid, GeoPoint, Meters};
+///
+/// let mut grid = SpatialGrid::new(Meters::new(500.0))?;
+/// grid.insert(GeoPoint::new(12.970, 77.590)?, "tower-a");
+/// grid.insert(GeoPoint::new(12.980, 77.610)?, "tower-b");
+///
+/// let near = grid.within(GeoPoint::new(12.9705, 77.5905)?, Meters::new(200.0));
+/// assert_eq!(near.len(), 1);
+/// assert_eq!(*near[0].1, "tower-a");
+/// # Ok::<(), pmware_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid<T> {
+    cell_size: Meters,
+    cells: HashMap<(i64, i64), Vec<(GeoPoint, T)>>,
+    len: usize,
+}
+
+impl<T> SpatialGrid<T> {
+    /// Creates an empty grid with the given cell edge length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidDistance`] if `cell_size` is not a positive
+    /// finite distance.
+    pub fn new(cell_size: Meters) -> Result<Self, GeoError> {
+        if !cell_size.is_valid_distance() || cell_size.value() == 0.0 {
+            return Err(GeoError::InvalidDistance(cell_size.value()));
+        }
+        Ok(SpatialGrid { cell_size, cells: HashMap::new(), len: 0 })
+    }
+
+    /// Number of items stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cell edge length this grid was created with.
+    pub fn cell_size(&self) -> Meters {
+        self.cell_size
+    }
+
+    fn row_of(&self, lat: f64) -> i64 {
+        (lat * METERS_PER_DEG_LAT / self.cell_size.value()).floor() as i64
+    }
+
+    /// Longitude scale factor for a latitude row. All points in one row share
+    /// the same factor so that column indices are consistent within the row.
+    fn row_cos(&self, row: i64) -> f64 {
+        let lat_center =
+            (row as f64 + 0.5) * self.cell_size.value() / METERS_PER_DEG_LAT;
+        lat_center.to_radians().cos().max(0.01)
+    }
+
+    fn col_of(&self, row: i64, lng: f64) -> i64 {
+        (lng * METERS_PER_DEG_LAT * self.row_cos(row) / self.cell_size.value()).floor()
+            as i64
+    }
+
+    fn key(&self, p: GeoPoint) -> (i64, i64) {
+        let row = self.row_of(p.latitude());
+        (row, self.col_of(row, p.longitude()))
+    }
+
+    /// Inserts an item at `position`.
+    pub fn insert(&mut self, position: GeoPoint, item: T) {
+        let key = self.key(position);
+        self.cells.entry(key).or_default().push((position, item));
+        self.len += 1;
+    }
+
+    /// All items within `radius` of `center`, with their exact positions.
+    ///
+    /// Results are unordered; use [`nearest`](Self::nearest) when only the
+    /// closest item matters.
+    pub fn within(&self, center: GeoPoint, radius: Meters) -> Vec<(GeoPoint, &T)> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |pos, item, _d| out.push((pos, item)));
+        out
+    }
+
+    /// Calls `f(position, item, distance)` for every item within `radius`.
+    pub fn for_each_within<'a, F>(&'a self, center: GeoPoint, radius: Meters, mut f: F)
+    where
+        F: FnMut(GeoPoint, &'a T, Meters),
+    {
+        let dlat_deg = radius.value() / METERS_PER_DEG_LAT;
+        let row_min = self.row_of(center.latitude() - dlat_deg) - 1;
+        let row_max = self.row_of(center.latitude() + dlat_deg) + 1;
+        for row in row_min..=row_max {
+            // Longitude span of the radius at this row's scale, widened by a
+            // one-cell margin against rounding at row boundaries.
+            let dlng_deg =
+                radius.value() / (METERS_PER_DEG_LAT * self.row_cos(row));
+            let col_min = self.col_of(row, center.longitude() - dlng_deg) - 1;
+            let col_max = self.col_of(row, center.longitude() + dlng_deg) + 1;
+            for col in col_min..=col_max {
+                if let Some(bucket) = self.cells.get(&(row, col)) {
+                    for (pos, item) in bucket {
+                        let d = center.equirectangular_distance(*pos);
+                        if d <= radius {
+                            f(*pos, item, d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The item nearest to `center` within `max_radius`, if any.
+    pub fn nearest(&self, center: GeoPoint, max_radius: Meters) -> Option<(GeoPoint, &T, Meters)> {
+        let mut best: Option<(GeoPoint, &T, Meters)> = None;
+        self.for_each_within(center, max_radius, |pos, item, d| {
+            if best.as_ref().is_none_or(|(_, _, bd)| d < *bd) {
+                best = Some((pos, item, d));
+            }
+        });
+        best
+    }
+
+    /// Iterates over all stored items in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (GeoPoint, &T)> {
+        self.cells.values().flatten().map(|(p, t)| (*p, t))
+    }
+}
+
+impl<T> Extend<(GeoPoint, T)> for SpatialGrid<T> {
+    fn extend<I: IntoIterator<Item = (GeoPoint, T)>>(&mut self, iter: I) {
+        for (p, t) in iter {
+            self.insert(p, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lng: f64) -> GeoPoint {
+        GeoPoint::new(lat, lng).unwrap()
+    }
+
+    fn grid_with_ring() -> SpatialGrid<usize> {
+        // Ten items on a ~1 km ring around a centre, plus one at the centre.
+        let mut g = SpatialGrid::new(Meters::new(300.0)).unwrap();
+        let c = p(12.97, 77.59);
+        g.insert(c, 0);
+        for i in 0..10 {
+            let q = c.destination(36.0 * i as f64, Meters::new(1_000.0));
+            g.insert(q, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn rejects_degenerate_cell_size() {
+        assert!(SpatialGrid::<u8>::new(Meters::new(0.0)).is_err());
+        assert!(SpatialGrid::<u8>::new(Meters::new(-5.0)).is_err());
+        assert!(SpatialGrid::<u8>::new(Meters::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn within_small_radius_finds_only_center() {
+        let g = grid_with_ring();
+        let c = p(12.97, 77.59);
+        let near = g.within(c, Meters::new(500.0));
+        assert_eq!(near.len(), 1);
+        assert_eq!(*near[0].1, 0);
+    }
+
+    #[test]
+    fn within_large_radius_finds_everything() {
+        let g = grid_with_ring();
+        let c = p(12.97, 77.59);
+        let near = g.within(c, Meters::new(1_500.0));
+        assert_eq!(near.len(), 11);
+    }
+
+    #[test]
+    fn radius_boundary_is_inclusive_enough() {
+        // Ring items sit at ~1000 m; a 1005 m radius must include them all
+        // despite equirectangular approximation error.
+        let g = grid_with_ring();
+        let c = p(12.97, 77.59);
+        let near = g.within(c, Meters::new(1_005.0));
+        assert_eq!(near.len(), 11);
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let g = grid_with_ring();
+        let c = p(12.97, 77.59);
+        // Query slightly off-centre: the centre item is still nearest.
+        let q = c.destination(90.0, Meters::new(100.0));
+        let (_, item, d) = g.nearest(q, Meters::new(2_000.0)).unwrap();
+        assert_eq!(*item, 0);
+        assert!((d.value() - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn nearest_none_when_out_of_radius() {
+        let g = grid_with_ring();
+        let far = p(13.5, 78.2);
+        assert!(g.nearest(far, Meters::new(1_000.0)).is_none());
+    }
+
+    #[test]
+    fn len_and_iter_agree() {
+        let g = grid_with_ring();
+        assert_eq!(g.len(), 11);
+        assert!(!g.is_empty());
+        assert_eq!(g.iter().count(), 11);
+    }
+
+    #[test]
+    fn extend_inserts_all() {
+        let mut g = SpatialGrid::new(Meters::new(100.0)).unwrap();
+        g.extend((0..5).map(|i| (p(10.0 + i as f64 * 0.001, 20.0), i)));
+        assert_eq!(g.len(), 5);
+    }
+}

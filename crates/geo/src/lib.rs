@@ -1,0 +1,43 @@
+//! Geographic primitives for the PMWare reproduction.
+//!
+//! This crate provides the small, dependency-light geometric vocabulary shared
+//! by every other crate in the workspace: [`GeoPoint`] coordinates with
+//! great-circle math, [`BoundingBox`] regions, a [`grid::SpatialGrid`] index
+//! for nearest-neighbour queries over many points, and [`polyline`] utilities
+//! used by route tracking.
+//!
+//! Distances are represented with the [`Meters`] newtype so that a raw `f64`
+//! carrying metres can never be confused with one carrying kilometres or
+//! degrees ([`units`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use pmware_geo::{GeoPoint, Meters};
+//!
+//! // IIIT-Delhi to Connaught Place, New Delhi.
+//! let a = GeoPoint::new(28.5456, 77.2732).unwrap();
+//! let b = GeoPoint::new(28.6315, 77.2167).unwrap();
+//! let d = a.haversine_distance(b);
+//! assert!(d > Meters::new(10_000.0) && d < Meters::new(12_500.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod grid;
+pub mod point;
+pub mod polyline;
+pub mod units;
+
+mod error;
+
+pub use bbox::BoundingBox;
+pub use error::GeoError;
+pub use point::GeoPoint;
+pub use polyline::Polyline;
+pub use units::{Kilometers, Meters};
+
+/// Mean Earth radius in metres (IUGG value), used by all great-circle math.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;

@@ -1,0 +1,231 @@
+//! Distance newtypes.
+//!
+//! Raw `f64` values carrying physical quantities are easy to mix up; the
+//! [`Meters`] and [`Kilometers`] newtypes keep metre- and kilometre-valued
+//! quantities statically distinct while staying `Copy` and cheap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A distance in metres.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_geo::Meters;
+///
+/// let total = Meters::new(120.0) + Meters::new(80.0);
+/// assert_eq!(total, Meters::new(200.0));
+/// assert_eq!(total.to_kilometers().value(), 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Meters(f64);
+
+/// A distance in kilometres.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_geo::{Kilometers, Meters};
+///
+/// let km = Kilometers::new(1.5);
+/// assert_eq!(km.to_meters(), Meters::new(1500.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Kilometers(f64);
+
+impl Meters {
+    /// Zero metres.
+    pub const ZERO: Meters = Meters(0.0);
+
+    /// Creates a distance in metres.
+    pub const fn new(value: f64) -> Self {
+        Meters(value)
+    }
+
+    /// Returns the raw metre value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kilometres.
+    pub fn to_kilometers(self) -> Kilometers {
+        Kilometers(self.0 / 1000.0)
+    }
+
+    /// Returns the smaller of two distances.
+    pub fn min(self, other: Meters) -> Meters {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two distances.
+    pub fn max(self, other: Meters) -> Meters {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the absolute value of the distance.
+    pub fn abs(self) -> Meters {
+        Meters(self.0.abs())
+    }
+
+    /// Returns `true` if the value is finite and non-negative — i.e. a
+    /// physically meaningful distance rather than a displacement.
+    pub fn is_valid_distance(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Kilometers {
+    /// Creates a distance in kilometres.
+    pub const fn new(value: f64) -> Self {
+        Kilometers(value)
+    }
+
+    /// Returns the raw kilometre value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to metres.
+    pub fn to_meters(self) -> Meters {
+        Meters(self.0 * 1000.0)
+    }
+}
+
+impl From<Kilometers> for Meters {
+    fn from(km: Kilometers) -> Self {
+        km.to_meters()
+    }
+}
+
+impl From<Meters> for Kilometers {
+    fn from(m: Meters) -> Self {
+        m.to_kilometers()
+    }
+}
+
+impl Add for Meters {
+    type Output = Meters;
+    fn add(self, rhs: Meters) -> Meters {
+        Meters(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Meters {
+    fn add_assign(&mut self, rhs: Meters) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Meters {
+    type Output = Meters;
+    fn sub(self, rhs: Meters) -> Meters {
+        Meters(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    fn mul(self, rhs: f64) -> Meters {
+        Meters(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Meters {
+    type Output = Meters;
+    fn div(self, rhs: f64) -> Meters {
+        Meters(self.0 / rhs)
+    }
+}
+
+impl Sum for Meters {
+    fn sum<I: Iterator<Item = Meters>>(iter: I) -> Meters {
+        Meters(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} m", self.0)
+    }
+}
+
+impl fmt::Display for Kilometers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} km", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_arithmetic() {
+        let a = Meters::new(100.0);
+        let b = Meters::new(50.0);
+        assert_eq!(a + b, Meters::new(150.0));
+        assert_eq!(a - b, Meters::new(50.0));
+        assert_eq!(a * 2.0, Meters::new(200.0));
+        assert_eq!(a / 4.0, Meters::new(25.0));
+    }
+
+    #[test]
+    fn meters_sum_over_iterator() {
+        let total: Meters = [1.0, 2.0, 3.5].iter().map(|&v| Meters::new(v)).sum();
+        assert_eq!(total, Meters::new(6.5));
+    }
+
+    #[test]
+    fn conversion_round_trips() {
+        let m = Meters::new(1234.5);
+        let km: Kilometers = m.into();
+        let back: Meters = km.into();
+        assert!((back.value() - m.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Meters::new(-3.0);
+        let b = Meters::new(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.abs(), Meters::new(3.0));
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(Meters::new(0.0).is_valid_distance());
+        assert!(!Meters::new(-1.0).is_valid_distance());
+        assert!(!Meters::new(f64::NAN).is_valid_distance());
+        assert!(!Meters::new(f64::INFINITY).is_valid_distance());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Meters::new(12.34).to_string(), "12.3 m");
+        assert_eq!(Kilometers::new(1.2345).to_string(), "1.234 km");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let m = Meters::new(42.0);
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(json, "42.0");
+        let back: Meters = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,227 @@
+//! Ground-truth co-location encounters.
+//!
+//! PMWare's social-discovery module (§2.2.2) detects physical proximity via
+//! Bluetooth/WiFi. This module computes the *ground truth* the detector is
+//! scored against: intervals during which two agents were within a proximity
+//! radius of each other.
+
+use pmware_geo::Meters;
+use pmware_world::{PlaceId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::agent::AgentId;
+use crate::trajectory::Itinerary;
+
+/// A ground-truth co-location interval between two agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Encounter {
+    /// First agent (lower id).
+    pub a: AgentId,
+    /// Second agent (higher id).
+    pub b: AgentId,
+    /// When proximity began.
+    pub start: SimTime,
+    /// When proximity ended.
+    pub end: SimTime,
+    /// The place where the encounter happened, if both agents were dwelling
+    /// at the same ground-truth place for its majority.
+    pub place: Option<PlaceId>,
+}
+
+impl Encounter {
+    /// Encounter length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Finds all encounters between two itineraries by sampling positions every
+/// `step` and keeping proximity runs of at least `min_duration`.
+///
+/// # Panics
+///
+/// Panics if `step` is zero.
+pub fn find_encounters(
+    x: &Itinerary,
+    y: &Itinerary,
+    radius: Meters,
+    step: SimDuration,
+    min_duration: SimDuration,
+) -> Vec<Encounter> {
+    assert!(step.as_seconds() > 0, "sampling step must be positive");
+    let (a, b) = if x.agent() <= y.agent() { (x, y) } else { (y, x) };
+    let end = a.end_time().min(b.end_time());
+    let mut out = Vec::new();
+    let mut run_start: Option<SimTime> = None;
+    let mut same_place_hits: usize = 0;
+    let mut total_hits: usize = 0;
+    let mut run_place: Option<PlaceId> = None;
+
+    let mut t = SimTime::EPOCH;
+    while t <= end {
+        let close = a
+            .position_at(t)
+            .equirectangular_distance(b.position_at(t))
+            <= radius;
+        if close {
+            if run_start.is_none() {
+                run_start = Some(t);
+                same_place_hits = 0;
+                total_hits = 0;
+                run_place = None;
+            }
+            total_hits += 1;
+            if let (Some(pa), Some(pb)) = (a.place_at(t), b.place_at(t)) {
+                if pa == pb {
+                    same_place_hits += 1;
+                    run_place = Some(pa);
+                }
+            }
+        } else if let Some(start) = run_start.take() {
+            push_run(
+                &mut out,
+                a.agent(),
+                b.agent(),
+                start,
+                t,
+                min_duration,
+                same_place_hits,
+                total_hits,
+                run_place,
+            );
+        }
+        t += step;
+    }
+    if let Some(start) = run_start {
+        push_run(
+            &mut out,
+            a.agent(),
+            b.agent(),
+            start,
+            end,
+            min_duration,
+            same_place_hits,
+            total_hits,
+            run_place,
+        );
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_run(
+    out: &mut Vec<Encounter>,
+    a: AgentId,
+    b: AgentId,
+    start: SimTime,
+    end: SimTime,
+    min_duration: SimDuration,
+    same_place_hits: usize,
+    total_hits: usize,
+    run_place: Option<PlaceId>,
+) {
+    if end.since(start) < min_duration {
+        return;
+    }
+    let place = if total_hits > 0 && same_place_hits * 2 > total_hits {
+        run_place
+    } else {
+        None
+    };
+    out.push(Encounter { a, b, start, end, place });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+    use pmware_world::builder::{RegionProfile, WorldBuilder};
+
+    #[test]
+    fn agents_sharing_workplace_encounter_each_other() {
+        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(10).build();
+        // Generate enough agents that two share a workplace (tiny world has
+        // 3 workplaces).
+        let pop = Population::generate(&world, 6, 20);
+        let mut shared = None;
+        'outer: for (i, a) in pop.agents().iter().enumerate() {
+            for b in &pop.agents()[i + 1..] {
+                if a.workplace() == b.workplace() {
+                    shared = Some((a.id(), b.id()));
+                    break 'outer;
+                }
+            }
+        }
+        let (ia, ib) = shared.expect("six agents over three offices must collide");
+        let x = pop.itinerary(&world, ia, 5);
+        let y = pop.itinerary(&world, ib, 5);
+        let encounters = find_encounters(
+            &x,
+            &y,
+            Meters::new(120.0),
+            SimDuration::from_minutes(2),
+            SimDuration::from_minutes(30),
+        );
+        assert!(
+            !encounters.is_empty(),
+            "colleagues over a work week must meet"
+        );
+        // Every encounter is well-formed.
+        for e in &encounters {
+            assert!(e.start < e.end);
+            assert!(e.duration() >= SimDuration::from_minutes(30));
+            assert!(e.a < e.b);
+        }
+        // At least one of them is at the shared workplace.
+        let wp = pop.agent(ia).workplace();
+        assert!(
+            encounters.iter().any(|e| e.place == Some(wp)),
+            "no encounter attributed to the shared workplace"
+        );
+    }
+
+    #[test]
+    fn disjoint_agents_rarely_encounter() {
+        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(11).build();
+        let pop = Population::generate(&world, 6, 21);
+        // Find two agents with different home and workplace.
+        let mut pair = None;
+        'outer: for (i, a) in pop.agents().iter().enumerate() {
+            for b in &pop.agents()[i + 1..] {
+                if a.workplace() != b.workplace() && a.home() != b.home() {
+                    pair = Some((a.id(), b.id()));
+                    break 'outer;
+                }
+            }
+        }
+        let (ia, ib) = pair.expect("distinct pair exists");
+        let x = pop.itinerary(&world, ia, 2);
+        let y = pop.itinerary(&world, ib, 2);
+        let encounters = find_encounters(
+            &x,
+            &y,
+            Meters::new(30.0),
+            SimDuration::from_minutes(2),
+            SimDuration::from_minutes(45),
+        );
+        // They may cross paths at a shared shop, but long encounters at a
+        // tight radius should be rare.
+        assert!(encounters.len() <= 4, "unexpectedly many: {}", encounters.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling step")]
+    fn zero_step_rejected() {
+        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(12).build();
+        let pop = Population::generate(&world, 2, 22);
+        let x = pop.itinerary(&world, AgentId(0), 1);
+        let y = pop.itinerary(&world, AgentId(1), 1);
+        let _ = find_encounters(
+            &x,
+            &y,
+            Meters::new(50.0),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Population generation: assigning agents to places.
+
+use std::collections::BTreeMap;
+
+use pmware_world::{PlaceCategory, PlaceId, World};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::agent::{AgentId, AgentProfile};
+use crate::trajectory::Itinerary;
+
+/// A deterministic set of agents bound to a world.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_world::builder::{RegionProfile, WorldBuilder};
+/// use pmware_mobility::Population;
+///
+/// let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(3).build();
+/// let pop = Population::generate(&world, 4, 99);
+/// assert_eq!(pop.agents().len(), 4);
+/// // Homes are distinct while enough exist.
+/// let homes: std::collections::HashSet<_> =
+///     pop.agents().iter().map(|a| a.home()).collect();
+/// assert_eq!(homes.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    agents: Vec<AgentProfile>,
+    seed: u64,
+}
+
+impl Population {
+    /// Generates `n` agents over `world`, deterministically from `seed`.
+    ///
+    /// Homes are assigned without reuse until the world runs out of homes;
+    /// workplaces are shared (several agents per office, as in a real
+    /// study pool). Each agent frequents one to three places in most
+    /// leisure categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no home or no workplace places.
+    pub fn generate(world: &World, n: usize, seed: u64) -> Population {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut homes: Vec<PlaceId> = places_of(world, PlaceCategory::Home);
+        let workplaces: Vec<PlaceId> = places_of(world, PlaceCategory::Workplace);
+        assert!(!homes.is_empty(), "world has no homes");
+        assert!(!workplaces.is_empty(), "world has no workplaces");
+        homes.shuffle(&mut rng);
+
+        let leisure_categories = [
+            (PlaceCategory::Shopping, 0.95),
+            (PlaceCategory::Restaurant, 0.95),
+            (PlaceCategory::Fitness, 0.5),
+            (PlaceCategory::Park, 0.6),
+            (PlaceCategory::Entertainment, 0.6),
+            (PlaceCategory::Healthcare, 0.45),
+            (PlaceCategory::Education, 0.3),
+            (PlaceCategory::Transit, 0.4),
+        ];
+
+        let mut agents = Vec::with_capacity(n);
+        for i in 0..n {
+            let home = homes[i % homes.len()];
+            let workplace = workplaces[rng.gen_range(0..workplaces.len())];
+            let mut frequented: BTreeMap<PlaceCategory, Vec<PlaceId>> = BTreeMap::new();
+            for (category, prob) in leisure_categories {
+                if !rng.gen_bool(prob) {
+                    continue;
+                }
+                let mut options = places_of(world, category);
+                if options.is_empty() {
+                    continue;
+                }
+                options.shuffle(&mut rng);
+                let k = rng.gen_range(2..=3).min(options.len()).max(1);
+                frequented.insert(category, options[..k].to_vec());
+            }
+            let speed = rng.gen_range(4.0..9.0);
+            let tag_prob = (0.70_f64 + rng.gen_range(-0.12..0.12)).clamp(0.0, 1.0);
+            let agent_seed =
+                pmware_world::seeds::derive_indexed(seed, "agent", i as u64);
+            agents.push(AgentProfile::new(
+                AgentId(i as u32),
+                home,
+                workplace,
+                frequented,
+                speed,
+                tag_prob,
+                agent_seed,
+            ));
+        }
+        Population { agents, seed }
+    }
+
+    /// The agents, ordered by id.
+    pub fn agents(&self) -> &[AgentProfile] {
+        &self.agents
+    }
+
+    /// One agent by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in this population.
+    pub fn agent(&self, id: AgentId) -> &AgentProfile {
+        &self.agents[id.0 as usize]
+    }
+
+    /// Builds the itinerary of one agent over `days` days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in this population or `days == 0`.
+    pub fn itinerary(&self, world: &World, id: AgentId, days: u64) -> Itinerary {
+        Itinerary::build(self.agent(id), world, days)
+    }
+
+    /// Builds itineraries for every agent.
+    pub fn itineraries(&self, world: &World, days: u64) -> Vec<Itinerary> {
+        self.agents
+            .iter()
+            .map(|a| Itinerary::build(a, world, days))
+            .collect()
+    }
+}
+
+fn places_of(world: &World, category: PlaceCategory) -> Vec<PlaceId> {
+    world
+        .places()
+        .iter()
+        .filter(|p| p.category() == category)
+        .map(|p| p.id())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_world::builder::{RegionProfile, WorldBuilder};
+
+    fn world() -> World {
+        WorldBuilder::new(RegionProfile::test_tiny()).seed(4).build()
+    }
+
+    #[test]
+    fn distinct_homes_until_exhausted() {
+        let w = world();
+        let pop = Population::generate(&w, 4, 1);
+        let homes: std::collections::HashSet<_> =
+            pop.agents().iter().map(|a| a.home()).collect();
+        assert_eq!(homes.len(), 4);
+    }
+
+    #[test]
+    fn homes_are_homes_and_workplaces_are_workplaces() {
+        let w = world();
+        let pop = Population::generate(&w, 5, 2);
+        for a in pop.agents() {
+            assert_eq!(w.place(a.home()).category(), PlaceCategory::Home);
+            assert_eq!(w.place(a.workplace()).category(), PlaceCategory::Workplace);
+        }
+    }
+
+    #[test]
+    fn frequented_places_match_their_category() {
+        let w = world();
+        let pop = Population::generate(&w, 6, 3);
+        for a in pop.agents() {
+            for cat in a.frequented_categories() {
+                for pid in a.frequented(cat) {
+                    assert_eq!(w.place(*pid).category(), cat);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = Population::generate(&w, 8, 7);
+        let b = Population::generate(&w, 8, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_population() {
+        let w = world();
+        let a = Population::generate(&w, 8, 7);
+        let b = Population::generate(&w, 8, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn more_agents_than_homes_reuses() {
+        let w = world(); // tiny: 6 homes
+        let pop = Population::generate(&w, 10, 5);
+        assert_eq!(pop.agents().len(), 10);
+    }
+
+    #[test]
+    fn itineraries_builds_for_all() {
+        let w = world();
+        let pop = Population::generate(&w, 3, 6);
+        let its = pop.itineraries(&w, 2);
+        assert_eq!(its.len(), 3);
+        for (i, it) in its.iter().enumerate() {
+            assert_eq!(it.agent(), AgentId(i as u32));
+        }
+    }
+}

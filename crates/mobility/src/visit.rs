@@ -1,0 +1,51 @@
+//! Ground-truth visits: the diary.
+
+use pmware_world::{PlaceId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::agent::AgentId;
+
+/// One ground-truth stay at a place, as the paper's diary logging recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrueVisit {
+    /// Who visited.
+    pub agent: AgentId,
+    /// The ground-truth place.
+    pub place: PlaceId,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Departure instant.
+    pub departure: SimTime,
+}
+
+impl TrueVisit {
+    /// Stay duration.
+    pub fn duration(&self) -> SimDuration {
+        self.departure.since(self.arrival)
+    }
+
+    /// Returns `true` if `t` falls within the stay.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.arrival <= t && t < self.departure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_containment() {
+        let v = TrueVisit {
+            agent: AgentId(0),
+            place: PlaceId(3),
+            arrival: SimTime::from_seconds(1_000),
+            departure: SimTime::from_seconds(4_000),
+        };
+        assert_eq!(v.duration(), SimDuration::from_seconds(3_000));
+        assert!(v.contains(SimTime::from_seconds(1_000)));
+        assert!(v.contains(SimTime::from_seconds(3_999)));
+        assert!(!v.contains(SimTime::from_seconds(4_000)));
+        assert!(!v.contains(SimTime::from_seconds(999)));
+    }
+}

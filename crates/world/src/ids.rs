@@ -1,0 +1,175 @@
+//! Identifier newtypes for world entities.
+//!
+//! A place signature in PMWare is "a set of Cell IDs or a set of WiFi APs or
+//! a pair of GPS-coordinates" (§2.1.1); these identifiers are hashable,
+//! ordered, and serializable so that signatures can be stored, compared, and
+//! shipped through the cloud API as data.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A GSM cell identifier as broadcast by the network (CID).
+///
+/// Paired with [`Lac`] and [`Plmn`] it forms a globally unique
+/// [`CellGlobalId`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct CellId(pub u32);
+
+/// A GSM location area code.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Lac(pub u16);
+
+/// A public land mobile network identity: mobile country code + mobile
+/// network code (MCC/MNC), e.g. `404/45` for an Indian operator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Plmn {
+    /// Mobile country code.
+    pub mcc: u16,
+    /// Mobile network code.
+    pub mnc: u16,
+}
+
+/// The globally unique identity of a cell: PLMN + LAC + CID.
+///
+/// This is what the PMWare mobile service logs every minute (§2.2.2: "tracks
+/// GSM-based location information (Cell ID, LAC, MNC and MCC)").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CellGlobalId {
+    /// Operator identity.
+    pub plmn: Plmn,
+    /// Location area code.
+    pub lac: Lac,
+    /// Cell identifier within the location area.
+    pub cell: CellId,
+}
+
+/// Internal index of a tower in a [`World`](crate::World).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TowerId(pub u32);
+
+/// A WiFi access point's MAC-layer identifier (BSSID).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Bssid(pub u64);
+
+/// Internal index of an access point in a [`World`](crate::World).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ApId(pub u32);
+
+/// Identifier of a ground-truth place in a [`World`](crate::World).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PlaceId(pub u32);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cid:{}", self.0)
+    }
+}
+
+impl fmt::Display for Plmn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{:02}", self.mcc, self.mnc)
+    }
+}
+
+impl fmt::Display for CellGlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.plmn, self.lac.0, self.cell.0)
+    }
+}
+
+impl fmt::Display for Bssid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as a MAC address from the low 48 bits.
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            (b >> 40) & 0xff,
+            (b >> 32) & 0xff,
+            (b >> 24) & 0xff,
+            (b >> 16) & 0xff,
+            (b >> 8) & 0xff,
+            b & 0xff
+        )
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "place:{}", self.0)
+    }
+}
+
+impl fmt::Display for TowerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tower:{}", self.0)
+    }
+}
+
+impl fmt::Display for ApId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ap:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn cell_global_id_orders_and_hashes() {
+        let a = CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 45 },
+            lac: Lac(100),
+            cell: CellId(1),
+        };
+        let b = CellGlobalId { cell: CellId(2), ..a };
+        let set: BTreeSet<_> = [b, a, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let id = CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 5 },
+            lac: Lac(77),
+            cell: CellId(4242),
+        };
+        assert_eq!(id.to_string(), "404-05/77/4242");
+        assert_eq!(Bssid(0x0011_2233_4455).to_string(), "00:11:22:33:44:55");
+        assert_eq!(PlaceId(3).to_string(), "place:3");
+    }
+
+    #[test]
+    fn serde_transparency() {
+        let json = serde_json::to_string(&CellId(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: CellId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CellId(9));
+    }
+}

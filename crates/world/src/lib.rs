@@ -1,0 +1,53 @@
+//! Synthetic radio world for the PMWare reproduction.
+//!
+//! The PMWare paper evaluated its middleware on real phones moving through a
+//! real city; this crate replaces that environment with a deterministic,
+//! city-scale simulation. A [`World`] holds:
+//!
+//! * a grid of [GSM cell towers](tower::CellTower) on two network layers
+//!   (2G/3G) whose overlapping coverage produces the **oscillation effect**
+//!   the paper's GCA algorithm is built to absorb (§2.2.2),
+//! * [WiFi access points](wifi::AccessPoint) clustered around places, with a
+//!   region-dependent coverage fraction (§1 item 4: ~60 % of a day under
+//!   WiFi in urban India vs > 90 % in Switzerland),
+//! * [places of interest](place::WorldPlace) (homes, workplaces, markets, …),
+//! * a [road graph](roads::RoadGraph) along which agents travel,
+//! * and a [radio propagation model](radio::RadioEnvironment) translating a
+//!   position into GSM/WiFi/GPS observations with realistic noise.
+//!
+//! Everything is seeded: the same [`builder::WorldBuilder`] configuration and
+//! seed yield an identical world.
+//!
+//! # Examples
+//!
+//! ```
+//! use pmware_world::builder::{RegionProfile, WorldBuilder};
+//!
+//! let world = WorldBuilder::new(RegionProfile::urban_india())
+//!     .seed(7)
+//!     .build();
+//! assert!(world.towers().len() > 10);
+//! assert!(world.places().len() >= 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod ids;
+pub mod observation;
+pub mod place;
+pub mod radio;
+pub mod roads;
+pub mod seeds;
+pub mod time;
+pub mod tower;
+pub mod wifi;
+
+mod world;
+
+pub use ids::{ApId, Bssid, CellGlobalId, CellId, Lac, PlaceId, Plmn, TowerId};
+pub use observation::{GpsFix, GsmObservation, MotionState, WifiReading, WifiScan};
+pub use place::{PlaceCategory, WorldPlace};
+pub use time::{SimDuration, SimTime, Weekday};
+pub use world::World;

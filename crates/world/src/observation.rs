@@ -1,0 +1,134 @@
+//! Sensor observation types.
+//!
+//! These are the raw inputs to every discovery algorithm: what a phone's
+//! location interfaces report at one instant. The radio model produces them;
+//! the device simulator timestamps them; the inference engine consumes them.
+
+use pmware_geo::{GeoPoint, Meters};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Bssid, CellGlobalId};
+use crate::time::SimTime;
+use crate::tower::NetworkLayer;
+
+/// One GSM location report: the serving cell and its signal strength.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GsmObservation {
+    /// When the modem reported.
+    pub time: SimTime,
+    /// Serving cell identity (CID, LAC, MNC, MCC — §2.2.2).
+    pub cell: CellGlobalId,
+    /// Network layer the phone is camped on.
+    pub layer: NetworkLayer,
+    /// Received signal strength in dBm.
+    pub rssi_dbm: f64,
+}
+
+/// One access point seen in a WiFi scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WifiReading {
+    /// The AP's MAC identifier.
+    pub bssid: Bssid,
+    /// Received signal strength in dBm.
+    pub rssi_dbm: f64,
+}
+
+/// The result of one WiFi scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WifiScan {
+    /// When the scan completed.
+    pub time: SimTime,
+    /// Detected access points, strongest first.
+    pub readings: Vec<WifiReading>,
+}
+
+impl WifiScan {
+    /// The set of BSSIDs in the scan, in reading order.
+    pub fn bssids(&self) -> impl Iterator<Item = Bssid> + '_ {
+        self.readings.iter().map(|r| r.bssid)
+    }
+
+    /// Returns `true` if no access point was detected.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Number of detected access points.
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+}
+
+/// One GPS fix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsFix {
+    /// When the fix was obtained.
+    pub time: SimTime,
+    /// Estimated position (true position + error).
+    pub position: GeoPoint,
+    /// Reported horizontal accuracy (1-sigma).
+    pub accuracy: Meters,
+}
+
+/// Coarse motion state from the accelerometer-based activity detector.
+///
+/// SensLoc-style sensing uses this to gate WiFi scans: "accelerometer based
+/// activity detector is used to trigger WiFi-based place discovery" (§2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MotionState {
+    /// No significant movement.
+    Stationary,
+    /// Walking or otherwise moving.
+    Moving,
+}
+
+impl MotionState {
+    /// Returns `true` when moving.
+    pub fn is_moving(self) -> bool {
+        matches!(self, MotionState::Moving)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CellId, Lac, Plmn};
+
+    #[test]
+    fn wifi_scan_helpers() {
+        let scan = WifiScan {
+            time: SimTime::from_seconds(10),
+            readings: vec![
+                WifiReading { bssid: Bssid(1), rssi_dbm: -40.0 },
+                WifiReading { bssid: Bssid(2), rssi_dbm: -60.0 },
+            ],
+        };
+        assert_eq!(scan.len(), 2);
+        assert!(!scan.is_empty());
+        let ids: Vec<_> = scan.bssids().collect();
+        assert_eq!(ids, vec![Bssid(1), Bssid(2)]);
+    }
+
+    #[test]
+    fn observation_serde_round_trip() {
+        let obs = GsmObservation {
+            time: SimTime::from_seconds(60),
+            cell: CellGlobalId {
+                plmn: Plmn { mcc: 404, mnc: 45 },
+                lac: Lac(7),
+                cell: CellId(1234),
+            },
+            layer: NetworkLayer::G3,
+            rssi_dbm: -71.5,
+        };
+        let json = serde_json::to_string(&obs).unwrap();
+        let back: GsmObservation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, obs);
+    }
+
+    #[test]
+    fn motion_state() {
+        assert!(MotionState::Moving.is_moving());
+        assert!(!MotionState::Stationary.is_moving());
+    }
+}

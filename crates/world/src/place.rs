@@ -1,0 +1,159 @@
+//! Ground-truth places of interest.
+
+use pmware_geo::{GeoPoint, Meters};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::PlaceId;
+
+/// Category of a place, used for agent schedules and ad targeting.
+///
+/// Figure 2 of the paper characterises place-aware applications by the
+/// granularity of place they need; categories here drive both which places
+/// agents visit and which advertisement categories are relevant there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PlaceCategory {
+    /// A residence.
+    Home,
+    /// An office or campus.
+    Workplace,
+    /// Shops, markets, malls.
+    Shopping,
+    /// Restaurants and cafes.
+    Restaurant,
+    /// Gyms, sports grounds.
+    Fitness,
+    /// Parks and recreation.
+    Park,
+    /// Academic buildings, libraries.
+    Education,
+    /// Cinemas, venues.
+    Entertainment,
+    /// Clinics and hospitals.
+    Healthcare,
+    /// Transit hubs (stations, stops).
+    Transit,
+}
+
+impl PlaceCategory {
+    /// All categories.
+    pub const ALL: [PlaceCategory; 10] = [
+        PlaceCategory::Home,
+        PlaceCategory::Workplace,
+        PlaceCategory::Shopping,
+        PlaceCategory::Restaurant,
+        PlaceCategory::Fitness,
+        PlaceCategory::Park,
+        PlaceCategory::Education,
+        PlaceCategory::Entertainment,
+        PlaceCategory::Healthcare,
+        PlaceCategory::Transit,
+    ];
+
+    /// A short lowercase label, e.g. for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlaceCategory::Home => "home",
+            PlaceCategory::Workplace => "workplace",
+            PlaceCategory::Shopping => "shopping",
+            PlaceCategory::Restaurant => "restaurant",
+            PlaceCategory::Fitness => "fitness",
+            PlaceCategory::Park => "park",
+            PlaceCategory::Education => "education",
+            PlaceCategory::Entertainment => "entertainment",
+            PlaceCategory::Healthcare => "healthcare",
+            PlaceCategory::Transit => "transit",
+        }
+    }
+}
+
+/// A ground-truth place in the simulated world.
+///
+/// Places have a physical extent (`radius`); an agent inside the radius is
+/// "at" the place, which is what the diary ground truth records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldPlace {
+    id: PlaceId,
+    name: String,
+    category: PlaceCategory,
+    position: GeoPoint,
+    radius: Meters,
+    /// Whether the interior blocks GPS (indoors).
+    indoor: bool,
+}
+
+impl WorldPlace {
+    /// Creates a place.
+    pub fn new(
+        id: PlaceId,
+        name: String,
+        category: PlaceCategory,
+        position: GeoPoint,
+        radius: Meters,
+        indoor: bool,
+    ) -> Self {
+        WorldPlace { id, name, category, position, radius, indoor }
+    }
+
+    /// Ground-truth identifier.
+    pub fn id(&self) -> PlaceId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Category.
+    pub fn category(&self) -> PlaceCategory {
+        self.category
+    }
+
+    /// Centre position.
+    pub fn position(&self) -> GeoPoint {
+        self.position
+    }
+
+    /// Physical extent.
+    pub fn radius(&self) -> Meters {
+        self.radius
+    }
+
+    /// Whether GPS is degraded inside.
+    pub fn is_indoor(&self) -> bool {
+        self.indoor
+    }
+
+    /// Returns `true` if `point` is within the place's extent.
+    pub fn contains(&self, point: GeoPoint) -> bool {
+        self.position.equirectangular_distance(point) <= self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_respects_radius() {
+        let p = WorldPlace::new(
+            PlaceId(0),
+            "Office".into(),
+            PlaceCategory::Workplace,
+            GeoPoint::new(12.97, 77.59).unwrap(),
+            Meters::new(80.0),
+            true,
+        );
+        let inside = p.position().destination(0.0, Meters::new(50.0));
+        let outside = p.position().destination(0.0, Meters::new(120.0));
+        assert!(p.contains(inside));
+        assert!(!p.contains(outside));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        use std::collections::HashSet;
+        let labels: HashSet<_> = PlaceCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), PlaceCategory::ALL.len());
+    }
+}

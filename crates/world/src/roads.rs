@@ -1,0 +1,340 @@
+//! Road network for agent travel.
+//!
+//! Agents move between places along roads rather than straight lines so that
+//! routes (§2.1.2) have realistic shapes: shared corridors, turns, and
+//! repeatable paths. The graph is undirected with great-circle edge lengths.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pmware_geo::{GeoError, GeoPoint, Meters, Polyline};
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`RoadGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+/// An undirected road network.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_geo::GeoPoint;
+/// use pmware_world::roads::RoadGraph;
+///
+/// let mut roads = RoadGraph::new();
+/// let a = roads.add_node(GeoPoint::new(0.0, 0.0)?);
+/// let b = roads.add_node(GeoPoint::new(0.0, 0.01)?);
+/// let c = roads.add_node(GeoPoint::new(0.01, 0.01)?);
+/// roads.add_edge(a, b);
+/// roads.add_edge(b, c);
+/// let path = roads.shortest_path(a, c).expect("connected");
+/// assert_eq!(path.nodes().len(), 3);
+/// # Ok::<(), pmware_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoadGraph {
+    nodes: Vec<GeoPoint>,
+    adjacency: Vec<Vec<(NodeId, f64)>>,
+}
+
+/// A path through the road graph, from source to destination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadPath {
+    nodes: Vec<NodeId>,
+    points: Vec<GeoPoint>,
+    length: Meters,
+}
+
+impl RoadPath {
+    /// Node sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Positions of the path's nodes.
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    /// Total path length.
+    pub fn length(&self) -> Meters {
+        self.length
+    }
+
+    /// The path as a geometric polyline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::TooFewPoints`] for a degenerate single-node path
+    /// (source equals destination).
+    pub fn to_polyline(&self) -> Result<Polyline, GeoError> {
+        Polyline::new(self.points.clone())
+    }
+}
+
+impl RoadGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        RoadGraph::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Adds a node at `position` and returns its id.
+    pub fn add_node(&mut self, position: GeoPoint) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(position);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not in this graph.
+    pub fn position(&self, node: NodeId) -> GeoPoint {
+        self.nodes[node.0 as usize]
+    }
+
+    /// Connects two nodes with an undirected edge (length = great-circle
+    /// distance). Duplicate edges and self-loops are ignored.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        let len = self.nodes[a.0 as usize]
+            .haversine_distance(self.nodes[b.0 as usize])
+            .value();
+        if self.adjacency[a.0 as usize].iter().any(|(n, _)| *n == b) {
+            return;
+        }
+        self.adjacency[a.0 as usize].push((b, len));
+        self.adjacency[b.0 as usize].push((a, len));
+    }
+
+    /// The node closest to `point`, or `None` for an empty graph.
+    pub fn nearest_node(&self, point: GeoPoint) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = point.equirectangular_distance(**a).value();
+                let db = point.equirectangular_distance(**b).value();
+                da.partial_cmp(&db).expect("distances are finite")
+            })
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Shortest path by Dijkstra's algorithm, or `None` if `to` is
+    /// unreachable from `from`.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<RoadPath> {
+        let n = self.nodes.len();
+        if from.0 as usize >= n || to.0 as usize >= n {
+            return None;
+        }
+        if from == to {
+            return Some(RoadPath {
+                nodes: vec![from],
+                points: vec![self.position(from)],
+                length: Meters::ZERO,
+            });
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, NodeId)>> = BinaryHeap::new();
+        dist[from.0 as usize] = 0.0;
+        heap.push(Reverse((OrderedF64(0.0), from)));
+
+        while let Some(Reverse((OrderedF64(d), node))) = heap.pop() {
+            if node == to {
+                break;
+            }
+            if d > dist[node.0 as usize] {
+                continue;
+            }
+            for &(next, len) in &self.adjacency[node.0 as usize] {
+                let nd = d + len;
+                if nd < dist[next.0 as usize] {
+                    dist[next.0 as usize] = nd;
+                    prev[next.0 as usize] = Some(node);
+                    heap.push(Reverse((OrderedF64(nd), next)));
+                }
+            }
+        }
+
+        if dist[to.0 as usize].is_infinite() {
+            return None;
+        }
+        let mut nodes = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.0 as usize] {
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        let points: Vec<GeoPoint> = nodes.iter().map(|&id| self.position(id)).collect();
+        Some(RoadPath {
+            nodes,
+            points,
+            length: Meters::new(dist[to.0 as usize]),
+        })
+    }
+
+    /// Route between two arbitrary positions: snap each to its nearest road
+    /// node, find the shortest node path, and prepend/append the off-road
+    /// stubs. Returns `None` if the graph is empty or disconnected between
+    /// the snapped nodes.
+    pub fn route_between(&self, from: GeoPoint, to: GeoPoint) -> Option<RoadPath> {
+        let a = self.nearest_node(from)?;
+        let b = self.nearest_node(to)?;
+        let core = self.shortest_path(a, b)?;
+        let mut points = Vec::with_capacity(core.points.len() + 2);
+        let mut length = core.length;
+        if from != core.points[0] {
+            length += from.haversine_distance(core.points[0]);
+            points.push(from);
+        }
+        points.extend_from_slice(&core.points);
+        if to != *core.points.last().expect("non-empty") {
+            length += to.haversine_distance(*core.points.last().expect("non-empty"));
+            points.push(to);
+        }
+        Some(RoadPath { nodes: core.nodes, points, length })
+    }
+}
+
+/// f64 wrapper with a total order for use in the Dijkstra heap.
+/// Distances are always finite and non-negative there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("heap distances are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lng: f64) -> GeoPoint {
+        GeoPoint::new(lat, lng).unwrap()
+    }
+
+    /// A 3×3 street grid, 0.01° (~1.1 km) spacing.
+    fn grid() -> (RoadGraph, Vec<NodeId>) {
+        let mut g = RoadGraph::new();
+        let mut ids = Vec::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                ids.push(g.add_node(p(r as f64 * 0.01, c as f64 * 0.01)));
+            }
+        }
+        for r in 0..3 {
+            for c in 0..3 {
+                let i = r * 3 + c;
+                if c + 1 < 3 {
+                    g.add_edge(ids[i], ids[i + 1]);
+                }
+                if r + 1 < 3 {
+                    g.add_edge(ids[i], ids[i + 3]);
+                }
+            }
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn counts() {
+        let (g, _) = grid();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_ignored() {
+        let mut g = RoadGraph::new();
+        let a = g.add_node(p(0.0, 0.0));
+        let b = g.add_node(p(0.0, 0.01));
+        g.add_edge(a, b);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.add_edge(a, a);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn shortest_path_across_grid_is_manhattan() {
+        let (g, ids) = grid();
+        let path = g.shortest_path(ids[0], ids[8]).unwrap();
+        // 4 edges of ~1112 m each.
+        assert!((path.length().value() - 4.0 * 1_112.0).abs() < 20.0, "{}", path.length());
+        assert_eq!(path.nodes().first(), Some(&ids[0]));
+        assert_eq!(path.nodes().last(), Some(&ids[8]));
+        assert_eq!(path.nodes().len(), 5);
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let (g, ids) = grid();
+        let path = g.shortest_path(ids[4], ids[4]).unwrap();
+        assert_eq!(path.length(), Meters::ZERO);
+        assert_eq!(path.nodes(), &[ids[4]]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = RoadGraph::new();
+        let a = g.add_node(p(0.0, 0.0));
+        let b = g.add_node(p(0.0, 0.01));
+        // No edges.
+        assert!(g.shortest_path(a, b).is_none());
+    }
+
+    #[test]
+    fn nearest_node_picks_closest() {
+        let (g, ids) = grid();
+        let near_center = p(0.0101, 0.0099);
+        assert_eq!(g.nearest_node(near_center), Some(ids[4]));
+        assert_eq!(RoadGraph::new().nearest_node(near_center), None);
+    }
+
+    #[test]
+    fn route_between_includes_stubs() {
+        let (g, _) = grid();
+        let from = p(-0.001, -0.001); // off-grid, nearest node is corner 0
+        let to = p(0.021, 0.021); // off-grid, nearest node is corner 8
+        let route = g.route_between(from, to).unwrap();
+        assert_eq!(route.points().first(), Some(&from));
+        assert_eq!(route.points().last(), Some(&to));
+        assert!(route.length().value() > 4.0 * 1_100.0);
+    }
+
+    #[test]
+    fn path_polyline_round_trip() {
+        let (g, ids) = grid();
+        let path = g.shortest_path(ids[0], ids[2]).unwrap();
+        let line = path.to_polyline().unwrap();
+        assert_eq!(line.points().len(), path.points().len());
+    }
+}

@@ -1,0 +1,134 @@
+//! GSM cell towers and their signal model.
+
+use pmware_geo::{GeoPoint, Meters};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CellGlobalId, TowerId};
+
+/// The radio-access layer a cell belongs to.
+///
+/// Real phones hand off between 2G and 3G layers under load ("inter-network
+/// (2G to 3G or vice versa) handoff", §2.2.2), which is one source of the
+/// oscillation effect GCA must absorb: the 2G and 3G cells covering the same
+/// spot have different cell IDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkLayer {
+    /// GSM / GPRS layer.
+    G2,
+    /// UMTS layer.
+    G3,
+}
+
+/// A simulated cell tower (one sector / one cell).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTower {
+    id: TowerId,
+    cell: CellGlobalId,
+    layer: NetworkLayer,
+    position: GeoPoint,
+    range: Meters,
+    /// Transmit-power proxy: higher means stronger signal at equal distance.
+    power_dbm: f64,
+}
+
+impl CellTower {
+    /// Creates a tower.
+    pub fn new(
+        id: TowerId,
+        cell: CellGlobalId,
+        layer: NetworkLayer,
+        position: GeoPoint,
+        range: Meters,
+        power_dbm: f64,
+    ) -> Self {
+        CellTower { id, cell, layer, position, range, power_dbm }
+    }
+
+    /// Internal tower index.
+    pub fn id(&self) -> TowerId {
+        self.id
+    }
+
+    /// The cell's global identity (PLMN + LAC + CID).
+    pub fn cell(&self) -> CellGlobalId {
+        self.cell
+    }
+
+    /// Network layer (2G / 3G).
+    pub fn layer(&self) -> NetworkLayer {
+        self.layer
+    }
+
+    /// Antenna position.
+    pub fn position(&self) -> GeoPoint {
+        self.position
+    }
+
+    /// Nominal coverage radius.
+    pub fn range(&self) -> Meters {
+        self.range
+    }
+
+    /// Deterministic mean received signal strength (dBm) at `distance`,
+    /// before fading noise. Log-distance path loss with exponent 3.0
+    /// (urban macro-cell).
+    pub fn mean_rssi_at(&self, distance: Meters) -> f64 {
+        let d = distance.value().max(1.0);
+        self.power_dbm - 30.0 * (d / 10.0).log10().max(0.0) - 40.0
+    }
+
+    /// Returns `true` if `point` is within nominal coverage.
+    pub fn covers(&self, point: GeoPoint) -> bool {
+        self.position.equirectangular_distance(point) <= self.range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CellId, Lac, Plmn};
+
+    fn tower() -> CellTower {
+        CellTower::new(
+            TowerId(0),
+            CellGlobalId {
+                plmn: Plmn { mcc: 404, mnc: 45 },
+                lac: Lac(1),
+                cell: CellId(100),
+            },
+            NetworkLayer::G2,
+            GeoPoint::new(12.97, 77.59).unwrap(),
+            Meters::new(1_500.0),
+            20.0,
+        )
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let t = tower();
+        let near = t.mean_rssi_at(Meters::new(50.0));
+        let far = t.mean_rssi_at(Meters::new(1_000.0));
+        assert!(near > far, "near={near} far={far}");
+    }
+
+    #[test]
+    fn rssi_is_monotone_and_finite() {
+        let t = tower();
+        let mut last = f64::MAX;
+        for d in [1.0, 10.0, 100.0, 500.0, 1_000.0, 2_000.0] {
+            let r = t.mean_rssi_at(Meters::new(d));
+            assert!(r.is_finite());
+            assert!(r <= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn covers_respects_range() {
+        let t = tower();
+        let inside = t.position().destination(90.0, Meters::new(1_000.0));
+        let outside = t.position().destination(90.0, Meters::new(2_000.0));
+        assert!(t.covers(inside));
+        assert!(!t.covers(outside));
+    }
+}

@@ -1,0 +1,72 @@
+//! The energy–accuracy trade-off (§1 limitation 1, §2.2.2): what each
+//! sensing strategy costs on the Figure 1 battery, and what PMWare's
+//! triggered sensing buys.
+//!
+//! ```sh
+//! cargo run --release --example energy_tradeoff
+//! ```
+
+use pmware::device::energy::figure1_dataset;
+use pmware::prelude::*;
+
+fn main() {
+    // Part 1 — the raw interface costs (Figure 1).
+    let model = EnergyModel::htc_explorer();
+    let periods = [
+        SimDuration::from_seconds(30),
+        SimDuration::from_minutes(1),
+        SimDuration::from_minutes(5),
+    ];
+    println!("battery duration (hours) under continuous sensing:");
+    print!("{:>10}", "period");
+    for i in Interface::ALL {
+        print!("{:>15}", i.label());
+    }
+    println!();
+    for row in figure1_dataset(&model, &periods) {
+        print!("{:>10}", row.period.to_string());
+        for (_, h) in &row.hours {
+            print!("{h:>15.1}");
+        }
+        println!();
+    }
+    let minute = SimDuration::from_minutes(1);
+    println!(
+        "\nGSM@1min lasts {:.1}x longer than GPS@1min (paper: ~11x)",
+        model.battery_duration_hours(Interface::Gsm, minute)
+            / model.battery_duration_hours(Interface::Gps, minute)
+    );
+
+    // Part 2 — what a *plan* costs: PMWare's triggered mix vs naive mixes.
+    println!("\ncombined sensing plans (idealised, stationary user):");
+    let plans: [(&str, Vec<(Interface, SimDuration)>); 4] = [
+        ("gsm-only", vec![(Interface::Gsm, minute)]),
+        (
+            "pmware triggered (gsm + wifi/10min)",
+            vec![
+                (Interface::Gsm, minute),
+                (Interface::WifiScan, SimDuration::from_minutes(10)),
+                (Interface::Accelerometer, minute),
+            ],
+        ),
+        (
+            "continuous wifi (gsm + wifi/1min)",
+            vec![(Interface::Gsm, minute), (Interface::WifiScan, minute)],
+        ),
+        (
+            "continuous gps (gsm + gps/1min)",
+            vec![(Interface::Gsm, minute), (Interface::Gps, minute)],
+        ),
+    ];
+    for (name, plan) in &plans {
+        println!(
+            "  {:<38} {:>7.1} h",
+            name,
+            model.combined_duration_hours(plan)
+        );
+    }
+    println!(
+        "\nThe full closed-loop version of this comparison (real movement,\n\
+         real discovery quality) is `cargo run --release -p pmware-bench --bin ablation_triggered`."
+    );
+}

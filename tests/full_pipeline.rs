@@ -1,0 +1,196 @@
+//! Workspace-level integration tests: the full pipeline through the
+//! `pmware` facade, spanning every crate at once.
+
+use parking_lot::Mutex;
+use pmware::prelude::*;
+use std::sync::Arc;
+
+fn build_pms<'w>(
+    world: &'w World,
+    itinerary: &'w Itinerary,
+    cloud: Arc<Mutex<CloudInstance>>,
+    participant: u32,
+    seed: u64,
+) -> PmwareMobileService<'w, &'w Itinerary> {
+    let env = RadioEnvironment::new(world, RadioConfig::default());
+    let device = Device::new(env, itinerary, EnergyModel::htc_explorer(), seed);
+    PmwareMobileService::new(
+        device,
+        cloud,
+        PmsConfig::for_participant(participant),
+        SimTime::EPOCH,
+    )
+    .expect("registration succeeds")
+}
+
+#[test]
+fn several_participants_share_one_cloud() {
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1000).build();
+    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        CellDatabase::from_world(&world),
+        1001,
+    )));
+    let population = Population::generate(&world, 3, 1002);
+    let days = 3;
+    let itineraries = population.itineraries(&world, days);
+
+    let mut totals = Vec::new();
+    for (i, itinerary) in itineraries.iter().enumerate() {
+        let mut pms = build_pms(&world, itinerary, cloud.clone(), i as u32, 1_100 + i as u64);
+        let _rx = pms.register_app(
+            "app",
+            AppRequirement::places(Granularity::Building),
+            IntentFilter::all(),
+        );
+        pms.run(SimTime::from_day_time(days, 0, 0, 0)).unwrap();
+        totals.push(pms.places().len());
+    }
+
+    // The one cloud instance registered all three devices.
+    assert_eq!(cloud.lock().user_count(), 3);
+    // Everyone discovered their own home and workplace at least.
+    for (i, t) in totals.iter().enumerate() {
+        assert!(*t >= 2, "participant {i} discovered only {t} places");
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1200).build();
+        let cloud = Arc::new(Mutex::new(CloudInstance::new(
+            CellDatabase::from_world(&world),
+            1201,
+        )));
+        let population = Population::generate(&world, 1, 1202);
+        let itinerary = population.itinerary(&world, population.agents()[0].id(), 3);
+        let mut pms = build_pms(&world, &itinerary, cloud, 0, 1203);
+        let _rx = pms.register_app(
+            "app",
+            AppRequirement::places(Granularity::Building),
+            IntentFilter::all(),
+        );
+        pms.run(SimTime::from_day_time(3, 0, 0, 0)).unwrap();
+        let counters = pms.counters();
+        let report = pms.finish(SimTime::from_day_time(3, 0, 0, 0));
+        (
+            report.places.len(),
+            counters.arrivals,
+            counters.departures,
+            report.energy_joules.to_bits(),
+        )
+    };
+    assert_eq!(run(), run(), "identical seeds must reproduce bit-identically");
+}
+
+#[test]
+fn discovered_places_match_ground_truth_shape() {
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1300).build();
+    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        CellDatabase::from_world(&world),
+        1301,
+    )));
+    let population = Population::generate(&world, 1, 1302);
+    let agent = &population.agents()[0];
+    let days = 7;
+    let itinerary = population.itinerary(&world, agent.id(), days);
+    let mut pms = build_pms(&world, &itinerary, cloud, 0, 1303);
+    let _rx = pms.register_app(
+        "app",
+        AppRequirement::places(Granularity::Building),
+        IntentFilter::all(),
+    );
+    pms.run(SimTime::from_day_time(days, 0, 0, 0)).unwrap();
+
+    let truth: Vec<GroundTruthVisit> = itinerary
+        .visits()
+        .iter()
+        .map(|v| GroundTruthVisit {
+            place: v.place,
+            arrival: v.arrival,
+            departure: v.departure,
+        })
+        .collect();
+    let discovered: Vec<DiscoveredPlace> = pms
+        .places()
+        .iter()
+        .map(|p| {
+            DiscoveredPlace::new(
+                pmware::algorithms::signature::DiscoveredPlaceId(p.id.0),
+                PlaceSignature::Cells(p.cells.clone()),
+                p.gca_visits.clone(),
+            )
+        })
+        .collect();
+    let report = classify_places(&discovered, &truth, 0.2);
+    assert!(report.evaluable() >= 2);
+    assert!(
+        report.correct_fraction() >= 0.5,
+        "correct {:.2} merged {:.2} divided {:.2}",
+        report.correct_fraction(),
+        report.merged_fraction(),
+        report.divided_fraction()
+    );
+}
+
+#[test]
+fn estimated_positions_are_near_true_places() {
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1400).build();
+    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        CellDatabase::from_world(&world),
+        1401,
+    )));
+    let population = Population::generate(&world, 1, 1402);
+    let agent = &population.agents()[0];
+    let itinerary = population.itinerary(&world, agent.id(), 3);
+    let mut pms = build_pms(&world, &itinerary, cloud, 0, 1403);
+    let _rx = pms.register_app(
+        "app",
+        AppRequirement::places(Granularity::Building),
+        IntentFilter::all(),
+    );
+    pms.run(SimTime::from_day_time(3, 0, 0, 0)).unwrap();
+
+    // The home estimate (tower-centroid geolocation) should land within
+    // about a kilometre of the true home.
+    let home_truth = world.place(agent.home()).position();
+    let best = pms
+        .places()
+        .iter()
+        .filter_map(|p| p.position)
+        .map(|est| est.equirectangular_distance(home_truth).value())
+        .fold(f64::MAX, f64::min);
+    assert!(
+        best < 1_200.0,
+        "no estimated position within 1.2 km of home (best {best:.0} m)"
+    );
+}
+
+#[test]
+fn battery_outlives_the_study_with_triggered_sensing() {
+    // §2.2.2's whole point: a two-week study must not kill the battery
+    // faster than charging cadence. With GSM-only demand the phone should
+    // project > 3 days of battery life.
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1500).build();
+    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        CellDatabase::from_world(&world),
+        1501,
+    )));
+    let population = Population::generate(&world, 1, 1502);
+    let itinerary = population.itinerary(&world, population.agents()[0].id(), 2);
+    let mut pms = build_pms(&world, &itinerary, cloud, 0, 1503);
+    let _rx = pms.register_app(
+        "ads",
+        AppRequirement::places(Granularity::Area),
+        IntentFilter::all(),
+    );
+    pms.run(SimTime::from_day_time(2, 0, 0, 0)).unwrap();
+    let report = pms.finish(SimTime::from_day_time(2, 0, 0, 0));
+    let capacity = EnergyModel::htc_explorer().battery().energy_joules();
+    let per_day = report.energy_joules / 2.0;
+    let projected_days = capacity / per_day;
+    assert!(
+        projected_days > 3.0,
+        "area-level sensing should last days, projected {projected_days:.1}"
+    );
+}
