@@ -1,0 +1,19 @@
+# Convenience targets for the PMWare reproduction workspace.
+
+.PHONY: verify build test clippy bench
+
+# The full pre-merge gate: release build, the whole test suite, and a
+# warning-free clippy pass over every target in the workspace.
+verify: build test clippy
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test -q --workspace
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+bench:
+	cargo bench -p pmware-bench

@@ -85,6 +85,11 @@ impl Default for SensLocConfig {
 pub struct SensLocDetector {
     config: SensLocConfig,
     places: Vec<DiscoveredPlace>,
+    /// Inverted index: BSSID → indices into `places` whose signature
+    /// contains that AP. Recognition of a finished stay consults only the
+    /// places sharing at least one AP with the new signature instead of
+    /// scanning every known place.
+    signature_index: BTreeMap<Bssid, Vec<usize>>,
     state: State,
 }
 
@@ -151,6 +156,7 @@ impl SensLocDetector {
         SensLocDetector {
             config,
             places: Vec::new(),
+            signature_index: BTreeMap::new(),
             state: State::Away {
                 prev_scan: None,
                 streak: 0,
@@ -288,10 +294,25 @@ impl SensLocDetector {
         }
         let visit = DiscoveredVisit { arrival: stay.start, departure: stay.last_inside };
 
-        // Match against known places.
+        // Match against known places. Places sharing no AP with the new
+        // signature have a Tanimoto of 0 and cannot clear a positive match
+        // threshold, so the candidate set comes from the inverted index
+        // rather than a scan over every place. A BTreeSet keeps candidates
+        // in ascending place order, preserving the earliest-index tie-break
+        // of the former linear scan.
+        let candidates: BTreeSet<usize> = if self.config.match_threshold > 0.0 {
+            signature
+                .iter()
+                .filter_map(|ap| self.signature_index.get(ap))
+                .flatten()
+                .copied()
+                .collect()
+        } else {
+            (0..self.places.len()).collect()
+        };
         let mut best: Option<(usize, f64)> = None;
-        for (idx, place) in self.places.iter().enumerate() {
-            if let PlaceSignature::WifiAps(aps) = &place.signature {
+        for &idx in &candidates {
+            if let PlaceSignature::WifiAps(aps) = &self.places[idx].signature {
                 let sim = tanimoto(aps, &signature);
                 if sim >= self.config.match_threshold
                     && best.is_none_or(|(_, b)| sim > b)
@@ -304,9 +325,15 @@ impl SensLocDetector {
             Some((idx, _)) => {
                 self.places[idx].visits.push(visit);
                 // Refresh the signature with newly seen APs (union keeps
-                // recognition robust to AP churn).
+                // recognition robust to AP churn), indexing the additions.
                 if let PlaceSignature::WifiAps(aps) = &mut self.places[idx].signature {
                     aps.extend(signature.iter().copied());
+                }
+                for &ap in &signature {
+                    let entry = self.signature_index.entry(ap).or_default();
+                    if !entry.contains(&idx) {
+                        entry.push(idx);
+                    }
                 }
                 Some(WifiPlaceEvent::Departure {
                     place: self.places[idx].id,
@@ -316,7 +343,11 @@ impl SensLocDetector {
                 })
             }
             None => {
-                let id = DiscoveredPlaceId(self.places.len() as u32);
+                let idx = self.places.len();
+                let id = DiscoveredPlaceId(idx as u32);
+                for &ap in &signature {
+                    self.signature_index.entry(ap).or_default().push(idx);
+                }
                 self.places.push(DiscoveredPlace::new(
                     id,
                     PlaceSignature::WifiAps(signature),

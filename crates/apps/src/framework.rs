@@ -213,20 +213,20 @@ mod tests {
 
     #[test]
     fn harness_end_to_end() {
-        use parking_lot::Mutex;
-        use pmware_cloud::{CellDatabase, CloudInstance};
+        
+        use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
         use pmware_core::pms::PmsConfig;
         use pmware_device::{Device, EnergyModel};
         use pmware_mobility::Population;
         use pmware_world::builder::{RegionProfile, WorldBuilder};
         use pmware_world::radio::{RadioConfig, RadioEnvironment};
-        use std::sync::Arc;
+        
 
         let world = WorldBuilder::new(RegionProfile::urban_india()).seed(5000).build();
-        let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        let cloud = SharedCloud::new(CloudInstance::new(
             CellDatabase::from_world(&world),
             5001,
-        )));
+        ));
         let pop = Population::generate(&world, 1, 5002);
         let it = pop.itinerary(&world, pop.agents()[0].id(), 3);
         let env = RadioEnvironment::new(&world, RadioConfig::default());

@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn registered_cloud() -> (CloudInstance, String) {
     let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(30).build();
-    let mut cloud = CloudInstance::new(CellDatabase::from_world(&world), 31);
+    let cloud = CloudInstance::new(CellDatabase::from_world(&world), 31);
     let resp = cloud.handle(
         &Request::post(
             "/api/v1/registration",
@@ -39,7 +39,7 @@ fn profile_for_day(day: u64) -> MobilityProfile {
 }
 
 fn bench_auth_and_routing(c: &mut Criterion) {
-    let (mut cloud, token) = registered_cloud();
+    let (cloud, token) = registered_cloud();
     let mut group = c.benchmark_group("cloud");
     group.bench_function("registration", |b| {
         let mut i = 0u64;
@@ -66,7 +66,7 @@ fn bench_auth_and_routing(c: &mut Criterion) {
 }
 
 fn bench_profile_sync_and_analytics(c: &mut Criterion) {
-    let (mut cloud, token) = registered_cloud();
+    let (cloud, token) = registered_cloud();
     // Preload a month of history.
     for day in 0..28 {
         let req = Request::post(
@@ -105,7 +105,7 @@ fn bench_profile_sync_and_analytics(c: &mut Criterion) {
 }
 
 fn bench_discovery_offload(c: &mut Criterion) {
-    let (mut cloud, token) = registered_cloud();
+    let (cloud, token) = registered_cloud();
     let cell = |id: u32| CellGlobalId {
         plmn: Plmn { mcc: 404, mnc: 45 },
         lac: Lac(1),
@@ -140,7 +140,7 @@ fn bench_discovery_offload(c: &mut Criterion) {
 
 fn bench_geolocate(c: &mut Criterion) {
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(33).build();
-    let mut cloud = CloudInstance::new(CellDatabase::from_world(&world), 34);
+    let cloud = CloudInstance::new(CellDatabase::from_world(&world), 34);
     let resp = cloud.handle(
         &Request::post(
             "/api/v1/registration",

@@ -3,8 +3,7 @@
 //! simulated day — the overhead PMWare itself adds on the phone.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use parking_lot::Mutex;
-use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::apps::Demand;
 use pmware_core::intents::{actions, Intent, IntentBus, IntentFilter};
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
@@ -19,7 +18,6 @@ use pmware_world::radio::{RadioConfig, RadioEnvironment};
 use pmware_world::{MotionState, SimTime};
 use serde_json::json;
 use std::hint::black_box;
-use std::sync::Arc;
 
 fn bench_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler");
@@ -101,10 +99,10 @@ fn bench_full_pms_day(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one-simulated-day", |b| {
         b.iter(|| {
-            let cloud = Arc::new(Mutex::new(CloudInstance::new(
+            let cloud = SharedCloud::new(CloudInstance::new(
                 CellDatabase::from_world(&world),
                 22,
-            )));
+            ));
             let env = RadioEnvironment::new(&world, RadioConfig::default());
             let device = Device::new(env, &it, EnergyModel::htc_explorer(), 23);
             let mut pms = PmwareMobileService::new(

@@ -1,0 +1,39 @@
+//! Tiny `--flag value` parser shared by the bench binaries.
+//!
+//! The binaries take a handful of numeric flags (`--threads`,
+//! `--participants`, `--days`, `--seeds`); this keeps the parsing in one
+//! place without pulling in an argument-parsing crate.
+
+/// Returns the value following `--<name>`, parsed, or `default` when the
+/// flag is absent.
+///
+/// # Panics
+///
+/// Exits the process with a message when the flag is present but its value
+/// is missing or unparsable — a bad benchmark invocation should fail
+/// loudly, not run with a silently substituted default.
+pub fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let flag = format!("--{name}");
+    let mut args = std::env::args().skip_while(|a| a != &flag);
+    if args.next().is_none() {
+        return default;
+    }
+    match args.next().map(|v| v.parse()) {
+        Some(Ok(value)) => value,
+        _ => {
+            eprintln!("error: {flag} requires a {} value", std::any::type_name::<T>());
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_flag_yields_default() {
+        assert_eq!(flag("definitely-not-passed", 7u64), 7);
+        assert_eq!(flag("also-not-passed", 1.5f64), 1.5);
+    }
+}

@@ -4,31 +4,38 @@
 //! Paper numbers: 123 places discovered; 85 tagged (~70 %); 62 evaluable;
 //! 79.03 % correct / 14.52 % merged / 6.45 % divided; ad like:dislike 17:3.
 //!
-//! Usage: `deployment_study [--seeds N]` — with N > 1 the study is
-//! repeated over consecutive seeds and the mean is reported alongside the
-//! per-seed numbers (the merged/divided split carries real seed-to-seed
-//! variance at this cohort size).
+//! Usage: `deployment_study [--seeds N] [--participants N] [--days D]
+//! [--threads T]` — with `--seeds N > 1` the study is repeated over
+//! consecutive seeds and the mean is reported alongside the per-seed
+//! numbers (the merged/divided split carries real seed-to-seed variance at
+//! this cohort size). `--threads` fans participants out over worker
+//! threads (0 = one per core); results are identical at any thread count.
 
+use pmware_bench::args::flag;
 use pmware_bench::deployment::{run_study, StudyConfig, StudyResults};
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .skip_while(|a| a != "--seeds")
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let seeds: u64 = flag("seeds", 1);
+    let defaults = StudyConfig::default();
+    let base = StudyConfig {
+        participants: flag("participants", defaults.participants),
+        days: flag("days", defaults.days),
+        threads: flag("threads", defaults.threads),
+        ..defaults
+    };
 
     let mut all: Vec<(u64, StudyResults)> = Vec::new();
     for offset in 0..seeds {
-        let config = StudyConfig { seed: 2014 + offset, ..StudyConfig::default() };
+        let config = StudyConfig { seed: 2014 + offset, ..base.clone() };
         if offset == 0 {
             println!(
-                "DEP: deployment study — {} participants x {} days ({}), seeds {}..{}\n",
+                "DEP: deployment study — {} participants x {} days ({}), seeds {}..{}, {} thread(s)\n",
                 config.participants,
                 config.days,
                 config.region.name,
                 config.seed,
-                config.seed + seeds - 1
+                config.seed + seeds - 1,
+                pmware_bench::parallel::resolve_threads(config.threads),
             );
         }
         let results = run_study(&config);

@@ -8,10 +8,10 @@
 //! directory.
 
 use std::fmt::Write as _;
-use std::sync::Arc;
 
-use parking_lot::Mutex;
-use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_bench::args::flag;
+use pmware_bench::parallel::{parallel_map, resolve_threads};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::IntentFilter;
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::requirements::{AppRequirement, Granularity};
@@ -95,13 +95,14 @@ const PARTICIPANT_COLORS: [&str; 6] =
     ["#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628"];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let participants = 6usize;
-    let days = 14u64;
+    let participants: usize = flag("participants", 6);
+    let days: u64 = flag("days", 14);
+    let threads = resolve_threads(flag("threads", 1));
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2014).build();
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         2015,
-    )));
+    ));
     let population = Population::generate(&world, participants, 2016);
 
     let mut svg = Svg::new(&world);
@@ -121,9 +122,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Layer 3: each participant's discovered-place estimates.
-    let mut total = 0usize;
-    for (i, agent) in population.agents().iter().enumerate() {
+    // Layer 3: each participant's discovered-place estimates. Participants
+    // run on the worker pool; drawing happens afterwards in participant
+    // order, so the SVG is identical at any thread count.
+    let jobs: Vec<(usize, pmware_mobility::AgentProfile)> = population
+        .agents()
+        .iter()
+        .cloned()
+        .enumerate()
+        .collect();
+    let estimates = parallel_map(jobs, threads, |(i, agent)| {
         let itinerary = population.itinerary(&world, agent.id(), days);
         let env = RadioEnvironment::new(&world, RadioConfig::default());
         let device =
@@ -133,25 +141,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cloud.clone(),
             PmsConfig::for_participant(i as u32),
             SimTime::EPOCH,
-        )?;
+        )
+        .expect("registration succeeds");
         let _rx = pms.register_app(
             "mapper",
             AppRequirement::places(Granularity::Building),
             IntentFilter::all(),
         );
-        pms.run(SimTime::from_day_time(days, 0, 0, 0))?;
+        pms.run(SimTime::from_day_time(days, 0, 0, 0)).expect("run succeeds");
+        pms.places()
+            .iter()
+            .filter_map(|place| {
+                place.position.map(|position| {
+                    (position, format!("{}", place.id), place.visit_count)
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut total = 0usize;
+    for (i, places) in estimates.iter().enumerate() {
         let color = PARTICIPANT_COLORS[i % PARTICIPANT_COLORS.len()];
-        for place in pms.places() {
-            if let Some(position) = place.position {
-                total += 1;
-                svg.circle(
-                    position,
-                    6.0,
-                    color,
-                    0.55,
-                    &format!("participant {i}: {} ({} visits)", place.id, place.visit_count),
-                );
-            }
+        for (position, id, visit_count) in places {
+            total += 1;
+            svg.circle(
+                *position,
+                6.0,
+                color,
+                0.55,
+                &format!("participant {i}: {id} ({visit_count} visits)"),
+            );
         }
     }
 

@@ -10,11 +10,9 @@
 //! embody: geometric fidelity of the recorded route against the true road
 //! path, versus the energy each mode costs.
 
-use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pmware_algorithms::route::RouteGeometry;
-use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::IntentFilter;
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::requirements::{AppRequirement, Granularity, RouteAccuracy};
@@ -63,10 +61,10 @@ fn run_mode(
     accuracy: RouteAccuracy,
     days: u64,
 ) -> (usize, usize, Option<f64>, f64) {
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(world),
         3003,
-    )));
+    ));
     let env = RadioEnvironment::new(world, RadioConfig::default());
     let device = Device::new(env, it, EnergyModel::htc_explorer(), 3004);
     let mut pms = PmwareMobileService::new(

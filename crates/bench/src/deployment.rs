@@ -11,15 +11,13 @@
 //!   14.52 % / 6.45 %);
 //! * **DEP-C** — PlaceADs like:dislike ratio (paper: 17:3 = 85 % likes).
 
-use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pmware_algorithms::matching::{
     classify_places, GroundTruthVisit, MatchOutcome,
 };
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSignature};
 use pmware_apps::{AdInventory, LifeLogApp, PlaceAdsApp, UserTasteModel};
-use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::registry::PmPlaceId;
 use pmware_device::{Device, EnergyModel};
@@ -39,6 +37,9 @@ pub struct StudyConfig {
     pub seed: u64,
     /// World profile (paper: urban India).
     pub region: RegionProfile,
+    /// Worker threads running participants (`1` = sequential, `0` = one
+    /// per core). Results are identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for StudyConfig {
@@ -48,12 +49,13 @@ impl Default for StudyConfig {
             days: 14,
             seed: 2014,
             region: RegionProfile::urban_india(),
+            threads: 1,
         }
     }
 }
 
 /// Per-participant outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParticipantResult {
     /// Places PMWare discovered for this participant.
     pub discovered: usize,
@@ -76,7 +78,7 @@ pub struct ParticipantResult {
 }
 
 /// Aggregate study outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyResults {
     /// Per-participant breakdown.
     pub participants: Vec<ParticipantResult>,
@@ -162,35 +164,49 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
     let world = WorldBuilder::new(config.region.clone())
         .seed(config.seed)
         .build();
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         config.seed + 1,
-    )));
+    ));
     let population = Population::generate(&world, config.participants, config.seed + 2);
 
-    let participants = population
+    // Everything a participant needs is derived from per-participant seeds
+    // before the fan-out, so worker scheduling cannot change any result;
+    // `parallel_map` reassembles in agent order.
+    let jobs: Vec<(u32, f64, Itinerary, UserTasteModel)> = population
         .agents()
         .iter()
         .map(|agent| {
-            let itinerary = population.itinerary(&world, agent.id(), config.days);
-            run_participant(
-                &world,
-                cloud.clone(),
+            (
                 agent.id().0,
                 agent.tag_probability(),
-                &itinerary,
+                population.itinerary(&world, agent.id(), config.days),
                 UserTasteModel::from_agent(agent, config.seed + 100 + agent.id().0 as u64),
-                config,
             )
         })
         .collect();
+    let participants = crate::parallel::parallel_map(
+        jobs,
+        crate::parallel::resolve_threads(config.threads),
+        |(index, tag_probability, itinerary, taste)| {
+            run_participant(
+                &world,
+                cloud.clone(),
+                index,
+                tag_probability,
+                &itinerary,
+                taste,
+                config,
+            )
+        },
+    );
 
     StudyResults { participants }
 }
 
 fn run_participant(
     world: &World,
-    cloud: Arc<Mutex<CloudInstance>>,
+    cloud: SharedCloud,
     index: u32,
     tag_probability: f64,
     itinerary: &Itinerary,
@@ -330,6 +346,7 @@ mod tests {
             days: 4,
             seed: 99,
             region: RegionProfile::urban_india(),
+            threads: 1,
         };
         let results = run_study(&config);
         assert_eq!(results.participants.len(), 4);

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod deployment;
+pub mod parallel;
 pub mod sensing_modes;
 pub mod wifi_coverage;

@@ -1,0 +1,104 @@
+//! Work-queue parallel map used by the cohort drivers.
+//!
+//! Participants in a study are independent once the shared [`SharedCloud`]
+//! handle is internally synchronized, so the drivers fan them out over a
+//! fixed pool of scoped threads fed from one crossbeam channel. Results
+//! are reassembled **in input order**, so a parallel run is byte-identical
+//! to a sequential one (see `tests/parallel_determinism.rs`).
+//!
+//! [`SharedCloud`]: pmware_cloud::SharedCloud
+
+use crossbeam::channel;
+
+/// Resolves a user-facing `--threads` value: `0` means "one per available
+/// core", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, preserving
+/// input order in the output.
+///
+/// With `threads <= 1` (or one item) this degenerates to a plain
+/// sequential map on the calling thread — no pool, no channels — which is
+/// also what makes the "parallel equals sequential" regression test
+/// meaningful rather than vacuous.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Pre-fill the job queue and drop the sender before any worker starts:
+    // `recv` then never blocks waiting for a producer, it either pops a job
+    // or observes disconnection and lets the worker exit.
+    let (job_tx, job_rx) = channel::unbounded();
+    for job in items.into_iter().enumerate() {
+        assert!(job_tx.send(job).is_ok(), "job receiver alive");
+    }
+    drop(job_tx);
+
+    let (out_tx, out_rx) = channel::unbounded();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let out_tx = out_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((index, item)) = job_rx.recv() {
+                    assert!(
+                        out_tx.send((index, f(item))).is_ok(),
+                        "out receiver alive"
+                    );
+                }
+            });
+        }
+    });
+    drop(out_tx);
+
+    let mut results: Vec<(usize, R)> = out_rx.try_iter().collect();
+    results.sort_by_key(|&(index, _)| index);
+    results.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 4, 7] {
+            let items: Vec<u64> = (0..23).collect();
+            let out = parallel_map(items.clone(), threads, |x| x * x);
+            let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        assert_eq!(parallel_map(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(vec![9], 4, |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = parallel_map(vec![1, 2], 16, |x| x * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

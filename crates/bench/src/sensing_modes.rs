@@ -9,11 +9,9 @@
 //!   once; N isolated applications each run their own pipeline. Total
 //!   energy scales with N only in the isolated case.
 
-use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pmware_algorithms::matching::{classify_places, GroundTruthVisit};
-use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::IntentFilter;
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::requirements::{AppRequirement, Granularity};
@@ -92,10 +90,10 @@ fn run_strategy(
     days: u64,
     seed: u64,
 ) -> StrategyResult {
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(world),
         seed + 2,
-    )));
+    ));
     let env = RadioEnvironment::new(world, RadioConfig::default());
     let device = Device::new(env, itinerary, EnergyModel::htc_explorer(), seed + 3);
 
@@ -193,10 +191,10 @@ pub fn run_redundancy_ablation(
     let end = SimTime::from_day_time(days, 0, 0, 0);
 
     let single_pipeline_energy = |salt: u64| -> f64 {
-        let cloud = Arc::new(Mutex::new(CloudInstance::new(
+        let cloud = SharedCloud::new(CloudInstance::new(
             CellDatabase::from_world(&world),
             seed + salt,
-        )));
+        ));
         let env = RadioEnvironment::new(&world, RadioConfig::default());
         let device =
             Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 10 + salt);
@@ -221,10 +219,10 @@ pub fn run_redundancy_ablation(
         .map(|&n| {
             // Shared: one PMS, n apps registered — sensing happens once.
             let shared = {
-                let cloud = Arc::new(Mutex::new(CloudInstance::new(
+                let cloud = SharedCloud::new(CloudInstance::new(
                     CellDatabase::from_world(&world),
                     seed + 40,
-                )));
+                ));
                 let env = RadioEnvironment::new(&world, RadioConfig::default());
                 let device = Device::new(
                     env,

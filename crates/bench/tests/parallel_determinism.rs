@@ -1,0 +1,55 @@
+//! The core guarantee of the parallel cohort engine: fanning participants
+//! out over worker threads changes wall-clock time and *nothing else*.
+//!
+//! Every per-participant quantity is derived from per-participant seeds
+//! before the fan-out, and the shared cloud isolates users from each other
+//! (order-dependent server-side artefacts — token strings, user-id
+//! assignment — never feed back into a participant's results). This test
+//! pins that down: a 4-thread run must equal a sequential run field by
+//! field, including the floating-point energy totals.
+
+use pmware_bench::deployment::{run_study, StudyConfig};
+use pmware_world::builder::RegionProfile;
+
+fn config(threads: usize) -> StudyConfig {
+    StudyConfig {
+        participants: 6,
+        days: 3,
+        seed: 7001,
+        region: RegionProfile::urban_india(),
+        threads,
+    }
+}
+
+#[test]
+fn parallel_study_is_bit_identical_to_sequential() {
+    let sequential = run_study(&config(1));
+    let parallel = run_study(&config(4));
+
+    assert_eq!(sequential.participants.len(), parallel.participants.len());
+    for (i, (s, p)) in sequential
+        .participants
+        .iter()
+        .zip(&parallel.participants)
+        .enumerate()
+    {
+        // Exact comparison on purpose: energy_joules is an f64 and must
+        // match to the last bit, not approximately.
+        assert_eq!(s, p, "participant {i} diverged between 1 and 4 threads");
+        assert_eq!(
+            s.energy_joules.to_bits(),
+            p.energy_joules.to_bits(),
+            "participant {i} energy not bit-identical"
+        );
+    }
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn oversubscribed_pool_is_still_identical() {
+    // More workers than participants: some threads exit without ever
+    // pulling a job; order reassembly must still hold.
+    let sequential = run_study(&config(1));
+    let oversubscribed = run_study(&config(16));
+    assert_eq!(sequential, oversubscribed);
+}

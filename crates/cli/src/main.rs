@@ -11,13 +11,11 @@
 mod args;
 
 use std::process::ExitCode;
-use std::sync::Arc;
 
 use args::Args;
-use parking_lot::Mutex;
 use pmware_apps::{AdInventory, PlaceAdsApp, UserTasteModel};
 use pmware_bench::deployment::{run_study, StudyConfig};
-use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::IntentFilter;
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::requirements::{AppRequirement, Granularity};
@@ -143,10 +141,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 2);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         seed + 3,
-    )));
+    ));
     let mut pms = PmwareMobileService::new(
         device,
         cloud,
@@ -202,6 +200,7 @@ fn cmd_study(args: &Args) -> Result<(), String> {
         days: args.get("days", 14u64).map_err(|e| e.to_string())?,
         seed: args.get("seed", 2014u64).map_err(|e| e.to_string())?,
         region: region(args)?,
+        threads: args.get("threads", 1usize).map_err(|e| e.to_string())?,
     };
     if !args.has("quiet") {
         println!(
@@ -239,10 +238,10 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 2);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         seed + 3,
-    )));
+    ));
     let mut pms = PmwareMobileService::new(
         device,
         cloud,

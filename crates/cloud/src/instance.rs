@@ -1,7 +1,27 @@
 //! The cloud instance: endpoint routing and per-user storage.
+//!
+//! [`CloudInstance`] is internally synchronized so that many simulated
+//! phones can talk to one server **concurrently**, exactly like the real
+//! multi-tenant Azure deployment of §2.3:
+//!
+//! * per-user state lives in [`SHARD_COUNT`] lock shards keyed by
+//!   [`UserId`], so requests from different users proceed in parallel and
+//!   only requests for the *same* user serialize;
+//! * the token registry is behind a read-write lock (validation — the hot
+//!   path — takes the read side);
+//! * the cell database is immutable after construction and needs no lock;
+//! * fault injection and the token RNG use an atomic flag and a small
+//!   mutex respectively.
+//!
+//! [`SharedCloud`] is the cheap, cloneable handle (`Arc` under the hood)
+//! that clients hold; it is `Send + Sync` and replaces the external
+//! `Arc<Mutex<CloudInstance>>` wrapper of earlier revisions.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 use pmware_algorithms::gca::{self, GcaConfig};
 use pmware_algorithms::route::{CanonicalRoute, RouteStore};
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
@@ -19,6 +39,9 @@ use crate::auth::{DeviceIdentity, TokenStore, UserId};
 use crate::geolocate::CellDatabase;
 use crate::predict::{self, MarkovPredictor};
 use crate::profile::{ContactEntry, MobilityProfile};
+
+/// Number of per-user lock shards.
+pub const SHARD_COUNT: usize = 16;
 
 /// Per-user server-side state.
 #[derive(Debug)]
@@ -40,7 +63,18 @@ impl Default for UserStore {
     }
 }
 
+/// One lock shard: the users whose id hashes here, plus a request counter.
+#[derive(Debug, Default)]
+struct Shard {
+    users: RwLock<HashMap<UserId, Arc<Mutex<UserStore>>>>,
+    requests: AtomicU64,
+}
+
 /// The PMWare cloud instance (PCI).
+///
+/// All methods take `&self`: the instance synchronizes internally (see the
+/// module docs) and can be driven from many threads at once through
+/// [`SharedCloud`].
 ///
 /// # Examples
 ///
@@ -49,7 +83,7 @@ impl Default for UserStore {
 /// use pmware_world::SimTime;
 /// use serde_json::json;
 ///
-/// let mut cloud = CloudInstance::new(CellDatabase::new(), 1);
+/// let cloud = CloudInstance::new(CellDatabase::new(), 1);
 /// let req = Request::post(
 ///     "/api/v1/registration",
 ///     json!({"imei": "350123", "email": "a@example.com"}),
@@ -60,12 +94,49 @@ impl Default for UserStore {
 /// ```
 #[derive(Debug)]
 pub struct CloudInstance {
-    tokens: TokenStore,
-    users: HashMap<UserId, UserStore>,
+    tokens: RwLock<TokenStore>,
+    shards: Vec<Shard>,
     cells: CellDatabase,
-    gca_config: GcaConfig,
-    rng: StdRng,
-    outage: bool,
+    gca_config: RwLock<GcaConfig>,
+    rng: Mutex<StdRng>,
+    outage: AtomicBool,
+}
+
+/// Cloneable, thread-safe handle to a [`CloudInstance`].
+///
+/// Derefs to the instance, so every `CloudInstance` method is available on
+/// the handle directly:
+///
+/// ```
+/// use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
+///
+/// let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::new(), 7));
+/// let for_thread = cloud.clone(); // same instance, cheap to clone
+/// assert_eq!(cloud.user_count(), 0);
+/// assert_eq!(for_thread.user_count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedCloud(Arc<CloudInstance>);
+
+impl SharedCloud {
+    /// Wraps an instance into a shareable handle.
+    pub fn new(instance: CloudInstance) -> Self {
+        SharedCloud(Arc::new(instance))
+    }
+}
+
+impl From<CloudInstance> for SharedCloud {
+    fn from(instance: CloudInstance) -> Self {
+        SharedCloud::new(instance)
+    }
+}
+
+impl std::ops::Deref for SharedCloud {
+    type Target = CloudInstance;
+
+    fn deref(&self) -> &CloudInstance {
+        &self.0
+    }
 }
 
 #[derive(Deserialize)]
@@ -150,12 +221,12 @@ impl CloudInstance {
     /// Creates an instance with a 24-hour token TTL.
     pub fn new(cells: CellDatabase, seed: u64) -> Self {
         CloudInstance {
-            tokens: TokenStore::new(SimDuration::from_hours(24)),
-            users: HashMap::new(),
+            tokens: RwLock::new(TokenStore::new(SimDuration::from_hours(24))),
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             cells,
-            gca_config: GcaConfig::default(),
-            rng: StdRng::seed_from_u64(seed),
-            outage: false,
+            gca_config: RwLock::new(GcaConfig::default()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            outage: AtomicBool::new(false),
         }
     }
 
@@ -163,29 +234,67 @@ impl CloudInstance {
     /// outage is active every request fails with 503, as if the Azure
     /// instance were unreachable. The phone must keep working (§2.3.1's
     /// offload has a local fallback).
-    pub fn set_outage(&mut self, outage: bool) {
-        self.outage = outage;
+    pub fn set_outage(&self, outage: bool) {
+        self.outage.store(outage, Ordering::SeqCst);
     }
 
     /// Whether an outage is currently injected.
     pub fn outage(&self) -> bool {
-        self.outage
+        self.outage.load(Ordering::SeqCst)
     }
 
     /// Overrides the GCA configuration used by the discovery offload.
-    pub fn set_gca_config(&mut self, config: GcaConfig) {
-        self.gca_config = config;
+    pub fn set_gca_config(&self, config: GcaConfig) {
+        *self.gca_config.write() = config;
     }
 
     /// Number of registered users.
     pub fn user_count(&self) -> usize {
-        self.tokens.user_count()
+        self.tokens.read().user_count()
+    }
+
+    /// Number of per-user lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Authenticated requests handled so far, broken down by shard.
+    pub fn shard_request_counts(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.requests.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total authenticated requests handled so far.
+    pub fn total_requests(&self) -> u64 {
+        self.shard_request_counts().iter().sum()
+    }
+
+    /// The shard a user's state lives in.
+    fn shard(&self, user: UserId) -> &Shard {
+        &self.shards[user.0 as usize % self.shards.len()]
+    }
+
+    /// The per-user store, creating it if absent. Fast path is a shard
+    /// read lock; the write lock is only taken on first touch.
+    fn store_of(&self, user: UserId) -> Arc<Mutex<UserStore>> {
+        let shard = self.shard(user);
+        if let Some(store) = shard.users.read().get(&user) {
+            return store.clone();
+        }
+        shard
+            .users
+            .write()
+            .entry(user)
+            .or_insert_with(|| Arc::new(Mutex::new(UserStore::default())))
+            .clone()
     }
 
     /// Handles one request at simulated instant `now` — the single entry
     /// point, exactly like an HTTP dispatcher.
-    pub fn handle(&mut self, request: &Request, now: SimTime) -> Response {
-        if self.outage {
+    pub fn handle(&self, request: &Request, now: SimTime) -> Response {
+        if self.outage() {
             return Response { status: 503, body: json!({"error": "service unavailable"}) };
         }
         let path = request.path.as_str();
@@ -198,13 +307,18 @@ impl CloudInstance {
         let Some(token) = request.token.as_deref() else {
             return Response::unauthorized("missing bearer token");
         };
-        let Some(user) = self.tokens.validate(token, now) else {
+        let Some(user) = self.tokens.read().validate(token, now) else {
             return Response::unauthorized("invalid or expired token");
         };
+        self.shard(user).requests.fetch_add(1, Ordering::Relaxed);
 
         match (request.method, path) {
             (Method::Post, "/api/v1/token/refresh") => {
-                match self.tokens.refresh(token, now, &mut self.rng) {
+                let refreshed = self
+                    .tokens
+                    .write()
+                    .refresh(token, now, &mut *self.rng.lock());
+                match refreshed {
                     Some(t) => Response::ok(json!({
                         "token": t.token,
                         "expires_at": t.expires_at,
@@ -213,31 +327,35 @@ impl CloudInstance {
                 }
             }
             (Method::Post, "/api/v1/places/discover") => {
-                self.with_body::<DiscoverBody>(request, |cloud, body| {
-                    let out = gca::discover_places(&body.observations, &cloud.gca_config);
-                    let store = cloud.users.entry(user).or_default();
-                    store.places = out.places.clone();
+                self.with_body::<DiscoverBody>(request, |body| {
+                    // GCA runs outside any user lock: clustering is the
+                    // expensive part and must not serialize other users.
+                    let out = {
+                        let config = self.gca_config.read();
+                        gca::discover_places(&body.observations, &config)
+                    };
+                    let store = self.store_of(user);
+                    store.lock().places = out.places.clone();
                     Response::ok(json!({ "places": out.places }))
                 })
             }
             (Method::Post, "/api/v1/places/sync") => {
-                self.with_body::<SyncPlacesBody>(request, |cloud, body| {
-                    let store = cloud.users.entry(user).or_default();
+                self.with_body::<SyncPlacesBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let mut store = store.lock();
                     store.places = body.places;
                     Response::ok(json!({ "stored": store.places.len() }))
                 })
             }
             (Method::Get, "/api/v1/places") => {
-                let places = self
-                    .users
-                    .get(&user)
-                    .map(|s| s.places.clone())
-                    .unwrap_or_default();
+                let store = self.store_of(user);
+                let places = store.lock().places.clone();
                 Response::ok(json!({ "places": places }))
             }
             (Method::Post, "/api/v1/places/label") => {
-                self.with_body::<LabelBody>(request, |cloud, body| {
-                    let store = cloud.users.entry(user).or_default();
+                self.with_body::<LabelBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let mut store = store.lock();
                     match store.places.iter_mut().find(|p| p.id == body.place) {
                         Some(place) => {
                             place.label = Some(body.label);
@@ -248,8 +366,7 @@ impl CloudInstance {
                 })
             }
             (Method::Post, "/api/v1/routes/sync") => {
-                self.with_body::<SyncRoutesBody>(request, |cloud, body| {
-                    let store = cloud.users.entry(user).or_default();
+                self.with_body::<SyncRoutesBody>(request, |body| {
                     let mut fresh = RouteStore::new(0.5);
                     for route in body.routes {
                         for start in &route.traversals {
@@ -264,39 +381,35 @@ impl CloudInstance {
                             );
                         }
                     }
-                    store.routes = fresh;
-                    Response::ok(json!({ "stored": store.routes.routes().len() }))
+                    let stored = fresh.routes().len();
+                    let store = self.store_of(user);
+                    store.lock().routes = fresh;
+                    Response::ok(json!({ "stored": stored }))
                 })
             }
             (Method::Get, "/api/v1/routes") => {
-                let routes = self
-                    .users
-                    .get(&user)
-                    .map(|s| s.routes.routes().to_vec())
-                    .unwrap_or_default();
+                let store = self.store_of(user);
+                let routes = store.lock().routes.routes().to_vec();
                 Response::ok(json!({ "routes": routes }))
             }
             (Method::Post, "/api/v1/routes/query") => {
-                self.with_body::<RouteQueryBody>(request, |cloud, body| {
-                    let routes: Vec<CanonicalRoute> = cloud
-                        .users
-                        .get(&user)
-                        .map(|s| {
-                            s.routes
-                                .between(body.from, body.to)
-                                .into_iter()
-                                .cloned()
-                                .collect()
-                        })
-                        .unwrap_or_default();
+                self.with_body::<RouteQueryBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let store = store.lock();
+                    let routes: Vec<CanonicalRoute> = store
+                        .routes
+                        .between(body.from, body.to)
+                        .into_iter()
+                        .cloned()
+                        .collect();
                     Response::ok(json!({ "routes": routes }))
                 })
             }
             (Method::Post, "/api/v1/profiles/sync") => {
-                self.with_body::<SyncProfileBody>(request, |cloud, body| {
-                    let store = cloud.users.entry(user).or_default();
+                self.with_body::<SyncProfileBody>(request, |body| {
                     let day = body.profile.day;
-                    store.history.upsert(body.profile);
+                    let store = self.store_of(user);
+                    store.lock().history.upsert(body.profile);
                     Response::ok(json!({ "synced_day": day }))
                 })
             }
@@ -304,47 +417,48 @@ impl CloudInstance {
                 let day: Result<u64, _> = p["/api/v1/profiles/".len()..].parse();
                 match day {
                     Err(_) => Response::bad_request("day must be an integer"),
-                    Ok(day) => match self.users.get(&user).and_then(|s| s.history.day(day))
-                    {
-                        Some(profile) => Response::ok(json!({ "profile": profile })),
-                        None => Response::not_found("no profile for that day"),
-                    },
+                    Ok(day) => {
+                        let store = self.store_of(user);
+                        let store = store.lock();
+                        match store.history.day(day) {
+                            Some(profile) => Response::ok(json!({ "profile": profile })),
+                            None => Response::not_found("no profile for that day"),
+                        }
+                    }
                 }
             }
             (Method::Post, "/api/v1/social/sync") => {
-                self.with_body::<SyncContactsBody>(request, |cloud, body| {
-                    let store = cloud.users.entry(user).or_default();
+                self.with_body::<SyncContactsBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let mut store = store.lock();
                     store.contacts.extend(body.contacts);
                     Response::ok(json!({ "stored": store.contacts.len() }))
                 })
             }
             (Method::Post, "/api/v1/social/query") => {
-                self.with_body::<SocialQueryBody>(request, |cloud, body| {
-                    let contacts: Vec<ContactEntry> = cloud
-                        .users
-                        .get(&user)
-                        .map(|s| {
-                            s.contacts
-                                .iter()
-                                .filter(|c| match body.place {
-                                    Some(p) => c.place == Some(p),
-                                    None => true,
-                                })
-                                .cloned()
-                                .collect()
+                self.with_body::<SocialQueryBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let store = store.lock();
+                    let contacts: Vec<ContactEntry> = store
+                        .contacts
+                        .iter()
+                        .filter(|c| match body.place {
+                            Some(p) => c.place == Some(p),
+                            None => true,
                         })
-                        .unwrap_or_default();
+                        .cloned()
+                        .collect();
                     Response::ok(json!({ "contacts": contacts }))
                 })
             }
             (Method::Post, "/api/v1/misc/geolocate") => {
-                self.with_body::<GeolocateBody>(request, |cloud, body| {
+                self.with_body::<GeolocateBody>(request, |body| {
                     let cell = CellGlobalId {
                         plmn: Plmn { mcc: body.mcc, mnc: body.mnc },
                         lac: Lac(body.lac),
                         cell: CellId(body.cid),
                     };
-                    match cloud.cells.locate(cell) {
+                    match self.cells.locate(cell) {
                         Some(p) => Response::ok(json!({
                             "latitude": p.latitude(),
                             "longitude": p.longitude(),
@@ -354,8 +468,8 @@ impl CloudInstance {
                 })
             }
             (Method::Post, "/api/v1/misc/geolocate_signature") => {
-                self.with_body::<GeolocateSignatureBody>(request, |cloud, body| {
-                    match cloud.cells.locate_signature(body.cells.iter()) {
+                self.with_body::<GeolocateSignatureBody>(request, |body| {
+                    match self.cells.locate_signature(body.cells.iter()) {
                         Some(p) => Response::ok(json!({
                             "latitude": p.latitude(),
                             "longitude": p.longitude(),
@@ -365,43 +479,53 @@ impl CloudInstance {
                 })
             }
             (Method::Post, "/api/v1/analytics/arrival") => {
-                self.with_body::<ArrivalBody>(request, |cloud, body| {
-                    let history = cloud.history_of(user);
+                self.with_body::<ArrivalBody>(request, |body| {
                     let window = body.window.unwrap_or((0, 24));
-                    match predict::predict_arrival_in_window(history, body.place, window) {
+                    let store = self.store_of(user);
+                    let store = store.lock();
+                    match predict::predict_arrival_in_window(
+                        &store.history,
+                        body.place,
+                        window,
+                    ) {
                         Some(s) => Response::ok(json!({ "second_of_day": s })),
                         None => Response::not_found("no arrivals in window"),
                     }
                 })
             }
             (Method::Post, "/api/v1/analytics/next_visit") => {
-                self.with_body::<NextVisitBody>(request, |cloud, body| {
-                    let history = cloud.history_of(user);
-                    match predict::predict_next_visit(history, body.place, body.now) {
+                self.with_body::<NextVisitBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let store = store.lock();
+                    match predict::predict_next_visit(&store.history, body.place, body.now)
+                    {
                         Some(t) => Response::ok(json!({ "time": t })),
                         None => Response::not_found("no visit pattern for place"),
                     }
                 })
             }
             (Method::Post, "/api/v1/analytics/frequency") => {
-                self.with_body::<PlaceOnlyBody>(request, |cloud, body| {
-                    let history = cloud.history_of(user);
+                self.with_body::<PlaceOnlyBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let store = store.lock();
                     Response::ok(json!({
-                        "visits_per_week": history.visits_per_week(body.place),
-                        "visit_count": history.visit_count(body.place),
+                        "visits_per_week": store.history.visits_per_week(body.place),
+                        "visit_count": store.history.visit_count(body.place),
                     }))
                 })
             }
             (Method::Post, "/api/v1/analytics/activity") => {
-                let history = self.history_of(user);
+                let store = self.store_of(user);
+                let store = store.lock();
                 Response::ok(json!({
-                    "mean_daily_moving_minutes": history.mean_daily_moving_minutes(),
+                    "mean_daily_moving_minutes": store.history.mean_daily_moving_minutes(),
                 }))
             }
             (Method::Post, "/api/v1/analytics/next_place") => {
-                self.with_body::<PlaceOnlyBody>(request, |cloud, body| {
-                    let history = cloud.history_of(user);
-                    let model = MarkovPredictor::train(history);
+                self.with_body::<PlaceOnlyBody>(request, |body| {
+                    let store = self.store_of(user);
+                    let store = store.lock();
+                    let model = MarkovPredictor::train(&store.history);
                     Response::ok(json!({
                         "predictions": model.predict_next(body.place),
                     }))
@@ -411,7 +535,7 @@ impl CloudInstance {
         }
     }
 
-    fn register(&mut self, request: &Request, now: SimTime) -> Response {
+    fn register(&self, request: &Request, now: SimTime) -> Response {
         let body: RegistrationBody = match serde_json::from_value(request.body.clone()) {
             Ok(b) => b,
             Err(e) => return Response::bad_request(format!("invalid body: {e}")),
@@ -420,8 +544,13 @@ impl CloudInstance {
             return Response::bad_request("imei and email are required");
         }
         let identity = DeviceIdentity { imei: body.imei, email: body.email };
-        let (user, token) = self.tokens.register(identity, now, &mut self.rng);
-        self.users.entry(user).or_default();
+        let (user, token) = self
+            .tokens
+            .write()
+            .register(identity, now, &mut *self.rng.lock());
+        // Materialize the store so first touch happens under registration,
+        // not on the hot request path.
+        let _ = self.store_of(user);
         Response::ok(json!({
             "user": user,
             "token": token.token,
@@ -429,36 +558,26 @@ impl CloudInstance {
         }))
     }
 
-    fn history_of(&self, user: UserId) -> &ProfileHistory {
-        self.users
-            .get(&user)
-            .map(|s| &s.history)
-            .unwrap_or_else(|| once_empty::empty())
-    }
-
     fn with_body<B: serde::de::DeserializeOwned>(
-        &mut self,
+        &self,
         request: &Request,
-        f: impl FnOnce(&mut Self, B) -> Response,
+        f: impl FnOnce(B) -> Response,
     ) -> Response {
         match serde_json::from_value::<B>(request.body.clone()) {
-            Ok(body) => f(self, body),
+            Ok(body) => f(body),
             Err(e) => Response::bad_request(format!("invalid body: {e}")),
         }
     }
 }
 
-/// A process-wide empty history for unregistered/blank users, avoiding an
-/// `Option` plumbed through every analytics endpoint.
-mod once_empty {
-    use crate::analytics::ProfileHistory;
-    use std::sync::OnceLock;
-
-    pub(super) fn empty() -> &'static ProfileHistory {
-        static EMPTY: OnceLock<ProfileHistory> = OnceLock::new();
-        EMPTY.get_or_init(ProfileHistory::new)
-    }
-}
+// The once-empty ProfileHistory fallback of earlier revisions is gone:
+// `store_of` creates a (default) store on first touch, so analytics
+// endpoints always have a history to read.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CloudInstance>();
+    assert_send_sync::<SharedCloud>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -470,7 +589,7 @@ mod tests {
         CloudInstance::new(CellDatabase::new(), 42)
     }
 
-    fn register(cloud: &mut CloudInstance, n: u32, now: SimTime) -> String {
+    fn register(cloud: &CloudInstance, n: u32, now: SimTime) -> String {
         let req = Request::post(
             "/api/v1/registration",
             json!({"imei": format!("imei-{n}"), "email": format!("u{n}@x.com")}),
@@ -482,9 +601,9 @@ mod tests {
 
     #[test]
     fn registration_and_auth_flow() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         assert_eq!(c.user_count(), 1);
 
         // Authenticated GET works.
@@ -507,7 +626,7 @@ mod tests {
 
     #[test]
     fn registration_requires_identity() {
-        let mut c = cloud();
+        let c = cloud();
         let resp = c.handle(
             &Request::post("/api/v1/registration", json!({"imei": "", "email": ""})),
             SimTime::EPOCH,
@@ -522,9 +641,9 @@ mod tests {
 
     #[test]
     fn token_refresh_rotates() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         let resp = c.handle(
             &Request::post("/api/v1/token/refresh", Value::Null).with_token(&token),
             now + SimDuration::from_hours(20),
@@ -543,9 +662,9 @@ mod tests {
     #[test]
     fn gca_offload_discovers_and_stores() {
         use pmware_world::tower::NetworkLayer;
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         // Synthetic oscillating stream (same shape as the GCA unit tests).
         let cell = |id: u32| CellGlobalId {
             plmn: Plmn { mcc: 404, mnc: 45 },
@@ -578,9 +697,9 @@ mod tests {
 
     #[test]
     fn place_labelling() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         let place = DiscoveredPlace::new(
             DiscoveredPlaceId(0),
             pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
@@ -617,9 +736,9 @@ mod tests {
 
     #[test]
     fn profile_sync_and_fetch() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         let mut profile = MobilityProfile::new(2);
         profile.places.push(PlaceEntry {
             place: DiscoveredPlaceId(0),
@@ -653,9 +772,9 @@ mod tests {
 
     #[test]
     fn analytics_endpoints_answer_the_papers_queries() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         // Two weeks of evening home arrivals at 18h.
         for day in 0..14 {
             let mut profile = MobilityProfile::new(day);
@@ -720,9 +839,9 @@ mod tests {
     fn geolocation_endpoint_uses_cell_database() {
         let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(3).build();
         let tower = &world.towers()[0];
-        let mut c = CloudInstance::new(CellDatabase::from_world(&world), 1);
+        let c = CloudInstance::new(CellDatabase::from_world(&world), 1);
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         let cell = tower.cell();
         let resp = c.handle(
             &Request::post(
@@ -754,9 +873,9 @@ mod tests {
 
     #[test]
     fn social_sync_and_query_by_place() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         let contacts = vec![
             ContactEntry {
                 contact: "peer-1".into(),
@@ -797,10 +916,10 @@ mod tests {
 
     #[test]
     fn users_are_isolated() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let t0 = register(&mut c, 0, now);
-        let t1 = register(&mut c, 1, now);
+        let t0 = register(&c, 0, now);
+        let t1 = register(&c, 1, now);
         let place = DiscoveredPlace::new(
             DiscoveredPlaceId(0),
             pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
@@ -817,23 +936,80 @@ mod tests {
 
     #[test]
     fn unknown_route_is_404() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         let resp = c.handle(&Request::get("/api/v1/nope").with_token(&token), now);
         assert_eq!(resp.status, 404);
     }
 
     #[test]
     fn malformed_body_is_400() {
-        let mut c = cloud();
+        let c = cloud();
         let now = SimTime::EPOCH;
-        let token = register(&mut c, 0, now);
+        let token = register(&c, 0, now);
         let resp = c.handle(
             &Request::post("/api/v1/places/sync", json!({"wrong": true}))
                 .with_token(&token),
             now,
         );
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn request_counters_attribute_to_user_shards() {
+        let c = cloud();
+        let now = SimTime::EPOCH;
+        let t0 = register(&c, 0, now); // UserId(0) → shard 0
+        let t1 = register(&c, 1, now); // UserId(1) → shard 1
+        assert_eq!(c.total_requests(), 0, "registration is unauthenticated");
+        for _ in 0..3 {
+            c.handle(&Request::get("/api/v1/places").with_token(&t0), now);
+        }
+        c.handle(&Request::get("/api/v1/places").with_token(&t1), now);
+        let counts = c.shard_request_counts();
+        assert_eq!(counts.len(), SHARD_COUNT);
+        assert_eq!(counts[0], 3);
+        assert_eq!(counts[1], 1);
+        assert_eq!(c.total_requests(), 4);
+    }
+
+    #[test]
+    fn shared_cloud_serves_threads_concurrently() {
+        let shared = SharedCloud::new(cloud());
+        let now = SimTime::EPOCH;
+        let tokens: Vec<String> =
+            (0..4).map(|n| register(&shared, n, now)).collect();
+        std::thread::scope(|s| {
+            for (n, token) in tokens.iter().enumerate() {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    let place = DiscoveredPlace::new(
+                        DiscoveredPlaceId(n as u32),
+                        pmware_algorithms::signature::PlaceSignature::WifiAps(
+                            Default::default(),
+                        ),
+                        vec![],
+                    );
+                    let resp = shared.handle(
+                        &Request::post(
+                            "/api/v1/places/sync",
+                            json!({ "places": [place] }),
+                        )
+                        .with_token(token),
+                        now,
+                    );
+                    assert!(resp.is_success());
+                });
+            }
+        });
+        // Every user sees exactly their own single place.
+        for (n, token) in tokens.iter().enumerate() {
+            let resp =
+                shared.handle(&Request::get("/api/v1/places").with_token(token), now);
+            let places = resp.body["places"].as_array().unwrap();
+            assert_eq!(places.len(), 1, "user {n}");
+            assert_eq!(places[0]["id"], n as u64);
+        }
     }
 }

@@ -38,5 +38,5 @@ pub mod profile;
 pub use api::{Method, Request, Response};
 pub use auth::{AuthToken, DeviceIdentity, UserId};
 pub use geolocate::CellDatabase;
-pub use instance::CloudInstance;
+pub use instance::{CloudInstance, SharedCloud, SHARD_COUNT};
 pub use profile::{ActivitySummary, ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};

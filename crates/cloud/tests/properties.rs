@@ -103,7 +103,7 @@ proptest! {
         with_token in any::<bool>(),
         body_num in any::<i64>(),
     ) {
-        let mut cloud = CloudInstance::new(CellDatabase::new(), 1);
+        let cloud = CloudInstance::new(CellDatabase::new(), 1);
         let resp = cloud.handle(
             &Request::post(
                 "/api/v1/registration",
@@ -141,5 +141,133 @@ proptest! {
         let bytes = req.to_bytes();
         let back = Request::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back, req);
+    }
+
+    /// Sharding invariant: an arbitrary interleaving of requests from two
+    /// users never leaks state across them — each user always reads back
+    /// exactly what they wrote, as if they had the server to themselves.
+    #[test]
+    fn interleaved_users_never_cross_talk(
+        ops in prop::collection::vec((any::<bool>(), 0u8..3, 0u32..40), 1..50)
+    ) {
+        use pmware_algorithms::signature::{DiscoveredPlace, PlaceSignature};
+
+        let cloud = CloudInstance::new(CellDatabase::new(), 9);
+        let now = SimTime::EPOCH;
+        let mut tokens = Vec::new();
+        for n in 0..2 {
+            let resp = cloud.handle(
+                &Request::post(
+                    "/api/v1/registration",
+                    json!({"imei": format!("imei-{n}"), "email": format!("u{n}@x.com")}),
+                ),
+                now,
+            );
+            tokens.push(resp.body["token"].as_str().unwrap().to_owned());
+        }
+
+        // Local models of what each user wrote. Place ids are disjoint by
+        // parity so an id leaking across users is unambiguous.
+        let mut expected_places: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
+        let mut expected_days: [std::collections::BTreeMap<u64, u32>; 2] =
+            [Default::default(), Default::default()];
+        let mut expected_contacts: [Vec<String>; 2] = [Vec::new(), Vec::new()];
+
+        for (second, kind, val) in ops {
+            let u = second as usize;
+            let token = &tokens[u];
+            match kind {
+                0 => {
+                    // Replace the user's place list (sync is authoritative).
+                    let id = val * 2 + u as u32;
+                    if !expected_places[u].contains(&id) {
+                        expected_places[u].push(id);
+                    }
+                    let places: Vec<DiscoveredPlace> = expected_places[u]
+                        .iter()
+                        .map(|&id| DiscoveredPlace::new(
+                            DiscoveredPlaceId(id),
+                            PlaceSignature::WifiAps(Default::default()),
+                            vec![],
+                        ))
+                        .collect();
+                    let resp = cloud.handle(
+                        &Request::post("/api/v1/places/sync", json!({"places": places}))
+                            .with_token(token),
+                        now,
+                    );
+                    prop_assert!(resp.is_success());
+                }
+                1 => {
+                    // Upsert one profile day holding a user-tagged place id.
+                    let day = u64::from(val % 14);
+                    let place = val * 2 + u as u32;
+                    let mut profile = MobilityProfile::new(day);
+                    profile.places.push(PlaceEntry {
+                        place: DiscoveredPlaceId(place),
+                        arrival: SimTime::from_day_time(day, 9, 0, 0),
+                        departure: SimTime::from_day_time(day, 10, 0, 0),
+                    });
+                    expected_days[u].insert(day, place);
+                    let resp = cloud.handle(
+                        &Request::post("/api/v1/profiles/sync", json!({"profile": profile}))
+                            .with_token(token),
+                        now,
+                    );
+                    prop_assert!(resp.is_success());
+                }
+                _ => {
+                    let name = format!("peer-{u}-{val}");
+                    expected_contacts[u].push(name.clone());
+                    let resp = cloud.handle(
+                        &Request::post("/api/v1/social/sync", json!({"contacts": [{
+                            "contact": name,
+                            "start": SimTime::EPOCH,
+                            "end": SimTime::EPOCH,
+                            "place": null,
+                        }]}))
+                        .with_token(token),
+                        now,
+                    );
+                    prop_assert!(resp.is_success());
+                }
+            }
+        }
+
+        for u in 0..2 {
+            let token = &tokens[u];
+            // Place list is exactly what this user last synced.
+            let resp = cloud.handle(&Request::get("/api/v1/places").with_token(token), now);
+            let got: Vec<u32> = resp.body["places"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|p| p["id"].as_u64().unwrap() as u32)
+                .collect();
+            prop_assert_eq!(&got, &expected_places[u], "user {} places", u);
+            // Every synced day reads back with this user's place id.
+            for (&day, &place) in &expected_days[u] {
+                let resp = cloud.handle(
+                    &Request::get(format!("/api/v1/profiles/{day}")).with_token(token),
+                    now,
+                );
+                prop_assert!(resp.is_success());
+                let got = resp.body["profile"]["places"][0]["place"].as_u64().unwrap();
+                prop_assert_eq!(got as u32, place, "user {} day {}", u, day);
+            }
+            // Contacts accumulate only this user's peers.
+            let resp = cloud.handle(
+                &Request::post("/api/v1/social/query", json!({"place": null}))
+                    .with_token(token),
+                now,
+            );
+            let got: Vec<String> = resp.body["contacts"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|c| c["contact"].as_str().unwrap().to_owned())
+                .collect();
+            prop_assert_eq!(&got, &expected_contacts[u], "user {} contacts", u);
+        }
     }
 }

@@ -6,15 +6,13 @@
 //!
 //! Every call serialises the request to wire bytes and parses them back on
 //! the "server" side, so the JSON marshalling path is exercised exactly as
-//! it would be over HTTP. The cloud instance is shared behind a mutex —
-//! sixteen simulated phones talk to one server, as in the deployment study.
+//! it would be over HTTP. The cloud instance is shared through the
+//! internally synchronized [`SharedCloud`] handle — sixteen simulated
+//! phones talk to one server concurrently, as in the deployment study.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use pmware_algorithms::route::CanonicalRoute;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
-use pmware_cloud::{CloudInstance, MobilityProfile, Request, Response, UserId};
+use pmware_cloud::{MobilityProfile, Request, Response, SharedCloud, UserId};
 use pmware_world::{CellGlobalId, GsmObservation, SimTime};
 use pmware_geo::GeoPoint;
 use serde::Deserialize;
@@ -25,7 +23,7 @@ use crate::error::PmsError;
 /// A client bound to one registered device.
 #[derive(Debug, Clone)]
 pub struct CloudClient {
-    cloud: Arc<Mutex<CloudInstance>>,
+    cloud: SharedCloud,
     user: UserId,
     token: String,
     token_expires: SimTime,
@@ -39,7 +37,7 @@ impl CloudClient {
     ///
     /// Returns [`PmsError::Cloud`] when registration fails.
     pub fn register(
-        cloud: Arc<Mutex<CloudInstance>>,
+        cloud: SharedCloud,
         imei: &str,
         email: &str,
         now: SimTime,
@@ -282,14 +280,10 @@ impl CloudClient {
     }
 
     /// The wire: serialise, deliver, deserialise — both directions.
-    fn transport(
-        cloud: &Arc<Mutex<CloudInstance>>,
-        request: &Request,
-        now: SimTime,
-    ) -> Response {
+    fn transport(cloud: &SharedCloud, request: &Request, now: SimTime) -> Response {
         let bytes = request.to_bytes();
         let parsed = Request::from_bytes(&bytes).expect("request round-trips");
-        let response = cloud.lock().handle(&parsed, now);
+        let response = cloud.handle(&parsed, now);
         let bytes = response.to_bytes();
         serde_json::from_slice(&bytes).expect("response round-trips")
     }
@@ -313,11 +307,11 @@ impl CloudClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmware_cloud::CellDatabase;
+    use pmware_cloud::{CellDatabase, CloudInstance};
     use pmware_world::SimDuration;
 
-    fn cloud() -> Arc<Mutex<CloudInstance>> {
-        Arc::new(Mutex::new(CloudInstance::new(CellDatabase::new(), 5)))
+    fn cloud() -> SharedCloud {
+        SharedCloud::new(CloudInstance::new(CellDatabase::new(), 5))
     }
 
     #[test]
@@ -326,7 +320,7 @@ mod tests {
         let mut client =
             CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
                 .unwrap();
-        assert_eq!(cloud.lock().user_count(), 1);
+        assert_eq!(cloud.user_count(), 1);
         // Sync an empty place list.
         client.sync_places(&[], SimTime::EPOCH).unwrap();
         // Fetch them back through the raw GET.

@@ -13,15 +13,13 @@
 //! reconciles the place registry, and syncs everything (§2.2.2–§2.2.5).
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
-use parking_lot::Mutex;
 use pmware_algorithms::gca::PlaceEvent;
 use pmware_algorithms::route::{cell_route, gps_route, RouteObservation, RouteStore};
 use pmware_algorithms::sensloc::WifiPlaceEvent;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSignature};
-use pmware_cloud::CloudInstance;
+use pmware_cloud::SharedCloud;
 use pmware_device::{Device, MovementDetector, PositionProvider};
 use pmware_geo::GeoPoint;
 use pmware_world::{SimDuration, SimTime};
@@ -176,7 +174,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
     /// Returns [`PmsError::Cloud`] when registration fails.
     pub fn new(
         device: Device<'w, P>,
-        cloud: Arc<Mutex<CloudInstance>>,
+        cloud: SharedCloud,
         config: PmsConfig,
         now: SimTime,
     ) -> Result<Self, PmsError> {
@@ -568,7 +566,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         // authoritative compaction that heals signature drift (duplicate
         // places whose day-signatures stopped overlapping) and retires
         // superseded entries.
-        let authoritative = t.day() % self.config.compaction_period_days == 0;
+        let authoritative = t.day().is_multiple_of(self.config.compaction_period_days);
         let observations: &[pmware_world::GsmObservation] = if authoritative {
             self.engine.gsm_log()
         } else {

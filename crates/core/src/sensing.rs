@@ -256,7 +256,7 @@ mod tests {
             |m| if m < 60 { MotionState::Moving } else { MotionState::Stationary },
         );
         // ~every 2 min for 60 min plus the arrival fix.
-        assert!(gps >= 25 && gps <= 35, "gps = {gps}");
+        assert!((25..=35).contains(&gps), "gps = {gps}");
     }
 
     #[test]

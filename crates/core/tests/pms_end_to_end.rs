@@ -3,10 +3,8 @@
 //! broadcast, profiles are synced, and the battery pays only for what the
 //! apps demanded.
 
-use std::sync::Arc;
 
-use parking_lot::Mutex;
-use pmware_cloud::{CellDatabase, CloudInstance};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::{actions, IntentFilter};
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::requirements::{AppRequirement, Granularity, RouteAccuracy};
@@ -16,12 +14,12 @@ use pmware_world::builder::{RegionProfile, WorldBuilder};
 use pmware_world::radio::{RadioConfig, RadioEnvironment};
 use pmware_world::{SimTime, World};
 
-fn setup(days: u64, seed: u64) -> (World, Arc<Mutex<CloudInstance>>) {
+fn setup(days: u64, seed: u64) -> (World, SharedCloud) {
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(seed).build();
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         seed + 1,
-    )));
+    ));
     let _ = days;
     (world, cloud)
 }
@@ -201,10 +199,10 @@ fn room_level_app_triggers_wifi_and_augments_signatures() {
     let days = 3;
     // Europe profile: WiFi nearly everywhere.
     let world = WorldBuilder::new(RegionProfile::urban_europe()).seed(800).build();
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         801,
-    )));
+    ));
     let pop = Population::generate(&world, 1, 802);
     let itinerary = pop.itinerary(&world, pop.agents()[0].id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());

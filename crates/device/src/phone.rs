@@ -3,7 +3,7 @@
 use pmware_geo::{GeoPoint, Meters};
 use pmware_mobility::Itinerary;
 use pmware_world::ids::TowerId;
-use pmware_world::radio::RadioEnvironment;
+use pmware_world::radio::{GsmScratch, RadioEnvironment};
 use pmware_world::{GpsFix, GsmObservation, MotionState, SimTime, WifiScan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,6 +87,7 @@ pub struct Device<'w, P> {
     rng: StdRng,
     serving: Option<TowerId>,
     billed_until: SimTime,
+    gsm_scratch: GsmScratch,
 }
 
 impl<'w, P: PositionProvider> Device<'w, P> {
@@ -106,6 +107,7 @@ impl<'w, P: PositionProvider> Device<'w, P> {
             rng: StdRng::seed_from_u64(seed),
             serving: None,
             billed_until: SimTime::EPOCH,
+            gsm_scratch: GsmScratch::default(),
         }
     }
 
@@ -150,7 +152,13 @@ impl<'w, P: PositionProvider> Device<'w, P> {
         self.battery
             .drain(Interface::Gsm, self.model.sample_cost_j(Interface::Gsm));
         let pos = self.provider.position_at(t);
-        let (obs, serving) = self.env.observe_gsm(pos, t, self.serving, &mut self.rng)?;
+        let (obs, serving) = self.env.observe_gsm_with(
+            &mut self.gsm_scratch,
+            pos,
+            t,
+            self.serving,
+            &mut self.rng,
+        )?;
         self.serving = Some(serving);
         Some(obs)
     }

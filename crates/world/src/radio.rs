@@ -77,6 +77,16 @@ impl Default for RadioConfig {
     }
 }
 
+/// Reusable candidate buffer for
+/// [`RadioEnvironment::observe_gsm_with`]. One GSM sample per simulated
+/// minute per participant makes `observe_gsm` the hottest call in a cohort
+/// run; keeping the candidate list in a caller-owned scratch removes every
+/// per-sample heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct GsmScratch {
+    candidates: Vec<(TowerId, f64)>,
+}
+
 /// The propagation model bound to a world.
 ///
 /// Stateless apart from the borrowed world: callers thread the previous
@@ -109,6 +119,13 @@ impl<'w> RadioEnvironment<'w> {
     /// `prev_serving` is the tower the phone was camped on at the previous
     /// sample; handoff hysteresis applies to it. Returns the new observation
     /// and serving tower, or `None` outside network coverage.
+    ///
+    /// Convenience wrapper over [`observe_gsm_with`] that allocates a fresh
+    /// scratch buffer per call; callers sampling in a loop (one per
+    /// simulated minute) should hold a [`GsmScratch`] and use the `_with`
+    /// variant instead.
+    ///
+    /// [`observe_gsm_with`]: Self::observe_gsm_with
     pub fn observe_gsm<R: Rng + ?Sized>(
         &self,
         position: GeoPoint,
@@ -116,7 +133,25 @@ impl<'w> RadioEnvironment<'w> {
         prev_serving: Option<TowerId>,
         rng: &mut R,
     ) -> Option<(GsmObservation, TowerId)> {
-        let mut candidates: Vec<(TowerId, f64)> = Vec::new();
+        let mut scratch = GsmScratch::default();
+        self.observe_gsm_with(&mut scratch, position, time, prev_serving, rng)
+    }
+
+    /// [`observe_gsm`](Self::observe_gsm) with a caller-owned scratch
+    /// buffer: the per-sample hot path performs no heap allocation once the
+    /// buffer has warmed up to the local tower density.
+    pub fn observe_gsm_with<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut GsmScratch,
+        position: GeoPoint,
+        time: SimTime,
+        prev_serving: Option<TowerId>,
+        rng: &mut R,
+    ) -> Option<(GsmObservation, TowerId)> {
+        // Collect candidates and track the strongest signal in one pass.
+        let candidates = &mut scratch.candidates;
+        candidates.clear();
+        let mut best_rssi = f64::NEG_INFINITY;
         self.world.for_each_tower_near(
             position,
             self.config.cell_search_radius,
@@ -124,6 +159,7 @@ impl<'w> RadioEnvironment<'w> {
                 if distance <= tower.range() {
                     let rssi = tower.mean_rssi_at(distance)
                         + gaussian(rng, 0.0, self.config.shadow_sigma_db);
+                    best_rssi = best_rssi.max(rssi);
                     candidates.push((tower.id(), rssi));
                 }
             },
@@ -134,16 +170,13 @@ impl<'w> RadioEnvironment<'w> {
 
         // Towers whose signal is within the oscillation window of the best
         // are all plausible serving cells; the network moves phones among
-        // them under load ("oscillating effect", §2.2.2).
-        let best_rssi = candidates
-            .iter()
-            .map(|(_, r)| *r)
-            .fold(f64::NEG_INFINITY, f64::max);
-        let eligible: Vec<(TowerId, f64)> = candidates
-            .iter()
-            .copied()
-            .filter(|(_, r)| *r >= best_rssi - self.config.oscillation_window_db)
-            .collect();
+        // them under load ("oscillating effect", §2.2.2). Filtering in
+        // place is safe because every later read wants eligible towers:
+        // the serving cell is always chosen from this set.
+        candidates.retain(|&(_, r)| {
+            r >= best_rssi - self.config.oscillation_window_db
+        });
+        let eligible = &candidates[..];
 
         let load_event = rng.gen_bool(self.config.load_handoff_prob);
         let layer_hop = rng.gen_bool(self.config.layer_switch_prob);
@@ -173,35 +206,46 @@ impl<'w> RadioEnvironment<'w> {
         } else {
             // Handoff event: pick among eligible towers, weighted by signal;
             // an inter-network hop prefers the other layer when available.
-            let pool: Vec<(TowerId, f64)> = if layer_hop {
-                if let Some(pl) = prev_layer {
-                    let other: Vec<_> = eligible
-                        .iter()
-                        .copied()
-                        .filter(|(id, _)| self.world.tower(*id).layer() != pl)
-                        .collect();
-                    if other.is_empty() { eligible.clone() } else { other }
-                } else {
-                    eligible.clone()
-                }
-            } else {
-                eligible.clone()
+            // The pool is a predicate over `eligible`, never materialized:
+            // it restricts to the other network layer only when a layer hop
+            // has somewhere to go.
+            let hop_from = if layer_hop { prev_layer } else { None };
+            let restrict = hop_from.is_some_and(|pl| {
+                eligible
+                    .iter()
+                    .any(|&(id, _)| self.world.tower(id).layer() != pl)
+            });
+            let in_pool = |id: TowerId| match hop_from {
+                Some(pl) if restrict => self.world.tower(id).layer() != pl,
+                _ => true,
             };
             // Softmax-style weights over dB relative to the pool's best.
-            let pool_best = pool
-                .iter()
-                .map(|(_, r)| *r)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let weights: Vec<f64> = pool
-                .iter()
-                .map(|(_, r)| ((r - pool_best) / 4.0).exp())
-                .collect();
-            let total: f64 = weights.iter().sum();
+            // The weight of each member is recomputed per pass — cheaper
+            // than a weights vector, and bit-identical since the inputs
+            // are the same.
+            let mut pool_best = f64::NEG_INFINITY;
+            let mut last_in_pool = None;
+            for &(id, r) in eligible {
+                if in_pool(id) {
+                    pool_best = pool_best.max(r);
+                    last_in_pool = Some(id);
+                }
+            }
+            let mut total = 0.0;
+            for &(id, r) in eligible {
+                if in_pool(id) {
+                    total += ((r - pool_best) / 4.0).exp();
+                }
+            }
             let mut pick = rng.gen_range(0.0..total);
-            let mut chosen = pool[pool.len() - 1].0;
-            for (i, w) in weights.iter().enumerate() {
-                if pick < *w {
-                    chosen = pool[i].0;
+            let mut chosen = last_in_pool.expect("pool non-empty");
+            for &(id, r) in eligible {
+                if !in_pool(id) {
+                    continue;
+                }
+                let w = ((r - pool_best) / 4.0).exp();
+                if pick < w {
+                    chosen = id;
                     break;
                 }
                 pick -= w;
@@ -209,10 +253,10 @@ impl<'w> RadioEnvironment<'w> {
             chosen
         };
         let tower = self.world.tower(serving);
-        let rssi = candidates
+        let rssi = eligible
             .iter()
             .find(|(id, _)| *id == serving)
-            .expect("serving from candidates")
+            .expect("serving is eligible")
             .1;
         Some((
             GsmObservation {
@@ -322,7 +366,11 @@ mod tests {
         let w = world();
         let env = RadioEnvironment::new(&w, RadioConfig::default());
         let mut rng = StdRng::seed_from_u64(3);
-        let pos = w.places()[0].position();
+        // places()[0] in this world sits almost on top of a tower (25 dB to
+        // the runner-up), so no neighbour ever enters the oscillation
+        // window there; places()[1] has typical several-towers-in-window
+        // geometry, which is what this test is about.
+        let pos = w.places()[1].position();
         let mut serving = None;
         let mut switches = 0;
         let mut distinct = std::collections::HashSet::new();

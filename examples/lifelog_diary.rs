@@ -6,10 +6,8 @@
 //! cargo run --release --example lifelog_diary
 //! ```
 
-use parking_lot::Mutex;
 use pmware::prelude::*;
 use serde_json::json;
-use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(31).build();
@@ -19,10 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 33);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         34,
-    )));
+    ));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(3), SimTime::EPOCH)?;
 

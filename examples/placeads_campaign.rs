@@ -6,10 +6,8 @@
 //! cargo run --release --example placeads_campaign
 //! ```
 
-use parking_lot::Mutex;
 use pmware::apps::adsim::Swipe;
 use pmware::prelude::*;
-use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(21).build();
@@ -19,10 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 23);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         24,
-    )));
+    ));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(2), SimTime::EPOCH)?;
 

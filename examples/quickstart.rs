@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use parking_lot::Mutex;
 use pmware::prelude::*;
-use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic city (towers, WiFi, places, roads) and one
@@ -21,10 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. A phone carried along that itinerary, and the shared cloud.
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 3);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         4,
-    )));
+    ));
 
     // 3. The middleware, with one connected application that wants
     //    building-level place events and low-accuracy routes.

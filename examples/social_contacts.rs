@@ -10,11 +10,9 @@
 //! cargo run --release --example social_contacts
 //! ```
 
-use parking_lot::Mutex;
 use pmware::core::pms::PeerProvider;
 use pmware::prelude::*;
 use serde_json::json;
-use std::sync::Arc;
 
 /// The other participants' phones, as the Bluetooth layer sees them.
 struct Colleagues {
@@ -56,10 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &my_itinerary, EnergyModel::htc_explorer(), 43);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         44,
-    )));
+    ));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(4), SimTime::EPOCH)?;
 

@@ -6,9 +6,7 @@
 //! cargo run --release --example todo_reminders
 //! ```
 
-use parking_lot::Mutex;
 use pmware::prelude::*;
-use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(11).build();
@@ -18,10 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 13);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         14,
-    )));
+    ));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(1), SimTime::EPOCH)?;
 

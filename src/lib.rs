@@ -26,8 +26,6 @@
 //!
 //! ```
 //! use pmware::prelude::*;
-//! use parking_lot::Mutex;
-//! use std::sync::Arc;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A city, one participant, one phone.
@@ -36,10 +34,10 @@
 //! let itinerary = population.itinerary(&world, population.agents()[0].id(), 2);
 //! let env = RadioEnvironment::new(&world, RadioConfig::default());
 //! let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 7);
-//! let cloud = Arc::new(Mutex::new(CloudInstance::new(
+//! let cloud = SharedCloud::new(CloudInstance::new(
 //!     CellDatabase::from_world(&world),
 //!     7,
-//! )));
+//! ));
 //!
 //! // The middleware, with one connected app.
 //! let mut pms = PmwareMobileService::new(
@@ -79,7 +77,7 @@ pub mod prelude {
     pub use pmware_algorithms::matching::{classify_places, GroundTruthVisit};
     pub use pmware_algorithms::signature::{DiscoveredPlace, PlaceSignature};
     pub use pmware_apps::{AdInventory, LifeLogApp, PlaceAdsApp, TodoApp, UserTasteModel};
-    pub use pmware_cloud::{CellDatabase, CloudInstance};
+    pub use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
     pub use pmware_core::intents::{actions, Intent, IntentFilter};
     pub use pmware_core::{
         AppRequirement, Granularity, PmsConfig, PmwareMobileService, RouteAccuracy,

@@ -1,11 +1,8 @@
 //! Integration tests for the connected applications running together on
 //! one PMS — the paper's "connected application architecture" (§1).
 
-use parking_lot::Mutex;
-use pmware::apps::adsim::Swipe;
 use pmware::core::registry::PmPlaceId;
 use pmware::prelude::*;
-use std::sync::Arc;
 
 struct Study<'w> {
     pms: PmwareMobileService<'w, &'w Itinerary>,
@@ -15,10 +12,10 @@ struct Study<'w> {
 fn setup<'w>(world: &'w World, itinerary: &'w Itinerary, seed: u64) -> Study<'w> {
     let env = RadioEnvironment::new(world, RadioConfig::default());
     let device = Device::new(env, itinerary, EnergyModel::htc_explorer(), seed);
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(world),
         seed + 1,
-    )));
+    ));
     let pms = PmwareMobileService::new(
         device,
         cloud,

@@ -3,17 +3,15 @@
 //! the real study did not stop working when the Azure instance or the
 //! network was unreachable.
 
-use parking_lot::Mutex;
 use pmware::prelude::*;
-use std::sync::Arc;
 
 #[test]
 fn cloud_outage_falls_back_to_local_discovery() {
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(4000).build();
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         4001,
-    )));
+    ));
     let population = Population::generate(&world, 1, 4002);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 4);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
@@ -33,7 +31,7 @@ fn cloud_outage_falls_back_to_local_discovery() {
 
     // Day 1 runs normally; then the cloud goes dark for the rest.
     pms.run(SimTime::from_day_time(1, 12, 0, 0)).unwrap();
-    cloud.lock().set_outage(true);
+    cloud.set_outage(true);
     pms.run(SimTime::from_day_time(4, 0, 0, 0)).unwrap();
 
     let counters = pms.counters();
@@ -48,7 +46,7 @@ fn cloud_outage_falls_back_to_local_discovery() {
     assert!(events > 0, "apps keep receiving intents during the outage");
 
     // When the cloud comes back, syncing resumes.
-    cloud.lock().set_outage(false);
+    cloud.set_outage(false);
     let synced_before = counters.profiles_synced;
     pms.run(SimTime::from_day_time(5, 0, 0, 0)).unwrap();
     assert!(
@@ -60,11 +58,11 @@ fn cloud_outage_falls_back_to_local_discovery() {
 #[test]
 fn registration_during_outage_fails_cleanly() {
     let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(4100).build();
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         4101,
-    )));
-    cloud.lock().set_outage(true);
+    ));
+    cloud.set_outage(true);
     let population = Population::generate(&world, 1, 4102);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 1);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
@@ -122,10 +120,10 @@ fn sparse_coverage_world_does_not_break_the_pipeline() {
     }
     assert!(dead > 0, "sparse profile should leave dead zones ({dead}/{total})");
 
-    let cloud = Arc::new(Mutex::new(CloudInstance::new(
+    let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         4201,
-    )));
+    ));
     let population = Population::generate(&world, 1, 4202);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 3);
     let env = RadioEnvironment::new(&world, RadioConfig::default());

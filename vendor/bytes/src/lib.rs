@@ -1,0 +1,63 @@
+//! Minimal vendored stand-in for the `bytes` crate.
+//!
+//! The workspace builds in an offline container with no crates.io access,
+//! so the handful of external crates it uses are vendored as small,
+//! API-compatible subsets. Only the surface the workspace actually touches
+//! is implemented: an immutable byte buffer constructed from `Vec<u8>`
+//! that derefs to `[u8]`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(std::sync::Arc<Vec<u8>>);
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(std::sync::Arc::new(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(std::sync::Arc::new(v.to_vec()))
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Bytes {
+        Bytes(std::sync::Arc::new(v.as_bytes().to_vec()))
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimal vendored stand-in for `criterion`.
+//!
+//! Provides the macro + builder surface the workspace's benches use and a
+//! simple wall-clock harness: per benchmark it warms up, then takes
+//! `sample_size` timed samples sized to fill `measurement_time`, and
+//! prints the per-iteration mean and min. No statistics, plots, or
+//! baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience parity with upstream.
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.clone(), _parent: self }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &self.clone(), routine);
+        self
+    }
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, &self.config, routine);
+        self
+    }
+
+    /// Benchmarks a routine that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (printing nothing extra; parity with upstream API).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark routines.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn call_routine<F: FnMut(&mut Bencher)>(routine: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    routine(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, mut routine: F) {
+    // Warm-up while estimating per-iteration cost.
+    let warm_start = Instant::now();
+    let mut iters: u64 = 1;
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let elapsed = call_routine(&mut routine, iters);
+        per_iter = elapsed.checked_div(iters as u32).unwrap_or(per_iter).max(
+            Duration::from_nanos(1),
+        );
+        if warm_start.elapsed() >= config.warm_up_time {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 20);
+    }
+
+    // Size samples so all of them together roughly fill measurement_time.
+    let budget = config.measurement_time.as_nanos() / config.sample_size.max(1) as u128;
+    let iters_per_sample =
+        (budget / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..config.sample_size {
+        let elapsed = call_routine(&mut routine, iters_per_sample);
+        total += elapsed;
+        let sample_per_iter = elapsed / iters_per_sample as u32;
+        if sample_per_iter < best {
+            best = sample_per_iter;
+        }
+    }
+    let iterations = iters_per_sample * config.sample_size as u64;
+    let mean = total.as_nanos() as f64 / iterations as f64;
+    println!(
+        "bench {label:<50} mean {:>12.1} ns/iter   min {:>12} ns/iter   ({} iters x {} samples)",
+        mean,
+        best.as_nanos(),
+        iters_per_sample,
+        config.sample_size,
+    );
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn harness_runs_group_and_function() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(3) * 2));
+        group.bench_with_input(BenchmarkId::new("with-input", 7), &7u32, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,460 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The real serde pivots on format-agnostic `Serializer` / `Deserializer`
+//! traits; the only format this workspace ever uses is JSON, so this
+//! stand-in collapses the data model straight onto [`Value`]:
+//!
+//! - [`Serialize`] renders a type to a [`Value`]
+//! - [`Deserialize`] rebuilds a type from a [`Value`]
+//!
+//! The `serde_derive` proc-macros generate impls of these traits with the
+//! same observable JSON shapes as upstream serde_json: structs are
+//! objects, newtype structs are transparent, enums are externally tagged,
+//! and missing `Option` fields deserialise to `None`.
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+// Derive macros, re-exported under the trait names (macro namespace).
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Deserialisation error: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// Error for a field absent from an object.
+    pub fn missing_field(ty: &str, field: &str) -> DeError {
+        DeError { msg: format!("missing field `{field}` for `{ty}`") }
+    }
+
+    /// Wraps this error with struct/field context.
+    pub fn context_field(self, ty: &str, field: &str) -> DeError {
+        DeError { msg: format!("{ty}.{field}: {}", self.msg) }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to a JSON [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types rebuildable from a JSON [`Value`].
+///
+/// The lifetime parameter mirrors upstream serde's API so bounds such as
+/// `for<'de> Deserialize<'de>` (via [`de::DeserializeOwned`]) keep
+/// working; this stand-in never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    fn from_json_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialisation helpers and marker traits.
+pub mod de {
+    /// Owned deserialisation (no borrows from the input).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_json_value(value: &Value) -> Result<Value, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json_value(value: &Value) -> Result<bool, DeError> {
+        value.as_bool().ok_or_else(|| DeError::custom(format!("expected bool, got {value}")))
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(value: &Value) -> Result<$t, DeError> {
+                value
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        DeError::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {}"),
+                            value
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json_value(value: &Value) -> Result<$t, DeError> {
+                value
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| {
+                        DeError::custom(format!(
+                            concat!("expected ", stringify!($t), ", got {}"),
+                            value
+                        ))
+                    })
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_json_value(value: &Value) -> Result<f64, DeError> {
+        value.as_f64().ok_or_else(|| DeError::custom(format!("expected number, got {value}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_json_value(value: &Value) -> Result<f32, DeError> {
+        f64::from_json_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json_value(value: &Value) -> Result<String, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {value}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    /// Value-based deserialization cannot borrow from the input, so the
+    /// string is leaked. Only `&'static str` fields use this (static
+    /// taxonomy tables); the leak is bounded and tiny.
+    fn from_json_value(value: &Value) -> Result<&'static str, DeError> {
+        value
+            .as_str()
+            .map(|s| &*s.to_owned().leak())
+            .ok_or_else(|| DeError::custom(format!("expected string, got {value}")))
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_json_value(value: &Value) -> Result<char, DeError> {
+        let s = value.as_str().ok_or_else(|| DeError::custom("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Vec<T>, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {value}")))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_json_value(value: &Value) -> Result<BTreeSet<T>, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {value}")))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T>
+where
+    T: std::hash::Hash + Eq,
+{
+    fn to_json_value(&self) -> Value {
+        // Sort for deterministic output (upstream emits hash order).
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Array(items.into_iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for HashSet<T>
+where
+    T: Deserialize<'de> + std::hash::Hash + Eq,
+{
+    fn from_json_value(value: &Value) -> Result<HashSet<T>, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {value}")))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+/// Renders a serialised key to an object key string (strings pass
+/// through, integers stringify — matching serde_json's map-key rules).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_json_value() {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported JSON map key: {other}"),
+    }
+}
+
+/// Rebuilds a key type from an object key string: first as a JSON
+/// string, then (for numeric newtype keys) as a parsed number.
+fn key_from_string<'de, K: Deserialize<'de>>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_json_value(&Value::String(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        return K::from_json_value(&Value::Number(Number::PosInt(u)));
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        return K::from_json_value(&Value::Number(Number::from_i64(i)));
+    }
+    if let Ok(b) = key.parse::<bool>() {
+        return K::from_json_value(&Value::Bool(b));
+    }
+    Err(DeError::custom(format!("cannot rebuild map key from {key:?}")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (key_to_string(k), v.to_json_value())).collect(),
+        )
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_json_value(value: &Value) -> Result<BTreeMap<K, V>, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {value}")))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        // BTreeMap collection sorts keys: deterministic output.
+        Value::Object(
+            self.iter().map(|(k, v)| (key_to_string(k), v.to_json_value())).collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(value: &Value) -> Result<HashMap<K, V, S>, DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {value}")))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident . $idx:tt),+) of $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError::custom(format!("expected array, got {value}")))?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {}, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0) of 1;
+    (A.0, B.1) of 2;
+    (A.0, B.1, C.2) of 3;
+    (A.0, B.1, C.2, D.3) of 4;
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_json_value(value: &Value) -> Result<Box<T>, DeError> {
+        T::from_json_value(value).map(Box::new)
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_json_value(value: &Value) -> Result<(), DeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeError::custom(format!("expected null, got {other}"))),
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Minimal vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde`'s Value-based `Serialize` /
+//! `Deserialize` traits. Because the target trait methods are fully
+//! type-inferred (`to_json_value` / `from_json_value`), the generator
+//! never needs field *types* — only names and shapes — so the input item
+//! is parsed with plain `proc_macro` token walking (no syn/quote) and the
+//! output is assembled as a string and re-parsed.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - named-field structs (field-level `#[serde(default)]` honoured)
+//! - tuple structs: 1-field are transparent (as in serde_json, where
+//!   `#[serde(transparent)]` is redundant for newtypes), n-field are arrays
+//! - unit structs (null)
+//! - enums, externally tagged: unit variants as strings, newtype/tuple
+//!   variants as `{"Variant": ...}`, struct variants as `{"Variant": {...}}`
+//!
+//! Generics are not supported (the workspace derives none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` for the item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for the item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips attributes; returns true if any skipped one was
+    /// `#[serde(default)]`.
+    fn skip_attributes(&mut self) -> bool {
+        let mut saw_default = false;
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    saw_default |= attr_is_serde_default(g.stream());
+                }
+                other => panic!("expected attribute body, got {other:?}"),
+            }
+        }
+        saw_default
+    }
+
+    /// Skips `pub`, `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == c => {}
+            other => panic!("expected `{c}`, got {other:?}"),
+        }
+    }
+
+    /// Skips tokens up to (and including) the next comma at angle-bracket
+    /// depth zero. Returns false when input ended without a comma.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Checks whether an attribute body (`serde (default)` etc.) marks a
+/// serde `default`.
+fn attr_is_serde_default(body: TokenStream) -> bool {
+    let mut toks = body.into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream().into_iter().any(
+                |t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"),
+            )
+        }
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident();
+    let name = cur.expect_ident();
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generics are not supported on `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&mut cur, &name)),
+        "enum" => Kind::Enum(parse_enum_body(&mut cur, &name)),
+        other => panic!("serde derive: expected struct or enum, got `{other}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_struct_body(cur: &mut Cursor, name: &str) -> Shape {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("unexpected struct body for `{name}`: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let default = cur.skip_attributes();
+        cur.skip_visibility();
+        let name = cur.expect_ident();
+        cur.expect_punct(':');
+        fields.push(Field { name, default });
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        count += 1;
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_enum_body(cur: &mut Cursor, name: &str) -> Vec<Variant> {
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("unexpected enum body for `{name}`: {other:?}"),
+    };
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        let vname = cur.expect_ident();
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                cur.next();
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                cur.next();
+                s
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name: vname, shape });
+        // Consume the trailing comma (skipping any `= discriminant`).
+        if !cur.skip_until_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_owned(),
+        Kind::Struct(Shape::Tuple(1)) => {
+            "::serde::Serialize::to_json_value(&self.0)".to_owned()
+        }
+        Kind::Struct(Shape::Tuple(n)) => ser_tuple_body(*n, "self."),
+        Kind::Struct(Shape::Named(fields)) => ser_named_body(fields, "self."),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_owned()
+                        } else {
+                            ser_tuple_body(*n, "f")
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({binds}) => {{\
+                               let mut map = ::std::collections::BTreeMap::new();\
+                               map.insert(::std::string::String::from(\"{vn}\"), {inner});\
+                               ::serde::Value::Object(map)\
+                             }},",
+                            binds = binders.join(", "),
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named_body(fields, "");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => {{\
+                               let mut map = ::std::collections::BTreeMap::new();\
+                               map.insert(::std::string::String::from(\"{vn}\"), {inner});\
+                               ::serde::Value::Object(map)\
+                             }},",
+                            binds = binders.join(", "),
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\
+         impl ::serde::Serialize for {name} {{\
+           fn to_json_value(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+/// `Value::Array` of the fields `"{prefix}0"..` (tuple access or binders).
+fn ser_tuple_body(n: usize, prefix: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Serialize::to_json_value(&{prefix}{i})"))
+        .collect();
+    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+}
+
+/// `Value::Object` from named fields via `{prefix}{field}` accessors.
+fn ser_named_body(fields: &[Field], prefix: &str) -> String {
+    let mut out = String::from("{ let mut map = ::std::collections::BTreeMap::new();");
+    for f in fields {
+        let fname = &f.name;
+        let _ = write!(
+            out,
+            "map.insert(::std::string::String::from(\"{fname}\"), \
+             ::serde::Serialize::to_json_value(&{prefix}{fname}));"
+        );
+    }
+    out.push_str("::serde::Value::Object(map) }");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Shape::Unit) => format!(
+            "match value {{\
+               ::serde::Value::Null => ::std::result::Result::Ok({name}),\
+               other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected null for {name}, got {{}}\", other))),\
+             }}"
+        ),
+        Kind::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(value)?))"
+        ),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let ctor = de_tuple_ctor(name, *n);
+            de_from_array("value", name, *n, &ctor)
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let ctor = de_named_ctor(name, name, fields);
+            let obj_binder = if fields.is_empty() { "_obj" } else { "obj" };
+            format!(
+                "{{ let {obj_binder} = value.as_object().ok_or_else(|| \
+                   ::serde::DeError::custom(::std::format!(\
+                     \"expected object for {name}, got {{}}\", value)))?;\
+                   ::std::result::Result::Ok({ctor}) }}"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                               ::serde::Deserialize::from_json_value(inner)?)),"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let ctor = de_tuple_ctor(&format!("{name}::{vn}"), *n);
+                        let arm = de_from_array("inner", &format!("{name}::{vn}"), *n, &ctor);
+                        let _ = write!(data_arms, "\"{vn}\" => {arm},");
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = de_named_ctor(&format!("{name}::{vn}"), name, fields);
+                        let _ = write!(
+                            data_arms,
+                            "\"{vn}\" => {{ let obj = inner.as_object().ok_or_else(|| \
+                               ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\
+                               ::std::result::Result::Ok({ctor}) }},"
+                        );
+                    }
+                }
+            }
+            // Avoid unused-variable warnings in the expansion when an enum
+            // has no data-carrying variants.
+            let inner_binder = if data_arms.is_empty() { "_inner" } else { "inner" };
+            format!(
+                "match value {{\
+                   ::serde::Value::String(tag) => match tag.as_str() {{\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"unknown variant {{}} of {name}\", other))),\
+                   }},\
+                   ::serde::Value::Object(map) if map.len() == 1 => {{\
+                     let (tag, {inner_binder}) = map.iter().next().expect(\"len checked\");\
+                     match tag.as_str() {{\
+                       {data_arms}\
+                       other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant {{}} of {name}\", other))),\
+                     }}\
+                   }},\
+                   other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"expected {name}, got {{}}\", other))),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\
+           fn from_json_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\
+         }}"
+    )
+}
+
+/// Constructor `Path(items[0]?, items[1]?, ...)`.
+fn de_tuple_ctor(path: &str, n: usize) -> String {
+    let args: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+        .collect();
+    format!("{path}({})", args.join(", "))
+}
+
+/// Wraps a tuple constructor with array extraction and arity checking.
+fn de_from_array(source: &str, path: &str, n: usize, ctor: &str) -> String {
+    format!(
+        "{{ let items = {source}.as_array().ok_or_else(|| \
+           ::serde::DeError::custom(\"expected array for {path}\"))?;\
+           if items.len() != {n} {{\
+             return ::std::result::Result::Err(::serde::DeError::custom(\
+               ::std::format!(\"expected {n} elements for {path}, got {{}}\", items.len())));\
+           }}\
+           ::std::result::Result::Ok({ctor}) }}"
+    )
+}
+
+/// Constructor `Path {{ field: ..., ... }}` reading from `obj`.
+///
+/// Missing fields fall back to deserialising `Null` — which yields `None`
+/// for `Option` fields (matching serde) and a "missing field" error for
+/// everything else. `#[serde(default)]` fields use `Default::default()`.
+fn de_named_ctor(path: &str, ty: &str, fields: &[Field]) -> String {
+    let mut out = format!("{path} {{");
+    for f in fields {
+        let fname = &f.name;
+        if f.default {
+            let _ = write!(
+                out,
+                "{fname}: match obj.get(\"{fname}\") {{\
+                   ::std::option::Option::Some(v) => \
+                     ::serde::Deserialize::from_json_value(v)\
+                       .map_err(|e| e.context_field(\"{ty}\", \"{fname}\"))?,\
+                   ::std::option::Option::None => ::std::default::Default::default(),\
+                 }},"
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{fname}: match obj.get(\"{fname}\") {{\
+                   ::std::option::Option::Some(v) => \
+                     ::serde::Deserialize::from_json_value(v)\
+                       .map_err(|e| e.context_field(\"{ty}\", \"{fname}\"))?,\
+                   ::std::option::Option::None => \
+                     ::serde::Deserialize::from_json_value(&::serde::Value::Null)\
+                       .map_err(|_| ::serde::DeError::missing_field(\"{ty}\", \"{fname}\"))?,\
+                 }},"
+            );
+        }
+    }
+    out.push('}');
+    out
+}

@@ -1,0 +1,236 @@
+//! Minimal vendored stand-in for `serde_json`.
+//!
+//! Re-exports the [`Value`] model from the vendored `serde` and provides
+//! the function surface the workspace uses (`to_vec`, `from_slice`,
+//! `to_string`, `from_str`, `from_value`, `to_value`) plus a `json!`
+//! macro. Serialisation goes through `Serialize::to_json_value` and a
+//! compact writer; floats are emitted with Rust's shortest-roundtrip
+//! formatting so byte output parses back to the identical `f64`.
+
+#![forbid(unsafe_code)]
+
+mod parse;
+
+pub use serde::value::{Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Renders `value` as a JSON [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Rebuilds a `T` from a JSON [`Value`].
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::from_json_value(&value).map_err(Error::from)
+}
+
+/// Serialises to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::value::write_json(&value.to_json_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialises to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a `T` from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_json_value(&value).map_err(Error::from)
+}
+
+/// Parses a `T` from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Serialises a value inside `json!` (infallible, like upstream's macro).
+#[doc(hidden)]
+pub fn __to_value_for_macro<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Array accumulator for `json!` — a named constructor keeps the macro's
+/// push-based muncher out of reach of `clippy::vec_init_then_push`.
+#[doc(hidden)]
+pub fn __new_array_for_macro() -> Vec<Value> {
+    Vec::new()
+}
+
+/// Builds a [`Value`] from JSON-ish syntax.
+///
+/// Supports `null` / `true` / `false`, object and array literals (nested,
+/// trailing commas allowed), and arbitrary Rust expressions implementing
+/// `Serialize` in value position. Object keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut items = $crate::__new_array_for_macro();
+        $crate::json_array_internal!(items [] $($tt)+);
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::new();
+        $crate::json_object_internal!(map $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::__to_value_for_macro(&$other) };
+}
+
+/// Object-entry muncher for [`json!`]: expects `"key" : <value tokens>`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($map:ident) => {};
+    ($map:ident $key:literal : $($rest:tt)+) => {
+        $crate::json_object_value!($map $key [] $($rest)+);
+    };
+}
+
+/// Value muncher: accumulates tokens until a top-level comma, then
+/// recurses into [`json!`] for the accumulated value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    // Top-level comma: finish this entry, continue with the next.
+    ($map:ident $key:literal [$($val:tt)+] , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($($val)+));
+        $crate::json_object_internal!($map $($rest)*);
+    };
+    // End of input: finish the last entry.
+    ($map:ident $key:literal [$($val:tt)+]) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($($val)+));
+    };
+    // Otherwise: munch one token into the accumulator.
+    ($map:ident $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($map $key [$($val)* $next] $($rest)*);
+    };
+}
+
+/// Array-element muncher, same accumulation scheme as objects.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // Top-level comma: finish this element, continue.
+    ($items:ident [$($val:tt)+] , $($rest:tt)*) => {
+        $items.push($crate::json!($($val)+));
+        $crate::json_array_internal!($items [] $($rest)*);
+    };
+    // End of input: finish the last element.
+    ($items:ident [$($val:tt)+]) => {
+        $items.push($crate::json!($($val)+));
+    };
+    // Trailing comma already consumed; nothing left.
+    ($items:ident []) => {};
+    // Munch one token.
+    ($items:ident [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_array_internal!($items [$($val)* $next] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let home = (7u32, "x");
+        let v = json!({
+            "place": home.0,
+            "window": [15, 24],
+            "nothing": null,
+            "flag": true,
+            "nested": {"a": 1},
+        });
+        assert_eq!(v["place"], 7);
+        assert_eq!(v["window"][0], 15);
+        assert_eq!(v["window"][1], 24);
+        assert!(v["nothing"].is_null());
+        assert_eq!(v["flag"], true);
+        assert_eq!(v["nested"]["a"], 1);
+        assert_eq!(json!({}), Value::Object(Default::default()));
+        assert_eq!(json!([]), Value::Array(Vec::new()));
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn string_roundtrip_with_escapes() {
+        let v = json!({"s": "line\n\"quoted\"\t\\end", "u": "héllo ☂"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &f in &[0.1f64, 1.0 / 3.0, 12.871287, 1e-7, 6_371_000.772, -0.0, 2.5e300] {
+            let v = json!({ "x": f });
+            let text = to_string(&v).unwrap();
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back["x"].as_f64().unwrap().to_bits(), f.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn integer_boundaries_roundtrip() {
+        let v = json!({"a": u64::MAX, "b": i64::MIN, "c": 0, "d": -1});
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back["a"].as_u64(), Some(u64::MAX));
+        assert_eq!(back["b"].as_i64(), Some(i64::MIN));
+        assert_eq!(back["c"], 0);
+        assert_eq!(back["d"], -1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str("\"\\u00e9\\u2602 \\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, "é☂ 😀");
+    }
+}
