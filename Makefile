@@ -1,6 +1,6 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy bench
+.PHONY: verify build test clippy bench bench-gca
 
 # The full pre-merge gate: release build, the whole test suite, and a
 # warning-free clippy pass over every target in the workspace.
@@ -17,3 +17,8 @@ clippy:
 
 bench:
 	cargo bench -p pmware-bench
+
+# Incremental-vs-batch nightly discovery cost and cold-vs-memoized
+# analytics throughput; writes BENCH_gca.json in the repo root.
+bench-gca:
+	cargo run --release -p pmware-bench --bin gca_scaling

@@ -26,9 +26,22 @@
 //!    one qualified cluster (allowing small gaps) become visits with
 //!    arrival/departure timestamps.
 //!
-//! GCA is the algorithm PMWare offloads to the cloud instance (§2.3.1):
-//! it is a batch computation over the raw stream, after which cheap online
-//! tracking ([`CellPlaceTracker`]) recognises revisits on the phone.
+//! GCA is the algorithm PMWare offloads to the cloud instance (§2.3.1).
+//! Two entry points share one implementation of the clustering rules:
+//!
+//! * [`discover_places`] — the one-shot batch computation over a complete
+//!   stream;
+//! * [`IncrementalGca`] — a persistent per-user engine whose
+//!   [`absorb`](IncrementalGca::absorb) folds in a new suffix of
+//!   observations in O(suffix) amortised time, and whose
+//!   [`places`](IncrementalGca::places) view is **bit-identical** to
+//!   running the batch algorithm over the concatenation of everything
+//!   absorbed so far. This is what makes the paper's *nightly incremental
+//!   discovery* cheap: neither the phone's local fallback nor the cloud
+//!   re-clusters history that has already been processed.
+//!
+//! After discovery, cheap online tracking ([`CellPlaceTracker`])
+//! recognises revisits on the phone.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -126,6 +139,29 @@ impl MovementGraph {
         self.dwell.keys().copied()
     }
 
+    /// Accounts dwell for `cell` (a new cell starts at zero).
+    fn note_dwell(&mut self, cell: CellGlobalId, dt: SimDuration) {
+        *self.dwell.entry(cell).or_insert(SimDuration::ZERO) += dt;
+    }
+
+    /// Ensures `cell` exists in the dwell map. Returns `true` when the
+    /// cell is brand new.
+    fn touch(&mut self, cell: CellGlobalId) -> bool {
+        let mut fresh = false;
+        self.dwell.entry(cell).or_insert_with(|| {
+            fresh = true;
+            SimDuration::ZERO
+        });
+        fresh
+    }
+
+    /// Adds one bounce to the edge `(a, b)` and returns its new weight.
+    fn note_bounce(&mut self, a: CellGlobalId, b: CellGlobalId) -> u32 {
+        let w = self.edges.entry(edge_key(a, b)).or_insert(0);
+        *w += 1;
+        *w
+    }
+
     /// Connected components over edges with weight ≥ `min_weight`.
     /// Cells without any qualifying edge form singleton components.
     pub fn components(&self, min_weight: u32) -> Vec<BTreeSet<CellGlobalId>> {
@@ -216,7 +252,7 @@ pub fn discover_places(
     // Extract contiguous runs per component.
     let runs = extract_runs(observations, &component_of, config);
 
-    // Qualify components: need one run of at least min_stay.
+    // Group visits per component.
     let mut visits_by_component: BTreeMap<usize, Vec<DiscoveredVisit>> = BTreeMap::new();
     for run in &runs {
         visits_by_component
@@ -225,8 +261,23 @@ pub fn discover_places(
             .push(DiscoveredVisit { arrival: run.start, departure: run.end });
     }
 
+    let places = qualify_places(&graph, &components, visits_by_component, config);
+    GcaOutput { places, graph }
+}
+
+/// Turns per-component visit candidates into qualified [`DiscoveredPlace`]s
+/// — the single implementation of the qualification and signature rules,
+/// shared by the batch and incremental engines so their outputs cannot
+/// drift apart.
+fn qualify_places(
+    graph: &MovementGraph,
+    components: &[BTreeSet<CellGlobalId>],
+    visits_by_component: BTreeMap<usize, Vec<DiscoveredVisit>>,
+    config: &GcaConfig,
+) -> Vec<DiscoveredPlace> {
     let mut places = Vec::new();
     for (component, visits) in visits_by_component {
+        // Qualify components: need one run of at least min_stay.
         let longest = visits
             .iter()
             .map(|v| v.duration())
@@ -252,68 +303,321 @@ pub fn discover_places(
         let id = DiscoveredPlaceId(places.len() as u32);
         places.push(DiscoveredPlace::new(id, signature, visits));
     }
-
-    GcaOutput { places, graph }
+    places
 }
 
-#[derive(Debug)]
-struct Run {
-    component: usize,
+/// A maximal in-cluster run, labelled by a component identity `C`
+/// (`usize` index for the batch path, representative cell for the
+/// incremental engine).
+#[derive(Debug, Clone, Copy)]
+struct Run<C> {
+    component: C,
     start: SimTime,
     end: SimTime,
+}
+
+/// Resumable state of the run-extraction scan.
+#[derive(Debug, Clone, Copy)]
+struct RunScan<C> {
+    current: Option<Run<C>>,
+    foreign: u32,
+}
+
+impl<C> Default for RunScan<C> {
+    fn default() -> Self {
+        RunScan { current: None, foreign: 0 }
+    }
+}
+
+impl<C: Copy + PartialEq> RunScan<C> {
+    /// Feeds one observation (its component label and timestamp) through
+    /// the state machine; completed runs are pushed onto `closed`. This is
+    /// the only implementation of the run rules — both the batch scan and
+    /// the incremental engine step through it, which is what guarantees
+    /// their visit extraction is identical.
+    fn step(&mut self, comp: Option<C>, time: SimTime, config: &GcaConfig, closed: &mut Vec<Run<C>>) {
+        match (&mut self.current, comp) {
+            (Some(run), Some(c)) if c == run.component => {
+                // Break the run across large time gaps (device off / no
+                // coverage for a while).
+                if time.since(run.end)
+                    > config.max_sample_gap.mul_f64((config.run_gap_tolerance + 1) as f64)
+                {
+                    closed.push(self.current.take().expect("checked above"));
+                    self.current = Some(Run { component: c, start: time, end: time });
+                } else {
+                    run.end = time;
+                }
+                self.foreign = 0;
+            }
+            (Some(run), other) => {
+                self.foreign += 1;
+                if self.foreign > config.run_gap_tolerance {
+                    closed.push(self.current.take().expect("checked above"));
+                    self.foreign = 0;
+                    if let Some(c) = other {
+                        self.current = Some(Run { component: c, start: time, end: time });
+                    }
+                } else {
+                    // Tolerated glitch: extend the run's end so that a
+                    // momentary foreign cell does not shorten the stay.
+                    run.end = time;
+                }
+            }
+            (None, Some(c)) => {
+                self.current = Some(Run { component: c, start: time, end: time });
+                self.foreign = 0;
+            }
+            (None, None) => {}
+        }
+    }
 }
 
 fn extract_runs(
     observations: &[GsmObservation],
     component_of: &HashMap<CellGlobalId, usize>,
     config: &GcaConfig,
-) -> Vec<Run> {
-    let mut runs = Vec::new();
-    let mut current: Option<Run> = None;
-    let mut foreign = 0u32;
-
+) -> Vec<Run<usize>> {
+    let mut closed = Vec::new();
+    let mut scan = RunScan::default();
     for obs in observations {
-        let comp = component_of.get(&obs.cell).copied();
-        match (&mut current, comp) {
-            (Some(run), Some(c)) if c == run.component => {
-                // Break the run across large time gaps (device off / no
-                // coverage for a while).
-                if obs.time.since(run.end)
-                    > config.max_sample_gap.mul_f64((config.run_gap_tolerance + 1) as f64)
-                {
-                    runs.push(current.take().expect("checked above"));
-                    current = Some(Run { component: c, start: obs.time, end: obs.time });
-                } else {
-                    run.end = obs.time;
-                }
-                foreign = 0;
-            }
-            (Some(run), other) => {
-                foreign += 1;
-                if foreign > config.run_gap_tolerance {
-                    runs.push(current.take().expect("checked above"));
-                    foreign = 0;
-                    if let Some(c) = other {
-                        current =
-                            Some(Run { component: c, start: obs.time, end: obs.time });
-                    }
-                } else {
-                    // Tolerated glitch: extend the run's end so that a
-                    // momentary foreign cell does not shorten the stay.
-                    run.end = obs.time;
-                }
-            }
-            (None, Some(c)) => {
-                current = Some(Run { component: c, start: obs.time, end: obs.time });
-                foreign = 0;
-            }
-            (None, None) => {}
+        scan.step(component_of.get(&obs.cell).copied(), obs.time, config, &mut closed);
+    }
+    if let Some(run) = scan.current {
+        closed.push(run);
+    }
+    closed
+}
+
+/// Persistent incremental GCA engine (§2.3.1's *nightly incremental
+/// discovery*, done properly): absorb a suffix of new observations in
+/// O(suffix) amortised time, and read back a place set **bit-identical**
+/// to batch [`discover_places`] over the concatenated stream.
+///
+/// # Design
+///
+/// The movement graph (dwell + bounce weights) folds a new observation in
+/// O(1) using a two-observation tail window. Visit runs are trickier: the
+/// batch algorithm re-scans the stream with the *final* cluster partition,
+/// and bounce weights only ever grow, so a late oscillation can merge two
+/// clusters and retroactively change how *old* observations group into
+/// runs. The engine therefore labels its resumable run scan with the
+/// partition's *representative cells* (the smallest cell of each
+/// component — stable under re-indexing) and keeps the absorbed log. When
+/// an edge first crosses `min_bounce_weight`, it re-derives the partition;
+/// if any already-scanned cell moved to a different component, the run
+/// scan replays from the retained log. Crossings stop once the user's
+/// regular places are established, so steady-state absorbs touch only the
+/// suffix; the replay is the correctness fallback that keeps the
+/// incremental view exactly equal to the batch one.
+///
+/// # Examples
+///
+/// ```
+/// use pmware_algorithms::gca::{self, GcaConfig, IncrementalGca};
+/// # use pmware_world::tower::NetworkLayer;
+/// # use pmware_world::{CellGlobalId, CellId, GsmObservation, Lac, Plmn, SimTime};
+/// # let cell = |id: u32| CellGlobalId {
+/// #     plmn: Plmn { mcc: 404, mnc: 45 }, lac: Lac(1), cell: CellId(id),
+/// # };
+/// # let stream: Vec<GsmObservation> = (0..40)
+/// #     .map(|m| GsmObservation {
+/// #         time: SimTime::from_seconds(m * 60),
+/// #         cell: if m % 3 == 1 { cell(2) } else { cell(1) },
+/// #         layer: NetworkLayer::G2,
+/// #         rssi_dbm: -70.0,
+/// #     })
+/// #     .collect();
+/// let config = GcaConfig::default();
+/// let mut engine = IncrementalGca::new(config.clone());
+/// let (head, tail) = stream.split_at(stream.len() / 2);
+/// engine.absorb(head);
+/// engine.absorb(tail);
+/// assert_eq!(engine.places(), gca::discover_places(&stream, &config));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalGca {
+    config: GcaConfig,
+    /// Every observation absorbed so far — kept for the partition-change
+    /// replay (and nothing else; steady-state absorbs never re-read it).
+    log: Vec<GsmObservation>,
+    graph: MovementGraph,
+    /// Closed runs in chronological order, labelled by the representative
+    /// (smallest) cell of their component.
+    runs: Vec<Run<CellGlobalId>>,
+    /// The open run / foreign-sample state of the resumable scan.
+    scan: RunScan<CellGlobalId>,
+    /// How many log entries the run scan has consumed.
+    scanned_upto: usize,
+    /// Cell → representative under the partition the scan used.
+    rep_of: HashMap<CellGlobalId, CellGlobalId>,
+    /// Set when an edge crossed the bounce threshold since the last scan:
+    /// the partition must be re-derived before scanning further.
+    partition_dirty: bool,
+}
+
+impl IncrementalGca {
+    /// Creates an empty engine.
+    pub fn new(config: GcaConfig) -> Self {
+        IncrementalGca {
+            config,
+            log: Vec::new(),
+            graph: MovementGraph::default(),
+            runs: Vec::new(),
+            scan: RunScan::default(),
+            scanned_upto: 0,
+            rep_of: HashMap::new(),
+            partition_dirty: false,
         }
     }
-    if let Some(run) = current {
-        runs.push(run);
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GcaConfig {
+        &self.config
     }
-    runs
+
+    /// Number of observations absorbed so far.
+    pub fn observation_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Returns `true` when nothing has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Timestamp of the most recently absorbed observation, if any.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.log.last().map(|o| o.time)
+    }
+
+    /// The incrementally maintained movement graph.
+    pub fn graph(&self) -> &MovementGraph {
+        &self.graph
+    }
+
+    /// Folds a time-ordered suffix of new observations into the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `suffix` is not time-ordered or starts
+    /// before the last absorbed observation.
+    pub fn absorb(&mut self, suffix: &[GsmObservation]) {
+        debug_assert!(
+            suffix.windows(2).all(|w| w[0].time <= w[1].time),
+            "suffix must be time-ordered"
+        );
+        debug_assert!(
+            match (self.log.last(), suffix.first()) {
+                (Some(last), Some(first)) => last.time <= first.time,
+                _ => true,
+            },
+            "suffix must not start before already-absorbed observations"
+        );
+        if suffix.is_empty() {
+            return;
+        }
+        // The effective weight at which an edge starts to qualify: even a
+        // zero threshold needs the edge to exist (weight 1).
+        let qualifying = self.config.min_bounce_weight.max(1);
+        for obs in suffix {
+            let n = self.log.len();
+            if n >= 1 {
+                let prev = self.log[n - 1];
+                let dt = obs.time.since(prev.time).min(self.config.max_sample_gap);
+                self.graph.note_dwell(prev.cell, dt);
+                if n >= 2 {
+                    let first = self.log[n - 2];
+                    let adjacent = prev.time.since(first.time) <= self.config.max_sample_gap
+                        && obs.time.since(prev.time) <= self.config.max_sample_gap;
+                    if adjacent && first.cell == obs.cell && first.cell != prev.cell {
+                        let w = self.graph.note_bounce(first.cell, prev.cell);
+                        if w == qualifying {
+                            self.partition_dirty = true;
+                        }
+                    }
+                }
+            }
+            if self.graph.touch(obs.cell) && !self.partition_dirty {
+                // A brand-new cell has no qualifying edges yet, so it is a
+                // singleton component and its representative is itself.
+                self.rep_of.insert(obs.cell, obs.cell);
+            }
+            self.log.push(*obs);
+        }
+        self.advance_scan();
+    }
+
+    /// Re-derives the partition if needed, replays the run scan when the
+    /// partition changed retroactively, then consumes the unscanned tail.
+    fn advance_scan(&mut self) {
+        if self.partition_dirty {
+            let fresh = self.representatives();
+            // Did any already-labelled cell move to a different component?
+            // (Components only ever merge, so this is exactly the case in
+            // which past observations would group differently.)
+            let moved = self
+                .rep_of
+                .iter()
+                .any(|(cell, rep)| fresh.get(cell) != Some(rep));
+            if moved {
+                self.runs.clear();
+                self.scan = RunScan::default();
+                self.scanned_upto = 0;
+            }
+            self.rep_of = fresh;
+            self.partition_dirty = false;
+        }
+        for i in self.scanned_upto..self.log.len() {
+            let obs = self.log[i];
+            let comp = self.rep_of.get(&obs.cell).copied();
+            self.scan.step(comp, obs.time, &self.config, &mut self.runs);
+        }
+        self.scanned_upto = self.log.len();
+    }
+
+    /// Cell → smallest cell of its component, under the current graph.
+    fn representatives(&self) -> HashMap<CellGlobalId, CellGlobalId> {
+        let components = self.graph.components(self.config.min_bounce_weight);
+        let mut rep_of = HashMap::with_capacity(self.rep_of.len().max(16));
+        for comp in &components {
+            let rep = *comp.first().expect("components are non-empty");
+            for cell in comp {
+                rep_of.insert(*cell, rep);
+            }
+        }
+        rep_of
+    }
+
+    /// The current place view — bit-identical to
+    /// [`discover_places`] over everything absorbed so far. Cost is
+    /// proportional to the graph and run counts, not to history length.
+    pub fn places(&self) -> GcaOutput {
+        let components = self.graph.components(self.config.min_bounce_weight);
+        let mut index_of_rep: HashMap<CellGlobalId, usize> =
+            HashMap::with_capacity(components.len());
+        for (idx, comp) in components.iter().enumerate() {
+            index_of_rep.insert(*comp.first().expect("components are non-empty"), idx);
+        }
+        let mut visits_by_component: BTreeMap<usize, Vec<DiscoveredVisit>> = BTreeMap::new();
+        for run in self.runs.iter().chain(self.scan.current.as_ref()) {
+            let idx = index_of_rep[&run.component];
+            visits_by_component
+                .entry(idx)
+                .or_default()
+                .push(DiscoveredVisit { arrival: run.start, departure: run.end });
+        }
+        let places = qualify_places(&self.graph, &components, visits_by_component, &self.config);
+        GcaOutput { places, graph: self.graph.clone() }
+    }
+
+    /// Consumes the engine and returns the final output (same view as
+    /// [`places`](Self::places), without cloning the graph).
+    pub fn finish(self) -> GcaOutput {
+        let mut out = self.places();
+        out.graph = self.graph;
+        out
+    }
 }
 
 /// Online recogniser: once GCA signatures exist (computed on the cloud),

@@ -39,15 +39,16 @@ fn main() {
         threads,
     };
 
-    // Always measure the 4-thread point even on a smaller machine: on one
-    // core it quantifies the fan-out overhead instead of a speedup, which
-    // is worth recording honestly either way.
+    // Ladder entries are clamped to the available cores: an oversubscribed
+    // point (4 workers on a 1-core box) measures scheduler churn, not the
+    // engine, and its sub-1.0 "speedup" reads as a parallelism regression.
     let max_threads = resolve_threads(0);
-    let mut ladder = vec![1usize, 4];
-    if !ladder.contains(&max_threads) {
-        ladder.push(max_threads);
-    }
+    let mut ladder: Vec<usize> = [1usize, 4, max_threads]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
     ladder.sort_unstable();
+    ladder.dedup();
 
     println!(
         "PERF: cohort throughput — {participants} participants x {days} days, \

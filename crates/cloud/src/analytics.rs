@@ -15,9 +15,19 @@ use std::collections::BTreeMap;
 use crate::profile::MobilityProfile;
 
 /// The per-user long-term profile history.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Besides the day-keyed profiles themselves, the history maintains a
+/// **per-place arrival index** (place → profile day → arrivals, in entry
+/// order) so that the query paths — visit counts, weekday histograms,
+/// next-visit prediction — walk only the queried place's arrivals instead
+/// of scanning (and re-collecting) every profile, and a **generation
+/// counter** that [`upsert`](Self::upsert) bumps so derived caches (the
+/// memoized Markov model) know when to invalidate.
+#[derive(Debug, Clone, Default)]
 pub struct ProfileHistory {
     profiles: BTreeMap<u64, MobilityProfile>,
+    arrival_index: BTreeMap<DiscoveredPlaceId, BTreeMap<u64, Vec<SimTime>>>,
+    generation: u64,
 }
 
 impl ProfileHistory {
@@ -26,9 +36,37 @@ impl ProfileHistory {
         ProfileHistory::default()
     }
 
-    /// Stores a day's profile, replacing any previous sync of the same day.
+    /// Stores a day's profile, replacing any previous sync of the same
+    /// day, and bumps the [`generation`](Self::generation).
     pub fn upsert(&mut self, profile: MobilityProfile) {
-        self.profiles.insert(profile.day, profile);
+        let day = profile.day;
+        if let Some(old) = self.profiles.insert(day, profile) {
+            // Un-index the replaced day's entries before re-indexing.
+            for entry in &old.places {
+                if let Some(days) = self.arrival_index.get_mut(&entry.place) {
+                    days.remove(&day);
+                    if days.is_empty() {
+                        self.arrival_index.remove(&entry.place);
+                    }
+                }
+            }
+        }
+        for entry in &self.profiles[&day].places {
+            self.arrival_index
+                .entry(entry.place)
+                .or_default()
+                .entry(day)
+                .or_default()
+                .push(entry.arrival);
+        }
+        self.generation += 1;
+    }
+
+    /// Monotone counter bumped on every [`upsert`](Self::upsert); equal
+    /// generations guarantee an unchanged history, so models derived from
+    /// it can be cached against this value.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The profile for a day, if synced.
@@ -51,18 +89,32 @@ impl ProfileHistory {
         self.profiles.values()
     }
 
-    /// All arrival instants at a place, in time order.
-    pub fn arrivals(&self, place: DiscoveredPlaceId) -> Vec<SimTime> {
-        self.iter()
-            .flat_map(|p| p.places.iter())
-            .filter(|e| e.place == place)
-            .map(|e| e.arrival)
-            .collect()
+    /// All arrival instants at a place, in stored order, without
+    /// allocating — reads the arrival index (day ascending, entry order
+    /// within a day: the same order a scan over the profiles would yield).
+    pub fn arrivals_iter(
+        &self,
+        place: DiscoveredPlaceId,
+    ) -> impl Iterator<Item = SimTime> + '_ {
+        self.arrival_index
+            .get(&place)
+            .into_iter()
+            .flat_map(|days| days.values())
+            .flatten()
+            .copied()
     }
 
-    /// Total number of visits to a place.
+    /// All arrival instants at a place, collected into a vector. Prefer
+    /// [`arrivals_iter`](Self::arrivals_iter) on query paths.
+    pub fn arrivals(&self, place: DiscoveredPlaceId) -> Vec<SimTime> {
+        self.arrivals_iter(place).collect()
+    }
+
+    /// Total number of visits to a place (index lookup, no allocation).
     pub fn visit_count(&self, place: DiscoveredPlaceId) -> usize {
-        self.arrivals(place).len()
+        self.arrival_index
+            .get(&place)
+            .map_or(0, |days| days.values().map(Vec::len).sum())
     }
 
     /// Average visits per week ("How frequently user visit shopping
@@ -87,8 +139,7 @@ impl ProfileHistory {
         window: Option<(u64, u64)>,
     ) -> Option<u64> {
         let mut seconds: Vec<u64> = self
-            .arrivals(place)
-            .into_iter()
+            .arrivals_iter(place)
             .map(|t| t.seconds_of_day())
             .filter(|s| match window {
                 Some((lo, hi)) => *s >= lo * 3_600 && *s < hi * 3_600,
@@ -102,10 +153,11 @@ impl ProfileHistory {
         Some(seconds[seconds.len() / 2])
     }
 
-    /// Visit counts per weekday for a place (Monday first).
+    /// Visit counts per weekday for a place (Monday first); streams the
+    /// arrival index, no allocation.
     pub fn weekday_histogram(&self, place: DiscoveredPlaceId) -> [u32; 7] {
         let mut hist = [0u32; 7];
-        for arrival in self.arrivals(place) {
+        for arrival in self.arrivals_iter(place) {
             let idx = (arrival.as_seconds() / DAY % 7) as usize;
             hist[idx] += 1;
         }
@@ -139,6 +191,39 @@ impl ProfileHistory {
             return 0.0;
         }
         self.iter().map(|p| p.place_time_fraction()).sum::<f64>() / self.len() as f64
+    }
+}
+
+/// Two histories are equal when they store the same profiles: the arrival
+/// index is derived data and the generation is a local mutation counter,
+/// so neither participates in equality.
+impl PartialEq for ProfileHistory {
+    fn eq(&self, other: &Self) -> bool {
+        self.profiles == other.profiles
+    }
+}
+
+/// Wire form: only the profiles travel; the arrival index is rebuilt on
+/// deserialization (same serialized shape as the pre-index struct).
+#[derive(Serialize, Deserialize)]
+struct ProfileHistoryWire {
+    profiles: BTreeMap<u64, MobilityProfile>,
+}
+
+impl Serialize for ProfileHistory {
+    fn to_json_value(&self) -> serde::Value {
+        ProfileHistoryWire { profiles: self.profiles.clone() }.to_json_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for ProfileHistory {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let wire = ProfileHistoryWire::from_json_value(value)?;
+        let mut history = ProfileHistory::new();
+        for (_, profile) in wire.profiles {
+            history.upsert(profile);
+        }
+        Ok(history)
     }
 }
 
@@ -237,6 +322,61 @@ mod tests {
         let workdays = h.visited_weekdays(DiscoveredPlaceId(1));
         assert_eq!(workdays.len(), 5);
         assert!(workdays.iter().all(|w| !w.is_weekend()));
+    }
+
+    #[test]
+    fn upsert_bumps_generation_and_reindexes_replaced_day() {
+        let mut h = ProfileHistory::new();
+        assert_eq!(h.generation(), 0);
+        let mut p = MobilityProfile::new(3);
+        p.places.push(entry(0, 3, 10, 1));
+        p.places.push(entry(1, 3, 14, 1));
+        h.upsert(p);
+        assert_eq!(h.generation(), 1);
+        assert_eq!(h.visit_count(DiscoveredPlaceId(0)), 1);
+        // Replacing day 3 drops the old entries from the index: place 1
+        // vanishes, place 0 moves to a new arrival hour.
+        let mut p = MobilityProfile::new(3);
+        p.places.push(entry(0, 3, 12, 1));
+        h.upsert(p);
+        assert_eq!(h.generation(), 2);
+        assert_eq!(h.visit_count(DiscoveredPlaceId(1)), 0);
+        assert_eq!(
+            h.arrivals(DiscoveredPlaceId(0)),
+            vec![SimTime::from_day_time(3, 12, 0, 0)]
+        );
+    }
+
+    #[test]
+    fn indexed_arrivals_match_a_profile_scan() {
+        let h = history();
+        for place in 0..4u32 {
+            let id = DiscoveredPlaceId(place);
+            let scanned: Vec<SimTime> = h
+                .iter()
+                .flat_map(|p| p.places.iter())
+                .filter(|e| e.place == id)
+                .map(|e| e.arrival)
+                .collect();
+            assert_eq!(h.arrivals(id), scanned, "place {place}");
+            assert_eq!(h.visit_count(id), scanned.len());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_the_index() {
+        let h = history();
+        let value = serde_json::to_value(&h).unwrap();
+        // Only the profiles travel on the wire.
+        assert!(value.get("profiles").is_some());
+        assert!(value.get("arrival_index").is_none());
+        let back: ProfileHistory = serde_json::from_value(value).unwrap();
+        assert_eq!(back, h);
+        for place in 0..4u32 {
+            let id = DiscoveredPlaceId(place);
+            assert_eq!(back.arrivals(id), h.arrivals(id));
+            assert_eq!(back.weekday_histogram(id), h.weekday_histogram(id));
+        }
     }
 
     #[test]

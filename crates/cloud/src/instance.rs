@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use pmware_algorithms::gca::{self, GcaConfig};
+use pmware_algorithms::gca::{GcaConfig, IncrementalGca};
 use pmware_algorithms::route::{CanonicalRoute, RouteStore};
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
 use pmware_world::{CellGlobalId, CellId, GsmObservation, Lac, Plmn, SimDuration, SimTime};
@@ -50,6 +50,14 @@ struct UserStore {
     routes: RouteStore,
     history: ProfileHistory,
     contacts: Vec<ContactEntry>,
+    /// Persistent incremental discovery engine: each offload folds its
+    /// suffix in instead of re-clustering (and forgetting) from scratch.
+    /// Created lazily on first offload with the instance's GCA config.
+    gca: Option<IncrementalGca>,
+    /// Memoized Markov model, tagged with the [`ProfileHistory`]
+    /// generation it was trained at; a profile upsert bumps the
+    /// generation, which invalidates this entry on the next query.
+    next_place: Option<(u64, MarkovPredictor)>,
 }
 
 impl Default for UserStore {
@@ -59,6 +67,8 @@ impl Default for UserStore {
             routes: RouteStore::new(0.5),
             history: ProfileHistory::new(),
             contacts: Vec::new(),
+            gca: None,
+            next_place: None,
         }
     }
 }
@@ -244,8 +254,20 @@ impl CloudInstance {
     }
 
     /// Overrides the GCA configuration used by the discovery offload.
+    ///
+    /// Per-user incremental engines were built under the old parameters,
+    /// so they are dropped; each user's next offload starts a fresh
+    /// engine (intended as a deployment-setup call, not a hot reconfig).
     pub fn set_gca_config(&self, config: GcaConfig) {
         *self.gca_config.write() = config;
+        // The config write lock is released before any user lock is taken
+        // (same lock-order rule as the discover endpoint).
+        for shard in &self.shards {
+            let users: Vec<_> = shard.users.read().values().cloned().collect();
+            for store in users {
+                store.lock().gca = None;
+            }
+        }
     }
 
     /// Number of registered users.
@@ -328,15 +350,33 @@ impl CloudInstance {
             }
             (Method::Post, "/api/v1/places/discover") => {
                 self.with_body::<DiscoverBody>(request, |body| {
-                    // GCA runs outside any user lock: clustering is the
-                    // expensive part and must not serialize other users.
-                    let out = {
-                        let config = self.gca_config.read();
-                        gca::discover_places(&body.observations, &config)
-                    };
+                    // Clone the config before taking the user lock (lock
+                    // order: config lock is never held across a store
+                    // lock). Absorbing under the user lock only serializes
+                    // this user's own requests — other users live behind
+                    // other mutexes.
+                    let config = self.gca_config.read().clone();
                     let store = self.store_of(user);
-                    store.lock().places = out.places.clone();
-                    Response::ok(json!({ "places": out.places }))
+                    let mut store = store.lock();
+                    // A batch that rewinds behind the absorbed stream
+                    // means the client restarted or re-sent history:
+                    // start over from exactly this batch. Otherwise fold
+                    // the suffix into the accumulated engine — repeated
+                    // offloads no longer forget previously discovered
+                    // places.
+                    let rewinds = match (&store.gca, body.observations.first()) {
+                        (Some(engine), Some(first)) => {
+                            engine.last_time().is_some_and(|t| first.time < t)
+                        }
+                        _ => false,
+                    };
+                    if rewinds || store.gca.is_none() {
+                        store.gca = Some(IncrementalGca::new(config));
+                    }
+                    let engine = store.gca.as_mut().expect("engine ensured above");
+                    engine.absorb(&body.observations);
+                    store.places = engine.places().places;
+                    Response::ok(json!({ "places": store.places }))
                 })
             }
             (Method::Post, "/api/v1/places/sync") => {
@@ -524,8 +564,19 @@ impl CloudInstance {
             (Method::Post, "/api/v1/analytics/next_place") => {
                 self.with_body::<PlaceOnlyBody>(request, |body| {
                     let store = self.store_of(user);
-                    let store = store.lock();
-                    let model = MarkovPredictor::train(&store.history);
+                    let mut store = store.lock();
+                    // Retrain only when the history generation moved on
+                    // since the cached model was built; repeat queries
+                    // against an unchanged history are retrain-free.
+                    let generation = store.history.generation();
+                    let stale =
+                        store.next_place.as_ref().map(|(g, _)| *g) != Some(generation);
+                    if stale {
+                        let model = MarkovPredictor::train(&store.history);
+                        store.next_place = Some((generation, model));
+                    }
+                    let (_, model) =
+                        store.next_place.as_ref().expect("cache filled above");
                     Response::ok(json!({
                         "predictions": model.predict_next(body.place),
                     }))
@@ -693,6 +744,135 @@ mod tests {
         // And the places are now listed.
         let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
         assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn discover_absorbs_suffixes_without_forgetting_places() {
+        use pmware_world::tower::NetworkLayer;
+        let c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&c, 0, now);
+        let cell = |id: u32| CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 45 },
+            lac: Lac(1),
+            cell: CellId(id),
+        };
+        let obs = |minute: u64, id: u32| GsmObservation {
+            time: SimTime::from_seconds(minute * 60),
+            cell: cell(id),
+            layer: NetworkLayer::G2,
+            rssi_dbm: -70.0,
+        };
+        // Night 1: a 40-minute stay at place {1,2}.
+        let night1: Vec<GsmObservation> =
+            (0..40).map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 })).collect();
+        let resp = c.handle(
+            &Request::post("/api/v1/places/discover", json!({ "observations": night1 }))
+                .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success(), "{resp:?}");
+        assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
+        // Night 2 offloads ONLY the new suffix: a stay somewhere else.
+        // Before the persistent per-user engine this *replaced* the stored
+        // places, silently forgetting place {1,2}.
+        let night2: Vec<GsmObservation> =
+            (100..140).map(|m| obs(m, if m % 3 == 1 { 6 } else { 5 })).collect();
+        let resp = c.handle(
+            &Request::post("/api/v1/places/discover", json!({ "observations": night2 }))
+                .with_token(&token),
+            now,
+        );
+        assert!(resp.is_success(), "{resp:?}");
+        let places = resp.body["places"].as_array().unwrap();
+        assert_eq!(places.len(), 2, "suffix offload must keep night-1 places");
+        // And the reply matches one batch clustering of the whole stream.
+        let full: Vec<GsmObservation> = (0..40)
+            .map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 }))
+            .chain((100..140).map(|m| obs(m, if m % 3 == 1 { 6 } else { 5 })))
+            .collect();
+        let batch =
+            pmware_algorithms::gca::discover_places(&full, &GcaConfig::default());
+        assert_eq!(places.len(), batch.places.len());
+    }
+
+    #[test]
+    fn discover_rewind_restarts_from_the_new_batch() {
+        use pmware_world::tower::NetworkLayer;
+        let c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&c, 0, now);
+        let cell = |id: u32| CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 45 },
+            lac: Lac(1),
+            cell: CellId(id),
+        };
+        let stream: Vec<GsmObservation> = (0..40)
+            .map(|m| GsmObservation {
+                time: SimTime::from_seconds(m * 60),
+                cell: if m % 3 == 1 { cell(2) } else { cell(1) },
+                layer: NetworkLayer::G2,
+                rssi_dbm: -70.0,
+            })
+            .collect();
+        let req = Request::post(
+            "/api/v1/places/discover",
+            json!({ "observations": stream }),
+        )
+        .with_token(&token);
+        // Re-sending the same from-zero batch (a client that restarted and
+        // re-clusters its full log) must not double-count: the engine
+        // restarts from the rewound batch.
+        let first = c.handle(&req, now);
+        let second = c.handle(&req, now);
+        assert!(second.is_success());
+        assert_eq!(first.body, second.body);
+        assert_eq!(second.body["places"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn next_place_cache_invalidates_on_profile_upsert() {
+        let c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&c, 0, now);
+        let sync = |day: u64, route: &[u32]| {
+            let mut profile = MobilityProfile::new(day);
+            for (i, &p) in route.iter().enumerate() {
+                profile.places.push(PlaceEntry {
+                    place: DiscoveredPlaceId(p),
+                    arrival: SimTime::from_day_time(day, 8 + 2 * i as u64, 0, 0),
+                    departure: SimTime::from_day_time(day, 9 + 2 * i as u64, 0, 0),
+                });
+            }
+            let resp = c.handle(
+                &Request::post("/api/v1/profiles/sync", json!({ "profile": profile }))
+                    .with_token(&token),
+                now,
+            );
+            assert!(resp.is_success());
+        };
+        let next = || {
+            let resp = c.handle(
+                &Request::post("/api/v1/analytics/next_place", json!({"place": 0}))
+                    .with_token(&token),
+                now,
+            );
+            assert!(resp.is_success());
+            resp.body["predictions"].as_array().unwrap()[0][0]
+                .as_u64()
+                .unwrap()
+        };
+        // Two days of 0 → 1: the model (and its cache) says 1.
+        sync(0, &[0, 1]);
+        sync(1, &[0, 1]);
+        assert_eq!(next(), 1);
+        assert_eq!(next(), 1, "repeat query served from the memoized model");
+        // Three days of 0 → 2 flip the majority: the upsert bumps the
+        // history generation, so the cached model must be retrained.
+        sync(2, &[0, 2]);
+        sync(3, &[0, 2]);
+        sync(4, &[0, 2]);
+        assert_eq!(next(), 2, "stale cached model would still answer 1");
     }
 
     #[test]

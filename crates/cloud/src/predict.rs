@@ -52,7 +52,7 @@ pub fn predict_next_visit(
     let mut per_weekday: [Option<u64>; 7] = [None; 7];
     {
         let mut buckets: [Vec<u64>; 7] = Default::default();
-        for arrival in history.arrivals(place) {
+        for arrival in history.arrivals_iter(place) {
             let idx = (arrival.as_seconds() / DAY % 7) as usize;
             buckets[idx].push(arrival.seconds_of_day());
         }

@@ -4,12 +4,13 @@
 //! interfaces and inferring high level location attributes (i.e. places,
 //! routes) from the data."*
 //!
-//! The engine buffers every raw observation (GCA is a batch algorithm the
-//! cloud recomputes over the full log), runs the online SensLoc detector
-//! over WiFi scans, and — once place signatures exist — tracks arrivals and
+//! The engine buffers every raw observation for offload, feeds each GSM
+//! sample into a persistent [`IncrementalGca`] (so the local fallback is
+//! O(new data), not O(history)), runs the online SensLoc detector over
+//! WiFi scans, and — once place signatures exist — tracks arrivals and
 //! departures with the debounced [`CellPlaceTracker`].
 
-use pmware_algorithms::gca::{self, CellPlaceTracker, GcaConfig, GcaOutput, PlaceEvent};
+use pmware_algorithms::gca::{CellPlaceTracker, GcaConfig, GcaOutput, IncrementalGca, PlaceEvent};
 use pmware_algorithms::sensloc::{SensLocConfig, SensLocDetector, WifiPlaceEvent};
 use pmware_algorithms::signature::DiscoveredPlace;
 use pmware_world::{GpsFix, GsmObservation, WifiScan};
@@ -45,6 +46,7 @@ pub struct InferenceEngine {
     config: InferenceConfig,
     gsm_log: Vec<GsmObservation>,
     gps_log: Vec<GpsFix>,
+    gca: IncrementalGca,
     wifi: SensLocDetector,
     tracker: Option<CellPlaceTracker>,
 }
@@ -53,13 +55,22 @@ impl InferenceEngine {
     /// Creates an engine.
     pub fn new(config: InferenceConfig) -> Self {
         let wifi = SensLocDetector::new(config.sensloc.clone());
-        InferenceEngine { config, gsm_log: Vec::new(), gps_log: Vec::new(), wifi, tracker: None }
+        let gca = IncrementalGca::new(config.gca.clone());
+        InferenceEngine {
+            config,
+            gsm_log: Vec::new(),
+            gps_log: Vec::new(),
+            gca,
+            wifi,
+            tracker: None,
+        }
     }
 
     /// Feeds one GSM observation; returns confirmed place events (empty
     /// until signatures have been discovered and the tracker rebuilt).
     pub fn on_gsm(&mut self, obs: GsmObservation) -> Vec<PlaceEvent> {
         self.gsm_log.push(obs);
+        self.gca.absorb(std::slice::from_ref(&obs));
         match &mut self.tracker {
             Some(tracker) => tracker.update(&obs),
             None => Vec::new(),
@@ -91,10 +102,12 @@ impl InferenceEngine {
         self.wifi.places()
     }
 
-    /// Local GCA fallback over the buffered log (§2.3.1 notes discovery is
-    /// normally offloaded; this runs when the cloud is unreachable).
+    /// Local GCA fallback (§2.3.1 notes discovery is normally offloaded;
+    /// this runs when the cloud is unreachable). The view comes from the
+    /// persistent incremental engine, so the cost is proportional to the
+    /// place/run counts — not to the length of the buffered log.
     pub fn local_discover(&self) -> GcaOutput {
-        gca::discover_places(&self.gsm_log, &self.config.gca)
+        self.gca.places()
     }
 
     /// Rebuilds the online tracker over freshly discovered signatures.

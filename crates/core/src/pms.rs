@@ -63,10 +63,6 @@ pub struct PmsConfig {
     pub maintenance_hour: u64,
     /// Signature overlap for registry reconciliation.
     pub reconcile_overlap: f64,
-    /// Every this-many days the nightly maintenance re-clusters the *full*
-    /// observation log (authoritative compaction) instead of only the new
-    /// suffix.
-    pub compaction_period_days: u64,
     /// Refresh the token when within this margin of expiry.
     pub token_refresh_margin: SimDuration,
     /// Movement-detector window (samples).
@@ -84,7 +80,6 @@ impl PmsConfig {
             inference: InferenceConfig::default(),
             maintenance_hour: 3,
             reconcile_overlap: 0.18,
-            compaction_period_days: 4,
             token_refresh_margin: SimDuration::from_hours(2),
             movement_window: 3,
         }
@@ -561,40 +556,36 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
     fn maintenance(&mut self, t: SimTime) {
         self.counters.gca_offloads += 1;
         // Nightly incremental discovery, as the paper describes (§2.3.1):
-        // each offload clusters only the observations gathered since the
-        // last one. Once a week the full log is re-clustered instead — an
-        // authoritative compaction that heals signature drift (duplicate
-        // places whose day-signatures stopped overlapping) and retires
-        // superseded entries.
-        let authoritative = t.day().is_multiple_of(self.config.compaction_period_days);
-        let observations: &[pmware_world::GsmObservation] = if authoritative {
-            self.engine.gsm_log()
-        } else {
-            &self.engine.gsm_log()[self.offloaded_upto..]
-        };
+        // each offload ships only the observations gathered since the last
+        // *acknowledged* one. The cloud folds the suffix into its
+        // persistent per-user engine and replies with the full accumulated
+        // place set, so every reply is authoritative — there is no longer
+        // a periodic full-log compaction (and no suffix-replacement data
+        // loss between compactions).
+        let observations = &self.engine.gsm_log()[self.offloaded_upto..];
         let places: Vec<DiscoveredPlace> =
             match self.client.discover_places(observations, t) {
-                Ok(places) => places,
+                Ok(places) => {
+                    // Advance the watermark only once the cloud has the
+                    // data: after an outage the next offload re-sends the
+                    // whole unacknowledged suffix.
+                    self.offloaded_upto = self.engine.gsm_log().len();
+                    places
+                }
                 Err(_) => {
                     self.counters.gca_local_fallbacks += 1;
-                    pmware_algorithms::gca::discover_places(
-                        observations,
-                        &self.config.inference.gca,
-                    )
-                    .places
+                    // The engine's incremental view covers the *entire*
+                    // local history, so the fallback is just as
+                    // authoritative as a cloud reply — and O(places), not
+                    // O(log).
+                    self.engine.local_discover().places
                 }
             };
-        self.offloaded_upto = self.engine.gsm_log().len();
-        let mode = if authoritative {
-            ReconcileMode::Authoritative
-        } else {
-            ReconcileMode::Incremental
-        };
         let recon = self.registry.reconcile_with_mode(
             &places,
             t,
             self.config.reconcile_overlap,
-            mode,
+            ReconcileMode::Authoritative,
         );
         // The online tracker recognises every *live* place by its
         // accumulated signature, keyed directly by stable id.
