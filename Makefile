@@ -1,10 +1,11 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy bench bench-gca
+.PHONY: verify build test clippy chaos bench bench-gca
 
-# The full pre-merge gate: release build, the whole test suite, and a
-# warning-free clippy pass over every target in the workspace.
-verify: build test clippy
+# The full pre-merge gate: release build, the whole test suite, a
+# warning-free clippy pass over every target in the workspace, and the
+# chaos gate (fault-injection matrix + soak).
+verify: build test clippy chaos
 
 build:
 	cargo build --release --workspace
@@ -14,6 +15,14 @@ test:
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# The chaos gate: the deterministic fault-injection matrix (five fault
+# kinds x four endpoints x reboot modes, each asserting bit-identical
+# convergence) plus a chaos-soak smoke run that writes BENCH_chaos.json
+# and fails if any rate <= 0.30 does not converge.
+chaos:
+	cargo test --release --test chaos_matrix --test connected_apps
+	cargo run --release -p pmware-bench --bin chaos_soak
 
 bench:
 	cargo bench -p pmware-bench

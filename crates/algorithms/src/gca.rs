@@ -632,7 +632,7 @@ pub struct CellPlaceTracker {
     state: TrackerState,
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum TrackerState {
     Away {
         /// Consecutive samples inside some candidate place.
@@ -646,6 +646,13 @@ enum TrackerState {
         last_inside: SimTime,
     },
 }
+
+/// The serializable runtime state of a [`CellPlaceTracker`], for device
+/// checkpoint/restore. The cell→place index is *not* part of the snapshot
+/// (struct map keys don't serialize); it is rebuilt from the same place
+/// list the tracker was constructed over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerSnapshot(TrackerState);
 
 /// An event emitted by the online tracker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -700,6 +707,29 @@ impl CellPlaceTracker {
             TrackerState::At { place, .. } => Some(*place),
             TrackerState::Away { .. } => None,
         }
+    }
+
+    /// Captures the in-flight debouncing state for a checkpoint.
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        TrackerSnapshot(self.state.clone())
+    }
+
+    /// Rebuilds a tracker from the place list it was constructed over and
+    /// a previously captured [`TrackerSnapshot`], resuming mid-stay and
+    /// mid-debounce exactly where the snapshot left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either confirmation count is zero.
+    pub fn from_snapshot(
+        places: &[DiscoveredPlace],
+        confirm_in: u32,
+        confirm_out: u32,
+        snapshot: TrackerSnapshot,
+    ) -> Self {
+        let mut tracker = CellPlaceTracker::new(places, confirm_in, confirm_out);
+        tracker.state = snapshot.0;
+        tracker
     }
 
     /// Feeds one observation; returns the events it triggered (0–2: a

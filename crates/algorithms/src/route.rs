@@ -180,7 +180,7 @@ pub struct CanonicalRoute {
 /// // Empty geometry is rejected.
 /// assert!(store.record(obs).is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouteStore {
     routes: Vec<CanonicalRoute>,
     match_threshold: f64,

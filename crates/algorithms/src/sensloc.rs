@@ -81,7 +81,7 @@ impl Default for SensLocConfig {
 /// Feed scans in time order with [`update`](SensLocDetector::update); pull
 /// accumulated places with [`into_places`](SensLocDetector::into_places)
 /// (or inspect them anytime with [`places`](SensLocDetector::places)).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SensLocDetector {
     config: SensLocConfig,
     places: Vec<DiscoveredPlace>,
@@ -93,7 +93,7 @@ pub struct SensLocDetector {
     state: State,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum State {
     Away {
         prev_scan: Option<(SimTime, BTreeSet<Bssid>)>,
@@ -105,7 +105,7 @@ enum State {
     Staying(Stay),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Stay {
     start: SimTime,
     last_inside: SimTime,

@@ -58,6 +58,21 @@ struct UserStore {
     /// generation it was trained at; a profile upsert bumps the
     /// generation, which invalidates this entry on the next query.
     next_place: Option<(u64, MarkovPredictor)>,
+    /// Observations absorbed through the sequenced discover path: a
+    /// duplicated or re-sent offload whose `start` falls behind this
+    /// watermark has its already-seen prefix skipped instead of being
+    /// double-absorbed.
+    absorbed_upto: u64,
+    /// Contacts absorbed through the sequenced social sync; the dual of
+    /// `absorbed_upto` for encounters.
+    contacts_absorbed: u64,
+    /// Highest sync sequence accepted per profile day: a stale (reordered
+    /// or duplicated) upsert is ignored rather than re-applied.
+    profile_seq: HashMap<u64, u64>,
+    /// Highest sequence accepted for the places full-replacement sync.
+    places_seq: u64,
+    /// Highest sequence accepted for the routes full-replacement sync.
+    routes_seq: u64,
 }
 
 impl Default for UserStore {
@@ -69,6 +84,11 @@ impl Default for UserStore {
             contacts: Vec::new(),
             gca: None,
             next_place: None,
+            absorbed_upto: 0,
+            contacts_absorbed: 0,
+            profile_seq: HashMap::new(),
+            places_seq: 0,
+            routes_seq: 0,
         }
     }
 }
@@ -158,11 +178,20 @@ struct RegistrationBody {
 #[derive(Deserialize)]
 struct DiscoverBody {
     observations: Vec<GsmObservation>,
+    /// Stream offset of `observations[0]` in the client's full GSM log.
+    /// When present the endpoint is idempotent: already-absorbed prefixes
+    /// are skipped. Absent for legacy (unsequenced) clients.
+    #[serde(default)]
+    start: Option<u64>,
 }
 
 #[derive(Deserialize)]
 struct SyncPlacesBody {
     places: Vec<DiscoveredPlace>,
+    /// Monotonic client sync sequence; a stale full replacement (reordered
+    /// behind a newer one) is ignored.
+    #[serde(default)]
+    seq: Option<u64>,
 }
 
 #[derive(Deserialize)]
@@ -174,6 +203,9 @@ struct LabelBody {
 #[derive(Deserialize)]
 struct SyncRoutesBody {
     routes: Vec<CanonicalRoute>,
+    /// Monotonic client sync sequence (see [`SyncPlacesBody::seq`]).
+    #[serde(default)]
+    seq: Option<u64>,
 }
 
 #[derive(Deserialize)]
@@ -185,11 +217,21 @@ struct RouteQueryBody {
 #[derive(Deserialize)]
 struct SyncProfileBody {
     profile: MobilityProfile,
+    /// Monotonic client sync sequence; an older version of the same day
+    /// arriving late (reorder) or twice (duplicate) is ignored, so the
+    /// history generation only moves for genuinely new data.
+    #[serde(default)]
+    seq: Option<u64>,
 }
 
 #[derive(Deserialize)]
 struct SyncContactsBody {
     contacts: Vec<ContactEntry>,
+    /// Stream offset of `contacts[0]` in the client's encounter stream.
+    /// When present the endpoint deduplicates re-sent prefixes and the
+    /// response carries `acked_upto` so the client can drain its buffer.
+    #[serde(default)]
+    first_seq: Option<u64>,
 }
 
 #[derive(Deserialize)]
@@ -293,6 +335,39 @@ impl CloudInstance {
         self.shard_request_counts().iter().sum()
     }
 
+    /// Observations held by `user`'s discovery engine. The chaos suite's
+    /// duplicate-absorb invariant: this never exceeds the client's own
+    /// GSM log length, no matter how often offloads are retried,
+    /// duplicated, or reordered.
+    pub fn observation_count(&self, user: UserId) -> usize {
+        let store = self.store_of(user);
+        let store = store.lock();
+        store.gca.as_ref().map_or(0, |engine| engine.observation_count())
+    }
+
+    /// Social encounters stored for `user` — the dual invariant for
+    /// contacts (each encounter is absorbed exactly once).
+    pub fn contact_count(&self, user: UserId) -> usize {
+        self.store_of(user).lock().contacts.len()
+    }
+
+    /// Snapshot of `user`'s stored contacts.
+    pub fn contacts_of(&self, user: UserId) -> Vec<ContactEntry> {
+        self.store_of(user).lock().contacts.clone()
+    }
+
+    /// Snapshot of `user`'s stored places.
+    pub fn places_of(&self, user: UserId) -> Vec<DiscoveredPlace> {
+        self.store_of(user).lock().places.clone()
+    }
+
+    /// Snapshot of `user`'s stored day profiles, ordered by day.
+    pub fn profiles_of(&self, user: UserId) -> Vec<MobilityProfile> {
+        let store = self.store_of(user);
+        let store = store.lock();
+        store.history.iter().cloned().collect()
+    }
+
     /// The shard a user's state lives in.
     fn shard(&self, user: UserId) -> &Shard {
         &self.shards[user.0 as usize % self.shards.len()]
@@ -358,33 +433,74 @@ impl CloudInstance {
                     let config = self.gca_config.read().clone();
                     let store = self.store_of(user);
                     let mut store = store.lock();
-                    // A batch that rewinds behind the absorbed stream
-                    // means the client restarted or re-sent history:
-                    // start over from exactly this batch. Otherwise fold
-                    // the suffix into the accumulated engine — repeated
-                    // offloads no longer forget previously discovered
-                    // places.
-                    let rewinds = match (&store.gca, body.observations.first()) {
-                        (Some(engine), Some(first)) => {
-                            engine.last_time().is_some_and(|t| first.time < t)
+                    match body.start {
+                        Some(start) => {
+                            // Sequenced offload: `start` is the batch's
+                            // offset in the client's observation stream.
+                            // A duplicated or retried delivery re-sends a
+                            // prefix the engine already absorbed — skip
+                            // it; only the unseen tail is folded in. A
+                            // start past the watermark means the server
+                            // lost its engine (config reset): restart
+                            // from this batch, which is authoritative.
+                            let len = body.observations.len() as u64;
+                            if start > store.absorbed_upto || store.gca.is_none() {
+                                store.gca = Some(IncrementalGca::new(config));
+                                store.absorbed_upto = start;
+                            }
+                            let skip = (store.absorbed_upto - start) as usize;
+                            if (skip as u64) < len {
+                                store.absorbed_upto = start + len;
+                                let engine =
+                                    store.gca.as_mut().expect("engine ensured above");
+                                engine.absorb(&body.observations[skip..]);
+                                store.places = engine.places().places;
+                            }
                         }
-                        _ => false,
-                    };
-                    if rewinds || store.gca.is_none() {
-                        store.gca = Some(IncrementalGca::new(config));
+                        None => {
+                            // Legacy unsequenced offload: a batch that
+                            // rewinds behind the absorbed stream means
+                            // the client restarted or re-sent history —
+                            // start over from exactly this batch.
+                            // Otherwise fold the suffix into the
+                            // accumulated engine.
+                            let rewinds = match (&store.gca, body.observations.first()) {
+                                (Some(engine), Some(first)) => {
+                                    engine.last_time().is_some_and(|t| first.time < t)
+                                }
+                                _ => false,
+                            };
+                            if rewinds || store.gca.is_none() {
+                                store.gca = Some(IncrementalGca::new(config));
+                                store.absorbed_upto = 0;
+                            }
+                            store.absorbed_upto += body.observations.len() as u64;
+                            let engine = store.gca.as_mut().expect("engine ensured above");
+                            engine.absorb(&body.observations);
+                            store.places = engine.places().places;
+                        }
                     }
-                    let engine = store.gca.as_mut().expect("engine ensured above");
-                    engine.absorb(&body.observations);
-                    store.places = engine.places().places;
-                    Response::ok(json!({ "places": store.places }))
+                    Response::ok(json!({
+                        "places": store.places,
+                        "absorbed_upto": store.absorbed_upto,
+                    }))
                 })
             }
             (Method::Post, "/api/v1/places/sync") => {
                 self.with_body::<SyncPlacesBody>(request, |body| {
                     let store = self.store_of(user);
                     let mut store = store.lock();
-                    store.places = body.places;
-                    Response::ok(json!({ "stored": store.places.len() }))
+                    // A full replacement that was reordered behind a newer
+                    // one (or delivered twice) must not clobber it.
+                    let stale =
+                        body.seq.is_some_and(|seq| seq <= store.places_seq);
+                    if !stale {
+                        store.places = body.places;
+                        if let Some(seq) = body.seq {
+                            store.places_seq = seq;
+                        }
+                    }
+                    Response::ok(json!({ "stored": store.places.len(), "stale": stale }))
                 })
             }
             (Method::Get, "/api/v1/places") => {
@@ -407,6 +523,16 @@ impl CloudInstance {
             }
             (Method::Post, "/api/v1/routes/sync") => {
                 self.with_body::<SyncRoutesBody>(request, |body| {
+                    {
+                        let store = self.store_of(user);
+                        let store = store.lock();
+                        if body.seq.is_some_and(|seq| seq <= store.routes_seq) {
+                            return Response::ok(json!({
+                                "stored": store.routes.routes().len(),
+                                "stale": true,
+                            }));
+                        }
+                    }
                     let mut fresh = RouteStore::new(0.5);
                     for route in body.routes {
                         for start in &route.traversals {
@@ -423,8 +549,12 @@ impl CloudInstance {
                     }
                     let stored = fresh.routes().len();
                     let store = self.store_of(user);
-                    store.lock().routes = fresh;
-                    Response::ok(json!({ "stored": stored }))
+                    let mut store = store.lock();
+                    store.routes = fresh;
+                    if let Some(seq) = body.seq {
+                        store.routes_seq = seq;
+                    }
+                    Response::ok(json!({ "stored": stored, "stale": false }))
                 })
             }
             (Method::Get, "/api/v1/routes") => {
@@ -449,8 +579,21 @@ impl CloudInstance {
                 self.with_body::<SyncProfileBody>(request, |body| {
                     let day = body.profile.day;
                     let store = self.store_of(user);
-                    store.lock().history.upsert(body.profile);
-                    Response::ok(json!({ "synced_day": day }))
+                    let mut store = store.lock();
+                    // Per-day upsert sequencing: a duplicate delivery or a
+                    // stale version reordered behind a newer one is
+                    // acknowledged without re-applying, so the history
+                    // (and its generation) only moves for new data.
+                    let stale = body.seq.is_some_and(|seq| {
+                        store.profile_seq.get(&day).is_some_and(|&s| seq <= s)
+                    });
+                    if !stale {
+                        store.history.upsert(body.profile);
+                        if let Some(seq) = body.seq {
+                            store.profile_seq.insert(day, seq);
+                        }
+                    }
+                    Response::ok(json!({ "synced_day": day, "stale": stale }))
                 })
             }
             (Method::Get, p) if p.starts_with("/api/v1/profiles/") => {
@@ -471,8 +614,37 @@ impl CloudInstance {
                 self.with_body::<SyncContactsBody>(request, |body| {
                     let store = self.store_of(user);
                     let mut store = store.lock();
-                    store.contacts.extend(body.contacts);
-                    Response::ok(json!({ "stored": store.contacts.len() }))
+                    match body.first_seq {
+                        Some(first_seq) => {
+                            // Sequenced sync: skip the prefix already
+                            // absorbed (a retried buffer re-sends from its
+                            // unacknowledged base), append only unseen
+                            // entries, and acknowledge the new watermark
+                            // so the client can drain its buffer. A base
+                            // past the watermark means the server lost
+                            // state — absorb everything and resync.
+                            let len = body.contacts.len() as u64;
+                            if first_seq > store.contacts_absorbed {
+                                store.contacts_absorbed = first_seq;
+                            }
+                            let skip = (store.contacts_absorbed - first_seq) as usize;
+                            if (skip as u64) < len {
+                                store.contacts.extend(
+                                    body.contacts.into_iter().skip(skip),
+                                );
+                                store.contacts_absorbed = first_seq + len;
+                            }
+                        }
+                        None => {
+                            // Legacy blind extend.
+                            store.contacts_absorbed += body.contacts.len() as u64;
+                            store.contacts.extend(body.contacts);
+                        }
+                    }
+                    Response::ok(json!({
+                        "stored": store.contacts.len(),
+                        "acked_upto": store.contacts_absorbed,
+                    }))
                 })
             }
             (Method::Post, "/api/v1/social/query") => {
@@ -1092,6 +1264,162 @@ mod tests {
             now,
         );
         assert_eq!(resp.body["contacts"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sequenced_discover_skips_absorbed_prefixes() {
+        use pmware_world::tower::NetworkLayer;
+        let c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&c, 0, now);
+        let cell = |id: u32| CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 45 },
+            lac: Lac(1),
+            cell: CellId(id),
+        };
+        let obs = |minute: u64, id: u32| GsmObservation {
+            time: SimTime::from_seconds(minute * 60),
+            cell: cell(id),
+            layer: NetworkLayer::G2,
+            rssi_dbm: -70.0,
+        };
+        let stream: Vec<GsmObservation> =
+            (0..40).map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 })).collect();
+        let discover = |observations: &[GsmObservation], start: u64| {
+            c.handle(
+                &Request::post(
+                    "/api/v1/places/discover",
+                    json!({ "observations": observations, "start": start }),
+                )
+                .with_token(&token),
+                now,
+            )
+        };
+        // First offload absorbs everything.
+        let first = discover(&stream, 0);
+        assert!(first.is_success(), "{first:?}");
+        assert_eq!(first.body["absorbed_upto"], 40);
+        let user = UserId(0);
+        assert_eq!(c.observation_count(user), 40);
+        // A duplicated delivery of the same batch absorbs nothing new.
+        let dup = discover(&stream, 0);
+        assert_eq!(dup.body, first.body);
+        assert_eq!(c.observation_count(user), 40, "duplicate must not double-absorb");
+        // A retried send overlapping the watermark absorbs only the tail.
+        let tail: Vec<GsmObservation> =
+            (30..50).map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 })).collect();
+        let resp = discover(&tail, 30);
+        assert!(resp.is_success());
+        assert_eq!(resp.body["absorbed_upto"], 50);
+        assert_eq!(c.observation_count(user), 50);
+    }
+
+    #[test]
+    fn sequenced_contacts_deduplicate_resent_buffers() {
+        let c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&c, 0, now);
+        let user = UserId(0);
+        let entry = |n: u64| ContactEntry {
+            contact: format!("peer-{n}"),
+            start: SimTime::from_seconds(n * 100),
+            end: SimTime::from_seconds(n * 100 + 60),
+            place: None,
+        };
+        let sync = |contacts: &[ContactEntry], first_seq: u64| {
+            c.handle(
+                &Request::post(
+                    "/api/v1/social/sync",
+                    json!({ "contacts": contacts, "first_seq": first_seq }),
+                )
+                .with_token(&token),
+                now,
+            )
+        };
+        // The regression the pending_contacts fix needs: a client whose
+        // sync "failed" (response lost) re-sends the WHOLE buffer plus a
+        // new entry. Before sequencing this doubled peer-0 and peer-1.
+        let batch: Vec<ContactEntry> = (0..2).map(entry).collect();
+        let resp = sync(&batch, 0);
+        assert!(resp.is_success());
+        assert_eq!(resp.body["acked_upto"], 2);
+        let resent: Vec<ContactEntry> = (0..3).map(entry).collect();
+        let resp = sync(&resent, 0);
+        assert!(resp.is_success());
+        assert_eq!(resp.body["acked_upto"], 3);
+        assert_eq!(c.contact_count(user), 3, "re-sent prefix must be skipped");
+        let stored = c.contacts_of(user);
+        let names: Vec<&str> = stored.iter().map(|e| e.contact.as_str()).collect();
+        assert_eq!(names, ["peer-0", "peer-1", "peer-2"]);
+        // A pure duplicate delivery is a no-op.
+        let resp = sync(&resent, 0);
+        assert_eq!(resp.body["acked_upto"], 3);
+        assert_eq!(c.contact_count(user), 3);
+    }
+
+    #[test]
+    fn stale_profile_and_snapshot_syncs_are_ignored() {
+        let c = cloud();
+        let now = SimTime::EPOCH;
+        let token = register(&c, 0, now);
+        let profile = |day: u64, visits: u32| {
+            let mut p = MobilityProfile::new(day);
+            for i in 0..visits {
+                p.places.push(PlaceEntry {
+                    place: DiscoveredPlaceId(i),
+                    arrival: SimTime::from_day_time(day, 8 + u64::from(i), 0, 0),
+                    departure: SimTime::from_day_time(day, 9 + u64::from(i), 0, 0),
+                });
+            }
+            p
+        };
+        let sync = |p: &MobilityProfile, seq: u64| {
+            c.handle(
+                &Request::post(
+                    "/api/v1/profiles/sync",
+                    json!({ "profile": p, "seq": seq }),
+                )
+                .with_token(&token),
+                now,
+            )
+        };
+        // Newer version of day 0 lands first (reorder), stale one follows.
+        assert_eq!(sync(&profile(0, 2), 5).body["stale"], false);
+        let resp = sync(&profile(0, 1), 3);
+        assert!(resp.is_success());
+        assert_eq!(resp.body["stale"], true);
+        let fetched = c.handle(
+            &Request::get("/api/v1/profiles/0").with_token(&token),
+            now,
+        );
+        assert_eq!(
+            fetched.body["profile"]["places"].as_array().unwrap().len(),
+            2,
+            "stale sync must not clobber the newer profile"
+        );
+        // Same for the places full replacement.
+        let place = DiscoveredPlace::new(
+            DiscoveredPlaceId(0),
+            pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
+            vec![],
+        );
+        let resp = c.handle(
+            &Request::post(
+                "/api/v1/places/sync",
+                json!({ "places": [place], "seq": 7 }),
+            )
+            .with_token(&token),
+            now,
+        );
+        assert_eq!(resp.body["stale"], false);
+        let resp = c.handle(
+            &Request::post("/api/v1/places/sync", json!({ "places": [], "seq": 6 }))
+                .with_token(&token),
+            now,
+        );
+        assert_eq!(resp.body["stale"], true);
+        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
+        assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
     }
 
     #[test]

@@ -34,9 +34,14 @@ pub mod geolocate;
 pub mod instance;
 pub mod predict;
 pub mod profile;
+pub mod transport;
 
 pub use api::{Method, Request, Response};
 pub use auth::{AuthToken, DeviceIdentity, UserId};
 pub use geolocate::CellDatabase;
 pub use instance::{CloudInstance, SharedCloud, SHARD_COUNT};
+pub use transport::{
+    CloudEndpoint, CloudTransport, FaultKind, FaultPlan, FaultStats, FaultyCloud,
+    ALL_FAULT_KINDS, STATUS_BUDGET_EXHAUSTED, STATUS_INJECTED_ERROR, STATUS_TIMEOUT,
+};
 pub use profile::{ActivitySummary, ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};

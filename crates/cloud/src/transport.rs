@@ -1,0 +1,631 @@
+//! The transport seam between clients and the cloud, with deterministic
+//! fault injection.
+//!
+//! The paper's deployment ran over real GPRS links to an Azure instance
+//! that was routinely unreachable; the seed reproduction modelled only a
+//! binary outage flag. This module inserts a proper transport boundary —
+//! [`CloudTransport`] — between `CloudClient` and [`SharedCloud`], so a
+//! [`FaultyCloud`] decorator can inject seeded, reproducible per-request
+//! faults: drop, delay-by-N-sim-minutes, duplicate delivery, reorder, and
+//! error responses, driven by a [`FaultPlan`].
+//!
+//! Fault semantics (all deterministic given the plan's seed):
+//!
+//! * **Drop** — the request is lost before the server sees it; the caller
+//!   receives a synthetic [`STATUS_TIMEOUT`] response.
+//! * **Error** — the server is not invoked; the caller receives a
+//!   [`STATUS_INJECTED_ERROR`] response (a flaky proxy/gateway).
+//! * **Delay** — the request is *held* and delivered to the server once
+//!   its due time has passed (piggybacking on later traffic or an explicit
+//!   [`FaultyCloud::flush`]); the caller times out ([`STATUS_TIMEOUT`]).
+//!   The server-side effect still happens — late — which is exactly the
+//!   hazard idempotent endpoints must absorb.
+//! * **Reorder** — the request is held and delivered right *after* the
+//!   next request that passes through, so the server observes the two in
+//!   swapped order; the caller of the held request times out.
+//! * **Duplicate** — the request is delivered to the server twice
+//!   back-to-back; the caller sees the second response.
+//!
+//! A dropped or timed-out request makes the retrying client re-send, so
+//! at-least-once delivery plus server-side deduplication (sequence
+//! watermarks) yields exactly-once *absorption* — the invariant the chaos
+//! test-suite pins.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmware_world::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+use crate::api::{Request, Response};
+use crate::instance::SharedCloud;
+
+/// Synthetic status for a request (or its response) lost in transit: the
+/// client waited out its timeout without hearing back. Retryable.
+pub const STATUS_TIMEOUT: u16 = 599;
+
+/// Synthetic status for an injected transport-level error (a flaky
+/// gateway answering 502 without consulting the service). Retryable.
+pub const STATUS_INJECTED_ERROR: u16 = 502;
+
+/// Synthetic client-side status: the per-maintenance-pass request budget
+/// is exhausted, so the request was never sent. Not retryable within the
+/// pass — the next pass gets a fresh budget.
+pub const STATUS_BUDGET_EXHAUSTED: u16 = 597;
+
+/// Anything a cloud client can talk to: the real [`SharedCloud`] or a
+/// fault-injecting decorator around it.
+pub trait CloudTransport: Send + Sync + fmt::Debug {
+    /// Delivers one request at simulated instant `now`.
+    fn send(&self, request: &Request, now: SimTime) -> Response;
+}
+
+impl CloudTransport for SharedCloud {
+    fn send(&self, request: &Request, now: SimTime) -> Response {
+        self.handle(request, now)
+    }
+}
+
+/// Cheap, cloneable handle to some [`CloudTransport`] — what clients hold.
+///
+/// ```
+/// use pmware_cloud::{CellDatabase, CloudEndpoint, CloudInstance, Request, SharedCloud};
+/// use pmware_world::SimTime;
+/// use serde_json::json;
+///
+/// let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::new(), 1));
+/// let endpoint: CloudEndpoint = cloud.into();
+/// let resp = endpoint.send(
+///     &Request::post("/api/v1/registration", json!({"imei": "1", "email": "a@x"})),
+///     SimTime::EPOCH,
+/// );
+/// assert!(resp.is_success());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CloudEndpoint(Arc<dyn CloudTransport>);
+
+impl CloudEndpoint {
+    /// Wraps any transport.
+    pub fn new(transport: impl CloudTransport + 'static) -> Self {
+        CloudEndpoint(Arc::new(transport))
+    }
+
+    /// Delivers one request at simulated instant `now`.
+    pub fn send(&self, request: &Request, now: SimTime) -> Response {
+        self.0.send(request, now)
+    }
+}
+
+impl From<SharedCloud> for CloudEndpoint {
+    fn from(cloud: SharedCloud) -> Self {
+        CloudEndpoint::new(cloud)
+    }
+}
+
+impl From<FaultyCloud> for CloudEndpoint {
+    fn from(faulty: FaultyCloud) -> Self {
+        CloudEndpoint::new(faulty)
+    }
+}
+
+/// One kind of injected transport fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Request lost before the server sees it.
+    Drop,
+    /// Request held and delivered late; the caller times out.
+    Delay,
+    /// Request delivered to the server twice.
+    Duplicate,
+    /// Request held and delivered after the next one, swapping their order.
+    Reorder,
+    /// Transport-level error response without touching the server.
+    Error,
+}
+
+/// All five fault kinds.
+pub const ALL_FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::Drop,
+    FaultKind::Delay,
+    FaultKind::Duplicate,
+    FaultKind::Reorder,
+    FaultKind::Error,
+];
+
+/// A reproducible plan for which requests get which faults.
+///
+/// Either **rate-based** (each matching request faults with probability
+/// `rate`, kind chosen uniformly from `kinds`, both drawn from a
+/// xoshiro-seeded stream so runs replay exactly) or **schedule-based**
+/// (an explicit list of `(matching-request-index, kind)` pairs).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    kinds: Vec<FaultKind>,
+    delay: SimDuration,
+    path_filter: Option<String>,
+    schedule: Vec<(u64, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// A rate-based plan over all five fault kinds.
+    pub fn with_rate(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate,
+            kinds: ALL_FAULT_KINDS.to_vec(),
+            delay: SimDuration::from_minutes(10),
+            path_filter: None,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// A schedule-based plan: the `i`-th matching request gets `kind`.
+    pub fn with_schedule(seed: u64, schedule: Vec<(u64, FaultKind)>) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rate: 0.0,
+            kinds: ALL_FAULT_KINDS.to_vec(),
+            delay: SimDuration::from_minutes(10),
+            path_filter: None,
+            schedule,
+        }
+    }
+
+    /// Restricts the injected kinds (rate-based plans).
+    pub fn kinds(mut self, kinds: &[FaultKind]) -> FaultPlan {
+        assert!(!kinds.is_empty(), "a fault plan needs at least one kind");
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Sets the delay magnitude for [`FaultKind::Delay`].
+    pub fn delay(mut self, delay: SimDuration) -> FaultPlan {
+        self.delay = delay;
+        self
+    }
+
+    /// Only faults requests whose path contains `fragment`; other requests
+    /// pass through untouched and do not advance the request index.
+    pub fn only_path(mut self, fragment: impl Into<String>) -> FaultPlan {
+        self.path_filter = Some(fragment.into());
+        self
+    }
+
+    /// The plan's seed (for reporting).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's fault rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Counters of what the decorator did, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests that entered the decorator.
+    pub requests: u64,
+    /// Faults injected in total.
+    pub faults: u64,
+    /// Requests lost outright.
+    pub drops: u64,
+    /// Requests held for late delivery.
+    pub delays: u64,
+    /// Requests delivered twice.
+    pub duplicates: u64,
+    /// Requests held to swap order with their successor.
+    pub reorders: u64,
+    /// Injected error responses.
+    pub errors: u64,
+    /// Held requests that were eventually delivered to the server.
+    pub late_deliveries: u64,
+}
+
+#[derive(Debug)]
+struct HeldRequest {
+    request: Request,
+    /// Earliest instant at which the request may reach the server.
+    due: SimTime,
+    /// Reordered requests are delivered right after the next pass-through
+    /// request regardless of `due`.
+    after_next: bool,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    enabled: bool,
+    /// Matching requests seen so far (the schedule index).
+    seen: u64,
+    held: VecDeque<HeldRequest>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Decides the fault for one request, advancing the deterministic
+    /// stream. `None` means the request passes through.
+    fn decide(&mut self, request: &Request) -> Option<FaultKind> {
+        if !self.enabled {
+            return None;
+        }
+        if let Some(fragment) = &self.plan.path_filter {
+            if !request.path.contains(fragment.as_str()) {
+                return None;
+            }
+        }
+        let index = self.seen;
+        self.seen += 1;
+        if !self.plan.schedule.is_empty() {
+            return self
+                .plan
+                .schedule
+                .iter()
+                .find(|(i, _)| *i == index)
+                .map(|(_, kind)| *kind);
+        }
+        if self.plan.rate <= 0.0 || !self.rng.gen_bool(self.plan.rate.min(1.0)) {
+            return None;
+        }
+        let kind = self.plan.kinds[self.rng.gen_range(0..self.plan.kinds.len())];
+        Some(kind)
+    }
+}
+
+/// A fault-injecting decorator around a [`SharedCloud`].
+///
+/// Clones share one fault stream, so the decorator can be handed to a
+/// client while the test keeps a handle for [`FaultyCloud::flush`],
+/// [`FaultyCloud::set_enabled`] and [`FaultyCloud::stats`].
+#[derive(Debug, Clone)]
+pub struct FaultyCloud {
+    inner: SharedCloud,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyCloud {
+    /// Decorates `inner` with `plan`. Injection starts enabled.
+    pub fn new(inner: SharedCloud, plan: FaultPlan) -> FaultyCloud {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultyCloud {
+            inner,
+            state: Arc::new(Mutex::new(FaultState {
+                plan,
+                rng,
+                enabled: true,
+                seen: 0,
+                held: VecDeque::new(),
+                stats: FaultStats::default(),
+            })),
+        }
+    }
+
+    /// The undecorated cloud, for server-side assertions and outage flags.
+    pub fn inner(&self) -> &SharedCloud {
+        &self.inner
+    }
+
+    /// Turns injection on or off (held requests are kept either way).
+    /// Disabling models the network recovering — the standard epilogue of
+    /// a chaos run before asserting convergence.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.state.lock().enabled = enabled;
+    }
+
+    /// What the decorator has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+
+    /// Delivers every held request (delayed or reordered) to the server at
+    /// `now`, regardless of due time. Models queued traffic draining once
+    /// the link recovers.
+    pub fn flush(&self, now: SimTime) {
+        let mut state = self.state.lock();
+        while let Some(held) = state.held.pop_front() {
+            state.stats.late_deliveries += 1;
+            let _ = self.inner.handle(&held.request, now);
+        }
+    }
+
+    /// Delivers held requests whose due time has passed.
+    fn flush_due(&self, state: &mut FaultState, now: SimTime) {
+        let mut keep = VecDeque::new();
+        while let Some(held) = state.held.pop_front() {
+            if !held.after_next && held.due <= now {
+                state.stats.late_deliveries += 1;
+                let _ = self.inner.handle(&held.request, now);
+            } else {
+                keep.push_back(held);
+            }
+        }
+        state.held = keep;
+    }
+
+    /// Delivers held reordered requests (after their successor went
+    /// through).
+    fn flush_after_next(&self, state: &mut FaultState, now: SimTime) {
+        let mut keep = VecDeque::new();
+        while let Some(held) = state.held.pop_front() {
+            if held.after_next {
+                state.stats.late_deliveries += 1;
+                let _ = self.inner.handle(&held.request, now);
+            } else {
+                keep.push_back(held);
+            }
+        }
+        state.held = keep;
+    }
+
+    fn timeout_response() -> Response {
+        Response {
+            status: STATUS_TIMEOUT,
+            body: json!({ "error": "request timed out" }),
+        }
+    }
+}
+
+impl CloudTransport for FaultyCloud {
+    fn send(&self, request: &Request, now: SimTime) -> Response {
+        let mut state = self.state.lock();
+        state.stats.requests += 1;
+        // Held traffic whose due time has passed lands first.
+        self.flush_due(&mut state, now);
+        match state.decide(request) {
+            None => {
+                let response = self.inner.handle(request, now);
+                // A reordered predecessor is delivered right behind us.
+                self.flush_after_next(&mut state, now);
+                response
+            }
+            Some(FaultKind::Drop) => {
+                state.stats.faults += 1;
+                state.stats.drops += 1;
+                Self::timeout_response()
+            }
+            Some(FaultKind::Error) => {
+                state.stats.faults += 1;
+                state.stats.errors += 1;
+                Response {
+                    status: STATUS_INJECTED_ERROR,
+                    body: json!({ "error": "bad gateway (injected)" }),
+                }
+            }
+            Some(FaultKind::Delay) => {
+                state.stats.faults += 1;
+                state.stats.delays += 1;
+                let due = now + state.plan.delay;
+                state
+                    .held
+                    .push_back(HeldRequest { request: request.clone(), due, after_next: false });
+                Self::timeout_response()
+            }
+            Some(FaultKind::Reorder) => {
+                state.stats.faults += 1;
+                state.stats.reorders += 1;
+                state
+                    .held
+                    .push_back(HeldRequest { request: request.clone(), due: now, after_next: true });
+                Self::timeout_response()
+            }
+            Some(FaultKind::Duplicate) => {
+                state.stats.faults += 1;
+                state.stats.duplicates += 1;
+                let _first = self.inner.handle(request, now);
+                self.inner.handle(request, now)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geolocate::CellDatabase;
+    use crate::instance::CloudInstance;
+
+    fn cloud() -> SharedCloud {
+        SharedCloud::new(CloudInstance::new(CellDatabase::new(), 9))
+    }
+
+    fn register(endpoint: &CloudEndpoint) -> String {
+        let resp = endpoint.send(
+            &Request::post(
+                "/api/v1/registration",
+                json!({"imei": "i-1", "email": "a@x.com"}),
+            ),
+            SimTime::EPOCH,
+        );
+        assert!(resp.is_success(), "{resp:?}");
+        resp.body["token"].as_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn passthrough_when_disabled_or_zero_rate() {
+        let faulty = FaultyCloud::new(cloud(), FaultPlan::with_rate(1, 0.0));
+        let endpoint: CloudEndpoint = faulty.clone().into();
+        let token = register(&endpoint);
+        let resp = endpoint.send(
+            &Request::get("/api/v1/places").with_token(&token),
+            SimTime::EPOCH,
+        );
+        assert!(resp.is_success());
+        assert_eq!(faulty.stats().faults, 0);
+        assert_eq!(faulty.stats().requests, 2);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let record = |seed: u64| -> Vec<u16> {
+            let faulty = FaultyCloud::new(
+                cloud(),
+                FaultPlan::with_rate(seed, 0.5).kinds(&[FaultKind::Drop, FaultKind::Error]),
+            );
+            let endpoint: CloudEndpoint = faulty.clone().into();
+            faulty.set_enabled(false);
+            let token = register(&endpoint);
+            faulty.set_enabled(true);
+            (0..20)
+                .map(|i| {
+                    endpoint
+                        .send(
+                            &Request::get("/api/v1/places").with_token(&token),
+                            SimTime::from_seconds(i * 60),
+                        )
+                        .status
+                })
+                .collect()
+        };
+        let a = record(7);
+        let b = record(7);
+        let c = record(8);
+        assert_eq!(a, b, "same seed must replay identically");
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.iter().any(|s| *s != 200), "rate 0.5 must fault something");
+    }
+
+    #[test]
+    fn drop_times_out_without_reaching_the_server() {
+        let faulty = FaultyCloud::new(
+            cloud(),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Drop)])
+                .only_path("/places/sync"),
+        );
+        let endpoint: CloudEndpoint = faulty.clone().into();
+        let token = register(&endpoint);
+        let sync = Request::post("/api/v1/places/sync", json!({"places": []}))
+            .with_token(&token);
+        let resp = endpoint.send(&sync, SimTime::EPOCH);
+        assert_eq!(resp.status, STATUS_TIMEOUT);
+        // The second attempt (index 1, unscheduled) goes through.
+        let resp = endpoint.send(&sync, SimTime::EPOCH);
+        assert!(resp.is_success());
+        assert_eq!(faulty.stats().drops, 1);
+    }
+
+    #[test]
+    fn delay_delivers_late_on_flush() {
+        let shared = cloud();
+        let faulty = FaultyCloud::new(
+            shared.clone(),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Delay)])
+                .only_path("/places/sync")
+                .delay(SimDuration::from_minutes(5)),
+        );
+        let endpoint: CloudEndpoint = faulty.clone().into();
+        let token = register(&endpoint);
+        let place = pmware_algorithms::signature::DiscoveredPlace::new(
+            pmware_algorithms::signature::DiscoveredPlaceId(3),
+            pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
+            vec![],
+        );
+        let sync = Request::post("/api/v1/places/sync", json!({"places": [place]}))
+            .with_token(&token);
+        let resp = endpoint.send(&sync, SimTime::EPOCH);
+        assert_eq!(resp.status, STATUS_TIMEOUT, "caller times out");
+        // Not delivered yet: the server still has no places.
+        let list = Request::get("/api/v1/places").with_token(&token);
+        let resp = shared.handle(&list, SimTime::EPOCH);
+        assert_eq!(resp.body["places"].as_array().unwrap().len(), 0);
+        // Later traffic past the due time carries it in.
+        let resp = endpoint.send(&list, SimTime::EPOCH + SimDuration::from_minutes(6));
+        assert!(resp.is_success());
+        assert_eq!(
+            resp.body["places"].as_array().unwrap().len(),
+            1,
+            "held request must land before the later one"
+        );
+        assert_eq!(faulty.stats().late_deliveries, 1);
+    }
+
+    #[test]
+    fn reorder_swaps_with_the_next_request() {
+        let shared = cloud();
+        let faulty = FaultyCloud::new(
+            shared.clone(),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Reorder)])
+                .only_path("/profiles/sync"),
+        );
+        let endpoint: CloudEndpoint = faulty.clone().into();
+        let token = register(&endpoint);
+        let profile = |day: u64| crate::profile::MobilityProfile::new(day);
+        // Day-0 profile is held; day-1 goes through first, then day-0 lands.
+        let first = Request::post("/api/v1/profiles/sync", json!({"profile": profile(0)}))
+            .with_token(&token);
+        let second = Request::post("/api/v1/profiles/sync", json!({"profile": profile(1)}))
+            .with_token(&token);
+        assert_eq!(endpoint.send(&first, SimTime::EPOCH).status, STATUS_TIMEOUT);
+        assert!(endpoint.send(&second, SimTime::EPOCH).is_success());
+        // Both eventually present.
+        for day in 0..2 {
+            let resp = shared.handle(
+                &Request::get(format!("/api/v1/profiles/{day}")).with_token(&token),
+                SimTime::EPOCH,
+            );
+            assert!(resp.is_success(), "day {day}: {resp:?}");
+        }
+        assert_eq!(faulty.stats().reorders, 1);
+        assert_eq!(faulty.stats().late_deliveries, 1);
+    }
+
+    #[test]
+    fn duplicate_hits_the_server_twice() {
+        let shared = cloud();
+        let faulty = FaultyCloud::new(
+            shared.clone(),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Duplicate)])
+                .only_path("/social/sync"),
+        );
+        let endpoint: CloudEndpoint = faulty.clone().into();
+        let token = register(&endpoint);
+        let contact = json!({
+            "contact": "peer-1",
+            "start": 0,
+            "end": 600,
+            "place": null,
+        });
+        // Legacy body (no first_seq): the server extends blindly, so a
+        // duplicated delivery is visible as a doubled store — which is the
+        // hazard the sequenced path exists to remove.
+        let resp = endpoint.send(
+            &Request::post("/api/v1/social/sync", json!({"contacts": [contact]}))
+                .with_token(&token),
+            SimTime::EPOCH,
+        );
+        assert!(resp.is_success());
+        assert_eq!(resp.body["stored"], 2, "blind extend absorbed the duplicate");
+        assert_eq!(faulty.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn schedule_only_faults_matching_paths() {
+        let faulty = FaultyCloud::new(
+            cloud(),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Drop), (1, FaultKind::Drop)])
+                .only_path("/places/sync"),
+        );
+        let endpoint: CloudEndpoint = faulty.clone().into();
+        let token = register(&endpoint);
+        // Non-matching requests pass and do not consume schedule slots.
+        for _ in 0..3 {
+            let resp = endpoint.send(
+                &Request::get("/api/v1/places").with_token(&token),
+                SimTime::EPOCH,
+            );
+            assert!(resp.is_success());
+        }
+        let sync = Request::post("/api/v1/places/sync", json!({"places": []}))
+            .with_token(&token);
+        assert_eq!(endpoint.send(&sync, SimTime::EPOCH).status, STATUS_TIMEOUT);
+        assert_eq!(endpoint.send(&sync, SimTime::EPOCH).status, STATUS_TIMEOUT);
+        assert!(endpoint.send(&sync, SimTime::EPOCH).is_success());
+    }
+}

@@ -6,27 +6,123 @@
 //!
 //! Every call serialises the request to wire bytes and parses them back on
 //! the "server" side, so the JSON marshalling path is exercised exactly as
-//! it would be over HTTP. The cloud instance is shared through the
-//! internally synchronized [`SharedCloud`] handle — sixteen simulated
-//! phones talk to one server concurrently, as in the deployment study.
+//! it would be over HTTP. The client talks to a [`CloudEndpoint`] — the
+//! real [`SharedCloud`] or a fault-injecting decorator — and owns the
+//! *retry policy*: every request class has a bounded number of attempts
+//! with capped exponential backoff and deterministic SimTime-derived
+//! jitter, so a lossy link is survived without ever consulting a wall
+//! clock (fault runs replay bit-identically from a seed).
+//!
+//! Mutating endpoints carry idempotency keys (sequence numbers and stream
+//! offsets) so that the retries, duplicates and reorderings a faulty
+//! transport produces are absorbed exactly once server-side.
 
 use pmware_algorithms::route::CanonicalRoute;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
-use pmware_cloud::{MobilityProfile, Request, Response, SharedCloud, UserId};
-use pmware_world::{CellGlobalId, GsmObservation, SimTime};
+use pmware_cloud::{
+    CloudEndpoint, MobilityProfile, Request, Response, UserId, STATUS_BUDGET_EXHAUSTED,
+};
+use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use pmware_geo::GeoPoint;
-use serde::Deserialize;
+use serde::{Deserialize, Serialize};
 use serde_json::json;
 
 use crate::error::PmsError;
 
+/// How persistently a request is retried. Classes mirror how much a lost
+/// request costs: an offload or sync must eventually land (the maintenance
+/// pass depends on it), while an interactive query can fail fast and let
+/// the app ask again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RequestClass {
+    /// Registration and token refresh.
+    Auth,
+    /// The nightly GCA offload.
+    Offload,
+    /// Profile/place/route/contact syncs.
+    Sync,
+    /// Interactive queries (geolocation, analytics).
+    Query,
+}
+
+impl RequestClass {
+    /// Attempts before giving up (the per-class "timeout": one simulated
+    /// send plus `max_attempts - 1` retries).
+    fn max_attempts(self) -> u32 {
+        match self {
+            RequestClass::Auth => 3,
+            RequestClass::Offload | RequestClass::Sync => 4,
+            RequestClass::Query => 2,
+        }
+    }
+
+    /// First backoff; doubles per retry up to [`RequestClass::max_backoff`].
+    fn base_backoff(self) -> SimDuration {
+        match self {
+            RequestClass::Auth | RequestClass::Query => SimDuration::from_seconds(5),
+            RequestClass::Sync => SimDuration::from_seconds(15),
+            RequestClass::Offload => SimDuration::from_seconds(30),
+        }
+    }
+
+    fn max_backoff(self) -> SimDuration {
+        SimDuration::from_minutes(5)
+    }
+}
+
+/// Transport-level failures worth retrying: 5xx (outage, injected errors,
+/// synthetic timeouts). 4xx are the server telling us the request itself
+/// is wrong — retrying cannot help.
+fn retryable(status: u16) -> bool {
+    (500..=599).contains(&status)
+}
+
+/// Deterministic jitter in `[0, cap]` seconds, derived purely from the
+/// request path, the attempt index, and the simulated send instant — no
+/// wall clock, no shared RNG state, so concurrent clients stay replayable.
+fn backoff_jitter(path: &str, attempt: u32, at: SimTime, cap: u64) -> SimDuration {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in path.bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= at.as_seconds().wrapping_mul(0x2545_f491_4f6c_dd1d);
+    h ^= h >> 33;
+    SimDuration::from_seconds(h % (cap + 1))
+}
+
+/// The durable part of a [`CloudClient`], serialized into a PMS
+/// checkpoint so a rebooted device resumes with its auth and idempotency
+/// state intact (losing the sequence counters would desynchronize the
+/// server-side dedup watermarks).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ClientState {
+    /// Registered user id.
+    pub user: UserId,
+    /// Current bearer token.
+    pub token: String,
+    /// When the token expires.
+    pub token_expires: SimTime,
+    /// Monotonic sync sequence (idempotency key for upserts/replacements).
+    pub sync_seq: u64,
+}
+
 /// A client bound to one registered device.
 #[derive(Debug, Clone)]
 pub struct CloudClient {
-    cloud: SharedCloud,
+    endpoint: CloudEndpoint,
     user: UserId,
     token: String,
     token_expires: SimTime,
+    /// Monotonic sequence stamped on profile/place/route syncs so the
+    /// server can drop stale (reordered or duplicated) deliveries.
+    sync_seq: u64,
+    /// Remaining wire sends in the current maintenance pass, when capped.
+    budget: Option<u32>,
+    /// Requests actually put on the wire (including retries).
+    wire_requests: u64,
+    /// Retry attempts beyond each first send.
+    retries: u64,
 }
 
 impl CloudClient {
@@ -35,18 +131,29 @@ impl CloudClient {
     ///
     /// # Errors
     ///
-    /// Returns [`PmsError::Cloud`] when registration fails.
+    /// Returns [`PmsError::Cloud`] when registration fails after retries.
     pub fn register(
-        cloud: SharedCloud,
+        endpoint: impl Into<CloudEndpoint>,
         imei: &str,
         email: &str,
         now: SimTime,
     ) -> Result<CloudClient, PmsError> {
+        let endpoint = endpoint.into();
+        let mut client = CloudClient {
+            endpoint,
+            user: UserId(0),
+            token: String::new(),
+            token_expires: now,
+            sync_seq: 0,
+            budget: None,
+            wire_requests: 0,
+            retries: 0,
+        };
         let request = Request::post(
             "/api/v1/registration",
             json!({ "imei": imei, "email": email }),
         );
-        let response = Self::transport(&cloud, &request, now);
+        let response = client.send_with_retry(&request, now, RequestClass::Auth);
         let response = Self::check(&request, response)?;
         #[derive(Deserialize)]
         struct Body {
@@ -55,12 +162,36 @@ impl CloudClient {
             expires_at: SimTime,
         }
         let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
-        Ok(CloudClient {
-            cloud,
-            user: body.user,
-            token: body.token,
-            token_expires: body.expires_at,
-        })
+        client.user = body.user;
+        client.token = body.token;
+        client.token_expires = body.expires_at;
+        Ok(client)
+    }
+
+    /// Reconstructs a client from checkpointed state (device reboot): no
+    /// registration round-trip, and the sequence counters continue where
+    /// they left off.
+    pub fn from_state(endpoint: impl Into<CloudEndpoint>, state: ClientState) -> CloudClient {
+        CloudClient {
+            endpoint: endpoint.into(),
+            user: state.user,
+            token: state.token,
+            token_expires: state.token_expires,
+            sync_seq: state.sync_seq,
+            budget: None,
+            wire_requests: 0,
+            retries: 0,
+        }
+    }
+
+    /// The durable state to checkpoint.
+    pub fn state(&self) -> ClientState {
+        ClientState {
+            user: self.user,
+            token: self.token.clone(),
+            token_expires: self.token_expires,
+            sync_seq: self.sync_seq,
+        }
     }
 
     /// The registered user id.
@@ -68,9 +199,35 @@ impl CloudClient {
         self.user
     }
 
+    /// Requests actually sent on the wire so far, retries included.
+    pub fn wire_requests(&self) -> u64 {
+        self.wire_requests
+    }
+
+    /// Retry attempts performed beyond first sends.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Caps the number of wire sends until [`CloudClient::end_maintenance_pass`]:
+    /// a maintenance pass on a bad link must not spin through unbounded
+    /// retries. Once exhausted, calls fail immediately with a synthetic
+    /// [`STATUS_BUDGET_EXHAUSTED`] cloud error and the work is retried at
+    /// the next pass.
+    pub fn begin_maintenance_pass(&mut self, budget: u32) {
+        self.budget = Some(budget);
+    }
+
+    /// Lifts the maintenance request cap.
+    pub fn end_maintenance_pass(&mut self) {
+        self.budget = None;
+    }
+
     /// Re-registers the device after its token was irrecoverably lost
     /// (e.g. it expired while the cloud was unreachable). Registration is
     /// idempotent per device identity, so the same user id comes back.
+    /// The sync sequence continues — it identifies the client's stream,
+    /// not the token.
     ///
     /// # Errors
     ///
@@ -81,7 +238,9 @@ impl CloudClient {
         email: &str,
         now: SimTime,
     ) -> Result<(), PmsError> {
-        let fresh = CloudClient::register(self.cloud.clone(), imei, email, now)?;
+        let fresh = CloudClient::register(self.endpoint.clone(), imei, email, now)?;
+        self.wire_requests += fresh.wire_requests;
+        self.retries += fresh.retries;
         self.user = fresh.user;
         self.token = fresh.token;
         self.token_expires = fresh.token_expires;
@@ -102,12 +261,15 @@ impl CloudClient {
     pub fn refresh_if_needed(
         &mut self,
         now: SimTime,
-        margin: pmware_world::SimDuration,
+        margin: SimDuration,
     ) -> Result<bool, PmsError> {
         if now + margin < self.token_expires {
             return Ok(false);
         }
-        let response = self.call("/api/v1/token/refresh", json!(null), now)?;
+        let request = Request::post("/api/v1/token/refresh", json!(null))
+            .with_token(&self.token);
+        let response = self.send_with_retry(&request, now, RequestClass::Auth);
+        let response = Self::check(&request, response)?;
         #[derive(Deserialize)]
         struct Body {
             token: String,
@@ -120,7 +282,10 @@ impl CloudClient {
     }
 
     /// Offloads GCA place discovery to the cloud (§2.3.1) and returns the
-    /// discovered places.
+    /// discovered places. `start` is the offset of `observations[0]` in
+    /// the device's full GSM log — the idempotency key that lets the
+    /// server skip already-absorbed prefixes when a retried or duplicated
+    /// offload re-delivers them.
     ///
     /// # Errors
     ///
@@ -128,13 +293,16 @@ impl CloudClient {
     pub fn discover_places(
         &mut self,
         observations: &[GsmObservation],
+        start: u64,
         now: SimTime,
     ) -> Result<Vec<DiscoveredPlace>, PmsError> {
-        let response = self.call(
+        let request = Request::post(
             "/api/v1/places/discover",
-            json!({ "observations": observations }),
-            now,
-        )?;
+            json!({ "observations": observations, "start": start }),
+        )
+        .with_token(&self.token);
+        let response = self.send_with_retry(&request, now, RequestClass::Offload);
+        let response = Self::check(&request, response)?;
         #[derive(Deserialize)]
         struct Body {
             places: Vec<DiscoveredPlace>,
@@ -143,7 +311,9 @@ impl CloudClient {
         Ok(body.places)
     }
 
-    /// Pushes the authoritative place list to the cloud.
+    /// Pushes the authoritative place list to the cloud. Stamped with the
+    /// client's sync sequence so a reordered older snapshot can never
+    /// clobber a newer one.
     ///
     /// # Errors
     ///
@@ -153,7 +323,13 @@ impl CloudClient {
         places: &[DiscoveredPlace],
         now: SimTime,
     ) -> Result<(), PmsError> {
-        self.call("/api/v1/places/sync", json!({ "places": places }), now)?;
+        let seq = self.next_seq();
+        self.call_class(
+            "/api/v1/places/sync",
+            json!({ "places": places, "seq": seq }),
+            now,
+            RequestClass::Sync,
+        )?;
         Ok(())
     }
 
@@ -168,15 +344,18 @@ impl CloudClient {
         label: &str,
         now: SimTime,
     ) -> Result<(), PmsError> {
-        self.call(
+        self.call_class(
             "/api/v1/places/label",
             json!({ "place": place, "label": label }),
             now,
+            RequestClass::Sync,
         )?;
         Ok(())
     }
 
-    /// Syncs a day's mobility profile (§2.2.3).
+    /// Syncs a day's mobility profile (§2.2.3). The sync sequence makes
+    /// the upsert idempotent: duplicates and stale reorderings of the
+    /// same day are acknowledged but not re-applied.
     ///
     /// # Errors
     ///
@@ -186,7 +365,13 @@ impl CloudClient {
         profile: &MobilityProfile,
         now: SimTime,
     ) -> Result<(), PmsError> {
-        self.call("/api/v1/profiles/sync", json!({ "profile": profile }), now)?;
+        let seq = self.next_seq();
+        self.call_class(
+            "/api/v1/profiles/sync",
+            json!({ "profile": profile, "seq": seq }),
+            now,
+            RequestClass::Sync,
+        )?;
         Ok(())
     }
 
@@ -200,11 +385,20 @@ impl CloudClient {
         routes: &[CanonicalRoute],
         now: SimTime,
     ) -> Result<(), PmsError> {
-        self.call("/api/v1/routes/sync", json!({ "routes": routes }), now)?;
+        let seq = self.next_seq();
+        self.call_class(
+            "/api/v1/routes/sync",
+            json!({ "routes": routes, "seq": seq }),
+            now,
+            RequestClass::Sync,
+        )?;
         Ok(())
     }
 
-    /// Syncs social contacts.
+    /// Syncs social contacts. `first_seq` is the stream offset of
+    /// `contacts[0]` in the device's encounter stream; the server skips
+    /// entries it already absorbed and the returned watermark tells the
+    /// caller how far its buffer is acknowledged (and can be drained).
     ///
     /// # Errors
     ///
@@ -212,10 +406,21 @@ impl CloudClient {
     pub fn sync_contacts(
         &mut self,
         contacts: &[pmware_cloud::ContactEntry],
+        first_seq: u64,
         now: SimTime,
-    ) -> Result<(), PmsError> {
-        self.call("/api/v1/social/sync", json!({ "contacts": contacts }), now)?;
-        Ok(())
+    ) -> Result<u64, PmsError> {
+        let response = self.call_class(
+            "/api/v1/social/sync",
+            json!({ "contacts": contacts, "first_seq": first_seq }),
+            now,
+            RequestClass::Sync,
+        )?;
+        #[derive(Deserialize)]
+        struct Body {
+            acked_upto: u64,
+        }
+        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        Ok(body.acked_upto)
     }
 
     /// Resolves a cell-set signature to approximate coordinates via the
@@ -235,7 +440,7 @@ impl CloudClient {
             json!({ "cells": cells }),
         )
         .with_token(&self.token);
-        let response = Self::transport(&self.cloud, &request, now);
+        let response = self.send_with_retry(&request, now, RequestClass::Query);
         if response.status == 404 {
             return Ok(None);
         }
@@ -263,9 +468,7 @@ impl CloudClient {
         body: serde_json::Value,
         now: SimTime,
     ) -> Result<Response, PmsError> {
-        let request = Request::post(path, body).with_token(&self.token);
-        let response = Self::transport(&self.cloud, &request, now);
-        Self::check(&request, response)
+        self.call_class(path, body, now, RequestClass::Query)
     }
 
     /// Sends an authenticated GET.
@@ -275,15 +478,84 @@ impl CloudClient {
     /// Returns [`PmsError::Cloud`] for non-2xx responses.
     pub fn get(&mut self, path: &str, now: SimTime) -> Result<Response, PmsError> {
         let request = Request::get(path).with_token(&self.token);
-        let response = Self::transport(&self.cloud, &request, now);
+        let response = self.send_with_retry(&request, now, RequestClass::Query);
         Self::check(&request, response)
     }
 
+    fn call_class(
+        &mut self,
+        path: &str,
+        body: serde_json::Value,
+        now: SimTime,
+        class: RequestClass,
+    ) -> Result<Response, PmsError> {
+        let request = Request::post(path, body).with_token(&self.token);
+        let response = self.send_with_retry(&request, now, class);
+        Self::check(&request, response)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.sync_seq += 1;
+        self.sync_seq
+    }
+
+    /// One send consumes one unit of maintenance budget when a pass is
+    /// active.
+    fn take_budget(&mut self) -> bool {
+        match &mut self.budget {
+            None => true,
+            Some(0) => false,
+            Some(n) => {
+                *n -= 1;
+                true
+            }
+        }
+    }
+
+    /// The retrying wire: serialise, deliver, deserialise — both
+    /// directions — and re-send on transport-level failure with capped
+    /// exponential backoff. Retry waits advance a *virtual* send clock
+    /// (`now` plus the accumulated backoff), so the whole schedule is a
+    /// pure function of simulated time. A retried request is byte-for-byte
+    /// identical to its first send: the idempotency keys inside the body
+    /// are what make the retries safe.
+    fn send_with_retry(
+        &mut self,
+        request: &Request,
+        now: SimTime,
+        class: RequestClass,
+    ) -> Response {
+        let mut at = now;
+        let mut backoff = class.base_backoff();
+        let mut attempt = 0;
+        loop {
+            if !self.take_budget() {
+                return Response {
+                    status: STATUS_BUDGET_EXHAUSTED,
+                    body: json!({ "error": "maintenance request budget exhausted" }),
+                };
+            }
+            self.wire_requests += 1;
+            let response = Self::transport(&self.endpoint, request, at);
+            if !retryable(response.status) || attempt + 1 >= class.max_attempts() {
+                return response;
+            }
+            self.retries += 1;
+            let jitter =
+                backoff_jitter(&request.path, attempt, at, backoff.as_seconds() / 2);
+            at = at + backoff + jitter;
+            backoff = SimDuration::from_seconds(
+                (backoff.as_seconds() * 2).min(class.max_backoff().as_seconds()),
+            );
+            attempt += 1;
+        }
+    }
+
     /// The wire: serialise, deliver, deserialise — both directions.
-    fn transport(cloud: &SharedCloud, request: &Request, now: SimTime) -> Response {
+    fn transport(endpoint: &CloudEndpoint, request: &Request, now: SimTime) -> Response {
         let bytes = request.to_bytes();
         let parsed = Request::from_bytes(&bytes).expect("request round-trips");
-        let response = cloud.handle(&parsed, now);
+        let response = endpoint.send(&parsed, now);
         let bytes = response.to_bytes();
         serde_json::from_slice(&bytes).expect("response round-trips")
     }
@@ -307,8 +579,9 @@ impl CloudClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmware_cloud::{CellDatabase, CloudInstance};
-    use pmware_world::SimDuration;
+    use pmware_cloud::{
+        CellDatabase, CloudInstance, FaultKind, FaultPlan, FaultyCloud, SharedCloud,
+    };
 
     fn cloud() -> SharedCloud {
         SharedCloud::new(CloudInstance::new(CellDatabase::new(), 5))
@@ -382,5 +655,106 @@ mod tests {
             CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         let got = client.geolocate_signature(&[], SimTime::EPOCH).unwrap();
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn retries_ride_out_transient_drops() {
+        // Drop the first two sync deliveries: attempts 1 and 2 time out,
+        // attempt 3 lands. The caller never notices.
+        let faulty = FaultyCloud::new(
+            cloud(),
+            FaultPlan::with_schedule(
+                1,
+                vec![(0, FaultKind::Drop), (1, FaultKind::Drop)],
+            )
+            .only_path("/places/sync"),
+        );
+        let mut client =
+            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
+                .unwrap();
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        assert_eq!(client.retries(), 2);
+        assert_eq!(faulty.stats().drops, 2);
+    }
+
+    #[test]
+    fn persistent_failure_surfaces_after_max_attempts() {
+        let faulty = FaultyCloud::new(
+            cloud(),
+            FaultPlan::with_rate(1, 1.0)
+                .kinds(&[FaultKind::Error])
+                .only_path("/places/sync"),
+        );
+        let mut client =
+            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
+                .unwrap();
+        let err = client.sync_places(&[], SimTime::EPOCH).unwrap_err();
+        match err {
+            PmsError::Cloud { status, .. } => {
+                assert_eq!(status, pmware_cloud::STATUS_INJECTED_ERROR);
+            }
+            other => panic!("expected cloud error, got {other}"),
+        }
+        // Sync class: 4 attempts were made, no more.
+        assert_eq!(faulty.stats().errors, 4);
+    }
+
+    #[test]
+    fn maintenance_budget_stops_the_spend() {
+        let faulty = FaultyCloud::new(
+            cloud(),
+            FaultPlan::with_rate(1, 1.0)
+                .kinds(&[FaultKind::Drop])
+                .only_path("/places/sync"),
+        );
+        let mut client =
+            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
+                .unwrap();
+        client.begin_maintenance_pass(2);
+        let err = client.sync_places(&[], SimTime::EPOCH).unwrap_err();
+        match err {
+            PmsError::Cloud { status, .. } => assert_eq!(status, STATUS_BUDGET_EXHAUSTED),
+            other => panic!("expected budget exhaustion, got {other}"),
+        }
+        assert_eq!(faulty.stats().drops, 2, "only the budgeted sends hit the wire");
+        // Further calls fail immediately without touching the wire.
+        let before = client.wire_requests();
+        assert!(client.sync_places(&[], SimTime::EPOCH).is_err());
+        assert_eq!(client.wire_requests(), before);
+        // The next pass gets a fresh budget.
+        client.end_maintenance_pass();
+        faulty.set_enabled(false);
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+    }
+
+    #[test]
+    fn client_state_round_trips_through_serde() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
+                .unwrap();
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        let state = client.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: ClientState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        // The restored client keeps talking with the same token and
+        // continues the sequence stream.
+        let mut restored = CloudClient::from_state(cloud, back);
+        restored.sync_places(&[], SimTime::EPOCH).unwrap();
+        assert_eq!(restored.state().sync_seq, state.sync_seq + 1);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_capped() {
+        let a = backoff_jitter("/api/v1/places/sync", 1, SimTime::from_seconds(60), 15);
+        let b = backoff_jitter("/api/v1/places/sync", 1, SimTime::from_seconds(60), 15);
+        assert_eq!(a, b);
+        for attempt in 0..8 {
+            for t in [0u64, 60, 3600] {
+                let j = backoff_jitter("/p", attempt, SimTime::from_seconds(t), 15);
+                assert!(j.as_seconds() <= 15);
+            }
+        }
     }
 }

@@ -10,10 +10,13 @@
 //! WiFi scans, and — once place signatures exist — tracks arrivals and
 //! departures with the debounced [`CellPlaceTracker`].
 
-use pmware_algorithms::gca::{CellPlaceTracker, GcaConfig, GcaOutput, IncrementalGca, PlaceEvent};
+use pmware_algorithms::gca::{
+    CellPlaceTracker, GcaConfig, GcaOutput, IncrementalGca, PlaceEvent, TrackerSnapshot,
+};
 use pmware_algorithms::sensloc::{SensLocConfig, SensLocDetector, WifiPlaceEvent};
 use pmware_algorithms::signature::DiscoveredPlace;
 use pmware_world::{GpsFix, GsmObservation, WifiScan};
+use serde::{Deserialize, Serialize};
 
 /// Inference parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +126,57 @@ impl InferenceEngine {
     pub fn tracked_place(&self) -> Option<pmware_algorithms::signature::DiscoveredPlaceId> {
         self.tracker.as_ref().and_then(|t| t.current_place())
     }
+
+    /// Captures the engine's durable state for a device checkpoint. The
+    /// incremental GCA engine is deliberately *not* serialized: its state
+    /// is a pure function of the absorbed log, so restore replays the log
+    /// instead of shipping the (much larger, map-keyed) graph.
+    pub fn snapshot(&self) -> InferenceSnapshot {
+        InferenceSnapshot {
+            gsm_log: self.gsm_log.clone(),
+            gps_log: self.gps_log.clone(),
+            wifi: self.wifi.clone(),
+            tracker: self.tracker.as_ref().map(CellPlaceTracker::snapshot),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot. `known` must be the same place
+    /// list the tracker was last rebuilt over (the registry's live places)
+    /// — the cell→place index is reconstructed from it, then the
+    /// snapshot's in-flight debounce state is restored on top.
+    pub fn restore(
+        config: InferenceConfig,
+        snapshot: InferenceSnapshot,
+        known: &[DiscoveredPlace],
+    ) -> Self {
+        let mut gca = IncrementalGca::new(config.gca.clone());
+        gca.absorb(&snapshot.gsm_log);
+        let tracker = snapshot.tracker.map(|state| {
+            CellPlaceTracker::from_snapshot(
+                known,
+                config.confirm_in,
+                config.confirm_out,
+                state,
+            )
+        });
+        InferenceEngine {
+            config,
+            gsm_log: snapshot.gsm_log,
+            gps_log: snapshot.gps_log,
+            gca,
+            wifi: snapshot.wifi,
+            tracker,
+        }
+    }
+}
+
+/// The serializable state of an [`InferenceEngine`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceSnapshot {
+    gsm_log: Vec<GsmObservation>,
+    gps_log: Vec<GpsFix>,
+    wifi: SensLocDetector,
+    tracker: Option<TrackerSnapshot>,
 }
 
 #[cfg(test)]

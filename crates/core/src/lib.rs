@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod checkpoint;
 pub mod cloud_client;
 pub mod error;
 pub mod inference;
@@ -45,6 +46,8 @@ pub mod requirements;
 pub mod sensing;
 
 pub use apps::{AppId, AppRegistration, ConnectedApps};
+pub use checkpoint::PmsCheckpoint;
+pub use cloud_client::{ClientState, CloudClient};
 pub use error::PmsError;
 pub use intents::{Intent, IntentBus, IntentFilter};
 pub use pms::{PmsConfig, PmsReport, PmwareMobileService};

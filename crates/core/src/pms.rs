@@ -12,20 +12,22 @@
 //! cut per day, and a nightly maintenance pass offloads GCA to the cloud,
 //! reconciles the place registry, and syncs everything (§2.2.2–§2.2.5).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crossbeam::channel::Receiver;
 use pmware_algorithms::gca::PlaceEvent;
 use pmware_algorithms::route::{cell_route, gps_route, RouteObservation, RouteStore};
 use pmware_algorithms::sensloc::WifiPlaceEvent;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSignature};
-use pmware_cloud::SharedCloud;
+use pmware_cloud::CloudEndpoint;
 use pmware_device::{Device, MovementDetector, PositionProvider};
 use pmware_geo::GeoPoint;
 use pmware_world::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 use serde_json::json;
 
 use crate::apps::ConnectedApps;
+use crate::checkpoint::PmsCheckpoint;
 use crate::cloud_client::CloudClient;
 use crate::error::PmsError;
 use crate::inference::{InferenceConfig, InferenceEngine};
@@ -67,6 +69,10 @@ pub struct PmsConfig {
     pub token_refresh_margin: SimDuration,
     /// Movement-detector window (samples).
     pub movement_window: usize,
+    /// Wire-request cap per maintenance pass: on a bad link the pass
+    /// stops spending after this many sends (retries included) and the
+    /// unfinished work is retried at the next pass.
+    pub maintenance_budget: u32,
 }
 
 impl PmsConfig {
@@ -82,12 +88,13 @@ impl PmsConfig {
             reconcile_overlap: 0.18,
             token_refresh_margin: SimDuration::from_hours(2),
             movement_window: 3,
+            maintenance_budget: 64,
         }
     }
 }
 
 /// Counters accumulated over a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PmsCounters {
     /// Confirmed arrivals broadcast.
     pub arrivals: u64,
@@ -122,11 +129,11 @@ pub struct PmsReport {
     pub intents_delivered: u64,
 }
 
-#[derive(Debug, Clone)]
-struct OpenEncounter {
-    start: SimTime,
-    last_seen: SimTime,
-    place: Option<PmPlaceId>,
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct OpenEncounter {
+    pub(crate) start: SimTime,
+    pub(crate) last_seen: SimTime,
+    pub(crate) place: Option<PmPlaceId>,
 }
 
 /// The mobile service bound to one device.
@@ -143,9 +150,17 @@ pub struct PmwareMobileService<'w, P> {
     profiles: ProfileBuilder,
     routes: RouteStore,
     peer_provider: Option<Box<dyn PeerProvider + Send>>,
-    open_encounters: HashMap<String, OpenEncounter>,
-    /// Encounters closed since the last maintenance sync.
+    /// Keyed in contact order (deterministic drain on finish/checkpoint).
+    open_encounters: BTreeMap<String, OpenEncounter>,
+    /// Encounters closed but not yet acknowledged by the cloud, in stream
+    /// order. `pending_contacts[0]` sits at stream offset
+    /// `contacts_seq_base`; a sync acknowledgement drains exactly the
+    /// acked prefix, so a partial failure never re-sends what the cloud
+    /// already absorbed.
     pending_contacts: Vec<pmware_cloud::ContactEntry>,
+    /// Stream offset of the first pending contact (count acknowledged so
+    /// far) — the idempotency key sent with every contact sync.
+    contacts_seq_base: u64,
     /// Completed day profiles not yet accepted by the cloud (retried at
     /// every maintenance pass — an outage must not lose data).
     pending_profiles: Vec<pmware_cloud::MobilityProfile>,
@@ -169,7 +184,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
     /// Returns [`PmsError::Cloud`] when registration fails.
     pub fn new(
         device: Device<'w, P>,
-        cloud: SharedCloud,
+        cloud: impl Into<CloudEndpoint>,
         config: PmsConfig,
         now: SimTime,
     ) -> Result<Self, PmsError> {
@@ -190,8 +205,9 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             profiles: ProfileBuilder::new(),
             routes: RouteStore::new(0.5),
             peer_provider: None,
-            open_encounters: HashMap::new(),
+            open_encounters: BTreeMap::new(),
             pending_contacts: Vec::new(),
+            contacts_seq_base: 0,
             pending_profiles: Vec::new(),
             current_place: None,
             last_departure: None,
@@ -200,6 +216,98 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             offloaded_upto: 0,
             counters: PmsCounters::default(),
         })
+    }
+
+    /// Serializes the durable service state — everything a device reboot
+    /// must not lose. The device itself (battery, RNG) and connected apps
+    /// are *not* part of the checkpoint: the device is handed back by
+    /// [`shutdown`](Self::shutdown), and apps re-register on start like
+    /// they do on a real phone.
+    pub fn checkpoint(&self) -> PmsCheckpoint {
+        PmsCheckpoint {
+            client: self.client.state(),
+            prefs: self.prefs.clone(),
+            scheduler: self.scheduler.clone(),
+            movement: self.movement.snapshot(),
+            engine: self.engine.snapshot(),
+            registry: self.registry.clone(),
+            profiles: self.profiles.clone(),
+            routes: self.routes.clone(),
+            open_encounters: self.open_encounters.clone(),
+            pending_contacts: self.pending_contacts.clone(),
+            contacts_seq_base: self.contacts_seq_base,
+            pending_profiles: self.pending_profiles.clone(),
+            current_place: self.current_place,
+            last_departure: self.last_departure,
+            clock: self.clock,
+            last_maintenance_day: self.last_maintenance_day,
+            offloaded_upto: self.offloaded_upto as u64,
+            counters: self.counters,
+        }
+    }
+
+    /// Stops the service and returns the device (simulated power-off).
+    /// Pair with [`checkpoint`](Self::checkpoint) before the call and
+    /// [`restore`](Self::restore) after to survive the reboot losslessly.
+    pub fn shutdown(self) -> Device<'w, P> {
+        self.device
+    }
+
+    /// Resumes a service from a checkpoint after a simulated reboot: no
+    /// re-registration round-trip, the GCA engine is rebuilt by replaying
+    /// the checkpointed observation log, and the online tracker resumes
+    /// mid-stay. `config` must match the config the checkpoint was taken
+    /// under. Connected apps must re-register; privacy preferences
+    /// survive.
+    pub fn restore(
+        device: Device<'w, P>,
+        cloud: impl Into<CloudEndpoint>,
+        config: PmsConfig,
+        checkpoint: PmsCheckpoint,
+    ) -> Self {
+        let client = CloudClient::from_state(cloud, checkpoint.client);
+        // The tracker's cell→place index is rebuilt over the same live
+        // place list maintenance last built it from.
+        let known: Vec<DiscoveredPlace> = checkpoint
+            .registry
+            .active_places()
+            .map(|p| {
+                DiscoveredPlace::new(
+                    DiscoveredPlaceId(p.id.0),
+                    PlaceSignature::Cells(p.cells.clone()),
+                    Vec::new(),
+                )
+            })
+            .collect();
+        let engine = InferenceEngine::restore(
+            config.inference.clone(),
+            checkpoint.engine,
+            &known,
+        );
+        PmwareMobileService {
+            config,
+            device,
+            client,
+            apps: ConnectedApps::new(),
+            prefs: checkpoint.prefs,
+            scheduler: checkpoint.scheduler,
+            movement: MovementDetector::from_snapshot(checkpoint.movement),
+            engine,
+            registry: checkpoint.registry,
+            profiles: checkpoint.profiles,
+            routes: checkpoint.routes,
+            peer_provider: None,
+            open_encounters: checkpoint.open_encounters,
+            pending_contacts: checkpoint.pending_contacts,
+            contacts_seq_base: checkpoint.contacts_seq_base,
+            pending_profiles: checkpoint.pending_profiles,
+            current_place: checkpoint.current_place,
+            last_departure: checkpoint.last_departure,
+            clock: checkpoint.clock,
+            last_maintenance_day: checkpoint.last_maintenance_day,
+            offloaded_upto: checkpoint.offloaded_upto as usize,
+            counters: checkpoint.counters,
+        }
     }
 
     /// Registers a connected application (§2.4 steps 1–2).
@@ -555,16 +663,24 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
     /// syncs.
     fn maintenance(&mut self, t: SimTime) {
         self.counters.gca_offloads += 1;
+        // A lossy link must not let retries spin unboundedly: the whole
+        // pass shares one wire budget, and work cut off by it is simply
+        // retried at the next pass (all syncs are at-least-once).
+        self.client.begin_maintenance_pass(self.config.maintenance_budget);
         // Nightly incremental discovery, as the paper describes (§2.3.1):
         // each offload ships only the observations gathered since the last
-        // *acknowledged* one. The cloud folds the suffix into its
-        // persistent per-user engine and replies with the full accumulated
-        // place set, so every reply is authoritative — there is no longer
-        // a periodic full-log compaction (and no suffix-replacement data
-        // loss between compactions).
+        // *acknowledged* one, stamped with its stream offset so the cloud
+        // absorbs a re-delivered suffix exactly once. The cloud folds the
+        // suffix into its persistent per-user engine and replies with the
+        // full accumulated place set, so every reply is authoritative —
+        // there is no longer a periodic full-log compaction (and no
+        // suffix-replacement data loss between compactions).
         let observations = &self.engine.gsm_log()[self.offloaded_upto..];
         let places: Vec<DiscoveredPlace> =
-            match self.client.discover_places(observations, t) {
+            match self
+                .client
+                .discover_places(observations, self.offloaded_upto as u64, t)
+            {
                 Ok(places) => {
                     // Advance the watermark only once the cloud has the
                     // data: after an outage the next offload re-sends the
@@ -602,11 +718,18 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             .collect();
         self.engine.rebuild_tracker(&known);
 
-        // Geolocate and announce brand-new places. The PLACE_NEW intent
-        // carries the place's detected visit history (what Figure 4c's
-        // detail view shows) so that apps like the life logger can render
-        // stay times without having witnessed the visits live.
-        for id in recon.created {
+        // Geolocate every live place still missing a position — not just
+        // this pass's creations. A place whose geolocation failed (outage,
+        // budget cut, unknown signature at the time) would otherwise stay
+        // position-less forever; retrying each pass heals it as soon as
+        // the link recovers.
+        let positionless: Vec<PmPlaceId> = self
+            .registry
+            .active_places()
+            .filter(|p| p.position.is_none())
+            .map(|p| p.id)
+            .collect();
+        for id in positionless {
             let cells: Vec<_> = self
                 .registry
                 .place(id)
@@ -615,6 +738,13 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             if let Ok(Some(position)) = self.client.geolocate_signature(&cells, t) {
                 self.registry.set_position(id, position);
             }
+        }
+
+        // Announce brand-new places. The PLACE_NEW intent carries the
+        // place's detected visit history (what Figure 4c's detail view
+        // shows) so that apps like the life logger can render stay times
+        // without having witnessed the visits live.
+        for id in recon.created {
             let history: Vec<(u64, u64)> = self
                 .registry
                 .place(id)
@@ -659,21 +789,33 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             .collect();
         let _ = self.client.sync_places(&snapshot, t);
         let _ = self.client.sync_routes(self.routes.routes(), t);
-        if !self.pending_contacts.is_empty() {
-            let contacts = std::mem::take(&mut self.pending_contacts);
-            if self.client.sync_contacts(&contacts, t).is_err() {
-                self.pending_contacts = contacts; // retry next maintenance
-            }
+        self.sync_pending_contacts(t);
+        self.client.end_maintenance_pass();
+    }
+
+    /// Ships the unacknowledged contact buffer, tagged with its stream
+    /// offset, and drains exactly the prefix the cloud acknowledges. A
+    /// failed sync keeps the buffer intact; a duplicated or re-sent buffer
+    /// is absorbed once server-side (the offset is the idempotency key),
+    /// so partial failures never duplicate social encounters.
+    fn sync_pending_contacts(&mut self, t: SimTime) {
+        if self.pending_contacts.is_empty() {
+            return;
+        }
+        if let Ok(acked_upto) =
+            self.client
+                .sync_contacts(&self.pending_contacts, self.contacts_seq_base, t)
+        {
+            let acked = acked_upto.saturating_sub(self.contacts_seq_base) as usize;
+            self.pending_contacts.drain(..acked.min(self.pending_contacts.len()));
+            self.contacts_seq_base = acked_upto.max(self.contacts_seq_base);
         }
     }
 
     /// Ends the study at `now`: closes open stays/encounters, syncs the
     /// remaining profiles, and returns the final report.
     pub fn finish(mut self, now: SimTime) -> PmsReport {
-        let open: Vec<(String, OpenEncounter)> = self
-            .open_encounters
-            .drain()
-            .collect();
+        let open = std::mem::take(&mut self.open_encounters);
         for (contact, enc) in open {
             self.finish_encounter(&contact, &enc);
         }
@@ -687,10 +829,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                 self.counters.profiles_synced += 1;
             }
         }
-        if !self.pending_contacts.is_empty() {
-            let contacts = std::mem::take(&mut self.pending_contacts);
-            let _ = self.client.sync_contacts(&contacts, now);
-        }
+        self.sync_pending_contacts(now);
         let battery = self.device.battery();
         PmsReport {
             places: self.registry.active_places().cloned().collect(),

@@ -20,9 +20,10 @@ use pmware_algorithms::signature::DiscoveredPlaceId;
 use pmware_cloud::{ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};
 use pmware_world::time::DAY;
 use pmware_world::SimTime;
+use serde::{Deserialize, Serialize};
 
 /// Accumulates per-day profiles.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ProfileBuilder {
     days: BTreeMap<u64, MobilityProfile>,
     open_place: Option<(DiscoveredPlaceId, SimTime)>,

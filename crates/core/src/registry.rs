@@ -75,7 +75,7 @@ pub struct Reconciliation {
 }
 
 /// The registry.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PlaceRegistry {
     places: Vec<PmPlace>,
     gca_map: HashMap<DiscoveredPlaceId, PmPlaceId>,

@@ -78,7 +78,7 @@ pub struct SensingDecision {
 }
 
 /// The stateful scheduler.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SensingScheduler {
     config: SensingConfig,
     last_gsm: Option<SimTime>,

@@ -39,5 +39,5 @@ pub mod phone;
 pub use battery::Battery;
 pub use energy::{EnergyModel, Interface};
 pub use events::EventQueue;
-pub use motion::MovementDetector;
+pub use motion::{MovementDetector, MovementSnapshot};
 pub use phone::{Device, PositionProvider};

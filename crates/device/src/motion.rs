@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use pmware_world::MotionState;
+use serde::{Deserialize, Serialize};
 
 /// Sliding-window majority-vote movement detector.
 ///
@@ -85,6 +86,41 @@ impl MovementDetector {
     pub fn transitions(&self) -> u64 {
         self.transitions
     }
+
+    /// Captures the detector for a checkpoint (the sliding window becomes
+    /// a plain vector on the wire).
+    pub fn snapshot(&self) -> MovementSnapshot {
+        MovementSnapshot {
+            window: self.window.iter().copied().collect(),
+            capacity: self.capacity,
+            state: self.state,
+            transitions: self.transitions,
+        }
+    }
+
+    /// Rebuilds a detector from a snapshot, mid-window votes intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's window capacity is zero.
+    pub fn from_snapshot(snapshot: MovementSnapshot) -> Self {
+        assert!(snapshot.capacity > 0, "window must be non-empty");
+        MovementDetector {
+            window: snapshot.window.into_iter().collect(),
+            capacity: snapshot.capacity,
+            state: snapshot.state,
+            transitions: snapshot.transitions,
+        }
+    }
+}
+
+/// The serializable state of a [`MovementDetector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovementSnapshot {
+    window: Vec<MotionState>,
+    capacity: usize,
+    state: MotionState,
+    transitions: u64,
 }
 
 #[cfg(test)]

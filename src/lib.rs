@@ -77,11 +77,13 @@ pub mod prelude {
     pub use pmware_algorithms::matching::{classify_places, GroundTruthVisit};
     pub use pmware_algorithms::signature::{DiscoveredPlace, PlaceSignature};
     pub use pmware_apps::{AdInventory, LifeLogApp, PlaceAdsApp, TodoApp, UserTasteModel};
-    pub use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
+    pub use pmware_cloud::{
+        CellDatabase, CloudInstance, FaultKind, FaultPlan, FaultyCloud, SharedCloud,
+    };
     pub use pmware_core::intents::{actions, Intent, IntentFilter};
     pub use pmware_core::{
-        AppRequirement, Granularity, PmsConfig, PmwareMobileService, RouteAccuracy,
-        UserPreferences,
+        AppRequirement, Granularity, PmsCheckpoint, PmsConfig, PmwareMobileService,
+        RouteAccuracy, UserPreferences,
     };
     pub use pmware_device::{Device, EnergyModel, Interface};
     pub use pmware_geo::{GeoPoint, Meters};

@@ -147,6 +147,72 @@ fn tracking_window_limits_todo_alerts() {
 }
 
 #[test]
+fn intents_keep_flowing_at_permitted_granularity_through_cloud_faults() {
+    // A total transport outage (100% drop) must not silence the intent
+    // bus: apps keep receiving place events, coarsened to the granularity
+    // the user permitted, while the PMS rides on local discovery.
+    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2300).build();
+    let population = Population::generate(&world, 1, 2301);
+    let itinerary = population.itinerary(&world, population.agents()[0].id(), 4);
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 2302);
+    let cloud = SharedCloud::new(CloudInstance::new(
+        CellDatabase::from_world(&world),
+        2303,
+    ));
+    let faulty = FaultyCloud::new(
+        cloud,
+        FaultPlan::with_rate(2304, 1.0).kinds(&[FaultKind::Drop]),
+    );
+    faulty.set_enabled(false);
+    let mut pms = PmwareMobileService::new(
+        device,
+        faulty.clone(),
+        PmsConfig::for_participant(23),
+        SimTime::EPOCH,
+    )
+    .expect("registration precedes the outage");
+    let rx = pms.register_app(
+        "ads",
+        AppRequirement::places(Granularity::Area),
+        IntentFilter::for_actions([
+            actions::PLACE_ARRIVAL,
+            actions::PLACE_DEPARTURE,
+            actions::PLACE_NEW,
+        ]),
+    );
+
+    // One clean day (places get discovered and positioned), then every
+    // request to the cloud is dropped for the remaining three.
+    let outage_from = SimTime::from_day_time(1, 12, 0, 0);
+    pms.run(outage_from).unwrap();
+    faulty.set_enabled(true);
+    pms.run(SimTime::from_day_time(4, 0, 0, 0)).unwrap();
+
+    assert!(faulty.stats().drops > 0, "the outage must actually drop traffic");
+    assert!(
+        pms.counters().gca_local_fallbacks >= 2,
+        "offline maintenance falls back to local discovery: {:?}",
+        pms.counters()
+    );
+
+    let during_outage: Vec<Intent> =
+        rx.try_iter().filter(|i| i.time >= outage_from).collect();
+    assert!(
+        during_outage
+            .iter()
+            .any(|i| i.action == actions::PLACE_ARRIVAL),
+        "arrivals must reach the app during the outage"
+    );
+    for intent in &during_outage {
+        assert_eq!(
+            intent.extras["granularity"], "area",
+            "payloads stay at the permitted granularity: {intent:?}"
+        );
+    }
+}
+
+#[test]
 fn lifelog_report_reflects_routine() {
     let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2200).build();
     let population = Population::generate(&world, 1, 2201);
