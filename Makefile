@@ -1,11 +1,12 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy chaos bench bench-gca
+.PHONY: verify build test clippy chaos bench bench-gca obs
 
 # The full pre-merge gate: release build, the whole test suite, a
-# warning-free clippy pass over every target in the workspace, and the
-# chaos gate (fault-injection matrix + soak).
-verify: build test clippy chaos
+# warning-free clippy pass over every target in the workspace, the
+# chaos gate (fault-injection matrix + soak), and the observability gate
+# (byte-identical golden exports + zero-perturbation overhead bench).
+verify: build test clippy chaos obs
 
 build:
 	cargo build --release --workspace
@@ -31,3 +32,11 @@ bench:
 # analytics throughput; writes BENCH_gca.json in the repo root.
 bench-gca:
 	cargo run --release -p pmware-bench --bin gca_scaling
+
+# The observability gate: golden determinism tests (same seed => byte-
+# identical metrics snapshot and trace JSONL, at any thread count; obs
+# on == obs off to the last bit) plus the overhead bench, which writes
+# BENCH_obs.json and exits nonzero if instrumentation perturbs results.
+obs:
+	cargo test --release -q -p pmware-bench --test obs_golden
+	cargo run --release -p pmware-bench --bin obs_overhead

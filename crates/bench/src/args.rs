@@ -27,6 +27,21 @@ pub fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
     }
 }
 
+/// Returns the value following `--<name>` verbatim, or `None` when the
+/// flag is absent. For flags with no sensible default, like output paths.
+pub fn opt_flag(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let mut args = std::env::args().skip_while(|a| a != &flag);
+    args.next()?;
+    match args.next() {
+        Some(value) => Some(value),
+        None => {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -35,5 +50,10 @@ mod tests {
     fn absent_flag_yields_default() {
         assert_eq!(flag("definitely-not-passed", 7u64), 7);
         assert_eq!(flag("also-not-passed", 1.5f64), 1.5);
+    }
+
+    #[test]
+    fn absent_opt_flag_is_none() {
+        assert_eq!(opt_flag("definitely-not-passed"), None);
     }
 }

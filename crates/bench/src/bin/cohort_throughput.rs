@@ -37,6 +37,7 @@ fn main() {
         seed: 2014,
         region: RegionProfile::urban_india(),
         threads,
+        obs: pmware_obs::Obs::disabled(),
     };
 
     // Ladder entries are clamped to the available cores: an oversubscribed

@@ -5,22 +5,32 @@
 //! 79.03 % correct / 14.52 % merged / 6.45 % divided; ad like:dislike 17:3.
 //!
 //! Usage: `deployment_study [--seeds N] [--participants N] [--days D]
-//! [--threads T]` — with `--seeds N > 1` the study is repeated over
+//! [--threads T] [--metrics-out F] [--trace-out F]` — with `--seeds N > 1`
+//! the study is repeated over
 //! consecutive seeds and the mean is reported alongside the per-seed
 //! numbers (the merged/divided split carries real seed-to-seed variance at
 //! this cohort size). `--threads` fans participants out over worker
 //! threads (0 = one per core); results are identical at any thread count.
 
-use pmware_bench::args::flag;
+use pmware_bench::args::{flag, opt_flag};
 use pmware_bench::deployment::{run_study, StudyConfig, StudyResults};
+use pmware_obs::Obs;
 
 fn main() {
     let seeds: u64 = flag("seeds", 1);
+    let metrics_out = opt_flag("metrics-out");
+    let trace_out = opt_flag("trace-out");
+    let obs = match (&metrics_out, &trace_out) {
+        (None, None) => Obs::disabled(),
+        (_, None) => Obs::new(),
+        (_, Some(_)) => Obs::with_trace(65_536),
+    };
     let defaults = StudyConfig::default();
     let base = StudyConfig {
         participants: flag("participants", defaults.participants),
         days: flag("days", defaults.days),
         threads: flag("threads", defaults.threads),
+        obs: obs.clone(),
         ..defaults
     };
 
@@ -87,6 +97,17 @@ fn main() {
     println!("  divided : {:>6.2}%  (paper:  6.45%)", divided * 100.0);
     println!("\nDEP-C: PlaceADs feedback");
     println!("  like fraction = {:.1}%  (paper: 17:3 = 85%)", likes * 100.0);
+
+    // With --seeds > 1 the snapshot accumulates across all runs (one
+    // registry serves the whole process).
+    if let (Some(path), Some(json)) = (&metrics_out, obs.metrics_json()) {
+        std::fs::write(path, json).expect("write metrics snapshot");
+        println!("\nmetrics snapshot written to {path}");
+    }
+    if let (Some(path), Some(jsonl)) = (&trace_out, obs.trace_jsonl()) {
+        std::fs::write(path, jsonl).expect("write trace");
+        println!("trace written to {path}");
+    }
 }
 
 fn print_participants(results: &StudyResults) {

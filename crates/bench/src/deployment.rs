@@ -22,6 +22,7 @@ use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::registry::PmPlaceId;
 use pmware_device::{Device, EnergyModel};
 use pmware_mobility::{Itinerary, Population};
+use pmware_obs::Obs;
 use pmware_world::builder::{RegionProfile, WorldBuilder};
 use pmware_world::radio::{RadioConfig, RadioEnvironment};
 use pmware_world::{SimTime, World};
@@ -40,6 +41,11 @@ pub struct StudyConfig {
     /// Worker threads running participants (`1` = sequential, `0` = one
     /// per core). Results are identical at any thread count.
     pub threads: usize,
+    /// Observability sink. [`Obs::disabled`] (the default) records
+    /// nothing and costs nothing; a live handle collects a study-wide
+    /// metrics snapshot and per-participant traces without perturbing any
+    /// simulation outcome.
+    pub obs: Obs,
 }
 
 impl Default for StudyConfig {
@@ -50,6 +56,7 @@ impl Default for StudyConfig {
             seed: 2014,
             region: RegionProfile::urban_india(),
             threads: 1,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -82,6 +89,10 @@ pub struct ParticipantResult {
 pub struct StudyResults {
     /// Per-participant breakdown.
     pub participants: Vec<ParticipantResult>,
+    /// Authenticated requests the cloud served over the study — a cheap
+    /// end-to-end invariant: instrumentation must never add or remove
+    /// wire traffic, so this number is identical with obs on or off.
+    pub cloud_requests: u64,
 }
 
 impl StudyResults {
@@ -164,10 +175,10 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
     let world = WorldBuilder::new(config.region.clone())
         .seed(config.seed)
         .build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        config.seed + 1,
-    ));
+    let cloud = SharedCloud::new(
+        CloudInstance::new(CellDatabase::from_world(&world), config.seed + 1)
+            .with_obs(&config.obs),
+    );
     let population = Population::generate(&world, config.participants, config.seed + 2);
 
     // Everything a participant needs is derived from per-participant seeds
@@ -201,7 +212,7 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
         },
     );
 
-    StudyResults { participants }
+    StudyResults { participants, cloud_requests: cloud.total_requests() }
 }
 
 fn run_participant(
@@ -227,6 +238,9 @@ fn run_participant(
         SimTime::EPOCH,
     )
     .expect("registration succeeds");
+    // Zero-padded actor names keep the trace export (sorted by actor)
+    // in participant order.
+    pms.set_obs(&config.obs.for_actor(&format!("p{index:04}")));
 
     // Both §3 applications are installed on every participant's phone.
     let ads_rx = pms.register_app(
@@ -347,6 +361,7 @@ mod tests {
             seed: 99,
             region: RegionProfile::urban_india(),
             threads: 1,
+            obs: Obs::disabled(),
         };
         let results = run_study(&config);
         assert_eq!(results.participants.len(), 4);
@@ -398,6 +413,7 @@ mod aggregation_tests {
                 participant(10, 7, 4, 1, 0, 17, 3),
                 participant(6, 3, 2, 0, 1, 0, 0),
             ],
+            cloud_requests: 0,
         };
         assert_eq!(results.total_discovered(), 16);
         assert_eq!(results.total_tagged(), 10);
@@ -413,7 +429,7 @@ mod aggregation_tests {
 
     #[test]
     fn empty_study_has_zero_fractions() {
-        let results = StudyResults { participants: vec![] };
+        let results = StudyResults { participants: vec![], cloud_requests: 0 };
         assert_eq!(results.total_discovered(), 0);
         assert_eq!(results.tagged_fraction(), 0.0);
         assert_eq!(results.correct_fraction(), 0.0);
@@ -424,6 +440,7 @@ mod aggregation_tests {
     fn fractions_sum_to_one_when_evaluable() {
         let results = StudyResults {
             participants: vec![participant(5, 5, 3, 1, 1, 2, 2)],
+            cloud_requests: 0,
         };
         let sum = results.correct_fraction()
             + results.merged_fraction()

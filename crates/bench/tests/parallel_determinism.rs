@@ -18,6 +18,7 @@ fn config(threads: usize) -> StudyConfig {
         seed: 7001,
         region: RegionProfile::urban_india(),
         threads,
+        obs: pmware_obs::Obs::disabled(),
     }
 }
 
@@ -52,4 +53,17 @@ fn oversubscribed_pool_is_still_identical() {
     let sequential = run_study(&config(1));
     let oversubscribed = run_study(&config(16));
     assert_eq!(sequential, oversubscribed);
+}
+
+/// The thread-count guarantee survives live instrumentation: with a
+/// metrics registry and trace bus attached, a parallel run still equals
+/// the sequential *uninstrumented* run field by field (the byte-level
+/// equality of the exported artefacts themselves is pinned in
+/// `obs_golden.rs`).
+#[test]
+fn parallel_run_is_identical_with_observability_attached() {
+    let plain = run_study(&config(1));
+    let obs = pmware_obs::Obs::with_trace(4_096);
+    let observed = run_study(&StudyConfig { obs, ..config(4) });
+    assert_eq!(plain, observed);
 }

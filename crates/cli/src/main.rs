@@ -3,7 +3,9 @@
 //! ```text
 //! pmware world    [--region india|europe] [--seed N]
 //! pmware simulate [--region ...] [--seed N] [--days N] [--granularity area|building|room]
+//!                 [--metrics-out F] [--trace-out F]
 //! pmware study    [--participants N] [--days N] [--seed N]
+//!                 [--metrics-out F] [--trace-out F]
 //! pmware query    [--seed N] [--days N]
 //! pmware help
 //! ```
@@ -22,6 +24,7 @@ use pmware_core::requirements::{AppRequirement, Granularity};
 use pmware_device::{Device, EnergyModel};
 use pmware_geo::Meters;
 use pmware_mobility::Population;
+use pmware_obs::Obs;
 use pmware_world::builder::{RegionProfile, WorldBuilder};
 use pmware_world::radio::{RadioConfig, RadioEnvironment};
 use pmware_world::{SimTime, World};
@@ -45,7 +48,45 @@ COMMON FLAGS:
     --days N                Simulated days       (default 7; study: 14)
     --participants N        Study cohort size    (default 16)
     --granularity g         area|building|room   (default building)
+
+OBSERVABILITY (simulate, study):
+    --metrics-out FILE      Write the final metrics snapshot as JSON
+    --trace-out FILE        Write the sim-time trace as JSONL
+Collecting either never changes simulation results: metrics and traces
+are keyed by simulated time, and the same seed produces byte-identical
+output at any thread count.
 ";
+
+/// Builds the observability sink the `--metrics-out` / `--trace-out`
+/// flags ask for ([`Obs::disabled`] when neither is given), and returns
+/// the output paths.
+fn obs_from_args(args: &Args) -> (Obs, Option<String>, Option<String>) {
+    let metrics_out = args.flag("metrics-out").map(str::to_owned);
+    let trace_out = args.flag("trace-out").map(str::to_owned);
+    let obs = match (&metrics_out, &trace_out) {
+        (None, None) => Obs::disabled(),
+        (_, None) => Obs::new(),
+        (_, Some(_)) => Obs::with_trace(65_536),
+    };
+    (obs, metrics_out, trace_out)
+}
+
+/// Writes the collected snapshot/trace to the requested files.
+fn write_obs_outputs(
+    obs: &Obs,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    if let (Some(path), Some(json)) = (metrics_out, obs.metrics_json()) {
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics snapshot written to {path}");
+    }
+    if let (Some(path), Some(jsonl)) = (trace_out, obs.trace_jsonl()) {
+        std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
@@ -136,15 +177,15 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let (world, seed) = build_world(args)?;
     let days = args.get("days", 7u64).map_err(|e| e.to_string())?;
     let granularity = granularity(args)?;
+    let (obs, metrics_out, trace_out) = obs_from_args(args);
     let population = Population::generate(&world, 1, seed + 1);
     let agent = &population.agents()[0];
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 2);
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        seed + 3,
-    ));
+    let cloud = SharedCloud::new(
+        CloudInstance::new(CellDatabase::from_world(&world), seed + 3).with_obs(&obs),
+    );
     let mut pms = PmwareMobileService::new(
         device,
         cloud,
@@ -152,6 +193,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         SimTime::EPOCH,
     )
     .map_err(|e| e.to_string())?;
+    pms.set_obs(&obs.for_actor("p0000"));
     let _rx = pms.register_app(
         "cli",
         AppRequirement::places(granularity),
@@ -191,16 +233,19 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     for (interface, joules) in &report.energy_by_interface {
         println!("  {:>14}: {joules:>9.1} J", interface.label());
     }
+    write_obs_outputs(&obs, metrics_out.as_deref(), trace_out.as_deref())?;
     Ok(())
 }
 
 fn cmd_study(args: &Args) -> Result<(), String> {
+    let (obs, metrics_out, trace_out) = obs_from_args(args);
     let config = StudyConfig {
         participants: args.get("participants", 16usize).map_err(|e| e.to_string())?,
         days: args.get("days", 14u64).map_err(|e| e.to_string())?,
         seed: args.get("seed", 2014u64).map_err(|e| e.to_string())?,
         region: region(args)?,
         threads: args.get("threads", 1usize).map_err(|e| e.to_string())?,
+        obs: obs.clone(),
     };
     if !args.has("quiet") {
         println!(
@@ -227,6 +272,7 @@ fn cmd_study(args: &Args) -> Result<(), String> {
         results.dislikes(),
         results.like_fraction() * 100.0
     );
+    write_obs_outputs(&obs, metrics_out.as_deref(), trace_out.as_deref())?;
     Ok(())
 }
 

@@ -18,10 +18,11 @@
 //! `Arc<Mutex<CloudInstance>>` wrapper of earlier revisions.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use pmware_obs::{Counter, Obs};
 use pmware_algorithms::gca::{GcaConfig, IncrementalGca};
 use pmware_algorithms::route::{CanonicalRoute, RouteStore};
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
@@ -93,11 +94,141 @@ impl Default for UserStore {
     }
 }
 
-/// One lock shard: the users whose id hashes here, plus a request counter.
+/// One lock shard: the users whose id hashes here. The per-shard request
+/// counter that used to live here moved to the metrics registry (see
+/// [`CloudMetrics`]).
 #[derive(Debug, Default)]
 struct Shard {
     users: RwLock<HashMap<UserId, Arc<Mutex<UserStore>>>>,
-    requests: AtomicU64,
+}
+
+/// Stable endpoint labels, the `endpoint` metric dimension. One entry per
+/// routed endpoint family plus `register` (unauthenticated) and `other`
+/// (unrouted paths) — bounded cardinality by construction.
+const ENDPOINT_LABELS: [&str; 21] = [
+    "register",
+    "token_refresh",
+    "places_discover",
+    "places_sync",
+    "places_list",
+    "places_label",
+    "routes_sync",
+    "routes_list",
+    "routes_query",
+    "profiles_sync",
+    "profiles_get",
+    "social_sync",
+    "social_query",
+    "geolocate",
+    "geolocate_signature",
+    "analytics_arrival",
+    "analytics_next_visit",
+    "analytics_frequency",
+    "analytics_activity",
+    "analytics_next_place",
+    "other",
+];
+
+/// Index of an endpoint label in [`ENDPOINT_LABELS`].
+fn endpoint_index(method: Method, path: &str) -> usize {
+    match (method, path) {
+        (Method::Post, "/api/v1/registration") => 0,
+        (Method::Post, "/api/v1/token/refresh") => 1,
+        (Method::Post, "/api/v1/places/discover") => 2,
+        (Method::Post, "/api/v1/places/sync") => 3,
+        (Method::Get, "/api/v1/places") => 4,
+        (Method::Post, "/api/v1/places/label") => 5,
+        (Method::Post, "/api/v1/routes/sync") => 6,
+        (Method::Get, "/api/v1/routes") => 7,
+        (Method::Post, "/api/v1/routes/query") => 8,
+        (Method::Post, "/api/v1/profiles/sync") => 9,
+        (Method::Get, p) if p.starts_with("/api/v1/profiles/") => 10,
+        (Method::Post, "/api/v1/social/sync") => 11,
+        (Method::Post, "/api/v1/social/query") => 12,
+        (Method::Post, "/api/v1/misc/geolocate") => 13,
+        (Method::Post, "/api/v1/misc/geolocate_signature") => 14,
+        (Method::Post, "/api/v1/analytics/arrival") => 15,
+        (Method::Post, "/api/v1/analytics/next_visit") => 16,
+        (Method::Post, "/api/v1/analytics/frequency") => 17,
+        (Method::Post, "/api/v1/analytics/activity") => 18,
+        (Method::Post, "/api/v1/analytics/next_place") => 19,
+        _ => ENDPOINT_LABELS.len() - 1,
+    }
+}
+
+/// Registry-backed cloud counters.
+///
+/// Two registries are involved on purpose. Per-**endpoint** requests,
+/// idempotent-replay counts, and the analytics cache hit/miss counters
+/// are order-independent aggregates, so they may bind to a study-wide
+/// shared registry via [`CloudInstance::with_obs`]. Per-**shard** counts
+/// stay in the instance's private registry always: the user-id → shard
+/// mapping depends on registration order, which races across thread
+/// schedules, and admitting it into a shared snapshot would break the
+/// byte-identical determinism guarantee.
+#[derive(Debug)]
+struct CloudMetrics {
+    /// Private always-on registry backing the legacy snapshot views.
+    private: Obs,
+    shard_requests: Vec<Counter>,
+    /// Indexed by [`endpoint_index`].
+    endpoint_requests: Vec<Counter>,
+    replay_discover: Counter,
+    replay_places_sync: Counter,
+    replay_routes_sync: Counter,
+    replay_profiles_sync: Counter,
+    replay_social_sync: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    /// Wall-clock latency per endpoint, bench builds only.
+    #[cfg(feature = "wallclock")]
+    endpoint_nanos: Vec<pmware_obs::Histogram>,
+}
+
+impl CloudMetrics {
+    fn new() -> CloudMetrics {
+        let private = Obs::new().for_actor("cloud");
+        Self::resolve(private.clone(), private)
+    }
+
+    fn resolve(private: Obs, obs: Obs) -> CloudMetrics {
+        let shard_requests = (0..SHARD_COUNT)
+            .map(|i| {
+                let shard = format!("{i:02}");
+                private.counter("cloud_shard_requests_total", &[("shard", &shard)])
+            })
+            .collect();
+        let endpoint_requests = ENDPOINT_LABELS
+            .iter()
+            .map(|label| obs.counter("cloud_requests_total", &[("endpoint", label)]))
+            .collect();
+        #[cfg(feature = "wallclock")]
+        let endpoint_nanos = ENDPOINT_LABELS
+            .iter()
+            .map(|label| {
+                obs.histogram(
+                    "cloud_endpoint_nanos",
+                    &[("endpoint", label)],
+                    &pmware_obs::profiling::NANO_BOUNDS,
+                )
+            })
+            .collect();
+        CloudMetrics {
+            shard_requests,
+            endpoint_requests,
+            replay_discover: obs.counter("cloud_replays_total", &[("endpoint", "places_discover")]),
+            replay_places_sync: obs.counter("cloud_replays_total", &[("endpoint", "places_sync")]),
+            replay_routes_sync: obs.counter("cloud_replays_total", &[("endpoint", "routes_sync")]),
+            replay_profiles_sync: obs
+                .counter("cloud_replays_total", &[("endpoint", "profiles_sync")]),
+            replay_social_sync: obs.counter("cloud_replays_total", &[("endpoint", "social_sync")]),
+            cache_hits: obs.counter("cloud_analytics_cache_total", &[("result", "hit")]),
+            cache_misses: obs.counter("cloud_analytics_cache_total", &[("result", "miss")]),
+            #[cfg(feature = "wallclock")]
+            endpoint_nanos,
+            private,
+        }
+    }
 }
 
 /// The PMWare cloud instance (PCI).
@@ -130,6 +261,7 @@ pub struct CloudInstance {
     gca_config: RwLock<GcaConfig>,
     rng: Mutex<StdRng>,
     outage: AtomicBool,
+    metrics: CloudMetrics,
 }
 
 /// Cloneable, thread-safe handle to a [`CloudInstance`].
@@ -279,7 +411,53 @@ impl CloudInstance {
             gca_config: RwLock::new(GcaConfig::default()),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             outage: AtomicBool::new(false),
+            metrics: CloudMetrics::new(),
         }
+    }
+
+    /// Binds the instance's aggregate counters (per-endpoint requests,
+    /// replay counts, analytics cache hits) to `obs`, carrying anything
+    /// already recorded. Per-shard counts stay private — see
+    /// [`CloudMetrics`]. A builder, meant to run before the instance is
+    /// wrapped in a [`SharedCloud`]:
+    ///
+    /// ```
+    /// use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
+    /// use pmware_obs::Obs;
+    ///
+    /// let obs = Obs::new();
+    /// let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::new(), 1).with_obs(&obs));
+    /// ```
+    pub fn with_obs(mut self, obs: &Obs) -> CloudInstance {
+        let private = self.metrics.private.clone();
+        let obs = obs.clone().metrics_or(&private);
+        let previous = std::mem::replace(&mut self.metrics, CloudMetrics::resolve(private, obs));
+        for (new, old) in self
+            .metrics
+            .endpoint_requests
+            .iter()
+            .zip(previous.endpoint_requests.iter())
+        {
+            let v = old.get();
+            if v > 0 {
+                new.set(v);
+            }
+        }
+        for (new, old) in [
+            (&self.metrics.replay_discover, &previous.replay_discover),
+            (&self.metrics.replay_places_sync, &previous.replay_places_sync),
+            (&self.metrics.replay_routes_sync, &previous.replay_routes_sync),
+            (&self.metrics.replay_profiles_sync, &previous.replay_profiles_sync),
+            (&self.metrics.replay_social_sync, &previous.replay_social_sync),
+            (&self.metrics.cache_hits, &previous.cache_hits),
+            (&self.metrics.cache_misses, &previous.cache_misses),
+        ] {
+            let v = old.get();
+            if v > 0 {
+                new.set(v);
+            }
+        }
+        self
     }
 
     /// Fault injection for tests and resilience experiments: while an
@@ -322,15 +500,19 @@ impl CloudInstance {
         self.shards.len()
     }
 
-    /// Authenticated requests handled so far, broken down by shard.
+    /// Authenticated requests handled so far, broken down by shard — a
+    /// snapshot view over the metrics registry.
+    ///
+    /// Unauthenticated `/api/v1/registration` requests never reach a
+    /// shard and are **not** counted here; since they still cost the
+    /// server work, they are counted in the metrics registry under
+    /// `cloud_requests_total{endpoint="register"}`.
     pub fn shard_request_counts(&self) -> Vec<u64> {
-        self.shards
-            .iter()
-            .map(|s| s.requests.load(Ordering::Relaxed))
-            .collect()
+        self.metrics.shard_requests.iter().map(|c| c.get()).collect()
     }
 
-    /// Total authenticated requests handled so far.
+    /// Total authenticated requests handled so far. Registrations are
+    /// excluded — see [`CloudInstance::shard_request_counts`].
     pub fn total_requests(&self) -> u64 {
         self.shard_request_counts().iter().sum()
     }
@@ -395,6 +577,19 @@ impl CloudInstance {
             return Response { status: 503, body: json!({"error": "service unavailable"}) };
         }
         let path = request.path.as_str();
+        let endpoint = endpoint_index(request.method, path);
+        self.metrics.endpoint_requests[endpoint].inc();
+        #[cfg(feature = "wallclock")]
+        let timer = pmware_obs::profiling::WallTimer::start();
+        let response = self.route(request, path, now);
+        #[cfg(feature = "wallclock")]
+        timer.record(&self.metrics.endpoint_nanos[endpoint]);
+        response
+    }
+
+    /// Routes one request (everything in [`CloudInstance::handle`] past
+    /// the accounting preamble).
+    fn route(&self, request: &Request, path: &str, now: SimTime) -> Response {
         // Unauthenticated endpoints.
         if let (Method::Post, "/api/v1/registration") = (request.method, path) {
             return self.register(request, now);
@@ -407,7 +602,7 @@ impl CloudInstance {
         let Some(user) = self.tokens.read().validate(token, now) else {
             return Response::unauthorized("invalid or expired token");
         };
-        self.shard(user).requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.shard_requests[user.0 as usize % self.shards.len()].inc();
 
         match (request.method, path) {
             (Method::Post, "/api/v1/token/refresh") => {
@@ -449,6 +644,9 @@ impl CloudInstance {
                                 store.absorbed_upto = start;
                             }
                             let skip = (store.absorbed_upto - start) as usize;
+                            if skip > 0 {
+                                self.metrics.replay_discover.inc();
+                            }
                             if (skip as u64) < len {
                                 store.absorbed_upto = start + len;
                                 let engine =
@@ -494,6 +692,9 @@ impl CloudInstance {
                     // one (or delivered twice) must not clobber it.
                     let stale =
                         body.seq.is_some_and(|seq| seq <= store.places_seq);
+                    if stale {
+                        self.metrics.replay_places_sync.inc();
+                    }
                     if !stale {
                         store.places = body.places;
                         if let Some(seq) = body.seq {
@@ -527,6 +728,7 @@ impl CloudInstance {
                         let store = self.store_of(user);
                         let store = store.lock();
                         if body.seq.is_some_and(|seq| seq <= store.routes_seq) {
+                            self.metrics.replay_routes_sync.inc();
                             return Response::ok(json!({
                                 "stored": store.routes.routes().len(),
                                 "stale": true,
@@ -587,6 +789,9 @@ impl CloudInstance {
                     let stale = body.seq.is_some_and(|seq| {
                         store.profile_seq.get(&day).is_some_and(|&s| seq <= s)
                     });
+                    if stale {
+                        self.metrics.replay_profiles_sync.inc();
+                    }
                     if !stale {
                         store.history.upsert(body.profile);
                         if let Some(seq) = body.seq {
@@ -628,6 +833,9 @@ impl CloudInstance {
                                 store.contacts_absorbed = first_seq;
                             }
                             let skip = (store.contacts_absorbed - first_seq) as usize;
+                            if skip > 0 {
+                                self.metrics.replay_social_sync.inc();
+                            }
                             if (skip as u64) < len {
                                 store.contacts.extend(
                                     body.contacts.into_iter().skip(skip),
@@ -744,8 +952,11 @@ impl CloudInstance {
                     let stale =
                         store.next_place.as_ref().map(|(g, _)| *g) != Some(generation);
                     if stale {
+                        self.metrics.cache_misses.inc();
                         let model = MarkovPredictor::train(&store.history);
                         store.next_place = Some((generation, model));
+                    } else {
+                        self.metrics.cache_hits.inc();
                     }
                     let (_, model) =
                         store.next_place.as_ref().expect("cache filled above");
@@ -1480,6 +1691,47 @@ mod tests {
         assert_eq!(counts[0], 3);
         assert_eq!(counts[1], 1);
         assert_eq!(c.total_requests(), 4);
+    }
+
+    #[test]
+    fn registrations_count_under_the_register_endpoint_label() {
+        let obs = Obs::new();
+        let c = cloud().with_obs(&obs);
+        let now = SimTime::EPOCH;
+        let t0 = register(&c, 0, now);
+        let _t1 = register(&c, 1, now);
+        c.handle(&Request::get("/api/v1/places").with_token(&t0), now);
+        // Legacy views keep their authenticated-only promise...
+        assert_eq!(c.total_requests(), 1);
+        // ...while the registry sees the registrations too.
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter_value("cloud_requests_total{endpoint=\"register\"}"), 2);
+        assert_eq!(snap.counter_value("cloud_requests_total{endpoint=\"places_list\"}"), 1);
+        // Shard attribution stays out of the shared registry (its labels
+        // depend on registration order, which is racy under threads).
+        assert_eq!(snap.counter_sum_with_prefix("cloud_shard_requests_total"), 0);
+    }
+
+    #[test]
+    fn replay_and_cache_metrics_fire() {
+        let obs = Obs::new();
+        let c = cloud().with_obs(&obs);
+        let now = SimTime::EPOCH;
+        let token = register(&c, 0, now);
+        // Stale places sync (same seq twice) → one replay.
+        let sync = Request::post("/api/v1/places/sync", json!({"places": [], "seq": 1}))
+            .with_token(&token);
+        assert!(c.handle(&sync, now).is_success());
+        assert!(c.handle(&sync, now).is_success());
+        // next_place: first query trains (miss), second hits the memo.
+        let query = Request::post("/api/v1/analytics/next_place", json!({"place": 0}))
+            .with_token(&token);
+        assert!(c.handle(&query, now).is_success());
+        assert!(c.handle(&query, now).is_success());
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(snap.counter_value("cloud_replays_total{endpoint=\"places_sync\"}"), 1);
+        assert_eq!(snap.counter_value("cloud_analytics_cache_total{result=\"miss\"}"), 1);
+        assert_eq!(snap.counter_value("cloud_analytics_cache_total{result=\"hit\"}"), 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use pmware_obs::{Counter, FieldValue, Obs};
 use pmware_world::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -125,6 +126,19 @@ pub enum FaultKind {
     Reorder,
     /// Transport-level error response without touching the server.
     Error,
+}
+
+impl FaultKind {
+    /// Stable lower-case name, used as the `kind` metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Error => "error",
+        }
+    }
 }
 
 /// All five fault kinds.
@@ -239,6 +253,49 @@ struct HeldRequest {
     after_next: bool,
 }
 
+/// Registry-backed fault counters. The decorator always carries a live
+/// registry (a private one by default), so [`FaultyCloud::stats`] stays a
+/// correct snapshot view whether or not a study attached shared
+/// observability via [`FaultyCloud::set_obs`].
+#[derive(Debug)]
+struct FaultMetrics {
+    obs: Obs,
+    requests: Counter,
+    /// Indexed in [`ALL_FAULT_KINDS`] order.
+    by_kind: [Counter; ALL_FAULT_KINDS.len()],
+    late_deliveries: Counter,
+}
+
+impl FaultMetrics {
+    fn resolve(obs: Obs) -> FaultMetrics {
+        let requests = obs.counter("transport_requests_total", &[]);
+        let by_kind = std::array::from_fn(|i| {
+            obs.counter("transport_faults_total", &[("kind", ALL_FAULT_KINDS[i].label())])
+        });
+        let late_deliveries = obs.counter("transport_late_deliveries_total", &[]);
+        FaultMetrics { obs, requests, by_kind, late_deliveries }
+    }
+
+    fn kind(&self, kind: FaultKind) -> &Counter {
+        let slot = ALL_FAULT_KINDS.iter().position(|k| *k == kind).expect("known kind");
+        &self.by_kind[slot]
+    }
+
+    fn snapshot(&self) -> FaultStats {
+        let per: Vec<u64> = self.by_kind.iter().map(|c| c.get()).collect();
+        FaultStats {
+            requests: self.requests.get(),
+            faults: per.iter().sum(),
+            drops: per[0],
+            delays: per[1],
+            duplicates: per[2],
+            reorders: per[3],
+            errors: per[4],
+            late_deliveries: self.late_deliveries.get(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct FaultState {
     plan: FaultPlan,
@@ -247,7 +304,7 @@ struct FaultState {
     /// Matching requests seen so far (the schedule index).
     seen: u64,
     held: VecDeque<HeldRequest>,
-    stats: FaultStats,
+    metrics: FaultMetrics,
 }
 
 impl FaultState {
@@ -303,9 +360,27 @@ impl FaultyCloud {
                 enabled: true,
                 seen: 0,
                 held: VecDeque::new(),
-                stats: FaultStats::default(),
+                metrics: FaultMetrics::resolve(Obs::new().for_actor("transport")),
             })),
         }
+    }
+
+    /// Re-binds the decorator's counters (and trace events) to `obs`,
+    /// carrying the totals accumulated so far. With a metrics-less handle
+    /// the private registry is kept so [`FaultyCloud::stats`] stays
+    /// correct.
+    pub fn set_obs(&self, obs: &Obs) {
+        let mut state = self.state.lock();
+        let current = state.metrics.snapshot();
+        let obs = obs.clone().metrics_or(&state.metrics.obs);
+        state.metrics = FaultMetrics::resolve(obs);
+        state.metrics.requests.set(current.requests);
+        state.metrics.kind(FaultKind::Drop).set(current.drops);
+        state.metrics.kind(FaultKind::Delay).set(current.delays);
+        state.metrics.kind(FaultKind::Duplicate).set(current.duplicates);
+        state.metrics.kind(FaultKind::Reorder).set(current.reorders);
+        state.metrics.kind(FaultKind::Error).set(current.errors);
+        state.metrics.late_deliveries.set(current.late_deliveries);
     }
 
     /// The undecorated cloud, for server-side assertions and outage flags.
@@ -320,9 +395,10 @@ impl FaultyCloud {
         self.state.lock().enabled = enabled;
     }
 
-    /// What the decorator has done so far.
+    /// What the decorator has done so far (a snapshot view over the
+    /// metrics registry).
     pub fn stats(&self) -> FaultStats {
-        self.state.lock().stats
+        self.state.lock().metrics.snapshot()
     }
 
     /// Delivers every held request (delayed or reordered) to the server at
@@ -331,7 +407,7 @@ impl FaultyCloud {
     pub fn flush(&self, now: SimTime) {
         let mut state = self.state.lock();
         while let Some(held) = state.held.pop_front() {
-            state.stats.late_deliveries += 1;
+            state.metrics.late_deliveries.inc();
             let _ = self.inner.handle(&held.request, now);
         }
     }
@@ -341,7 +417,7 @@ impl FaultyCloud {
         let mut keep = VecDeque::new();
         while let Some(held) = state.held.pop_front() {
             if !held.after_next && held.due <= now {
-                state.stats.late_deliveries += 1;
+                state.metrics.late_deliveries.inc();
                 let _ = self.inner.handle(&held.request, now);
             } else {
                 keep.push_back(held);
@@ -356,7 +432,7 @@ impl FaultyCloud {
         let mut keep = VecDeque::new();
         while let Some(held) = state.held.pop_front() {
             if held.after_next {
-                state.stats.late_deliveries += 1;
+                state.metrics.late_deliveries.inc();
                 let _ = self.inner.handle(&held.request, now);
             } else {
                 keep.push_back(held);
@@ -376,32 +452,34 @@ impl FaultyCloud {
 impl CloudTransport for FaultyCloud {
     fn send(&self, request: &Request, now: SimTime) -> Response {
         let mut state = self.state.lock();
-        state.stats.requests += 1;
+        state.metrics.requests.inc();
         // Held traffic whose due time has passed lands first.
         self.flush_due(&mut state, now);
-        match state.decide(request) {
+        let decision = state.decide(request);
+        if let Some(kind) = decision {
+            state.metrics.kind(kind).inc();
+            state.metrics.obs.event(
+                now,
+                "transport.fault",
+                &[
+                    ("kind", FieldValue::from(kind.label())),
+                    ("path", FieldValue::from(request.path.as_str())),
+                ],
+            );
+        }
+        match decision {
             None => {
                 let response = self.inner.handle(request, now);
                 // A reordered predecessor is delivered right behind us.
                 self.flush_after_next(&mut state, now);
                 response
             }
-            Some(FaultKind::Drop) => {
-                state.stats.faults += 1;
-                state.stats.drops += 1;
-                Self::timeout_response()
-            }
-            Some(FaultKind::Error) => {
-                state.stats.faults += 1;
-                state.stats.errors += 1;
-                Response {
-                    status: STATUS_INJECTED_ERROR,
-                    body: json!({ "error": "bad gateway (injected)" }),
-                }
-            }
+            Some(FaultKind::Drop) => Self::timeout_response(),
+            Some(FaultKind::Error) => Response {
+                status: STATUS_INJECTED_ERROR,
+                body: json!({ "error": "bad gateway (injected)" }),
+            },
             Some(FaultKind::Delay) => {
-                state.stats.faults += 1;
-                state.stats.delays += 1;
                 let due = now + state.plan.delay;
                 state
                     .held
@@ -409,16 +487,12 @@ impl CloudTransport for FaultyCloud {
                 Self::timeout_response()
             }
             Some(FaultKind::Reorder) => {
-                state.stats.faults += 1;
-                state.stats.reorders += 1;
                 state
                     .held
                     .push_back(HeldRequest { request: request.clone(), due: now, after_next: true });
                 Self::timeout_response()
             }
             Some(FaultKind::Duplicate) => {
-                state.stats.faults += 1;
-                state.stats.duplicates += 1;
                 let _first = self.inner.handle(request, now);
                 self.inner.handle(request, now)
             }

@@ -21,9 +21,11 @@ use pmware_algorithms::route::CanonicalRoute;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
 use pmware_cloud::{
     CloudEndpoint, MobilityProfile, Request, Response, UserId, STATUS_BUDGET_EXHAUSTED,
+    STATUS_TIMEOUT,
 };
 use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use pmware_geo::GeoPoint;
+use pmware_obs::{Counter, FieldValue, Histogram, Obs};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
@@ -107,6 +109,36 @@ pub struct ClientState {
     pub sync_seq: u64,
 }
 
+/// Bucket bounds (whole seconds) for the retry backoff histogram.
+const BACKOFF_BOUNDS: [u64; 9] = [1, 2, 5, 10, 30, 60, 120, 300, 600];
+
+/// Pre-resolved client metric handles; all no-ops until
+/// [`CloudClient::set_obs`] binds a live registry, so the default client
+/// costs nothing extra.
+#[derive(Debug, Clone, Default)]
+struct ClientMetrics {
+    obs: Obs,
+    wire_requests: Counter,
+    retries: Counter,
+    budget_denied: Counter,
+    timeouts: Counter,
+    backoff_seconds: Histogram,
+}
+
+impl ClientMetrics {
+    fn resolve(obs: &Obs) -> ClientMetrics {
+        let labels = [("user", obs.actor())];
+        ClientMetrics {
+            wire_requests: obs.counter("client_wire_requests_total", &labels),
+            retries: obs.counter("client_retries_total", &labels),
+            budget_denied: obs.counter("client_budget_denied_total", &labels),
+            timeouts: obs.counter("client_timeouts_total", &labels),
+            backoff_seconds: obs.histogram("client_backoff_seconds", &labels, &BACKOFF_BOUNDS),
+            obs: obs.clone(),
+        }
+    }
+}
+
 /// A client bound to one registered device.
 #[derive(Debug, Clone)]
 pub struct CloudClient {
@@ -123,6 +155,7 @@ pub struct CloudClient {
     wire_requests: u64,
     /// Retry attempts beyond each first send.
     retries: u64,
+    metrics: ClientMetrics,
 }
 
 impl CloudClient {
@@ -148,6 +181,7 @@ impl CloudClient {
             budget: None,
             wire_requests: 0,
             retries: 0,
+            metrics: ClientMetrics::default(),
         };
         let request = Request::post(
             "/api/v1/registration",
@@ -181,7 +215,17 @@ impl CloudClient {
             budget: None,
             wire_requests: 0,
             retries: 0,
+            metrics: ClientMetrics::default(),
         }
+    }
+
+    /// Binds retry/backoff/budget/timeout accounting (and trace events)
+    /// to `obs`, carrying the totals recorded so far. The default client
+    /// records nothing, so instrumentation is free until a study opts in.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.metrics = ClientMetrics::resolve(obs);
+        self.metrics.wire_requests.set(self.wire_requests);
+        self.metrics.retries.set(self.retries);
     }
 
     /// The durable state to checkpoint.
@@ -241,6 +285,8 @@ impl CloudClient {
         let fresh = CloudClient::register(self.endpoint.clone(), imei, email, now)?;
         self.wire_requests += fresh.wire_requests;
         self.retries += fresh.retries;
+        self.metrics.wire_requests.add(fresh.wire_requests);
+        self.metrics.retries.add(fresh.retries);
         self.user = fresh.user;
         self.token = fresh.token;
         self.token_expires = fresh.token_expires;
@@ -530,20 +576,43 @@ impl CloudClient {
         let mut attempt = 0;
         loop {
             if !self.take_budget() {
+                self.metrics.budget_denied.inc();
+                self.metrics.obs.event(
+                    at,
+                    "client.budget_exhausted",
+                    &[("path", FieldValue::from(request.path.as_str()))],
+                );
                 return Response {
                     status: STATUS_BUDGET_EXHAUSTED,
                     body: json!({ "error": "maintenance request budget exhausted" }),
                 };
             }
             self.wire_requests += 1;
+            self.metrics.wire_requests.inc();
             let response = Self::transport(&self.endpoint, request, at);
+            if response.status == STATUS_TIMEOUT {
+                self.metrics.timeouts.inc();
+            }
             if !retryable(response.status) || attempt + 1 >= class.max_attempts() {
                 return response;
             }
             self.retries += 1;
+            self.metrics.retries.inc();
             let jitter =
                 backoff_jitter(&request.path, attempt, at, backoff.as_seconds() / 2);
-            at = at + backoff + jitter;
+            let wait = backoff + jitter;
+            self.metrics.backoff_seconds.observe(wait.as_seconds());
+            self.metrics.obs.event(
+                at,
+                "client.retry",
+                &[
+                    ("path", FieldValue::from(request.path.as_str())),
+                    ("attempt", FieldValue::from(u64::from(attempt))),
+                    ("status", FieldValue::from(u64::from(response.status))),
+                    ("wait_s", FieldValue::from(wait.as_seconds())),
+                ],
+            );
+            at += wait;
             backoff = SimDuration::from_seconds(
                 (backoff.as_seconds() * 2).min(class.max_backoff().as_seconds()),
             );

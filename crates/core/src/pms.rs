@@ -22,7 +22,8 @@ use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSign
 use pmware_cloud::CloudEndpoint;
 use pmware_device::{Device, MovementDetector, PositionProvider};
 use pmware_geo::GeoPoint;
-use pmware_world::{SimDuration, SimTime};
+use pmware_obs::{Counter, FieldValue, Histogram, Obs};
+use pmware_world::{MotionState, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
@@ -114,6 +115,110 @@ pub struct PmsCounters {
     pub token_refreshes: u64,
 }
 
+/// Sensor-trigger labels, in the order the scheduler's decision lists
+/// them.
+const TRIGGER_LABELS: [&str; 5] = ["accel", "gsm", "wifi", "gps", "bluetooth"];
+
+/// Bucket bounds for the GCA offload batch-size histogram (observations
+/// shipped per nightly pass).
+const GCA_BATCH_BOUNDS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
+
+/// Pre-resolved PMS metric handles. The service always carries a private
+/// registry (so [`PmwareMobileService::counters`] keeps working with no
+/// opt-in); [`PmwareMobileService::set_obs`] rebinds the same handles to a
+/// study-wide registry and carries the totals across.
+#[derive(Debug)]
+struct PmsMetrics {
+    obs: Obs,
+    arrivals: Counter,
+    departures: Counter,
+    routes: Counter,
+    encounters: Counter,
+    gca_offloads: Counter,
+    gca_local_fallbacks: Counter,
+    profiles_synced: Counter,
+    token_refreshes: Counter,
+    sensing_triggers: [Counter; TRIGGER_LABELS.len()],
+    duty_cycle_changes: Counter,
+    intent_broadcasts: Counter,
+    gca_batch_observations: Histogram,
+}
+
+impl PmsMetrics {
+    fn resolve(obs: Obs) -> PmsMetrics {
+        let user = obs.actor().to_string();
+        let labels = [("user", user.as_str())];
+        PmsMetrics {
+            arrivals: obs.counter("pms_arrivals_total", &labels),
+            departures: obs.counter("pms_departures_total", &labels),
+            routes: obs.counter("pms_routes_total", &labels),
+            encounters: obs.counter("pms_encounters_total", &labels),
+            gca_offloads: obs.counter("pms_gca_offloads_total", &labels),
+            gca_local_fallbacks: obs.counter("pms_gca_local_fallbacks_total", &labels),
+            profiles_synced: obs.counter("pms_profiles_synced_total", &labels),
+            token_refreshes: obs.counter("pms_token_refreshes_total", &labels),
+            sensing_triggers: std::array::from_fn(|i| {
+                obs.counter(
+                    "pms_sensing_triggers_total",
+                    &[("interface", TRIGGER_LABELS[i]), ("user", user.as_str())],
+                )
+            }),
+            duty_cycle_changes: obs.counter("pms_duty_cycle_changes_total", &labels),
+            intent_broadcasts: obs.counter("pms_intent_broadcasts_total", &labels),
+            gca_batch_observations: obs.histogram(
+                "pms_gca_batch_observations",
+                &labels,
+                &GCA_BATCH_BOUNDS,
+            ),
+            obs,
+        }
+    }
+
+    /// A snapshot of the durable (checkpointed) counters.
+    fn counters(&self) -> PmsCounters {
+        PmsCounters {
+            arrivals: self.arrivals.get(),
+            departures: self.departures.get(),
+            routes: self.routes.get(),
+            encounters: self.encounters.get(),
+            gca_offloads: self.gca_offloads.get(),
+            gca_local_fallbacks: self.gca_local_fallbacks.get(),
+            profiles_synced: self.profiles_synced.get(),
+            token_refreshes: self.token_refreshes.get(),
+        }
+    }
+
+    /// Seeds the durable counters (restore from a checkpoint, or carrying
+    /// totals across a registry rebind).
+    fn seed(&self, counters: &PmsCounters) {
+        self.arrivals.set(counters.arrivals);
+        self.departures.set(counters.departures);
+        self.routes.set(counters.routes);
+        self.encounters.set(counters.encounters);
+        self.gca_offloads.set(counters.gca_offloads);
+        self.gca_local_fallbacks.set(counters.gca_local_fallbacks);
+        self.profiles_synced.set(counters.profiles_synced);
+        self.token_refreshes.set(counters.token_refreshes);
+    }
+
+    /// Carries the non-checkpointed extras from `old` (registry rebind
+    /// only — these deliberately reset across a reboot, like any other
+    /// process-lifetime diagnostic).
+    fn carry_extras(&self, old: &PmsMetrics) {
+        for (new, old) in self.sensing_triggers.iter().zip(old.sensing_triggers.iter()) {
+            if old.get() > 0 {
+                new.set(old.get());
+            }
+        }
+        if old.duty_cycle_changes.get() > 0 {
+            self.duty_cycle_changes.set(old.duty_cycle_changes.get());
+        }
+        if old.intent_broadcasts.get() > 0 {
+            self.intent_broadcasts.set(old.intent_broadcasts.get());
+        }
+    }
+}
+
 /// End-of-run summary.
 #[derive(Debug, Clone)]
 pub struct PmsReport {
@@ -172,7 +277,10 @@ pub struct PmwareMobileService<'w, P> {
     /// discovery; maintenance offloads only the suffix past this point
     /// (the paper's §2.3.1 "one time computation" per batch of new data).
     offloaded_upto: usize,
-    counters: PmsCounters,
+    metrics: PmsMetrics,
+    /// Last motion state fed to the scheduler; a flip means the duty
+    /// cycle changed. Not checkpointed (pure diagnostics).
+    last_motion: Option<MotionState>,
 }
 
 impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
@@ -189,6 +297,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         now: SimTime,
     ) -> Result<Self, PmsError> {
         let client = CloudClient::register(cloud, &config.imei, &config.email, now)?;
+        let imei = config.imei.clone();
         let scheduler = SensingScheduler::new(config.sensing.clone());
         let movement = MovementDetector::new(config.movement_window);
         let engine = InferenceEngine::new(config.inference.clone());
@@ -214,7 +323,8 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             clock: now,
             last_maintenance_day: None,
             offloaded_upto: 0,
-            counters: PmsCounters::default(),
+            metrics: PmsMetrics::resolve(Obs::new().for_actor(&imei)),
+            last_motion: None,
         })
     }
 
@@ -242,7 +352,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             clock: self.clock,
             last_maintenance_day: self.last_maintenance_day,
             offloaded_upto: self.offloaded_upto as u64,
-            counters: self.counters,
+            counters: self.counters(),
         }
     }
 
@@ -284,6 +394,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             checkpoint.engine,
             &known,
         );
+        let config_imei = config.imei.clone();
         PmwareMobileService {
             config,
             device,
@@ -306,8 +417,28 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             clock: checkpoint.clock,
             last_maintenance_day: checkpoint.last_maintenance_day,
             offloaded_upto: checkpoint.offloaded_upto as usize,
-            counters: checkpoint.counters,
+            metrics: {
+                let metrics = PmsMetrics::resolve(Obs::new().for_actor(&config_imei));
+                metrics.seed(&checkpoint.counters);
+                metrics
+            },
+            last_motion: None,
         }
+    }
+
+    /// Rebinds the service's metrics (and its device's and cloud
+    /// client's) to `obs` — typically a study-wide registry — carrying all
+    /// totals recorded so far. When `obs` has no registry of its own the
+    /// private one is kept, so the legacy [`counters`](Self::counters)
+    /// view never goes dark.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let bound = obs.clone().metrics_or(&self.metrics.obs);
+        let fresh = PmsMetrics::resolve(bound.clone());
+        fresh.seed(&self.metrics.counters());
+        fresh.carry_extras(&self.metrics);
+        self.metrics = fresh;
+        self.device.set_obs(&bound);
+        self.client.set_obs(&bound);
     }
 
     /// Registers a connected application (§2.4 steps 1–2).
@@ -366,9 +497,9 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         self.clock
     }
 
-    /// Event counters.
+    /// Event counters — a point-in-time view over the metrics registry.
     pub fn counters(&self) -> PmsCounters {
-        self.counters
+        self.metrics.counters()
     }
 
     /// Runs the main loop until `until`.
@@ -396,19 +527,38 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         // unreachable), fall back to re-registration, which is idempotent
         // per device identity.
         match self.client.refresh_if_needed(t, self.config.token_refresh_margin) {
-            Ok(true) => self.counters.token_refreshes += 1,
+            Ok(true) => self.metrics.token_refreshes.inc(),
             Ok(false) => {}
             Err(_) => {
                 let (imei, email) = (self.config.imei.clone(), self.config.email.clone());
                 if self.client.reregister(&imei, &email, t).is_ok() {
-                    self.counters.token_refreshes += 1;
+                    self.metrics.token_refreshes.inc();
                 }
             }
         }
 
         let demand = self.apps.demand_at_hour(t.hour_of_day());
         let motion = self.movement.state();
+        if self.last_motion.is_some_and(|prev| prev != motion) {
+            self.metrics.duty_cycle_changes.inc();
+            self.metrics.obs.event(
+                t,
+                "pms.duty_cycle",
+                &[(
+                    "motion",
+                    FieldValue::from(if motion.is_moving() { "moving" } else { "stationary" }),
+                )],
+            );
+        }
+        self.last_motion = Some(motion);
         let decision = self.scheduler.decide(t, demand, motion);
+        let triggered =
+            [decision.accel, decision.gsm, decision.wifi, decision.gps, decision.bluetooth];
+        for (counter, fired) in self.metrics.sensing_triggers.iter().zip(triggered) {
+            if fired {
+                counter.inc();
+            }
+        }
 
         if decision.accel {
             let reading = self.device.read_accelerometer(t);
@@ -479,7 +629,12 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                 self.current_place = Some(stable);
                 self.registry.record_visit(stable);
                 self.profiles.on_arrival(DiscoveredPlaceId(stable.0), time);
-                self.counters.arrivals += 1;
+                self.metrics.arrivals.inc();
+                self.metrics.obs.event(
+                    time,
+                    "pms.arrival",
+                    &[("place", FieldValue::from(u64::from(stable.0)))],
+                );
                 self.broadcast_place_event(actions::PLACE_ARRIVAL, stable, time);
             }
             PlaceEvent::Departure { place, time } => {
@@ -490,7 +645,12 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                 self.current_place = None;
                 self.profiles.on_departure(time);
                 self.last_departure = Some((stable, time));
-                self.counters.departures += 1;
+                self.metrics.departures.inc();
+                self.metrics.obs.event(
+                    time,
+                    "pms.departure",
+                    &[("place", FieldValue::from(u64::from(stable.0)))],
+                );
                 self.broadcast_place_event(actions::PLACE_DEPARTURE, stable, time);
             }
         }
@@ -519,13 +679,14 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             geometry,
         };
         if let Some(route_id) = self.routes.record(observation) {
-            self.counters.routes += 1;
+            self.metrics.routes.inc();
             self.profiles.on_route(route_id, start, end);
             let intent = Intent::new(
                 actions::ROUTE_COMPLETED,
                 end,
                 json!({ "route": route_id, "from": from.0, "to": to.0 }),
             );
+            self.metrics.intent_broadcasts.inc();
             self.apps.bus_mut().broadcast(&intent);
         }
     }
@@ -586,7 +747,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
     }
 
     fn finish_encounter(&mut self, contact: &str, enc: &OpenEncounter) {
-        self.counters.encounters += 1;
+        self.metrics.encounters.inc();
         self.profiles.on_contact(
             contact,
             enc.start,
@@ -607,6 +768,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                 "place": enc.place.map(|p| p.0),
             }),
         );
+        self.metrics.intent_broadcasts.inc();
         self.apps.bus_mut().broadcast(&intent);
     }
 
@@ -628,6 +790,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             .map(|a| (a.id.0.clone(), a.requirement.clone()))
             .collect();
         let prefs = self.prefs.clone();
+        self.metrics.intent_broadcasts.inc();
         self.apps.bus_mut().broadcast_with(action, |app_name| {
             let requirement = requirements.get(app_name)?;
             // Apps only hear place events inside their tracking window
@@ -662,7 +825,8 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
     /// PLACE_NEW broadcasts, geolocation of new places, and profile/route
     /// syncs.
     fn maintenance(&mut self, t: SimTime) {
-        self.counters.gca_offloads += 1;
+        self.metrics.gca_offloads.inc();
+        let wire_before = self.client.wire_requests();
         // A lossy link must not let retries spin unboundedly: the whole
         // pass shares one wire budget, and work cut off by it is simply
         // retried at the next pass (all syncs are at-least-once).
@@ -676,6 +840,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         // there is no longer a periodic full-log compaction (and no
         // suffix-replacement data loss between compactions).
         let observations = &self.engine.gsm_log()[self.offloaded_upto..];
+        self.metrics.gca_batch_observations.observe(observations.len() as u64);
         let places: Vec<DiscoveredPlace> =
             match self
                 .client
@@ -689,7 +854,8 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                     places
                 }
                 Err(_) => {
-                    self.counters.gca_local_fallbacks += 1;
+                    self.metrics.gca_local_fallbacks.inc();
+                    self.metrics.obs.event(t, "pms.gca_local_fallback", &[]);
                     // The engine's incremental view covers the *entire*
                     // local history, so the fallback is just as
                     // authoritative as a cloud reply — and O(places), not
@@ -765,7 +931,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         let mut still_pending = Vec::new();
         for profile in self.pending_profiles.drain(..) {
             if self.client.sync_profile(&profile, t).is_ok() {
-                self.counters.profiles_synced += 1;
+                self.metrics.profiles_synced.inc();
             } else {
                 still_pending.push(profile);
             }
@@ -791,6 +957,15 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         let _ = self.client.sync_routes(self.routes.routes(), t);
         self.sync_pending_contacts(t);
         self.client.end_maintenance_pass();
+        self.metrics.obs.span(
+            t,
+            t,
+            "pms.maintenance",
+            &[(
+                "wire_requests",
+                FieldValue::from(self.client.wire_requests() - wire_before),
+            )],
+        );
     }
 
     /// Ships the unacknowledged contact buffer, tagged with its stream
@@ -826,7 +1001,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             .collect();
         for profile in remaining {
             if self.client.sync_profile(&profile, now).is_ok() {
-                self.counters.profiles_synced += 1;
+                self.metrics.profiles_synced.inc();
             }
         }
         self.sync_pending_contacts(now);
@@ -835,7 +1010,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             places: self.registry.active_places().cloned().collect(),
             energy_joules: battery.drained_joules(),
             energy_by_interface: battery.breakdown().collect(),
-            counters: self.counters,
+            counters: self.counters(),
             intents_delivered: 0, // replaced below
         }
         .with_intents(self.apps.bus_mut().delivered_count())

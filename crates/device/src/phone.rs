@@ -4,6 +4,7 @@ use pmware_geo::{GeoPoint, Meters};
 use pmware_mobility::Itinerary;
 use pmware_world::ids::TowerId;
 use pmware_world::radio::{GsmScratch, RadioEnvironment};
+use pmware_obs::{Counter, Obs};
 use pmware_world::{GpsFix, GsmObservation, MotionState, SimTime, WifiScan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +60,58 @@ const BLUETOOTH_RANGE: Meters = Meters::new(25.0);
 /// Probability that an in-range Bluetooth peer answers an inquiry scan.
 const BLUETOOTH_DETECT_PROB: f64 = 0.85;
 
+/// Converts joules to whole microjoules for the metrics registry.
+/// Integer microjoules keep snapshot totals independent of float
+/// accumulation order.
+fn microjoules(joules: f64) -> u64 {
+    (joules * 1e6).round() as u64
+}
+
+/// Pre-resolved per-interface metric handles. All no-ops until
+/// [`Device::set_obs`] attaches a live registry, so the default device is
+/// exactly as cheap as an uninstrumented one.
+#[derive(Debug, Default)]
+struct DeviceMetrics {
+    /// Indexed in [`Interface::ALL`] order.
+    samples: [Counter; Interface::ALL.len()],
+    energy_uj: [Counter; Interface::ALL.len()],
+    baseline_uj: Counter,
+}
+
+/// Position of `interface` in [`Interface::ALL`], used to index the
+/// pre-resolved handle arrays.
+fn interface_slot(interface: Interface) -> usize {
+    match interface {
+        Interface::Gps => 0,
+        Interface::WifiScan => 1,
+        Interface::Bluetooth => 2,
+        Interface::Gsm => 3,
+        Interface::Accelerometer => 4,
+    }
+}
+
+impl DeviceMetrics {
+    fn resolve(obs: &Obs) -> DeviceMetrics {
+        let actor = obs.actor();
+        let mut metrics = DeviceMetrics::default();
+        for (slot, interface) in Interface::ALL.iter().enumerate() {
+            let labels = [("user", actor), ("interface", interface.label())];
+            metrics.samples[slot] = obs.counter("device_samples_total", &labels);
+            metrics.energy_uj[slot] = obs.counter("device_energy_microjoules_total", &labels);
+        }
+        metrics.baseline_uj = obs
+            .counter("device_energy_microjoules_total", &[("user", actor), ("interface", "baseline")]);
+        metrics
+    }
+
+    #[inline]
+    fn sample(&self, interface: Interface, joules: f64) {
+        let slot = interface_slot(interface);
+        self.samples[slot].inc();
+        self.energy_uj[slot].add(microjoules(joules));
+    }
+}
+
 /// A simulated phone: each sensor read consults the radio environment at
 /// the provider's true position and bills the battery.
 ///
@@ -88,6 +141,7 @@ pub struct Device<'w, P> {
     serving: Option<TowerId>,
     billed_until: SimTime,
     gsm_scratch: GsmScratch,
+    metrics: DeviceMetrics,
 }
 
 impl<'w, P: PositionProvider> Device<'w, P> {
@@ -108,6 +162,30 @@ impl<'w, P: PositionProvider> Device<'w, P> {
             serving: None,
             billed_until: SimTime::EPOCH,
             gsm_scratch: GsmScratch::default(),
+            metrics: DeviceMetrics::default(),
+        }
+    }
+
+    /// Attaches an observability handle: per-interface sample counts and
+    /// microjoules drained flow into its registry from now on, carrying
+    /// over anything already recorded. The default device records
+    /// nothing (every handle is a no-op), so instrumentation costs
+    /// nothing until a study opts in.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let previous = std::mem::replace(&mut self.metrics, DeviceMetrics::resolve(obs));
+        for slot in 0..Interface::ALL.len() {
+            let samples = previous.samples[slot].get();
+            if samples > 0 {
+                self.metrics.samples[slot].set(samples);
+            }
+            let uj = previous.energy_uj[slot].get();
+            if uj > 0 {
+                self.metrics.energy_uj[slot].set(uj);
+            }
+        }
+        let baseline = previous.baseline_uj.get();
+        if baseline > 0 {
+            self.metrics.baseline_uj.set(baseline);
         }
     }
 
@@ -141,16 +219,25 @@ impl<'w, P: PositionProvider> Device<'w, P> {
     pub fn bill_baseline(&mut self, now: SimTime) {
         if now > self.billed_until {
             let dt = now.since(self.billed_until).as_seconds() as f64;
-            self.battery.drain_baseline(self.model.baseline_w() * dt);
+            let joules = self.model.baseline_w() * dt;
+            self.battery.drain_baseline(joules);
+            self.metrics.baseline_uj.add(microjoules(joules));
             self.billed_until = now;
         }
+    }
+
+    /// Bills one sample of `interface` to the battery and mirrors the
+    /// cost into the metrics registry (a no-op until [`Device::set_obs`]).
+    fn drain_sample(&mut self, interface: Interface) {
+        let joules = self.model.sample_cost_j(interface);
+        self.battery.drain(interface, joules);
+        self.metrics.sample(interface, joules);
     }
 
     /// Reads the serving cell. Costs one GSM sample of energy. Returns
     /// `None` outside coverage (energy is still spent on the attempt).
     pub fn sample_gsm(&mut self, t: SimTime) -> Option<GsmObservation> {
-        self.battery
-            .drain(Interface::Gsm, self.model.sample_cost_j(Interface::Gsm));
+        self.drain_sample(Interface::Gsm);
         let pos = self.provider.position_at(t);
         let (obs, serving) = self.env.observe_gsm_with(
             &mut self.gsm_scratch,
@@ -165,10 +252,7 @@ impl<'w, P: PositionProvider> Device<'w, P> {
 
     /// Performs a WiFi scan. Costs one scan of energy.
     pub fn scan_wifi(&mut self, t: SimTime) -> WifiScan {
-        self.battery.drain(
-            Interface::WifiScan,
-            self.model.sample_cost_j(Interface::WifiScan),
-        );
+        self.drain_sample(Interface::WifiScan);
         let pos = self.provider.position_at(t);
         self.env.scan_wifi(pos, t, &mut self.rng)
     }
@@ -176,8 +260,7 @@ impl<'w, P: PositionProvider> Device<'w, P> {
     /// Attempts a GPS fix. Costs one fix of energy even when no fix is
     /// obtained (the receiver still searched for satellites).
     pub fn fix_gps(&mut self, t: SimTime) -> Option<GpsFix> {
-        self.battery
-            .drain(Interface::Gps, self.model.sample_cost_j(Interface::Gps));
+        self.drain_sample(Interface::Gps);
         let pos = self.provider.position_at(t);
         self.env.fix_gps(pos, t, &mut self.rng)
     }
@@ -185,10 +268,7 @@ impl<'w, P: PositionProvider> Device<'w, P> {
     /// Reads one accelerometer window: the true motion state with a small
     /// misclassification probability. Costs one window of energy.
     pub fn read_accelerometer(&mut self, t: SimTime) -> MotionState {
-        self.battery.drain(
-            Interface::Accelerometer,
-            self.model.sample_cost_j(Interface::Accelerometer),
-        );
+        self.drain_sample(Interface::Accelerometer);
         let truth = self.provider.motion_at(t);
         if self.rng.gen_bool(ACCEL_ERROR_PROB) {
             match truth {
@@ -208,10 +288,7 @@ impl<'w, P: PositionProvider> Device<'w, P> {
         t: SimTime,
         peers: &[(I, GeoPoint)],
     ) -> Vec<I> {
-        self.battery.drain(
-            Interface::Bluetooth,
-            self.model.sample_cost_j(Interface::Bluetooth),
-        );
+        self.drain_sample(Interface::Bluetooth);
         let pos = self.provider.position_at(t);
         peers
             .iter()
@@ -326,6 +403,50 @@ mod tests {
         }
         assert!(near_hits > 120, "near peer found {near_hits}/200");
         assert_eq!(far_hits, 0, "far peer must never appear");
+    }
+
+    #[test]
+    fn obs_mirrors_battery_in_microjoules() {
+        let w = world();
+        let env = RadioEnvironment::new(&w, RadioConfig::default());
+        let spot = w.places()[0].position();
+        let mut phone = Device::new(env, spot, EnergyModel::htc_explorer(), 1);
+        let obs = Obs::new().for_actor("p0000");
+        phone.set_obs(&obs);
+        let t = SimTime::EPOCH;
+        let _ = phone.sample_gsm(t);
+        let _ = phone.sample_gsm(SimTime::from_seconds(60));
+        let _ = phone.fix_gps(t);
+        phone.bill_baseline(SimTime::from_seconds(100));
+        let snap = obs.metrics().unwrap().snapshot();
+        assert_eq!(
+            snap.counter_value("device_samples_total{interface=\"gsm\",user=\"p0000\"}"),
+            2
+        );
+        let gsm_uj =
+            snap.counter_value("device_energy_microjoules_total{interface=\"gsm\",user=\"p0000\"}");
+        assert_eq!(gsm_uj, microjoules(phone.battery().drained_by(Interface::Gsm)));
+        let base_uj = snap
+            .counter_value("device_energy_microjoules_total{interface=\"baseline\",user=\"p0000\"}");
+        assert_eq!(base_uj, microjoules(phone.battery().baseline_joules()));
+    }
+
+    #[test]
+    fn set_obs_carries_prior_counts_to_a_new_registry() {
+        let w = world();
+        let env = RadioEnvironment::new(&w, RadioConfig::default());
+        let spot = w.places()[0].position();
+        let mut phone = Device::new(env, spot, EnergyModel::htc_explorer(), 1);
+        let first = Obs::new();
+        phone.set_obs(&first);
+        let _ = phone.sample_gsm(SimTime::EPOCH);
+        let second = Obs::new();
+        phone.set_obs(&second);
+        let snap = second.metrics().unwrap().snapshot();
+        assert_eq!(
+            snap.counter_value("device_samples_total{interface=\"gsm\",user=\"main\"}"),
+            1
+        );
     }
 
     #[test]

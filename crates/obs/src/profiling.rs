@@ -1,0 +1,99 @@
+//! Wall-clock profiling hooks, for bench binaries only.
+//!
+//! Simulation logic runs on [`SimTime`](pmware_world::SimTime) and must
+//! never read the real clock — wall time differs between machines and
+//! runs, and anything derived from it would break the byte-identical
+//! determinism suites. Benches, on the other hand, exist to measure wall
+//! time. This module squares that: [`WallTimer`] reads
+//! [`std::time::Instant`] only when the crate is built with the
+//! `wallclock` cargo feature; without it the same API compiles to a
+//! do-nothing stub, so instrumented call sites cost nothing and, more
+//! importantly, *observe* nothing in simulation builds.
+
+use crate::metrics::Histogram;
+
+/// Nanosecond bucket bounds suitable for endpoint-latency histograms:
+/// powers of four from 256 ns to ~1 s.
+pub const NANO_BOUNDS: [u64; 12] = [
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+];
+
+/// A wall-clock stopwatch. Real under the `wallclock` feature, inert
+/// otherwise.
+#[cfg(feature = "wallclock")]
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer {
+    start: std::time::Instant,
+}
+
+#[cfg(feature = "wallclock")]
+impl WallTimer {
+    /// Starts timing now.
+    pub fn start() -> WallTimer {
+        WallTimer { start: std::time::Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since `start`, saturating at `u64::MAX`.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed nanoseconds into `histogram`.
+    pub fn record(self, histogram: &Histogram) {
+        histogram.observe(self.elapsed_nanos());
+    }
+}
+
+/// A wall-clock stopwatch. Real under the `wallclock` feature, inert
+/// otherwise.
+#[cfg(not(feature = "wallclock"))]
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer;
+
+#[cfg(not(feature = "wallclock"))]
+impl WallTimer {
+    /// Starts nothing; the stub records no time.
+    pub fn start() -> WallTimer {
+        WallTimer
+    }
+
+    /// Always zero in the stub.
+    pub fn elapsed_nanos(&self) -> u64 {
+        0
+    }
+
+    /// Records nothing in the stub.
+    pub fn record(self, _histogram: &Histogram) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_api_is_always_callable() {
+        let timer = WallTimer::start();
+        let h = Histogram::noop();
+        let _ = timer.elapsed_nanos();
+        timer.record(&h);
+    }
+
+    #[cfg(feature = "wallclock")]
+    #[test]
+    fn real_timer_advances() {
+        let timer = WallTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(timer.elapsed_nanos() > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The sim-time structured tracing bus.
+//!
+//! Events and spans are keyed by [`SimTime`] — the clock the simulation
+//! itself runs on — never by wall time, so a trace taken on a fast
+//! machine is byte-identical to one taken on a slow machine. Records are
+//! grouped per *actor* (a participant `p0007`, the `cloud`, the
+//! `transport` shim) in bounded ring buffers. One actor is only ever
+//! written by one thread (each participant runs on a single worker; the
+//! shared layers either do not trace per-request or are driven
+//! single-threaded), so per-actor record order is deterministic, and the
+//! JSONL export walks actors in sorted order — same facts, same bytes,
+//! regardless of thread count.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use parking_lot::Mutex;
+use pmware_world::SimTime;
+use serde_json::{Number, Value};
+
+/// A trace field value: integers or short strings. No floats — field
+/// rendering must be byte-stable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Number(Number::PosInt(*v)),
+            FieldValue::I64(v) => Value::Number(Number::from_i64(*v)),
+            FieldValue::Str(s) => Value::String(s.clone()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TraceRecord {
+    /// Per-actor sequence number, monotonically increasing even when the
+    /// ring drops old records.
+    seq: u64,
+    /// Sim-time of the event (span start, for spans).
+    at: u64,
+    /// Sim-time span end; `None` for point events.
+    end: Option<u64>,
+    name: String,
+    fields: Vec<(String, FieldValue)>,
+}
+
+#[derive(Debug, Default)]
+struct ActorRing {
+    records: VecDeque<TraceRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bus: per-actor bounded rings of sim-time records.
+pub struct TraceBus {
+    actors: Mutex<BTreeMap<String, ActorRing>>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for TraceBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBus")
+            .field("actors", &self.actors.lock().len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl TraceBus {
+    /// A bus keeping at most `capacity` records per actor (oldest records
+    /// are dropped first; the drop count is reported in the export).
+    pub fn new(capacity: usize) -> Self {
+        TraceBus { actors: Mutex::new(BTreeMap::new()), capacity: capacity.max(1) }
+    }
+
+    /// Records a point event.
+    pub fn event(&self, actor: &str, at: SimTime, name: &str, fields: &[(&str, FieldValue)]) {
+        self.push(actor, at, None, name, fields);
+    }
+
+    /// Records a span: an operation covering `[start, end]` in sim time.
+    pub fn span(
+        &self,
+        actor: &str,
+        start: SimTime,
+        end: SimTime,
+        name: &str,
+        fields: &[(&str, FieldValue)],
+    ) {
+        self.push(actor, start, Some(end), name, fields);
+    }
+
+    fn push(
+        &self,
+        actor: &str,
+        at: SimTime,
+        end: Option<SimTime>,
+        name: &str,
+        fields: &[(&str, FieldValue)],
+    ) {
+        let mut actors = self.actors.lock();
+        let ring = actors.entry(actor.to_string()).or_default();
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.records.push_back(TraceRecord {
+            seq,
+            at: at.as_seconds(),
+            end: end.map(|t| t.as_seconds()),
+            name: name.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+    }
+
+    /// Total records currently buffered, across actors.
+    pub fn len(&self) -> usize {
+        self.actors.lock().values().map(|r| r.records.len()).sum()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deterministic JSONL export: one JSON object per line, actors in
+    /// sorted order, records in per-actor sequence order. Each line has
+    /// key-sorted fields `actor`, `at`, (`end`,) `kind`, `name`, `seq`,
+    /// and a nested `fields` object. Actors whose ring overflowed get a
+    /// trailing `kind:"meta"` line carrying the drop count.
+    pub fn export_jsonl(&self) -> String {
+        let actors = self.actors.lock();
+        let mut out = String::new();
+        for (actor, ring) in actors.iter() {
+            for record in &ring.records {
+                let mut obj = BTreeMap::new();
+                obj.insert("actor".to_string(), Value::String(actor.clone()));
+                obj.insert("at".to_string(), Value::Number(Number::PosInt(record.at)));
+                let kind = match record.end {
+                    Some(end) => {
+                        obj.insert("end".to_string(), Value::Number(Number::PosInt(end)));
+                        "span"
+                    }
+                    None => "event",
+                };
+                obj.insert("kind".to_string(), Value::String(kind.to_string()));
+                obj.insert("name".to_string(), Value::String(record.name.clone()));
+                obj.insert("seq".to_string(), Value::Number(Number::PosInt(record.seq)));
+                let mut fields = BTreeMap::new();
+                for (k, v) in &record.fields {
+                    fields.insert(k.clone(), v.to_value());
+                }
+                obj.insert("fields".to_string(), Value::Object(fields));
+                out.push_str(&Value::Object(obj).to_string());
+                out.push('\n');
+            }
+            if ring.dropped > 0 {
+                let mut obj = BTreeMap::new();
+                obj.insert("actor".to_string(), Value::String(actor.clone()));
+                obj.insert("kind".to_string(), Value::String("meta".to_string()));
+                obj.insert("name".to_string(), Value::String("dropped".to_string()));
+                obj.insert("dropped".to_string(), Value::Number(Number::PosInt(ring.dropped)));
+                out.push_str(&Value::Object(obj).to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_seconds(s)
+    }
+
+    #[test]
+    fn export_is_sorted_by_actor_and_sequence() {
+        let bus = TraceBus::new(16);
+        bus.event("p0002", t(10), "b", &[]);
+        bus.event("p0001", t(20), "a", &[("n", 1u64.into())]);
+        bus.event("p0001", t(30), "c", &[]);
+        let jsonl = bus.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"actor\":\"p0001\"") && lines[0].contains("\"name\":\"a\""));
+        assert!(lines[1].contains("\"actor\":\"p0001\"") && lines[1].contains("\"name\":\"c\""));
+        assert!(lines[2].contains("\"actor\":\"p0002\""));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_reports_drops() {
+        let bus = TraceBus::new(2);
+        for i in 0..5u64 {
+            bus.event("a", t(i), "e", &[]);
+        }
+        assert_eq!(bus.len(), 2);
+        let jsonl = bus.export_jsonl();
+        assert!(jsonl.contains("\"dropped\":3"), "{jsonl}");
+        // The surviving records keep their original sequence numbers.
+        assert!(jsonl.contains("\"seq\":3") && jsonl.contains("\"seq\":4"));
+    }
+
+    #[test]
+    fn spans_carry_both_endpoints() {
+        let bus = TraceBus::new(16);
+        bus.span("m", t(100), t(160), "maintenance", &[("budget", 12u64.into())]);
+        let jsonl = bus.export_jsonl();
+        assert!(jsonl.contains("\"at\":100"));
+        assert!(jsonl.contains("\"end\":160"));
+        assert!(jsonl.contains("\"kind\":\"span\""));
+    }
+
+    #[test]
+    fn same_facts_same_bytes() {
+        let make = |order: &[(&str, u64)]| {
+            let bus = TraceBus::new(8);
+            for (actor, at) in order {
+                bus.event(actor, t(*at), "e", &[]);
+            }
+            bus.export_jsonl()
+        };
+        // Different interleavings of *different* actors export identically
+        // as long as each actor's own order is fixed.
+        let a = make(&[("x", 1), ("y", 2), ("x", 3)]);
+        let b_bus = TraceBus::new(8);
+        b_bus.event("y", t(2), "e", &[]);
+        b_bus.event("x", t(1), "e", &[]);
+        b_bus.event("x", t(3), "e", &[]);
+        assert_eq!(a, b_bus.export_jsonl());
+    }
+}

@@ -65,6 +65,55 @@ fn main() {
             model.combined_duration_hours(plan)
         );
     }
+    // Part 3 — the same accounting, live. One simulated day on a real
+    // itinerary with the metrics registry attached: per-interface energy
+    // is read back from the registry snapshot (what `--metrics-out`
+    // exports), not from the battery object — the registry mirrors the
+    // battery to the microjoule.
+    let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(11).build();
+    let population = Population::generate(&world, 1, 11);
+    let itinerary = population.itinerary(&world, population.agents()[0].id(), 1);
+    let env = RadioEnvironment::new(&world, RadioConfig::default());
+    let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 11);
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 11));
+    let obs = Obs::new();
+    let mut pms =
+        PmwareMobileService::new(device, cloud, PmsConfig::for_participant(0), SimTime::EPOCH)
+            .expect("registration succeeds");
+    pms.set_obs(&obs.for_actor("p0000"));
+    let _rx = pms.register_app(
+        "example",
+        AppRequirement::places(Granularity::Building),
+        IntentFilter::all(),
+    );
+    pms.run(SimTime::from_day_time(1, 0, 0, 0)).expect("run succeeds");
+    let battery_joules = pms.battery().drained_joules();
+
+    let snapshot = obs.metrics().expect("live registry").snapshot();
+    println!("\none simulated day, read back from the metrics registry:");
+    for interface in Interface::ALL {
+        let energy_key = format!(
+            "device_energy_microjoules_total{{interface=\"{}\",user=\"p0000\"}}",
+            interface.label()
+        );
+        let samples_key = format!(
+            "device_samples_total{{interface=\"{}\",user=\"p0000\"}}",
+            interface.label()
+        );
+        println!(
+            "  {:>14}: {:>8.1} J over {} samples",
+            interface.label(),
+            snapshot.counter_value(&energy_key) as f64 / 1e6,
+            snapshot.counter_value(&samples_key),
+        );
+    }
+    let total_uj = snapshot.counter_sum_with_prefix("device_energy_microjoules_total");
+    println!(
+        "  registry total {:.1} J (battery object agrees: {:.1} J)",
+        total_uj as f64 / 1e6,
+        battery_joules,
+    );
+
     println!(
         "\nThe full closed-loop version of this comparison (real movement,\n\
          real discovery quality) is `cargo run --release -p pmware-bench --bin ablation_triggered`."

@@ -21,6 +21,7 @@
 //! * [`cloud`] — the PMWare cloud instance (PCI)
 //! * [`core`] — the PMWare mobile service (PMS)
 //! * [`apps`] — connected applications
+//! * [`obs`] — sim-time tracing, metrics registry, profiling hooks
 //!
 //! # Quickstart
 //!
@@ -70,6 +71,7 @@ pub use pmware_core as core;
 pub use pmware_device as device;
 pub use pmware_geo as geo;
 pub use pmware_mobility as mobility;
+pub use pmware_obs as obs;
 pub use pmware_world as world;
 
 /// The most common imports in one place.
@@ -88,6 +90,7 @@ pub mod prelude {
     pub use pmware_device::{Device, EnergyModel, Interface};
     pub use pmware_geo::{GeoPoint, Meters};
     pub use pmware_mobility::{AgentId, Itinerary, Population};
+    pub use pmware_obs::Obs;
     pub use pmware_world::builder::{PlaceMix, RegionProfile, WorldBuilder};
     pub use pmware_world::radio::{RadioConfig, RadioEnvironment};
     pub use pmware_world::{SimDuration, SimTime, World};

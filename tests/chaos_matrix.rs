@@ -129,15 +129,29 @@ fn run_study(
     cloud_seed: u64,
     device_seed: u64,
 ) -> Outcome {
-    let shared = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&sw.world),
-        cloud_seed,
-    ));
+    run_study_obs(sw, plan, reboot, cloud_seed, device_seed, &Obs::disabled())
+}
+
+/// [`run_study`] with an observability sink attached to every layer
+/// (cloud instance, fault-injecting transport, PMS). Collecting metrics
+/// and traces must never change any outcome the chaos matrix pins.
+fn run_study_obs(
+    sw: &StudyWorld,
+    plan: Option<FaultPlan>,
+    reboot: Option<SimTime>,
+    cloud_seed: u64,
+    device_seed: u64,
+    obs: &Obs,
+) -> Outcome {
+    let shared = SharedCloud::new(
+        CloudInstance::new(CellDatabase::from_world(&sw.world), cloud_seed).with_obs(obs),
+    );
     let inject = plan.is_some();
     let faulty = FaultyCloud::new(
         shared.clone(),
         plan.unwrap_or_else(|| FaultPlan::with_rate(0, 0.0)),
     );
+    faulty.set_obs(obs);
     faulty.set_enabled(false);
 
     let env = RadioEnvironment::new(&sw.world, RadioConfig::default());
@@ -150,6 +164,7 @@ fn run_study(
         SimTime::EPOCH,
     )
     .expect("registration is fault-free");
+    pms.set_obs(&obs.for_actor("p0000"));
     let user = pms.cloud_client_mut().user();
     let mut _rx = pms.register_app("chaos-app", app_requirement(), IntentFilter::all());
     pms.set_peer_provider(Box::new(ShadowPeer { itinerary: sw.itinerary.clone() }));
@@ -176,7 +191,9 @@ fn run_study(
                     config.clone(),
                     checkpoint,
                 );
-                // Apps and peers re-attach on boot, like on a real phone.
+                // Apps and peers re-attach on boot, like on a real phone
+                // — and so does the observability sink.
+                pms.set_obs(&obs.for_actor("p0000"));
                 _rx = pms.register_app("chaos-app", app_requirement(), IntentFilter::all());
                 pms.set_peer_provider(Box::new(ShadowPeer {
                     itinerary: sw.itinerary.clone(),
@@ -299,6 +316,58 @@ fn reboot_resumes_bit_identically() {
         .expect("parses")
         .to_json();
     assert_eq!(reparsed, uninterrupted.final_checkpoint_json);
+}
+
+/// Observability attached to every layer — shared cloud, faulty
+/// transport, PMS, device, cloud client — must be a pure reader: the
+/// instrumented run's final state, durable checkpoint bytes, and fault
+/// statistics all equal the uninstrumented run's, under fault injection
+/// *and* a mid-day reboot. Two identically-seeded instrumented runs also
+/// export byte-identical metrics and traces.
+#[test]
+fn observability_is_invisible_to_chaos_runs() {
+    let sw = study_world(9_800);
+    let plan = || {
+        FaultPlan::with_rate(9_855, RATE)
+            .kinds(&[FaultKind::Delay, FaultKind::Error])
+            .only_path("/api/v1/places/sync")
+    };
+    let plain = run_study(&sw, Some(plan()), Some(midday_reboot()), 9_850, 9_860);
+
+    let collect = || {
+        let obs = Obs::with_trace(65_536);
+        let out = run_study_obs(
+            &sw,
+            Some(plan()),
+            Some(midday_reboot()),
+            9_850,
+            9_860,
+            &obs,
+        );
+        (
+            out,
+            obs.metrics_json().expect("live registry"),
+            obs.trace_jsonl().expect("live bus"),
+        )
+    };
+    let (observed, metrics_a, trace_a) = collect();
+
+    assert_eq!(observed.state, plain.state, "observability changed the outcome");
+    assert_eq!(
+        observed.final_checkpoint_json, plain.final_checkpoint_json,
+        "observability changed the durable checkpoint bytes"
+    );
+    assert_eq!(observed.stats, plain.stats, "observability changed fault statistics");
+    assert!(observed.stats.faults > 0, "this scenario must actually inject faults");
+
+    assert!(metrics_a.contains("transport_faults_total"), "{metrics_a}");
+    assert!(trace_a.contains("transport.fault"));
+    assert!(trace_a.contains("client.retry"));
+
+    // Reproducible artefacts: same seed, same bytes.
+    let (_, metrics_b, trace_b) = collect();
+    assert_eq!(metrics_a, metrics_b);
+    assert_eq!(trace_a, trace_b);
 }
 
 /// Analytics queries are read-only, so riding out faults is purely the
