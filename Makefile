@@ -1,12 +1,13 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy chaos bench bench-gca obs
+.PHONY: verify build test clippy fmt chaos bench bench-gca obs
 
 # The full pre-merge gate: release build, the whole test suite, a
-# warning-free clippy pass over every target in the workspace, the
-# chaos gate (fault-injection matrix + soak), and the observability gate
-# (byte-identical golden exports + zero-perturbation overhead bench).
-verify: build test clippy chaos obs
+# warning-free clippy pass over every target in the workspace, a
+# formatting check, the chaos gate (fault-injection matrix + soak), and
+# the observability gate (byte-identical golden exports +
+# zero-perturbation overhead bench).
+verify: build test clippy fmt chaos obs
 
 build:
 	cargo build --release --workspace
@@ -16,6 +17,12 @@ test:
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings
+
+# Formatting is part of the gate: workspace crates only (vendored deps
+# are path dependencies, not workspace members, so fmt never touches
+# them).
+fmt:
+	cargo fmt --check
 
 # The chaos gate: the deterministic fault-injection matrix (five fault
 # kinds x four endpoints x reboot modes, each asserting bit-identical

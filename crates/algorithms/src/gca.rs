@@ -48,9 +48,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::signature::{
-    DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature,
-};
+use crate::signature::{DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature};
 
 /// Tunable parameters of GCA.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,10 +97,7 @@ impl MovementGraph {
         for w in observations.windows(2) {
             let dt = w[1].time.since(w[0].time);
             let dt = dt.min(config.max_sample_gap);
-            *graph
-                .dwell
-                .entry(w[0].cell)
-                .or_insert(SimDuration::ZERO) += dt;
+            *graph.dwell.entry(w[0].cell).or_insert(SimDuration::ZERO) += dt;
         }
         if let Some(last) = observations.last() {
             graph.dwell.entry(last.cell).or_insert(SimDuration::ZERO);
@@ -168,10 +163,7 @@ impl MovementGraph {
         let mut parent: HashMap<CellGlobalId, CellGlobalId> =
             self.dwell.keys().map(|c| (*c, *c)).collect();
 
-        fn find(
-            parent: &mut HashMap<CellGlobalId, CellGlobalId>,
-            x: CellGlobalId,
-        ) -> CellGlobalId {
+        fn find(parent: &mut HashMap<CellGlobalId, CellGlobalId>, x: CellGlobalId) -> CellGlobalId {
             let mut root = x;
             while parent[&root] != root {
                 root = parent[&root];
@@ -230,10 +222,7 @@ pub struct GcaOutput {
 /// # Panics
 ///
 /// Panics in debug builds if `observations` is not time-ordered.
-pub fn discover_places(
-    observations: &[GsmObservation],
-    config: &GcaConfig,
-) -> GcaOutput {
+pub fn discover_places(observations: &[GsmObservation], config: &GcaConfig) -> GcaOutput {
     debug_assert!(
         observations.windows(2).all(|w| w[0].time <= w[1].time),
         "observations must be time-ordered"
@@ -258,7 +247,10 @@ pub fn discover_places(
         visits_by_component
             .entry(run.component)
             .or_default()
-            .push(DiscoveredVisit { arrival: run.start, departure: run.end });
+            .push(DiscoveredVisit {
+                arrival: run.start,
+                departure: run.end,
+            });
     }
 
     let places = qualify_places(&graph, &components, visits_by_component, config);
@@ -325,7 +317,10 @@ struct RunScan<C> {
 
 impl<C> Default for RunScan<C> {
     fn default() -> Self {
-        RunScan { current: None, foreign: 0 }
+        RunScan {
+            current: None,
+            foreign: 0,
+        }
     }
 }
 
@@ -335,16 +330,28 @@ impl<C: Copy + PartialEq> RunScan<C> {
     /// the only implementation of the run rules — both the batch scan and
     /// the incremental engine step through it, which is what guarantees
     /// their visit extraction is identical.
-    fn step(&mut self, comp: Option<C>, time: SimTime, config: &GcaConfig, closed: &mut Vec<Run<C>>) {
+    fn step(
+        &mut self,
+        comp: Option<C>,
+        time: SimTime,
+        config: &GcaConfig,
+        closed: &mut Vec<Run<C>>,
+    ) {
         match (&mut self.current, comp) {
             (Some(run), Some(c)) if c == run.component => {
                 // Break the run across large time gaps (device off / no
                 // coverage for a while).
                 if time.since(run.end)
-                    > config.max_sample_gap.mul_f64((config.run_gap_tolerance + 1) as f64)
+                    > config
+                        .max_sample_gap
+                        .mul_f64((config.run_gap_tolerance + 1) as f64)
                 {
                     closed.push(self.current.take().expect("checked above"));
-                    self.current = Some(Run { component: c, start: time, end: time });
+                    self.current = Some(Run {
+                        component: c,
+                        start: time,
+                        end: time,
+                    });
                 } else {
                     run.end = time;
                 }
@@ -356,7 +363,11 @@ impl<C: Copy + PartialEq> RunScan<C> {
                     closed.push(self.current.take().expect("checked above"));
                     self.foreign = 0;
                     if let Some(c) = other {
-                        self.current = Some(Run { component: c, start: time, end: time });
+                        self.current = Some(Run {
+                            component: c,
+                            start: time,
+                            end: time,
+                        });
                     }
                 } else {
                     // Tolerated glitch: extend the run's end so that a
@@ -365,7 +376,11 @@ impl<C: Copy + PartialEq> RunScan<C> {
                 }
             }
             (None, Some(c)) => {
-                self.current = Some(Run { component: c, start: time, end: time });
+                self.current = Some(Run {
+                    component: c,
+                    start: time,
+                    end: time,
+                });
                 self.foreign = 0;
             }
             (None, None) => {}
@@ -381,7 +396,12 @@ fn extract_runs(
     let mut closed = Vec::new();
     let mut scan = RunScan::default();
     for obs in observations {
-        scan.step(component_of.get(&obs.cell).copied(), obs.time, config, &mut closed);
+        scan.step(
+            component_of.get(&obs.cell).copied(),
+            obs.time,
+            config,
+            &mut closed,
+        );
     }
     if let Some(run) = scan.current {
         closed.push(run);
@@ -605,10 +625,16 @@ impl IncrementalGca {
             visits_by_component
                 .entry(idx)
                 .or_default()
-                .push(DiscoveredVisit { arrival: run.start, departure: run.end });
+                .push(DiscoveredVisit {
+                    arrival: run.start,
+                    departure: run.end,
+                });
         }
         let places = qualify_places(&self.graph, &components, visits_by_component, &self.config);
-        GcaOutput { places, graph: self.graph.clone() }
+        GcaOutput {
+            places,
+            graph: self.graph.clone(),
+        }
     }
 
     /// Consumes the engine and returns the final output (same view as
@@ -682,7 +708,10 @@ impl CellPlaceTracker {
     ///
     /// Panics if either confirmation count is zero.
     pub fn new(places: &[DiscoveredPlace], confirm_in: u32, confirm_out: u32) -> Self {
-        assert!(confirm_in > 0 && confirm_out > 0, "confirmation counts must be positive");
+        assert!(
+            confirm_in > 0 && confirm_out > 0,
+            "confirmation counts must be positive"
+        );
         let mut cell_to_place = HashMap::new();
         for place in places {
             if let PlaceSignature::Cells(cells) = &place.signature {
@@ -758,7 +787,12 @@ impl CellPlaceTracker {
                 }
                 None => *candidate = None,
             },
-            TrackerState::At { place, strikes, last_inside, .. } => {
+            TrackerState::At {
+                place,
+                strikes,
+                last_inside,
+                ..
+            } => {
                 if here == Some(*place) {
                     *strikes = 0;
                     *last_inside = obs.time;

@@ -19,9 +19,7 @@ use pmware_geo::{GeoPoint, Meters};
 use pmware_world::{GpsFix, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::signature::{
-    DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature,
-};
+use crate::signature::{DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature};
 
 /// Tunable parameters of the Kang et al. clustering.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,7 +77,10 @@ impl Cluster {
         self.sum_lng += fix.position.longitude();
         self.count += 1;
         self.end = fix.time;
-        let d = self.centroid().equirectangular_distance(fix.position).value();
+        let d = self
+            .centroid()
+            .equirectangular_distance(fix.position)
+            .value();
         self.max_radius = self.max_radius.max(d);
     }
 
@@ -117,9 +118,7 @@ pub fn discover_places(fixes: &[GpsFix], config: &KangConfig) -> Vec<DiscoveredP
                     // Start the next cluster from the two outside fixes if
                     // they agree with each other, else from the newest.
                     let mut next = Cluster::new(&first_out);
-                    if next
-                        .centroid()
-                        .equirectangular_distance(fix.position)
+                    if next.centroid().equirectangular_distance(fix.position)
                         <= config.distance_threshold
                     {
                         next.add(fix);
@@ -144,15 +143,17 @@ fn close_cluster(cluster: Cluster, places: &mut Vec<DiscoveredPlace>, config: &K
         return;
     }
     let centroid = cluster.centroid();
-    let visit = DiscoveredVisit { arrival: cluster.start, departure: cluster.end };
+    let visit = DiscoveredVisit {
+        arrival: cluster.start,
+        departure: cluster.end,
+    };
     // Merge into an existing place when centroids are close.
     for place in places.iter_mut() {
         if let PlaceSignature::Coordinates { center, radius } = &mut place.signature {
             if center.equirectangular_distance(centroid) <= config.merge_distance {
                 place.visits.push(visit);
                 // Grow the effective radius to cover the new evidence.
-                let needed = center.equirectangular_distance(centroid).value()
-                    + cluster.max_radius;
+                let needed = center.equirectangular_distance(centroid).value() + cluster.max_radius;
                 if needed > radius.value() {
                     *radius = Meters::new(needed);
                 }
@@ -260,7 +261,11 @@ mod tests {
         v.extend((16..30).map(|m| fix(m, home(), (m % 3) as f64 * 5.0, 180.0)));
         let places = discover_places(&v, &KangConfig::default());
         assert_eq!(places.len(), 1);
-        assert_eq!(places[0].visits.len(), 1, "outlier must not split the visit");
+        assert_eq!(
+            places[0].visits.len(),
+            1,
+            "outlier must not split the visit"
+        );
     }
 
     #[test]
@@ -284,7 +289,10 @@ mod tests {
         let places = discover_places(&v, &KangConfig::default());
         assert_eq!(places.len(), 1);
         if let PlaceSignature::Coordinates { radius, .. } = places[0].signature {
-            assert!(radius.value() >= 30.0 && radius.value() <= 120.0, "{radius}");
+            assert!(
+                radius.value() >= 30.0 && radius.value() <= 120.0,
+                "{radius}"
+            );
         }
     }
 }

@@ -147,8 +147,7 @@ pub fn classify_places(
     );
 
     // Attribute each discovered place's visit time to true places.
-    let mut attribution: Vec<BTreeMap<PlaceId, SimDuration>> =
-        Vec::with_capacity(discovered.len());
+    let mut attribution: Vec<BTreeMap<PlaceId, SimDuration>> = Vec::with_capacity(discovered.len());
     for place in discovered {
         let mut shares: BTreeMap<PlaceId, SimDuration> = BTreeMap::new();
         for visit in &place.visits {
@@ -206,10 +205,20 @@ pub fn classify_places(
                 MatchOutcome::Correct
             }
         };
-        matches.push(PlaceMatch { discovered: place.id, outcome, true_places });
+        matches.push(PlaceMatch {
+            discovered: place.id,
+            outcome,
+            true_places,
+        });
     }
 
-    MatchingReport { matches, correct, merged, divided, no_match }
+    MatchingReport {
+        matches,
+        correct,
+        merged,
+        divided,
+        no_match,
+    }
 }
 
 #[cfg(test)]
@@ -223,7 +232,11 @@ mod tests {
     }
 
     fn gt(place: u32, a: u64, d: u64) -> GroundTruthVisit {
-        GroundTruthVisit { place: PlaceId(place), arrival: t(a), departure: t(d) }
+        GroundTruthVisit {
+            place: PlaceId(place),
+            arrival: t(a),
+            departure: t(d),
+        }
     }
 
     fn dp(id: u32, visits: &[(u64, u64)]) -> DiscoveredPlace {
@@ -235,7 +248,10 @@ mod tests {
             },
             visits
                 .iter()
-                .map(|&(a, d)| DiscoveredVisit { arrival: t(a), departure: t(d) })
+                .map(|&(a, d)| DiscoveredVisit {
+                    arrival: t(a),
+                    departure: t(d),
+                })
                 .collect(),
         )
     }
@@ -295,11 +311,11 @@ mod tests {
     #[test]
     fn mixed_report_fractions() {
         let discovered = vec![
-            dp(0, &[(0, 60)]),            // correct → place 1
+            dp(0, &[(0, 60)]),                // correct → place 1
             dp(1, &[(100, 160), (200, 260)]), // merged → places 2,3
-            dp(2, &[(300, 330)]),         // divided (with dp 3) → place 4
-            dp(3, &[(340, 370)]),         // divided → place 4
-            dp(4, &[(500, 520)]),         // no match
+            dp(2, &[(300, 330)]),             // divided (with dp 3) → place 4
+            dp(3, &[(340, 370)]),             // divided → place 4
+            dp(4, &[(500, 520)]),             // no match
         ];
         let truth = vec![
             gt(1, 0, 60),

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::signature::DiscoveredPlaceId;
 
 /// Identifier of a canonical route in a [`RouteStore`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct RouteId(pub u32);
 
@@ -65,11 +63,7 @@ pub struct RouteObservation {
 
 /// Extracts the deduplicated cell sequence observed in `(start, end)` —
 /// the low-accuracy route geometry.
-pub fn cell_route(
-    observations: &[GsmObservation],
-    start: SimTime,
-    end: SimTime,
-) -> RouteGeometry {
+pub fn cell_route(observations: &[GsmObservation], start: SimTime, end: SimTime) -> RouteGeometry {
     let mut cells: Vec<CellGlobalId> = Vec::new();
     for obs in observations {
         if obs.time < start || obs.time > end {
@@ -198,7 +192,10 @@ impl RouteStore {
             (0.0..=1.0).contains(&match_threshold),
             "threshold must be a fraction, got {match_threshold}"
         );
-        RouteStore { routes: Vec::new(), match_threshold }
+        RouteStore {
+            routes: Vec::new(),
+            match_threshold,
+        }
     }
 
     /// Canonical routes discovered so far.
@@ -244,11 +241,7 @@ impl RouteStore {
     }
 
     /// Routes between two endpoints, most used first.
-    pub fn between(
-        &self,
-        from: DiscoveredPlaceId,
-        to: DiscoveredPlaceId,
-    ) -> Vec<&CanonicalRoute> {
+    pub fn between(&self, from: DiscoveredPlaceId, to: DiscoveredPlaceId) -> Vec<&CanonicalRoute> {
         let mut out: Vec<&CanonicalRoute> = self
             .routes
             .iter()
@@ -297,7 +290,11 @@ mod tests {
             obs(4, cell(3)),
             obs(5, cell(2)),
         ];
-        let geom = cell_route(&stream, SimTime::from_seconds(0), SimTime::from_seconds(360));
+        let geom = cell_route(
+            &stream,
+            SimTime::from_seconds(0),
+            SimTime::from_seconds(360),
+        );
         match geom {
             RouteGeometry::CellSequence(cells) => {
                 assert_eq!(cells, vec![cell(1), cell(2), cell(3), cell(2)]);
@@ -361,17 +358,13 @@ mod tests {
     #[test]
     fn mixed_geometries_incomparable() {
         let a = RouteGeometry::CellSequence(vec![cell(1)]);
-        let b = RouteGeometry::GpsTrace(
-            Polyline::new(vec![p(0.0, 0.0), p(0.0, 0.01)]).unwrap(),
-        );
+        let b = RouteGeometry::GpsTrace(Polyline::new(vec![p(0.0, 0.0), p(0.0, 0.01)]).unwrap());
         assert_eq!(route_similarity(&a, &b), 0.0);
     }
 
     #[test]
     fn gps_similarity_distance_sensitive() {
-        let a = RouteGeometry::GpsTrace(
-            Polyline::new(vec![p(0.0, 0.0), p(0.0, 0.02)]).unwrap(),
-        );
+        let a = RouteGeometry::GpsTrace(Polyline::new(vec![p(0.0, 0.0), p(0.0, 0.02)]).unwrap());
         // Same corridor, 50 m to the north.
         let north = p(0.0, 0.0).destination(0.0, Meters::new(50.0));
         let north2 = p(0.0, 0.02).destination(0.0, Meters::new(50.0));

@@ -23,9 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use pmware_world::{Bssid, SimDuration, SimTime, WifiScan};
 use serde::{Deserialize, Serialize};
 
-use crate::signature::{
-    DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature,
-};
+use crate::signature::{DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature};
 
 /// Tanimoto (Jaccard) coefficient between two AP sets.
 ///
@@ -183,12 +181,16 @@ impl SensLocDetector {
         let mut events = Vec::new();
 
         match &mut self.state {
-            State::Away { prev_scan, streak, streak_start, accum, scan_count } => {
+            State::Away {
+                prev_scan,
+                streak,
+                streak_start,
+                accum,
+                scan_count,
+            } => {
                 let similar = prev_scan
                     .as_ref()
-                    .map(|(_, prev)| {
-                        tanimoto(prev, &aps) >= self.config.enter_threshold
-                    })
+                    .map(|(_, prev)| tanimoto(prev, &aps) >= self.config.enter_threshold)
                     .unwrap_or(false);
                 if similar && !aps.is_empty() {
                     *streak += 1;
@@ -292,7 +294,10 @@ impl SensLocDetector {
         if signature.is_empty() {
             return None;
         }
-        let visit = DiscoveredVisit { arrival: stay.start, departure: stay.last_inside };
+        let visit = DiscoveredVisit {
+            arrival: stay.start,
+            departure: stay.last_inside,
+        };
 
         // Match against known places. Places sharing no AP with the new
         // signature have a Tanimoto of 0 and cannot clear a positive match
@@ -314,9 +319,7 @@ impl SensLocDetector {
         for &idx in &candidates {
             if let PlaceSignature::WifiAps(aps) = &self.places[idx].signature {
                 let sim = tanimoto(aps, &signature);
-                if sim >= self.config.match_threshold
-                    && best.is_none_or(|(_, b)| sim > b)
-                {
+                if sim >= self.config.match_threshold && best.is_none_or(|(_, b)| sim > b) {
                     best = Some((idx, sim));
                 }
             }
@@ -383,7 +386,10 @@ mod tests {
             time: SimTime::from_seconds(minute * 60),
             readings: ids
                 .iter()
-                .map(|&b| WifiReading { bssid: Bssid(b), rssi_dbm: -50.0 })
+                .map(|&b| WifiReading {
+                    bssid: Bssid(b),
+                    rssi_dbm: -50.0,
+                })
                 .collect(),
         }
     }

@@ -11,9 +11,7 @@ use pmware_world::{Bssid, CellGlobalId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// The identity of a discovered place, unique within one discovery run.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct DiscoveredPlaceId(pub u32);
 
@@ -84,9 +82,7 @@ impl DiscoveredVisit {
 
     /// Midpoint of the stay, used when aligning against ground truth.
     pub fn midpoint(&self) -> SimTime {
-        SimTime::from_seconds(
-            (self.arrival.as_seconds() + self.departure.as_seconds()) / 2,
-        )
+        SimTime::from_seconds((self.arrival.as_seconds() + self.departure.as_seconds()) / 2)
     }
 }
 
@@ -110,7 +106,12 @@ impl DiscoveredPlace {
         signature: PlaceSignature,
         visits: Vec<DiscoveredVisit>,
     ) -> Self {
-        DiscoveredPlace { id, signature, visits, label: None }
+        DiscoveredPlace {
+            id,
+            signature,
+            visits,
+            label: None,
+        }
     }
 
     /// Total time spent at the place across all visits.

@@ -29,7 +29,9 @@ fn gca_discovers_agent_places_from_simulated_gsm() {
     // coverage and correctness bars; this one covers 6/7 true places with
     // every evaluable place classified correct under the workspace's
     // xoshiro-based RNG.
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(130).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(130)
+        .build();
     let pop = Population::generate(&world, 1, 131);
     let agent = &pop.agents()[0];
     let days = 7;
@@ -78,7 +80,9 @@ fn gca_discovers_agent_places_from_simulated_gsm() {
 
 #[test]
 fn sensloc_discovers_wifi_covered_places() {
-    let world = WorldBuilder::new(RegionProfile::urban_europe()).seed(200).build();
+    let world = WorldBuilder::new(RegionProfile::urban_europe())
+        .seed(200)
+        .build();
     let pop = Population::generate(&world, 1, 201);
     let agent = &pop.agents()[0];
     let days = 5;
@@ -94,7 +98,10 @@ fn sensloc_discovers_wifi_covered_places() {
     }
 
     let places = sensloc::discover_places(&scans, &SensLocConfig::default());
-    assert!(!places.is_empty(), "urban-europe world has WiFi at >90% of places");
+    assert!(
+        !places.is_empty(),
+        "urban-europe world has WiFi at >90% of places"
+    );
 
     let truth = ground_truth(&it);
     let report = classify_places(&places, &truth, 0.2);
@@ -111,7 +118,9 @@ fn sensloc_discovers_wifi_covered_places() {
 
 #[test]
 fn kang_discovers_places_from_gps() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(300).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(300)
+        .build();
     let pop = Population::generate(&world, 1, 301);
     let agent = &pop.agents()[0];
     let days = 3;

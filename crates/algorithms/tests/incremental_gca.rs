@@ -215,7 +215,10 @@ fn graph_matches_batch_movement_graph() {
 fn zero_min_bounce_weight_still_matches_batch() {
     // Threshold 0 means a single bounce qualifies an edge; the crossing
     // detector must treat the first occurrence as the crossing.
-    let config = GcaConfig { min_bounce_weight: 0, ..GcaConfig::default() };
+    let config = GcaConfig {
+        min_bounce_weight: 0,
+        ..GcaConfig::default()
+    };
     let stream: Vec<GsmObservation> = (0..50)
         .map(|m| obs(m, [1, 2, 1, 1, 3][(m % 5) as usize]))
         .collect();

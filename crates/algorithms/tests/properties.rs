@@ -7,10 +7,14 @@ use pmware_algorithms::gps_cluster::{self, KangConfig};
 use pmware_algorithms::matching::{classify_places, GroundTruthVisit, MatchOutcome};
 use pmware_algorithms::route::{route_similarity, RouteGeometry};
 use pmware_algorithms::sensloc::tanimoto;
-use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature};
+use pmware_algorithms::signature::{
+    DiscoveredPlace, DiscoveredPlaceId, DiscoveredVisit, PlaceSignature,
+};
 use pmware_geo::{GeoPoint, Meters};
 use pmware_world::tower::NetworkLayer;
-use pmware_world::{Bssid, CellGlobalId, CellId, GpsFix, GsmObservation, Lac, PlaceId, Plmn, SimTime};
+use pmware_world::{
+    Bssid, CellGlobalId, CellId, GpsFix, GsmObservation, Lac, PlaceId, Plmn, SimTime,
+};
 use proptest::prelude::*;
 
 fn cell(id: u32) -> CellGlobalId {

@@ -53,8 +53,7 @@ impl UserTasteModel {
     /// Builds the model from an agent's profile: the categories they
     /// actually frequent are the ones whose offers they care about.
     pub fn from_agent(agent: &AgentProfile, seed: u64) -> UserTasteModel {
-        let mut preferred: BTreeSet<PlaceCategory> =
-            agent.frequented_categories().collect();
+        let mut preferred: BTreeSet<PlaceCategory> = agent.frequented_categories().collect();
         // Everyone eats and shops.
         preferred.insert(PlaceCategory::Restaurant);
         preferred.insert(PlaceCategory::Shopping);
@@ -77,14 +76,17 @@ impl UserTasteModel {
     /// Swipes one card given the user's *true* position when it was served.
     pub fn swipe(&mut self, card: &AdCard, true_position: GeoPoint) -> Swipe {
         let distance = true_position.equirectangular_distance(card.ad.position);
-        let relevant =
-            distance <= self.relevance_radius && self.prefers(card.ad.category);
+        let relevant = distance <= self.relevance_radius && self.prefers(card.ad.category);
         let p_like = if relevant {
             self.p_like_relevant
         } else {
             self.p_like_irrelevant
         };
-        let swipe = if self.rng.gen_bool(p_like) { Swipe::Like } else { Swipe::Dislike };
+        let swipe = if self.rng.gen_bool(p_like) {
+            Swipe::Like
+        } else {
+            Swipe::Dislike
+        };
         match swipe {
             Swipe::Like => self.likes += 1,
             Swipe::Dislike => self.dislikes += 1,
@@ -119,7 +121,9 @@ mod tests {
     use pmware_world::SimTime;
 
     fn model() -> UserTasteModel {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(1).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(1)
+            .build();
         let pop = Population::generate(&world, 1, 2);
         UserTasteModel::from_agent(&pop.agents()[0], 3)
     }

@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn trait_dispatch_delivers_intents() {
-        let mut probe = Probe { name: "probe".into(), seen: Vec::new() };
+        let mut probe = Probe {
+            name: "probe".into(),
+            seen: Vec::new(),
+        };
         let intent = Intent::new(actions::PLACE_ARRIVAL, SimTime::EPOCH, json!({}));
         ConnectedApp::on_intent(&mut probe, &intent);
         assert_eq!(probe.seen, vec![actions::PLACE_ARRIVAL.to_owned()]);
@@ -213,20 +216,17 @@ mod tests {
 
     #[test]
     fn harness_end_to_end() {
-        
         use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
         use pmware_core::pms::PmsConfig;
         use pmware_device::{Device, EnergyModel};
         use pmware_mobility::Population;
         use pmware_world::builder::{RegionProfile, WorldBuilder};
         use pmware_world::radio::{RadioConfig, RadioEnvironment};
-        
 
-        let world = WorldBuilder::new(RegionProfile::urban_india()).seed(5000).build();
-        let cloud = SharedCloud::new(CloudInstance::new(
-            CellDatabase::from_world(&world),
-            5001,
-        ));
+        let world = WorldBuilder::new(RegionProfile::urban_india())
+            .seed(5000)
+            .build();
+        let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 5001));
         let pop = Population::generate(&world, 1, 5002);
         let it = pop.itinerary(&world, pop.agents()[0].id(), 3);
         let env = RadioEnvironment::new(&world, RadioConfig::default());
@@ -242,9 +242,15 @@ mod tests {
         let mut harness = AppHarness::new();
         harness.install(
             &mut pms,
-            Box::new(Probe { name: "probe".into(), seen: Vec::new() }),
+            Box::new(Probe {
+                name: "probe".into(),
+                seen: Vec::new(),
+            }),
         );
-        harness.install(&mut pms, Box::new(crate::lifelog::LifeLogApp::new(1.0, 5004)));
+        harness.install(
+            &mut pms,
+            Box::new(crate::lifelog::LifeLogApp::new(1.0, 5004)),
+        );
         assert_eq!(harness.len(), 2);
 
         pms.run(SimTime::from_day_time(3, 0, 0, 0)).unwrap();

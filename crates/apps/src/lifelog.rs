@@ -135,8 +135,7 @@ impl LifeLogApp {
                             .visit_days
                             .insert(SimTime::from_seconds(arrival).day());
                         if departure > arrival {
-                            entry.total_stay +=
-                                SimDuration::from_seconds(departure - arrival);
+                            entry.total_stay += SimDuration::from_seconds(departure - arrival);
                             entry.has_departure_info = true;
                         }
                     }

@@ -213,7 +213,9 @@ mod tests {
     use serde_json::json;
 
     fn world() -> World {
-        WorldBuilder::new(RegionProfile::urban_india()).seed(9).build()
+        WorldBuilder::new(RegionProfile::urban_india())
+            .seed(9)
+            .build()
     }
 
     fn arrival_at(position: GeoPoint, minute: u64) -> Intent {
@@ -255,7 +257,10 @@ mod tests {
         };
         let mut last = (0u8, Meters::ZERO);
         for ad in &near {
-            let key = (rank(ad.category), center.equirectangular_distance(ad.position));
+            let key = (
+                rank(ad.category),
+                center.equirectangular_distance(ad.position),
+            );
             assert!(
                 key.0 > last.0 || (key.0 == last.0 && key.1 >= last.1),
                 "ordering violated"
@@ -299,7 +304,10 @@ mod tests {
         // can appear once, after which nothing is served.
         let mut served = 0;
         for minute in 0..n_candidates as u64 + 5 {
-            if app.on_intent(&arrival_at(shop.position(), minute)).is_some() {
+            if app
+                .on_intent(&arrival_at(shop.position(), minute))
+                .is_some()
+            {
                 served += 1;
             }
         }

@@ -82,8 +82,12 @@ impl TodoApp {
 
     /// Processes one intent (§2.4 step 5); returns newly fired reminders.
     pub fn on_intent(&mut self, intent: &Intent) -> Vec<Reminder> {
-        let Some(workplace) = self.workplace else { return Vec::new() };
-        let Some(place) = intent.extras["place"].as_u64() else { return Vec::new() };
+        let Some(workplace) = self.workplace else {
+            return Vec::new();
+        };
+        let Some(place) = intent.extras["place"].as_u64() else {
+            return Vec::new();
+        };
         if place as u32 != workplace {
             return Vec::new();
         }
@@ -95,7 +99,11 @@ impl TodoApp {
         let on_arrival = intent.action == actions::PLACE_ARRIVAL;
         let new: Vec<Reminder> = notes
             .iter()
-            .map(|n| Reminder { time: intent.time, message: n.clone(), on_arrival })
+            .map(|n| Reminder {
+                time: intent.time,
+                message: n.clone(),
+                on_arrival,
+            })
             .collect();
         self.fired.extend(new.iter().cloned());
         new
@@ -138,13 +146,17 @@ mod tests {
     fn other_places_do_not_fire() {
         let mut app = TodoApp::new();
         app.set_workplace(3);
-        assert!(app.on_intent(&intent(actions::PLACE_ARRIVAL, 5, 9)).is_empty());
+        assert!(app
+            .on_intent(&intent(actions::PLACE_ARRIVAL, 5, 9))
+            .is_empty());
     }
 
     #[test]
     fn unconfigured_app_is_silent() {
         let mut app = TodoApp::new();
-        assert!(app.on_intent(&intent(actions::PLACE_ARRIVAL, 3, 9)).is_empty());
+        assert!(app
+            .on_intent(&intent(actions::PLACE_ARRIVAL, 3, 9))
+            .is_empty());
     }
 
     #[test]

@@ -30,7 +30,9 @@ fn week() -> &'static Streams {
 }
 
 fn simulate_week(days: u64) -> Streams {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(77).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(77)
+        .build();
     let pop = Population::generate(&world, 1, 78);
     let it = pop.itinerary(&world, pop.agents()[0].id(), days);
     let truth = it
@@ -61,7 +63,12 @@ fn simulate_week(days: u64) -> Streams {
             }
         }
     }
-    Streams { gsm, wifi, gps, truth }
+    Streams {
+        gsm,
+        wifi,
+        gps,
+        truth,
+    }
 }
 
 fn bench_gca(c: &mut Criterion) {
@@ -99,13 +106,9 @@ fn bench_sensloc(c: &mut Criterion) {
     let mut group = c.benchmark_group("sensloc");
     for scans in [288usize, 1_000, 2_016] {
         let slice = &week.wifi[..scans.min(week.wifi.len())];
-        group.bench_with_input(
-            BenchmarkId::new("discover", slice.len()),
-            &slice,
-            |b, s| {
-                b.iter(|| sensloc::discover_places(black_box(s), &config));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("discover", slice.len()), &slice, |b, s| {
+            b.iter(|| sensloc::discover_places(black_box(s), &config));
+        });
     }
     group.finish();
 }
@@ -162,7 +165,6 @@ fn bench_matching(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Keep the full suite's wall-clock reasonable: per-benchmark sampling is
 /// trimmed (the workloads here are deterministic simulations, not noisy
 /// syscalls, so 20 samples resolve them fine).
@@ -173,7 +175,7 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_gca,

@@ -12,7 +12,9 @@ use serde_json::json;
 use std::hint::black_box;
 
 fn registered_cloud() -> (CloudInstance, String) {
-    let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(30).build();
+    let world = WorldBuilder::new(RegionProfile::test_tiny())
+        .seed(30)
+        .build();
     let cloud = CloudInstance::new(CellDatabase::from_world(&world), 31);
     let resp = cloud.handle(
         &Request::post(
@@ -93,11 +95,8 @@ fn bench_profile_sync_and_analytics(c: &mut Criterion) {
     group.bench_function("analytics-arrival", |b| {
         b.iter(|| cloud.handle(black_box(&arrival), SimTime::EPOCH));
     });
-    let next = Request::post(
-        "/api/v1/analytics/next_place",
-        json!({"place": 1}),
-    )
-    .with_token(&token);
+    let next =
+        Request::post("/api/v1/analytics/next_place", json!({"place": 1})).with_token(&token);
     group.bench_function("analytics-markov", |b| {
         b.iter(|| cloud.handle(black_box(&next), SimTime::EPOCH));
     });
@@ -127,19 +126,17 @@ fn bench_discovery_offload(c: &mut Criterion) {
             json!({"observations": observations}),
         )
         .with_token(&token);
-        group.bench_with_input(
-            BenchmarkId::new("gca-discover", minutes),
-            &req,
-            |b, req| {
-                b.iter(|| cloud.handle(black_box(req), SimTime::EPOCH));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("gca-discover", minutes), &req, |b, req| {
+            b.iter(|| cloud.handle(black_box(req), SimTime::EPOCH));
+        });
     }
     group.finish();
 }
 
 fn bench_geolocate(c: &mut Criterion) {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(33).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(33)
+        .build();
     let cloud = CloudInstance::new(CellDatabase::from_world(&world), 34);
     let resp = cloud.handle(
         &Request::post(
@@ -167,7 +164,6 @@ fn bench_geolocate(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Keep the full suite's wall-clock reasonable: per-benchmark sampling is
 /// trimmed (the workloads here are deterministic simulations, not noisy
 /// syscalls, so 20 samples resolve them fine).
@@ -178,7 +174,7 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_auth_and_routing,

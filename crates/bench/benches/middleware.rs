@@ -79,19 +79,17 @@ fn bench_coarsening(c: &mut Criterion) {
     let pos = GeoPoint::new(12.971234, 77.594567).unwrap();
     let mut group = c.benchmark_group("privacy");
     for g in [Granularity::Room, Granularity::Building, Granularity::Area] {
-        group.bench_with_input(
-            BenchmarkId::new("coarsen", g.label()),
-            &g,
-            |b, &g| {
-                b.iter(|| coarsen_position(black_box(pos), g));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("coarsen", g.label()), &g, |b, &g| {
+            b.iter(|| coarsen_position(black_box(pos), g));
+        });
     }
     group.finish();
 }
 
 fn bench_full_pms_day(c: &mut Criterion) {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(20).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(20)
+        .build();
     let pop = Population::generate(&world, 1, 21);
     let it = pop.itinerary(&world, pop.agents()[0].id(), 14);
 
@@ -99,10 +97,7 @@ fn bench_full_pms_day(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("one-simulated-day", |b| {
         b.iter(|| {
-            let cloud = SharedCloud::new(CloudInstance::new(
-                CellDatabase::from_world(&world),
-                22,
-            ));
+            let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 22));
             let env = RadioEnvironment::new(&world, RadioConfig::default());
             let device = Device::new(env, &it, EnergyModel::htc_explorer(), 23);
             let mut pms = PmwareMobileService::new(
@@ -124,7 +119,6 @@ fn bench_full_pms_day(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Keep the full suite's wall-clock reasonable: per-benchmark sampling is
 /// trimmed (the workloads here are deterministic simulations, not noisy
 /// syscalls, so 20 samples resolve them fine).
@@ -135,7 +129,7 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_scheduler,

@@ -33,7 +33,9 @@ fn bench_world_build(c: &mut Criterion) {
 }
 
 fn bench_radio(c: &mut Criterion) {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(6).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(6)
+        .build();
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let pos = world.places()[0].position();
     let mut group = c.benchmark_group("radio");
@@ -80,7 +82,9 @@ fn bench_spatial_grid(c: &mut Criterion) {
 }
 
 fn bench_itinerary(c: &mut Criterion) {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(10).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(10)
+        .build();
     let pop = Population::generate(&world, 1, 11);
     let agent = pop.agents()[0].clone();
     let mut group = c.benchmark_group("mobility");
@@ -118,7 +122,6 @@ fn bench_geo(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Keep the full suite's wall-clock reasonable: per-benchmark sampling is
 /// trimmed (the workloads here are deterministic simulations, not noisy
 /// syscalls, so 20 samples resolve them fine).
@@ -129,7 +132,7 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_world_build,

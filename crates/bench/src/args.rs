@@ -21,7 +21,10 @@ pub fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
     match args.next().map(|v| v.parse()) {
         Some(Ok(value)) => value,
         _ => {
-            eprintln!("error: {flag} requires a {} value", std::any::type_name::<T>());
+            eprintln!(
+                "error: {flag} requires a {} value",
+                std::any::type_name::<T>()
+            );
             std::process::exit(2);
         }
     }

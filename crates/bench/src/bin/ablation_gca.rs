@@ -17,7 +17,9 @@ use pmware_world::{GsmObservation, SimDuration, SimTime};
 
 fn main() {
     let days = 14;
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2014).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(2014)
+        .build();
     let pop = Population::generate(&world, 1, 2015);
     let agent = &pop.agents()[0];
     let it = pop.itinerary(&world, agent.id(), days);
@@ -53,7 +55,10 @@ fn main() {
         "threshold", "discovered", "correct", "merged", "divided", "no-match"
     );
     for threshold in [1u32, 2, 3, 5, 8] {
-        let config = GcaConfig { min_bounce_weight: threshold, ..GcaConfig::default() };
+        let config = GcaConfig {
+            min_bounce_weight: threshold,
+            ..GcaConfig::default()
+        };
         report_row(&format!("{threshold}"), &stream, &truth, &config);
     }
 

@@ -21,9 +21,7 @@
 //! to converge.
 
 use pmware_bench::args::flag;
-use pmware_cloud::{
-    CellDatabase, CloudInstance, FaultPlan, FaultyCloud, SharedCloud, UserId,
-};
+use pmware_cloud::{CellDatabase, CloudInstance, FaultPlan, FaultyCloud, SharedCloud, UserId};
 use pmware_core::intents::IntentFilter;
 use pmware_core::{AppRequirement, Granularity, PmsConfig, PmwareMobileService};
 use pmware_device::{Device, EnergyModel};
@@ -95,8 +93,10 @@ fn run_at_rate(
 
     let mut probes = vec![cloud_snapshot(&shared, user)];
     for hour in 1..=24 {
-        pms.run(SimTime::from_day_time(days - 1, 0, 0, 0) + pmware_world::SimDuration::from_hours(hour))
-            .expect("healed segment");
+        pms.run(
+            SimTime::from_day_time(days - 1, 0, 0, 0) + pmware_world::SimDuration::from_hours(hour),
+        )
+        .expect("healed segment");
         probes.push(cloud_snapshot(&shared, user));
     }
 
@@ -122,7 +122,9 @@ fn main() {
     let days: u64 = flag("days", 3).max(2);
     let seed: u64 = flag("seed", 2014);
 
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(seed).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(seed)
+        .build();
     let population = Population::generate(&world, 1, seed + 10);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), days);
 
@@ -143,8 +145,7 @@ fn main() {
             .zip(&reference)
             .position(|(a, b)| a == b)
             .map_or(-1, |h| h as i64);
-        r.converged = r.convergence_hours >= 0
-            && probes.last() == reference.last();
+        r.converged = r.convergence_hours >= 0 && probes.last() == reference.last();
         results.push(r);
     }
 

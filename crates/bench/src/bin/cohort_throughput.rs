@@ -74,10 +74,17 @@ fn main() {
             );
             best = best.min(elapsed);
         }
-        runs.push(Run { threads, seconds: best, throughput: work / best });
+        runs.push(Run {
+            threads,
+            seconds: best,
+            throughput: work / best,
+        });
     }
 
-    println!("{:>8} {:>10} {:>22} {:>9}", "threads", "wall (s)", "participant-days/sec", "speedup");
+    println!(
+        "{:>8} {:>10} {:>22} {:>9}",
+        "threads", "wall (s)", "participant-days/sec", "speedup"
+    );
     let baseline = runs[0].seconds;
     for r in &runs {
         println!(

@@ -36,7 +36,10 @@ fn main() {
 
     let mut all: Vec<(u64, StudyResults)> = Vec::new();
     for offset in 0..seeds {
-        let config = StudyConfig { seed: 2014 + offset, ..base.clone() };
+        let config = StudyConfig {
+            seed: 2014 + offset,
+            ..base.clone()
+        };
         if offset == 0 {
             println!(
                 "DEP: deployment study — {} participants x {} days ({}), seeds {}..{}, {} thread(s)\n",
@@ -76,9 +79,7 @@ fn main() {
     }
 
     let n = all.len() as f64;
-    let mean = |f: &dyn Fn(&StudyResults) -> f64| {
-        all.iter().map(|(_, r)| f(r)).sum::<f64>() / n
-    };
+    let mean = |f: &dyn Fn(&StudyResults) -> f64| all.iter().map(|(_, r)| f(r)).sum::<f64>() / n;
     let discovered = mean(&|r| r.total_discovered() as f64);
     let tagged_frac = mean(&|r| r.tagged_fraction());
     let evaluable = mean(&|r| r.total_evaluable() as f64);
@@ -87,16 +88,25 @@ fn main() {
     let divided = mean(&|r| r.divided_fraction());
     let likes = mean(&|r| r.like_fraction());
 
-    println!("\nDEP-A: discovery and tagging (mean of {} seed(s))", all.len());
+    println!(
+        "\nDEP-A: discovery and tagging (mean of {} seed(s))",
+        all.len()
+    );
     println!("  places discovered : {discovered:>6.1}  (paper: 123)");
-    println!("  tagged fraction   : {:>6.1}%  (paper: ~70%)", tagged_frac * 100.0);
+    println!(
+        "  tagged fraction   : {:>6.1}%  (paper: ~70%)",
+        tagged_frac * 100.0
+    );
     println!("  evaluable places  : {evaluable:>6.1}  (paper: 62)");
     println!("\nDEP-B: discovery quality over evaluable places (GSM + opportunistic WiFi)");
     println!("  correct : {:>6.2}%  (paper: 79.03%)", correct * 100.0);
     println!("  merged  : {:>6.2}%  (paper: 14.52%)", merged * 100.0);
     println!("  divided : {:>6.2}%  (paper:  6.45%)", divided * 100.0);
     println!("\nDEP-C: PlaceADs feedback");
-    println!("  like fraction = {:.1}%  (paper: 17:3 = 85%)", likes * 100.0);
+    println!(
+        "  like fraction = {:.1}%  (paper: 17:3 = 85%)",
+        likes * 100.0
+    );
 
     // With --seeds > 1 the snapshot accumulates across all runs (one
     // registry serves the whole process).
@@ -114,8 +124,16 @@ fn print_participants(results: &StudyResults) {
     println!("per participant:");
     println!(
         "{:>4} {:>10} {:>7} {:>9} {:>8} {:>7} {:>8} {:>6} {:>8} {:>10}",
-        "id", "discovered", "tagged", "evaluable", "correct", "merged", "divided", "likes",
-        "dislikes", "energy(kJ)"
+        "id",
+        "discovered",
+        "tagged",
+        "evaluable",
+        "correct",
+        "merged",
+        "divided",
+        "likes",
+        "dislikes",
+        "energy(kJ)"
     );
     for (i, p) in results.participants.iter().enumerate() {
         println!(

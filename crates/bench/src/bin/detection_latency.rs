@@ -11,7 +11,6 @@
 //! cell coverage extending beyond the physical place boundary (which can
 //! make radio-level "arrival" *precede* physical arrival — negative lag).
 
-
 use pmware_bench::args::flag;
 use pmware_bench::parallel::{parallel_map, resolve_threads};
 use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
@@ -28,79 +27,74 @@ fn main() {
     let participants: usize = flag("participants", 8);
     let days: u64 = flag("days", 7);
     let threads = resolve_threads(flag("threads", 1));
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(6014).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        6015,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(6014)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 6015));
     let population = Population::generate(&world, participants, 6016);
 
     // One job per participant; each returns its own (arrival, departure)
     // lag vectors, merged in agent order so the output is the same at any
     // thread count.
-    let per_agent = parallel_map(
-        population.agents().to_vec(),
-        threads,
-        |agent| {
-            let itinerary = population.itinerary(&world, agent.id(), days);
-            let env = RadioEnvironment::new(&world, RadioConfig::default());
-            let device = Device::new(
-                env,
-                &itinerary,
-                EnergyModel::htc_explorer(),
-                6100 + agent.id().0 as u64,
-            );
-            let mut pms = PmwareMobileService::new(
-                device,
-                cloud.clone(),
-                PmsConfig::for_participant(60 + agent.id().0),
-                SimTime::EPOCH,
-            )
-            .expect("register");
-            let rx = pms.register_app(
-                "latency-probe",
-                AppRequirement::places(Granularity::Building),
-                IntentFilter::for_actions([
-                    actions::PLACE_ARRIVAL,
-                    actions::PLACE_DEPARTURE,
-                ]),
-            );
-            pms.run(SimTime::from_day_time(days, 0, 0, 0)).expect("run");
+    let per_agent = parallel_map(population.agents().to_vec(), threads, |agent| {
+        let itinerary = population.itinerary(&world, agent.id(), days);
+        let env = RadioEnvironment::new(&world, RadioConfig::default());
+        let device = Device::new(
+            env,
+            &itinerary,
+            EnergyModel::htc_explorer(),
+            6100 + agent.id().0 as u64,
+        );
+        let mut pms = PmwareMobileService::new(
+            device,
+            cloud.clone(),
+            PmsConfig::for_participant(60 + agent.id().0),
+            SimTime::EPOCH,
+        )
+        .expect("register");
+        let rx = pms.register_app(
+            "latency-probe",
+            AppRequirement::places(Granularity::Building),
+            IntentFilter::for_actions([actions::PLACE_ARRIVAL, actions::PLACE_DEPARTURE]),
+        );
+        pms.run(SimTime::from_day_time(days, 0, 0, 0)).expect("run");
 
-            // Match each broadcast event to the nearest ground-truth
-            // boundary of the same kind within a 30-minute window.
-            let truth = itinerary.visits();
-            let mut arrivals: Vec<f64> = Vec::new();
-            let mut departures: Vec<f64> = Vec::new();
-            for intent in rx.try_iter() {
-                let t = intent.time.as_seconds() as f64;
-                let (candidates, lags): (Vec<f64>, &mut Vec<f64>) =
-                    if intent.action == actions::PLACE_ARRIVAL {
-                        (
-                            truth.iter().map(|v| v.arrival.as_seconds() as f64).collect(),
-                            &mut arrivals,
-                        )
-                    } else {
-                        (
-                            truth
-                                .iter()
-                                .map(|v| v.departure.as_seconds() as f64)
-                                .collect(),
-                            &mut departures,
-                        )
-                    };
-                if let Some(best) = candidates
-                    .iter()
-                    .map(|b| t - b)
-                    .filter(|lag| lag.abs() <= 1_800.0)
-                    .min_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite"))
-                {
-                    lags.push(best / 60.0);
-                }
+        // Match each broadcast event to the nearest ground-truth
+        // boundary of the same kind within a 30-minute window.
+        let truth = itinerary.visits();
+        let mut arrivals: Vec<f64> = Vec::new();
+        let mut departures: Vec<f64> = Vec::new();
+        for intent in rx.try_iter() {
+            let t = intent.time.as_seconds() as f64;
+            let (candidates, lags): (Vec<f64>, &mut Vec<f64>) =
+                if intent.action == actions::PLACE_ARRIVAL {
+                    (
+                        truth
+                            .iter()
+                            .map(|v| v.arrival.as_seconds() as f64)
+                            .collect(),
+                        &mut arrivals,
+                    )
+                } else {
+                    (
+                        truth
+                            .iter()
+                            .map(|v| v.departure.as_seconds() as f64)
+                            .collect(),
+                        &mut departures,
+                    )
+                };
+            if let Some(best) = candidates
+                .iter()
+                .map(|b| t - b)
+                .filter(|lag| lag.abs() <= 1_800.0)
+                .min_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite"))
+            {
+                lags.push(best / 60.0);
             }
-            (arrivals, departures)
-        },
-    );
+        }
+        (arrivals, departures)
+    });
     let mut arrival_lags: Vec<f64> = Vec::new();
     let mut departure_lags: Vec<f64> = Vec::new();
     for (arrivals, departures) in per_agent {

@@ -14,7 +14,9 @@ use pmware_world::radio::{RadioConfig, RadioEnvironment};
 use pmware_world::{SimDuration, SimTime};
 
 fn main() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(55).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(55)
+        .build();
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let spot = world.places()[0].position();
     let model = EnergyModel::htc_explorer();
@@ -39,8 +41,7 @@ fn main() {
             let closed = model.battery_duration_hours(interface, period);
 
             // Simulate one day of sampling at this period.
-            let mut phone =
-                Device::new(env.clone(), spot, EnergyModel::htc_explorer(), 56);
+            let mut phone = Device::new(env.clone(), spot, EnergyModel::htc_explorer(), 56);
             let day = 24 * 3_600;
             let mut t = 0u64;
             while t < day {

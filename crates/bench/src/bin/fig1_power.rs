@@ -22,7 +22,10 @@ fn main() {
     ];
 
     println!("FIG1: battery duration (hours) under continuous sensing");
-    println!("battery: 1230 mAh @ 3.7 V = {:.0} J\n", model.battery().energy_joules());
+    println!(
+        "battery: 1230 mAh @ 3.7 V = {:.0} J\n",
+        model.battery().energy_joules()
+    );
 
     print!("{:>10}", "period");
     for i in Interface::ALL {
@@ -41,10 +44,17 @@ fn main() {
     let minute = SimDuration::from_minutes(1);
     let gps = model.battery_duration_hours(Interface::Gps, minute);
     let gsm = model.battery_duration_hours(Interface::Gsm, minute);
-    println!("\nGSM@1min / GPS@1min battery ratio: {:.1}x (paper: ~11x)", gsm / gps);
+    println!(
+        "\nGSM@1min / GPS@1min battery ratio: {:.1}x (paper: ~11x)",
+        gsm / gps
+    );
 
     println!("\naverage power draw at 1-minute sampling (mW):");
     for i in Interface::ALL {
-        println!("  {:>14}: {:7.1}", i.label(), model.average_power_w(i, minute) * 1_000.0);
+        println!(
+            "  {:>14}: {:7.1}",
+            i.label(),
+            model.average_power_w(i, minute) * 1_000.0
+        );
     }
 }

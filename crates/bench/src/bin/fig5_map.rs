@@ -91,25 +91,30 @@ fn category_color(c: PlaceCategory) -> &'static str {
     }
 }
 
-const PARTICIPANT_COLORS: [&str; 6] =
-    ["#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628"];
+const PARTICIPANT_COLORS: [&str; 6] = [
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628",
+];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let participants: usize = flag("participants", 6);
     let days: u64 = flag("days", 14);
     let threads = resolve_threads(flag("threads", 1));
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2014).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        2015,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(2014)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 2015));
     let population = Population::generate(&world, participants, 2016);
 
     let mut svg = Svg::new(&world);
 
     // Layer 1: cell towers as faint crosses.
     for tower in world.towers() {
-        svg.cross(tower.position(), 3.0, "#cccccc", &format!("{}", tower.cell()));
+        svg.cross(
+            tower.position(),
+            3.0,
+            "#cccccc",
+            &format!("{}", tower.cell()),
+        );
     }
     // Layer 2: ground-truth places, category-coloured.
     for place in world.places() {
@@ -125,17 +130,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Layer 3: each participant's discovered-place estimates. Participants
     // run on the worker pool; drawing happens afterwards in participant
     // order, so the SVG is identical at any thread count.
-    let jobs: Vec<(usize, pmware_mobility::AgentProfile)> = population
-        .agents()
-        .iter()
-        .cloned()
-        .enumerate()
-        .collect();
+    let jobs: Vec<(usize, pmware_mobility::AgentProfile)> =
+        population.agents().iter().cloned().enumerate().collect();
     let estimates = parallel_map(jobs, threads, |(i, agent)| {
         let itinerary = population.itinerary(&world, agent.id(), days);
         let env = RadioEnvironment::new(&world, RadioConfig::default());
-        let device =
-            Device::new(env, &itinerary, EnergyModel::htc_explorer(), 2100 + i as u64);
+        let device = Device::new(
+            env,
+            &itinerary,
+            EnergyModel::htc_explorer(),
+            2100 + i as u64,
+        );
         let mut pms = PmwareMobileService::new(
             device,
             cloud.clone(),
@@ -148,13 +153,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             AppRequirement::places(Granularity::Building),
             IntentFilter::all(),
         );
-        pms.run(SimTime::from_day_time(days, 0, 0, 0)).expect("run succeeds");
+        pms.run(SimTime::from_day_time(days, 0, 0, 0))
+            .expect("run succeeds");
         pms.places()
             .iter()
             .filter_map(|place| {
-                place.position.map(|position| {
-                    (position, format!("{}", place.id), place.visit_count)
-                })
+                place
+                    .position
+                    .map(|position| (position, format!("{}", place.id), place.visit_count))
             })
             .collect::<Vec<_>>()
     });

@@ -53,12 +53,12 @@ fn day_observations(day: u64) -> Vec<GsmObservation> {
     (0..1_440u64)
         .map(|m| {
             let (a, b) = match m {
-                0..=479 => (1, 2),                       // home
-                480..=539 => (10 + (m / 12 % 3) as u32, 20), // commute drift
-                540..=1019 => (3, 4),                    // work
+                0..=479 => (1, 2),                             // home
+                480..=539 => (10 + (m / 12 % 3) as u32, 20),   // commute drift
+                540..=1019 => (3, 4),                          // work
                 1020..=1079 => (30, 31 + (m / 15 % 2) as u32), // commute back
-                1080..=1199 => (5, 6),                   // errand
-                _ => (1, 2),                             // home again
+                1080..=1199 => (5, 6),                         // errand
+                _ => (1, 2),                                   // home again
             };
             GsmObservation {
                 time: SimTime::from_seconds((day * 1_440 + m) * 60),

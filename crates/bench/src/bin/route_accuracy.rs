@@ -10,7 +10,6 @@
 //! embody: geometric fidelity of the recorded route against the true road
 //! path, versus the energy each mode costs.
 
-
 use pmware_algorithms::route::RouteGeometry;
 use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::IntentFilter;
@@ -25,7 +24,9 @@ use pmware_world::{SimTime, World};
 
 fn main() {
     let days = 7;
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(3001).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(3001)
+        .build();
     let pop = Population::generate(&world, 1, 3002);
     let it = pop.itinerary(&world, pop.agents()[0].id(), days);
 
@@ -35,10 +36,11 @@ fn main() {
         "mode", "routes", "gps geometries", "mean path error", "energy (kJ)"
     );
     println!("{}", "-".repeat(72));
-    for (label, accuracy) in [("low (gsm)", RouteAccuracy::Low), ("high (gps)", RouteAccuracy::High)]
-    {
-        let (routes, gps_count, mean_error, energy) =
-            run_mode(&world, &it, accuracy, days);
+    for (label, accuracy) in [
+        ("low (gsm)", RouteAccuracy::Low),
+        ("high (gps)", RouteAccuracy::High),
+    ] {
+        let (routes, gps_count, mean_error, energy) = run_mode(&world, &it, accuracy, days);
         println!(
             "{label:<14} {routes:>7} {gps_count:>16} {:>18} {:>12.1}",
             mean_error
@@ -61,10 +63,7 @@ fn run_mode(
     accuracy: RouteAccuracy,
     days: u64,
 ) -> (usize, usize, Option<f64>, f64) {
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(world),
-        3003,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(world), 3003));
     let env = RadioEnvironment::new(world, RadioConfig::default());
     let device = Device::new(env, it, EnergyModel::htc_explorer(), 3004);
     let mut pms = PmwareMobileService::new(

@@ -11,13 +11,10 @@
 //!   14.52 % / 6.45 %);
 //! * **DEP-C** — PlaceADs like:dislike ratio (paper: 17:3 = 85 % likes).
 
-
-use pmware_algorithms::matching::{
-    classify_places, GroundTruthVisit, MatchOutcome,
-};
+use pmware_algorithms::matching::{classify_places, GroundTruthVisit, MatchOutcome};
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSignature};
 use pmware_apps::{AdInventory, LifeLogApp, PlaceAdsApp, UserTasteModel};
-use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
+use pmware_cloud::{AdmissionConfig, CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::registry::PmPlaceId;
 use pmware_device::{Device, EnergyModel};
@@ -172,13 +169,23 @@ impl StudyResults {
 
 /// Runs the study.
 pub fn run_study(config: &StudyConfig) -> StudyResults {
+    run_study_with_admission(config, None)
+}
+
+/// Runs the study with cloud admission-control budgets. `None` leaves the
+/// controller disabled, which is exactly [`run_study`]: existing studies
+/// stay bit-identical to the pre-admission code.
+pub fn run_study_with_admission(
+    config: &StudyConfig,
+    admission: Option<AdmissionConfig>,
+) -> StudyResults {
     let world = WorldBuilder::new(config.region.clone())
         .seed(config.seed)
         .build();
     let cloud = SharedCloud::new(
-        CloudInstance::new(CellDatabase::from_world(&world), config.seed + 1)
-            .with_obs(&config.obs),
+        CloudInstance::new(CellDatabase::from_world(&world), config.seed + 1).with_obs(&config.obs),
     );
+    cloud.set_admission(admission);
     let population = Population::generate(&world, config.participants, config.seed + 2);
 
     // Everything a participant needs is derived from per-participant seeds
@@ -212,7 +219,10 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
         },
     );
 
-    StudyResults { participants, cloud_requests: cloud.total_requests() }
+    StudyResults {
+        participants,
+        cloud_requests: cloud.total_requests(),
+    }
 }
 
 fn run_participant(
@@ -248,11 +258,7 @@ fn run_participant(
         PlaceAdsApp::requirement(),
         PlaceAdsApp::filter(),
     );
-    let log_rx = pms.register_app(
-        "lifelog",
-        LifeLogApp::requirement(),
-        LifeLogApp::filter(),
-    );
+    let log_rx = pms.register_app("lifelog", LifeLogApp::requirement(), LifeLogApp::filter());
     let mut placeads = PlaceAdsApp::new(AdInventory::from_world(world));
     let mut lifelog = LifeLogApp::new(tag_probability, config.seed + 300 + index as u64);
 
@@ -328,11 +334,7 @@ fn run_participant(
     // Tagged places are counted over the *live* place set (the registry
     // retires signatures superseded by the periodic compaction; the
     // lifelog app may still hold history for them).
-    let tagged_live = report
-        .places
-        .iter()
-        .filter(|p| p.label.is_some())
-        .count();
+    let tagged_live = report.places.iter().filter(|p| p.label.is_some()).count();
     ParticipantResult {
         discovered: report.places.len(),
         tagged: tagged_live,
@@ -365,7 +367,11 @@ mod tests {
         };
         let results = run_study(&config);
         assert_eq!(results.participants.len(), 4);
-        assert!(results.total_discovered() >= 8, "got {}", results.total_discovered());
+        assert!(
+            results.total_discovered() >= 8,
+            "got {}",
+            results.total_discovered()
+        );
         assert!(results.total_tagged() > 0);
         let tf = results.tagged_fraction();
         assert!(tf > 0.3 && tf <= 1.0, "tag fraction {tf}");
@@ -429,7 +435,10 @@ mod aggregation_tests {
 
     #[test]
     fn empty_study_has_zero_fractions() {
-        let results = StudyResults { participants: vec![], cloud_requests: 0 };
+        let results = StudyResults {
+            participants: vec![],
+            cloud_requests: 0,
+        };
         assert_eq!(results.total_discovered(), 0);
         assert_eq!(results.tagged_fraction(), 0.0);
         assert_eq!(results.correct_fraction(), 0.0);
@@ -442,9 +451,8 @@ mod aggregation_tests {
             participants: vec![participant(5, 5, 3, 1, 1, 2, 2)],
             cloud_requests: 0,
         };
-        let sum = results.correct_fraction()
-            + results.merged_fraction()
-            + results.divided_fraction();
+        let sum =
+            results.correct_fraction() + results.merged_fraction() + results.divided_fraction();
         assert!((sum - 1.0).abs() < 1e-12);
     }
 }

@@ -55,10 +55,7 @@ where
             let f = &f;
             s.spawn(move || {
                 while let Ok((index, item)) = job_rx.recv() {
-                    assert!(
-                        out_tx.send((index, f(item))).is_ok(),
-                        "out receiver alive"
-                    );
+                    assert!(out_tx.send((index, f(item))).is_ok(), "out receiver alive");
                 }
             });
         }

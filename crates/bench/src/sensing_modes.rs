@@ -9,7 +9,6 @@
 //!   once; N isolated applications each run their own pipeline. Total
 //!   energy scales with N only in the isolated case.
 
-
 use pmware_algorithms::matching::{classify_places, GroundTruthVisit};
 use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::IntentFilter;
@@ -72,7 +71,9 @@ pub struct StrategyResult {
 
 /// Runs the triggered-sensing ablation over one participant trace.
 pub fn run_triggered_ablation(days: u64, seed: u64) -> Vec<StrategyResult> {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(seed).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(seed)
+        .build();
     let population = Population::generate(&world, 1, seed + 1);
     let agent = &population.agents()[0];
     let itinerary = population.itinerary(&world, agent.id(), days);
@@ -185,7 +186,9 @@ pub fn run_redundancy_ablation(
     days: u64,
     seed: u64,
 ) -> Vec<RedundancyResult> {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(seed).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(seed)
+        .build();
     let population = Population::generate(&world, 1, seed + 1);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), days);
     let end = SimTime::from_day_time(days, 0, 0, 0);
@@ -196,8 +199,12 @@ pub fn run_redundancy_ablation(
             seed + salt,
         ));
         let env = RadioEnvironment::new(&world, RadioConfig::default());
-        let device =
-            Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 10 + salt);
+        let device = Device::new(
+            env,
+            &itinerary,
+            EnergyModel::htc_explorer(),
+            seed + 10 + salt,
+        );
         let mut pms = PmwareMobileService::new(
             device,
             cloud,
@@ -224,12 +231,7 @@ pub fn run_redundancy_ablation(
                     seed + 40,
                 ));
                 let env = RadioEnvironment::new(&world, RadioConfig::default());
-                let device = Device::new(
-                    env,
-                    &itinerary,
-                    EnergyModel::htc_explorer(),
-                    seed + 41,
-                );
+                let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), seed + 41);
                 let mut pms = PmwareMobileService::new(
                     device,
                     cloud,
@@ -253,7 +255,11 @@ pub fn run_redundancy_ablation(
             };
             // Isolated: n independent pipelines, each sensing on its own.
             let isolated: f64 = (0..n as u64).map(|i| single_pipeline_energy(50 + i)).sum();
-            RedundancyResult { apps: n, shared_joules: shared, isolated_joules: isolated }
+            RedundancyResult {
+                apps: n,
+                shared_joules: shared,
+                isolated_joules: isolated,
+            }
         })
         .collect()
 }
@@ -288,7 +294,11 @@ mod tests {
         assert!(triggered.energy_joules < gps.energy_joules);
         // All strategies discover places; triggered keeps quality.
         assert!(triggered.discovered >= 2);
-        assert!(triggered.correct_fraction >= 0.5, "{}", triggered.correct_fraction);
+        assert!(
+            triggered.correct_fraction >= 0.5,
+            "{}",
+            triggered.correct_fraction
+        );
     }
 
     #[test]

@@ -47,9 +47,18 @@ fn same_seed_exports_identical_bytes() {
     let (results_a, metrics_a, trace_a) = instrumented(1);
     let (results_b, metrics_b, trace_b) = instrumented(1);
     assert_eq!(results_a, results_b);
-    assert_eq!(metrics_a, metrics_b, "metrics snapshots diverged across identical runs");
-    assert_eq!(trace_a, trace_b, "trace exports diverged across identical runs");
-    assert!(!trace_a.is_empty(), "instrumented run recorded no trace at all");
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics snapshots diverged across identical runs"
+    );
+    assert_eq!(
+        trace_a, trace_b,
+        "trace exports diverged across identical runs"
+    );
+    assert!(
+        !trace_a.is_empty(),
+        "instrumented run recorded no trace at all"
+    );
     assert!(metrics_a.contains("pms_arrivals_total"), "{metrics_a}");
     assert!(metrics_a.contains("device_energy_microjoules_total"));
     assert!(metrics_a.contains("cloud_requests_total"));
@@ -64,7 +73,10 @@ fn thread_count_does_not_change_a_single_byte() {
         metrics_seq, metrics_par,
         "metrics snapshot depends on worker thread count"
     );
-    assert_eq!(trace_seq, trace_par, "trace export depends on worker thread count");
+    assert_eq!(
+        trace_seq, trace_par,
+        "trace export depends on worker thread count"
+    );
 }
 
 #[test]
@@ -72,7 +84,12 @@ fn observability_never_perturbs_the_study() {
     let plain = run_study(&config(1, Obs::disabled()));
     let (observed, _, _) = instrumented(1);
     assert_eq!(plain.participants.len(), observed.participants.len());
-    for (i, (p, o)) in plain.participants.iter().zip(&observed.participants).enumerate() {
+    for (i, (p, o)) in plain
+        .participants
+        .iter()
+        .zip(&observed.participants)
+        .enumerate()
+    {
         assert_eq!(p, o, "participant {i} diverged when instrumented");
         assert_eq!(
             p.energy_joules.to_bits(),

@@ -87,11 +87,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`ArgError`] when the value does not parse as `T`.
-    pub fn get<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(name) {
             None => Ok(default),
             Some(raw) => raw.parse().map_err(|_| ArgError {
@@ -122,7 +118,9 @@ mod tests {
         let args = Args::parse(["--seed", "42"]);
         assert_eq!(args.get("seed", 0u64).unwrap(), 42);
         assert_eq!(args.get("days", 14u64).unwrap(), 14);
-        let err = Args::parse(["--seed", "forty"]).get("seed", 0u64).unwrap_err();
+        let err = Args::parse(["--seed", "forty"])
+            .get("seed", 0u64)
+            .unwrap_err();
         assert_eq!(err.flag, "seed");
         assert!(err.to_string().contains("forty"));
     }

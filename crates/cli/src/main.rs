@@ -5,6 +5,7 @@
 //! pmware simulate [--region ...] [--seed N] [--days N] [--granularity area|building|room]
 //!                 [--metrics-out F] [--trace-out F]
 //! pmware study    [--participants N] [--days N] [--seed N]
+//!                 [--admission-burst N] [--admission-refill-s N]
 //!                 [--metrics-out F] [--trace-out F]
 //! pmware query    [--seed N] [--days N]
 //! pmware help
@@ -16,8 +17,8 @@ use std::process::ExitCode;
 
 use args::Args;
 use pmware_apps::{AdInventory, PlaceAdsApp, UserTasteModel};
-use pmware_bench::deployment::{run_study, StudyConfig};
-use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
+use pmware_bench::deployment::{run_study_with_admission, StudyConfig};
+use pmware_cloud::{AdmissionConfig, CellDatabase, CloudInstance, RateBudget, SharedCloud};
 use pmware_core::intents::IntentFilter;
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::requirements::{AppRequirement, Granularity};
@@ -48,6 +49,14 @@ COMMON FLAGS:
     --days N                Simulated days       (default 7; study: 14)
     --participants N        Study cohort size    (default 16)
     --granularity g         area|building|room   (default building)
+
+RATE LIMITING (study):
+    --admission-burst N     Per-user token-bucket burst; 0 = off (default 0)
+    --admission-refill-s N  Seconds per refilled token     (default 60)
+The budget applies uniformly to every rate class. Admission decisions are
+deterministic (seeded, sim-time driven); clients honor the 429
+`retry_after_s` hint, so a throttled study still converges to the same
+final state, just with fewer wasted wire requests.
 
 OBSERVABILITY (simulate, study):
     --metrics-out FILE      Write the final metrics snapshot as JSON
@@ -124,8 +133,35 @@ fn granularity(args: &Args) -> Result<Granularity, String> {
         "area" => Ok(Granularity::Area),
         "building" => Ok(Granularity::Building),
         "room" => Ok(Granularity::Room),
-        other => Err(format!("unknown granularity {other:?} (area|building|room)")),
+        other => Err(format!(
+            "unknown granularity {other:?} (area|building|room)"
+        )),
     }
+}
+
+/// Parses the `--admission-burst` / `--admission-refill-s` pair into an
+/// [`AdmissionConfig`]. Burst 0 (the default) leaves admission control
+/// off entirely.
+fn admission(args: &Args, seed: u64) -> Result<Option<AdmissionConfig>, String> {
+    let burst = args
+        .get("admission-burst", 0u32)
+        .map_err(|e| e.to_string())?;
+    if burst == 0 {
+        if args.has("admission-refill-s") {
+            return Err("--admission-refill-s needs --admission-burst > 0".into());
+        }
+        return Ok(None);
+    }
+    let refill = args
+        .get("admission-refill-s", 60u64)
+        .map_err(|e| e.to_string())?;
+    if refill == 0 {
+        return Err("--admission-refill-s must be positive".into());
+    }
+    Ok(Some(AdmissionConfig::uniform(
+        seed,
+        RateBudget::new(burst, pmware_world::SimDuration::from_seconds(refill)),
+    )))
 }
 
 fn build_world(args: &Args) -> Result<(World, u64), String> {
@@ -137,9 +173,11 @@ fn build_world(args: &Args) -> Result<(World, u64), String> {
 fn cmd_world(args: &Args) -> Result<(), String> {
     let (world, seed) = build_world(args)?;
     println!("world seed {seed}");
-    println!("  extent       : {:.1} x {:.1} km",
+    println!(
+        "  extent       : {:.1} x {:.1} km",
         world.bounds().width().to_kilometers().value(),
-        world.bounds().height().to_kilometers().value());
+        world.bounds().height().to_kilometers().value()
+    );
     println!("  cell towers  : {}", world.towers().len());
     println!("  access points: {}", world.access_points().len());
     println!("  places       : {}", world.places().len());
@@ -186,13 +224,9 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let cloud = SharedCloud::new(
         CloudInstance::new(CellDatabase::from_world(&world), seed + 3).with_obs(&obs),
     );
-    let mut pms = PmwareMobileService::new(
-        device,
-        cloud,
-        PmsConfig::for_participant(0),
-        SimTime::EPOCH,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut pms =
+        PmwareMobileService::new(device, cloud, PmsConfig::for_participant(0), SimTime::EPOCH)
+            .map_err(|e| e.to_string())?;
     pms.set_obs(&obs.for_actor("p0000"));
     let _rx = pms.register_app(
         "cli",
@@ -202,7 +236,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     pms.run(SimTime::from_day_time(days, 0, 0, 0))
         .map_err(|e| e.to_string())?;
 
-    println!("simulated {days} days at {} granularity", granularity.label());
+    println!(
+        "simulated {days} days at {} granularity",
+        granularity.label()
+    );
     println!("places discovered: {}", pms.places().len());
     for place in pms.places() {
         println!(
@@ -240,22 +277,34 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 fn cmd_study(args: &Args) -> Result<(), String> {
     let (obs, metrics_out, trace_out) = obs_from_args(args);
     let config = StudyConfig {
-        participants: args.get("participants", 16usize).map_err(|e| e.to_string())?,
+        participants: args
+            .get("participants", 16usize)
+            .map_err(|e| e.to_string())?,
         days: args.get("days", 14u64).map_err(|e| e.to_string())?,
         seed: args.get("seed", 2014u64).map_err(|e| e.to_string())?,
         region: region(args)?,
         threads: args.get("threads", 1usize).map_err(|e| e.to_string())?,
         obs: obs.clone(),
     };
+    let admission = admission(args, config.seed)?;
     if !args.has("quiet") {
         println!(
             "running {} participants x {} days (seed {})...",
             config.participants, config.days, config.seed
         );
+        if admission.is_some() {
+            println!("admission control: on (per-user token buckets)");
+        }
     }
-    let results = run_study(&config);
-    println!("places discovered : {:>4}  (paper: 123)", results.total_discovered());
-    println!("places tagged     : {:>4}  (paper: 85)", results.total_tagged());
+    let results = run_study_with_admission(&config, admission);
+    println!(
+        "places discovered : {:>4}  (paper: 123)",
+        results.total_discovered()
+    );
+    println!(
+        "places tagged     : {:>4}  (paper: 85)",
+        results.total_tagged()
+    );
     println!(
         "tagged fraction   : {:>4.1}% (paper: ~70%)",
         results.tagged_fraction() * 100.0
@@ -288,15 +337,15 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         CellDatabase::from_world(&world),
         seed + 3,
     ));
-    let mut pms = PmwareMobileService::new(
-        device,
-        cloud,
-        PmsConfig::for_participant(0),
-        SimTime::EPOCH,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut pms =
+        PmwareMobileService::new(device, cloud, PmsConfig::for_participant(0), SimTime::EPOCH)
+            .map_err(|e| e.to_string())?;
     // PlaceADs doubles as a demand source so the history is rich.
-    let _rx = pms.register_app("placeads", PlaceAdsApp::requirement(), PlaceAdsApp::filter());
+    let _rx = pms.register_app(
+        "placeads",
+        PlaceAdsApp::requirement(),
+        PlaceAdsApp::filter(),
+    );
     let _inventory = AdInventory::from_world(&world);
     let _taste = UserTasteModel::from_agent(agent, seed + 4);
     pms.run(SimTime::from_day_time(days, 0, 0, 0))
@@ -325,7 +374,11 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
     let s = resp.body["second_of_day"].as_u64().unwrap_or(0);
-    println!("  evening home arrival : {:02}:{:02}", s / 3600, (s % 3600) / 60);
+    println!(
+        "  evening home arrival : {:02}:{:02}",
+        s / 3600,
+        (s % 3600) / 60
+    );
 
     let resp = pms
         .cloud_client_mut()
@@ -358,7 +411,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!(
         "  daily movement       : {:.0} min/day",
-        resp.body["mean_daily_moving_minutes"].as_f64().unwrap_or(0.0)
+        resp.body["mean_daily_moving_minutes"]
+            .as_f64()
+            .unwrap_or(0.0)
     );
     let _ = Meters::ZERO;
     Ok(())
@@ -367,6 +422,28 @@ fn cmd_query(args: &Args) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn admission_flag_mapping() {
+        // Absent or zero burst: controller stays off.
+        assert!(admission(&Args::parse(Vec::<String>::new()), 1)
+            .unwrap()
+            .is_none());
+        assert!(admission(&Args::parse(["--admission-burst", "0"]), 1)
+            .unwrap()
+            .is_none());
+        // A positive burst turns it on (refill defaults to 60s).
+        assert!(admission(&Args::parse(["--admission-burst", "5"]), 1)
+            .unwrap()
+            .is_some());
+        // A refill without a burst is a user error, not a silent no-op.
+        assert!(admission(&Args::parse(["--admission-refill-s", "10"]), 1).is_err());
+        assert!(admission(
+            &Args::parse(["--admission-burst", "5", "--admission-refill-s", "0"]),
+            1
+        )
+        .is_err());
+    }
 
     #[test]
     fn region_mapping() {
@@ -378,7 +455,10 @@ mod tests {
             region(&Args::parse(["--region", "europe"])).unwrap().name,
             "urban-europe"
         );
-        assert_eq!(region(&Args::parse(Vec::<String>::new())).unwrap().name, "urban-india");
+        assert_eq!(
+            region(&Args::parse(Vec::<String>::new())).unwrap().name,
+            "urban-india"
+        );
         assert!(region(&Args::parse(["--region", "mars"])).is_err());
     }
 

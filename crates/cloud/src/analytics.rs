@@ -92,10 +92,7 @@ impl ProfileHistory {
     /// All arrival instants at a place, in stored order, without
     /// allocating — reads the arrival index (day ascending, entry order
     /// within a day: the same order a scan over the profiles would yield).
-    pub fn arrivals_iter(
-        &self,
-        place: DiscoveredPlaceId,
-    ) -> impl Iterator<Item = SimTime> + '_ {
+    pub fn arrivals_iter(&self, place: DiscoveredPlaceId) -> impl Iterator<Item = SimTime> + '_ {
         self.arrival_index
             .get(&place)
             .into_iter()
@@ -212,7 +209,10 @@ struct ProfileHistoryWire {
 
 impl Serialize for ProfileHistory {
     fn to_json_value(&self) -> serde::Value {
-        ProfileHistoryWire { profiles: self.profiles.clone() }.to_json_value()
+        ProfileHistoryWire {
+            profiles: self.profiles.clone(),
+        }
+        .to_json_value()
     }
 }
 
@@ -249,7 +249,8 @@ mod tests {
             let mut p = MobilityProfile::new(day);
             if !weekday.is_weekend() {
                 p.places.push(entry(1, day, 9, 8));
-                p.places.push(entry(0, day, if day % 2 == 0 { 18 } else { 19 }, 4));
+                p.places
+                    .push(entry(0, day, if day % 2 == 0 { 18 } else { 19 }, 4));
             } else {
                 if weekday == Weekday::Saturday {
                     p.places.push(entry(2, day, 11, 2));
@@ -318,7 +319,10 @@ mod tests {
         let hist = h.weekday_histogram(DiscoveredPlaceId(2));
         assert_eq!(hist[5], 2); // Saturday
         assert_eq!(hist.iter().sum::<u32>(), 2);
-        assert_eq!(h.visited_weekdays(DiscoveredPlaceId(2)), vec![Weekday::Saturday]);
+        assert_eq!(
+            h.visited_weekdays(DiscoveredPlaceId(2)),
+            vec![Weekday::Saturday]
+        );
         let workdays = h.visited_weekdays(DiscoveredPlaceId(1));
         assert_eq!(workdays.len(), 5);
         assert!(workdays.iter().all(|w| !w.is_weekend()));
@@ -385,6 +389,8 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.visits_per_week(DiscoveredPlaceId(0)), 0.0);
         assert_eq!(h.mean_place_time_fraction(), 0.0);
-        assert!(h.typical_arrival_second_of_day(DiscoveredPlaceId(0), None).is_none());
+        assert!(h
+            .typical_arrival_second_of_day(DiscoveredPlaceId(0), None)
+            .is_none());
     }
 }

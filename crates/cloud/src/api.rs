@@ -20,6 +20,16 @@ pub enum Method {
     Post,
 }
 
+impl Method {
+    /// Upper-case wire name (`"GET"`/`"POST"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
 /// A request to the cloud instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Request {
@@ -36,12 +46,22 @@ pub struct Request {
 impl Request {
     /// A GET request.
     pub fn get(path: impl Into<String>) -> Request {
-        Request { method: Method::Get, path: path.into(), token: None, body: Value::Null }
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            token: None,
+            body: Value::Null,
+        }
     }
 
     /// A POST request with a JSON body.
     pub fn post(path: impl Into<String>, body: Value) -> Request {
-        Request { method: Method::Post, path: path.into(), token: None, body }
+        Request {
+            method: Method::Post,
+            path: path.into(),
+            token: None,
+            body,
+        }
     }
 
     /// Attaches a bearer token.
@@ -95,6 +115,17 @@ impl Response {
         Response::error(404, message)
     }
 
+    /// 405 for a known path hit with the wrong method; `allow` lists the
+    /// methods the path does accept (the HTTP `Allow` header, carried in
+    /// the body here).
+    pub fn method_not_allowed(allow: &[Method]) -> Response {
+        let allow: Vec<&str> = allow.iter().map(|m| m.as_str()).collect();
+        Response {
+            status: 405,
+            body: serde_json::json!({ "error": "method not allowed", "allow": allow }),
+        }
+    }
+
     fn error(status: u16, message: impl Into<String>) -> Response {
         Response {
             status,
@@ -141,8 +172,7 @@ mod tests {
 
     #[test]
     fn wire_round_trip() {
-        let r = Request::post("/api/v1/places/sync", json!({"places": []}))
-            .with_token("abc");
+        let r = Request::post("/api/v1/places/sync", json!({"places": []})).with_token("abc");
         let bytes = r.to_bytes();
         let back = Request::from_bytes(&bytes).unwrap();
         assert_eq!(back, r);

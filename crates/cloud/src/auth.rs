@@ -13,9 +13,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A registered user/device.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct UserId(pub u32);
 
@@ -91,12 +89,7 @@ impl TokenStore {
     }
 
     /// Issues a new token for an already-registered user.
-    pub fn issue<R: Rng + ?Sized>(
-        &mut self,
-        user: UserId,
-        now: SimTime,
-        rng: &mut R,
-    ) -> AuthToken {
+    pub fn issue<R: Rng + ?Sized>(&mut self, user: UserId, now: SimTime, rng: &mut R) -> AuthToken {
         let token = format!("tok-{:016x}{:016x}", rng.gen::<u64>(), rng.gen::<u64>());
         let expires_at = now + self.ttl;
         self.tokens.insert(token.clone(), (user, expires_at));
@@ -143,7 +136,10 @@ mod tests {
     }
 
     fn identity(n: u32) -> DeviceIdentity {
-        DeviceIdentity { imei: format!("imei-{n}"), email: format!("u{n}@example.com") }
+        DeviceIdentity {
+            imei: format!("imei-{n}"),
+            email: format!("u{n}@example.com"),
+        }
     }
 
     #[test]
@@ -215,7 +211,10 @@ mod tests {
         let later = now + SimDuration::from_hours(20);
         let (_, t1) = s.register(identity(1), later, &mut rng);
         s.purge_expired(now + SimDuration::from_hours(25));
-        assert_eq!(s.validate(&t0.token, now + SimDuration::from_hours(23)), None);
+        assert_eq!(
+            s.validate(&t0.token, now + SimDuration::from_hours(23)),
+            None
+        );
         assert!(s
             .validate(&t1.token, later + SimDuration::from_hours(3))
             .is_some());

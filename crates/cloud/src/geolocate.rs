@@ -62,10 +62,7 @@ impl CellDatabase {
     where
         I: IntoIterator<Item = &'a CellGlobalId>,
     {
-        let known: Vec<GeoPoint> = cells
-            .into_iter()
-            .filter_map(|c| self.locate(*c))
-            .collect();
+        let known: Vec<GeoPoint> = cells.into_iter().filter_map(|c| self.locate(*c)).collect();
         GeoPoint::centroid(&known).ok()
     }
 }
@@ -78,7 +75,9 @@ mod tests {
 
     #[test]
     fn from_world_knows_every_tower() {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(1).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(1)
+            .build();
         let db = CellDatabase::from_world(&world);
         assert_eq!(db.len(), world.towers().len());
         for t in world.towers() {
@@ -100,15 +99,15 @@ mod tests {
 
     #[test]
     fn signature_centroid_averages_known_cells() {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(2).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(2)
+            .build();
         let db = CellDatabase::from_world(&world);
         let towers = &world.towers()[..3];
         let cells: Vec<CellGlobalId> = towers.iter().map(|t| t.cell()).collect();
         let centroid = db.locate_signature(cells.iter()).unwrap();
-        let expected = GeoPoint::centroid(
-            &towers.iter().map(|t| t.position()).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let expected =
+            GeoPoint::centroid(&towers.iter().map(|t| t.position()).collect::<Vec<_>>()).unwrap();
         assert_eq!(centroid, expected);
     }
 

@@ -1,0 +1,99 @@
+//! Analytics and prediction queries (§2.3.2).
+
+use pmware_algorithms::signature::DiscoveredPlaceId;
+use pmware_world::SimTime;
+use serde::Deserialize;
+use serde_json::json;
+
+use super::{with_body, Ctx};
+use crate::api::{Request, Response};
+use crate::predict::{self, MarkovPredictor};
+
+#[derive(Deserialize)]
+struct ArrivalBody {
+    place: DiscoveredPlaceId,
+    window: Option<(u64, u64)>,
+}
+
+#[derive(Deserialize)]
+struct NextVisitBody {
+    place: DiscoveredPlaceId,
+    now: SimTime,
+}
+
+#[derive(Deserialize)]
+struct PlaceOnlyBody {
+    place: DiscoveredPlaceId,
+}
+
+/// `POST /api/v1/analytics/arrival` — typical arrival time at a place
+/// within an hour window.
+pub(crate) fn arrival(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<ArrivalBody>(request, |body| {
+        let window = body.window.unwrap_or((0, 24));
+        let store = ctx.store();
+        let store = store.lock();
+        match predict::predict_arrival_in_window(&store.history, body.place, window) {
+            Some(s) => Response::ok(json!({ "second_of_day": s })),
+            None => Response::not_found("no arrivals in window"),
+        }
+    })
+}
+
+/// `POST /api/v1/analytics/next_visit` — predicted next visit instant.
+pub(crate) fn next_visit(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<NextVisitBody>(request, |body| {
+        let store = ctx.store();
+        let store = store.lock();
+        match predict::predict_next_visit(&store.history, body.place, body.now) {
+            Some(t) => Response::ok(json!({ "time": t })),
+            None => Response::not_found("no visit pattern for place"),
+        }
+    })
+}
+
+/// `POST /api/v1/analytics/frequency` — visit counts and weekly rate.
+pub(crate) fn frequency(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<PlaceOnlyBody>(request, |body| {
+        let store = ctx.store();
+        let store = store.lock();
+        Response::ok(json!({
+            "visits_per_week": store.history.visits_per_week(body.place),
+            "visit_count": store.history.visit_count(body.place),
+        }))
+    })
+}
+
+/// `POST /api/v1/analytics/activity` — mean daily minutes in motion.
+pub(crate) fn activity(ctx: &Ctx<'_>, _request: &Request) -> Response {
+    let store = ctx.store();
+    let store = store.lock();
+    Response::ok(json!({
+        "mean_daily_moving_minutes": store.history.mean_daily_moving_minutes(),
+    }))
+}
+
+/// `POST /api/v1/analytics/next_place` — Markov next-place prediction,
+/// served from a generation-tagged memoized model.
+pub(crate) fn next_place(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<PlaceOnlyBody>(request, |body| {
+        let store = ctx.store();
+        let mut store = store.lock();
+        // Retrain only when the history generation moved on since the
+        // cached model was built; repeat queries against an unchanged
+        // history are retrain-free.
+        let generation = store.history.generation();
+        let stale = store.next_place.as_ref().map(|(g, _)| *g) != Some(generation);
+        if stale {
+            ctx.core.metrics.cache_misses.inc();
+            let model = MarkovPredictor::train(&store.history);
+            store.next_place = Some((generation, model));
+        } else {
+            ctx.core.metrics.cache_hits.inc();
+        }
+        let (_, model) = store.next_place.as_ref().expect("cache filled above");
+        Response::ok(json!({
+            "predictions": model.predict_next(body.place),
+        }))
+    })
+}

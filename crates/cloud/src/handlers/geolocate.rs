@@ -1,0 +1,56 @@
+//! Cell-ID geolocation (§2.3.3 misc module — the OpenCellID stand-in).
+
+use pmware_world::{CellGlobalId, CellId, Lac, Plmn};
+use serde::Deserialize;
+use serde_json::json;
+
+use super::{with_body, Ctx};
+use crate::api::{Request, Response};
+
+#[derive(Deserialize)]
+struct GeolocateBody {
+    mcc: u16,
+    mnc: u16,
+    lac: u16,
+    cid: u32,
+}
+
+#[derive(Deserialize)]
+struct GeolocateSignatureBody {
+    cells: Vec<CellGlobalId>,
+}
+
+/// `POST /api/v1/misc/geolocate` — position of one cell tower.
+pub(crate) fn by_cell(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<GeolocateBody>(request, |body| {
+        let cell = CellGlobalId {
+            plmn: Plmn {
+                mcc: body.mcc,
+                mnc: body.mnc,
+            },
+            lac: Lac(body.lac),
+            cell: CellId(body.cid),
+        };
+        match ctx.core.cells.locate(cell) {
+            Some(p) => Response::ok(json!({
+                "latitude": p.latitude(),
+                "longitude": p.longitude(),
+            })),
+            None => Response::not_found("unknown cell"),
+        }
+    })
+}
+
+/// `POST /api/v1/misc/geolocate_signature` — centroid position of a
+/// place signature's cell set.
+pub(crate) fn by_signature(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<GeolocateSignatureBody>(request, |body| {
+        match ctx.core.cells.locate_signature(body.cells.iter()) {
+            Some(p) => Response::ok(json!({
+                "latitude": p.latitude(),
+                "longitude": p.longitude(),
+            })),
+            None => Response::not_found("no known cells in signature"),
+        }
+    })
+}

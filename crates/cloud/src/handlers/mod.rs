@@ -1,0 +1,62 @@
+//! Endpoint handlers: one small function per route, over a typed [`Ctx`].
+//!
+//! Each submodule owns one endpoint family of §2.3.3 (plus the analytics
+//! queries of §2.3.2). Handlers contain *only* endpoint logic — auth,
+//! outage, admission, and accounting all happened in the layer stack
+//! above — and are wired to paths exclusively through the route table in
+//! [`crate::router`].
+
+pub(crate) mod analytics;
+pub(crate) mod geolocate;
+pub(crate) mod places;
+pub(crate) mod profiles;
+pub(crate) mod registration;
+pub(crate) mod routes;
+pub(crate) mod social;
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmware_world::SimTime;
+
+use crate::api::{Request, Response};
+use crate::auth::UserId;
+use crate::state::{CloudCore, UserStore};
+
+/// Everything a handler may touch: the shared core, the validated caller
+/// (absent only on public routes), the raw bearer token (the refresh
+/// endpoint rotates it), and the simulated instant.
+pub(crate) struct Ctx<'a> {
+    pub(crate) core: &'a CloudCore,
+    pub(crate) user: Option<UserId>,
+    pub(crate) token: Option<&'a str>,
+    pub(crate) now: SimTime,
+}
+
+impl Ctx<'_> {
+    /// The validated caller. Only callable from handlers behind
+    /// `RouteAuth::Bearer` — the dispatcher guarantees the field is set.
+    pub(crate) fn user(&self) -> UserId {
+        self.user.expect("bearer route always has a validated user")
+    }
+
+    /// The caller's per-user store (created on first touch).
+    pub(crate) fn store(&self) -> Arc<Mutex<UserStore>> {
+        self.core.store_of(self.user())
+    }
+}
+
+/// A route handler: pure function from context + request to response.
+pub(crate) type Handler = fn(&Ctx<'_>, &Request) -> Response;
+
+/// Deserializes the request body into `B` and runs `f`, answering 400 on
+/// a shape mismatch.
+pub(crate) fn with_body<B: serde::de::DeserializeOwned>(
+    request: &Request,
+    f: impl FnOnce(B) -> Response,
+) -> Response {
+    match serde_json::from_value::<B>(request.body.clone()) {
+        Ok(body) => f(body),
+        Err(e) => Response::bad_request(format!("invalid body: {e}")),
+    }
+}

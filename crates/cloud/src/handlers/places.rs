@@ -1,0 +1,142 @@
+//! Place discovery offload, sync, listing and labelling (§2.3.1/§2.3.3).
+
+use pmware_algorithms::gca::IncrementalGca;
+use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
+use pmware_world::GsmObservation;
+use serde::Deserialize;
+use serde_json::json;
+
+use super::{with_body, Ctx};
+use crate::api::{Request, Response};
+
+#[derive(Deserialize)]
+struct DiscoverBody {
+    observations: Vec<GsmObservation>,
+    /// Stream offset of `observations[0]` in the client's full GSM log.
+    /// When present the endpoint is idempotent: already-absorbed prefixes
+    /// are skipped. Absent for legacy (unsequenced) clients.
+    #[serde(default)]
+    start: Option<u64>,
+}
+
+#[derive(Deserialize)]
+struct SyncPlacesBody {
+    places: Vec<DiscoveredPlace>,
+    /// Monotonic client sync sequence; a stale full replacement (reordered
+    /// behind a newer one) is ignored.
+    #[serde(default)]
+    seq: Option<u64>,
+}
+
+#[derive(Deserialize)]
+struct LabelBody {
+    place: DiscoveredPlaceId,
+    label: String,
+}
+
+/// `POST /api/v1/places/discover` — the GCA offload: fold a GSM
+/// observation batch into the caller's persistent incremental engine.
+pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<DiscoverBody>(request, |body| {
+        // Clone the config before taking the user lock (lock order: config
+        // lock is never held across a store lock). Absorbing under the
+        // user lock only serializes this user's own requests — other users
+        // live behind other mutexes.
+        let config = ctx.core.gca_config.read().clone();
+        let store = ctx.store();
+        let mut store = store.lock();
+        match body.start {
+            Some(start) => {
+                // Sequenced offload: `start` is the batch's offset in the
+                // client's observation stream. A duplicated or retried
+                // delivery re-sends a prefix the engine already absorbed —
+                // skip it; only the unseen tail is folded in. A start past
+                // the watermark means the server lost its engine (config
+                // reset): restart from this batch, which is authoritative.
+                let len = body.observations.len() as u64;
+                if start > store.absorbed_upto || store.gca.is_none() {
+                    store.gca = Some(IncrementalGca::new(config));
+                    store.absorbed_upto = start;
+                }
+                let skip = (store.absorbed_upto - start) as usize;
+                if skip > 0 {
+                    ctx.core.metrics.replay_discover.inc();
+                }
+                if (skip as u64) < len {
+                    store.absorbed_upto = start + len;
+                    let engine = store.gca.as_mut().expect("engine ensured above");
+                    engine.absorb(&body.observations[skip..]);
+                    store.places = engine.places().places;
+                }
+            }
+            None => {
+                // Legacy unsequenced offload: a batch that rewinds behind
+                // the absorbed stream means the client restarted or
+                // re-sent history — start over from exactly this batch.
+                // Otherwise fold the suffix into the accumulated engine.
+                let rewinds = match (&store.gca, body.observations.first()) {
+                    (Some(engine), Some(first)) => {
+                        engine.last_time().is_some_and(|t| first.time < t)
+                    }
+                    _ => false,
+                };
+                if rewinds || store.gca.is_none() {
+                    store.gca = Some(IncrementalGca::new(config));
+                    store.absorbed_upto = 0;
+                }
+                store.absorbed_upto += body.observations.len() as u64;
+                let engine = store.gca.as_mut().expect("engine ensured above");
+                engine.absorb(&body.observations);
+                store.places = engine.places().places;
+            }
+        }
+        Response::ok(json!({
+            "places": store.places,
+            "absorbed_upto": store.absorbed_upto,
+        }))
+    })
+}
+
+/// `POST /api/v1/places/sync` — full replacement of the stored places,
+/// sequence-guarded against reordered/duplicated deliveries.
+pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<SyncPlacesBody>(request, |body| {
+        let store = ctx.store();
+        let mut store = store.lock();
+        // A full replacement that was reordered behind a newer one (or
+        // delivered twice) must not clobber it.
+        let stale = body.seq.is_some_and(|seq| seq <= store.places_seq);
+        if stale {
+            ctx.core.metrics.replay_places_sync.inc();
+        }
+        if !stale {
+            store.places = body.places;
+            if let Some(seq) = body.seq {
+                store.places_seq = seq;
+            }
+        }
+        Response::ok(json!({ "stored": store.places.len(), "stale": stale }))
+    })
+}
+
+/// `GET /api/v1/places` — the caller's stored places.
+pub(crate) fn list(ctx: &Ctx<'_>, _request: &Request) -> Response {
+    let store = ctx.store();
+    let places = store.lock().places.clone();
+    Response::ok(json!({ "places": places }))
+}
+
+/// `POST /api/v1/places/label` — attaches a user label to a place.
+pub(crate) fn label(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<LabelBody>(request, |body| {
+        let store = ctx.store();
+        let mut store = store.lock();
+        match store.places.iter_mut().find(|p| p.id == body.place) {
+            Some(place) => {
+                place.label = Some(body.label);
+                Response::ok(json!({ "labelled": place.id }))
+            }
+            None => Response::not_found("unknown place"),
+        }
+    })
+}

@@ -1,0 +1,64 @@
+//! Daily mobility-profile sync and fetch (§2.3.3 profiles module).
+
+use serde::Deserialize;
+use serde_json::json;
+
+use super::{with_body, Ctx};
+use crate::api::{Request, Response};
+use crate::profile::MobilityProfile;
+
+/// Path prefix of the by-day fetch route; the remainder is the day index.
+pub(crate) const DAY_PREFIX: &str = "/api/v1/profiles/";
+
+#[derive(Deserialize)]
+struct SyncProfileBody {
+    profile: MobilityProfile,
+    /// Monotonic client sync sequence; an older version of the same day
+    /// arriving late (reorder) or twice (duplicate) is ignored, so the
+    /// history generation only moves for genuinely new data.
+    #[serde(default)]
+    seq: Option<u64>,
+}
+
+/// `POST /api/v1/profiles/sync` — per-day profile upsert with per-day
+/// sequence staleness.
+pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<SyncProfileBody>(request, |body| {
+        let day = body.profile.day;
+        let store = ctx.store();
+        let mut store = store.lock();
+        // Per-day upsert sequencing: a duplicate delivery or a stale
+        // version reordered behind a newer one is acknowledged without
+        // re-applying, so the history (and its generation) only moves for
+        // new data.
+        let stale = body
+            .seq
+            .is_some_and(|seq| store.profile_seq.get(&day).is_some_and(|&s| seq <= s));
+        if stale {
+            ctx.core.metrics.replay_profiles_sync.inc();
+        }
+        if !stale {
+            store.history.upsert(body.profile);
+            if let Some(seq) = body.seq {
+                store.profile_seq.insert(day, seq);
+            }
+        }
+        Response::ok(json!({ "synced_day": day, "stale": stale }))
+    })
+}
+
+/// `GET /api/v1/profiles/{day}` — fetch one day's profile.
+pub(crate) fn get_day(ctx: &Ctx<'_>, request: &Request) -> Response {
+    let day: Result<u64, _> = request.path[DAY_PREFIX.len()..].parse();
+    match day {
+        Err(_) => Response::bad_request("day must be an integer"),
+        Ok(day) => {
+            let store = ctx.store();
+            let store = store.lock();
+            match store.history.day(day) {
+                Some(profile) => Response::ok(json!({ "profile": profile })),
+                None => Response::not_found("no profile for that day"),
+            }
+        }
+    }
+}

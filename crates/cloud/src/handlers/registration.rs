@@ -1,0 +1,58 @@
+//! Registration and token lifecycle (§2.3.3 registration module).
+
+use serde::Deserialize;
+use serde_json::json;
+
+use super::{with_body, Ctx};
+use crate::api::{Request, Response};
+use crate::auth::DeviceIdentity;
+
+#[derive(Deserialize)]
+struct RegistrationBody {
+    imei: String,
+    email: String,
+}
+
+/// `POST /api/v1/registration` — the one public route. Registers (or
+/// re-registers, idempotently per identity) a device and issues a token.
+pub(crate) fn register(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<RegistrationBody>(request, |body| {
+        if body.imei.is_empty() || body.email.is_empty() {
+            return Response::bad_request("imei and email are required");
+        }
+        let identity = DeviceIdentity {
+            imei: body.imei,
+            email: body.email,
+        };
+        let (user, token) =
+            ctx.core
+                .tokens
+                .write()
+                .register(identity, ctx.now, &mut *ctx.core.rng.lock());
+        // Materialize the store so first touch happens under registration,
+        // not on the hot request path.
+        let _ = ctx.core.store_of(user);
+        Response::ok(json!({
+            "user": user,
+            "token": token.token,
+            "expires_at": token.expires_at,
+        }))
+    })
+}
+
+/// `POST /api/v1/token/refresh` — rotates the caller's bearer token.
+pub(crate) fn token_refresh(ctx: &Ctx<'_>, _request: &Request) -> Response {
+    let token = ctx.token.expect("bearer route always carries a token");
+    let refreshed = ctx
+        .core
+        .tokens
+        .write()
+        .refresh(token, ctx.now, &mut *ctx.core.rng.lock());
+    match refreshed {
+        Some(t) => Response::ok(json!({
+            "token": t.token,
+            "expires_at": t.expires_at,
+        })),
+        None => Response::unauthorized("token not refreshable"),
+    }
+}

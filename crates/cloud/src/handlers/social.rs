@@ -1,0 +1,83 @@
+//! Social-contact sync and place-targeted queries (§2.3.3 social module).
+
+use serde::Deserialize;
+use serde_json::json;
+
+use super::{with_body, Ctx};
+use crate::api::{Request, Response};
+use crate::profile::ContactEntry;
+use pmware_algorithms::signature::DiscoveredPlaceId;
+
+#[derive(Deserialize)]
+struct SyncContactsBody {
+    contacts: Vec<ContactEntry>,
+    /// Stream offset of `contacts[0]` in the client's encounter stream.
+    /// When present the endpoint deduplicates re-sent prefixes and the
+    /// response carries `acked_upto` so the client can drain its buffer.
+    #[serde(default)]
+    first_seq: Option<u64>,
+}
+
+#[derive(Deserialize)]
+struct SocialQueryBody {
+    place: Option<DiscoveredPlaceId>,
+}
+
+/// `POST /api/v1/social/sync` — append encounters, deduplicating re-sent
+/// prefixes through the sequence watermark.
+pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<SyncContactsBody>(request, |body| {
+        let store = ctx.store();
+        let mut store = store.lock();
+        match body.first_seq {
+            Some(first_seq) => {
+                // Sequenced sync: skip the prefix already absorbed (a
+                // retried buffer re-sends from its unacknowledged base),
+                // append only unseen entries, and acknowledge the new
+                // watermark so the client can drain its buffer. A base
+                // past the watermark means the server lost state — absorb
+                // everything and resync.
+                let len = body.contacts.len() as u64;
+                if first_seq > store.contacts_absorbed {
+                    store.contacts_absorbed = first_seq;
+                }
+                let skip = (store.contacts_absorbed - first_seq) as usize;
+                if skip > 0 {
+                    ctx.core.metrics.replay_social_sync.inc();
+                }
+                if (skip as u64) < len {
+                    store.contacts.extend(body.contacts.into_iter().skip(skip));
+                    store.contacts_absorbed = first_seq + len;
+                }
+            }
+            None => {
+                // Legacy blind extend.
+                store.contacts_absorbed += body.contacts.len() as u64;
+                store.contacts.extend(body.contacts);
+            }
+        }
+        Response::ok(json!({
+            "stored": store.contacts.len(),
+            "acked_upto": store.contacts_absorbed,
+        }))
+    })
+}
+
+/// `POST /api/v1/social/query` — contacts, optionally filtered to one
+/// place (§2.2.2 targeted sensing).
+pub(crate) fn query(ctx: &Ctx<'_>, request: &Request) -> Response {
+    with_body::<SocialQueryBody>(request, |body| {
+        let store = ctx.store();
+        let store = store.lock();
+        let contacts: Vec<ContactEntry> = store
+            .contacts
+            .iter()
+            .filter(|c| match body.place {
+                Some(p) => c.place == Some(p),
+                None => true,
+            })
+            .cloned()
+            .collect();
+        Response::ok(json!({ "contacts": contacts }))
+    })
+}

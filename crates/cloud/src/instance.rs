@@ -1,235 +1,53 @@
-//! The cloud instance: endpoint routing and per-user storage.
+//! The cloud instance: a middleware stack over shared state.
 //!
-//! [`CloudInstance`] is internally synchronized so that many simulated
-//! phones can talk to one server **concurrently**, exactly like the real
-//! multi-tenant Azure deployment of §2.3:
+//! §2.3 of the paper: the cloud instance *"is responsible for storing and
+//! managing long-term human mobility patterns, helping mobile service in
+//! place/route discovery process, as well as performing advanced analytics
+//! and prediction operations"*. The authors ran it as a Django/Apache
+//! service on Windows Azure; here it is an in-process server speaking the
+//! same REST/JSON shape.
 //!
-//! * per-user state lives in [`SHARD_COUNT`] lock shards keyed by
-//!   [`UserId`], so requests from different users proceed in parallel and
-//!   only requests for the *same* user serialize;
-//! * the token registry is behind a read-write lock (validation — the hot
-//!   path — takes the read side);
-//! * the cell database is immutable after construction and needs no lock;
-//! * fault injection and the token RNG use an atomic flag and a small
-//!   mutex respectively.
+//! [`CloudInstance`] no longer contains any endpoint logic. It is:
 //!
-//! [`SharedCloud`] is the cheap, cloneable handle (`Arc` under the hood)
-//! that clients hold; it is `Send + Sync` and replaces the external
-//! `Arc<Mutex<CloudInstance>>` wrapper of earlier revisions.
+//! * **state** — an `Arc<`[`CloudCore`]`>` (token store, user shards, cell
+//!   database, GCA config, admission controller, metrics), shared with
+//!   every layer;
+//! * **the stack** — outage → request metrics → admission control → auth
+//!   → shard accounting ([`crate::layer`]), bottoming out in the
+//!   route-table dispatcher ([`crate::router`]);
+//! * **construction and accessors** — builders (`with_obs`,
+//!   `with_admission`) plus the snapshot views tests and benches read.
+//!
+//! Concurrency model (unchanged from the pre-stack revisions): per-user
+//! state lives in [`SHARD_COUNT`] lock shards keyed by `UserId`, the
+//! token registry is behind a read-write lock (validation — the hot path
+//! — takes the read side), the cell database is immutable, and the outage
+//! flag and token RNG use an atomic and a small mutex. All methods take
+//! `&self`; [`SharedCloud`] is the cheap cloneable handle clients hold.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use pmware_obs::{Counter, Obs};
-use pmware_algorithms::gca::{GcaConfig, IncrementalGca};
-use pmware_algorithms::route::{CanonicalRoute, RouteStore};
-use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
-use pmware_world::{CellGlobalId, CellId, GsmObservation, Lac, Plmn, SimDuration, SimTime};
+use pmware_algorithms::gca::GcaConfig;
+use pmware_algorithms::signature::DiscoveredPlace;
+use pmware_obs::Obs;
+use pmware_world::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Deserialize;
-use serde_json::json;
-#[cfg(test)]
-use serde_json::Value;
 
-use crate::analytics::ProfileHistory;
-use crate::api::{Method, Request, Response};
-use crate::auth::{DeviceIdentity, TokenStore, UserId};
+use crate::admission::AdmissionConfig;
+use crate::api::{Request, Response};
+use crate::auth::{TokenStore, UserId};
 use crate::geolocate::CellDatabase;
-use crate::predict::{self, MarkovPredictor};
+use crate::layer::{
+    AdmissionLayer, AuthLayer, Layer, Next, OutageLayer, RequestMetricsLayer, RouterService,
+    ShardAccountingLayer,
+};
 use crate::profile::{ContactEntry, MobilityProfile};
+use crate::state::{CloudCore, CloudMetrics, Shard};
 
-/// Number of per-user lock shards.
-pub const SHARD_COUNT: usize = 16;
-
-/// Per-user server-side state.
-#[derive(Debug)]
-struct UserStore {
-    places: Vec<DiscoveredPlace>,
-    routes: RouteStore,
-    history: ProfileHistory,
-    contacts: Vec<ContactEntry>,
-    /// Persistent incremental discovery engine: each offload folds its
-    /// suffix in instead of re-clustering (and forgetting) from scratch.
-    /// Created lazily on first offload with the instance's GCA config.
-    gca: Option<IncrementalGca>,
-    /// Memoized Markov model, tagged with the [`ProfileHistory`]
-    /// generation it was trained at; a profile upsert bumps the
-    /// generation, which invalidates this entry on the next query.
-    next_place: Option<(u64, MarkovPredictor)>,
-    /// Observations absorbed through the sequenced discover path: a
-    /// duplicated or re-sent offload whose `start` falls behind this
-    /// watermark has its already-seen prefix skipped instead of being
-    /// double-absorbed.
-    absorbed_upto: u64,
-    /// Contacts absorbed through the sequenced social sync; the dual of
-    /// `absorbed_upto` for encounters.
-    contacts_absorbed: u64,
-    /// Highest sync sequence accepted per profile day: a stale (reordered
-    /// or duplicated) upsert is ignored rather than re-applied.
-    profile_seq: HashMap<u64, u64>,
-    /// Highest sequence accepted for the places full-replacement sync.
-    places_seq: u64,
-    /// Highest sequence accepted for the routes full-replacement sync.
-    routes_seq: u64,
-}
-
-impl Default for UserStore {
-    fn default() -> Self {
-        UserStore {
-            places: Vec::new(),
-            routes: RouteStore::new(0.5),
-            history: ProfileHistory::new(),
-            contacts: Vec::new(),
-            gca: None,
-            next_place: None,
-            absorbed_upto: 0,
-            contacts_absorbed: 0,
-            profile_seq: HashMap::new(),
-            places_seq: 0,
-            routes_seq: 0,
-        }
-    }
-}
-
-/// One lock shard: the users whose id hashes here. The per-shard request
-/// counter that used to live here moved to the metrics registry (see
-/// [`CloudMetrics`]).
-#[derive(Debug, Default)]
-struct Shard {
-    users: RwLock<HashMap<UserId, Arc<Mutex<UserStore>>>>,
-}
-
-/// Stable endpoint labels, the `endpoint` metric dimension. One entry per
-/// routed endpoint family plus `register` (unauthenticated) and `other`
-/// (unrouted paths) — bounded cardinality by construction.
-const ENDPOINT_LABELS: [&str; 21] = [
-    "register",
-    "token_refresh",
-    "places_discover",
-    "places_sync",
-    "places_list",
-    "places_label",
-    "routes_sync",
-    "routes_list",
-    "routes_query",
-    "profiles_sync",
-    "profiles_get",
-    "social_sync",
-    "social_query",
-    "geolocate",
-    "geolocate_signature",
-    "analytics_arrival",
-    "analytics_next_visit",
-    "analytics_frequency",
-    "analytics_activity",
-    "analytics_next_place",
-    "other",
-];
-
-/// Index of an endpoint label in [`ENDPOINT_LABELS`].
-fn endpoint_index(method: Method, path: &str) -> usize {
-    match (method, path) {
-        (Method::Post, "/api/v1/registration") => 0,
-        (Method::Post, "/api/v1/token/refresh") => 1,
-        (Method::Post, "/api/v1/places/discover") => 2,
-        (Method::Post, "/api/v1/places/sync") => 3,
-        (Method::Get, "/api/v1/places") => 4,
-        (Method::Post, "/api/v1/places/label") => 5,
-        (Method::Post, "/api/v1/routes/sync") => 6,
-        (Method::Get, "/api/v1/routes") => 7,
-        (Method::Post, "/api/v1/routes/query") => 8,
-        (Method::Post, "/api/v1/profiles/sync") => 9,
-        (Method::Get, p) if p.starts_with("/api/v1/profiles/") => 10,
-        (Method::Post, "/api/v1/social/sync") => 11,
-        (Method::Post, "/api/v1/social/query") => 12,
-        (Method::Post, "/api/v1/misc/geolocate") => 13,
-        (Method::Post, "/api/v1/misc/geolocate_signature") => 14,
-        (Method::Post, "/api/v1/analytics/arrival") => 15,
-        (Method::Post, "/api/v1/analytics/next_visit") => 16,
-        (Method::Post, "/api/v1/analytics/frequency") => 17,
-        (Method::Post, "/api/v1/analytics/activity") => 18,
-        (Method::Post, "/api/v1/analytics/next_place") => 19,
-        _ => ENDPOINT_LABELS.len() - 1,
-    }
-}
-
-/// Registry-backed cloud counters.
-///
-/// Two registries are involved on purpose. Per-**endpoint** requests,
-/// idempotent-replay counts, and the analytics cache hit/miss counters
-/// are order-independent aggregates, so they may bind to a study-wide
-/// shared registry via [`CloudInstance::with_obs`]. Per-**shard** counts
-/// stay in the instance's private registry always: the user-id → shard
-/// mapping depends on registration order, which races across thread
-/// schedules, and admitting it into a shared snapshot would break the
-/// byte-identical determinism guarantee.
-#[derive(Debug)]
-struct CloudMetrics {
-    /// Private always-on registry backing the legacy snapshot views.
-    private: Obs,
-    shard_requests: Vec<Counter>,
-    /// Indexed by [`endpoint_index`].
-    endpoint_requests: Vec<Counter>,
-    replay_discover: Counter,
-    replay_places_sync: Counter,
-    replay_routes_sync: Counter,
-    replay_profiles_sync: Counter,
-    replay_social_sync: Counter,
-    cache_hits: Counter,
-    cache_misses: Counter,
-    /// Wall-clock latency per endpoint, bench builds only.
-    #[cfg(feature = "wallclock")]
-    endpoint_nanos: Vec<pmware_obs::Histogram>,
-}
-
-impl CloudMetrics {
-    fn new() -> CloudMetrics {
-        let private = Obs::new().for_actor("cloud");
-        Self::resolve(private.clone(), private)
-    }
-
-    fn resolve(private: Obs, obs: Obs) -> CloudMetrics {
-        let shard_requests = (0..SHARD_COUNT)
-            .map(|i| {
-                let shard = format!("{i:02}");
-                private.counter("cloud_shard_requests_total", &[("shard", &shard)])
-            })
-            .collect();
-        let endpoint_requests = ENDPOINT_LABELS
-            .iter()
-            .map(|label| obs.counter("cloud_requests_total", &[("endpoint", label)]))
-            .collect();
-        #[cfg(feature = "wallclock")]
-        let endpoint_nanos = ENDPOINT_LABELS
-            .iter()
-            .map(|label| {
-                obs.histogram(
-                    "cloud_endpoint_nanos",
-                    &[("endpoint", label)],
-                    &pmware_obs::profiling::NANO_BOUNDS,
-                )
-            })
-            .collect();
-        CloudMetrics {
-            shard_requests,
-            endpoint_requests,
-            replay_discover: obs.counter("cloud_replays_total", &[("endpoint", "places_discover")]),
-            replay_places_sync: obs.counter("cloud_replays_total", &[("endpoint", "places_sync")]),
-            replay_routes_sync: obs.counter("cloud_replays_total", &[("endpoint", "routes_sync")]),
-            replay_profiles_sync: obs
-                .counter("cloud_replays_total", &[("endpoint", "profiles_sync")]),
-            replay_social_sync: obs.counter("cloud_replays_total", &[("endpoint", "social_sync")]),
-            cache_hits: obs.counter("cloud_analytics_cache_total", &[("result", "hit")]),
-            cache_misses: obs.counter("cloud_analytics_cache_total", &[("result", "miss")]),
-            #[cfg(feature = "wallclock")]
-            endpoint_nanos,
-            private,
-        }
-    }
-}
+pub use crate::state::SHARD_COUNT;
 
 /// The PMWare cloud instance (PCI).
 ///
@@ -255,13 +73,9 @@ impl CloudMetrics {
 /// ```
 #[derive(Debug)]
 pub struct CloudInstance {
-    tokens: RwLock<TokenStore>,
-    shards: Vec<Shard>,
-    cells: CellDatabase,
-    gca_config: RwLock<GcaConfig>,
-    rng: Mutex<StdRng>,
-    outage: AtomicBool,
-    metrics: CloudMetrics,
+    core: Arc<CloudCore>,
+    layers: Vec<Arc<dyn Layer>>,
+    service: RouterService,
 }
 
 /// Cloneable, thread-safe handle to a [`CloudInstance`].
@@ -301,125 +115,61 @@ impl std::ops::Deref for SharedCloud {
     }
 }
 
-#[derive(Deserialize)]
-struct RegistrationBody {
-    imei: String,
-    email: String,
-}
-
-#[derive(Deserialize)]
-struct DiscoverBody {
-    observations: Vec<GsmObservation>,
-    /// Stream offset of `observations[0]` in the client's full GSM log.
-    /// When present the endpoint is idempotent: already-absorbed prefixes
-    /// are skipped. Absent for legacy (unsequenced) clients.
-    #[serde(default)]
-    start: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct SyncPlacesBody {
-    places: Vec<DiscoveredPlace>,
-    /// Monotonic client sync sequence; a stale full replacement (reordered
-    /// behind a newer one) is ignored.
-    #[serde(default)]
-    seq: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct LabelBody {
-    place: DiscoveredPlaceId,
-    label: String,
-}
-
-#[derive(Deserialize)]
-struct SyncRoutesBody {
-    routes: Vec<CanonicalRoute>,
-    /// Monotonic client sync sequence (see [`SyncPlacesBody::seq`]).
-    #[serde(default)]
-    seq: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct RouteQueryBody {
-    from: DiscoveredPlaceId,
-    to: DiscoveredPlaceId,
-}
-
-#[derive(Deserialize)]
-struct SyncProfileBody {
-    profile: MobilityProfile,
-    /// Monotonic client sync sequence; an older version of the same day
-    /// arriving late (reorder) or twice (duplicate) is ignored, so the
-    /// history generation only moves for genuinely new data.
-    #[serde(default)]
-    seq: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct SyncContactsBody {
-    contacts: Vec<ContactEntry>,
-    /// Stream offset of `contacts[0]` in the client's encounter stream.
-    /// When present the endpoint deduplicates re-sent prefixes and the
-    /// response carries `acked_upto` so the client can drain its buffer.
-    #[serde(default)]
-    first_seq: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct SocialQueryBody {
-    place: Option<DiscoveredPlaceId>,
-}
-
-#[derive(Deserialize)]
-struct GeolocateBody {
-    mcc: u16,
-    mnc: u16,
-    lac: u16,
-    cid: u32,
-}
-
-#[derive(Deserialize)]
-struct GeolocateSignatureBody {
-    cells: Vec<CellGlobalId>,
-}
-
-#[derive(Deserialize)]
-struct ArrivalBody {
-    place: DiscoveredPlaceId,
-    window: Option<(u64, u64)>,
-}
-
-#[derive(Deserialize)]
-struct NextVisitBody {
-    place: DiscoveredPlaceId,
-    now: SimTime,
-}
-
-#[derive(Deserialize)]
-struct PlaceOnlyBody {
-    place: DiscoveredPlaceId,
-}
-
 impl CloudInstance {
     /// Creates an instance with a 24-hour token TTL.
     pub fn new(cells: CellDatabase, seed: u64) -> Self {
-        CloudInstance {
+        Self::assemble(CloudCore {
             tokens: RwLock::new(TokenStore::new(SimDuration::from_hours(24))),
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             cells,
             gca_config: RwLock::new(GcaConfig::default()),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             outage: AtomicBool::new(false),
+            admission: Default::default(),
             metrics: CloudMetrics::new(),
+        })
+    }
+
+    /// Builds the layer stack over a core. Order is load-bearing — see
+    /// DESIGN.md §5f: outage answers before anything is counted (byte
+    /// compatibility with the pre-stack monolith), request metrics sit
+    /// above admission so shed 429s stay visible per endpoint, admission
+    /// sheds before auth spends effort, and shard accounting attributes
+    /// only requests that passed auth.
+    fn assemble(core: CloudCore) -> CloudInstance {
+        let core = Arc::new(core);
+        let layers: Vec<Arc<dyn Layer>> = vec![
+            Arc::new(OutageLayer {
+                core: Arc::clone(&core),
+            }),
+            Arc::new(RequestMetricsLayer {
+                core: Arc::clone(&core),
+            }),
+            Arc::new(AdmissionLayer {
+                core: Arc::clone(&core),
+            }),
+            Arc::new(AuthLayer {
+                core: Arc::clone(&core),
+            }),
+            Arc::new(ShardAccountingLayer {
+                core: Arc::clone(&core),
+            }),
+        ];
+        let service = RouterService {
+            core: Arc::clone(&core),
+        };
+        CloudInstance {
+            core,
+            layers,
+            service,
         }
     }
 
     /// Binds the instance's aggregate counters (per-endpoint requests,
-    /// replay counts, analytics cache hits) to `obs`, carrying anything
-    /// already recorded. Per-shard counts stay private — see
-    /// [`CloudMetrics`]. A builder, meant to run before the instance is
-    /// wrapped in a [`SharedCloud`]:
+    /// replay counts, analytics cache hits, admission denials) to `obs`,
+    /// carrying anything already recorded. Per-shard counts stay private —
+    /// see [`crate::state`]. A builder, meant to run before the instance
+    /// is wrapped in a [`SharedCloud`]:
     ///
     /// ```
     /// use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
@@ -428,15 +178,32 @@ impl CloudInstance {
     /// let obs = Obs::new();
     /// let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::new(), 1).with_obs(&obs));
     /// ```
-    pub fn with_obs(mut self, obs: &Obs) -> CloudInstance {
-        let private = self.metrics.private.clone();
+    pub fn with_obs(self, obs: &Obs) -> CloudInstance {
+        let CloudInstance {
+            core,
+            layers,
+            service,
+        } = self;
+        // The stack holds the only other `Arc`s to the core; drop it so
+        // the core can be unwrapped and its metrics rebound.
+        drop(layers);
+        drop(service);
+        let mut core = Arc::try_unwrap(core)
+            .expect("with_obs is a builder: call it before sharing the instance");
+        let private = core.metrics.private.clone();
         let obs = obs.clone().metrics_or(&private);
-        let previous = std::mem::replace(&mut self.metrics, CloudMetrics::resolve(private, obs));
-        for (new, old) in self
+        let previous = std::mem::replace(&mut core.metrics, CloudMetrics::resolve(private, obs));
+        for (new, old) in core
             .metrics
             .endpoint_requests
             .iter()
             .zip(previous.endpoint_requests.iter())
+            .chain(
+                core.metrics
+                    .admission_denied
+                    .iter()
+                    .zip(previous.admission_denied.iter()),
+            )
         {
             let v = old.get();
             if v > 0 {
@@ -444,20 +211,49 @@ impl CloudInstance {
             }
         }
         for (new, old) in [
-            (&self.metrics.replay_discover, &previous.replay_discover),
-            (&self.metrics.replay_places_sync, &previous.replay_places_sync),
-            (&self.metrics.replay_routes_sync, &previous.replay_routes_sync),
-            (&self.metrics.replay_profiles_sync, &previous.replay_profiles_sync),
-            (&self.metrics.replay_social_sync, &previous.replay_social_sync),
-            (&self.metrics.cache_hits, &previous.cache_hits),
-            (&self.metrics.cache_misses, &previous.cache_misses),
+            (&core.metrics.replay_discover, &previous.replay_discover),
+            (
+                &core.metrics.replay_places_sync,
+                &previous.replay_places_sync,
+            ),
+            (
+                &core.metrics.replay_routes_sync,
+                &previous.replay_routes_sync,
+            ),
+            (
+                &core.metrics.replay_profiles_sync,
+                &previous.replay_profiles_sync,
+            ),
+            (
+                &core.metrics.replay_social_sync,
+                &previous.replay_social_sync,
+            ),
+            (&core.metrics.cache_hits, &previous.cache_hits),
+            (&core.metrics.cache_misses, &previous.cache_misses),
         ] {
             let v = old.get();
             if v > 0 {
                 new.set(v);
             }
         }
+        Self::assemble(core)
+    }
+
+    /// Enables the deterministic admission controller with `config`, as a
+    /// builder. Off by default; see [`CloudInstance::set_admission`].
+    pub fn with_admission(self, config: AdmissionConfig) -> CloudInstance {
+        self.set_admission(Some(config));
         self
+    }
+
+    /// Enables (`Some`) or disables (`None`) admission control at
+    /// runtime. Enabling resets all token buckets; requests over budget
+    /// are answered 429 with a `retry_after_s` hint.
+    pub fn set_admission(&self, config: Option<AdmissionConfig>) {
+        match config {
+            Some(config) => self.core.admission.enable(config),
+            None => self.core.admission.disable(),
+        }
     }
 
     /// Fault injection for tests and resilience experiments: while an
@@ -465,12 +261,12 @@ impl CloudInstance {
     /// instance were unreachable. The phone must keep working (§2.3.1's
     /// offload has a local fallback).
     pub fn set_outage(&self, outage: bool) {
-        self.outage.store(outage, Ordering::SeqCst);
+        self.core.outage.store(outage, Ordering::SeqCst);
     }
 
     /// Whether an outage is currently injected.
     pub fn outage(&self) -> bool {
-        self.outage.load(Ordering::SeqCst)
+        self.core.outage()
     }
 
     /// Overrides the GCA configuration used by the discovery offload.
@@ -479,10 +275,10 @@ impl CloudInstance {
     /// so they are dropped; each user's next offload starts a fresh
     /// engine (intended as a deployment-setup call, not a hot reconfig).
     pub fn set_gca_config(&self, config: GcaConfig) {
-        *self.gca_config.write() = config;
+        *self.core.gca_config.write() = config;
         // The config write lock is released before any user lock is taken
         // (same lock-order rule as the discover endpoint).
-        for shard in &self.shards {
+        for shard in &self.core.shards {
             let users: Vec<_> = shard.users.read().values().cloned().collect();
             for store in users {
                 store.lock().gca = None;
@@ -492,12 +288,12 @@ impl CloudInstance {
 
     /// Number of registered users.
     pub fn user_count(&self) -> usize {
-        self.tokens.read().user_count()
+        self.core.tokens.read().user_count()
     }
 
     /// Number of per-user lock shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// Authenticated requests handled so far, broken down by shard — a
@@ -508,7 +304,12 @@ impl CloudInstance {
     /// server work, they are counted in the metrics registry under
     /// `cloud_requests_total{endpoint="register"}`.
     pub fn shard_request_counts(&self) -> Vec<u64> {
-        self.metrics.shard_requests.iter().map(|c| c.get()).collect()
+        self.core
+            .metrics
+            .shard_requests
+            .iter()
+            .map(|c| c.get())
+            .collect()
     }
 
     /// Total authenticated requests handled so far. Registrations are
@@ -517,490 +318,57 @@ impl CloudInstance {
         self.shard_request_counts().iter().sum()
     }
 
+    /// Admission-control denials so far, summed over rate classes.
+    pub fn admission_denials(&self) -> u64 {
+        self.core
+            .metrics
+            .admission_denied
+            .iter()
+            .map(|c| c.get())
+            .sum()
+    }
+
     /// Observations held by `user`'s discovery engine. The chaos suite's
     /// duplicate-absorb invariant: this never exceeds the client's own
     /// GSM log length, no matter how often offloads are retried,
     /// duplicated, or reordered.
     pub fn observation_count(&self, user: UserId) -> usize {
-        let store = self.store_of(user);
+        let store = self.core.store_of(user);
         let store = store.lock();
-        store.gca.as_ref().map_or(0, |engine| engine.observation_count())
+        store
+            .gca
+            .as_ref()
+            .map_or(0, |engine| engine.observation_count())
     }
 
     /// Social encounters stored for `user` — the dual invariant for
     /// contacts (each encounter is absorbed exactly once).
     pub fn contact_count(&self, user: UserId) -> usize {
-        self.store_of(user).lock().contacts.len()
+        self.core.store_of(user).lock().contacts.len()
     }
 
     /// Snapshot of `user`'s stored contacts.
     pub fn contacts_of(&self, user: UserId) -> Vec<ContactEntry> {
-        self.store_of(user).lock().contacts.clone()
+        self.core.store_of(user).lock().contacts.clone()
     }
 
     /// Snapshot of `user`'s stored places.
     pub fn places_of(&self, user: UserId) -> Vec<DiscoveredPlace> {
-        self.store_of(user).lock().places.clone()
+        self.core.store_of(user).lock().places.clone()
     }
 
     /// Snapshot of `user`'s stored day profiles, ordered by day.
     pub fn profiles_of(&self, user: UserId) -> Vec<MobilityProfile> {
-        let store = self.store_of(user);
+        let store = self.core.store_of(user);
         let store = store.lock();
         store.history.iter().cloned().collect()
     }
 
-    /// The shard a user's state lives in.
-    fn shard(&self, user: UserId) -> &Shard {
-        &self.shards[user.0 as usize % self.shards.len()]
-    }
-
-    /// The per-user store, creating it if absent. Fast path is a shard
-    /// read lock; the write lock is only taken on first touch.
-    fn store_of(&self, user: UserId) -> Arc<Mutex<UserStore>> {
-        let shard = self.shard(user);
-        if let Some(store) = shard.users.read().get(&user) {
-            return store.clone();
-        }
-        shard
-            .users
-            .write()
-            .entry(user)
-            .or_insert_with(|| Arc::new(Mutex::new(UserStore::default())))
-            .clone()
-    }
-
     /// Handles one request at simulated instant `now` — the single entry
-    /// point, exactly like an HTTP dispatcher.
+    /// point, exactly like an HTTP dispatcher: the request runs down the
+    /// middleware stack into the route-table dispatcher.
     pub fn handle(&self, request: &Request, now: SimTime) -> Response {
-        if self.outage() {
-            return Response { status: 503, body: json!({"error": "service unavailable"}) };
-        }
-        let path = request.path.as_str();
-        let endpoint = endpoint_index(request.method, path);
-        self.metrics.endpoint_requests[endpoint].inc();
-        #[cfg(feature = "wallclock")]
-        let timer = pmware_obs::profiling::WallTimer::start();
-        let response = self.route(request, path, now);
-        #[cfg(feature = "wallclock")]
-        timer.record(&self.metrics.endpoint_nanos[endpoint]);
-        response
-    }
-
-    /// Routes one request (everything in [`CloudInstance::handle`] past
-    /// the accounting preamble).
-    fn route(&self, request: &Request, path: &str, now: SimTime) -> Response {
-        // Unauthenticated endpoints.
-        if let (Method::Post, "/api/v1/registration") = (request.method, path) {
-            return self.register(request, now);
-        }
-
-        // Everything else requires a valid token.
-        let Some(token) = request.token.as_deref() else {
-            return Response::unauthorized("missing bearer token");
-        };
-        let Some(user) = self.tokens.read().validate(token, now) else {
-            return Response::unauthorized("invalid or expired token");
-        };
-        self.metrics.shard_requests[user.0 as usize % self.shards.len()].inc();
-
-        match (request.method, path) {
-            (Method::Post, "/api/v1/token/refresh") => {
-                let refreshed = self
-                    .tokens
-                    .write()
-                    .refresh(token, now, &mut *self.rng.lock());
-                match refreshed {
-                    Some(t) => Response::ok(json!({
-                        "token": t.token,
-                        "expires_at": t.expires_at,
-                    })),
-                    None => Response::unauthorized("token not refreshable"),
-                }
-            }
-            (Method::Post, "/api/v1/places/discover") => {
-                self.with_body::<DiscoverBody>(request, |body| {
-                    // Clone the config before taking the user lock (lock
-                    // order: config lock is never held across a store
-                    // lock). Absorbing under the user lock only serializes
-                    // this user's own requests — other users live behind
-                    // other mutexes.
-                    let config = self.gca_config.read().clone();
-                    let store = self.store_of(user);
-                    let mut store = store.lock();
-                    match body.start {
-                        Some(start) => {
-                            // Sequenced offload: `start` is the batch's
-                            // offset in the client's observation stream.
-                            // A duplicated or retried delivery re-sends a
-                            // prefix the engine already absorbed — skip
-                            // it; only the unseen tail is folded in. A
-                            // start past the watermark means the server
-                            // lost its engine (config reset): restart
-                            // from this batch, which is authoritative.
-                            let len = body.observations.len() as u64;
-                            if start > store.absorbed_upto || store.gca.is_none() {
-                                store.gca = Some(IncrementalGca::new(config));
-                                store.absorbed_upto = start;
-                            }
-                            let skip = (store.absorbed_upto - start) as usize;
-                            if skip > 0 {
-                                self.metrics.replay_discover.inc();
-                            }
-                            if (skip as u64) < len {
-                                store.absorbed_upto = start + len;
-                                let engine =
-                                    store.gca.as_mut().expect("engine ensured above");
-                                engine.absorb(&body.observations[skip..]);
-                                store.places = engine.places().places;
-                            }
-                        }
-                        None => {
-                            // Legacy unsequenced offload: a batch that
-                            // rewinds behind the absorbed stream means
-                            // the client restarted or re-sent history —
-                            // start over from exactly this batch.
-                            // Otherwise fold the suffix into the
-                            // accumulated engine.
-                            let rewinds = match (&store.gca, body.observations.first()) {
-                                (Some(engine), Some(first)) => {
-                                    engine.last_time().is_some_and(|t| first.time < t)
-                                }
-                                _ => false,
-                            };
-                            if rewinds || store.gca.is_none() {
-                                store.gca = Some(IncrementalGca::new(config));
-                                store.absorbed_upto = 0;
-                            }
-                            store.absorbed_upto += body.observations.len() as u64;
-                            let engine = store.gca.as_mut().expect("engine ensured above");
-                            engine.absorb(&body.observations);
-                            store.places = engine.places().places;
-                        }
-                    }
-                    Response::ok(json!({
-                        "places": store.places,
-                        "absorbed_upto": store.absorbed_upto,
-                    }))
-                })
-            }
-            (Method::Post, "/api/v1/places/sync") => {
-                self.with_body::<SyncPlacesBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let mut store = store.lock();
-                    // A full replacement that was reordered behind a newer
-                    // one (or delivered twice) must not clobber it.
-                    let stale =
-                        body.seq.is_some_and(|seq| seq <= store.places_seq);
-                    if stale {
-                        self.metrics.replay_places_sync.inc();
-                    }
-                    if !stale {
-                        store.places = body.places;
-                        if let Some(seq) = body.seq {
-                            store.places_seq = seq;
-                        }
-                    }
-                    Response::ok(json!({ "stored": store.places.len(), "stale": stale }))
-                })
-            }
-            (Method::Get, "/api/v1/places") => {
-                let store = self.store_of(user);
-                let places = store.lock().places.clone();
-                Response::ok(json!({ "places": places }))
-            }
-            (Method::Post, "/api/v1/places/label") => {
-                self.with_body::<LabelBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let mut store = store.lock();
-                    match store.places.iter_mut().find(|p| p.id == body.place) {
-                        Some(place) => {
-                            place.label = Some(body.label);
-                            Response::ok(json!({ "labelled": place.id }))
-                        }
-                        None => Response::not_found("unknown place"),
-                    }
-                })
-            }
-            (Method::Post, "/api/v1/routes/sync") => {
-                self.with_body::<SyncRoutesBody>(request, |body| {
-                    {
-                        let store = self.store_of(user);
-                        let store = store.lock();
-                        if body.seq.is_some_and(|seq| seq <= store.routes_seq) {
-                            self.metrics.replay_routes_sync.inc();
-                            return Response::ok(json!({
-                                "stored": store.routes.routes().len(),
-                                "stale": true,
-                            }));
-                        }
-                    }
-                    let mut fresh = RouteStore::new(0.5);
-                    for route in body.routes {
-                        for start in &route.traversals {
-                            let _ = fresh.record(
-                                pmware_algorithms::route::RouteObservation {
-                                    from: route.from,
-                                    to: route.to,
-                                    start: *start,
-                                    end: *start,
-                                    geometry: route.geometry.clone(),
-                                },
-                            );
-                        }
-                    }
-                    let stored = fresh.routes().len();
-                    let store = self.store_of(user);
-                    let mut store = store.lock();
-                    store.routes = fresh;
-                    if let Some(seq) = body.seq {
-                        store.routes_seq = seq;
-                    }
-                    Response::ok(json!({ "stored": stored, "stale": false }))
-                })
-            }
-            (Method::Get, "/api/v1/routes") => {
-                let store = self.store_of(user);
-                let routes = store.lock().routes.routes().to_vec();
-                Response::ok(json!({ "routes": routes }))
-            }
-            (Method::Post, "/api/v1/routes/query") => {
-                self.with_body::<RouteQueryBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let store = store.lock();
-                    let routes: Vec<CanonicalRoute> = store
-                        .routes
-                        .between(body.from, body.to)
-                        .into_iter()
-                        .cloned()
-                        .collect();
-                    Response::ok(json!({ "routes": routes }))
-                })
-            }
-            (Method::Post, "/api/v1/profiles/sync") => {
-                self.with_body::<SyncProfileBody>(request, |body| {
-                    let day = body.profile.day;
-                    let store = self.store_of(user);
-                    let mut store = store.lock();
-                    // Per-day upsert sequencing: a duplicate delivery or a
-                    // stale version reordered behind a newer one is
-                    // acknowledged without re-applying, so the history
-                    // (and its generation) only moves for new data.
-                    let stale = body.seq.is_some_and(|seq| {
-                        store.profile_seq.get(&day).is_some_and(|&s| seq <= s)
-                    });
-                    if stale {
-                        self.metrics.replay_profiles_sync.inc();
-                    }
-                    if !stale {
-                        store.history.upsert(body.profile);
-                        if let Some(seq) = body.seq {
-                            store.profile_seq.insert(day, seq);
-                        }
-                    }
-                    Response::ok(json!({ "synced_day": day, "stale": stale }))
-                })
-            }
-            (Method::Get, p) if p.starts_with("/api/v1/profiles/") => {
-                let day: Result<u64, _> = p["/api/v1/profiles/".len()..].parse();
-                match day {
-                    Err(_) => Response::bad_request("day must be an integer"),
-                    Ok(day) => {
-                        let store = self.store_of(user);
-                        let store = store.lock();
-                        match store.history.day(day) {
-                            Some(profile) => Response::ok(json!({ "profile": profile })),
-                            None => Response::not_found("no profile for that day"),
-                        }
-                    }
-                }
-            }
-            (Method::Post, "/api/v1/social/sync") => {
-                self.with_body::<SyncContactsBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let mut store = store.lock();
-                    match body.first_seq {
-                        Some(first_seq) => {
-                            // Sequenced sync: skip the prefix already
-                            // absorbed (a retried buffer re-sends from its
-                            // unacknowledged base), append only unseen
-                            // entries, and acknowledge the new watermark
-                            // so the client can drain its buffer. A base
-                            // past the watermark means the server lost
-                            // state — absorb everything and resync.
-                            let len = body.contacts.len() as u64;
-                            if first_seq > store.contacts_absorbed {
-                                store.contacts_absorbed = first_seq;
-                            }
-                            let skip = (store.contacts_absorbed - first_seq) as usize;
-                            if skip > 0 {
-                                self.metrics.replay_social_sync.inc();
-                            }
-                            if (skip as u64) < len {
-                                store.contacts.extend(
-                                    body.contacts.into_iter().skip(skip),
-                                );
-                                store.contacts_absorbed = first_seq + len;
-                            }
-                        }
-                        None => {
-                            // Legacy blind extend.
-                            store.contacts_absorbed += body.contacts.len() as u64;
-                            store.contacts.extend(body.contacts);
-                        }
-                    }
-                    Response::ok(json!({
-                        "stored": store.contacts.len(),
-                        "acked_upto": store.contacts_absorbed,
-                    }))
-                })
-            }
-            (Method::Post, "/api/v1/social/query") => {
-                self.with_body::<SocialQueryBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let store = store.lock();
-                    let contacts: Vec<ContactEntry> = store
-                        .contacts
-                        .iter()
-                        .filter(|c| match body.place {
-                            Some(p) => c.place == Some(p),
-                            None => true,
-                        })
-                        .cloned()
-                        .collect();
-                    Response::ok(json!({ "contacts": contacts }))
-                })
-            }
-            (Method::Post, "/api/v1/misc/geolocate") => {
-                self.with_body::<GeolocateBody>(request, |body| {
-                    let cell = CellGlobalId {
-                        plmn: Plmn { mcc: body.mcc, mnc: body.mnc },
-                        lac: Lac(body.lac),
-                        cell: CellId(body.cid),
-                    };
-                    match self.cells.locate(cell) {
-                        Some(p) => Response::ok(json!({
-                            "latitude": p.latitude(),
-                            "longitude": p.longitude(),
-                        })),
-                        None => Response::not_found("unknown cell"),
-                    }
-                })
-            }
-            (Method::Post, "/api/v1/misc/geolocate_signature") => {
-                self.with_body::<GeolocateSignatureBody>(request, |body| {
-                    match self.cells.locate_signature(body.cells.iter()) {
-                        Some(p) => Response::ok(json!({
-                            "latitude": p.latitude(),
-                            "longitude": p.longitude(),
-                        })),
-                        None => Response::not_found("no known cells in signature"),
-                    }
-                })
-            }
-            (Method::Post, "/api/v1/analytics/arrival") => {
-                self.with_body::<ArrivalBody>(request, |body| {
-                    let window = body.window.unwrap_or((0, 24));
-                    let store = self.store_of(user);
-                    let store = store.lock();
-                    match predict::predict_arrival_in_window(
-                        &store.history,
-                        body.place,
-                        window,
-                    ) {
-                        Some(s) => Response::ok(json!({ "second_of_day": s })),
-                        None => Response::not_found("no arrivals in window"),
-                    }
-                })
-            }
-            (Method::Post, "/api/v1/analytics/next_visit") => {
-                self.with_body::<NextVisitBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let store = store.lock();
-                    match predict::predict_next_visit(&store.history, body.place, body.now)
-                    {
-                        Some(t) => Response::ok(json!({ "time": t })),
-                        None => Response::not_found("no visit pattern for place"),
-                    }
-                })
-            }
-            (Method::Post, "/api/v1/analytics/frequency") => {
-                self.with_body::<PlaceOnlyBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let store = store.lock();
-                    Response::ok(json!({
-                        "visits_per_week": store.history.visits_per_week(body.place),
-                        "visit_count": store.history.visit_count(body.place),
-                    }))
-                })
-            }
-            (Method::Post, "/api/v1/analytics/activity") => {
-                let store = self.store_of(user);
-                let store = store.lock();
-                Response::ok(json!({
-                    "mean_daily_moving_minutes": store.history.mean_daily_moving_minutes(),
-                }))
-            }
-            (Method::Post, "/api/v1/analytics/next_place") => {
-                self.with_body::<PlaceOnlyBody>(request, |body| {
-                    let store = self.store_of(user);
-                    let mut store = store.lock();
-                    // Retrain only when the history generation moved on
-                    // since the cached model was built; repeat queries
-                    // against an unchanged history are retrain-free.
-                    let generation = store.history.generation();
-                    let stale =
-                        store.next_place.as_ref().map(|(g, _)| *g) != Some(generation);
-                    if stale {
-                        self.metrics.cache_misses.inc();
-                        let model = MarkovPredictor::train(&store.history);
-                        store.next_place = Some((generation, model));
-                    } else {
-                        self.metrics.cache_hits.inc();
-                    }
-                    let (_, model) =
-                        store.next_place.as_ref().expect("cache filled above");
-                    Response::ok(json!({
-                        "predictions": model.predict_next(body.place),
-                    }))
-                })
-            }
-            _ => Response::not_found(format!("no route for {path}")),
-        }
-    }
-
-    fn register(&self, request: &Request, now: SimTime) -> Response {
-        let body: RegistrationBody = match serde_json::from_value(request.body.clone()) {
-            Ok(b) => b,
-            Err(e) => return Response::bad_request(format!("invalid body: {e}")),
-        };
-        if body.imei.is_empty() || body.email.is_empty() {
-            return Response::bad_request("imei and email are required");
-        }
-        let identity = DeviceIdentity { imei: body.imei, email: body.email };
-        let (user, token) = self
-            .tokens
-            .write()
-            .register(identity, now, &mut *self.rng.lock());
-        // Materialize the store so first touch happens under registration,
-        // not on the hot request path.
-        let _ = self.store_of(user);
-        Response::ok(json!({
-            "user": user,
-            "token": token.token,
-            "expires_at": token.expires_at,
-        }))
-    }
-
-    fn with_body<B: serde::de::DeserializeOwned>(
-        &self,
-        request: &Request,
-        f: impl FnOnce(B) -> Response,
-    ) -> Response {
-        match serde_json::from_value::<B>(request.body.clone()) {
-            Ok(body) => f(body),
-            Err(e) => Response::bad_request(format!("invalid body: {e}")),
-        }
+        Next::new(&self.layers, &self.service).run(request, now)
     }
 }
 
@@ -1012,764 +380,3 @@ const _: fn() = || {
     assert_send_sync::<CloudInstance>();
     assert_send_sync::<SharedCloud>();
 };
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::profile::PlaceEntry;
-    use pmware_world::builder::{RegionProfile, WorldBuilder};
-
-    fn cloud() -> CloudInstance {
-        CloudInstance::new(CellDatabase::new(), 42)
-    }
-
-    fn register(cloud: &CloudInstance, n: u32, now: SimTime) -> String {
-        let req = Request::post(
-            "/api/v1/registration",
-            json!({"imei": format!("imei-{n}"), "email": format!("u{n}@x.com")}),
-        );
-        let resp = cloud.handle(&req, now);
-        assert!(resp.is_success(), "{resp:?}");
-        resp.body["token"].as_str().unwrap().to_owned()
-    }
-
-    #[test]
-    fn registration_and_auth_flow() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        assert_eq!(c.user_count(), 1);
-
-        // Authenticated GET works.
-        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
-        assert!(resp.is_success());
-
-        // Missing token → 401.
-        let resp = c.handle(&Request::get("/api/v1/places"), now);
-        assert_eq!(resp.status, 401);
-
-        // Bogus token → 401.
-        let resp = c.handle(&Request::get("/api/v1/places").with_token("tok-x"), now);
-        assert_eq!(resp.status, 401);
-
-        // Expired token → 401.
-        let later = now + SimDuration::from_hours(25);
-        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), later);
-        assert_eq!(resp.status, 401);
-    }
-
-    #[test]
-    fn registration_requires_identity() {
-        let c = cloud();
-        let resp = c.handle(
-            &Request::post("/api/v1/registration", json!({"imei": "", "email": ""})),
-            SimTime::EPOCH,
-        );
-        assert_eq!(resp.status, 400);
-        let resp = c.handle(
-            &Request::post("/api/v1/registration", json!({"nope": 1})),
-            SimTime::EPOCH,
-        );
-        assert_eq!(resp.status, 400);
-    }
-
-    #[test]
-    fn token_refresh_rotates() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let resp = c.handle(
-            &Request::post("/api/v1/token/refresh", Value::Null).with_token(&token),
-            now + SimDuration::from_hours(20),
-        );
-        assert!(resp.is_success());
-        let new_token = resp.body["token"].as_str().unwrap().to_owned();
-        assert_ne!(new_token, token);
-        // The old token no longer validates.
-        let resp = c.handle(
-            &Request::get("/api/v1/places").with_token(&token),
-            now + SimDuration::from_hours(21),
-        );
-        assert_eq!(resp.status, 401);
-    }
-
-    #[test]
-    fn gca_offload_discovers_and_stores() {
-        use pmware_world::tower::NetworkLayer;
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        // Synthetic oscillating stream (same shape as the GCA unit tests).
-        let cell = |id: u32| CellGlobalId {
-            plmn: Plmn { mcc: 404, mnc: 45 },
-            lac: Lac(1),
-            cell: CellId(id),
-        };
-        let observations: Vec<GsmObservation> = (0..40)
-            .map(|m| GsmObservation {
-                time: SimTime::from_seconds(m * 60),
-                cell: if m % 3 == 1 { cell(2) } else { cell(1) },
-                layer: NetworkLayer::G2,
-                rssi_dbm: -70.0,
-            })
-            .collect();
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/places/discover",
-                json!({ "observations": observations }),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success(), "{resp:?}");
-        let places = resp.body["places"].as_array().unwrap();
-        assert_eq!(places.len(), 1);
-        // And the places are now listed.
-        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
-        assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
-    }
-
-    #[test]
-    fn discover_absorbs_suffixes_without_forgetting_places() {
-        use pmware_world::tower::NetworkLayer;
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let cell = |id: u32| CellGlobalId {
-            plmn: Plmn { mcc: 404, mnc: 45 },
-            lac: Lac(1),
-            cell: CellId(id),
-        };
-        let obs = |minute: u64, id: u32| GsmObservation {
-            time: SimTime::from_seconds(minute * 60),
-            cell: cell(id),
-            layer: NetworkLayer::G2,
-            rssi_dbm: -70.0,
-        };
-        // Night 1: a 40-minute stay at place {1,2}.
-        let night1: Vec<GsmObservation> =
-            (0..40).map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 })).collect();
-        let resp = c.handle(
-            &Request::post("/api/v1/places/discover", json!({ "observations": night1 }))
-                .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success(), "{resp:?}");
-        assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
-        // Night 2 offloads ONLY the new suffix: a stay somewhere else.
-        // Before the persistent per-user engine this *replaced* the stored
-        // places, silently forgetting place {1,2}.
-        let night2: Vec<GsmObservation> =
-            (100..140).map(|m| obs(m, if m % 3 == 1 { 6 } else { 5 })).collect();
-        let resp = c.handle(
-            &Request::post("/api/v1/places/discover", json!({ "observations": night2 }))
-                .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success(), "{resp:?}");
-        let places = resp.body["places"].as_array().unwrap();
-        assert_eq!(places.len(), 2, "suffix offload must keep night-1 places");
-        // And the reply matches one batch clustering of the whole stream.
-        let full: Vec<GsmObservation> = (0..40)
-            .map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 }))
-            .chain((100..140).map(|m| obs(m, if m % 3 == 1 { 6 } else { 5 })))
-            .collect();
-        let batch =
-            pmware_algorithms::gca::discover_places(&full, &GcaConfig::default());
-        assert_eq!(places.len(), batch.places.len());
-    }
-
-    #[test]
-    fn discover_rewind_restarts_from_the_new_batch() {
-        use pmware_world::tower::NetworkLayer;
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let cell = |id: u32| CellGlobalId {
-            plmn: Plmn { mcc: 404, mnc: 45 },
-            lac: Lac(1),
-            cell: CellId(id),
-        };
-        let stream: Vec<GsmObservation> = (0..40)
-            .map(|m| GsmObservation {
-                time: SimTime::from_seconds(m * 60),
-                cell: if m % 3 == 1 { cell(2) } else { cell(1) },
-                layer: NetworkLayer::G2,
-                rssi_dbm: -70.0,
-            })
-            .collect();
-        let req = Request::post(
-            "/api/v1/places/discover",
-            json!({ "observations": stream }),
-        )
-        .with_token(&token);
-        // Re-sending the same from-zero batch (a client that restarted and
-        // re-clusters its full log) must not double-count: the engine
-        // restarts from the rewound batch.
-        let first = c.handle(&req, now);
-        let second = c.handle(&req, now);
-        assert!(second.is_success());
-        assert_eq!(first.body, second.body);
-        assert_eq!(second.body["places"].as_array().unwrap().len(), 1);
-    }
-
-    #[test]
-    fn next_place_cache_invalidates_on_profile_upsert() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let sync = |day: u64, route: &[u32]| {
-            let mut profile = MobilityProfile::new(day);
-            for (i, &p) in route.iter().enumerate() {
-                profile.places.push(PlaceEntry {
-                    place: DiscoveredPlaceId(p),
-                    arrival: SimTime::from_day_time(day, 8 + 2 * i as u64, 0, 0),
-                    departure: SimTime::from_day_time(day, 9 + 2 * i as u64, 0, 0),
-                });
-            }
-            let resp = c.handle(
-                &Request::post("/api/v1/profiles/sync", json!({ "profile": profile }))
-                    .with_token(&token),
-                now,
-            );
-            assert!(resp.is_success());
-        };
-        let next = || {
-            let resp = c.handle(
-                &Request::post("/api/v1/analytics/next_place", json!({"place": 0}))
-                    .with_token(&token),
-                now,
-            );
-            assert!(resp.is_success());
-            resp.body["predictions"].as_array().unwrap()[0][0]
-                .as_u64()
-                .unwrap()
-        };
-        // Two days of 0 → 1: the model (and its cache) says 1.
-        sync(0, &[0, 1]);
-        sync(1, &[0, 1]);
-        assert_eq!(next(), 1);
-        assert_eq!(next(), 1, "repeat query served from the memoized model");
-        // Three days of 0 → 2 flip the majority: the upsert bumps the
-        // history generation, so the cached model must be retrained.
-        sync(2, &[0, 2]);
-        sync(3, &[0, 2]);
-        sync(4, &[0, 2]);
-        assert_eq!(next(), 2, "stale cached model would still answer 1");
-    }
-
-    #[test]
-    fn place_labelling() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let place = DiscoveredPlace::new(
-            DiscoveredPlaceId(0),
-            pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
-            vec![],
-        );
-        let resp = c.handle(
-            &Request::post("/api/v1/places/sync", json!({ "places": [place] }))
-                .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/places/label",
-                json!({"place": 0, "label": "Home"}),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success(), "{resp:?}");
-        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
-        assert_eq!(resp.body["places"][0]["label"], "Home");
-        // Unknown place → 404.
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/places/label",
-                json!({"place": 9, "label": "X"}),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert_eq!(resp.status, 404);
-    }
-
-    #[test]
-    fn profile_sync_and_fetch() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let mut profile = MobilityProfile::new(2);
-        profile.places.push(PlaceEntry {
-            place: DiscoveredPlaceId(0),
-            arrival: SimTime::from_day_time(2, 9, 0, 0),
-            departure: SimTime::from_day_time(2, 17, 0, 0),
-        });
-        let resp = c.handle(
-            &Request::post("/api/v1/profiles/sync", json!({ "profile": profile }))
-                .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        let resp = c.handle(
-            &Request::get("/api/v1/profiles/2").with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        assert_eq!(resp.body["profile"]["day"], 2);
-        // Missing day → 404; malformed day → 400.
-        assert_eq!(
-            c.handle(&Request::get("/api/v1/profiles/9").with_token(&token), now)
-                .status,
-            404
-        );
-        assert_eq!(
-            c.handle(&Request::get("/api/v1/profiles/xyz").with_token(&token), now)
-                .status,
-            400
-        );
-    }
-
-    #[test]
-    fn analytics_endpoints_answer_the_papers_queries() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        // Two weeks of evening home arrivals at 18h.
-        for day in 0..14 {
-            let mut profile = MobilityProfile::new(day);
-            profile.places.push(PlaceEntry {
-                place: DiscoveredPlaceId(1),
-                arrival: SimTime::from_day_time(day, 9, 0, 0),
-                departure: SimTime::from_day_time(day, 17, 0, 0),
-            });
-            profile.places.push(PlaceEntry {
-                place: DiscoveredPlaceId(0),
-                arrival: SimTime::from_day_time(day, 18, 0, 0),
-                departure: SimTime::from_day_time(day, 23, 0, 0),
-            });
-            let resp = c.handle(
-                &Request::post("/api/v1/profiles/sync", json!({ "profile": profile }))
-                    .with_token(&token),
-                now,
-            );
-            assert!(resp.is_success());
-        }
-        // Query 1: evening home arrival.
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/analytics/arrival",
-                json!({"place": 0, "window": [15, 24]}),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        assert_eq!(resp.body["second_of_day"].as_u64().unwrap() / 3_600, 18);
-        // Query 2: next visit to place 1.
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/analytics/next_visit",
-                json!({"place": 1, "now": SimTime::from_day_time(14, 0, 0, 0)}),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success(), "{resp:?}");
-        // Query 3: frequency.
-        let resp = c.handle(
-            &Request::post("/api/v1/analytics/frequency", json!({"place": 0}))
-                .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        assert!((resp.body["visits_per_week"].as_f64().unwrap() - 7.0).abs() < 1e-9);
-        // Markov next place from work is home.
-        let resp = c.handle(
-            &Request::post("/api/v1/analytics/next_place", json!({"place": 1}))
-                .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        let preds = resp.body["predictions"].as_array().unwrap();
-        assert_eq!(preds[0][0], 0);
-    }
-
-    #[test]
-    fn geolocation_endpoint_uses_cell_database() {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(3).build();
-        let tower = &world.towers()[0];
-        let c = CloudInstance::new(CellDatabase::from_world(&world), 1);
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let cell = tower.cell();
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/misc/geolocate",
-                json!({
-                    "mcc": cell.plmn.mcc,
-                    "mnc": cell.plmn.mnc,
-                    "lac": cell.lac.0,
-                    "cid": cell.cell.0,
-                }),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        let lat = resp.body["latitude"].as_f64().unwrap();
-        assert!((lat - tower.position().latitude()).abs() < 1e-9);
-        // Unknown cell → 404.
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/misc/geolocate",
-                json!({"mcc": 1, "mnc": 1, "lac": 1, "cid": 1}),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert_eq!(resp.status, 404);
-    }
-
-    #[test]
-    fn social_sync_and_query_by_place() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let contacts = vec![
-            ContactEntry {
-                contact: "peer-1".into(),
-                start: SimTime::from_seconds(0),
-                end: SimTime::from_seconds(600),
-                place: Some(DiscoveredPlaceId(0)),
-            },
-            ContactEntry {
-                contact: "peer-2".into(),
-                start: SimTime::from_seconds(0),
-                end: SimTime::from_seconds(600),
-                place: Some(DiscoveredPlaceId(1)),
-            },
-        ];
-        let resp = c.handle(
-            &Request::post("/api/v1/social/sync", json!({ "contacts": contacts }))
-                .with_token(&token),
-            now,
-        );
-        assert!(resp.is_success());
-        // Targeted query: only workplace contacts (§2.2.2 targeted sensing).
-        let resp = c.handle(
-            &Request::post("/api/v1/social/query", json!({"place": 0}))
-                .with_token(&token),
-            now,
-        );
-        let got = resp.body["contacts"].as_array().unwrap();
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0]["contact"], "peer-1");
-        // Unfiltered query returns everything.
-        let resp = c.handle(
-            &Request::post("/api/v1/social/query", json!({"place": null}))
-                .with_token(&token),
-            now,
-        );
-        assert_eq!(resp.body["contacts"].as_array().unwrap().len(), 2);
-    }
-
-    #[test]
-    fn sequenced_discover_skips_absorbed_prefixes() {
-        use pmware_world::tower::NetworkLayer;
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let cell = |id: u32| CellGlobalId {
-            plmn: Plmn { mcc: 404, mnc: 45 },
-            lac: Lac(1),
-            cell: CellId(id),
-        };
-        let obs = |minute: u64, id: u32| GsmObservation {
-            time: SimTime::from_seconds(minute * 60),
-            cell: cell(id),
-            layer: NetworkLayer::G2,
-            rssi_dbm: -70.0,
-        };
-        let stream: Vec<GsmObservation> =
-            (0..40).map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 })).collect();
-        let discover = |observations: &[GsmObservation], start: u64| {
-            c.handle(
-                &Request::post(
-                    "/api/v1/places/discover",
-                    json!({ "observations": observations, "start": start }),
-                )
-                .with_token(&token),
-                now,
-            )
-        };
-        // First offload absorbs everything.
-        let first = discover(&stream, 0);
-        assert!(first.is_success(), "{first:?}");
-        assert_eq!(first.body["absorbed_upto"], 40);
-        let user = UserId(0);
-        assert_eq!(c.observation_count(user), 40);
-        // A duplicated delivery of the same batch absorbs nothing new.
-        let dup = discover(&stream, 0);
-        assert_eq!(dup.body, first.body);
-        assert_eq!(c.observation_count(user), 40, "duplicate must not double-absorb");
-        // A retried send overlapping the watermark absorbs only the tail.
-        let tail: Vec<GsmObservation> =
-            (30..50).map(|m| obs(m, if m % 3 == 1 { 2 } else { 1 })).collect();
-        let resp = discover(&tail, 30);
-        assert!(resp.is_success());
-        assert_eq!(resp.body["absorbed_upto"], 50);
-        assert_eq!(c.observation_count(user), 50);
-    }
-
-    #[test]
-    fn sequenced_contacts_deduplicate_resent_buffers() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let user = UserId(0);
-        let entry = |n: u64| ContactEntry {
-            contact: format!("peer-{n}"),
-            start: SimTime::from_seconds(n * 100),
-            end: SimTime::from_seconds(n * 100 + 60),
-            place: None,
-        };
-        let sync = |contacts: &[ContactEntry], first_seq: u64| {
-            c.handle(
-                &Request::post(
-                    "/api/v1/social/sync",
-                    json!({ "contacts": contacts, "first_seq": first_seq }),
-                )
-                .with_token(&token),
-                now,
-            )
-        };
-        // The regression the pending_contacts fix needs: a client whose
-        // sync "failed" (response lost) re-sends the WHOLE buffer plus a
-        // new entry. Before sequencing this doubled peer-0 and peer-1.
-        let batch: Vec<ContactEntry> = (0..2).map(entry).collect();
-        let resp = sync(&batch, 0);
-        assert!(resp.is_success());
-        assert_eq!(resp.body["acked_upto"], 2);
-        let resent: Vec<ContactEntry> = (0..3).map(entry).collect();
-        let resp = sync(&resent, 0);
-        assert!(resp.is_success());
-        assert_eq!(resp.body["acked_upto"], 3);
-        assert_eq!(c.contact_count(user), 3, "re-sent prefix must be skipped");
-        let stored = c.contacts_of(user);
-        let names: Vec<&str> = stored.iter().map(|e| e.contact.as_str()).collect();
-        assert_eq!(names, ["peer-0", "peer-1", "peer-2"]);
-        // A pure duplicate delivery is a no-op.
-        let resp = sync(&resent, 0);
-        assert_eq!(resp.body["acked_upto"], 3);
-        assert_eq!(c.contact_count(user), 3);
-    }
-
-    #[test]
-    fn stale_profile_and_snapshot_syncs_are_ignored() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let profile = |day: u64, visits: u32| {
-            let mut p = MobilityProfile::new(day);
-            for i in 0..visits {
-                p.places.push(PlaceEntry {
-                    place: DiscoveredPlaceId(i),
-                    arrival: SimTime::from_day_time(day, 8 + u64::from(i), 0, 0),
-                    departure: SimTime::from_day_time(day, 9 + u64::from(i), 0, 0),
-                });
-            }
-            p
-        };
-        let sync = |p: &MobilityProfile, seq: u64| {
-            c.handle(
-                &Request::post(
-                    "/api/v1/profiles/sync",
-                    json!({ "profile": p, "seq": seq }),
-                )
-                .with_token(&token),
-                now,
-            )
-        };
-        // Newer version of day 0 lands first (reorder), stale one follows.
-        assert_eq!(sync(&profile(0, 2), 5).body["stale"], false);
-        let resp = sync(&profile(0, 1), 3);
-        assert!(resp.is_success());
-        assert_eq!(resp.body["stale"], true);
-        let fetched = c.handle(
-            &Request::get("/api/v1/profiles/0").with_token(&token),
-            now,
-        );
-        assert_eq!(
-            fetched.body["profile"]["places"].as_array().unwrap().len(),
-            2,
-            "stale sync must not clobber the newer profile"
-        );
-        // Same for the places full replacement.
-        let place = DiscoveredPlace::new(
-            DiscoveredPlaceId(0),
-            pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
-            vec![],
-        );
-        let resp = c.handle(
-            &Request::post(
-                "/api/v1/places/sync",
-                json!({ "places": [place], "seq": 7 }),
-            )
-            .with_token(&token),
-            now,
-        );
-        assert_eq!(resp.body["stale"], false);
-        let resp = c.handle(
-            &Request::post("/api/v1/places/sync", json!({ "places": [], "seq": 6 }))
-                .with_token(&token),
-            now,
-        );
-        assert_eq!(resp.body["stale"], true);
-        let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
-        assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
-    }
-
-    #[test]
-    fn users_are_isolated() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let t0 = register(&c, 0, now);
-        let t1 = register(&c, 1, now);
-        let place = DiscoveredPlace::new(
-            DiscoveredPlaceId(0),
-            pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
-            vec![],
-        );
-        c.handle(
-            &Request::post("/api/v1/places/sync", json!({ "places": [place] }))
-                .with_token(&t0),
-            now,
-        );
-        let resp = c.handle(&Request::get("/api/v1/places").with_token(&t1), now);
-        assert_eq!(resp.body["places"].as_array().unwrap().len(), 0);
-    }
-
-    #[test]
-    fn unknown_route_is_404() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let resp = c.handle(&Request::get("/api/v1/nope").with_token(&token), now);
-        assert_eq!(resp.status, 404);
-    }
-
-    #[test]
-    fn malformed_body_is_400() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        let resp = c.handle(
-            &Request::post("/api/v1/places/sync", json!({"wrong": true}))
-                .with_token(&token),
-            now,
-        );
-        assert_eq!(resp.status, 400);
-    }
-
-    #[test]
-    fn request_counters_attribute_to_user_shards() {
-        let c = cloud();
-        let now = SimTime::EPOCH;
-        let t0 = register(&c, 0, now); // UserId(0) → shard 0
-        let t1 = register(&c, 1, now); // UserId(1) → shard 1
-        assert_eq!(c.total_requests(), 0, "registration is unauthenticated");
-        for _ in 0..3 {
-            c.handle(&Request::get("/api/v1/places").with_token(&t0), now);
-        }
-        c.handle(&Request::get("/api/v1/places").with_token(&t1), now);
-        let counts = c.shard_request_counts();
-        assert_eq!(counts.len(), SHARD_COUNT);
-        assert_eq!(counts[0], 3);
-        assert_eq!(counts[1], 1);
-        assert_eq!(c.total_requests(), 4);
-    }
-
-    #[test]
-    fn registrations_count_under_the_register_endpoint_label() {
-        let obs = Obs::new();
-        let c = cloud().with_obs(&obs);
-        let now = SimTime::EPOCH;
-        let t0 = register(&c, 0, now);
-        let _t1 = register(&c, 1, now);
-        c.handle(&Request::get("/api/v1/places").with_token(&t0), now);
-        // Legacy views keep their authenticated-only promise...
-        assert_eq!(c.total_requests(), 1);
-        // ...while the registry sees the registrations too.
-        let snap = obs.metrics().unwrap().snapshot();
-        assert_eq!(snap.counter_value("cloud_requests_total{endpoint=\"register\"}"), 2);
-        assert_eq!(snap.counter_value("cloud_requests_total{endpoint=\"places_list\"}"), 1);
-        // Shard attribution stays out of the shared registry (its labels
-        // depend on registration order, which is racy under threads).
-        assert_eq!(snap.counter_sum_with_prefix("cloud_shard_requests_total"), 0);
-    }
-
-    #[test]
-    fn replay_and_cache_metrics_fire() {
-        let obs = Obs::new();
-        let c = cloud().with_obs(&obs);
-        let now = SimTime::EPOCH;
-        let token = register(&c, 0, now);
-        // Stale places sync (same seq twice) → one replay.
-        let sync = Request::post("/api/v1/places/sync", json!({"places": [], "seq": 1}))
-            .with_token(&token);
-        assert!(c.handle(&sync, now).is_success());
-        assert!(c.handle(&sync, now).is_success());
-        // next_place: first query trains (miss), second hits the memo.
-        let query = Request::post("/api/v1/analytics/next_place", json!({"place": 0}))
-            .with_token(&token);
-        assert!(c.handle(&query, now).is_success());
-        assert!(c.handle(&query, now).is_success());
-        let snap = obs.metrics().unwrap().snapshot();
-        assert_eq!(snap.counter_value("cloud_replays_total{endpoint=\"places_sync\"}"), 1);
-        assert_eq!(snap.counter_value("cloud_analytics_cache_total{result=\"miss\"}"), 1);
-        assert_eq!(snap.counter_value("cloud_analytics_cache_total{result=\"hit\"}"), 1);
-    }
-
-    #[test]
-    fn shared_cloud_serves_threads_concurrently() {
-        let shared = SharedCloud::new(cloud());
-        let now = SimTime::EPOCH;
-        let tokens: Vec<String> =
-            (0..4).map(|n| register(&shared, n, now)).collect();
-        std::thread::scope(|s| {
-            for (n, token) in tokens.iter().enumerate() {
-                let shared = shared.clone();
-                s.spawn(move || {
-                    let place = DiscoveredPlace::new(
-                        DiscoveredPlaceId(n as u32),
-                        pmware_algorithms::signature::PlaceSignature::WifiAps(
-                            Default::default(),
-                        ),
-                        vec![],
-                    );
-                    let resp = shared.handle(
-                        &Request::post(
-                            "/api/v1/places/sync",
-                            json!({ "places": [place] }),
-                        )
-                        .with_token(token),
-                        now,
-                    );
-                    assert!(resp.is_success());
-                });
-            }
-        });
-        // Every user sees exactly their own single place.
-        for (n, token) in tokens.iter().enumerate() {
-            let resp =
-                shared.handle(&Request::get("/api/v1/places").with_token(token), now);
-            let places = resp.body["places"].as_array().unwrap();
-            assert_eq!(places.len(), 1, "user {n}");
-            assert_eq!(places[0]["id"], n as u64);
-        }
-    }
-}

@@ -23,25 +23,44 @@
 //! plus the analytics/prediction queries of §2.3.2 ([`analytics`],
 //! [`predict`]): typical arrival time at a place, next-visit prediction,
 //! and visit frequency.
+//!
+//! Since the router/middleware refactor, the service is a *stack*: the
+//! declarative route table in [`router`] is the single source of truth
+//! for dispatch, endpoint metric labels, and 404-vs-405 semantics; the
+//! endpoint bodies live in small per-family handler modules; and
+//! cross-cutting behavior (outage injection, request metrics, the
+//! deterministic [`admission`] controller, token auth, shard accounting)
+//! composes as [`layer::Layer`]s over the same seam the client-side
+//! [`transport::FaultyCloud`] decorator uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod analytics;
 pub mod api;
 pub mod auth;
 pub mod geolocate;
+mod handlers;
 pub mod instance;
+pub mod layer;
 pub mod predict;
 pub mod profile;
+pub mod router;
+mod state;
 pub mod transport;
 
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionControl, RateBudget, STATUS_RATE_LIMITED,
+};
 pub use api::{Method, Request, Response};
 pub use auth::{AuthToken, DeviceIdentity, UserId};
 pub use geolocate::CellDatabase;
 pub use instance::{CloudInstance, SharedCloud, SHARD_COUNT};
-pub use transport::{
-    CloudEndpoint, CloudTransport, FaultKind, FaultPlan, FaultStats, FaultyCloud,
-    ALL_FAULT_KINDS, STATUS_BUDGET_EXHAUSTED, STATUS_INJECTED_ERROR, STATUS_TIMEOUT,
-};
+pub use layer::{Layer, Next};
 pub use profile::{ActivitySummary, ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};
+pub use router::{RateClass, Route, RouteAuth, ALL_RATE_CLASSES, ENDPOINT_LABELS, ROUTES};
+pub use transport::{
+    CloudEndpoint, CloudTransport, FaultKind, FaultPlan, FaultStats, FaultyCloud, ALL_FAULT_KINDS,
+    STATUS_BUDGET_EXHAUSTED, STATUS_INJECTED_ERROR, STATUS_TIMEOUT,
+};

@@ -167,9 +167,15 @@ mod tests {
         assert!(m.state_count() >= 2);
         // From home the most likely next place is work (10 weekday
         // transitions vs none to the gym directly).
-        assert_eq!(m.most_likely_next(DiscoveredPlaceId(0)), Some(DiscoveredPlaceId(1)));
+        assert_eq!(
+            m.most_likely_next(DiscoveredPlaceId(0)),
+            Some(DiscoveredPlaceId(1))
+        );
         // From work: gym on 4 days, home on 6 → home wins.
-        assert_eq!(m.most_likely_next(DiscoveredPlaceId(1)), Some(DiscoveredPlaceId(0)));
+        assert_eq!(
+            m.most_likely_next(DiscoveredPlaceId(1)),
+            Some(DiscoveredPlaceId(0))
+        );
         let dist = m.predict_next(DiscoveredPlaceId(1));
         let total: f64 = dist.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9);

@@ -93,7 +93,10 @@ pub struct MobilityProfile {
 impl MobilityProfile {
     /// An empty profile for a day.
     pub fn new(day: u64) -> Self {
-        MobilityProfile { day, ..Default::default() }
+        MobilityProfile {
+            day,
+            ..Default::default()
+        }
     }
 
     /// Total time spent at places this day.
@@ -111,8 +114,7 @@ impl MobilityProfile {
 
     /// Distinct places visited this day.
     pub fn distinct_places(&self) -> Vec<DiscoveredPlaceId> {
-        let mut out: Vec<DiscoveredPlaceId> =
-            self.places.iter().map(|p| p.place).collect();
+        let mut out: Vec<DiscoveredPlaceId> = self.places.iter().map(|p| p.place).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -160,8 +162,16 @@ mod tests {
                 },
             ],
             routes: vec![
-                RouteEntry { route: RouteId(0), start: t(500), end: t(540) },
-                RouteEntry { route: RouteId(1), start: t(1_000), end: t(1_040) },
+                RouteEntry {
+                    route: RouteId(0),
+                    start: t(500),
+                    end: t(540),
+                },
+                RouteEntry {
+                    route: RouteId(1),
+                    start: t(1_000),
+                    end: t(1_040),
+                },
             ],
             contacts: vec![ContactEntry {
                 contact: "peer-7".into(),

@@ -1,0 +1,222 @@
+//! Shared server state: per-user stores, lock shards, registry-backed
+//! metrics, and the [`CloudCore`] bundle every middleware layer and
+//! handler operates on.
+//!
+//! Splitting this out of `instance.rs` is what lets the service be a
+//! *stack*: layers and the router terminal each hold an `Arc<CloudCore>`
+//! and touch exactly the state they need, instead of one monolith owning
+//! both the state and every behavior.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pmware_algorithms::gca::{GcaConfig, IncrementalGca};
+use pmware_algorithms::route::RouteStore;
+use pmware_algorithms::signature::DiscoveredPlace;
+use pmware_obs::{Counter, Obs};
+use rand::rngs::StdRng;
+
+use crate::admission::AdmissionControl;
+use crate::analytics::ProfileHistory;
+use crate::auth::{TokenStore, UserId};
+use crate::geolocate::CellDatabase;
+use crate::predict::MarkovPredictor;
+use crate::profile::ContactEntry;
+use crate::router::{ENDPOINT_COUNT, ENDPOINT_LABELS};
+
+/// Number of per-user lock shards.
+pub const SHARD_COUNT: usize = 16;
+
+/// Per-user server-side state.
+#[derive(Debug)]
+pub(crate) struct UserStore {
+    pub(crate) places: Vec<DiscoveredPlace>,
+    pub(crate) routes: RouteStore,
+    pub(crate) history: ProfileHistory,
+    pub(crate) contacts: Vec<ContactEntry>,
+    /// Persistent incremental discovery engine: each offload folds its
+    /// suffix in instead of re-clustering (and forgetting) from scratch.
+    /// Created lazily on first offload with the instance's GCA config.
+    pub(crate) gca: Option<IncrementalGca>,
+    /// Memoized Markov model, tagged with the [`ProfileHistory`]
+    /// generation it was trained at; a profile upsert bumps the
+    /// generation, which invalidates this entry on the next query.
+    pub(crate) next_place: Option<(u64, MarkovPredictor)>,
+    /// Observations absorbed through the sequenced discover path: a
+    /// duplicated or re-sent offload whose `start` falls behind this
+    /// watermark has its already-seen prefix skipped instead of being
+    /// double-absorbed.
+    pub(crate) absorbed_upto: u64,
+    /// Contacts absorbed through the sequenced social sync; the dual of
+    /// `absorbed_upto` for encounters.
+    pub(crate) contacts_absorbed: u64,
+    /// Highest sync sequence accepted per profile day: a stale (reordered
+    /// or duplicated) upsert is ignored rather than re-applied.
+    pub(crate) profile_seq: HashMap<u64, u64>,
+    /// Highest sequence accepted for the places full-replacement sync.
+    pub(crate) places_seq: u64,
+    /// Highest sequence accepted for the routes full-replacement sync.
+    pub(crate) routes_seq: u64,
+}
+
+impl Default for UserStore {
+    fn default() -> Self {
+        UserStore {
+            places: Vec::new(),
+            routes: RouteStore::new(0.5),
+            history: ProfileHistory::new(),
+            contacts: Vec::new(),
+            gca: None,
+            next_place: None,
+            absorbed_upto: 0,
+            contacts_absorbed: 0,
+            profile_seq: HashMap::new(),
+            places_seq: 0,
+            routes_seq: 0,
+        }
+    }
+}
+
+/// One lock shard: the users whose id hashes here.
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    pub(crate) users: RwLock<HashMap<UserId, Arc<Mutex<UserStore>>>>,
+}
+
+/// Registry-backed cloud counters.
+///
+/// Two registries are involved on purpose. Per-**endpoint** requests,
+/// idempotent-replay counts, admission denials, and the analytics cache
+/// hit/miss counters are order-independent aggregates, so they may bind
+/// to a study-wide shared registry via `CloudInstance::with_obs`.
+/// Per-**shard** counts stay in the instance's private registry always:
+/// the user-id → shard mapping depends on registration order, which races
+/// across thread schedules, and admitting it into a shared snapshot would
+/// break the byte-identical determinism guarantee.
+#[derive(Debug)]
+pub(crate) struct CloudMetrics {
+    /// Private always-on registry backing the legacy snapshot views.
+    pub(crate) private: Obs,
+    pub(crate) shard_requests: Vec<Counter>,
+    /// Indexed by [`crate::router::endpoint_index`].
+    pub(crate) endpoint_requests: Vec<Counter>,
+    pub(crate) replay_discover: Counter,
+    pub(crate) replay_places_sync: Counter,
+    pub(crate) replay_routes_sync: Counter,
+    pub(crate) replay_profiles_sync: Counter,
+    pub(crate) replay_social_sync: Counter,
+    pub(crate) cache_hits: Counter,
+    pub(crate) cache_misses: Counter,
+    /// Admission-control denials, per rate class (order-independent: each
+    /// user's request stream is sequential, so denial counts do not race
+    /// across thread schedules).
+    pub(crate) admission_denied: Vec<Counter>,
+    /// Wall-clock latency per endpoint, bench builds only.
+    #[cfg(feature = "wallclock")]
+    pub(crate) endpoint_nanos: Vec<pmware_obs::Histogram>,
+}
+
+impl CloudMetrics {
+    pub(crate) fn new() -> CloudMetrics {
+        let private = Obs::new().for_actor("cloud");
+        Self::resolve(private.clone(), private)
+    }
+
+    pub(crate) fn resolve(private: Obs, obs: Obs) -> CloudMetrics {
+        let shard_requests = (0..SHARD_COUNT)
+            .map(|i| {
+                let shard = format!("{i:02}");
+                private.counter("cloud_shard_requests_total", &[("shard", &shard)])
+            })
+            .collect();
+        let endpoint_requests: Vec<Counter> = ENDPOINT_LABELS
+            .iter()
+            .map(|label| obs.counter("cloud_requests_total", &[("endpoint", label)]))
+            .collect();
+        debug_assert_eq!(endpoint_requests.len(), ENDPOINT_COUNT);
+        let admission_denied = crate::router::ALL_RATE_CLASSES
+            .iter()
+            .map(|class| obs.counter("cloud_admission_denied_total", &[("class", class.label())]))
+            .collect();
+        #[cfg(feature = "wallclock")]
+        let endpoint_nanos = ENDPOINT_LABELS
+            .iter()
+            .map(|label| {
+                obs.histogram(
+                    "cloud_endpoint_nanos",
+                    &[("endpoint", label)],
+                    &pmware_obs::profiling::NANO_BOUNDS,
+                )
+            })
+            .collect();
+        CloudMetrics {
+            shard_requests,
+            endpoint_requests,
+            replay_discover: obs.counter("cloud_replays_total", &[("endpoint", "places_discover")]),
+            replay_places_sync: obs.counter("cloud_replays_total", &[("endpoint", "places_sync")]),
+            replay_routes_sync: obs.counter("cloud_replays_total", &[("endpoint", "routes_sync")]),
+            replay_profiles_sync: obs
+                .counter("cloud_replays_total", &[("endpoint", "profiles_sync")]),
+            replay_social_sync: obs.counter("cloud_replays_total", &[("endpoint", "social_sync")]),
+            cache_hits: obs.counter("cloud_analytics_cache_total", &[("result", "hit")]),
+            cache_misses: obs.counter("cloud_analytics_cache_total", &[("result", "miss")]),
+            admission_denied,
+            #[cfg(feature = "wallclock")]
+            endpoint_nanos,
+            private,
+        }
+    }
+
+    /// The admission-denial counter for a rate class.
+    pub(crate) fn admission_denied(&self, class: crate::router::RateClass) -> &Counter {
+        let slot = crate::router::ALL_RATE_CLASSES
+            .iter()
+            .position(|c| *c == class)
+            .expect("known class");
+        &self.admission_denied[slot]
+    }
+}
+
+/// Everything the middleware stack and the handlers operate on. The
+/// layers each hold an `Arc<CloudCore>`; `CloudInstance` is construction,
+/// public accessors, and the stack itself.
+#[derive(Debug)]
+pub(crate) struct CloudCore {
+    pub(crate) tokens: RwLock<TokenStore>,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) cells: CellDatabase,
+    pub(crate) gca_config: RwLock<GcaConfig>,
+    pub(crate) rng: Mutex<StdRng>,
+    pub(crate) outage: AtomicBool,
+    pub(crate) admission: AdmissionControl,
+    pub(crate) metrics: CloudMetrics,
+}
+
+impl CloudCore {
+    /// Whether an outage is currently injected.
+    pub(crate) fn outage(&self) -> bool {
+        self.outage.load(Ordering::SeqCst)
+    }
+
+    /// The shard a user's state lives in.
+    pub(crate) fn shard(&self, user: UserId) -> &Shard {
+        &self.shards[user.0 as usize % self.shards.len()]
+    }
+
+    /// The per-user store, creating it if absent. Fast path is a shard
+    /// read lock; the write lock is only taken on first touch.
+    pub(crate) fn store_of(&self, user: UserId) -> Arc<Mutex<UserStore>> {
+        let shard = self.shard(user);
+        if let Some(store) = shard.users.read().get(&user) {
+            return store.clone();
+        }
+        shard
+            .users
+            .write()
+            .entry(user)
+            .or_insert_with(|| Arc::new(Mutex::new(UserStore::default())))
+            .clone()
+    }
+}

@@ -30,6 +30,12 @@
 //! at-least-once delivery plus server-side deduplication (sequence
 //! watermarks) yields exactly-once *absorption* — the invariant the chaos
 //! test-suite pins.
+//!
+//! Since the middleware refactor, [`FaultyCloud`] is implemented as a
+//! [`Layer`]: the fault decision wraps a [`Next`] continuation, the same
+//! seam the server-side stack (outage → admission → auth → …) composes
+//! over. Its [`CloudTransport`] impl is a one-liner that runs that layer
+//! over the wrapped cloud, so existing call sites are untouched.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -44,6 +50,7 @@ use serde_json::json;
 
 use crate::api::{Request, Response};
 use crate::instance::SharedCloud;
+use crate::layer::{Layer, Next};
 
 /// Synthetic status for a request (or its response) lost in transit: the
 /// client waited out its timeout without hearing back. Retryable.
@@ -270,14 +277,25 @@ impl FaultMetrics {
     fn resolve(obs: Obs) -> FaultMetrics {
         let requests = obs.counter("transport_requests_total", &[]);
         let by_kind = std::array::from_fn(|i| {
-            obs.counter("transport_faults_total", &[("kind", ALL_FAULT_KINDS[i].label())])
+            obs.counter(
+                "transport_faults_total",
+                &[("kind", ALL_FAULT_KINDS[i].label())],
+            )
         });
         let late_deliveries = obs.counter("transport_late_deliveries_total", &[]);
-        FaultMetrics { obs, requests, by_kind, late_deliveries }
+        FaultMetrics {
+            obs,
+            requests,
+            by_kind,
+            late_deliveries,
+        }
     }
 
     fn kind(&self, kind: FaultKind) -> &Counter {
-        let slot = ALL_FAULT_KINDS.iter().position(|k| *k == kind).expect("known kind");
+        let slot = ALL_FAULT_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .expect("known kind");
         &self.by_kind[slot]
     }
 
@@ -377,7 +395,10 @@ impl FaultyCloud {
         state.metrics.requests.set(current.requests);
         state.metrics.kind(FaultKind::Drop).set(current.drops);
         state.metrics.kind(FaultKind::Delay).set(current.delays);
-        state.metrics.kind(FaultKind::Duplicate).set(current.duplicates);
+        state
+            .metrics
+            .kind(FaultKind::Duplicate)
+            .set(current.duplicates);
         state.metrics.kind(FaultKind::Reorder).set(current.reorders);
         state.metrics.kind(FaultKind::Error).set(current.errors);
         state.metrics.late_deliveries.set(current.late_deliveries);
@@ -408,17 +429,17 @@ impl FaultyCloud {
         let mut state = self.state.lock();
         while let Some(held) = state.held.pop_front() {
             state.metrics.late_deliveries.inc();
-            let _ = self.inner.handle(&held.request, now);
+            let _ = Next::new(&[], &self.inner).run(&held.request, now);
         }
     }
 
     /// Delivers held requests whose due time has passed.
-    fn flush_due(&self, state: &mut FaultState, now: SimTime) {
+    fn flush_due(&self, state: &mut FaultState, now: SimTime, next: Next<'_>) {
         let mut keep = VecDeque::new();
         while let Some(held) = state.held.pop_front() {
             if !held.after_next && held.due <= now {
                 state.metrics.late_deliveries.inc();
-                let _ = self.inner.handle(&held.request, now);
+                let _ = next.run(&held.request, now);
             } else {
                 keep.push_back(held);
             }
@@ -428,12 +449,12 @@ impl FaultyCloud {
 
     /// Delivers held reordered requests (after their successor went
     /// through).
-    fn flush_after_next(&self, state: &mut FaultState, now: SimTime) {
+    fn flush_after_next(&self, state: &mut FaultState, now: SimTime, next: Next<'_>) {
         let mut keep = VecDeque::new();
         while let Some(held) = state.held.pop_front() {
             if held.after_next {
                 state.metrics.late_deliveries.inc();
-                let _ = self.inner.handle(&held.request, now);
+                let _ = next.run(&held.request, now);
             } else {
                 keep.push_back(held);
             }
@@ -449,12 +470,12 @@ impl FaultyCloud {
     }
 }
 
-impl CloudTransport for FaultyCloud {
-    fn send(&self, request: &Request, now: SimTime) -> Response {
+impl Layer for FaultyCloud {
+    fn call(&self, request: &Request, now: SimTime, next: Next<'_>) -> Response {
         let mut state = self.state.lock();
         state.metrics.requests.inc();
         // Held traffic whose due time has passed lands first.
-        self.flush_due(&mut state, now);
+        self.flush_due(&mut state, now, next);
         let decision = state.decide(request);
         if let Some(kind) = decision {
             state.metrics.kind(kind).inc();
@@ -469,9 +490,9 @@ impl CloudTransport for FaultyCloud {
         }
         match decision {
             None => {
-                let response = self.inner.handle(request, now);
+                let response = next.run(request, now);
                 // A reordered predecessor is delivered right behind us.
-                self.flush_after_next(&mut state, now);
+                self.flush_after_next(&mut state, now, next);
                 response
             }
             Some(FaultKind::Drop) => Self::timeout_response(),
@@ -481,22 +502,34 @@ impl CloudTransport for FaultyCloud {
             },
             Some(FaultKind::Delay) => {
                 let due = now + state.plan.delay;
-                state
-                    .held
-                    .push_back(HeldRequest { request: request.clone(), due, after_next: false });
+                state.held.push_back(HeldRequest {
+                    request: request.clone(),
+                    due,
+                    after_next: false,
+                });
                 Self::timeout_response()
             }
             Some(FaultKind::Reorder) => {
-                state
-                    .held
-                    .push_back(HeldRequest { request: request.clone(), due: now, after_next: true });
+                state.held.push_back(HeldRequest {
+                    request: request.clone(),
+                    due: now,
+                    after_next: true,
+                });
                 Self::timeout_response()
             }
             Some(FaultKind::Duplicate) => {
-                let _first = self.inner.handle(request, now);
-                self.inner.handle(request, now)
+                let _first = next.run(request, now);
+                next.run(request, now)
             }
         }
+    }
+}
+
+impl CloudTransport for FaultyCloud {
+    fn send(&self, request: &Request, now: SimTime) -> Response {
+        // The decorator *is* a layer; as a standalone transport it runs
+        // that layer over the wrapped cloud with nothing in between.
+        self.call(request, now, Next::new(&[], &self.inner))
     }
 }
 
@@ -570,13 +603,11 @@ mod tests {
     fn drop_times_out_without_reaching_the_server() {
         let faulty = FaultyCloud::new(
             cloud(),
-            FaultPlan::with_schedule(1, vec![(0, FaultKind::Drop)])
-                .only_path("/places/sync"),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Drop)]).only_path("/places/sync"),
         );
         let endpoint: CloudEndpoint = faulty.clone().into();
         let token = register(&endpoint);
-        let sync = Request::post("/api/v1/places/sync", json!({"places": []}))
-            .with_token(&token);
+        let sync = Request::post("/api/v1/places/sync", json!({"places": []})).with_token(&token);
         let resp = endpoint.send(&sync, SimTime::EPOCH);
         assert_eq!(resp.status, STATUS_TIMEOUT);
         // The second attempt (index 1, unscheduled) goes through.
@@ -601,8 +632,8 @@ mod tests {
             pmware_algorithms::signature::PlaceSignature::WifiAps(Default::default()),
             vec![],
         );
-        let sync = Request::post("/api/v1/places/sync", json!({"places": [place]}))
-            .with_token(&token);
+        let sync =
+            Request::post("/api/v1/places/sync", json!({"places": [place]})).with_token(&token);
         let resp = endpoint.send(&sync, SimTime::EPOCH);
         assert_eq!(resp.status, STATUS_TIMEOUT, "caller times out");
         // Not delivered yet: the server still has no places.
@@ -625,8 +656,7 @@ mod tests {
         let shared = cloud();
         let faulty = FaultyCloud::new(
             shared.clone(),
-            FaultPlan::with_schedule(1, vec![(0, FaultKind::Reorder)])
-                .only_path("/profiles/sync"),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Reorder)]).only_path("/profiles/sync"),
         );
         let endpoint: CloudEndpoint = faulty.clone().into();
         let token = register(&endpoint);
@@ -655,8 +685,7 @@ mod tests {
         let shared = cloud();
         let faulty = FaultyCloud::new(
             shared.clone(),
-            FaultPlan::with_schedule(1, vec![(0, FaultKind::Duplicate)])
-                .only_path("/social/sync"),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Duplicate)]).only_path("/social/sync"),
         );
         let endpoint: CloudEndpoint = faulty.clone().into();
         let token = register(&endpoint);
@@ -675,7 +704,10 @@ mod tests {
             SimTime::EPOCH,
         );
         assert!(resp.is_success());
-        assert_eq!(resp.body["stored"], 2, "blind extend absorbed the duplicate");
+        assert_eq!(
+            resp.body["stored"], 2,
+            "blind extend absorbed the duplicate"
+        );
         assert_eq!(faulty.stats().duplicates, 1);
     }
 
@@ -696,8 +728,7 @@ mod tests {
             );
             assert!(resp.is_success());
         }
-        let sync = Request::post("/api/v1/places/sync", json!({"places": []}))
-            .with_token(&token);
+        let sync = Request::post("/api/v1/places/sync", json!({"places": []})).with_token(&token);
         assert_eq!(endpoint.send(&sync, SimTime::EPOCH).status, STATUS_TIMEOUT);
         assert_eq!(endpoint.send(&sync, SimTime::EPOCH).status, STATUS_TIMEOUT);
         assert!(endpoint.send(&sync, SimTime::EPOCH).is_success());

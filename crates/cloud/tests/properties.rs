@@ -8,6 +8,38 @@ use pmware_world::{SimDuration, SimTime};
 use proptest::prelude::*;
 use serde_json::json;
 
+/// Arbitrary JSON values: null / bool / integer / string leaves plus a
+/// nested object-with-array shape. No floats — JSON has no NaN, so a
+/// float that fails to round-trip would indict the generator, not the
+/// wire format.
+fn arb_json() -> impl Strategy<Value = serde_json::Value> {
+    (
+        0u8..5,
+        any::<i64>(),
+        "[a-zA-Z0-9 _./:-]{0,24}",
+        prop::collection::vec(("[a-z_]{1,8}", any::<i64>()), 0..5),
+        prop::collection::vec("[a-zA-Z0-9 ]{0,12}", 0..5),
+    )
+        .prop_map(|(kind, n, s, pairs, items)| match kind {
+            0 => serde_json::Value::Null,
+            1 => serde_json::json!(n % 2 == 0),
+            2 => serde_json::json!(n),
+            3 => serde_json::json!(s),
+            _ => {
+                let object: std::collections::BTreeMap<String, serde_json::Value> = pairs
+                    .into_iter()
+                    .map(|(key, value)| (key, serde_json::json!(value)))
+                    .collect();
+                serde_json::json!({
+                    "meta": object,
+                    "items": items,
+                    "n": n,
+                    "s": s,
+                })
+            }
+        })
+}
+
 fn history_from(entries: &[(u32, u64, u64, u64)]) -> ProfileHistory {
     // (place, day, start_hour, len_hours)
     let mut h = ProfileHistory::new();
@@ -15,7 +47,10 @@ fn history_from(entries: &[(u32, u64, u64, u64)]) -> ProfileHistory {
         let day = day % 28;
         let hour = hour % 20;
         let len = 1 + len % (23 - hour);
-        let mut p = h.day(day).cloned().unwrap_or_else(|| MobilityProfile::new(day));
+        let mut p = h
+            .day(day)
+            .cloned()
+            .unwrap_or_else(|| MobilityProfile::new(day));
         p.places.push(PlaceEntry {
             place: DiscoveredPlaceId(place % 8),
             arrival: SimTime::from_day_time(day, hour, 0, 0),
@@ -119,7 +154,10 @@ proptest! {
         let resp = cloud.handle(&req, SimTime::EPOCH);
         // Never a success for garbage paths; always a structured error.
         if path_tail != "registration" {
-            prop_assert!(resp.status == 400 || resp.status == 401 || resp.status == 404,
+            // 405 when the tail happens to name a GET-only route.
+            prop_assert!(
+                resp.status == 400 || resp.status == 401 || resp.status == 404
+                    || resp.status == 405,
                 "unexpected status {} for {}", resp.status, req.path);
         }
         if !with_token && path_tail != "registration" {
@@ -129,18 +167,33 @@ proptest! {
 
     #[test]
     fn wire_round_trip_any_request(
-        path in "/[a-z/0-9]{0,30}",
+        is_get in any::<bool>(),
+        path in "/[a-zA-Z0-9/._-]{0,40}",
         token in prop::option::of("[A-Za-z0-9-]{1,40}"),
-        n in any::<i64>(),
-        s in "[a-zA-Z0-9 ]{0,40}",
+        body in arb_json(),
     ) {
-        let mut req = Request::post(path, json!({"n": n, "s": s}));
+        let mut req = if is_get {
+            Request::get(path)
+        } else {
+            Request::post(path, body)
+        };
         if let Some(t) = token {
             req = req.with_token(t);
         }
         let bytes = req.to_bytes();
         let back = Request::from_bytes(&bytes).unwrap();
         prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn wire_round_trip_any_response(
+        status in 100u16..600,
+        body in arb_json(),
+    ) {
+        let resp = pmware_cloud::Response { status, body };
+        let bytes = resp.to_bytes();
+        let back: pmware_cloud::Response = serde_json::from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, resp);
     }
 
     /// Sharding invariant: an arbitrary interleaving of requests from two

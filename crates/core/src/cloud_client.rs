@@ -21,11 +21,11 @@ use pmware_algorithms::route::CanonicalRoute;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
 use pmware_cloud::{
     CloudEndpoint, MobilityProfile, Request, Response, UserId, STATUS_BUDGET_EXHAUSTED,
-    STATUS_TIMEOUT,
+    STATUS_RATE_LIMITED, STATUS_TIMEOUT,
 };
-use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use pmware_geo::GeoPoint;
 use pmware_obs::{Counter, FieldValue, Histogram, Obs};
+use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
@@ -73,10 +73,11 @@ impl RequestClass {
 }
 
 /// Transport-level failures worth retrying: 5xx (outage, injected errors,
-/// synthetic timeouts). 4xx are the server telling us the request itself
-/// is wrong — retrying cannot help.
+/// synthetic timeouts) plus 429 (admission control shed the request — it
+/// will be admitted once the token bucket refills). Other 4xx are the
+/// server telling us the request itself is wrong — retrying cannot help.
 fn retryable(status: u16) -> bool {
-    (500..=599).contains(&status)
+    status == STATUS_RATE_LIMITED || (500..=599).contains(&status)
 }
 
 /// Deterministic jitter in `[0, cap]` seconds, derived purely from the
@@ -122,6 +123,7 @@ struct ClientMetrics {
     retries: Counter,
     budget_denied: Counter,
     timeouts: Counter,
+    rate_limited: Counter,
     backoff_seconds: Histogram,
 }
 
@@ -133,6 +135,7 @@ impl ClientMetrics {
             retries: obs.counter("client_retries_total", &labels),
             budget_denied: obs.counter("client_budget_denied_total", &labels),
             timeouts: obs.counter("client_timeouts_total", &labels),
+            rate_limited: obs.counter("client_rate_limited_total", &labels),
             backoff_seconds: obs.histogram("client_backoff_seconds", &labels, &BACKOFF_BOUNDS),
             obs: obs.clone(),
         }
@@ -155,6 +158,14 @@ pub struct CloudClient {
     wire_requests: u64,
     /// Retry attempts beyond each first send.
     retries: u64,
+    /// 429 responses received from admission control.
+    rate_limited: u64,
+    /// When true (the default), a 429's `retry_after_s` hint schedules the
+    /// retry to exactly when the server says the token bucket refills —
+    /// no jitter needed, buckets are per-user so there is no cross-client
+    /// contention to spread. When false, 429s fall back to the same blind
+    /// exponential backoff as 5xx (the baseline for the rate-limit study).
+    honor_retry_after: bool,
     metrics: ClientMetrics,
 }
 
@@ -181,6 +192,8 @@ impl CloudClient {
             budget: None,
             wire_requests: 0,
             retries: 0,
+            rate_limited: 0,
+            honor_retry_after: true,
             metrics: ClientMetrics::default(),
         };
         let request = Request::post(
@@ -195,7 +208,9 @@ impl CloudClient {
             token: String,
             expires_at: SimTime,
         }
-        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        let body: Body = response
+            .parse()
+            .map_err(|e| PmsError::Decode(e.to_string()))?;
         client.user = body.user;
         client.token = body.token;
         client.token_expires = body.expires_at;
@@ -215,6 +230,8 @@ impl CloudClient {
             budget: None,
             wire_requests: 0,
             retries: 0,
+            rate_limited: 0,
+            honor_retry_after: true,
             metrics: ClientMetrics::default(),
         }
     }
@@ -226,6 +243,7 @@ impl CloudClient {
         self.metrics = ClientMetrics::resolve(obs);
         self.metrics.wire_requests.set(self.wire_requests);
         self.metrics.retries.set(self.retries);
+        self.metrics.rate_limited.set(self.rate_limited);
     }
 
     /// The durable state to checkpoint.
@@ -253,6 +271,18 @@ impl CloudClient {
         self.retries
     }
 
+    /// 429 responses received from the cloud's admission controller.
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited
+    }
+
+    /// Whether 429 `retry_after_s` hints steer the retry schedule
+    /// (default: they do). Disable to fall back to blind exponential
+    /// backoff — useful as the baseline in rate-limit experiments.
+    pub fn set_honor_retry_after(&mut self, honor: bool) {
+        self.honor_retry_after = honor;
+    }
+
     /// Caps the number of wire sends until [`CloudClient::end_maintenance_pass`]:
     /// a maintenance pass on a bad link must not spin through unbounded
     /// retries. Once exhausted, calls fail immediately with a synthetic
@@ -276,17 +306,14 @@ impl CloudClient {
     /// # Errors
     ///
     /// Returns [`PmsError::Cloud`] while the cloud stays unreachable.
-    pub fn reregister(
-        &mut self,
-        imei: &str,
-        email: &str,
-        now: SimTime,
-    ) -> Result<(), PmsError> {
+    pub fn reregister(&mut self, imei: &str, email: &str, now: SimTime) -> Result<(), PmsError> {
         let fresh = CloudClient::register(self.endpoint.clone(), imei, email, now)?;
         self.wire_requests += fresh.wire_requests;
         self.retries += fresh.retries;
+        self.rate_limited += fresh.rate_limited;
         self.metrics.wire_requests.add(fresh.wire_requests);
         self.metrics.retries.add(fresh.retries);
+        self.metrics.rate_limited.add(fresh.rate_limited);
         self.user = fresh.user;
         self.token = fresh.token;
         self.token_expires = fresh.token_expires;
@@ -312,8 +339,7 @@ impl CloudClient {
         if now + margin < self.token_expires {
             return Ok(false);
         }
-        let request = Request::post("/api/v1/token/refresh", json!(null))
-            .with_token(&self.token);
+        let request = Request::post("/api/v1/token/refresh", json!(null)).with_token(&self.token);
         let response = self.send_with_retry(&request, now, RequestClass::Auth);
         let response = Self::check(&request, response)?;
         #[derive(Deserialize)]
@@ -321,7 +347,9 @@ impl CloudClient {
             token: String,
             expires_at: SimTime,
         }
-        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        let body: Body = response
+            .parse()
+            .map_err(|e| PmsError::Decode(e.to_string()))?;
         self.token = body.token;
         self.token_expires = body.expires_at;
         Ok(true)
@@ -353,7 +381,9 @@ impl CloudClient {
         struct Body {
             places: Vec<DiscoveredPlace>,
         }
-        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        let body: Body = response
+            .parse()
+            .map_err(|e| PmsError::Decode(e.to_string()))?;
         Ok(body.places)
     }
 
@@ -426,11 +456,7 @@ impl CloudClient {
     /// # Errors
     ///
     /// Returns [`PmsError::Cloud`] on failure.
-    pub fn sync_routes(
-        &mut self,
-        routes: &[CanonicalRoute],
-        now: SimTime,
-    ) -> Result<(), PmsError> {
+    pub fn sync_routes(&mut self, routes: &[CanonicalRoute], now: SimTime) -> Result<(), PmsError> {
         let seq = self.next_seq();
         self.call_class(
             "/api/v1/routes/sync",
@@ -465,7 +491,9 @@ impl CloudClient {
         struct Body {
             acked_upto: u64,
         }
-        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        let body: Body = response
+            .parse()
+            .map_err(|e| PmsError::Decode(e.to_string()))?;
         Ok(body.acked_upto)
     }
 
@@ -496,7 +524,9 @@ impl CloudClient {
             latitude: f64,
             longitude: f64,
         }
-        let body: Body = response.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+        let body: Body = response
+            .parse()
+            .map_err(|e| PmsError::Decode(e.to_string()))?;
         GeoPoint::new(body.latitude, body.longitude)
             .map(Some)
             .map_err(|e| PmsError::Decode(e.to_string()))
@@ -593,14 +623,37 @@ impl CloudClient {
             if response.status == STATUS_TIMEOUT {
                 self.metrics.timeouts.inc();
             }
+            if response.status == STATUS_RATE_LIMITED {
+                self.rate_limited += 1;
+                self.metrics.rate_limited.inc();
+            }
             if !retryable(response.status) || attempt + 1 >= class.max_attempts() {
                 return response;
             }
             self.retries += 1;
             self.metrics.retries.inc();
-            let jitter =
-                backoff_jitter(&request.path, attempt, at, backoff.as_seconds() / 2);
-            let wait = backoff + jitter;
+            // A 429 carries the server's own refill horizon: waiting exactly
+            // that long retries at the first admissible instant, with no
+            // jitter (buckets are per-user, so there is no thundering herd
+            // to spread). A guided wait does not advance the exponential
+            // schedule either — the hint, not the attempt count, paces us.
+            let hinted = if self.honor_retry_after {
+                response.body["retry_after_s"].as_u64()
+            } else {
+                None
+            };
+            let wait = match hinted {
+                Some(seconds) => SimDuration::from_seconds(seconds.max(1)),
+                None => {
+                    let jitter =
+                        backoff_jitter(&request.path, attempt, at, backoff.as_seconds() / 2);
+                    let wait = backoff + jitter;
+                    backoff = SimDuration::from_seconds(
+                        (backoff.as_seconds() * 2).min(class.max_backoff().as_seconds()),
+                    );
+                    wait
+                }
+            };
             self.metrics.backoff_seconds.observe(wait.as_seconds());
             self.metrics.obs.event(
                 at,
@@ -613,9 +666,6 @@ impl CloudClient {
                 ],
             );
             at += wait;
-            backoff = SimDuration::from_seconds(
-                (backoff.as_seconds() * 2).min(class.max_backoff().as_seconds()),
-            );
             attempt += 1;
         }
     }
@@ -649,7 +699,8 @@ impl CloudClient {
 mod tests {
     use super::*;
     use pmware_cloud::{
-        CellDatabase, CloudInstance, FaultKind, FaultPlan, FaultyCloud, SharedCloud,
+        AdmissionConfig, CellDatabase, CloudInstance, FaultKind, FaultPlan, FaultyCloud,
+        RateBudget, SharedCloud,
     };
 
     fn cloud() -> SharedCloud {
@@ -660,8 +711,7 @@ mod tests {
     fn register_and_basic_flow() {
         let cloud = cloud();
         let mut client =
-            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
-                .unwrap();
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         assert_eq!(cloud.user_count(), 1);
         // Sync an empty place list.
         client.sync_places(&[], SimTime::EPOCH).unwrap();
@@ -673,8 +723,7 @@ mod tests {
     #[test]
     fn refresh_only_when_near_expiry() {
         let cloud = cloud();
-        let mut client =
-            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let mut client = CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         // Far from expiry: no refresh.
         let refreshed = client
             .refresh_if_needed(SimTime::EPOCH, SimDuration::from_hours(2))
@@ -693,8 +742,7 @@ mod tests {
     #[test]
     fn expired_token_surfaces_cloud_error() {
         let cloud = cloud();
-        let mut client =
-            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let mut client = CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         let long_after = SimTime::EPOCH + SimDuration::from_days(3);
         let err = client.sync_places(&[], long_after).unwrap_err();
         match err {
@@ -706,8 +754,7 @@ mod tests {
     #[test]
     fn label_unknown_place_is_cloud_404() {
         let cloud = cloud();
-        let mut client =
-            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let mut client = CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         let err = client
             .label_place(DiscoveredPlaceId(9), "Home", SimTime::EPOCH)
             .unwrap_err();
@@ -720,8 +767,7 @@ mod tests {
     #[test]
     fn geolocate_unknown_signature_is_none() {
         let cloud = cloud();
-        let mut client =
-            CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let mut client = CloudClient::register(cloud, "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         let got = client.geolocate_signature(&[], SimTime::EPOCH).unwrap();
         assert!(got.is_none());
     }
@@ -732,15 +778,11 @@ mod tests {
         // attempt 3 lands. The caller never notices.
         let faulty = FaultyCloud::new(
             cloud(),
-            FaultPlan::with_schedule(
-                1,
-                vec![(0, FaultKind::Drop), (1, FaultKind::Drop)],
-            )
-            .only_path("/places/sync"),
+            FaultPlan::with_schedule(1, vec![(0, FaultKind::Drop), (1, FaultKind::Drop)])
+                .only_path("/places/sync"),
         );
         let mut client =
-            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
-                .unwrap();
+            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         client.sync_places(&[], SimTime::EPOCH).unwrap();
         assert_eq!(client.retries(), 2);
         assert_eq!(faulty.stats().drops, 2);
@@ -755,8 +797,7 @@ mod tests {
                 .only_path("/places/sync"),
         );
         let mut client =
-            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
-                .unwrap();
+            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         let err = client.sync_places(&[], SimTime::EPOCH).unwrap_err();
         match err {
             PmsError::Cloud { status, .. } => {
@@ -777,15 +818,18 @@ mod tests {
                 .only_path("/places/sync"),
         );
         let mut client =
-            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
-                .unwrap();
+            CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         client.begin_maintenance_pass(2);
         let err = client.sync_places(&[], SimTime::EPOCH).unwrap_err();
         match err {
             PmsError::Cloud { status, .. } => assert_eq!(status, STATUS_BUDGET_EXHAUSTED),
             other => panic!("expected budget exhaustion, got {other}"),
         }
-        assert_eq!(faulty.stats().drops, 2, "only the budgeted sends hit the wire");
+        assert_eq!(
+            faulty.stats().drops,
+            2,
+            "only the budgeted sends hit the wire"
+        );
         // Further calls fail immediately without touching the wire.
         let before = client.wire_requests();
         assert!(client.sync_places(&[], SimTime::EPOCH).is_err());
@@ -800,8 +844,7 @@ mod tests {
     fn client_state_round_trips_through_serde() {
         let cloud = cloud();
         let mut client =
-            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH)
-                .unwrap();
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
         client.sync_places(&[], SimTime::EPOCH).unwrap();
         let state = client.state();
         let json = serde_json::to_string(&state).unwrap();
@@ -812,6 +855,99 @@ mod tests {
         let mut restored = CloudClient::from_state(cloud, back);
         restored.sync_places(&[], SimTime::EPOCH).unwrap();
         assert_eq!(restored.state().sync_seq, state.sync_seq + 1);
+    }
+
+    #[test]
+    fn expired_token_401_then_reregister_recovers() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        let user = client.user();
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        // Long after expiry every authenticated call 401s — including the
+        // refresh, which cannot resurrect a dead token.
+        let late = SimTime::EPOCH + SimDuration::from_days(3);
+        let err = client
+            .refresh_if_needed(late, SimDuration::from_hours(2))
+            .unwrap_err();
+        match err {
+            PmsError::Cloud { status, .. } => assert_eq!(status, 401),
+            other => panic!("expected 401, got {other}"),
+        }
+        // Re-registration is idempotent per device identity: the same
+        // user comes back and the sequence stream continues.
+        client.reregister("imei-1", "a@x.com", late).unwrap();
+        assert_eq!(client.user(), user);
+        client.sync_places(&[], late).unwrap();
+        assert_eq!(client.state().sync_seq, 2);
+    }
+
+    #[test]
+    fn refresh_under_admission_pressure_converges() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        // One Auth token per 30 s; registration is public so the initial
+        // register did not spend it.
+        cloud.set_admission(Some(AdmissionConfig::uniform(
+            11,
+            RateBudget::new(1, SimDuration::from_seconds(30)),
+        )));
+        // An enormous margin forces a refresh on every call. The first
+        // takes the only Auth token; the second is denied and converges
+        // via the retry-after hint.
+        let margin = SimDuration::from_days(30);
+        assert!(client.refresh_if_needed(SimTime::EPOCH, margin).unwrap());
+        let expires_before = client.token_expires();
+        assert!(client.refresh_if_needed(SimTime::EPOCH, margin).unwrap());
+        assert!(client.token_expires() >= expires_before);
+        assert!(
+            client.rate_limited() >= 1,
+            "second refresh was throttled first"
+        );
+    }
+
+    #[test]
+    fn rate_limit_hint_guides_the_retry_to_the_refill_instant() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        // One token, refilling every 10 minutes: far beyond what blind
+        // exponential backoff could ride out within the Sync attempt
+        // budget, but trivial when the hint is honored.
+        cloud.set_admission(Some(AdmissionConfig::uniform(
+            7,
+            RateBudget::new(1, SimDuration::from_minutes(10)),
+        )));
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        let before = client.wire_requests();
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        // Exactly one 429 and one guided retry — no probing in between.
+        assert_eq!(client.wire_requests() - before, 2);
+        assert_eq!(client.rate_limited(), 1);
+    }
+
+    #[test]
+    fn blind_backoff_exhausts_attempts_against_a_long_refill() {
+        let cloud = cloud();
+        let mut client =
+            CloudClient::register(cloud.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+        client.set_honor_retry_after(false);
+        cloud.set_admission(Some(AdmissionConfig::uniform(
+            7,
+            RateBudget::new(1, SimDuration::from_minutes(10)),
+        )));
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        let err = client.sync_places(&[], SimTime::EPOCH).unwrap_err();
+        match err {
+            PmsError::Cloud { status, .. } => {
+                assert_eq!(status, pmware_cloud::STATUS_RATE_LIMITED);
+            }
+            other => panic!("expected rate-limit error, got {other}"),
+        }
+        // All four Sync attempts burned against a bucket that never
+        // refilled within the backoff horizon.
+        assert_eq!(client.rate_limited(), 4);
     }
 
     #[test]

@@ -25,8 +25,15 @@ pub enum PmsError {
 impl fmt::Display for PmsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PmsError::Cloud { path, status, message } => {
-                write!(f, "cloud request {path} failed with status {status}: {message}")
+            PmsError::Cloud {
+                path,
+                status,
+                message,
+            } => {
+                write!(
+                    f,
+                    "cloud request {path} failed with status {status}: {message}"
+                )
             }
             PmsError::NotRegistered => write!(f, "device is not registered with the cloud"),
             PmsError::UnknownApp(name) => write!(f, "unknown connected application {name}"),
@@ -50,7 +57,9 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("401") && s.contains("/api/v1/places"));
-        assert!(PmsError::NotRegistered.to_string().contains("not registered"));
+        assert!(PmsError::NotRegistered
+            .to_string()
+            .contains("not registered"));
     }
 
     #[test]

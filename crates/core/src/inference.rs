@@ -152,12 +152,7 @@ impl InferenceEngine {
         let mut gca = IncrementalGca::new(config.gca.clone());
         gca.absorb(&snapshot.gsm_log);
         let tracker = snapshot.tracker.map(|state| {
-            CellPlaceTracker::from_snapshot(
-                known,
-                config.confirm_in,
-                config.confirm_out,
-                state,
-            )
+            CellPlaceTracker::from_snapshot(known, config.confirm_in, config.confirm_out, state)
         });
         InferenceEngine {
             config,

@@ -42,7 +42,11 @@ pub struct Intent {
 impl Intent {
     /// Creates an intent.
     pub fn new(action: impl Into<String>, time: SimTime, extras: Value) -> Intent {
-        Intent { action: action.into(), time, extras }
+        Intent {
+            action: action.into(),
+            time,
+            extras,
+        }
     }
 }
 
@@ -60,12 +64,16 @@ impl IntentFilter {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        IntentFilter { actions: actions.into_iter().map(Into::into).collect() }
+        IntentFilter {
+            actions: actions.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Matches every action.
     pub fn all() -> IntentFilter {
-        IntentFilter { actions: Vec::new() }
+        IntentFilter {
+            actions: Vec::new(),
+        }
     }
 
     /// Whether `action` passes this filter.
@@ -111,13 +119,20 @@ struct Registration {
 impl IntentBus {
     /// An empty bus.
     pub fn new() -> IntentBus {
-        IntentBus { receivers: Vec::new(), delivered: 0 }
+        IntentBus {
+            receivers: Vec::new(),
+            delivered: 0,
+        }
     }
 
     /// Registers a named receiver; returns its channel.
     pub fn register(&mut self, name: impl Into<String>, filter: IntentFilter) -> Receiver<Intent> {
         let (tx, rx) = unbounded();
-        self.receivers.push(Registration { name: name.into(), filter, tx });
+        self.receivers.push(Registration {
+            name: name.into(),
+            filter,
+            tx,
+        });
         rx
     }
 

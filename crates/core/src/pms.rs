@@ -205,7 +205,11 @@ impl PmsMetrics {
     /// only — these deliberately reset across a reboot, like any other
     /// process-lifetime diagnostic).
     fn carry_extras(&self, old: &PmsMetrics) {
-        for (new, old) in self.sensing_triggers.iter().zip(old.sensing_triggers.iter()) {
+        for (new, old) in self
+            .sensing_triggers
+            .iter()
+            .zip(old.sensing_triggers.iter())
+        {
             if old.get() > 0 {
                 new.set(old.get());
             }
@@ -389,11 +393,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                 )
             })
             .collect();
-        let engine = InferenceEngine::restore(
-            config.inference.clone(),
-            checkpoint.engine,
-            &known,
-        );
+        let engine = InferenceEngine::restore(config.inference.clone(), checkpoint.engine, &known);
         let config_imei = config.imei.clone();
         PmwareMobileService {
             config,
@@ -526,7 +526,10 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         // the token was lost entirely (it expired while the cloud was
         // unreachable), fall back to re-registration, which is idempotent
         // per device identity.
-        match self.client.refresh_if_needed(t, self.config.token_refresh_margin) {
+        match self
+            .client
+            .refresh_if_needed(t, self.config.token_refresh_margin)
+        {
             Ok(true) => self.metrics.token_refreshes.inc(),
             Ok(false) => {}
             Err(_) => {
@@ -546,14 +549,23 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                 "pms.duty_cycle",
                 &[(
                     "motion",
-                    FieldValue::from(if motion.is_moving() { "moving" } else { "stationary" }),
+                    FieldValue::from(if motion.is_moving() {
+                        "moving"
+                    } else {
+                        "stationary"
+                    }),
                 )],
             );
         }
         self.last_motion = Some(motion);
         let decision = self.scheduler.decide(t, demand, motion);
-        let triggered =
-            [decision.accel, decision.gsm, decision.wifi, decision.gps, decision.bluetooth];
+        let triggered = [
+            decision.accel,
+            decision.gsm,
+            decision.wifi,
+            decision.gps,
+            decision.bluetooth,
+        ];
         for (counter, fired) in self.metrics.sensing_triggers.iter().zip(triggered) {
             if fired {
                 counter.inc();
@@ -715,17 +727,22 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
     }
 
     fn bluetooth_pass(&mut self, t: SimTime) {
-        let Some(provider) = &self.peer_provider else { return };
+        let Some(provider) = &self.peer_provider else {
+            return;
+        };
         let peers = provider.peers_at(t);
         let found = self.device.scan_bluetooth(t, &peers);
-        let stale_after = SimDuration::from_seconds(
-            self.config.sensing.bluetooth_period.as_seconds() * 2 + 60,
-        );
+        let stale_after =
+            SimDuration::from_seconds(self.config.sensing.bluetooth_period.as_seconds() * 2 + 60);
         for contact in found {
             let entry = self
                 .open_encounters
                 .entry(contact)
-                .or_insert(OpenEncounter { start: t, last_seen: t, place: self.current_place });
+                .or_insert(OpenEncounter {
+                    start: t,
+                    last_seen: t,
+                    place: self.current_place,
+                });
             entry.last_seen = t;
             if entry.place.is_none() {
                 entry.place = self.current_place;
@@ -783,7 +800,9 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         time: SimTime,
         history: &[(u64, u64)],
     ) {
-        let Some(info) = self.registry.place(place).cloned() else { return };
+        let Some(info) = self.registry.place(place).cloned() else {
+            return;
+        };
         let requirements: HashMap<String, AppRequirement> = self
             .apps
             .iter()
@@ -799,11 +818,8 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
             if !requirement.active_at_hour(time.hour_of_day()) {
                 return None;
             }
-            let granularity =
-                prefs.effective_granularity(app_name, requirement.granularity)?;
-            let position = info
-                .position
-                .map(|p| coarsen_position(p, granularity));
+            let granularity = prefs.effective_granularity(app_name, requirement.granularity)?;
+            let position = info.position.map(|p| coarsen_position(p, granularity));
             Some(Intent::new(
                 action,
                 time,
@@ -830,7 +846,8 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         // A lossy link must not let retries spin unboundedly: the whole
         // pass shares one wire budget, and work cut off by it is simply
         // retried at the next pass (all syncs are at-least-once).
-        self.client.begin_maintenance_pass(self.config.maintenance_budget);
+        self.client
+            .begin_maintenance_pass(self.config.maintenance_budget);
         // Nightly incremental discovery, as the paper describes (§2.3.1):
         // each offload ships only the observations gathered since the last
         // *acknowledged* one, stamped with its stream offset so the cloud
@@ -840,7 +857,9 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         // there is no longer a periodic full-log compaction (and no
         // suffix-replacement data loss between compactions).
         let observations = &self.engine.gsm_log()[self.offloaded_upto..];
-        self.metrics.gca_batch_observations.observe(observations.len() as u64);
+        self.metrics
+            .gca_batch_observations
+            .observe(observations.len() as u64);
         let places: Vec<DiscoveredPlace> =
             match self
                 .client
@@ -982,7 +1001,8 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
                 .sync_contacts(&self.pending_contacts, self.contacts_seq_base, t)
         {
             let acked = acked_upto.saturating_sub(self.contacts_seq_base) as usize;
-            self.pending_contacts.drain(..acked.min(self.pending_contacts.len()));
+            self.pending_contacts
+                .drain(..acked.min(self.pending_contacts.len()));
             self.contacts_seq_base = acked_upto.max(self.contacts_seq_base);
         }
     }

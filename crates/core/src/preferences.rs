@@ -58,11 +58,7 @@ impl UserPreferences {
     /// The granularity `app` actually receives when it asked for
     /// `requested`: the coarser of request and cap, or `None` when the
     /// kill switch is on.
-    pub fn effective_granularity(
-        &self,
-        app: &str,
-        requested: Granularity,
-    ) -> Option<Granularity> {
+    pub fn effective_granularity(&self, app: &str, requested: Granularity) -> Option<Granularity> {
         if self.sharing_disabled {
             return None;
         }
@@ -124,7 +120,9 @@ mod tests {
         assert!(prefs.sharing_disabled());
         assert_eq!(prefs.effective_granularity("x", Granularity::Area), None);
         prefs.set_sharing_disabled(false);
-        assert!(prefs.effective_granularity("x", Granularity::Area).is_some());
+        assert!(prefs
+            .effective_granularity("x", Granularity::Area)
+            .is_some());
     }
 
     #[test]

@@ -110,12 +110,7 @@ impl ProfileBuilder {
 
     /// Accounts one classified motion window toward the day's activity
     /// summary (the §6 activity-tracking extension).
-    pub fn on_motion(
-        &mut self,
-        time: SimTime,
-        window: pmware_world::SimDuration,
-        moving: bool,
-    ) {
+    pub fn on_motion(&mut self, time: SimTime, window: pmware_world::SimDuration, moving: bool) {
         let activity = &mut self.profile_for(time.day()).activity;
         if moving {
             activity.moving_seconds += window.as_seconds();
@@ -271,9 +266,22 @@ mod tests {
     #[test]
     fn contacts_and_motion_recorded() {
         let mut b = ProfileBuilder::new();
-        b.on_contact("peer-3", t(0, 10, 0), t(0, 11, 0), Some(DiscoveredPlaceId(1)));
-        b.on_motion(t(0, 10, 0), pmware_world::SimDuration::from_minutes(1), true);
-        b.on_motion(t(0, 10, 1), pmware_world::SimDuration::from_minutes(1), false);
+        b.on_contact(
+            "peer-3",
+            t(0, 10, 0),
+            t(0, 11, 0),
+            Some(DiscoveredPlaceId(1)),
+        );
+        b.on_motion(
+            t(0, 10, 0),
+            pmware_world::SimDuration::from_minutes(1),
+            true,
+        );
+        b.on_motion(
+            t(0, 10, 1),
+            pmware_world::SimDuration::from_minutes(1),
+            false,
+        );
         let profiles = b.finish(t(0, 12, 0));
         assert_eq!(profiles[0].contacts.len(), 1);
         assert_eq!(profiles[0].contacts[0].contact, "peer-3");

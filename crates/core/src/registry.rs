@@ -15,9 +15,7 @@ use pmware_world::{Bssid, CellGlobalId, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Stable identifier of a place in the registry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PmPlaceId(pub u32);
 

@@ -13,9 +13,7 @@ use pmware_device::Interface;
 use serde::{Deserialize, Serialize};
 
 /// The three place-granularity classes of Figure 2.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Granularity {
     /// Area-level (~a shopping street): GSM alone suffices.
     Area,
@@ -27,8 +25,7 @@ pub enum Granularity {
 
 impl Granularity {
     /// All granularities, coarsest first.
-    pub const ALL: [Granularity; 3] =
-        [Granularity::Area, Granularity::Building, Granularity::Room];
+    pub const ALL: [Granularity; 3] = [Granularity::Area, Granularity::Building, Granularity::Room];
 
     /// Short label for reports.
     pub fn label(self) -> &'static str {
@@ -202,8 +199,14 @@ mod tests {
     #[test]
     fn interfaces_per_granularity() {
         assert!(Granularity::Area.triggered_interfaces().is_empty());
-        assert_eq!(Granularity::Building.triggered_interfaces(), &[Interface::Gps]);
-        assert_eq!(Granularity::Room.triggered_interfaces(), &[Interface::WifiScan]);
+        assert_eq!(
+            Granularity::Building.triggered_interfaces(),
+            &[Interface::Gps]
+        );
+        assert_eq!(
+            Granularity::Room.triggered_interfaces(),
+            &[Interface::WifiScan]
+        );
     }
 
     #[test]

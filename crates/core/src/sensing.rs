@@ -118,12 +118,7 @@ impl SensingScheduler {
     /// Decides what to sample at `now`, given the app demand and the
     /// current smoothed motion state. Call exactly once per tick; the
     /// decision records what was sampled.
-    pub fn decide(
-        &mut self,
-        now: SimTime,
-        demand: Demand,
-        motion: MotionState,
-    ) -> SensingDecision {
+    pub fn decide(&mut self, now: SimTime, demand: Demand, motion: MotionState) -> SensingDecision {
         let transition = motion != self.prev_motion;
         self.prev_motion = motion;
 
@@ -180,7 +175,11 @@ mod tests {
     use super::*;
 
     fn demand(g: Granularity) -> Demand {
-        Demand { granularity: Some(g), route: None, social: false }
+        Demand {
+            granularity: Some(g),
+            route: None,
+            social: false,
+        }
     }
 
     fn run_day(
@@ -190,11 +189,7 @@ mod tests {
     ) -> (u32, u32, u32, u32) {
         let (mut gsm, mut wifi, mut gps, mut bt) = (0, 0, 0, 0);
         for minute in 0..24 * 60 {
-            let d = scheduler.decide(
-                SimTime::from_seconds(minute * 60),
-                demand,
-                motion(minute),
-            );
+            let d = scheduler.decide(SimTime::from_seconds(minute * 60), demand, motion(minute));
             gsm += d.gsm as u32;
             wifi += d.wifi as u32;
             gps += d.gps as u32;
@@ -206,11 +201,7 @@ mod tests {
     #[test]
     fn gsm_runs_continuously_regardless_of_demand() {
         let mut s = SensingScheduler::new(SensingConfig::default());
-        let (gsm, wifi, gps, bt) = run_day(
-            &mut s,
-            Demand::default(),
-            |_| MotionState::Stationary,
-        );
+        let (gsm, wifi, gps, bt) = run_day(&mut s, Demand::default(), |_| MotionState::Stationary);
         assert_eq!(gsm, 24 * 60);
         assert_eq!(wifi, 0);
         assert_eq!(gps, 0);
@@ -220,11 +211,13 @@ mod tests {
     #[test]
     fn area_demand_never_triggers_expensive_interfaces() {
         let mut s = SensingScheduler::new(SensingConfig::default());
-        let (_, wifi, gps, _) = run_day(
-            &mut s,
-            demand(Granularity::Area),
-            |m| if m % 60 < 10 { MotionState::Moving } else { MotionState::Stationary },
-        );
+        let (_, wifi, gps, _) = run_day(&mut s, demand(Granularity::Area), |m| {
+            if m % 60 < 10 {
+                MotionState::Moving
+            } else {
+                MotionState::Stationary
+            }
+        });
         assert_eq!(wifi, 0);
         assert_eq!(gps, 0);
     }
@@ -232,11 +225,13 @@ mod tests {
     #[test]
     fn room_demand_triggers_wifi_not_gps() {
         let mut s = SensingScheduler::new(SensingConfig::default());
-        let (_, wifi, gps, _) = run_day(
-            &mut s,
-            demand(Granularity::Room),
-            |m| if m % 120 < 15 { MotionState::Moving } else { MotionState::Stationary },
-        );
+        let (_, wifi, gps, _) = run_day(&mut s, demand(Granularity::Room), |m| {
+            if m % 120 < 15 {
+                MotionState::Moving
+            } else {
+                MotionState::Stationary
+            }
+        });
         assert!(wifi > 0);
         assert_eq!(gps, 0);
     }
@@ -245,16 +240,19 @@ mod tests {
     fn building_demand_triggers_gps_only_while_moving() {
         let mut s = SensingScheduler::new(SensingConfig::default());
         // Stationary all day: no GPS at all.
-        let (_, _, gps, _) =
-            run_day(&mut s, demand(Granularity::Building), |_| MotionState::Stationary);
+        let (_, _, gps, _) = run_day(&mut s, demand(Granularity::Building), |_| {
+            MotionState::Stationary
+        });
         assert_eq!(gps, 0);
         // Moving one hour a day: a bounded number of fixes.
         let mut s = SensingScheduler::new(SensingConfig::default());
-        let (_, _, gps, _) = run_day(
-            &mut s,
-            demand(Granularity::Building),
-            |m| if m < 60 { MotionState::Moving } else { MotionState::Stationary },
-        );
+        let (_, _, gps, _) = run_day(&mut s, demand(Granularity::Building), |m| {
+            if m < 60 {
+                MotionState::Moving
+            } else {
+                MotionState::Stationary
+            }
+        });
         // ~every 2 min for 60 min plus the arrival fix.
         assert!((25..=35).contains(&gps), "gps = {gps}");
     }
@@ -307,11 +305,13 @@ mod tests {
             route: Some(RouteAccuracy::High),
             social: false,
         };
-        let (_, wifi, gps, _) = run_day(
-            &mut s,
-            d,
-            |m| if m % 60 < 20 { MotionState::Moving } else { MotionState::Stationary },
-        );
+        let (_, wifi, gps, _) = run_day(&mut s, d, |m| {
+            if m % 60 < 20 {
+                MotionState::Moving
+            } else {
+                MotionState::Stationary
+            }
+        });
         assert!(wifi > 0, "WiFi detects departures in high-accuracy mode");
         assert!(gps > 0, "GPS traces the route in high-accuracy mode");
     }

@@ -3,7 +3,6 @@
 //! broadcast, profiles are synced, and the battery pays only for what the
 //! apps demanded.
 
-
 use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
 use pmware_core::intents::{actions, IntentFilter};
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
@@ -15,7 +14,9 @@ use pmware_world::radio::{RadioConfig, RadioEnvironment};
 use pmware_world::{SimTime, World};
 
 fn setup(days: u64, seed: u64) -> (World, SharedCloud) {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(seed).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(seed)
+        .build();
     let cloud = SharedCloud::new(CloudInstance::new(
         CellDatabase::from_world(&world),
         seed + 1,
@@ -60,10 +61,18 @@ fn pms_discovers_places_and_broadcasts_events() {
     let counters = pms.counters();
     assert!(counters.arrivals >= 4, "arrivals: {:?}", counters);
     assert!(counters.departures >= 3, "departures: {:?}", counters);
-    assert!(counters.gca_offloads >= days - 1, "offloads: {:?}", counters);
+    assert!(
+        counters.gca_offloads >= days - 1,
+        "offloads: {:?}",
+        counters
+    );
     assert_eq!(counters.gca_local_fallbacks, 0, "cloud never fails here");
     assert!(counters.routes >= 2, "routes: {:?}", counters);
-    assert!(counters.profiles_synced >= days - 2, "profiles: {:?}", counters);
+    assert!(
+        counters.profiles_synced >= days - 2,
+        "profiles: {:?}",
+        counters
+    );
 
     // The app received intents of several kinds.
     let intents: Vec<_> = rx.try_iter().collect();
@@ -71,7 +80,10 @@ fn pms_discovers_places_and_broadcasts_events() {
         .iter()
         .filter(|i| i.action == actions::PLACE_ARRIVAL)
         .count();
-    let news = intents.iter().filter(|i| i.action == actions::PLACE_NEW).count();
+    let news = intents
+        .iter()
+        .filter(|i| i.action == actions::PLACE_NEW)
+        .count();
     let routes = intents
         .iter()
         .filter(|i| i.action == actions::ROUTE_COMPLETED)
@@ -117,13 +129,9 @@ fn granularity_cap_coarsens_payloads() {
     let itinerary = pop.itinerary(&world, pop.agents()[0].id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 602);
-    let mut pms = PmwareMobileService::new(
-        device,
-        cloud,
-        PmsConfig::for_participant(1),
-        SimTime::EPOCH,
-    )
-    .unwrap();
+    let mut pms =
+        PmwareMobileService::new(device, cloud, PmsConfig::for_participant(1), SimTime::EPOCH)
+            .unwrap();
 
     // The ads app asks for building-level but the user caps it at area.
     let ads_rx = pms.register_app(
@@ -154,7 +162,8 @@ fn granularity_cap_coarsens_payloads() {
     // position for the same place/time, they may differ (coarsening), and
     // the ads one snaps to a 1 km grid.
     for (a, f) in ads_intents.iter().zip(&fine_intents) {
-        if let (Some(la), Some(lf)) = (a.extras["latitude"].as_f64(), f.extras["latitude"].as_f64()) {
+        if let (Some(la), Some(lf)) = (a.extras["latitude"].as_f64(), f.extras["latitude"].as_f64())
+        {
             // Area-level snapping moves the coordinate by at most ~1km/111km deg.
             assert!((la - lf).abs() <= 0.01, "ads {la} vs fine {lf}");
         }
@@ -169,13 +178,9 @@ fn kill_switch_stops_all_place_intents() {
     let itinerary = pop.itinerary(&world, pop.agents()[0].id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 702);
-    let mut pms = PmwareMobileService::new(
-        device,
-        cloud,
-        PmsConfig::for_participant(2),
-        SimTime::EPOCH,
-    )
-    .unwrap();
+    let mut pms =
+        PmwareMobileService::new(device, cloud, PmsConfig::for_participant(2), SimTime::EPOCH)
+            .unwrap();
     let rx = pms.register_app(
         "app",
         AppRequirement::places(Granularity::Area),
@@ -198,22 +203,17 @@ fn kill_switch_stops_all_place_intents() {
 fn room_level_app_triggers_wifi_and_augments_signatures() {
     let days = 3;
     // Europe profile: WiFi nearly everywhere.
-    let world = WorldBuilder::new(RegionProfile::urban_europe()).seed(800).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        801,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_europe())
+        .seed(800)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 801));
     let pop = Population::generate(&world, 1, 802);
     let itinerary = pop.itinerary(&world, pop.agents()[0].id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 803);
-    let mut pms = PmwareMobileService::new(
-        device,
-        cloud,
-        PmsConfig::for_participant(3),
-        SimTime::EPOCH,
-    )
-    .unwrap();
+    let mut pms =
+        PmwareMobileService::new(device, cloud, PmsConfig::for_participant(3), SimTime::EPOCH)
+            .unwrap();
     let _rx = pms.register_app(
         "activity-tracker",
         AppRequirement::places(Granularity::Room),
@@ -223,7 +223,10 @@ fn room_level_app_triggers_wifi_and_augments_signatures() {
 
     // WiFi was sampled (room-level demand).
     let wifi_energy = pms.battery().drained_by(Interface::WifiScan);
-    assert!(wifi_energy > 0.0, "room-level demand must trigger WiFi scans");
+    assert!(
+        wifi_energy > 0.0,
+        "room-level demand must trigger WiFi scans"
+    );
     // And at least one discovered place carries WiFi augmentation.
     let augmented = pms
         .places()
@@ -246,13 +249,9 @@ fn activity_summary_reaches_the_cloud() {
     let itinerary = pop.itinerary(&world, pop.agents()[0].id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 902);
-    let mut pms = PmwareMobileService::new(
-        device,
-        cloud,
-        PmsConfig::for_participant(9),
-        SimTime::EPOCH,
-    )
-    .unwrap();
+    let mut pms =
+        PmwareMobileService::new(device, cloud, PmsConfig::for_participant(9), SimTime::EPOCH)
+            .unwrap();
     let _rx = pms.register_app(
         "app",
         AppRequirement::places(Granularity::Area),

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn depletion() {
-        let mut b = Battery::new(BatterySpec { capacity_mah: 1.0, voltage_v: 1.0 });
+        let mut b = Battery::new(BatterySpec {
+            capacity_mah: 1.0,
+            voltage_v: 1.0,
+        });
         assert!(!b.is_depleted());
         b.drain(Interface::Gps, 3.6);
         assert!(b.is_depleted());

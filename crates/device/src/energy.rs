@@ -69,8 +69,10 @@ pub struct BatterySpec {
 
 impl BatterySpec {
     /// The HTC A310E Explorer battery from Figure 1.
-    pub const HTC_EXPLORER: BatterySpec =
-        BatterySpec { capacity_mah: 1_230.0, voltage_v: 3.7 };
+    pub const HTC_EXPLORER: BatterySpec = BatterySpec {
+        capacity_mah: 1_230.0,
+        voltage_v: 3.7,
+    };
 
     /// Total stored energy in joules.
     pub fn energy_joules(&self) -> f64 {
@@ -214,7 +216,10 @@ mod tests {
         let m = EnergyModel::htc_explorer();
         let ratio = m.battery_duration_hours(Interface::Gsm, minute())
             / m.battery_duration_hours(Interface::Gps, minute());
-        assert!((ratio - 11.0).abs() < 1.0, "paper says ~11x, model gives {ratio:.2}x");
+        assert!(
+            (ratio - 11.0).abs() < 1.0,
+            "paper says ~11x, model gives {ratio:.2}x"
+        );
     }
 
     #[test]
@@ -255,8 +260,7 @@ mod tests {
         ];
         let combined = m.combined_duration_hours(&plan);
         let gsm_only = m.battery_duration_hours(Interface::Gsm, minute());
-        let wifi_only =
-            m.battery_duration_hours(Interface::WifiScan, SimDuration::from_minutes(5));
+        let wifi_only = m.battery_duration_hours(Interface::WifiScan, SimDuration::from_minutes(5));
         assert!(combined < gsm_only);
         assert!(combined < wifi_only);
     }

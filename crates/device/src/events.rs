@@ -61,7 +61,10 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Number of pending events.
@@ -77,7 +80,11 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at `time`. Events at equal times fire in the order
     /// they were scheduled.
     pub fn schedule(&mut self, time: SimTime, event: E) {
-        let entry = Entry { time, seq: self.seq, event };
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            event,
+        };
         self.seq += 1;
         self.heap.push(Reverse(entry));
     }

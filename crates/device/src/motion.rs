@@ -59,11 +59,7 @@ impl MovementDetector {
         }
         self.window.push_back(reading);
         if self.window.len() == self.capacity {
-            let moving = self
-                .window
-                .iter()
-                .filter(|s| s.is_moving())
-                .count();
+            let moving = self.window.iter().filter(|s| s.is_moving()).count();
             let new_state = if moving * 2 > self.capacity {
                 MotionState::Moving
             } else {

@@ -2,9 +2,9 @@
 
 use pmware_geo::{GeoPoint, Meters};
 use pmware_mobility::Itinerary;
+use pmware_obs::{Counter, Obs};
 use pmware_world::ids::TowerId;
 use pmware_world::radio::{GsmScratch, RadioEnvironment};
-use pmware_obs::{Counter, Obs};
 use pmware_world::{GpsFix, GsmObservation, MotionState, SimTime, WifiScan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,8 +99,10 @@ impl DeviceMetrics {
             metrics.samples[slot] = obs.counter("device_samples_total", &labels);
             metrics.energy_uj[slot] = obs.counter("device_energy_microjoules_total", &labels);
         }
-        metrics.baseline_uj = obs
-            .counter("device_energy_microjoules_total", &[("user", actor), ("interface", "baseline")]);
+        metrics.baseline_uj = obs.counter(
+            "device_energy_microjoules_total",
+            &[("user", actor), ("interface", "baseline")],
+        );
         metrics
     }
 
@@ -146,12 +148,7 @@ pub struct Device<'w, P> {
 
 impl<'w, P: PositionProvider> Device<'w, P> {
     /// Creates a device with a full battery.
-    pub fn new(
-        env: RadioEnvironment<'w>,
-        provider: P,
-        model: EnergyModel,
-        seed: u64,
-    ) -> Self {
+    pub fn new(env: RadioEnvironment<'w>, provider: P, model: EnergyModel, seed: u64) -> Self {
         let battery = Battery::new(model.battery());
         Device {
             env,
@@ -283,11 +280,7 @@ impl<'w, P: PositionProvider> Device<'w, P> {
     /// Performs a Bluetooth inquiry scan against candidate peers (each a
     /// `(tag, position)` pair) and returns the tags of discovered peers.
     /// Costs one inquiry of energy.
-    pub fn scan_bluetooth<I: Clone>(
-        &mut self,
-        t: SimTime,
-        peers: &[(I, GeoPoint)],
-    ) -> Vec<I> {
+    pub fn scan_bluetooth<I: Clone>(&mut self, t: SimTime, peers: &[(I, GeoPoint)]) -> Vec<I> {
         self.drain_sample(Interface::Bluetooth);
         let pos = self.provider.position_at(t);
         peers
@@ -308,7 +301,9 @@ mod tests {
     use pmware_world::World;
 
     fn world() -> World {
-        WorldBuilder::new(RegionProfile::test_tiny()).seed(2).build()
+        WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(2)
+            .build()
     }
 
     #[test]
@@ -360,7 +355,11 @@ mod tests {
                 cells.insert(obs.cell);
             }
         }
-        assert!(cells.len() >= 3, "a day of movement should span cells, got {}", cells.len());
+        assert!(
+            cells.len() >= 3,
+            "a day of movement should span cells, got {}",
+            cells.len()
+        );
     }
 
     #[test]
@@ -392,8 +391,7 @@ mod tests {
         let mut near_hits = 0;
         let mut far_hits = 0;
         for i in 0..200 {
-            let found =
-                phone.scan_bluetooth(SimTime::from_seconds(i), &[(1u8, near), (2u8, far)]);
+            let found = phone.scan_bluetooth(SimTime::from_seconds(i), &[(1u8, near), (2u8, far)]);
             if found.contains(&1) {
                 near_hits += 1;
             }
@@ -425,9 +423,13 @@ mod tests {
         );
         let gsm_uj =
             snap.counter_value("device_energy_microjoules_total{interface=\"gsm\",user=\"p0000\"}");
-        assert_eq!(gsm_uj, microjoules(phone.battery().drained_by(Interface::Gsm)));
-        let base_uj = snap
-            .counter_value("device_energy_microjoules_total{interface=\"baseline\",user=\"p0000\"}");
+        assert_eq!(
+            gsm_uj,
+            microjoules(phone.battery().drained_by(Interface::Gsm))
+        );
+        let base_uj = snap.counter_value(
+            "device_energy_microjoules_total{interface=\"baseline\",user=\"p0000\"}",
+        );
         assert_eq!(base_uj, microjoules(phone.battery().baseline_joules()));
     }
 

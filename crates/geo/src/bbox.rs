@@ -41,7 +41,10 @@ impl BoundingBox {
             // signal. Latitude inversion is reported as an invalid latitude.
             return Err(GeoError::InvalidLatitude(south_west.latitude()));
         }
-        Ok(BoundingBox { south_west, north_east })
+        Ok(BoundingBox {
+            south_west,
+            north_east,
+        })
     }
 
     /// Smallest box containing all `points`.
@@ -51,7 +54,10 @@ impl BoundingBox {
     /// Returns [`GeoError::TooFewPoints`] if `points` is empty.
     pub fn enclosing(points: &[GeoPoint]) -> Result<Self, GeoError> {
         if points.is_empty() {
-            return Err(GeoError::TooFewPoints { required: 1, actual: 0 });
+            return Err(GeoError::TooFewPoints {
+                required: 1,
+                actual: 0,
+            });
         }
         let mut min_lat = f64::MAX;
         let mut max_lat = f64::MIN;
@@ -110,23 +116,27 @@ impl BoundingBox {
 
     /// Approximate height (north–south extent).
     pub fn height(&self) -> Meters {
-        let s = GeoPoint::new(self.south_west.latitude(), self.center().longitude())
-            .expect("valid");
-        let n = GeoPoint::new(self.north_east.latitude(), self.center().longitude())
-            .expect("valid");
+        let s =
+            GeoPoint::new(self.south_west.latitude(), self.center().longitude()).expect("valid");
+        let n =
+            GeoPoint::new(self.north_east.latitude(), self.center().longitude()).expect("valid");
         s.haversine_distance(n)
     }
 
     /// Returns a new box expanded by `margin` on every side, clamped to valid
     /// coordinate ranges.
     pub fn expanded(&self, margin: Meters) -> BoundingBox {
-        let sw = self
-            .south_west
-            .destination(225.0, Meters::new(margin.value() * std::f64::consts::SQRT_2));
+        let sw = self.south_west.destination(
+            225.0,
+            Meters::new(margin.value() * std::f64::consts::SQRT_2),
+        );
         let ne = self
             .north_east
             .destination(45.0, Meters::new(margin.value() * std::f64::consts::SQRT_2));
-        BoundingBox { south_west: sw, north_east: ne }
+        BoundingBox {
+            south_west: sw,
+            north_east: ne,
+        }
     }
 }
 

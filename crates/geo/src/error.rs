@@ -31,7 +31,10 @@ impl fmt::Display for GeoError {
                 write!(f, "distance {v} is negative or not finite")
             }
             GeoError::TooFewPoints { required, actual } => {
-                write!(f, "operation requires at least {required} points, got {actual}")
+                write!(
+                    f,
+                    "operation requires at least {required} points, got {actual}"
+                )
             }
         }
     }
@@ -47,7 +50,10 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = GeoError::InvalidLatitude(123.0);
         assert!(e.to_string().contains("123"));
-        let e = GeoError::TooFewPoints { required: 2, actual: 0 };
+        let e = GeoError::TooFewPoints {
+            required: 2,
+            actual: 0,
+        };
         assert!(e.to_string().contains("at least 2"));
     }
 

@@ -47,7 +47,11 @@ impl<T> SpatialGrid<T> {
         if !cell_size.is_valid_distance() || cell_size.value() == 0.0 {
             return Err(GeoError::InvalidDistance(cell_size.value()));
         }
-        Ok(SpatialGrid { cell_size, cells: HashMap::new(), len: 0 })
+        Ok(SpatialGrid {
+            cell_size,
+            cells: HashMap::new(),
+            len: 0,
+        })
     }
 
     /// Number of items stored.
@@ -72,14 +76,12 @@ impl<T> SpatialGrid<T> {
     /// Longitude scale factor for a latitude row. All points in one row share
     /// the same factor so that column indices are consistent within the row.
     fn row_cos(&self, row: i64) -> f64 {
-        let lat_center =
-            (row as f64 + 0.5) * self.cell_size.value() / METERS_PER_DEG_LAT;
+        let lat_center = (row as f64 + 0.5) * self.cell_size.value() / METERS_PER_DEG_LAT;
         lat_center.to_radians().cos().max(0.01)
     }
 
     fn col_of(&self, row: i64, lng: f64) -> i64 {
-        (lng * METERS_PER_DEG_LAT * self.row_cos(row) / self.cell_size.value()).floor()
-            as i64
+        (lng * METERS_PER_DEG_LAT * self.row_cos(row) / self.cell_size.value()).floor() as i64
     }
 
     fn key(&self, p: GeoPoint) -> (i64, i64) {
@@ -115,8 +117,7 @@ impl<T> SpatialGrid<T> {
         for row in row_min..=row_max {
             // Longitude span of the radius at this row's scale, widened by a
             // one-cell margin against rounding at row boundaries.
-            let dlng_deg =
-                radius.value() / (METERS_PER_DEG_LAT * self.row_cos(row));
+            let dlng_deg = radius.value() / (METERS_PER_DEG_LAT * self.row_cos(row));
             let col_min = self.col_of(row, center.longitude() - dlng_deg) - 1;
             let col_max = self.col_of(row, center.longitude() + dlng_deg) + 1;
             for col in col_min..=col_max {

@@ -64,8 +64,8 @@ impl GeoPoint {
         let dphi = (other.lat - self.lat).to_radians();
         let dlambda = (other.lng - self.lng).to_radians();
 
-        let a = (dphi / 2.0).sin().powi(2)
-            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let a =
+            (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().atan2((1.0 - a).sqrt());
         Meters::new(EARTH_RADIUS_M * c)
     }
@@ -103,11 +103,9 @@ impl GeoPoint {
         let phi1 = self.lat.to_radians();
         let lambda1 = self.lng.to_radians();
 
-        let phi2 =
-            (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+        let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
         let lambda2 = lambda1
-            + (theta.sin() * delta.sin() * phi1.cos())
-                .atan2(delta.cos() - phi1.sin() * phi2.sin());
+            + (theta.sin() * delta.sin() * phi1.cos()).atan2(delta.cos() - phi1.sin() * phi2.sin());
 
         let lat = phi2.to_degrees().clamp(-90.0, 90.0);
         let mut lng = lambda2.to_degrees();
@@ -136,7 +134,10 @@ impl GeoPoint {
     /// Returns [`GeoError::TooFewPoints`] if `points` is empty.
     pub fn centroid(points: &[GeoPoint]) -> Result<GeoPoint, GeoError> {
         if points.is_empty() {
-            return Err(GeoError::TooFewPoints { required: 1, actual: 0 });
+            return Err(GeoError::TooFewPoints {
+                required: 1,
+                actual: 0,
+            });
         }
         let n = points.len() as f64;
         let lat = points.iter().map(|p| p.lat).sum::<f64>() / n;
@@ -161,11 +162,26 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range() {
-        assert!(matches!(GeoPoint::new(91.0, 0.0), Err(GeoError::InvalidLatitude(_))));
-        assert!(matches!(GeoPoint::new(-91.0, 0.0), Err(GeoError::InvalidLatitude(_))));
-        assert!(matches!(GeoPoint::new(0.0, 181.0), Err(GeoError::InvalidLongitude(_))));
-        assert!(matches!(GeoPoint::new(0.0, f64::NAN), Err(GeoError::InvalidLongitude(_))));
-        assert!(matches!(GeoPoint::new(f64::INFINITY, 0.0), Err(GeoError::InvalidLatitude(_))));
+        assert!(matches!(
+            GeoPoint::new(91.0, 0.0),
+            Err(GeoError::InvalidLatitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::new(-91.0, 0.0),
+            Err(GeoError::InvalidLatitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::new(0.0, 181.0),
+            Err(GeoError::InvalidLongitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::new(0.0, f64::NAN),
+            Err(GeoError::InvalidLongitude(_))
+        ));
+        assert!(matches!(
+            GeoPoint::new(f64::INFINITY, 0.0),
+            Err(GeoError::InvalidLatitude(_))
+        ));
     }
 
     #[test]
@@ -216,7 +232,11 @@ mod tests {
         let near_edge = p(0.0, 179.9);
         let dest = near_edge.destination(90.0, Meters::new(50_000.0));
         assert!(dest.longitude() <= 180.0 && dest.longitude() >= -180.0);
-        assert!(dest.longitude() < 0.0, "should wrap to negative, got {}", dest.longitude());
+        assert!(
+            dest.longitude() < 0.0,
+            "should wrap to negative, got {}",
+            dest.longitude()
+        );
     }
 
     #[test]
@@ -245,7 +265,10 @@ mod tests {
     fn centroid_empty_errors() {
         assert!(matches!(
             GeoPoint::centroid(&[]),
-            Err(GeoError::TooFewPoints { required: 1, actual: 0 })
+            Err(GeoError::TooFewPoints {
+                required: 1,
+                actual: 0
+            })
         ));
     }
 

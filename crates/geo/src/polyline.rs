@@ -37,7 +37,10 @@ impl Polyline {
     /// Returns [`GeoError::TooFewPoints`] if fewer than two points are given.
     pub fn new(points: Vec<GeoPoint>) -> Result<Self, GeoError> {
         if points.len() < 2 {
-            return Err(GeoError::TooFewPoints { required: 2, actual: points.len() });
+            return Err(GeoError::TooFewPoints {
+                required: 2,
+                actual: points.len(),
+            });
         }
         Ok(Polyline { points })
     }
@@ -212,7 +215,13 @@ mod tests {
     }
 
     fn straightish() -> Polyline {
-        Polyline::new(vec![p(0.0, 0.0), p(0.0, 0.005), p(0.0001, 0.01), p(0.0, 0.02)]).unwrap()
+        Polyline::new(vec![
+            p(0.0, 0.0),
+            p(0.0, 0.005),
+            p(0.0001, 0.01),
+            p(0.0, 0.02),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -233,7 +242,11 @@ mod tests {
         let line = Polyline::new(vec![p(0.0, 0.0), p(0.0, 0.01)]).unwrap(); // ~1112 m
         let resampled = line.resample(Meters::new(100.0)).unwrap();
         // Expect ~12 points: start + 10 interior + end.
-        assert!(resampled.len() >= 11 && resampled.len() <= 13, "got {}", resampled.len());
+        assert!(
+            resampled.len() >= 11 && resampled.len() <= 13,
+            "got {}",
+            resampled.len()
+        );
         assert_eq!(resampled.start(), line.start());
         assert_eq!(resampled.end(), line.end());
         for w in resampled.points().windows(2) {

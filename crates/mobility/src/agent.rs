@@ -6,9 +6,7 @@ use pmware_world::{PlaceCategory, PlaceId};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of an agent in a [`Population`](crate::Population).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct AgentId(pub u32);
 
@@ -91,7 +89,10 @@ impl AgentProfile {
 
     /// Frequented places for a category (possibly empty).
     pub fn frequented(&self, category: PlaceCategory) -> &[PlaceId] {
-        self.frequented.get(&category).map(Vec::as_slice).unwrap_or(&[])
+        self.frequented
+            .get(&category)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All frequented categories.
@@ -150,7 +151,10 @@ mod tests {
     #[test]
     fn frequented_lookup() {
         let p = profile();
-        assert_eq!(p.frequented(PlaceCategory::Shopping), &[PlaceId(5), PlaceId(6)]);
+        assert_eq!(
+            p.frequented(PlaceCategory::Shopping),
+            &[PlaceId(5), PlaceId(6)]
+        );
         assert!(p.frequented(PlaceCategory::Fitness).is_empty());
     }
 

@@ -49,7 +49,11 @@ pub fn find_encounters(
     min_duration: SimDuration,
 ) -> Vec<Encounter> {
     assert!(step.as_seconds() > 0, "sampling step must be positive");
-    let (a, b) = if x.agent() <= y.agent() { (x, y) } else { (y, x) };
+    let (a, b) = if x.agent() <= y.agent() {
+        (x, y)
+    } else {
+        (y, x)
+    };
     let end = a.end_time().min(b.end_time());
     let mut out = Vec::new();
     let mut run_start: Option<SimTime> = None;
@@ -59,10 +63,7 @@ pub fn find_encounters(
 
     let mut t = SimTime::EPOCH;
     while t <= end {
-        let close = a
-            .position_at(t)
-            .equirectangular_distance(b.position_at(t))
-            <= radius;
+        let close = a.position_at(t).equirectangular_distance(b.position_at(t)) <= radius;
         if close {
             if run_start.is_none() {
                 run_start = Some(t);
@@ -128,7 +129,13 @@ fn push_run(
     } else {
         None
     };
-    out.push(Encounter { a, b, start, end, place });
+    out.push(Encounter {
+        a,
+        b,
+        start,
+        end,
+        place,
+    });
 }
 
 #[cfg(test)]
@@ -139,7 +146,9 @@ mod tests {
 
     #[test]
     fn agents_sharing_workplace_encounter_each_other() {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(10).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(10)
+            .build();
         // Generate enough agents that two share a workplace (tiny world has
         // 3 workplaces).
         let pop = Population::generate(&world, 6, 20);
@@ -182,7 +191,9 @@ mod tests {
 
     #[test]
     fn disjoint_agents_rarely_encounter() {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(11).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(11)
+            .build();
         let pop = Population::generate(&world, 6, 21);
         // Find two agents with different home and workplace.
         let mut pair = None;
@@ -206,13 +217,19 @@ mod tests {
         );
         // They may cross paths at a shared shop, but long encounters at a
         // tight radius should be rare.
-        assert!(encounters.len() <= 4, "unexpectedly many: {}", encounters.len());
+        assert!(
+            encounters.len() <= 4,
+            "unexpectedly many: {}",
+            encounters.len()
+        );
     }
 
     #[test]
     #[should_panic(expected = "sampling step")]
     fn zero_step_rejected() {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(12).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(12)
+            .build();
         let pop = Population::generate(&world, 2, 22);
         let x = pop.itinerary(&world, AgentId(0), 1);
         let y = pop.itinerary(&world, AgentId(1), 1);

@@ -81,8 +81,7 @@ impl Population {
             }
             let speed = rng.gen_range(4.0..9.0);
             let tag_prob = (0.70_f64 + rng.gen_range(-0.12..0.12)).clamp(0.0, 1.0);
-            let agent_seed =
-                pmware_world::seeds::derive_indexed(seed, "agent", i as u64);
+            let agent_seed = pmware_world::seeds::derive_indexed(seed, "agent", i as u64);
             agents.push(AgentProfile::new(
                 AgentId(i as u32),
                 home,
@@ -143,15 +142,16 @@ mod tests {
     use pmware_world::builder::{RegionProfile, WorldBuilder};
 
     fn world() -> World {
-        WorldBuilder::new(RegionProfile::test_tiny()).seed(4).build()
+        WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(4)
+            .build()
     }
 
     #[test]
     fn distinct_homes_until_exhausted() {
         let w = world();
         let pop = Population::generate(&w, 4, 1);
-        let homes: std::collections::HashSet<_> =
-            pop.agents().iter().map(|a| a.home()).collect();
+        let homes: std::collections::HashSet<_> = pop.agents().iter().map(|a| a.home()).collect();
         assert_eq!(homes.len(), 4);
     }
 

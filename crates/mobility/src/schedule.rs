@@ -108,7 +108,10 @@ pub fn plan_day<R: Rng + ?Sized>(
     }
 
     // Close the day at home.
-    stops.push(PlannedStop { place: agent.home(), planned_departure: next_midnight });
+    stops.push(PlannedStop {
+        place: agent.home(),
+        planned_departure: next_midnight,
+    });
 
     // Drop stops at places that do not exist in this world (defensive: a
     // profile built for another world would otherwise panic downstream).
@@ -239,7 +242,10 @@ fn plan_weekend<R: Rng + ?Sized>(
             if t >= (day + 1) * DAY - HOUR {
                 break;
             }
-            stops.push(PlannedStop { place, planned_departure: SimTime::from_seconds(t) });
+            stops.push(PlannedStop {
+                place,
+                planned_departure: SimTime::from_seconds(t),
+            });
         }
     }
 }
@@ -253,7 +259,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (World, AgentProfile) {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(2).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(2)
+            .build();
         let pop = Population::generate(&world, 2, 3);
         (world.clone(), pop.agents()[0].clone())
     }
@@ -355,7 +363,10 @@ mod tests {
         // A category with no places anywhere in the world yields None;
         // the tiny world has no transit places, so even exploration fails.
         for _ in 0..50 {
-            assert_eq!(pick_place(&agent, &world, PlaceCategory::Transit, &mut rng), None);
+            assert_eq!(
+                pick_place(&agent, &world, PlaceCategory::Transit, &mut rng),
+                None
+            );
         }
     }
 }

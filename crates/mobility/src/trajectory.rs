@@ -93,8 +93,9 @@ impl Itinerary {
     pub fn build(agent: &AgentProfile, world: &World, days: u64) -> Itinerary {
         assert!(days > 0, "itinerary needs at least one day");
         let mut rng = StdRng::seed_from_u64(agent.seed());
-        let plans: Vec<DayPlan> =
-            (0..days).map(|d| plan_day(agent, world, d, &mut rng)).collect();
+        let plans: Vec<DayPlan> = (0..days)
+            .map(|d| plan_day(agent, world, d, &mut rng))
+            .collect();
         Self::from_plans(agent, world, &plans, &mut rng)
     }
 
@@ -127,10 +128,13 @@ impl Itinerary {
                             .unwrap_or_else(|| {
                                 Polyline::new(vec![prev, spot]).expect("two points")
                             });
-                        let secs =
-                            (path.length().value() / agent.travel_speed_mps()).ceil() as u64;
+                        let secs = (path.length().value() / agent.travel_speed_mps()).ceil() as u64;
                         let end = clock + SimDuration::from_seconds(secs.max(60));
-                        segments.push(Segment::Travel { path, start: clock, end });
+                        segments.push(Segment::Travel {
+                            path,
+                            start: clock,
+                            end,
+                        });
                         clock = end;
                     }
                 }
@@ -152,7 +156,11 @@ impl Itinerary {
         // Merge adjacent dwells at the same place (e.g. across midnight).
         let segments = merge_adjacent_dwells(segments);
         let end = segments.last().expect("non-empty").end();
-        Itinerary { agent: agent.id(), segments, end }
+        Itinerary {
+            agent: agent.id(),
+            segments,
+            end,
+        }
     }
 
     /// The agent this itinerary belongs to.
@@ -203,9 +211,7 @@ impl Itinerary {
     }
 
     fn segment_at(&self, t: SimTime) -> Option<&Segment> {
-        let idx = self
-            .segments
-            .partition_point(|s| s.end() <= t);
+        let idx = self.segments.partition_point(|s| s.end() <= t);
         self.segments.get(idx).filter(|s| s.start() <= t)
     }
 
@@ -214,7 +220,9 @@ impl Itinerary {
         self.segments
             .iter()
             .filter_map(|s| match s {
-                Segment::Dwell { place, start, end, .. } => Some(TrueVisit {
+                Segment::Dwell {
+                    place, start, end, ..
+                } => Some(TrueVisit {
                     agent: self.agent,
                     place: *place,
                     arrival: *start,
@@ -227,11 +235,7 @@ impl Itinerary {
 
     /// Distinct places visited.
     pub fn visited_places(&self) -> Vec<PlaceId> {
-        let mut out: Vec<PlaceId> = self
-            .visits()
-            .iter()
-            .map(|v| v.place)
-            .collect();
+        let mut out: Vec<PlaceId> = self.visits().iter().map(|v| v.place).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -250,8 +254,15 @@ fn merge_adjacent_dwells(segments: Vec<Segment>) -> Vec<Segment> {
     let mut out: Vec<Segment> = Vec::with_capacity(segments.len());
     for seg in segments {
         if let (
-            Some(Segment::Dwell { place: p1, end: e1, .. }),
-            Segment::Dwell { place: p2, start, end, .. },
+            Some(Segment::Dwell {
+                place: p1, end: e1, ..
+            }),
+            Segment::Dwell {
+                place: p2,
+                start,
+                end,
+                ..
+            },
         ) = (out.last_mut(), &seg)
         {
             if *p1 == *p2 && *e1 == *start {
@@ -271,7 +282,9 @@ mod tests {
     use pmware_world::builder::{RegionProfile, WorldBuilder};
 
     fn setup() -> (World, AgentProfile) {
-        let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(2).build();
+        let world = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(2)
+            .build();
         let pop = Population::generate(&world, 3, 5);
         let agent = pop.agents()[0].clone();
         (world, agent)
@@ -337,9 +350,8 @@ mod tests {
         let it = Itinerary::build(&agent, &world, 5);
         let mut travel_seen = false;
         for seg in it.segments() {
-            let mid = SimTime::from_seconds(
-                (seg.start().as_seconds() + seg.end().as_seconds()) / 2,
-            );
+            let mid =
+                SimTime::from_seconds((seg.start().as_seconds() + seg.end().as_seconds()) / 2);
             match seg {
                 Segment::Travel { .. } => {
                     travel_seen = true;
@@ -368,7 +380,10 @@ mod tests {
         let (path, start, end) = travel;
         let mid = SimTime::from_seconds((start.as_seconds() + end.as_seconds()) / 2);
         let pos = it.position_at(mid);
-        assert!(path.distance_to(pos).value() < 5.0, "mid-travel point off path");
+        assert!(
+            path.distance_to(pos).value() < 5.0,
+            "mid-travel point off path"
+        );
         // Position just before start is path start; at end is path end.
         assert_eq!(it.position_at(start), path.start());
     }
@@ -382,7 +397,10 @@ mod tests {
         let way_after = it.position_at(SimTime::from_day_time(30, 0, 0, 0));
         let last_home = world.place(agent.home());
         assert!(
-            last_home.position().equirectangular_distance(way_after).value()
+            last_home
+                .position()
+                .equirectangular_distance(way_after)
+                .value()
                 <= last_home.radius().value() + 1.0
         );
     }

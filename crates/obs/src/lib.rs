@@ -99,7 +99,11 @@ impl std::fmt::Debug for Obs {
 impl Obs {
     /// A fully disabled handle: no registry, no bus, every call a no-op.
     pub fn disabled() -> Obs {
-        Obs { metrics: None, trace: None, actor: Arc::from("main") }
+        Obs {
+            metrics: None,
+            trace: None,
+            actor: Arc::from("main"),
+        }
     }
 
     /// A handle with a fresh metrics registry and no trace bus.
@@ -124,7 +128,11 @@ impl Obs {
     /// A clone of this handle attributed to `actor`. The registry and bus
     /// are shared; only the attribution changes.
     pub fn for_actor(&self, actor: &str) -> Obs {
-        Obs { metrics: self.metrics.clone(), trace: self.trace.clone(), actor: Arc::from(actor) }
+        Obs {
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            actor: Arc::from(actor),
+        }
     }
 
     /// This handle with the metrics registry of `fallback` substituted in
@@ -249,7 +257,10 @@ mod tests {
         private.counter("kept", &[]).inc();
 
         // Trace-only handle adopts the private registry.
-        let trace_only = Obs { metrics: None, ..Obs::with_trace(16) };
+        let trace_only = Obs {
+            metrics: None,
+            ..Obs::with_trace(16)
+        };
         let merged = trace_only.metrics_or(&private);
         assert!(merged.metrics().is_some());
         assert_eq!(merged.counter("kept", &[]).get(), 1);

@@ -59,7 +59,9 @@ struct CounterCell {
 
 impl CounterCell {
     fn new() -> Self {
-        CounterCell { shards: std::array::from_fn(|_| AtomicU64::new(0)) }
+        CounterCell {
+            shards: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
     }
 
     fn sum(&self) -> u64 {
@@ -140,7 +142,9 @@ impl Gauge {
 
     /// The current value (zero for a no-op handle).
     pub fn get(&self) -> i64 {
-        self.0.as_ref().map_or(0, |cell| cell.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
     }
 }
 
@@ -187,7 +191,9 @@ impl Histogram {
 
     /// The number of observations so far.
     pub fn count(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
     }
 
     /// The sum of observed values so far.
@@ -216,7 +222,9 @@ pub struct MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MetricsRegistry").field("len", &self.entries.lock().len()).finish()
+        f.debug_struct("MetricsRegistry")
+            .field("len", &self.entries.lock().len())
+            .finish()
     }
 }
 
@@ -260,16 +268,18 @@ fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        MetricsRegistry { entries: Mutex::new(BTreeMap::new()) }
+        MetricsRegistry {
+            entries: Mutex::new(BTreeMap::new()),
+        }
     }
 
     /// Resolves (creating if needed) the counter `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = metric_key(name, labels);
         let mut entries = self.entries.lock();
-        let entry = entries.entry(key.clone()).or_insert_with(|| {
-            MetricEntry::Counter(Arc::new(CounterCell::new()))
-        });
+        let entry = entries
+            .entry(key.clone())
+            .or_insert_with(|| MetricEntry::Counter(Arc::new(CounterCell::new())));
         match entry {
             MetricEntry::Counter(cell) => Counter(Some(cell.clone())),
             _ => panic!("metric {key} already registered with a different type"),
@@ -323,7 +333,11 @@ impl MetricsRegistry {
                 MetricEntry::Gauge(cell) => SnapshotValue::Gauge(cell.load(Ordering::Relaxed)),
                 MetricEntry::Histogram(cell) => SnapshotValue::Histogram(HistogramSnapshot {
                     bounds: cell.bounds.clone(),
-                    buckets: cell.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                    buckets: cell
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
                     count: cell.count.load(Ordering::Relaxed),
                     sum: cell.sum.load(Ordering::Relaxed),
                 }),
@@ -431,11 +445,21 @@ impl MetricsSnapshot {
                     obj.insert("type".to_string(), Value::String("histogram".to_string()));
                     obj.insert(
                         "bounds".to_string(),
-                        Value::Array(h.bounds.iter().map(|&b| Value::Number(Number::PosInt(b))).collect()),
+                        Value::Array(
+                            h.bounds
+                                .iter()
+                                .map(|&b| Value::Number(Number::PosInt(b)))
+                                .collect(),
+                        ),
                     );
                     obj.insert(
                         "buckets".to_string(),
-                        Value::Array(h.buckets.iter().map(|&b| Value::Number(Number::PosInt(b))).collect()),
+                        Value::Array(
+                            h.buckets
+                                .iter()
+                                .map(|&b| Value::Number(Number::PosInt(b)))
+                                .collect(),
+                        ),
                     );
                     obj.insert("count".to_string(), Value::Number(Number::PosInt(h.count)));
                     obj.insert("sum".to_string(), Value::Number(Number::PosInt(h.sum)));
@@ -468,7 +492,10 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(registry.counter("work_total", &[("stage", "a")]).get(), 4000);
+        assert_eq!(
+            registry.counter("work_total", &[("stage", "a")]).get(),
+            4000
+        );
     }
 
     #[test]

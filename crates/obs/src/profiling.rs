@@ -41,7 +41,9 @@ pub struct WallTimer {
 impl WallTimer {
     /// Starts timing now.
     pub fn start() -> WallTimer {
-        WallTimer { start: std::time::Instant::now() }
+        WallTimer {
+            start: std::time::Instant::now(),
+        }
     }
 
     /// Nanoseconds elapsed since `start`, saturating at `u64::MAX`.

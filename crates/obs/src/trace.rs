@@ -108,7 +108,10 @@ impl TraceBus {
     /// A bus keeping at most `capacity` records per actor (oldest records
     /// are dropped first; the drop count is reported in the export).
     pub fn new(capacity: usize) -> Self {
-        TraceBus { actors: Mutex::new(BTreeMap::new()), capacity: capacity.max(1) }
+        TraceBus {
+            actors: Mutex::new(BTreeMap::new()),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Records a point event.
@@ -149,7 +152,10 @@ impl TraceBus {
             at: at.as_seconds(),
             end: end.map(|t| t.as_seconds()),
             name: name.to_string(),
-            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
         });
     }
 
@@ -199,7 +205,10 @@ impl TraceBus {
                 obj.insert("actor".to_string(), Value::String(actor.clone()));
                 obj.insert("kind".to_string(), Value::String("meta".to_string()));
                 obj.insert("name".to_string(), Value::String("dropped".to_string()));
-                obj.insert("dropped".to_string(), Value::Number(Number::PosInt(ring.dropped)));
+                obj.insert(
+                    "dropped".to_string(),
+                    Value::Number(Number::PosInt(ring.dropped)),
+                );
                 out.push_str(&Value::Object(obj).to_string());
                 out.push('\n');
             }
@@ -246,7 +255,13 @@ mod tests {
     #[test]
     fn spans_carry_both_endpoints() {
         let bus = TraceBus::new(16);
-        bus.span("m", t(100), t(160), "maintenance", &[("budget", 12u64.into())]);
+        bus.span(
+            "m",
+            t(100),
+            t(160),
+            "maintenance",
+            &[("budget", 12u64.into())],
+        );
         let jsonl = bus.export_jsonl();
         assert!(jsonl.contains("\"at\":100"));
         assert!(jsonl.contains("\"end\":160"));

@@ -257,7 +257,11 @@ fn build_towers<R: Rng + ?Sized>(
                 let id = TowerId(towers.len() as u32);
                 // LAC changes every few grid rows, as in real deployments.
                 let lac = Lac(lac_base + (r / 3) as u16);
-                let cell = CellGlobalId { plmn: p.plmn, lac, cell: CellId(next_cell) };
+                let cell = CellGlobalId {
+                    plmn: p.plmn,
+                    lac,
+                    cell: CellId(next_cell),
+                };
                 next_cell += 1;
                 let power = 20.0 + rng.gen_range(-3.0..3.0);
                 towers.push(CellTower::new(id, cell, layer, pos, p.tower_range, power));
@@ -282,8 +286,7 @@ fn build_places<R: Rng + ?Sized>(
             // bounded number of attempts so dense mixes still terminate.
             for _ in 0..200 {
                 let ok = places.iter().all(|existing| {
-                    existing.position().equirectangular_distance(position)
-                        >= p.place_separation
+                    existing.position().equirectangular_distance(position) >= p.place_separation
                 });
                 if ok {
                     break;
@@ -298,7 +301,9 @@ fn build_places<R: Rng + ?Sized>(
                 _ => rng.gen_bool(p.indoor_probability),
             };
             let name = format!("{} {}", category.label(), i + 1);
-            places.push(WorldPlace::new(id, name, category, position, radius, indoor));
+            places.push(WorldPlace::new(
+                id, name, category, position, radius, indoor,
+            ));
         }
     }
     places
@@ -324,9 +329,7 @@ fn build_aps<R: Rng + ?Sized>(
             let id = ApId(aps.len() as u32);
             let bssid = Bssid(next_mac);
             next_mac += 0x10;
-            let range = Meters::new(
-                p.ap_range.value() * rng.gen_range(0.8..1.2),
-            );
+            let range = Meters::new(p.ap_range.value() * rng.gen_range(0.8..1.2));
             let ssid = format!("{}-ap{}", place.name().replace(' ', "-"), k);
             aps.push(AccessPoint::new(id, bssid, ssid, pos, range));
         }
@@ -337,7 +340,13 @@ fn build_aps<R: Rng + ?Sized>(
         let bssid = Bssid(next_mac);
         next_mac += 0x10;
         let range = Meters::new(p.ap_range.value() * rng.gen_range(0.6..1.0));
-        aps.push(AccessPoint::new(id, bssid, format!("street-{k}"), pos, range));
+        aps.push(AccessPoint::new(
+            id,
+            bssid,
+            format!("street-{k}"),
+            pos,
+            range,
+        ));
     }
     aps
 }
@@ -389,8 +398,12 @@ mod tests {
 
     #[test]
     fn deterministic_for_same_seed() {
-        let a = WorldBuilder::new(RegionProfile::test_tiny()).seed(5).build();
-        let b = WorldBuilder::new(RegionProfile::test_tiny()).seed(5).build();
+        let a = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(5)
+            .build();
+        let b = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(5)
+            .build();
         assert_eq!(a.towers().len(), b.towers().len());
         assert_eq!(a.places().len(), b.places().len());
         assert_eq!(a.access_points().len(), b.access_points().len());
@@ -401,8 +414,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = WorldBuilder::new(RegionProfile::test_tiny()).seed(1).build();
-        let b = WorldBuilder::new(RegionProfile::test_tiny()).seed(2).build();
+        let a = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(1)
+            .build();
+        let b = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(2)
+            .build();
         let same = a
             .places()
             .iter()
@@ -413,7 +430,9 @@ mod tests {
 
     #[test]
     fn full_gsm_coverage_inside_bounds() {
-        let w = WorldBuilder::new(RegionProfile::urban_india()).seed(3).build();
+        let w = WorldBuilder::new(RegionProfile::urban_india())
+            .seed(3)
+            .build();
         // Every place must be covered by at least two towers so that
         // oscillation is possible everywhere.
         for place in w.places() {
@@ -423,13 +442,19 @@ mod tests {
                     covering += 1;
                 }
             });
-            assert!(covering >= 2, "{} covered by {covering} towers", place.name());
+            assert!(
+                covering >= 2,
+                "{} covered by {covering} towers",
+                place.name()
+            );
         }
     }
 
     #[test]
     fn place_mix_counts_respected() {
-        let w = WorldBuilder::new(RegionProfile::urban_india()).seed(4).build();
+        let w = WorldBuilder::new(RegionProfile::urban_india())
+            .seed(4)
+            .build();
         let mix = PlaceMix::city_default();
         assert_eq!(w.places().len() as u32, mix.total());
         let homes = w
@@ -442,8 +467,12 @@ mod tests {
 
     #[test]
     fn wifi_coverage_tracks_profile() {
-        let india = WorldBuilder::new(RegionProfile::urban_india()).seed(6).build();
-        let europe = WorldBuilder::new(RegionProfile::urban_europe()).seed(6).build();
+        let india = WorldBuilder::new(RegionProfile::urban_india())
+            .seed(6)
+            .build();
+        let europe = WorldBuilder::new(RegionProfile::urban_europe())
+            .seed(6)
+            .build();
         let covered = |w: &World| {
             let n = w
                 .places()
@@ -465,7 +494,9 @@ mod tests {
 
     #[test]
     fn places_respect_minimum_separation_mostly() {
-        let w = WorldBuilder::new(RegionProfile::urban_india()).seed(7).build();
+        let w = WorldBuilder::new(RegionProfile::urban_india())
+            .seed(7)
+            .build();
         let mut violations = 0;
         for (i, a) in w.places().iter().enumerate() {
             for b in &w.places()[i + 1..] {
@@ -482,7 +513,9 @@ mod tests {
 
     #[test]
     fn roads_are_connected() {
-        let w = WorldBuilder::new(RegionProfile::test_tiny()).seed(8).build();
+        let w = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(8)
+            .build();
         let roads = w.roads();
         let a = roads.nearest_node(w.bounds().south_west()).unwrap();
         let b = roads.nearest_node(w.bounds().north_east()).unwrap();
@@ -491,7 +524,9 @@ mod tests {
 
     #[test]
     fn cell_lookup_round_trips() {
-        let w = WorldBuilder::new(RegionProfile::test_tiny()).seed(9).build();
+        let w = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(9)
+            .build();
         for t in w.towers().iter().take(20) {
             let found = w.tower_by_cell(t.cell()).expect("lookup succeeds");
             assert_eq!(found.id(), t.id());
@@ -500,7 +535,9 @@ mod tests {
 
     #[test]
     fn place_at_finds_containing_place() {
-        let w = WorldBuilder::new(RegionProfile::test_tiny()).seed(10).build();
+        let w = WorldBuilder::new(RegionProfile::test_tiny())
+            .seed(10)
+            .build();
         let place = &w.places()[0];
         let inside = place
             .position()

@@ -13,24 +13,18 @@ use serde::{Deserialize, Serialize};
 ///
 /// Paired with [`Lac`] and [`Plmn`] it forms a globally unique
 /// [`CellGlobalId`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct CellId(pub u32);
 
 /// A GSM location area code.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Lac(pub u16);
 
 /// A public land mobile network identity: mobile country code + mobile
 /// network code (MCC/MNC), e.g. `404/45` for an Indian operator.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Plmn {
     /// Mobile country code.
     pub mcc: u16,
@@ -42,9 +36,7 @@ pub struct Plmn {
 ///
 /// This is what the PMWare mobile service logs every minute (§2.2.2: "tracks
 /// GSM-based location information (Cell ID, LAC, MNC and MCC)").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CellGlobalId {
     /// Operator identity.
     pub plmn: Plmn,
@@ -55,30 +47,22 @@ pub struct CellGlobalId {
 }
 
 /// Internal index of a tower in a [`World`](crate::World).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TowerId(pub u32);
 
 /// A WiFi access point's MAC-layer identifier (BSSID).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Bssid(pub u64);
 
 /// Internal index of an access point in a [`World`](crate::World).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ApId(pub u32);
 
 /// Identifier of a ground-truth place in a [`World`](crate::World).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PlaceId(pub u32);
 
@@ -147,7 +131,10 @@ mod tests {
             lac: Lac(100),
             cell: CellId(1),
         };
-        let b = CellGlobalId { cell: CellId(2), ..a };
+        let b = CellGlobalId {
+            cell: CellId(2),
+            ..a
+        };
         let set: BTreeSet<_> = [b, a, a].into_iter().collect();
         assert_eq!(set.len(), 2);
         assert!(a < b);

@@ -99,8 +99,14 @@ mod tests {
         let scan = WifiScan {
             time: SimTime::from_seconds(10),
             readings: vec![
-                WifiReading { bssid: Bssid(1), rssi_dbm: -40.0 },
-                WifiReading { bssid: Bssid(2), rssi_dbm: -60.0 },
+                WifiReading {
+                    bssid: Bssid(1),
+                    rssi_dbm: -40.0,
+                },
+                WifiReading {
+                    bssid: Bssid(2),
+                    rssi_dbm: -60.0,
+                },
             ],
         };
         assert_eq!(scan.len(), 2);

@@ -91,7 +91,14 @@ impl WorldPlace {
         radius: Meters,
         indoor: bool,
     ) -> Self {
-        WorldPlace { id, name, category, position, radius, indoor }
+        WorldPlace {
+            id,
+            name,
+            category,
+            position,
+            radius,
+            indoor,
+        }
     }
 
     /// Ground-truth identifier.

@@ -173,9 +173,7 @@ impl<'w> RadioEnvironment<'w> {
         // them under load ("oscillating effect", §2.2.2). Filtering in
         // place is safe because every later read wants eligible towers:
         // the serving cell is always chosen from this set.
-        candidates.retain(|&(_, r)| {
-            r >= best_rssi - self.config.oscillation_window_db
-        });
+        candidates.retain(|&(_, r)| r >= best_rssi - self.config.oscillation_window_db);
         let eligible = &candidates[..];
 
         let load_event = rng.gen_bool(self.config.load_handoff_prob);
@@ -284,17 +282,19 @@ impl<'w> RadioEnvironment<'w> {
         // 1.2× the largest AP range is the outer detection limit; use a
         // fixed generous search radius instead of tracking the max.
         let search = Meters::new(250.0);
-        self.world.for_each_ap_near(position, search, |ap, distance| {
-            let p = ap.detection_probability(distance);
-            if p > 0.0 && rng.gen_bool(p) {
-                let rssi = ap.mean_rssi_at(distance)
-                    + gaussian(rng, 0.0, self.config.wifi_rssi_sigma_db);
-                readings.push(WifiReading { bssid: ap.bssid(), rssi_dbm: rssi });
-            }
-        });
-        readings.sort_by(|a, b| {
-            b.rssi_dbm.partial_cmp(&a.rssi_dbm).expect("rssi is finite")
-        });
+        self.world
+            .for_each_ap_near(position, search, |ap, distance| {
+                let p = ap.detection_probability(distance);
+                if p > 0.0 && rng.gen_bool(p) {
+                    let rssi = ap.mean_rssi_at(distance)
+                        + gaussian(rng, 0.0, self.config.wifi_rssi_sigma_db);
+                    readings.push(WifiReading {
+                        bssid: ap.bssid(),
+                        rssi_dbm: rssi,
+                    });
+                }
+            });
+        readings.sort_by(|a, b| b.rssi_dbm.partial_cmp(&a.rssi_dbm).expect("rssi is finite"));
         WifiScan { time, readings }
     }
 
@@ -324,7 +324,11 @@ impl<'w> RadioEnvironment<'w> {
         let bearing = rng.gen_range(0.0..360.0);
         let err = gaussian(rng, 0.0, sigma.value()).abs();
         let reported = position.destination(bearing, Meters::new(err));
-        Some(GpsFix { time, position: reported, accuracy: sigma })
+        Some(GpsFix {
+            time,
+            position: reported,
+            accuracy: sigma,
+        })
     }
 }
 
@@ -336,7 +340,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn world() -> World {
-        WorldBuilder::new(RegionProfile::urban_india()).seed(42).build()
+        WorldBuilder::new(RegionProfile::urban_india())
+            .seed(42)
+            .build()
     }
 
     #[test]
@@ -356,7 +362,9 @@ mod tests {
         let env = RadioEnvironment::new(&w, RadioConfig::default());
         let mut rng = StdRng::seed_from_u64(2);
         let pos = w.places()[0].position();
-        let (obs, serving) = env.observe_gsm(pos, SimTime::EPOCH, None, &mut rng).unwrap();
+        let (obs, serving) = env
+            .observe_gsm(pos, SimTime::EPOCH, None, &mut rng)
+            .unwrap();
         assert!(obs.rssi_dbm < 0.0);
         assert_eq!(w.tower(serving).cell(), obs.cell);
     }
@@ -388,8 +396,15 @@ mod tests {
         // every sample: between 2% and 40% of samples.
         assert!(switches > n / 50, "too stable: {switches} switches");
         assert!(switches < n * 2 / 5, "too unstable: {switches} switches");
-        assert!(distinct.len() >= 2, "oscillation must involve several cells");
-        assert!(distinct.len() <= 12, "oscillation set too large: {}", distinct.len());
+        assert!(
+            distinct.len() >= 2,
+            "oscillation must involve several cells"
+        );
+        assert!(
+            distinct.len() <= 12,
+            "oscillation set too large: {}",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -451,11 +466,17 @@ mod tests {
         let indoor_place = w.places().iter().find(|p| p.is_indoor()).unwrap();
         let mut failures = 0;
         for _ in 0..100 {
-            if env.fix_gps(indoor_place.position(), SimTime::EPOCH, &mut rng).is_none() {
+            if env
+                .fix_gps(indoor_place.position(), SimTime::EPOCH, &mut rng)
+                .is_none()
+            {
                 failures += 1;
             }
         }
-        assert!(failures > 40, "indoor fixes should mostly fail, got {failures}/100 failures");
+        assert!(
+            failures > 40,
+            "indoor fixes should mostly fail, got {failures}/100 failures"
+        );
     }
 
     #[test]
@@ -465,11 +486,13 @@ mod tests {
         let pos = w.places()[1].position();
         let obs1 = {
             let mut rng = StdRng::seed_from_u64(9);
-            env.observe_gsm(pos, SimTime::EPOCH, None, &mut rng).unwrap()
+            env.observe_gsm(pos, SimTime::EPOCH, None, &mut rng)
+                .unwrap()
         };
         let obs2 = {
             let mut rng = StdRng::seed_from_u64(9);
-            env.observe_gsm(pos, SimTime::EPOCH, None, &mut rng).unwrap()
+            env.observe_gsm(pos, SimTime::EPOCH, None, &mut rng)
+                .unwrap()
         };
         assert_eq!(obs1.0, obs2.0);
         assert_eq!(obs1.1, obs2.1);

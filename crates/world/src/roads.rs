@@ -210,7 +210,11 @@ impl RoadGraph {
             length += to.haversine_distance(*core.points.last().expect("non-empty"));
             points.push(to);
         }
-        Some(RoadPath { nodes: core.nodes, points, length })
+        Some(RoadPath {
+            nodes: core.nodes,
+            points,
+            length,
+        })
     }
 }
 
@@ -229,7 +233,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("heap distances are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("heap distances are finite")
     }
 }
 
@@ -288,7 +294,11 @@ mod tests {
         let (g, ids) = grid();
         let path = g.shortest_path(ids[0], ids[8]).unwrap();
         // 4 edges of ~1112 m each.
-        assert!((path.length().value() - 4.0 * 1_112.0).abs() < 20.0, "{}", path.length());
+        assert!(
+            (path.length().value() - 4.0 * 1_112.0).abs() < 20.0,
+            "{}",
+            path.length()
+        );
         assert_eq!(path.nodes().first(), Some(&ids[0]));
         assert_eq!(path.nodes().last(), Some(&ids[8]));
         assert_eq!(path.nodes().len(), 5);

@@ -331,13 +331,15 @@ mod tests {
         assert_eq!(SimDuration::from_hours(1).as_minutes_f64(), 60.0);
         assert_eq!(SimDuration::from_days(2).as_hours_f64(), 48.0);
         assert_eq!(SimDuration::from_seconds(90).mul_f64(2.0).as_seconds(), 180);
-        assert_eq!(SimDuration::from_seconds(10).saturating_sub(SimDuration::from_seconds(20)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_seconds(10).saturating_sub(SimDuration::from_seconds(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_minutes).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_minutes).sum();
         assert_eq!(total, SimDuration::from_minutes(10));
     }
 
@@ -349,7 +351,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(SimTime::from_day_time(2, 9, 5, 7).to_string(), "day 2 09:05:07");
+        assert_eq!(
+            SimTime::from_day_time(2, 9, 5, 7).to_string(),
+            "day 2 09:05:07"
+        );
         assert_eq!(SimDuration::from_seconds(45).to_string(), "45s");
         assert_eq!(SimDuration::from_seconds(125).to_string(), "2m05s");
         assert_eq!(SimDuration::from_seconds(3_720).to_string(), "1h02m");

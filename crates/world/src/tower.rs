@@ -41,7 +41,14 @@ impl CellTower {
         range: Meters,
         power_dbm: f64,
     ) -> Self {
-        CellTower { id, cell, layer, position, range, power_dbm }
+        CellTower {
+            id,
+            cell,
+            layer,
+            position,
+            range,
+            power_dbm,
+        }
     }
 
     /// Internal tower index.

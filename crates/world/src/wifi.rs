@@ -21,7 +21,13 @@ pub struct AccessPoint {
 impl AccessPoint {
     /// Creates an access point.
     pub fn new(id: ApId, bssid: Bssid, ssid: String, position: GeoPoint, range: Meters) -> Self {
-        AccessPoint { id, bssid, ssid, position, range }
+        AccessPoint {
+            id,
+            bssid,
+            ssid,
+            position,
+            range,
+        }
     }
 
     /// Internal index.

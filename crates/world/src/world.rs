@@ -34,20 +34,17 @@ impl World {
         places: Vec<WorldPlace>,
         roads: RoadGraph,
     ) -> World {
-        let mut tower_index =
-            SpatialGrid::new(Meters::new(1_000.0)).expect("positive cell size");
+        let mut tower_index = SpatialGrid::new(Meters::new(1_000.0)).expect("positive cell size");
         let mut cell_lookup = HashMap::with_capacity(towers.len());
         for t in &towers {
             tower_index.insert(t.position(), t.id());
             cell_lookup.insert(t.cell(), t.id());
         }
-        let mut ap_index =
-            SpatialGrid::new(Meters::new(250.0)).expect("positive cell size");
+        let mut ap_index = SpatialGrid::new(Meters::new(250.0)).expect("positive cell size");
         for a in &aps {
             ap_index.insert(a.position(), a.id());
         }
-        let mut place_index =
-            SpatialGrid::new(Meters::new(500.0)).expect("positive cell size");
+        let mut place_index = SpatialGrid::new(Meters::new(500.0)).expect("positive cell size");
         for p in &places {
             place_index.insert(p.position(), p.id());
         }
@@ -126,9 +123,7 @@ impl World {
             .for_each_within(point, Meters::new(500.0), |_, id, _| {
                 let place = self.place(*id);
                 let d = place.position().equirectangular_distance(point);
-                if d <= place.radius()
-                    && best.is_none_or(|(_, bd)| d.value() < bd)
-                {
+                if d <= place.radius() && best.is_none_or(|(_, bd)| d.value() < bd) {
                     best = Some((place, d.value()));
                 }
             });

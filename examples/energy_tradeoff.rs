@@ -70,7 +70,9 @@ fn main() {
     // is read back from the registry snapshot (what `--metrics-out`
     // exports), not from the battery object — the registry mirrors the
     // battery to the microjoule.
-    let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(11).build();
+    let world = WorldBuilder::new(RegionProfile::test_tiny())
+        .seed(11)
+        .build();
     let population = Population::generate(&world, 1, 11);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 1);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
@@ -86,7 +88,8 @@ fn main() {
         AppRequirement::places(Granularity::Building),
         IntentFilter::all(),
     );
-    pms.run(SimTime::from_day_time(1, 0, 0, 0)).expect("run succeeds");
+    pms.run(SimTime::from_day_time(1, 0, 0, 0))
+        .expect("run succeeds");
     let battery_joules = pms.battery().drained_joules();
 
     let snapshot = obs.metrics().expect("live registry").snapshot();

@@ -10,17 +10,16 @@ use pmware::prelude::*;
 use serde_json::json;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(31).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(31)
+        .build();
     let population = Population::generate(&world, 1, 32);
     let agent = &population.agents()[0];
     let days = 14;
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 33);
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        34,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 34));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(3), SimTime::EPOCH)?;
 
@@ -120,6 +119,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         json!({"place": home.0}),
         end,
     )?;
-    println!("   after home, the user usually goes to: {}", resp.body["predictions"]);
+    println!(
+        "   after home, the user usually goes to: {}",
+        resp.body["predictions"]
+    );
     Ok(())
 }

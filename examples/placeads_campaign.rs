@@ -10,17 +10,16 @@ use pmware::apps::adsim::Swipe;
 use pmware::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(21).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(21)
+        .build();
     let population = Population::generate(&world, 1, 22);
     let agent = &population.agents()[0];
     let days = 14;
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 23);
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        24,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 24));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(2), SimTime::EPOCH)?;
 
@@ -28,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // area-level granularity (Figure 2) — the user additionally caps it
     // there in her privacy preferences, which changes nothing since the
     // request is already coarse.
-    let rx = pms.register_app("placeads", PlaceAdsApp::requirement(), PlaceAdsApp::filter());
+    let rx = pms.register_app(
+        "placeads",
+        PlaceAdsApp::requirement(),
+        PlaceAdsApp::filter(),
+    );
     pms.preferences_mut().set_cap("placeads", Granularity::Area);
 
     let mut app = PlaceAdsApp::new(AdInventory::from_world(&world));

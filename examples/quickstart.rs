@@ -10,7 +10,9 @@ use pmware::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic city (towers, WiFi, places, roads) and one
     //    participant moving through it on weekday/weekend schedules.
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(1)
+        .build();
     let population = Population::generate(&world, 1, 2);
     let agent = &population.agents()[0];
     let days = 7;
@@ -19,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. A phone carried along that itinerary, and the shared cloud.
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 3);
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        4,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 4));
 
     // 3. The middleware, with one connected application that wants
     //    building-level place events and low-accuracy routes.
@@ -73,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("intents the app received: {by_action:?}");
 
     let report = pms.finish(SimTime::from_day_time(days, 0, 0, 0));
-    println!("\nbattery over the week: {:.1} kJ total", report.energy_joules / 1_000.0);
+    println!(
+        "\nbattery over the week: {:.1} kJ total",
+        report.energy_joules / 1_000.0
+    );
     for (interface, joules) in &report.energy_by_interface {
         println!("  {:>14}: {:>8.1} J", interface.label(), joules);
     }

@@ -29,7 +29,9 @@ impl PeerProvider for Colleagues {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(41).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(41)
+        .build();
     // Enough agents that some share a workplace.
     let population = Population::generate(&world, 8, 42);
     let days = 5;
@@ -54,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &my_itinerary, EnergyModel::htc_explorer(), 43);
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        44,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 44));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(4), SimTime::EPOCH)?;
 

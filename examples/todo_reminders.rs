@@ -9,17 +9,16 @@
 use pmware::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(11).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(11)
+        .build();
     let population = Population::generate(&world, 1, 12);
     let agent = &population.agents()[0];
     let days = 7;
     let itinerary = population.itinerary(&world, agent.id(), days);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let phone = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 13);
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        14,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 14));
     let mut pms =
         PmwareMobileService::new(phone, cloud, PmsConfig::for_participant(1), SimTime::EPOCH)?;
 
@@ -75,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  [{}] {} — {}",
             r.time,
-            if r.on_arrival { "arrived at work" } else { "left work" },
+            if r.on_arrival {
+                "arrived at work"
+            } else {
+                "left work"
+            },
             r.message
         );
     }

@@ -84,8 +84,8 @@ pub mod prelude {
     };
     pub use pmware_core::intents::{actions, Intent, IntentFilter};
     pub use pmware_core::{
-        AppRequirement, Granularity, PmsCheckpoint, PmsConfig, PmwareMobileService,
-        RouteAccuracy, UserPreferences,
+        AppRequirement, Granularity, PmsCheckpoint, PmsConfig, PmwareMobileService, RouteAccuracy,
+        UserPreferences,
     };
     pub use pmware_device::{Device, EnergyModel, Interface};
     pub use pmware_geo::{GeoPoint, Meters};

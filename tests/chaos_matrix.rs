@@ -80,10 +80,11 @@ struct StudyWorld {
 }
 
 fn study_world(seed: u64) -> StudyWorld {
-    let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(seed).build();
+    let world = WorldBuilder::new(RegionProfile::test_tiny())
+        .seed(seed)
+        .build();
     let population = Population::generate(&world, 1, seed + 1);
-    let itinerary =
-        population.itinerary(&world, population.agents()[0].id(), DAYS);
+    let itinerary = population.itinerary(&world, population.agents()[0].id(), DAYS);
     StudyWorld { world, itinerary }
 }
 
@@ -157,20 +158,20 @@ fn run_study_obs(
     let env = RadioEnvironment::new(&sw.world, RadioConfig::default());
     let device = Device::new(env, &sw.itinerary, EnergyModel::htc_explorer(), device_seed);
     let config = PmsConfig::for_participant(PARTICIPANT);
-    let mut pms = PmwareMobileService::new(
-        device,
-        faulty.clone(),
-        config.clone(),
-        SimTime::EPOCH,
-    )
-    .expect("registration is fault-free");
+    let mut pms = PmwareMobileService::new(device, faulty.clone(), config.clone(), SimTime::EPOCH)
+        .expect("registration is fault-free");
     pms.set_obs(&obs.for_actor("p0000"));
     let user = pms.cloud_client_mut().user();
     let mut _rx = pms.register_app("chaos-app", app_requirement(), IntentFilter::all());
-    pms.set_peer_provider(Box::new(ShadowPeer { itinerary: sw.itinerary.clone() }));
+    pms.set_peer_provider(Box::new(ShadowPeer {
+        itinerary: sw.itinerary.clone(),
+    }));
     faulty.set_enabled(inject);
 
-    let mut stops = vec![(link_recovers_at(), Stop::Recover), (study_end(), Stop::End)];
+    let mut stops = vec![
+        (link_recovers_at(), Stop::Recover),
+        (study_end(), Stop::End),
+    ];
     if let Some(t) = reboot {
         stops.push((t, Stop::Reboot));
     }
@@ -336,14 +337,7 @@ fn observability_is_invisible_to_chaos_runs() {
 
     let collect = || {
         let obs = Obs::with_trace(65_536);
-        let out = run_study_obs(
-            &sw,
-            Some(plan()),
-            Some(midday_reboot()),
-            9_850,
-            9_860,
-            &obs,
-        );
+        let out = run_study_obs(&sw, Some(plan()), Some(midday_reboot()), 9_850, 9_860, &obs);
         (
             out,
             obs.metrics_json().expect("live registry"),
@@ -352,13 +346,22 @@ fn observability_is_invisible_to_chaos_runs() {
     };
     let (observed, metrics_a, trace_a) = collect();
 
-    assert_eq!(observed.state, plain.state, "observability changed the outcome");
+    assert_eq!(
+        observed.state, plain.state,
+        "observability changed the outcome"
+    );
     assert_eq!(
         observed.final_checkpoint_json, plain.final_checkpoint_json,
         "observability changed the durable checkpoint bytes"
     );
-    assert_eq!(observed.stats, plain.stats, "observability changed fault statistics");
-    assert!(observed.stats.faults > 0, "this scenario must actually inject faults");
+    assert_eq!(
+        observed.stats, plain.stats,
+        "observability changed fault statistics"
+    );
+    assert!(
+        observed.stats.faults > 0,
+        "this scenario must actually inject faults"
+    );
 
     assert!(metrics_a.contains("transport_faults_total"), "{metrics_a}");
     assert!(trace_a.contains("transport.fault"));
@@ -391,8 +394,8 @@ fn analytics_queries_ride_out_every_fault_kind() {
     let t = study_end() + SimDuration::from_hours(1);
     // Registration is idempotent per IMEI, so this client reads the same
     // user's data the study produced.
-    let mut clean = CloudClient::register(out.cloud.clone(), &config.imei, &config.email, t)
-        .expect("register");
+    let mut clean =
+        CloudClient::register(out.cloud.clone(), &config.imei, &config.email, t).expect("register");
     let want_frequency = clean
         .call("/api/v1/analytics/frequency", json!({ "place": place }), t)
         .expect("clean frequency")
@@ -407,7 +410,11 @@ fn analytics_queries_ride_out_every_fault_kind() {
     );
 
     let queries: [(&str, serde_json::Value, &serde_json::Value); 2] = [
-        ("/api/v1/analytics/frequency", json!({ "place": place }), &want_frequency),
+        (
+            "/api/v1/analytics/frequency",
+            json!({ "place": place }),
+            &want_frequency,
+        ),
         ("/api/v1/analytics/activity", json!({}), &want_activity),
     ];
     for kind in ALL_FAULT_KINDS {
@@ -419,14 +426,17 @@ fn analytics_queries_ride_out_every_fault_kind() {
                 out.cloud.clone(),
                 FaultPlan::with_schedule(1, vec![(0, kind)]).only_path("/analytics"),
             );
-            let mut client =
-                CloudClient::register(faulty.clone(), &config.imei, &config.email, t)
-                    .expect("register");
+            let mut client = CloudClient::register(faulty.clone(), &config.imei, &config.email, t)
+                .expect("register");
             let got = client
                 .call(path, body.clone(), t)
                 .unwrap_or_else(|e| panic!("{path} under {kind:?}: {e}"));
             assert_eq!(&&got.body, want, "{path} under {kind:?}");
-            assert_eq!(faulty.stats().faults, 1, "{kind:?} must have fired on {path}");
+            assert_eq!(
+                faulty.stats().faults,
+                1,
+                "{kind:?} must have fired on {path}"
+            );
         }
     }
 }
@@ -447,11 +457,8 @@ fn resent_contact_buffer_never_duplicates_encounters() {
     // (forcing a client retry at index 2), index 3 duplicated on the wire.
     let faulty = FaultyCloud::new(
         cloud.clone(),
-        FaultPlan::with_schedule(
-            12,
-            vec![(1, FaultKind::Drop), (3, FaultKind::Duplicate)],
-        )
-        .only_path("/social/sync"),
+        FaultPlan::with_schedule(12, vec![(1, FaultKind::Drop), (3, FaultKind::Duplicate)])
+            .only_path("/social/sync"),
     );
     let mut client =
         CloudClient::register(faulty.clone(), "imei-contacts", "c@x.y", SimTime::EPOCH)
@@ -486,7 +493,10 @@ fn resent_contact_buffer_never_duplicates_encounters() {
     assert_eq!(acked, 4);
     let stored = cloud.contacts_of(user);
     assert_eq!(
-        stored.iter().map(|c| c.contact.as_str()).collect::<Vec<_>>(),
+        stored
+            .iter()
+            .map(|c| c.contact.as_str())
+            .collect::<Vec<_>>(),
         vec!["peer-0", "peer-1", "peer-2", "peer-3"],
         "every encounter exactly once, in order"
     );

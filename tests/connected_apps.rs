@@ -28,7 +28,9 @@ fn setup<'w>(world: &'w World, itinerary: &'w Itinerary, seed: u64) -> Study<'w>
 
 #[test]
 fn three_apps_share_one_sensing_pipeline() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2000).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(2000)
+        .build();
     let population = Population::generate(&world, 1, 2001);
     let agent = population.agents()[0].clone();
     let days = 7;
@@ -41,13 +43,12 @@ fn three_apps_share_one_sensing_pipeline() {
         PlaceAdsApp::requirement(),
         PlaceAdsApp::filter(),
     );
-    let log_rx = study.pms.register_app(
-        "lifelog",
-        LifeLogApp::requirement(),
-        LifeLogApp::filter(),
-    );
-    let todo_rx =
-        study.pms.register_app("todo", TodoApp::requirement(), TodoApp::filter());
+    let log_rx = study
+        .pms
+        .register_app("lifelog", LifeLogApp::requirement(), LifeLogApp::filter());
+    let todo_rx = study
+        .pms
+        .register_app("todo", TodoApp::requirement(), TodoApp::filter());
 
     let mut placeads = PlaceAdsApp::new(AdInventory::from_world(&world));
     let mut lifelog = LifeLogApp::new(1.0, 2003);
@@ -55,10 +56,7 @@ fn three_apps_share_one_sensing_pipeline() {
     let mut taste = UserTasteModel::from_agent(&agent, 2004);
 
     for day in 1..=days {
-        study
-            .pms
-            .run(SimTime::from_day_time(day, 0, 0, 0))
-            .unwrap();
+        study.pms.run(SimTime::from_day_time(day, 0, 0, 0)).unwrap();
         for intent in log_rx.try_iter() {
             lifelog.on_intent(&intent);
         }
@@ -68,17 +66,12 @@ fn three_apps_share_one_sensing_pipeline() {
         // Configure the todo app once places exist: pick the place with
         // the most 8–11 AM arrivals as "work".
         if todo.workplace().is_none() {
-            if let Some(work) = study
-                .pms
-                .places()
-                .iter()
-                .max_by_key(|p| {
-                    p.gca_visits
-                        .iter()
-                        .filter(|v| (7..12).contains(&v.arrival.hour_of_day()))
-                        .count()
-                })
-            {
+            if let Some(work) = study.pms.places().iter().max_by_key(|p| {
+                p.gca_visits
+                    .iter()
+                    .filter(|v| (7..12).contains(&v.arrival.hour_of_day()))
+                    .count()
+            }) {
                 todo.set_workplace(work.id.0);
             }
         }
@@ -114,7 +107,9 @@ fn three_apps_share_one_sensing_pipeline() {
 
 #[test]
 fn tracking_window_limits_todo_alerts() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2100).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(2100)
+        .build();
     let population = Population::generate(&world, 1, 2101);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 5);
     let mut study = setup(&world, &itinerary, 2102);
@@ -151,15 +146,14 @@ fn intents_keep_flowing_at_permitted_granularity_through_cloud_faults() {
     // A total transport outage (100% drop) must not silence the intent
     // bus: apps keep receiving place events, coarsened to the granularity
     // the user permitted, while the PMS rides on local discovery.
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2300).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(2300)
+        .build();
     let population = Population::generate(&world, 1, 2301);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 4);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
     let device = Device::new(env, &itinerary, EnergyModel::htc_explorer(), 2302);
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        2303,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 2303));
     let faulty = FaultyCloud::new(
         cloud,
         FaultPlan::with_rate(2304, 1.0).kinds(&[FaultKind::Drop]),
@@ -189,15 +183,17 @@ fn intents_keep_flowing_at_permitted_granularity_through_cloud_faults() {
     faulty.set_enabled(true);
     pms.run(SimTime::from_day_time(4, 0, 0, 0)).unwrap();
 
-    assert!(faulty.stats().drops > 0, "the outage must actually drop traffic");
+    assert!(
+        faulty.stats().drops > 0,
+        "the outage must actually drop traffic"
+    );
     assert!(
         pms.counters().gca_local_fallbacks >= 2,
         "offline maintenance falls back to local discovery: {:?}",
         pms.counters()
     );
 
-    let during_outage: Vec<Intent> =
-        rx.try_iter().filter(|i| i.time >= outage_from).collect();
+    let during_outage: Vec<Intent> = rx.try_iter().filter(|i| i.time >= outage_from).collect();
     assert!(
         during_outage
             .iter()
@@ -214,21 +210,18 @@ fn intents_keep_flowing_at_permitted_granularity_through_cloud_faults() {
 
 #[test]
 fn lifelog_report_reflects_routine() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(2200).build();
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(2200)
+        .build();
     let population = Population::generate(&world, 1, 2201);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 7);
     let mut study = setup(&world, &itinerary, 2202);
-    let rx = study.pms.register_app(
-        "lifelog",
-        LifeLogApp::requirement(),
-        LifeLogApp::filter(),
-    );
+    let rx = study
+        .pms
+        .register_app("lifelog", LifeLogApp::requirement(), LifeLogApp::filter());
     let mut lifelog = LifeLogApp::new(1.0, 2203);
     for day in 1..=7u64 {
-        study
-            .pms
-            .run(SimTime::from_day_time(day, 0, 0, 0))
-            .unwrap();
+        study.pms.run(SimTime::from_day_time(day, 0, 0, 0)).unwrap();
         for intent in rx.try_iter() {
             lifelog.on_intent(&intent);
         }
@@ -241,7 +234,10 @@ fn lifelog_report_reflects_routine() {
         .map(|h| h.visit_days.len())
         .max()
         .unwrap_or(0);
-    assert!(max_days >= 5, "home should appear on most days, got {max_days}");
+    assert!(
+        max_days >= 5,
+        "home should appear on most days, got {max_days}"
+    );
     let report = lifelog.report();
     assert!(report.contains("my-place-"), "{report}");
 }

@@ -7,11 +7,10 @@ use pmware::prelude::*;
 
 #[test]
 fn cloud_outage_falls_back_to_local_discovery() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(4000).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        4001,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(4000)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 4001));
     let population = Population::generate(&world, 1, 4002);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 4);
     let env = RadioEnvironment::new(&world, RadioConfig::default());
@@ -57,11 +56,10 @@ fn cloud_outage_falls_back_to_local_discovery() {
 
 #[test]
 fn registration_during_outage_fails_cleanly() {
-    let world = WorldBuilder::new(RegionProfile::test_tiny()).seed(4100).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        4101,
-    ));
+    let world = WorldBuilder::new(RegionProfile::test_tiny())
+        .seed(4100)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 4101));
     cloud.set_outage(true);
     let population = Population::generate(&world, 1, 4102);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 1);
@@ -118,12 +116,12 @@ fn sparse_coverage_world_does_not_break_the_pipeline() {
             }
         }
     }
-    assert!(dead > 0, "sparse profile should leave dead zones ({dead}/{total})");
+    assert!(
+        dead > 0,
+        "sparse profile should leave dead zones ({dead}/{total})"
+    );
 
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        4201,
-    ));
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 4201));
     let population = Population::generate(&world, 1, 4202);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 3);
     let env = RadioEnvironment::new(&world, RadioConfig::default());

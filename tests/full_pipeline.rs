@@ -23,11 +23,10 @@ fn build_pms<'w>(
 
 #[test]
 fn several_participants_share_one_cloud() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1000).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        1001,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(1000)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 1001));
     let population = Population::generate(&world, 3, 1002);
     let days = 3;
     let itineraries = population.itineraries(&world, days);
@@ -55,11 +54,10 @@ fn several_participants_share_one_cloud() {
 #[test]
 fn deterministic_end_to_end() {
     let run = || {
-        let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1200).build();
-        let cloud = SharedCloud::new(CloudInstance::new(
-            CellDatabase::from_world(&world),
-            1201,
-        ));
+        let world = WorldBuilder::new(RegionProfile::urban_india())
+            .seed(1200)
+            .build();
+        let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 1201));
         let population = Population::generate(&world, 1, 1202);
         let itinerary = population.itinerary(&world, population.agents()[0].id(), 3);
         let mut pms = build_pms(&world, &itinerary, cloud, 0, 1203);
@@ -78,7 +76,11 @@ fn deterministic_end_to_end() {
             report.energy_joules.to_bits(),
         )
     };
-    assert_eq!(run(), run(), "identical seeds must reproduce bit-identically");
+    assert_eq!(
+        run(),
+        run(),
+        "identical seeds must reproduce bit-identically"
+    );
 }
 
 #[test]
@@ -86,11 +88,10 @@ fn discovered_places_match_ground_truth_shape() {
     // Seed picked from a scan of 10 candidate draws: typical draws clear the
     // 0.5 correct-fraction bar, this one classifies all 7 evaluable places
     // correctly under the workspace's xoshiro-based RNG.
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1320).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        1321,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(1320)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 1321));
     let population = Population::generate(&world, 1, 1322);
     let agent = &population.agents()[0];
     let days = 7;
@@ -136,11 +137,10 @@ fn discovered_places_match_ground_truth_shape() {
 
 #[test]
 fn estimated_positions_are_near_true_places() {
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1400).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        1401,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(1400)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 1401));
     let population = Population::generate(&world, 1, 1402);
     let agent = &population.agents()[0];
     let itinerary = population.itinerary(&world, agent.id(), 3);
@@ -172,11 +172,10 @@ fn battery_outlives_the_study_with_triggered_sensing() {
     // §2.2.2's whole point: a two-week study must not kill the battery
     // faster than charging cadence. With GSM-only demand the phone should
     // project > 3 days of battery life.
-    let world = WorldBuilder::new(RegionProfile::urban_india()).seed(1500).build();
-    let cloud = SharedCloud::new(CloudInstance::new(
-        CellDatabase::from_world(&world),
-        1501,
-    ));
+    let world = WorldBuilder::new(RegionProfile::urban_india())
+        .seed(1500)
+        .build();
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::from_world(&world), 1501));
     let population = Population::generate(&world, 1, 1502);
     let itinerary = population.itinerary(&world, population.agents()[0].id(), 2);
     let mut pms = build_pms(&world, &itinerary, cloud, 0, 1503);

@@ -53,7 +53,11 @@ impl Criterion {
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), config: self.clone(), _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            _parent: self,
+        }
     }
 
     /// Runs a single benchmark outside a group.
@@ -75,7 +79,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` identifier.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 }
 
@@ -156,7 +162,10 @@ impl Bencher {
 }
 
 fn call_routine<F: FnMut(&mut Bencher)>(routine: &mut F, iters: u64) -> Duration {
-    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
     routine(&mut bencher);
     bencher.elapsed
 }
@@ -168,9 +177,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, mut ro
     let mut per_iter = Duration::from_nanos(1);
     loop {
         let elapsed = call_routine(&mut routine, iters);
-        per_iter = elapsed.checked_div(iters as u32).unwrap_or(per_iter).max(
-            Duration::from_nanos(1),
-        );
+        per_iter = elapsed
+            .checked_div(iters as u32)
+            .unwrap_or(per_iter)
+            .max(Duration::from_nanos(1));
         if warm_start.elapsed() >= config.warm_up_time {
             break;
         }
@@ -179,8 +189,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &Criterion, mut ro
 
     // Size samples so all of them together roughly fill measurement_time.
     let budget = config.measurement_time.as_nanos() / config.sample_size.max(1) as u128;
-    let iters_per_sample =
-        (budget / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+    let iters_per_sample = (budget / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
 
     let mut total = Duration::ZERO;
     let mut best = Duration::MAX;

@@ -61,7 +61,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Sends a message; fails only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 

@@ -306,7 +306,10 @@ fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
             i += 1;
         }
     }
-    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
     set
 }
 
@@ -333,13 +336,19 @@ pub mod prop {
         impl From<std::ops::Range<usize>> for SizeRange {
             fn from(r: std::ops::Range<usize>) -> SizeRange {
                 assert!(r.start < r.end, "empty size range");
-                SizeRange { lo: r.start, hi: r.end - 1 }
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
             }
         }
 
         impl From<std::ops::RangeInclusive<usize>> for SizeRange {
             fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
-                SizeRange { lo: *r.start(), hi: *r.end() }
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
             }
         }
 
@@ -351,7 +360,10 @@ pub mod prop {
 
         /// `Vec` strategy with the given element strategy and size.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         /// Strategy for `Vec<S::Value>`.
@@ -376,7 +388,10 @@ pub mod prop {
             S: Strategy,
             S::Value: Ord,
         {
-            BTreeSetStrategy { element, size: size.into() }
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         /// Strategy for `BTreeSet<S::Value>`.
@@ -511,9 +526,10 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !($cond) {
-            return ::core::result::Result::Err($crate::TestCaseError::reject(
-                concat!("assumption failed: ", stringify!($cond)),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
         }
     };
 }

@@ -35,12 +35,16 @@ impl DeError {
 
     /// Error for a field absent from an object.
     pub fn missing_field(ty: &str, field: &str) -> DeError {
-        DeError { msg: format!("missing field `{field}` for `{ty}`") }
+        DeError {
+            msg: format!("missing field `{field}` for `{ty}`"),
+        }
     }
 
     /// Wraps this error with struct/field context.
     pub fn context_field(self, ty: &str, field: &str) -> DeError {
-        DeError { msg: format!("{ty}.{field}: {}", self.msg) }
+        DeError {
+            msg: format!("{ty}.{field}: {}", self.msg),
+        }
     }
 }
 
@@ -105,7 +109,9 @@ impl Serialize for bool {
 
 impl<'de> Deserialize<'de> for bool {
     fn from_json_value(value: &Value) -> Result<bool, DeError> {
-        value.as_bool().ok_or_else(|| DeError::custom(format!("expected bool, got {value}")))
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, got {value}")))
     }
 }
 
@@ -167,7 +173,9 @@ impl Serialize for f64 {
 
 impl<'de> Deserialize<'de> for f64 {
     fn from_json_value(value: &Value) -> Result<f64, DeError> {
-        value.as_f64().ok_or_else(|| DeError::custom(format!("expected number, got {value}")))
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, got {value}")))
     }
 }
 
@@ -224,7 +232,9 @@ impl Serialize for char {
 
 impl<'de> Deserialize<'de> for char {
     fn from_json_value(value: &Value) -> Result<char, DeError> {
-        let s = value.as_str().ok_or_else(|| DeError::custom("expected single-char string"))?;
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected single-char string"))?;
         let mut chars = s.chars();
         match (chars.next(), chars.next()) {
             (Some(c), None) => Ok(c),
@@ -349,13 +359,17 @@ fn key_from_string<'de, K: Deserialize<'de>>(key: &str) -> Result<K, DeError> {
     if let Ok(b) = key.parse::<bool>() {
         return K::from_json_value(&Value::Bool(b));
     }
-    Err(DeError::custom(format!("cannot rebuild map key from {key:?}")))
+    Err(DeError::custom(format!(
+        "cannot rebuild map key from {key:?}"
+    )))
 }
 
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_json_value(&self) -> Value {
         Value::Object(
-            self.iter().map(|(k, v)| (key_to_string(k), v.to_json_value())).collect(),
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_json_value()))
+                .collect(),
         )
     }
 }
@@ -379,7 +393,9 @@ impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_json_value(&self) -> Value {
         // BTreeMap collection sorts keys: deterministic output.
         Value::Object(
-            self.iter().map(|(k, v)| (key_to_string(k), v.to_json_value())).collect(),
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_json_value()))
+                .collect(),
         )
     }
 }

@@ -103,7 +103,6 @@ pub enum Value {
     Object(BTreeMap<String, Value>),
 }
 
-
 static NULL: Value = Value::Null;
 
 impl Value {

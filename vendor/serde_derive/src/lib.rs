@@ -55,14 +55,18 @@ struct Item {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives `serde::Deserialize` for the item.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -76,7 +80,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(stream: TokenStream) -> Cursor {
-        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -162,9 +169,9 @@ fn attr_is_serde_default(body: TokenStream) -> bool {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
             if name.to_string() == "serde" =>
         {
-            args.stream().into_iter().any(
-                |t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"),
-            )
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"))
         }
         _ => false,
     }
@@ -276,9 +283,7 @@ fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.kind {
         Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_owned(),
-        Kind::Struct(Shape::Tuple(1)) => {
-            "::serde::Serialize::to_json_value(&self.0)".to_owned()
-        }
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_json_value(&self.0)".to_owned(),
         Kind::Struct(Shape::Tuple(n)) => ser_tuple_body(*n, "self."),
         Kind::Struct(Shape::Named(fields)) => ser_named_body(fields, "self."),
         Kind::Enum(variants) => {
@@ -311,8 +316,7 @@ fn gen_serialize(item: &Item) -> String {
                         );
                     }
                     Shape::Named(fields) => {
-                        let binders: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let inner = ser_named_body(fields, "");
                         let _ = write!(
                             arms,
@@ -428,7 +432,11 @@ fn gen_deserialize(item: &Item) -> String {
             }
             // Avoid unused-variable warnings in the expansion when an enum
             // has no data-carrying variants.
-            let inner_binder = if data_arms.is_empty() { "_inner" } else { "inner" };
+            let inner_binder = if data_arms.is_empty() {
+                "_inner"
+            } else {
+                "inner"
+            };
             format!(
                 "match value {{\
                    ::serde::Value::String(tag) => match tag.as_str() {{\

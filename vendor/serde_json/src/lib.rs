@@ -200,7 +200,15 @@ mod tests {
 
     #[test]
     fn float_roundtrip_is_exact() {
-        for &f in &[0.1f64, 1.0 / 3.0, 12.871287, 1e-7, 6_371_000.772, -0.0, 2.5e300] {
+        for &f in &[
+            0.1f64,
+            1.0 / 3.0,
+            12.871287,
+            1e-7,
+            6_371_000.772,
+            -0.0,
+            2.5e300,
+        ] {
             let v = json!({ "x": f });
             let text = to_string(&v).unwrap();
             let back: Value = from_str(&text).unwrap();

@@ -9,7 +9,10 @@ const MAX_DEPTH: usize = 128;
 
 /// Parses a complete JSON document.
 pub fn parse(input: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.parse_value(0)?;
     p.skip_ws();
@@ -238,8 +241,8 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number chars are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ASCII");
         if !is_float {
             if !negative {
                 if let Ok(u) = text.parse::<u64>() {
