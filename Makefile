@@ -1,13 +1,14 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy fmt chaos bench bench-gca obs
+.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke obs
 
 # The full pre-merge gate: release build, the whole test suite, a
 # warning-free clippy pass over every target in the workspace, a
-# formatting check, the chaos gate (fault-injection matrix + soak), and
-# the observability gate (byte-identical golden exports +
-# zero-perturbation overhead bench).
-verify: build test clippy fmt chaos obs
+# formatting check, the chaos gate (fault-injection matrix + soak), the
+# observability gate (byte-identical golden exports + zero-perturbation
+# overhead bench), and a tiny-config throughput smoke run that fails if
+# parallel and sequential studies ever diverge.
+verify: build test clippy fmt chaos obs bench-smoke
 
 build:
 	cargo build --release --workspace
@@ -39,6 +40,17 @@ bench:
 # analytics throughput; writes BENCH_gca.json in the repo root.
 bench-gca:
 	cargo run --release -p pmware-bench --bin gca_scaling
+
+# Tiny-config cohort throughput smoke: one quick pass over the full
+# thread ladder. The binary asserts every timed run equals the
+# sequential reference bit for bit, so this exits nonzero on any
+# parallel-vs-sequential divergence. Runs in a scratch directory so the
+# checked-in BENCH_cohort.json (full-size numbers) is never clobbered.
+bench-smoke:
+	cargo build --quiet --release -p pmware-bench --bin cohort_throughput
+	tmp=$$(mktemp -d) && cd $$tmp && \
+		$(CURDIR)/target/release/cohort_throughput --participants 2 --days 2 --repeats 1 && \
+		rm -rf $$tmp
 
 # The observability gate: golden determinism tests (same seed => byte-
 # identical metrics snapshot and trace JSONL, at any thread count; obs

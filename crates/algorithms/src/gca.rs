@@ -45,6 +45,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use pmware_world::intern::{Interner, Symbol};
 use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -80,12 +81,22 @@ impl Default for GcaConfig {
 }
 
 /// The movement graph: an inspectable intermediate result (C-INTERMEDIATE).
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Internally the graph is keyed by dense interned symbols, not by raw
+/// [`CellGlobalId`]s: the per-observation hot path (dwell accounting, bounce
+/// counting) costs one intern lookup plus `Vec` indexing instead of B-tree
+/// searches on 12-byte composite keys. Symbols never escape: every public
+/// accessor speaks `CellGlobalId`, and [`components`](Self::components)
+/// resolves and sorts edges back into cell order so the clustering walks
+/// the exact edge sequence the old cell-keyed map produced.
+#[derive(Debug, Clone, Default)]
 pub struct MovementGraph {
-    /// Bounce weight per unordered cell pair.
-    edges: BTreeMap<(CellGlobalId, CellGlobalId), u32>,
-    /// Total observed dwell per cell.
-    dwell: BTreeMap<CellGlobalId, SimDuration>,
+    /// Cell ↔ symbol table, first-seen order (= stream appearance order).
+    cells: Interner<CellGlobalId>,
+    /// Bounce weight per unordered symbol pair (canonical: smaller first).
+    edges: HashMap<(Symbol, Symbol), u32>,
+    /// Total observed dwell per cell, indexed by symbol.
+    dwell: Vec<SimDuration>,
 }
 
 impl MovementGraph {
@@ -97,18 +108,20 @@ impl MovementGraph {
         for w in observations.windows(2) {
             let dt = w[1].time.since(w[0].time);
             let dt = dt.min(config.max_sample_gap);
-            *graph.dwell.entry(w[0].cell).or_insert(SimDuration::ZERO) += dt;
+            let (sym, _) = graph.touch(w[0].cell);
+            graph.note_dwell(sym, dt);
         }
         if let Some(last) = observations.last() {
-            graph.dwell.entry(last.cell).or_insert(SimDuration::ZERO);
+            graph.touch(last.cell);
         }
         // Bounce patterns a → b → a over adjacent samples.
         for w in observations.windows(3) {
             let adjacent = w[1].time.since(w[0].time) <= config.max_sample_gap
                 && w[2].time.since(w[1].time) <= config.max_sample_gap;
             if adjacent && w[0].cell == w[2].cell && w[0].cell != w[1].cell {
-                let key = edge_key(w[0].cell, w[1].cell);
-                *graph.edges.entry(key).or_insert(0) += 1;
+                let (a, _) = graph.touch(w[0].cell);
+                let (b, _) = graph.touch(w[1].cell);
+                graph.note_bounce(a, b);
             }
         }
         graph
@@ -116,7 +129,10 @@ impl MovementGraph {
 
     /// Bounce weight of an edge (0 if absent).
     pub fn edge_weight(&self, a: CellGlobalId, b: CellGlobalId) -> u32 {
-        self.edges.get(&edge_key(a, b)).copied().unwrap_or(0)
+        match (self.cells.get(&a), self.cells.get(&b)) {
+            (Some(sa), Some(sb)) => self.edges.get(&sym_key(sa, sb)).copied().unwrap_or(0),
+            _ => 0,
+        }
     }
 
     /// Number of edges with non-zero weight.
@@ -126,42 +142,82 @@ impl MovementGraph {
 
     /// Total dwell recorded for a cell.
     pub fn dwell(&self, cell: CellGlobalId) -> SimDuration {
-        self.dwell.get(&cell).copied().unwrap_or(SimDuration::ZERO)
+        self.cells
+            .get(&cell)
+            .map(|s| self.dwell[s as usize])
+            .unwrap_or(SimDuration::ZERO)
     }
 
-    /// All cells seen.
+    /// All cells seen, in ascending cell order.
     pub fn cells(&self) -> impl Iterator<Item = CellGlobalId> + '_ {
-        self.dwell.keys().copied()
+        let mut cells: Vec<CellGlobalId> = self.cells.values().to_vec();
+        cells.sort_unstable();
+        cells.into_iter()
     }
 
-    /// Accounts dwell for `cell` (a new cell starts at zero).
-    fn note_dwell(&mut self, cell: CellGlobalId, dt: SimDuration) {
-        *self.dwell.entry(cell).or_insert(SimDuration::ZERO) += dt;
+    /// Number of distinct cells seen.
+    fn cell_count(&self) -> usize {
+        self.dwell.len()
     }
 
-    /// Ensures `cell` exists in the dwell map. Returns `true` when the
-    /// cell is brand new.
-    fn touch(&mut self, cell: CellGlobalId) -> bool {
-        let mut fresh = false;
-        self.dwell.entry(cell).or_insert_with(|| {
-            fresh = true;
-            SimDuration::ZERO
-        });
-        fresh
+    /// The symbol for a cell, if it has been observed.
+    fn symbol_of(&self, cell: CellGlobalId) -> Option<Symbol> {
+        self.cells.get(&cell)
+    }
+
+    /// Interns `cell`, creating its dwell slot on first sight. Returns the
+    /// symbol and whether the cell is brand new.
+    fn touch(&mut self, cell: CellGlobalId) -> (Symbol, bool) {
+        let sym = self.cells.intern(&cell);
+        let fresh = sym as usize == self.dwell.len();
+        if fresh {
+            self.dwell.push(SimDuration::ZERO);
+        }
+        (sym, fresh)
+    }
+
+    /// Accounts dwell for an already-interned cell.
+    fn note_dwell(&mut self, sym: Symbol, dt: SimDuration) {
+        self.dwell[sym as usize] += dt;
     }
 
     /// Adds one bounce to the edge `(a, b)` and returns its new weight.
-    fn note_bounce(&mut self, a: CellGlobalId, b: CellGlobalId) -> u32 {
-        let w = self.edges.entry(edge_key(a, b)).or_insert(0);
+    fn note_bounce(&mut self, a: Symbol, b: Symbol) -> u32 {
+        let w = self.edges.entry(sym_key(a, b)).or_insert(0);
         *w += 1;
         *w
+    }
+
+    /// Dwell per cell, in cell order — the canonical (symbol-free) view
+    /// used for equality.
+    fn dwell_by_cell(&self) -> BTreeMap<CellGlobalId, SimDuration> {
+        self.cells
+            .values()
+            .iter()
+            .zip(&self.dwell)
+            .map(|(c, d)| (*c, *d))
+            .collect()
+    }
+
+    /// Edges keyed by cell-ordered pairs — the canonical view used for
+    /// equality and for the clustering walk.
+    fn edges_by_cell(&self) -> Vec<((CellGlobalId, CellGlobalId), u32)> {
+        self.edges
+            .iter()
+            .map(|(&(sa, sb), &w)| {
+                (
+                    edge_key(*self.cells.resolve(sa), *self.cells.resolve(sb)),
+                    w,
+                )
+            })
+            .collect()
     }
 
     /// Connected components over edges with weight ≥ `min_weight`.
     /// Cells without any qualifying edge form singleton components.
     pub fn components(&self, min_weight: u32) -> Vec<BTreeSet<CellGlobalId>> {
         let mut parent: HashMap<CellGlobalId, CellGlobalId> =
-            self.dwell.keys().map(|c| (*c, *c)).collect();
+            self.cells.values().iter().map(|c| (*c, *c)).collect();
 
         fn find(parent: &mut HashMap<CellGlobalId, CellGlobalId>, x: CellGlobalId) -> CellGlobalId {
             let mut root = x;
@@ -178,7 +234,12 @@ impl MovementGraph {
             root
         }
 
-        for (&(a, b), &w) in &self.edges {
+        // Union in ascending cell-pair order — the same sequence the old
+        // cell-keyed B-tree map iterated in, so the union-find picks the
+        // same roots and the component list comes out in the same order.
+        let mut edges = self.edges_by_cell();
+        edges.sort_unstable_by_key(|&(key, _)| key);
+        for ((a, b), w) in edges {
             if w >= min_weight {
                 parent.entry(a).or_insert(a);
                 parent.entry(b).or_insert(b);
@@ -200,7 +261,31 @@ impl MovementGraph {
     }
 }
 
+impl PartialEq for MovementGraph {
+    /// Semantic equality: same dwell per cell and same weight per cell
+    /// pair, regardless of symbol numbering (two graphs that saw the same
+    /// cells in different orders still compare equal).
+    fn eq(&self, other: &Self) -> bool {
+        if self.dwell.len() != other.dwell.len() || self.edges.len() != other.edges.len() {
+            return false;
+        }
+        let mut a = self.edges_by_cell();
+        let mut b = other.edges_by_cell();
+        a.sort_unstable_by_key(|&(key, _)| key);
+        b.sort_unstable_by_key(|&(key, _)| key);
+        a == b && self.dwell_by_cell() == other.dwell_by_cell()
+    }
+}
+
 fn edge_key(a: CellGlobalId, b: CellGlobalId) -> (CellGlobalId, CellGlobalId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn sym_key(a: Symbol, b: Symbol) -> (Symbol, Symbol) {
     if a <= b {
         (a, b)
     } else {
@@ -461,16 +546,21 @@ pub struct IncrementalGca {
     /// Every observation absorbed so far — kept for the partition-change
     /// replay (and nothing else; steady-state absorbs never re-read it).
     log: Vec<GsmObservation>,
+    /// The interned cell symbol of each log entry, so the replay and the
+    /// resumable scan label observations without re-hashing cell IDs.
+    log_syms: Vec<Symbol>,
     graph: MovementGraph,
-    /// Closed runs in chronological order, labelled by the representative
-    /// (smallest) cell of their component.
-    runs: Vec<Run<CellGlobalId>>,
+    /// Closed runs in chronological order, labelled by the symbol of the
+    /// representative (smallest) cell of their component.
+    runs: Vec<Run<Symbol>>,
     /// The open run / foreign-sample state of the resumable scan.
-    scan: RunScan<CellGlobalId>,
+    scan: RunScan<Symbol>,
     /// How many log entries the run scan has consumed.
     scanned_upto: usize,
-    /// Cell → representative under the partition the scan used.
-    rep_of: HashMap<CellGlobalId, CellGlobalId>,
+    /// Cell symbol → representative symbol under the partition the scan
+    /// used. While the partition is clean this covers every interned cell;
+    /// cells first seen while dirty stay uncovered until the re-derive.
+    rep_of: Vec<Symbol>,
     /// Set when an edge crossed the bounce threshold since the last scan:
     /// the partition must be re-derived before scanning further.
     partition_dirty: bool,
@@ -482,11 +572,12 @@ impl IncrementalGca {
         IncrementalGca {
             config,
             log: Vec::new(),
+            log_syms: Vec::new(),
             graph: MovementGraph::default(),
             runs: Vec::new(),
             scan: RunScan::default(),
             scanned_upto: 0,
-            rep_of: HashMap::new(),
+            rep_of: Vec::new(),
             partition_dirty: false,
         }
     }
@@ -542,28 +633,34 @@ impl IncrementalGca {
         let qualifying = self.config.min_bounce_weight.max(1);
         for obs in suffix {
             let n = self.log.len();
+            let (sym, fresh) = self.graph.touch(obs.cell);
             if n >= 1 {
                 let prev = self.log[n - 1];
+                let prev_sym = self.log_syms[n - 1];
                 let dt = obs.time.since(prev.time).min(self.config.max_sample_gap);
-                self.graph.note_dwell(prev.cell, dt);
+                self.graph.note_dwell(prev_sym, dt);
                 if n >= 2 {
                     let first = self.log[n - 2];
+                    let first_sym = self.log_syms[n - 2];
                     let adjacent = prev.time.since(first.time) <= self.config.max_sample_gap
                         && obs.time.since(prev.time) <= self.config.max_sample_gap;
-                    if adjacent && first.cell == obs.cell && first.cell != prev.cell {
-                        let w = self.graph.note_bounce(first.cell, prev.cell);
+                    if adjacent && first_sym == sym && first_sym != prev_sym {
+                        let w = self.graph.note_bounce(first_sym, prev_sym);
                         if w == qualifying {
                             self.partition_dirty = true;
                         }
                     }
                 }
             }
-            if self.graph.touch(obs.cell) && !self.partition_dirty {
+            if fresh && !self.partition_dirty {
                 // A brand-new cell has no qualifying edges yet, so it is a
                 // singleton component and its representative is itself.
-                self.rep_of.insert(obs.cell, obs.cell);
+                // Fresh symbols are dense, so this stays index-aligned.
+                debug_assert_eq!(self.rep_of.len(), sym as usize);
+                self.rep_of.push(sym);
             }
             self.log.push(*obs);
+            self.log_syms.push(sym);
         }
         self.advance_scan();
     }
@@ -575,11 +672,13 @@ impl IncrementalGca {
             let fresh = self.representatives();
             // Did any already-labelled cell move to a different component?
             // (Components only ever merge, so this is exactly the case in
-            // which past observations would group differently.)
+            // which past observations would group differently. Cells first
+            // seen while dirty sit past `rep_of`'s end and don't vote.)
             let moved = self
                 .rep_of
                 .iter()
-                .any(|(cell, rep)| fresh.get(cell) != Some(rep));
+                .enumerate()
+                .any(|(sym, rep)| fresh[sym] != *rep);
             if moved {
                 self.runs.clear();
                 self.scan = RunScan::default();
@@ -589,21 +688,24 @@ impl IncrementalGca {
             self.partition_dirty = false;
         }
         for i in self.scanned_upto..self.log.len() {
-            let obs = self.log[i];
-            let comp = self.rep_of.get(&obs.cell).copied();
-            self.scan.step(comp, obs.time, &self.config, &mut self.runs);
+            let time = self.log[i].time;
+            let comp = self.rep_of[self.log_syms[i] as usize];
+            self.scan
+                .step(Some(comp), time, &self.config, &mut self.runs);
         }
         self.scanned_upto = self.log.len();
     }
 
-    /// Cell → smallest cell of its component, under the current graph.
-    fn representatives(&self) -> HashMap<CellGlobalId, CellGlobalId> {
+    /// Cell symbol → symbol of the smallest cell of its component, under
+    /// the current graph. Dense over every interned cell.
+    fn representatives(&self) -> Vec<Symbol> {
         let components = self.graph.components(self.config.min_bounce_weight);
-        let mut rep_of = HashMap::with_capacity(self.rep_of.len().max(16));
+        let mut rep_of = vec![0 as Symbol; self.graph.cell_count()];
         for comp in &components {
-            let rep = *comp.first().expect("components are non-empty");
+            let first = *comp.first().expect("components are non-empty");
+            let rep = self.graph.symbol_of(first).expect("interned");
             for cell in comp {
-                rep_of.insert(*cell, rep);
+                rep_of[self.graph.symbol_of(*cell).expect("interned") as usize] = rep;
             }
         }
         rep_of
@@ -614,10 +716,10 @@ impl IncrementalGca {
     /// proportional to the graph and run counts, not to history length.
     pub fn places(&self) -> GcaOutput {
         let components = self.graph.components(self.config.min_bounce_weight);
-        let mut index_of_rep: HashMap<CellGlobalId, usize> =
-            HashMap::with_capacity(components.len());
+        let mut index_of_rep: HashMap<Symbol, usize> = HashMap::with_capacity(components.len());
         for (idx, comp) in components.iter().enumerate() {
-            index_of_rep.insert(*comp.first().expect("components are non-empty"), idx);
+            let first = *comp.first().expect("components are non-empty");
+            index_of_rep.insert(self.graph.symbol_of(first).expect("interned"), idx);
         }
         let mut visits_by_component: BTreeMap<usize, Vec<DiscoveredVisit>> = BTreeMap::new();
         for run in self.runs.iter().chain(self.scan.current.as_ref()) {

@@ -20,6 +20,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use pmware_world::intern::Interner;
 use pmware_world::{Bssid, SimDuration, SimTime, WifiScan};
 use serde::{Deserialize, Serialize};
 
@@ -79,16 +80,72 @@ impl Default for SensLocConfig {
 /// Feed scans in time order with [`update`](SensLocDetector::update); pull
 /// accumulated places with [`into_places`](SensLocDetector::into_places)
 /// (or inspect them anytime with [`places`](SensLocDetector::places)).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SensLocDetector {
     config: SensLocConfig,
     places: Vec<DiscoveredPlace>,
-    /// Inverted index: BSSID → indices into `places` whose signature
-    /// contains that AP. Recognition of a finished stay consults only the
-    /// places sharing at least one AP with the new signature instead of
-    /// scanning every known place.
+    /// BSSID ↔ dense symbol table for the inverted index. Symbols are
+    /// process-local; checkpoints serialize the index keyed by raw BSSIDs
+    /// (see the custom serde below), so the wire shape is unchanged and
+    /// independent of intern order.
+    aps: Interner<Bssid>,
+    /// Inverted index, indexed by AP symbol: indices into `places` whose
+    /// signature contains that AP. Recognition of a finished stay consults
+    /// only the places sharing at least one AP with the new signature
+    /// instead of scanning every known place.
+    signature_index: Vec<Vec<usize>>,
+    state: State,
+}
+
+/// The on-wire shape of a [`SensLocDetector`] — identical to the old
+/// derived form, with the inverted index keyed by raw BSSIDs in ascending
+/// order rather than by process-local symbols.
+#[derive(Serialize, Deserialize)]
+struct SensLocDetectorWire {
+    config: SensLocConfig,
+    places: Vec<DiscoveredPlace>,
     signature_index: BTreeMap<Bssid, Vec<usize>>,
     state: State,
+}
+
+impl Serialize for SensLocDetector {
+    fn to_json_value(&self) -> serde::Value {
+        let signature_index = self
+            .aps
+            .values()
+            .iter()
+            .zip(&self.signature_index)
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .map(|(ap, idxs)| (*ap, idxs.clone()))
+            .collect();
+        SensLocDetectorWire {
+            config: self.config.clone(),
+            places: self.places.clone(),
+            signature_index,
+            state: self.state.clone(),
+        }
+        .to_json_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for SensLocDetector {
+    fn from_json_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let wire = SensLocDetectorWire::from_json_value(value)?;
+        let mut aps = Interner::new();
+        let mut signature_index = Vec::with_capacity(wire.signature_index.len());
+        for (ap, idxs) in wire.signature_index {
+            let sym = aps.intern(&ap);
+            debug_assert_eq!(sym as usize, signature_index.len());
+            signature_index.push(idxs);
+        }
+        Ok(SensLocDetector {
+            config: wire.config,
+            places: wire.places,
+            aps,
+            signature_index,
+            state: wire.state,
+        })
+    }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -154,7 +211,8 @@ impl SensLocDetector {
         SensLocDetector {
             config,
             places: Vec::new(),
-            signature_index: BTreeMap::new(),
+            aps: Interner::new(),
+            signature_index: Vec::new(),
             state: State::Away {
                 prev_scan: None,
                 streak: 0,
@@ -285,6 +343,15 @@ impl SensLocDetector {
         self.places
     }
 
+    /// The mutable index entry for an AP, interning it on first sight.
+    fn index_slot(&mut self, ap: Bssid) -> &mut Vec<usize> {
+        let sym = self.aps.intern(&ap) as usize;
+        if sym == self.signature_index.len() {
+            self.signature_index.push(Vec::new());
+        }
+        &mut self.signature_index[sym]
+    }
+
     fn finish_stay(&mut self, stay: Stay) -> Option<WifiPlaceEvent> {
         let duration = stay.last_inside.since(stay.start);
         if duration < self.config.min_stay {
@@ -308,8 +375,8 @@ impl SensLocDetector {
         let candidates: BTreeSet<usize> = if self.config.match_threshold > 0.0 {
             signature
                 .iter()
-                .filter_map(|ap| self.signature_index.get(ap))
-                .flatten()
+                .filter_map(|ap| self.aps.get(ap))
+                .flat_map(|sym| &self.signature_index[sym as usize])
                 .copied()
                 .collect()
         } else {
@@ -333,7 +400,7 @@ impl SensLocDetector {
                     aps.extend(signature.iter().copied());
                 }
                 for &ap in &signature {
-                    let entry = self.signature_index.entry(ap).or_default();
+                    let entry = self.index_slot(ap);
                     if !entry.contains(&idx) {
                         entry.push(idx);
                     }
@@ -349,7 +416,7 @@ impl SensLocDetector {
                 let idx = self.places.len();
                 let id = DiscoveredPlaceId(idx as u32);
                 for &ap in &signature {
-                    self.signature_index.entry(ap).or_default().push(idx);
+                    self.index_slot(ap).push(idx);
                 }
                 self.places.push(DiscoveredPlace::new(
                     id,

@@ -94,7 +94,7 @@ fn sensloc_discovers_wifi_covered_places() {
     let mut scans: Vec<WifiScan> = Vec::new();
     for step in 0..days * 24 * 30 {
         let t = SimTime::from_seconds(step * 120);
-        scans.push(phone.scan_wifi(t));
+        scans.push(phone.scan_wifi(t).clone());
     }
 
     let places = sensloc::discover_places(&scans, &SensLocConfig::default());

@@ -55,7 +55,7 @@ fn simulate_week(days: u64) -> Streams {
             gsm.push(obs);
         }
         if minute % 5 == 0 {
-            wifi.push(phone.scan_wifi(t));
+            wifi.push(phone.scan_wifi(t).clone());
         }
         if minute % 2 == 0 {
             if let Some(fix) = phone.fix_gps(t) {

@@ -3,14 +3,17 @@
 //!
 //! This is the headline number for the parallel cohort engine: the same
 //! bit-identical study (see `tests/parallel_determinism.rs`) executed at
-//! 1 thread, 4 threads, and one thread per core, with wall-clock measured
-//! around `run_study` only (world/cloud construction is inside the study
-//! and charged to every configuration equally).
+//! each rung of a thread ladder from 1 up to one thread per core, with
+//! wall-clock measured around `run_study` only (world/cloud construction
+//! is inside the study and charged to every configuration equally).
 //!
 //! Usage: `cohort_throughput [--participants N] [--days D] [--repeats R]`
-//! — each configuration runs R times and the fastest wall-clock is kept
-//! (minimum, not mean: we are measuring the engine, not the scheduler's
-//! mood). Results are printed as a table and written to
+//! — after an untimed warm-up pass (binary faulted in, allocator arenas
+//! grown, page cache hot), each configuration runs R times and the
+//! **median** wall-clock is reported. The median is robust against a
+//! one-off scheduler hiccup in either direction, where the minimum
+//! systematically flatters a noisy machine and the mean is hostage to a
+//! single outlier. Results are printed as a table and written to
 //! `BENCH_cohort.json` in the current directory.
 
 use std::time::Instant;
@@ -26,10 +29,35 @@ struct Run {
     throughput: f64,
 }
 
+/// Median of a sample set (mean of the middle pair for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("wall-clock is finite"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Thread ladder: powers of two from 1 up to (and always including) one
+/// thread per core. An oversubscribed rung (more workers than cores)
+/// measures scheduler churn, not the engine, so the ladder is clamped.
+fn thread_ladder(max_threads: usize) -> Vec<usize> {
+    let mut ladder = Vec::new();
+    let mut t = 1;
+    while t < max_threads {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(max_threads);
+    ladder
+}
+
 fn main() {
     let participants: usize = flag("participants", 8);
     let days: u64 = flag("days", 7);
-    let repeats: usize = flag("repeats", 2).max(1);
+    let repeats: usize = flag("repeats", 3).max(1);
 
     let config = |threads| StudyConfig {
         participants,
@@ -38,32 +66,26 @@ fn main() {
         region: RegionProfile::urban_india(),
         threads,
         obs: pmware_obs::Obs::disabled(),
+        offload_batch_days: 0,
     };
 
-    // Ladder entries are clamped to the available cores: an oversubscribed
-    // point (4 workers on a 1-core box) measures scheduler churn, not the
-    // engine, and its sub-1.0 "speedup" reads as a parallelism regression.
     let max_threads = resolve_threads(0);
-    let mut ladder: Vec<usize> = [1usize, 4, max_threads]
-        .into_iter()
-        .filter(|&t| t <= max_threads)
-        .collect();
-    ladder.sort_unstable();
-    ladder.dedup();
+    let ladder = thread_ladder(max_threads);
 
     println!(
         "PERF: cohort throughput — {participants} participants x {days} days, \
-         best of {repeats} run(s), {max_threads} core(s) available\n"
+         median of {repeats} run(s), {max_threads} core(s) available\n"
     );
 
     // Warm-up: fault in the binary, allocator arenas, and page cache once
-    // so the first timed configuration isn't penalised.
+    // so the first timed configuration isn't penalised. The warm-up run
+    // doubles as the determinism reference every timed run must match.
     let reference = run_study(&config(1));
 
     let work = (participants as u64 * days) as f64;
     let mut runs: Vec<Run> = Vec::new();
     for &threads in &ladder {
-        let mut best = f64::INFINITY;
+        let mut samples = Vec::with_capacity(repeats);
         for _ in 0..repeats {
             let started = Instant::now();
             let results = run_study(&config(threads));
@@ -72,12 +94,13 @@ fn main() {
                 results, reference,
                 "study at {threads} thread(s) diverged from sequential"
             );
-            best = best.min(elapsed);
+            samples.push(elapsed);
         }
+        let seconds = median(&mut samples);
         runs.push(Run {
             threads,
-            seconds: best,
-            throughput: work / best,
+            seconds,
+            throughput: work / seconds,
         });
     }
 
@@ -115,6 +138,7 @@ fn render_json(
     out.push_str(&format!("  \"participants\": {participants},\n"));
     out.push_str(&format!("  \"days\": {days},\n"));
     out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str("  \"statistic\": \"median\",\n");
     out.push_str(&format!("  \"cores_available\": {cores},\n"));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {

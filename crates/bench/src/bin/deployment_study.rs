@@ -31,6 +31,7 @@ fn main() {
         days: flag("days", defaults.days),
         threads: flag("threads", defaults.threads),
         obs: obs.clone(),
+        offload_batch_days: flag("offload-batch-days", defaults.offload_batch_days),
         ..defaults
     };
 

@@ -35,6 +35,7 @@ fn config(obs: Obs, participants: usize, days: u64) -> StudyConfig {
         region: RegionProfile::urban_india(),
         threads: 1,
         obs,
+        offload_batch_days: 0,
     }
 }
 

@@ -43,6 +43,13 @@ pub struct StudyConfig {
     /// metrics snapshot and per-participant traces without perturbing any
     /// simulation outcome.
     pub obs: Obs,
+    /// Days of GSM suffix per offload request
+    /// ([`PmsConfig::offload_batch_days`]): `0` (the default) coalesces
+    /// the whole unacknowledged suffix into one batched request per
+    /// maintenance pass; `k ≥ 1` sends one request per `k` days.
+    /// Discovery outcomes are identical at any value — only wire traffic
+    /// changes.
+    pub offload_batch_days: u32,
 }
 
 impl Default for StudyConfig {
@@ -54,6 +61,7 @@ impl Default for StudyConfig {
             region: RegionProfile::urban_india(),
             threads: 1,
             obs: Obs::disabled(),
+            offload_batch_days: 0,
         }
     }
 }
@@ -241,13 +249,10 @@ fn run_participant(
         EnergyModel::htc_explorer(),
         config.seed + 200 + index as u64,
     );
-    let mut pms = PmwareMobileService::new(
-        device,
-        cloud,
-        PmsConfig::for_participant(index),
-        SimTime::EPOCH,
-    )
-    .expect("registration succeeds");
+    let mut pms_config = PmsConfig::for_participant(index);
+    pms_config.offload_batch_days = config.offload_batch_days;
+    let mut pms = PmwareMobileService::new(device, cloud, pms_config, SimTime::EPOCH)
+        .expect("registration succeeds");
     // Zero-padded actor names keep the trace export (sorted by actor)
     // in participant order.
     pms.set_obs(&config.obs.for_actor(&format!("p{index:04}")));
@@ -364,6 +369,7 @@ mod tests {
             region: RegionProfile::urban_india(),
             threads: 1,
             obs: Obs::disabled(),
+            offload_batch_days: 0,
         };
         let results = run_study(&config);
         assert_eq!(results.participants.len(), 4);

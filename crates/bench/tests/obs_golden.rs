@@ -29,6 +29,7 @@ fn config(threads: usize, obs: Obs) -> StudyConfig {
         region: RegionProfile::urban_india(),
         threads,
         obs,
+        offload_batch_days: 0,
     }
 }
 

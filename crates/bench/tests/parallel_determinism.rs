@@ -9,7 +9,11 @@
 //! field, including the floating-point energy totals.
 
 use pmware_bench::deployment::{run_study, StudyConfig};
+use pmware_cloud::{CellDatabase, CloudInstance, SharedCloud};
+use pmware_core::CloudClient;
 use pmware_world::builder::RegionProfile;
+use pmware_world::tower::NetworkLayer;
+use pmware_world::{CellGlobalId, CellId, GsmObservation, Lac, Plmn, SimTime};
 
 fn config(threads: usize) -> StudyConfig {
     StudyConfig {
@@ -19,6 +23,7 @@ fn config(threads: usize) -> StudyConfig {
         region: RegionProfile::urban_india(),
         threads,
         obs: pmware_obs::Obs::disabled(),
+        offload_batch_days: 0,
     }
 }
 
@@ -66,4 +71,107 @@ fn parallel_run_is_identical_with_observability_attached() {
     let obs = pmware_obs::Obs::with_trace(4_096);
     let observed = run_study(&StudyConfig { obs, ..config(4) });
     assert_eq!(plain, observed);
+}
+
+/// The wire-traffic claim behind the batched protocol, measured directly
+/// at the client: a six-day offload backlog costs six requests when sent
+/// per-day but exactly one when coalesced into a delta-compressed batch —
+/// a 6× reduction, comfortably under the ≤1/3 target — and the cloud ends
+/// up with byte-identical places either way (and identical to the plain
+/// unbatched array protocol).
+#[test]
+fn batched_offload_coalesces_backlog_into_one_request() {
+    // Six days of a two-cell oscillation, one observation a minute for an
+    // hour each morning — enough dwell for GCA to mint a place.
+    let log: Vec<GsmObservation> = (0..6u64)
+        .flat_map(|day| {
+            (0..60u64).map(move |minute| GsmObservation {
+                time: SimTime::from_seconds(day * 86_400 + 8 * 3_600 + minute * 60),
+                cell: CellGlobalId {
+                    plmn: Plmn { mcc: 404, mnc: 45 },
+                    lac: Lac(1),
+                    cell: CellId(1 + (minute % 2) as u32),
+                },
+                layer: NetworkLayer::G2,
+                rssi_dbm: -70.0,
+            })
+        })
+        .collect();
+    let day_len = log.len() / 6;
+    let cloud = SharedCloud::new(CloudInstance::new(CellDatabase::new(), 5));
+    let now = SimTime::from_seconds(6 * 86_400);
+
+    // Per-day baseline: the unacknowledged suffix goes out as one request
+    // per day of backlog.
+    let mut per_day =
+        CloudClient::register(cloud.clone(), "imei-day", "day@x.y", now).expect("register");
+    let before = per_day.wire_requests();
+    for day in 0..6 {
+        let chunk = &log[day * day_len..(day + 1) * day_len];
+        per_day
+            .discover_places_batched(chunk, (day * day_len) as u64, now)
+            .expect("per-day offload");
+    }
+    let per_day_requests = per_day.wire_requests() - before;
+    assert_eq!(per_day_requests, 6);
+
+    // Coalesced: the whole backlog in one batched request.
+    let mut coalesced =
+        CloudClient::register(cloud.clone(), "imei-all", "all@x.y", now).expect("register");
+    let before = coalesced.wire_requests();
+    let places = coalesced
+        .discover_places_batched(&log, 0, now)
+        .expect("coalesced offload");
+    let coalesced_requests = coalesced.wire_requests() - before;
+    assert_eq!(coalesced_requests, 1);
+    assert!(
+        coalesced_requests * 3 <= per_day_requests,
+        "coalesced offload must cut wire requests to at most 1/3 of per-day \
+         ({coalesced_requests} vs {per_day_requests})"
+    );
+
+    // Control: the legacy plain-array protocol. All three spellings must
+    // leave the cloud with byte-identical places.
+    let mut plain =
+        CloudClient::register(cloud.clone(), "imei-old", "old@x.y", now).expect("register");
+    let control = plain.discover_places(&log, 0, now).expect("plain offload");
+    assert!(!places.is_empty(), "six days of dwell must mint a place");
+    assert_eq!(places, control);
+    assert_eq!(
+        cloud.places_of(per_day.user()),
+        cloud.places_of(coalesced.user())
+    );
+    assert_eq!(
+        cloud.places_of(coalesced.user()),
+        cloud.places_of(plain.user())
+    );
+}
+
+/// Offload chunking is pure wire phrasing: per-day (`1`), three-day
+/// (`3`) and whole-suffix (`0`, the coalescing default) offloads produce
+/// identical participant outcomes — places, tags, classification,
+/// bit-identical energy — because the cloud absorbs the same observation
+/// stream in the same order regardless of how the suffix is split into
+/// requests. Only the wire-request count may differ, and never downward
+/// for finer chunking.
+#[test]
+fn offload_chunking_never_changes_study_results() {
+    let coalesced = run_study(&config(1));
+    for batch_days in [1u32, 3] {
+        let chunked = run_study(&StudyConfig {
+            offload_batch_days: batch_days,
+            ..config(1)
+        });
+        assert_eq!(
+            coalesced.participants, chunked.participants,
+            "participant outcomes diverged at offload_batch_days={batch_days}"
+        );
+        assert!(
+            chunked.cloud_requests >= coalesced.cloud_requests,
+            "finer chunking cannot send fewer requests \
+             ({} at batch_days={batch_days} vs {} coalesced)",
+            chunked.cloud_requests,
+            coalesced.cloud_requests
+        );
+    }
 }

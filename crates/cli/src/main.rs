@@ -50,6 +50,14 @@ COMMON FLAGS:
     --participants N        Study cohort size    (default 16)
     --granularity g         area|building|room   (default building)
 
+OFFLOAD (study):
+    --offload-batch-days N  Days of GSM suffix per offload request; 0
+                            coalesces the whole unacknowledged suffix
+                            into one batched delta-compressed request
+                            per maintenance pass (default 0). Discovery
+                            outcomes are identical at any value — only
+                            the wire-request count changes.
+
 RATE LIMITING (study):
     --admission-burst N     Per-user token-bucket burst; 0 = off (default 0)
     --admission-refill-s N  Seconds per refilled token     (default 60)
@@ -285,6 +293,9 @@ fn cmd_study(args: &Args) -> Result<(), String> {
         region: region(args)?,
         threads: args.get("threads", 1usize).map_err(|e| e.to_string())?,
         obs: obs.clone(),
+        offload_batch_days: args
+            .get("offload-batch-days", 0u32)
+            .map_err(|e| e.to_string())?,
     };
     let admission = admission(args, config.seed)?;
     if !args.has("quiet") {

@@ -7,6 +7,7 @@
 //! patterns); [`crate::predict`] builds predictors on top.
 
 use pmware_algorithms::signature::DiscoveredPlaceId;
+use pmware_world::intern::Interner;
 use pmware_world::time::DAY;
 use pmware_world::{SimTime, Weekday};
 use serde::{Deserialize, Serialize};
@@ -26,7 +27,14 @@ use crate::profile::MobilityProfile;
 #[derive(Debug, Clone, Default)]
 pub struct ProfileHistory {
     profiles: BTreeMap<u64, MobilityProfile>,
-    arrival_index: BTreeMap<DiscoveredPlaceId, BTreeMap<u64, Vec<SimTime>>>,
+    /// Place ↔ dense symbol table for the arrival index. Symbols are
+    /// process-local derived state: they never serialize (the wire carries
+    /// only the profiles) and never affect query results.
+    place_ids: Interner<DiscoveredPlaceId>,
+    /// Per-place arrivals, indexed by place symbol: profile day → arrivals
+    /// in entry order. A slot left empty by an un-indexed day reads the
+    /// same as an absent place.
+    arrival_index: Vec<BTreeMap<u64, Vec<SimTime>>>,
     generation: u64,
 }
 
@@ -43,18 +51,17 @@ impl ProfileHistory {
         if let Some(old) = self.profiles.insert(day, profile) {
             // Un-index the replaced day's entries before re-indexing.
             for entry in &old.places {
-                if let Some(days) = self.arrival_index.get_mut(&entry.place) {
-                    days.remove(&day);
-                    if days.is_empty() {
-                        self.arrival_index.remove(&entry.place);
-                    }
+                if let Some(sym) = self.place_ids.get(&entry.place) {
+                    self.arrival_index[sym as usize].remove(&day);
                 }
             }
         }
         for entry in &self.profiles[&day].places {
-            self.arrival_index
-                .entry(entry.place)
-                .or_default()
+            let sym = self.place_ids.intern(&entry.place) as usize;
+            if sym == self.arrival_index.len() {
+                self.arrival_index.push(BTreeMap::new());
+            }
+            self.arrival_index[sym]
                 .entry(day)
                 .or_default()
                 .push(entry.arrival);
@@ -93,10 +100,10 @@ impl ProfileHistory {
     /// allocating — reads the arrival index (day ascending, entry order
     /// within a day: the same order a scan over the profiles would yield).
     pub fn arrivals_iter(&self, place: DiscoveredPlaceId) -> impl Iterator<Item = SimTime> + '_ {
-        self.arrival_index
+        self.place_ids
             .get(&place)
             .into_iter()
-            .flat_map(|days| days.values())
+            .flat_map(|sym| self.arrival_index[sym as usize].values())
             .flatten()
             .copied()
     }
@@ -109,9 +116,12 @@ impl ProfileHistory {
 
     /// Total number of visits to a place (index lookup, no allocation).
     pub fn visit_count(&self, place: DiscoveredPlaceId) -> usize {
-        self.arrival_index
-            .get(&place)
-            .map_or(0, |days| days.values().map(Vec::len).sum())
+        self.place_ids.get(&place).map_or(0, |sym| {
+            self.arrival_index[sym as usize]
+                .values()
+                .map(Vec::len)
+                .sum()
+        })
     }
 
     /// Average visits per week ("How frequently user visit shopping

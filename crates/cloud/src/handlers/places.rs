@@ -8,13 +8,21 @@ use serde_json::json;
 
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
+use crate::wire::ObservationBatch;
 
 #[derive(Deserialize)]
 struct DiscoverBody {
+    /// Plain observation array (legacy and low-volume clients).
+    #[serde(default)]
     observations: Vec<GsmObservation>,
-    /// Stream offset of `observations[0]` in the client's full GSM log.
-    /// When present the endpoint is idempotent: already-absorbed prefixes
-    /// are skipped. Absent for legacy (unsequenced) clients.
+    /// Delta-compressed, dictionary-coded alternative to `observations`
+    /// (the batched offload protocol). When present it wins; decoding
+    /// yields the exact observation sequence the client encoded.
+    #[serde(default)]
+    batch: Option<ObservationBatch>,
+    /// Stream offset of the first observation in the client's full GSM
+    /// log. When present the endpoint is idempotent: already-absorbed
+    /// prefixes are skipped. Absent for legacy (unsequenced) clients.
     #[serde(default)]
     start: Option<u64>,
 }
@@ -38,6 +46,16 @@ struct LabelBody {
 /// observation batch into the caller's persistent incremental engine.
 pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<DiscoverBody>(request, |body| {
+        // A batched body decodes to the exact observation sequence the
+        // client encoded, so both spellings feed the same absorb path and
+        // reach the same engine state.
+        let observations = match &body.batch {
+            Some(batch) => match batch.decode() {
+                Ok(observations) => observations,
+                Err(e) => return Response::bad_request(format!("invalid batch: {e}")),
+            },
+            None => body.observations,
+        };
         // Clone the config before taking the user lock (lock order: config
         // lock is never held across a store lock). Absorbing under the
         // user lock only serializes this user's own requests — other users
@@ -53,7 +71,7 @@ pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
                 // skip it; only the unseen tail is folded in. A start past
                 // the watermark means the server lost its engine (config
                 // reset): restart from this batch, which is authoritative.
-                let len = body.observations.len() as u64;
+                let len = observations.len() as u64;
                 if start > store.absorbed_upto || store.gca.is_none() {
                     store.gca = Some(IncrementalGca::new(config));
                     store.absorbed_upto = start;
@@ -65,7 +83,7 @@ pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
                 if (skip as u64) < len {
                     store.absorbed_upto = start + len;
                     let engine = store.gca.as_mut().expect("engine ensured above");
-                    engine.absorb(&body.observations[skip..]);
+                    engine.absorb(&observations[skip..]);
                     store.places = engine.places().places;
                 }
             }
@@ -74,7 +92,7 @@ pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
                 // the absorbed stream means the client restarted or
                 // re-sent history — start over from exactly this batch.
                 // Otherwise fold the suffix into the accumulated engine.
-                let rewinds = match (&store.gca, body.observations.first()) {
+                let rewinds = match (&store.gca, observations.first()) {
                     (Some(engine), Some(first)) => {
                         engine.last_time().is_some_and(|t| first.time < t)
                     }
@@ -84,9 +102,9 @@ pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
                     store.gca = Some(IncrementalGca::new(config));
                     store.absorbed_upto = 0;
                 }
-                store.absorbed_upto += body.observations.len() as u64;
+                store.absorbed_upto += observations.len() as u64;
                 let engine = store.gca.as_mut().expect("engine ensured above");
-                engine.absorb(&body.observations);
+                engine.absorb(&observations);
                 store.places = engine.places().places;
             }
         }

@@ -49,6 +49,7 @@ pub mod profile;
 pub mod router;
 mod state;
 pub mod transport;
+pub mod wire;
 
 pub use admission::{
     Admission, AdmissionConfig, AdmissionControl, RateBudget, STATUS_RATE_LIMITED,

@@ -19,6 +19,7 @@
 
 use pmware_algorithms::route::CanonicalRoute;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
+use pmware_cloud::wire::ObservationBatch;
 use pmware_cloud::{
     CloudEndpoint, MobilityProfile, Request, Response, UserId, STATUS_BUDGET_EXHAUSTED,
     STATUS_RATE_LIMITED, STATUS_TIMEOUT,
@@ -370,11 +371,36 @@ impl CloudClient {
         start: u64,
         now: SimTime,
     ) -> Result<Vec<DiscoveredPlace>, PmsError> {
-        let request = Request::post(
-            "/api/v1/places/discover",
-            json!({ "observations": observations, "start": start }),
-        )
-        .with_token(&self.token);
+        self.discover_request(json!({ "observations": observations, "start": start }), now)
+    }
+
+    /// [`discover_places`](Self::discover_places) over the batched wire
+    /// protocol: the suffix ships as one delta-compressed,
+    /// dictionary-coded [`ObservationBatch`] instead of a plain array.
+    /// The server decodes to the identical observation sequence, so the
+    /// resulting cloud state (and reply) is byte-for-byte the same —
+    /// only the wire spelling is smaller. `start` keeps its idempotency
+    /// role unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmsError::Cloud`] / [`PmsError::Decode`] on failure.
+    pub fn discover_places_batched(
+        &mut self,
+        observations: &[GsmObservation],
+        start: u64,
+        now: SimTime,
+    ) -> Result<Vec<DiscoveredPlace>, PmsError> {
+        let batch = ObservationBatch::encode(observations);
+        self.discover_request(json!({ "batch": batch, "start": start }), now)
+    }
+
+    fn discover_request(
+        &mut self,
+        body: serde_json::Value,
+        now: SimTime,
+    ) -> Result<Vec<DiscoveredPlace>, PmsError> {
+        let request = Request::post("/api/v1/places/discover", body).with_token(&self.token);
         let response = self.send_with_retry(&request, now, RequestClass::Offload);
         let response = Self::check(&request, response)?;
         #[derive(Deserialize)]

@@ -53,3 +53,7 @@ pub use intents::{Intent, IntentBus, IntentFilter};
 pub use pms::{PmsConfig, PmsReport, PmwareMobileService};
 pub use preferences::UserPreferences;
 pub use requirements::{AppRequirement, Granularity, RouteAccuracy};
+
+// The identifier interner lives in `pmware-world` (below every consumer in
+// the dependency graph) but is part of the middleware's public surface.
+pub use pmware_world::intern::{Interner, Symbol};

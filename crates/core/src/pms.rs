@@ -23,7 +23,7 @@ use pmware_cloud::CloudEndpoint;
 use pmware_device::{Device, MovementDetector, PositionProvider};
 use pmware_geo::GeoPoint;
 use pmware_obs::{Counter, FieldValue, Histogram, Obs};
-use pmware_world::{MotionState, SimDuration, SimTime};
+use pmware_world::{GsmObservation, MotionState, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use serde_json::json;
 
@@ -74,6 +74,12 @@ pub struct PmsConfig {
     /// stops spending after this many sends (retries included) and the
     /// unfinished work is retried at the next pass.
     pub maintenance_budget: u32,
+    /// Days of GSM suffix per offload request. `0` (the default)
+    /// coalesces the whole unacknowledged suffix — however many days an
+    /// outage let pile up — into a single batched request; `k ≥ 1`
+    /// splits the suffix at day boundaries into one request per `k`
+    /// days (`1` is the per-day baseline the batched protocol replaces).
+    pub offload_batch_days: u32,
 }
 
 impl PmsConfig {
@@ -90,6 +96,7 @@ impl PmsConfig {
             token_refresh_margin: SimDuration::from_hours(2),
             movement_window: 3,
             maintenance_budget: 64,
+            offload_batch_days: 0,
         }
     }
 }
@@ -120,8 +127,40 @@ pub struct PmsCounters {
 const TRIGGER_LABELS: [&str; 5] = ["accel", "gsm", "wifi", "gps", "bluetooth"];
 
 /// Bucket bounds for the GCA offload batch-size histogram (observations
-/// shipped per nightly pass).
-const GCA_BATCH_BOUNDS: [u64; 7] = [1, 4, 16, 64, 256, 1024, 4096];
+/// shipped per offload request). At one GSM sample a minute, a single
+/// day is ~1.4k observations, so a multi-day batched offload after an
+/// outage lands in the tens of thousands — the upper buckets keep week-
+/// and month-sized coalesced suffixes distinguishable instead of lumping
+/// everything past 4k into the overflow bucket.
+const GCA_BATCH_BOUNDS: [u64; 10] = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144];
+
+/// Splits a time-ordered GSM suffix at day boundaries into chunks of at
+/// most `batch_days` distinct days each, returning cumulative end
+/// offsets (the last is always `suffix.len()`). `batch_days == 0`
+/// coalesces everything into one chunk. An empty suffix still yields one
+/// empty chunk: the nightly offload must round-trip regardless, because
+/// the reply is what refreshes the authoritative place set.
+fn offload_chunk_ends(suffix: &[GsmObservation], batch_days: u32) -> Vec<usize> {
+    if batch_days == 0 || suffix.is_empty() {
+        return vec![suffix.len()];
+    }
+    let mut ends = Vec::new();
+    let mut days_in_chunk = 0u32;
+    let mut current_day = None;
+    for (i, obs) in suffix.iter().enumerate() {
+        let day = obs.time.day();
+        if current_day != Some(day) {
+            current_day = Some(day);
+            days_in_chunk += 1;
+            if days_in_chunk > batch_days {
+                ends.push(i);
+                days_in_chunk = 1;
+            }
+        }
+    }
+    ends.push(suffix.len());
+    ends
+}
 
 /// Pre-resolved PMS metric handles. The service always carries a private
 /// registry (so [`PmwareMobileService::counters`] keeps working with no
@@ -591,7 +630,7 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
 
         if decision.wifi {
             let scan = self.device.scan_wifi(t);
-            let events = self.engine.on_wifi(&scan);
+            let events = self.engine.on_wifi(scan);
             self.handle_wifi_events(&events);
         }
 
@@ -856,32 +895,18 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         // full accumulated place set, so every reply is authoritative —
         // there is no longer a periodic full-log compaction (and no
         // suffix-replacement data loss between compactions).
-        let observations = &self.engine.gsm_log()[self.offloaded_upto..];
-        self.metrics
-            .gca_batch_observations
-            .observe(observations.len() as u64);
-        let places: Vec<DiscoveredPlace> =
-            match self
-                .client
-                .discover_places(observations, self.offloaded_upto as u64, t)
-            {
-                Ok(places) => {
-                    // Advance the watermark only once the cloud has the
-                    // data: after an outage the next offload re-sends the
-                    // whole unacknowledged suffix.
-                    self.offloaded_upto = self.engine.gsm_log().len();
-                    places
-                }
-                Err(_) => {
-                    self.metrics.gca_local_fallbacks.inc();
-                    self.metrics.obs.event(t, "pms.gca_local_fallback", &[]);
-                    // The engine's incremental view covers the *entire*
-                    // local history, so the fallback is just as
-                    // authoritative as a cloud reply — and O(places), not
-                    // O(log).
-                    self.engine.local_discover().places
-                }
-            };
+        let places: Vec<DiscoveredPlace> = match self.offload_suffix(t) {
+            Ok(places) => places,
+            Err(_) => {
+                self.metrics.gca_local_fallbacks.inc();
+                self.metrics.obs.event(t, "pms.gca_local_fallback", &[]);
+                // The engine's incremental view covers the *entire*
+                // local history, so the fallback is just as
+                // authoritative as a cloud reply — and O(places), not
+                // O(log).
+                self.engine.local_discover().places
+            }
+        };
         let recon = self.registry.reconcile_with_mode(
             &places,
             t,
@@ -987,6 +1012,36 @@ impl<'w, P: PositionProvider> PmwareMobileService<'w, P> {
         );
     }
 
+    /// Ships the unacknowledged GSM suffix through the batched discover
+    /// protocol, one delta-compressed request per
+    /// [`PmsConfig::offload_batch_days`]-day chunk (one request total at
+    /// the coalescing default). The watermark advances per acknowledged
+    /// chunk, so a pass cut short by an outage or the wire budget resumes
+    /// exactly where the cloud's acknowledgements stopped. Every reply
+    /// carries the full accumulated place set; the last one wins.
+    fn offload_suffix(&mut self, t: SimTime) -> Result<Vec<DiscoveredPlace>, PmsError> {
+        let base = self.offloaded_upto;
+        let ends = offload_chunk_ends(
+            &self.engine.gsm_log()[base..],
+            self.config.offload_batch_days,
+        );
+        let mut places = Vec::new();
+        for end in ends.into_iter().map(|e| base + e) {
+            let chunk = &self.engine.gsm_log()[self.offloaded_upto..end];
+            self.metrics
+                .gca_batch_observations
+                .observe(chunk.len() as u64);
+            places = self
+                .client
+                .discover_places_batched(chunk, self.offloaded_upto as u64, t)?;
+            // Advance the watermark only once the cloud has the data:
+            // after a failure the next offload re-sends everything past
+            // the last acknowledged chunk.
+            self.offloaded_upto = end;
+        }
+        Ok(places)
+    }
+
     /// Ships the unacknowledged contact buffer, tagged with its stream
     /// offset, and drains exactly the prefix the cloud acknowledges. A
     /// failed sync keeps the buffer intact; a duplicated or re-sent buffer
@@ -1041,5 +1096,44 @@ impl PmsReport {
     fn with_intents(mut self, delivered: u64) -> Self {
         self.intents_delivered = delivered;
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmware_world::tower::NetworkLayer;
+    use pmware_world::{CellGlobalId, CellId, Lac, Plmn};
+
+    fn obs_on_day(day: u64) -> GsmObservation {
+        GsmObservation {
+            time: SimTime::from_seconds(day * 86_400 + 3_600),
+            cell: CellGlobalId {
+                plmn: Plmn { mcc: 404, mnc: 45 },
+                lac: Lac(1),
+                cell: CellId(1),
+            },
+            layer: NetworkLayer::G2,
+            rssi_dbm: -70.0,
+        }
+    }
+
+    #[test]
+    fn zero_batch_days_coalesces_everything() {
+        let suffix: Vec<_> = (0..5).flat_map(|d| vec![obs_on_day(d); 3]).collect();
+        assert_eq!(offload_chunk_ends(&suffix, 0), vec![15]);
+        assert_eq!(offload_chunk_ends(&[], 0), vec![0]);
+        assert_eq!(offload_chunk_ends(&[], 3), vec![0]);
+    }
+
+    #[test]
+    fn per_day_chunking_splits_at_day_boundaries() {
+        let mut suffix = vec![obs_on_day(0); 2];
+        suffix.extend(vec![obs_on_day(1); 3]);
+        suffix.extend(vec![obs_on_day(2); 1]);
+        assert_eq!(offload_chunk_ends(&suffix, 1), vec![2, 5, 6]);
+        assert_eq!(offload_chunk_ends(&suffix, 2), vec![5, 6]);
+        assert_eq!(offload_chunk_ends(&suffix, 3), vec![6]);
+        assert_eq!(offload_chunk_ends(&suffix, 9), vec![6]);
     }
 }

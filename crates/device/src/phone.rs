@@ -4,7 +4,7 @@ use pmware_geo::{GeoPoint, Meters};
 use pmware_mobility::Itinerary;
 use pmware_obs::{Counter, Obs};
 use pmware_world::ids::TowerId;
-use pmware_world::radio::{GsmScratch, RadioEnvironment};
+use pmware_world::radio::{GsmScratch, RadioEnvironment, WifiScratch};
 use pmware_world::{GpsFix, GsmObservation, MotionState, SimTime, WifiScan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -143,6 +143,8 @@ pub struct Device<'w, P> {
     serving: Option<TowerId>,
     billed_until: SimTime,
     gsm_scratch: GsmScratch,
+    wifi_scratch: WifiScratch,
+    wifi_scan: WifiScan,
     metrics: DeviceMetrics,
 }
 
@@ -159,6 +161,11 @@ impl<'w, P: PositionProvider> Device<'w, P> {
             serving: None,
             billed_until: SimTime::EPOCH,
             gsm_scratch: GsmScratch::default(),
+            wifi_scratch: WifiScratch::default(),
+            wifi_scan: WifiScan {
+                time: SimTime::EPOCH,
+                readings: Vec::new(),
+            },
             metrics: DeviceMetrics::default(),
         }
     }
@@ -248,10 +255,21 @@ impl<'w, P: PositionProvider> Device<'w, P> {
     }
 
     /// Performs a WiFi scan. Costs one scan of energy.
-    pub fn scan_wifi(&mut self, t: SimTime) -> WifiScan {
+    ///
+    /// The returned scan borrows a buffer owned by the device and is
+    /// overwritten by the next call; clone it to keep readings across
+    /// scans.
+    pub fn scan_wifi(&mut self, t: SimTime) -> &WifiScan {
         self.drain_sample(Interface::WifiScan);
         let pos = self.provider.position_at(t);
-        self.env.scan_wifi(pos, t, &mut self.rng)
+        self.env.scan_wifi_with(
+            &mut self.wifi_scratch,
+            &mut self.wifi_scan,
+            pos,
+            t,
+            &mut self.rng,
+        );
+        &self.wifi_scan
     }
 
     /// Attempts a GPS fix. Costs one fix of energy even when no fix is

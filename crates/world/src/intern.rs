@@ -1,0 +1,146 @@
+//! Deterministic string-free interning for hot-path identifiers.
+//!
+//! The discovery pipeline hashes and compares 12-byte [`CellGlobalId`]s and
+//! 8-byte [`Bssid`]s millions of times per simulated cohort: every GSM
+//! sample touches the movement graph, every WiFi scan probes the SensLoc
+//! signature index. An [`Interner`] maps each distinct identifier to a dense
+//! `u32` symbol so those structures can use `Vec` indexing and cheap integer
+//! hashing instead of map lookups on composite keys.
+//!
+//! # Determinism rules
+//!
+//! * Symbols are assigned in **first-seen order** and never reused: the
+//!   *n*-th distinct value interned gets symbol *n − 1*. Two runs that
+//!   observe the same identifier stream assign identical symbols.
+//! * The table is **append-only** — `resolve` never invalidates.
+//! * Symbols are process-local bookkeeping and must never leak onto the
+//!   wire or into checkpoints: serialization resolves symbols back to the
+//!   original identifiers so on-disk and on-wire shapes stay keyed by the
+//!   real-world IDs (and stay independent of arrival order).
+//!
+//! [`CellGlobalId`]: crate::ids::CellGlobalId
+//! [`Bssid`]: crate::ids::Bssid
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A dense symbol handed out by an [`Interner`].
+pub type Symbol = u32;
+
+/// An append-only table mapping values to dense [`Symbol`]s.
+///
+/// Symbols are assigned by first-seen order, making them deterministic for
+/// a deterministic input stream — see the module docs for the rules.
+#[derive(Debug, Clone)]
+pub struct Interner<T> {
+    table: Vec<T>,
+    index: HashMap<T, Symbol>,
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            table: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Interner<T> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            table: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Returns the symbol for `value`, assigning the next dense symbol if
+    /// it has not been seen before.
+    pub fn intern(&mut self, value: &T) -> Symbol {
+        if let Some(&sym) = self.index.get(value) {
+            return sym;
+        }
+        let sym = Symbol::try_from(self.table.len()).expect("interner overflow");
+        self.table.push(value.clone());
+        self.index.insert(value.clone(), sym);
+        sym
+    }
+
+    /// The symbol for `value` if it has been interned.
+    pub fn get(&self, value: &T) -> Option<Symbol> {
+        self.index.get(value).copied()
+    }
+
+    /// The value behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &T {
+        &self.table[sym as usize]
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// All interned values in symbol order (symbol `i` is `values()[i]`).
+    pub fn values(&self) -> &[T] {
+        &self.table
+    }
+}
+
+impl<T: Clone + Eq + Hash> PartialEq for Interner<T> {
+    /// Two interners are equal when they assigned the same symbols to the
+    /// same values — i.e. their first-seen orders match. (The lookup index
+    /// is derived state and does not participate.)
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table
+    }
+}
+
+impl<T: Clone + Eq + Hash> Eq for Interner<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Bssid;
+
+    #[test]
+    fn first_seen_order_is_dense_and_stable() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.intern(&Bssid(30)), 0);
+        assert_eq!(i.intern(&Bssid(10)), 1);
+        assert_eq!(i.intern(&Bssid(30)), 0, "re-intern returns the same symbol");
+        assert_eq!(i.intern(&Bssid(20)), 2);
+        assert_eq!(i.len(), 3);
+        assert_eq!(*i.resolve(1), Bssid(10));
+        assert_eq!(i.get(&Bssid(20)), Some(2));
+        assert_eq!(i.get(&Bssid(99)), None);
+        assert_eq!(i.values(), &[Bssid(30), Bssid(10), Bssid(20)]);
+    }
+
+    #[test]
+    fn equality_is_first_seen_order() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        a.intern(&1u32);
+        a.intern(&2u32);
+        b.intern(&1u32);
+        assert_ne!(a, b);
+        b.intern(&2u32);
+        assert_eq!(a, b);
+        let mut c = Interner::new();
+        c.intern(&2u32);
+        c.intern(&1u32);
+        assert_ne!(a, c, "same values, different order");
+    }
+}

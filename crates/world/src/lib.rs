@@ -35,6 +35,7 @@
 
 pub mod builder;
 pub mod ids;
+pub mod intern;
 pub mod observation;
 pub mod place;
 pub mod radio;
@@ -47,6 +48,7 @@ pub mod wifi;
 mod world;
 
 pub use ids::{ApId, Bssid, CellGlobalId, CellId, Lac, PlaceId, Plmn, TowerId};
+pub use intern::{Interner, Symbol};
 pub use observation::{GpsFix, GsmObservation, MotionState, WifiReading, WifiScan};
 pub use place::{PlaceCategory, WorldPlace};
 pub use time::{SimDuration, SimTime, Weekday};

@@ -18,7 +18,7 @@ use pmware_geo::{GeoPoint, Meters};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::ids::TowerId;
+use crate::ids::{Bssid, TowerId};
 use crate::observation::{GpsFix, GsmObservation, WifiReading, WifiScan};
 use crate::time::SimTime;
 use crate::world::World;
@@ -85,6 +85,19 @@ impl Default for RadioConfig {
 #[derive(Debug, Default, Clone)]
 pub struct GsmScratch {
     candidates: Vec<(TowerId, f64)>,
+}
+
+/// Reusable structure-of-arrays buffer for
+/// [`RadioEnvironment::scan_wifi_with`]. Detected APs accumulate into
+/// parallel BSSID/RSSI columns and a permutation array is sorted instead
+/// of the readings themselves; reused across sim minutes, a scan performs
+/// no heap allocation once the columns have warmed up to the local AP
+/// density (the same discipline as [`GsmScratch`]).
+#[derive(Debug, Default, Clone)]
+pub struct WifiScratch {
+    bssids: Vec<Bssid>,
+    rssi_dbm: Vec<f64>,
+    order: Vec<u32>,
 }
 
 /// The propagation model bound to a world.
@@ -278,7 +291,36 @@ impl<'w> RadioEnvironment<'w> {
         time: SimTime,
         rng: &mut R,
     ) -> WifiScan {
-        let mut readings: Vec<WifiReading> = Vec::new();
+        let mut scratch = WifiScratch::default();
+        let mut out = WifiScan {
+            time,
+            readings: Vec::new(),
+        };
+        self.scan_wifi_with(&mut scratch, &mut out, position, time, rng);
+        out
+    }
+
+    /// [`scan_wifi`](Self::scan_wifi) into caller-owned buffers: the
+    /// detection pass fills the scratch's SoA columns (identical RNG draw
+    /// order to the allocating variant), a stable sort on the permutation
+    /// array orders readings strongest-first (the same comparator, hence
+    /// the same permutation, as sorting the readings directly), and `out`
+    /// is rewritten in place.
+    pub fn scan_wifi_with<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut WifiScratch,
+        out: &mut WifiScan,
+        position: GeoPoint,
+        time: SimTime,
+        rng: &mut R,
+    ) {
+        let WifiScratch {
+            bssids,
+            rssi_dbm,
+            order,
+        } = scratch;
+        bssids.clear();
+        rssi_dbm.clear();
         // 1.2× the largest AP range is the outer detection limit; use a
         // fixed generous search radius instead of tracking the max.
         let search = Meters::new(250.0);
@@ -288,14 +330,23 @@ impl<'w> RadioEnvironment<'w> {
                 if p > 0.0 && rng.gen_bool(p) {
                     let rssi = ap.mean_rssi_at(distance)
                         + gaussian(rng, 0.0, self.config.wifi_rssi_sigma_db);
-                    readings.push(WifiReading {
-                        bssid: ap.bssid(),
-                        rssi_dbm: rssi,
-                    });
+                    bssids.push(ap.bssid());
+                    rssi_dbm.push(rssi);
                 }
             });
-        readings.sort_by(|a, b| b.rssi_dbm.partial_cmp(&a.rssi_dbm).expect("rssi is finite"));
-        WifiScan { time, readings }
+        order.clear();
+        order.extend(0..bssids.len() as u32);
+        order.sort_by(|&a, &b| {
+            rssi_dbm[b as usize]
+                .partial_cmp(&rssi_dbm[a as usize])
+                .expect("rssi is finite")
+        });
+        out.time = time;
+        out.readings.clear();
+        out.readings.extend(order.iter().map(|&i| WifiReading {
+            bssid: bssids[i as usize],
+            rssi_dbm: rssi_dbm[i as usize],
+        }));
     }
 
     /// Attempts a GPS fix at `position`.
