@@ -1,14 +1,15 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke obs
+.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke bench-wire lint-wire obs
 
 # The full pre-merge gate: release build, the whole test suite, a
 # warning-free clippy pass over every target in the workspace, a
 # formatting check, the chaos gate (fault-injection matrix + soak), the
 # observability gate (byte-identical golden exports + zero-perturbation
-# overhead bench), and a tiny-config throughput smoke run that fails if
-# parallel and sequential studies ever diverge.
-verify: build test clippy fmt chaos obs bench-smoke
+# overhead bench), a tiny-config throughput smoke run that fails if
+# parallel and sequential studies ever diverge, and the wire lint that
+# keeps untyped JSON from creeping back onto the hot path.
+verify: build test clippy fmt lint-wire chaos obs bench-smoke
 
 build:
 	cargo build --release --workspace
@@ -51,6 +52,22 @@ bench-smoke:
 	tmp=$$(mktemp -d) && cd $$tmp && \
 		$(CURDIR)/target/release/cohort_throughput --participants 2 --days 2 --repeats 1 && \
 		rm -rf $$tmp
+
+# Per-endpoint cost of the typed in-process path vs the marshalled JSON
+# wire path; writes BENCH_wire.json in the repo root.
+bench-wire:
+	cargo run --release -p pmware-bench --bin wire_micro
+
+# The typed-wire-path regression gate: handlers receive typed Payload
+# bodies and the client builds typed payloads, so neither may mention
+# `json!(` or `serde_json::Value` (`#[cfg(test)]` code in the client is
+# exempt — the lint strips everything from its `mod tests` down).
+lint-wire:
+	@! grep -rn 'json!(\|serde_json::Value' crates/cloud/src/handlers/ \
+		|| { echo 'lint-wire: untyped JSON crept back into crates/cloud/src/handlers/'; exit 1; }
+	@! sed -n '1,/^mod tests {/p' crates/core/src/cloud_client.rs | grep -n 'json!(' \
+		|| { echo 'lint-wire: json! crept back into the CloudClient request builders'; exit 1; }
+	@echo 'lint-wire: ok'
 
 # The observability gate: golden determinism tests (same seed => byte-
 # identical metrics snapshot and trace JSONL, at any thread count; obs

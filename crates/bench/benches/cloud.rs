@@ -23,7 +23,7 @@ fn registered_cloud() -> (CloudInstance, String) {
         ),
         SimTime::EPOCH,
     );
-    let token = resp.body["token"].as_str().unwrap().to_owned();
+    let token = resp.json()["token"].as_str().unwrap().to_owned();
     (cloud, token)
 }
 
@@ -145,7 +145,7 @@ fn bench_geolocate(c: &mut Criterion) {
         ),
         SimTime::EPOCH,
     );
-    let token = resp.body["token"].as_str().unwrap().to_owned();
+    let token = resp.json()["token"].as_str().unwrap().to_owned();
     let tower = world.towers()[0].cell();
     let req = Request::post(
         "/api/v1/misc/geolocate",

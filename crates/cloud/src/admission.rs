@@ -29,7 +29,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use parking_lot::Mutex;
 use pmware_world::{SimDuration, SimTime};
-use serde_json::json;
 
 use crate::api::Response;
 use crate::auth::UserId;
@@ -265,11 +264,10 @@ impl AdmissionControl {
     pub(crate) fn deny_response(class: RateClass, retry_after: SimDuration) -> Response {
         Response {
             status: STATUS_RATE_LIMITED,
-            body: json!({
-                "error": "rate limited",
-                "class": class.label(),
-                "retry_after_s": retry_after.as_seconds(),
-            }),
+            body: crate::payload::Payload::RateLimited {
+                class,
+                retry_after_s: retry_after.as_seconds(),
+            },
         }
     }
 }

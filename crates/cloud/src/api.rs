@@ -2,14 +2,20 @@
 //!
 //! The paper's cloud instance "exposes REST based APIs which are used by
 //! PMS to invoke cloud-hosted modules" (§2.3.3). This module models that
-//! boundary faithfully — method + path + bearer token + JSON body — while
-//! staying in-process. Bodies are real JSON (`serde_json::Value`) and are
-//! additionally renderable to wire bytes, so the marshalling cost and
-//! shape match what the Django service saw.
+//! boundary faithfully — method + path + bearer token + body — while
+//! staying in-process. Bodies are typed [`Payload`] values; the JSON
+//! spelling the Django service saw is produced lazily by
+//! [`Request::wire_bytes`]/[`Response::to_bytes`] and only at the fault
+//! boundary, in exports, and in golden tests (see the [`crate::payload`]
+//! module docs for the byte-identity contract).
+
+use std::sync::OnceLock;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize};
 use serde_json::Value;
+
+use crate::payload::Payload;
 
 /// HTTP-style method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -31,7 +37,12 @@ impl Method {
 }
 
 /// A request to the cloud instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Treat a request as immutable once built: [`Request::wire_bytes`]
+/// caches the first encoding (the encode-once retry seam), so mutate
+/// fields only before the request first hits the wire — the builders
+/// ([`Request::with_token`]) reset the cache for you.
+#[derive(Debug, Clone)]
 pub struct Request {
     /// Method.
     pub method: Method,
@@ -39,8 +50,10 @@ pub struct Request {
     pub path: String,
     /// Bearer token, when authenticated.
     pub token: Option<String>,
-    /// JSON body (`Value::Null` for body-less requests).
-    pub body: Value,
+    /// Typed body ([`Payload::Empty`] for body-less requests).
+    pub body: Payload,
+    /// Lazily rendered wire bytes; retries reuse the first encoding.
+    wire: OnceLock<Bytes>,
 }
 
 impl Request {
@@ -50,32 +63,44 @@ impl Request {
             method: Method::Get,
             path: path.into(),
             token: None,
-            body: Value::Null,
+            body: Payload::Empty,
+            wire: OnceLock::new(),
         }
     }
 
-    /// A POST request with a JSON body.
-    pub fn post(path: impl Into<String>, body: Value) -> Request {
+    /// A POST request with a typed (or raw-JSON) body.
+    pub fn post(path: impl Into<String>, body: impl Into<Payload>) -> Request {
         Request {
             method: Method::Post,
             path: path.into(),
             token: None,
-            body,
+            body: body.into(),
+            wire: OnceLock::new(),
         }
     }
 
     /// Attaches a bearer token.
     pub fn with_token(mut self, token: impl Into<String>) -> Request {
         self.token = Some(token.into());
+        self.wire = OnceLock::new();
         self
+    }
+
+    /// The request's wire bytes (JSON envelope), rendered once and
+    /// cached — every retry attempt at the fault boundary reuses the
+    /// first encoding instead of re-serialising the body.
+    pub fn wire_bytes(&self) -> &Bytes {
+        self.wire
+            .get_or_init(|| Bytes::from(serde_json::to_vec(self).expect("request is serializable")))
     }
 
     /// Serialises the request to wire bytes (JSON envelope).
     pub fn to_bytes(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("request is serializable"))
+        self.wire_bytes().clone()
     }
 
-    /// Parses a request from wire bytes.
+    /// Parses a request from wire bytes, reconstructing the typed body
+    /// via the route table where the spelling matches exactly.
     ///
     /// # Errors
     ///
@@ -85,19 +110,77 @@ impl Request {
     }
 }
 
+/// Wire equality: the byte cache is ignored (it is derived state).
+impl PartialEq for Request {
+    fn eq(&self, other: &Request) -> bool {
+        self.method == other.method
+            && self.path == other.path
+            && self.token == other.token
+            && self.body == other.body
+    }
+}
+
+impl Serialize for Request {
+    fn to_json_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("body".to_owned(), self.body.to_json());
+        map.insert("method".to_owned(), self.method.to_json_value());
+        map.insert("path".to_owned(), Value::String(self.path.clone()));
+        map.insert(
+            "token".to_owned(),
+            match &self.token {
+                Some(token) => Value::String(token.clone()),
+                None => Value::Null,
+            },
+        );
+        Value::Object(map)
+    }
+}
+
+impl<'de> Deserialize<'de> for Request {
+    fn from_json_value(value: &Value) -> Result<Request, DeError> {
+        let Value::Object(map) = value else {
+            return Err(DeError::custom("expected an object for `Request`"));
+        };
+        let method = match map.get("method") {
+            Some(v) => Method::from_json_value(v),
+            None => Err(DeError::missing_field("Request", "method")),
+        }
+        .map_err(|e| e.context_field("Request", "method"))?;
+        let path = match map.get("path") {
+            Some(v) => String::from_json_value(v),
+            None => Err(DeError::missing_field("Request", "path")),
+        }
+        .map_err(|e| e.context_field("Request", "path"))?;
+        let token = Option::<String>::from_json_value(map.get("token").unwrap_or(&Value::Null))
+            .map_err(|e| e.context_field("Request", "token"))?;
+        let body = Payload::from_json(method, &path, map.get("body").unwrap_or(&Value::Null));
+        Ok(Request {
+            method,
+            path,
+            token,
+            body,
+            wire: OnceLock::new(),
+        })
+    }
+}
+
 /// A response from the cloud instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// HTTP-style status code.
     pub status: u16,
-    /// JSON body.
-    pub body: Value,
+    /// Typed body.
+    pub body: Payload,
 }
 
 impl Response {
     /// 200 with a body.
-    pub fn ok(body: Value) -> Response {
-        Response { status: 200, body }
+    pub fn ok(body: impl Into<Payload>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+        }
     }
 
     /// 400 with an error message.
@@ -119,17 +202,22 @@ impl Response {
     /// methods the path does accept (the HTTP `Allow` header, carried in
     /// the body here).
     pub fn method_not_allowed(allow: &[Method]) -> Response {
-        let allow: Vec<&str> = allow.iter().map(|m| m.as_str()).collect();
         Response {
             status: 405,
-            body: serde_json::json!({ "error": "method not allowed", "allow": allow }),
+            body: Payload::MethodNotAllowed {
+                allow: allow.to_vec(),
+            },
         }
     }
 
-    fn error(status: u16, message: impl Into<String>) -> Response {
+    /// An arbitrary-status error response with the canonical
+    /// `{"error": message}` body.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
         Response {
             status,
-            body: serde_json::json!({ "error": message.into() }),
+            body: Payload::Error {
+                message: message.into(),
+            },
         }
     }
 
@@ -138,18 +226,73 @@ impl Response {
         (200..300).contains(&self.status)
     }
 
-    /// Deserialises the body into a typed value.
+    /// Deserialises the body into a typed value. The JSON escape hatch
+    /// parses **by reference** — the body is no longer cloned per call.
     ///
     /// # Errors
     ///
     /// Returns a `serde_json::Error` when the body does not match `T`.
     pub fn parse<T: serde::de::DeserializeOwned>(&self) -> Result<T, serde_json::Error> {
-        serde_json::from_value(self.body.clone())
+        self.body.parse()
+    }
+
+    /// Renders the body to its JSON wire spelling (exports, goldens,
+    /// tests — not the hot path).
+    pub fn json(&self) -> Value {
+        self.body.to_json()
+    }
+
+    /// The error message of an error-shaped body, if any.
+    pub fn error_message(&self) -> Option<&str> {
+        self.body.error_message()
+    }
+
+    /// The admission controller's `retry_after_s` hint, if present.
+    pub fn retry_after_s(&self) -> Option<u64> {
+        self.body.retry_after_s()
     }
 
     /// Serialises the response to wire bytes.
     pub fn to_bytes(&self) -> Bytes {
         Bytes::from(serde_json::to_vec(self).expect("response is serializable"))
+    }
+
+    /// Parses a response from wire bytes. The body stays on the JSON
+    /// escape hatch — response shapes are not reconstructed (typed
+    /// access goes through [`Response::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` for malformed payloads.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Response, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+impl Serialize for Response {
+    fn to_json_value(&self) -> Value {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("body".to_owned(), self.body.to_json());
+        map.insert("status".to_owned(), self.status.to_json_value());
+        Value::Object(map)
+    }
+}
+
+impl<'de> Deserialize<'de> for Response {
+    fn from_json_value(value: &Value) -> Result<Response, DeError> {
+        let Value::Object(map) = value else {
+            return Err(DeError::custom("expected an object for `Response`"));
+        };
+        let status = match map.get("status") {
+            Some(v) => u16::from_json_value(v),
+            None => Err(DeError::missing_field("Response", "status")),
+        }
+        .map_err(|e| e.context_field("Response", "status"))?;
+        let body = match map.get("body") {
+            None | Some(Value::Null) => Payload::Empty,
+            Some(v) => Payload::Json(v.clone()),
+        };
+        Ok(Response { status, body })
     }
 }
 
@@ -163,11 +306,11 @@ mod tests {
         let r = Request::get("/api/v1/places").with_token("tok-1");
         assert_eq!(r.method, Method::Get);
         assert_eq!(r.token.as_deref(), Some("tok-1"));
-        assert_eq!(r.body, Value::Null);
+        assert_eq!(r.body, Payload::Empty);
 
         let r = Request::post("/api/v1/registration", json!({"imei": "x"}));
         assert_eq!(r.method, Method::Post);
-        assert_eq!(r.body["imei"], "x");
+        assert_eq!(r.body.to_json()["imei"], "x");
     }
 
     #[test]
@@ -176,6 +319,14 @@ mod tests {
         let bytes = r.to_bytes();
         let back = Request::from_bytes(&bytes).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wire_bytes_are_cached_across_attempts() {
+        let r = Request::post("/api/v1/places/sync", json!({"places": []})).with_token("abc");
+        let first = r.wire_bytes() as *const Bytes;
+        let second = r.wire_bytes() as *const Bytes;
+        assert_eq!(first, second, "second render must reuse the cache");
     }
 
     #[test]
@@ -189,7 +340,8 @@ mod tests {
         let e = Response::unauthorized("token expired");
         assert_eq!(e.status, 401);
         assert!(!e.is_success());
-        assert_eq!(e.body["error"], "token expired");
+        assert_eq!(e.json()["error"], "token expired");
+        assert_eq!(e.error_message(), Some("token expired"));
         assert_eq!(Response::bad_request("no").status, 400);
         assert_eq!(Response::not_found("no").status, 404);
     }
@@ -197,13 +349,13 @@ mod tests {
     #[test]
     fn typed_parse() {
         #[derive(Deserialize)]
-        struct Payload {
+        struct Count {
             count: u32,
         }
         let r = Response::ok(json!({"count": 5}));
-        let p: Payload = r.parse().unwrap();
+        let p: Count = r.parse().unwrap();
         assert_eq!(p.count, 5);
-        let bad: Result<Payload, _> = Response::ok(json!({"nope": 1})).parse();
+        let bad: Result<Count, _> = Response::ok(json!({"nope": 1})).parse();
         assert!(bad.is_err());
     }
 }

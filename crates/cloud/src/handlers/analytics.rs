@@ -1,30 +1,9 @@
 //! Analytics and prediction queries (§2.3.2).
 
-use pmware_algorithms::signature::DiscoveredPlaceId;
-use pmware_world::SimTime;
-use serde::Deserialize;
-use serde_json::json;
-
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
+use crate::payload::{ArrivalBody, NextVisitBody, Payload, PlaceOnlyBody};
 use crate::predict::{self, MarkovPredictor};
-
-#[derive(Deserialize)]
-struct ArrivalBody {
-    place: DiscoveredPlaceId,
-    window: Option<(u64, u64)>,
-}
-
-#[derive(Deserialize)]
-struct NextVisitBody {
-    place: DiscoveredPlaceId,
-    now: SimTime,
-}
-
-#[derive(Deserialize)]
-struct PlaceOnlyBody {
-    place: DiscoveredPlaceId,
-}
 
 /// `POST /api/v1/analytics/arrival` — typical arrival time at a place
 /// within an hour window.
@@ -34,7 +13,7 @@ pub(crate) fn arrival(ctx: &Ctx<'_>, request: &Request) -> Response {
         let store = ctx.store();
         let store = store.lock();
         match predict::predict_arrival_in_window(&store.history, body.place, window) {
-            Some(s) => Response::ok(json!({ "second_of_day": s })),
+            Some(s) => Response::ok(Payload::ArrivalAt { second_of_day: s }),
             None => Response::not_found("no arrivals in window"),
         }
     })
@@ -46,7 +25,7 @@ pub(crate) fn next_visit(ctx: &Ctx<'_>, request: &Request) -> Response {
         let store = ctx.store();
         let store = store.lock();
         match predict::predict_next_visit(&store.history, body.place, body.now) {
-            Some(t) => Response::ok(json!({ "time": t })),
+            Some(t) => Response::ok(Payload::VisitAt { time: t }),
             None => Response::not_found("no visit pattern for place"),
         }
     })
@@ -57,10 +36,10 @@ pub(crate) fn frequency(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<PlaceOnlyBody>(request, |body| {
         let store = ctx.store();
         let store = store.lock();
-        Response::ok(json!({
-            "visits_per_week": store.history.visits_per_week(body.place),
-            "visit_count": store.history.visit_count(body.place),
-        }))
+        Response::ok(Payload::Frequency {
+            visits_per_week: store.history.visits_per_week(body.place),
+            visit_count: store.history.visit_count(body.place),
+        })
     })
 }
 
@@ -68,9 +47,9 @@ pub(crate) fn frequency(ctx: &Ctx<'_>, request: &Request) -> Response {
 pub(crate) fn activity(ctx: &Ctx<'_>, _request: &Request) -> Response {
     let store = ctx.store();
     let store = store.lock();
-    Response::ok(json!({
-        "mean_daily_moving_minutes": store.history.mean_daily_moving_minutes(),
-    }))
+    Response::ok(Payload::Activity {
+        mean_daily_moving_minutes: store.history.mean_daily_moving_minutes(),
+    })
 }
 
 /// `POST /api/v1/analytics/next_place` — Markov next-place prediction,
@@ -92,8 +71,8 @@ pub(crate) fn next_place(ctx: &Ctx<'_>, request: &Request) -> Response {
             ctx.core.metrics.cache_hits.inc();
         }
         let (_, model) = store.next_place.as_ref().expect("cache filled above");
-        Response::ok(json!({
-            "predictions": model.predict_next(body.place),
-        }))
+        Response::ok(Payload::Predictions {
+            predictions: model.predict_next(body.place),
+        })
     })
 }

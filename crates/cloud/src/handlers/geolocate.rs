@@ -1,24 +1,10 @@
 //! Cell-ID geolocation (§2.3.3 misc module — the OpenCellID stand-in).
 
 use pmware_world::{CellGlobalId, CellId, Lac, Plmn};
-use serde::Deserialize;
-use serde_json::json;
 
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
-
-#[derive(Deserialize)]
-struct GeolocateBody {
-    mcc: u16,
-    mnc: u16,
-    lac: u16,
-    cid: u32,
-}
-
-#[derive(Deserialize)]
-struct GeolocateSignatureBody {
-    cells: Vec<CellGlobalId>,
-}
+use crate::payload::{GeolocateBody, GeolocateSignatureBody, Payload};
 
 /// `POST /api/v1/misc/geolocate` — position of one cell tower.
 pub(crate) fn by_cell(ctx: &Ctx<'_>, request: &Request) -> Response {
@@ -32,10 +18,10 @@ pub(crate) fn by_cell(ctx: &Ctx<'_>, request: &Request) -> Response {
             cell: CellId(body.cid),
         };
         match ctx.core.cells.locate(cell) {
-            Some(p) => Response::ok(json!({
-                "latitude": p.latitude(),
-                "longitude": p.longitude(),
-            })),
+            Some(p) => Response::ok(Payload::Position {
+                latitude: p.latitude(),
+                longitude: p.longitude(),
+            }),
             None => Response::not_found("unknown cell"),
         }
     })
@@ -46,10 +32,10 @@ pub(crate) fn by_cell(ctx: &Ctx<'_>, request: &Request) -> Response {
 pub(crate) fn by_signature(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<GeolocateSignatureBody>(request, |body| {
         match ctx.core.cells.locate_signature(body.cells.iter()) {
-            Some(p) => Response::ok(json!({
-                "latitude": p.latitude(),
-                "longitude": p.longitude(),
-            })),
+            Some(p) => Response::ok(Payload::Position {
+                latitude: p.latitude(),
+                longitude: p.longitude(),
+            }),
             None => Response::not_found("no known cells in signature"),
         }
     })

@@ -49,14 +49,19 @@ impl Ctx<'_> {
 /// A route handler: pure function from context + request to response.
 pub(crate) type Handler = fn(&Ctx<'_>, &Request) -> Response;
 
-/// Deserializes the request body into `B` and runs `f`, answering 400 on
-/// a shape mismatch.
-pub(crate) fn with_body<B: serde::de::DeserializeOwned>(
+/// Hands `f` the request body as a `&B`, answering 400 on a shape
+/// mismatch. A typed request (the in-process fast path) lends its body
+/// straight out of the [`crate::Payload`] — no serde, no clone; an
+/// untyped `Json` body falls back to a by-reference parse.
+pub(crate) fn with_body<B: crate::payload::RequestBody>(
     request: &Request,
-    f: impl FnOnce(B) -> Response,
+    f: impl FnOnce(&B) -> Response,
 ) -> Response {
-    match serde_json::from_value::<B>(request.body.clone()) {
-        Ok(body) => f(body),
+    if let Some(body) = B::from_payload(&request.body) {
+        return f(body);
+    }
+    match request.body.parse::<B>() {
+        Ok(body) => f(&body),
         Err(e) => Response::bad_request(format!("invalid body: {e}")),
     }
 }

@@ -1,46 +1,11 @@
 //! Place discovery offload, sync, listing and labelling (§2.3.1/§2.3.3).
 
 use pmware_algorithms::gca::IncrementalGca;
-use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
 use pmware_world::GsmObservation;
-use serde::Deserialize;
-use serde_json::json;
 
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
-use crate::wire::ObservationBatch;
-
-#[derive(Deserialize)]
-struct DiscoverBody {
-    /// Plain observation array (legacy and low-volume clients).
-    #[serde(default)]
-    observations: Vec<GsmObservation>,
-    /// Delta-compressed, dictionary-coded alternative to `observations`
-    /// (the batched offload protocol). When present it wins; decoding
-    /// yields the exact observation sequence the client encoded.
-    #[serde(default)]
-    batch: Option<ObservationBatch>,
-    /// Stream offset of the first observation in the client's full GSM
-    /// log. When present the endpoint is idempotent: already-absorbed
-    /// prefixes are skipped. Absent for legacy (unsequenced) clients.
-    #[serde(default)]
-    start: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct SyncPlacesBody {
-    places: Vec<DiscoveredPlace>,
-    /// Monotonic client sync sequence; a stale full replacement (reordered
-    /// behind a newer one) is ignored.
-    #[serde(default)]
-    seq: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct LabelBody {
-    place: DiscoveredPlaceId,
-    label: String,
-}
+use crate::payload::{DiscoverBody, LabelBody, Payload, SyncPlacesBody};
 
 /// `POST /api/v1/places/discover` — the GCA offload: fold a GSM
 /// observation batch into the caller's persistent incremental engine.
@@ -48,13 +13,18 @@ pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<DiscoverBody>(request, |body| {
         // A batched body decodes to the exact observation sequence the
         // client encoded, so both spellings feed the same absorb path and
-        // reach the same engine state.
-        let observations = match &body.batch {
+        // reach the same engine state. The plain-array path borrows the
+        // typed body directly — no copy.
+        let decoded;
+        let observations: &[GsmObservation] = match &body.batch {
             Some(batch) => match batch.decode() {
-                Ok(observations) => observations,
+                Ok(observations) => {
+                    decoded = observations;
+                    &decoded
+                }
                 Err(e) => return Response::bad_request(format!("invalid batch: {e}")),
             },
-            None => body.observations,
+            None => &body.observations,
         };
         // Clone the config before taking the user lock (lock order: config
         // lock is never held across a store lock). Absorbing under the
@@ -104,14 +74,14 @@ pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
                 }
                 store.absorbed_upto += observations.len() as u64;
                 let engine = store.gca.as_mut().expect("engine ensured above");
-                engine.absorb(&observations);
+                engine.absorb(observations);
                 store.places = engine.places().places;
             }
         }
-        Response::ok(json!({
-            "places": store.places,
-            "absorbed_upto": store.absorbed_upto,
-        }))
+        Response::ok(Payload::Discovered {
+            places: store.places.clone(),
+            absorbed_upto: store.absorbed_upto,
+        })
     })
 }
 
@@ -128,12 +98,15 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
             ctx.core.metrics.replay_places_sync.inc();
         }
         if !stale {
-            store.places = body.places;
+            store.places = body.places.clone();
             if let Some(seq) = body.seq {
                 store.places_seq = seq;
             }
         }
-        Response::ok(json!({ "stored": store.places.len(), "stale": stale }))
+        Response::ok(Payload::SyncAck {
+            stored: store.places.len(),
+            stale,
+        })
     })
 }
 
@@ -141,7 +114,7 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
 pub(crate) fn list(ctx: &Ctx<'_>, _request: &Request) -> Response {
     let store = ctx.store();
     let places = store.lock().places.clone();
-    Response::ok(json!({ "places": places }))
+    Response::ok(Payload::Places { places })
 }
 
 /// `POST /api/v1/places/label` — attaches a user label to a place.
@@ -151,8 +124,8 @@ pub(crate) fn label(ctx: &Ctx<'_>, request: &Request) -> Response {
         let mut store = store.lock();
         match store.places.iter_mut().find(|p| p.id == body.place) {
             Some(place) => {
-                place.label = Some(body.label);
-                Response::ok(json!({ "labelled": place.id }))
+                place.label = Some(body.label.clone());
+                Response::ok(Payload::Labelled { labelled: place.id })
             }
             None => Response::not_found("unknown place"),
         }

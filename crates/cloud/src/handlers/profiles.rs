@@ -1,24 +1,11 @@
 //! Daily mobility-profile sync and fetch (§2.3.3 profiles module).
 
-use serde::Deserialize;
-use serde_json::json;
-
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
-use crate::profile::MobilityProfile;
+use crate::payload::{Payload, SyncProfileBody};
 
 /// Path prefix of the by-day fetch route; the remainder is the day index.
 pub(crate) const DAY_PREFIX: &str = "/api/v1/profiles/";
-
-#[derive(Deserialize)]
-struct SyncProfileBody {
-    profile: MobilityProfile,
-    /// Monotonic client sync sequence; an older version of the same day
-    /// arriving late (reorder) or twice (duplicate) is ignored, so the
-    /// history generation only moves for genuinely new data.
-    #[serde(default)]
-    seq: Option<u64>,
-}
 
 /// `POST /api/v1/profiles/sync` — per-day profile upsert with per-day
 /// sequence staleness.
@@ -38,12 +25,15 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
             ctx.core.metrics.replay_profiles_sync.inc();
         }
         if !stale {
-            store.history.upsert(body.profile);
+            store.history.upsert(body.profile.clone());
             if let Some(seq) = body.seq {
                 store.profile_seq.insert(day, seq);
             }
         }
-        Response::ok(json!({ "synced_day": day, "stale": stale }))
+        Response::ok(Payload::ProfileSynced {
+            synced_day: day,
+            stale,
+        })
     })
 }
 
@@ -56,7 +46,9 @@ pub(crate) fn get_day(ctx: &Ctx<'_>, request: &Request) -> Response {
             let store = ctx.store();
             let store = store.lock();
             match store.history.day(day) {
-                Some(profile) => Response::ok(json!({ "profile": profile })),
+                Some(profile) => Response::ok(Payload::ProfileDay {
+                    profile: profile.clone(),
+                }),
                 None => Response::not_found("no profile for that day"),
             }
         }

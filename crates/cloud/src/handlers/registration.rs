@@ -1,17 +1,9 @@
 //! Registration and token lifecycle (§2.3.3 registration module).
 
-use serde::Deserialize;
-use serde_json::json;
-
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
 use crate::auth::DeviceIdentity;
-
-#[derive(Deserialize)]
-struct RegistrationBody {
-    imei: String,
-    email: String,
-}
+use crate::payload::{Payload, RegistrationBody};
 
 /// `POST /api/v1/registration` — the one public route. Registers (or
 /// re-registers, idempotently per identity) a device and issues a token.
@@ -21,8 +13,8 @@ pub(crate) fn register(ctx: &Ctx<'_>, request: &Request) -> Response {
             return Response::bad_request("imei and email are required");
         }
         let identity = DeviceIdentity {
-            imei: body.imei,
-            email: body.email,
+            imei: body.imei.clone(),
+            email: body.email.clone(),
         };
         let (user, token) =
             ctx.core
@@ -32,11 +24,11 @@ pub(crate) fn register(ctx: &Ctx<'_>, request: &Request) -> Response {
         // Materialize the store so first touch happens under registration,
         // not on the hot request path.
         let _ = ctx.core.store_of(user);
-        Response::ok(json!({
-            "user": user,
-            "token": token.token,
-            "expires_at": token.expires_at,
-        }))
+        Response::ok(Payload::Registered {
+            user,
+            token: token.token,
+            expires_at: token.expires_at,
+        })
     })
 }
 
@@ -49,10 +41,10 @@ pub(crate) fn token_refresh(ctx: &Ctx<'_>, _request: &Request) -> Response {
         .write()
         .refresh(token, ctx.now, &mut *ctx.core.rng.lock());
     match refreshed {
-        Some(t) => Response::ok(json!({
-            "token": t.token,
-            "expires_at": t.expires_at,
-        })),
+        Some(t) => Response::ok(Payload::TokenRefreshed {
+            token: t.token,
+            expires_at: t.expires_at,
+        }),
         None => Response::unauthorized("token not refreshable"),
     }
 }

@@ -1,27 +1,10 @@
 //! Route sync, listing and point-to-point queries (§2.3.3 routes module).
 
 use pmware_algorithms::route::{CanonicalRoute, RouteObservation, RouteStore};
-use serde::Deserialize;
-use serde_json::json;
 
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
-use pmware_algorithms::signature::DiscoveredPlaceId;
-
-#[derive(Deserialize)]
-struct SyncRoutesBody {
-    routes: Vec<CanonicalRoute>,
-    /// Monotonic client sync sequence (stale full replacements are
-    /// ignored, mirroring the places sync).
-    #[serde(default)]
-    seq: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct RouteQueryBody {
-    from: DiscoveredPlaceId,
-    to: DiscoveredPlaceId,
-}
+use crate::payload::{Payload, RouteQueryBody, SyncRoutesBody};
 
 /// `POST /api/v1/routes/sync` — full replacement of the stored routes,
 /// sequence-guarded; the canonical set is rebuilt from the traversals.
@@ -32,14 +15,14 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
             let store = store.lock();
             if body.seq.is_some_and(|seq| seq <= store.routes_seq) {
                 ctx.core.metrics.replay_routes_sync.inc();
-                return Response::ok(json!({
-                    "stored": store.routes.routes().len(),
-                    "stale": true,
-                }));
+                return Response::ok(Payload::SyncAck {
+                    stored: store.routes.routes().len(),
+                    stale: true,
+                });
             }
         }
         let mut fresh = RouteStore::new(0.5);
-        for route in body.routes {
+        for route in &body.routes {
             for start in &route.traversals {
                 let _ = fresh.record(RouteObservation {
                     from: route.from,
@@ -57,7 +40,10 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
         if let Some(seq) = body.seq {
             store.routes_seq = seq;
         }
-        Response::ok(json!({ "stored": stored, "stale": false }))
+        Response::ok(Payload::SyncAck {
+            stored,
+            stale: false,
+        })
     })
 }
 
@@ -66,7 +52,7 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
 pub(crate) fn list(ctx: &Ctx<'_>, _request: &Request) -> Response {
     let store = ctx.store();
     let routes = store.lock().routes.routes().to_vec();
-    Response::ok(json!({ "routes": routes }))
+    Response::ok(Payload::Routes { routes })
 }
 
 /// `POST /api/v1/routes/query` — routes between two places.
@@ -80,6 +66,6 @@ pub(crate) fn query(ctx: &Ctx<'_>, request: &Request) -> Response {
             .into_iter()
             .cloned()
             .collect();
-        Response::ok(json!({ "routes": routes }))
+        Response::ok(Payload::Routes { routes })
     })
 }

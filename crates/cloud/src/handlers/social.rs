@@ -1,27 +1,9 @@
 //! Social-contact sync and place-targeted queries (§2.3.3 social module).
 
-use serde::Deserialize;
-use serde_json::json;
-
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
+use crate::payload::{Payload, SocialQueryBody, SyncContactsBody};
 use crate::profile::ContactEntry;
-use pmware_algorithms::signature::DiscoveredPlaceId;
-
-#[derive(Deserialize)]
-struct SyncContactsBody {
-    contacts: Vec<ContactEntry>,
-    /// Stream offset of `contacts[0]` in the client's encounter stream.
-    /// When present the endpoint deduplicates re-sent prefixes and the
-    /// response carries `acked_upto` so the client can drain its buffer.
-    #[serde(default)]
-    first_seq: Option<u64>,
-}
-
-#[derive(Deserialize)]
-struct SocialQueryBody {
-    place: Option<DiscoveredPlaceId>,
-}
 
 /// `POST /api/v1/social/sync` — append encounters, deduplicating re-sent
 /// prefixes through the sequence watermark.
@@ -46,20 +28,22 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
                     ctx.core.metrics.replay_social_sync.inc();
                 }
                 if (skip as u64) < len {
-                    store.contacts.extend(body.contacts.into_iter().skip(skip));
+                    store
+                        .contacts
+                        .extend(body.contacts.iter().skip(skip).cloned());
                     store.contacts_absorbed = first_seq + len;
                 }
             }
             None => {
                 // Legacy blind extend.
                 store.contacts_absorbed += body.contacts.len() as u64;
-                store.contacts.extend(body.contacts);
+                store.contacts.extend(body.contacts.iter().cloned());
             }
         }
-        Response::ok(json!({
-            "stored": store.contacts.len(),
-            "acked_upto": store.contacts_absorbed,
-        }))
+        Response::ok(Payload::ContactsAck {
+            stored: store.contacts.len(),
+            acked_upto: store.contacts_absorbed,
+        })
     })
 }
 
@@ -78,6 +62,6 @@ pub(crate) fn query(ctx: &Ctx<'_>, request: &Request) -> Response {
             })
             .cloned()
             .collect();
-        Response::ok(json!({ "contacts": contacts }))
+        Response::ok(Payload::Contacts { contacts })
     })
 }

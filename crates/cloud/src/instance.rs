@@ -69,7 +69,7 @@ pub use crate::state::SHARD_COUNT;
 /// );
 /// let resp = cloud.handle(&req, SimTime::EPOCH);
 /// assert!(resp.is_success());
-/// assert!(resp.body["token"].is_string());
+/// assert!(resp.json()["token"].is_string());
 /// ```
 #[derive(Debug)]
 pub struct CloudInstance {

@@ -19,7 +19,6 @@ use std::fmt;
 use std::sync::Arc;
 
 use pmware_world::SimTime;
-use serde_json::json;
 
 use crate::admission::{Admission, AdmissionControl};
 use crate::api::{Request, Response};
@@ -99,10 +98,7 @@ pub(crate) struct OutageLayer {
 impl Layer for OutageLayer {
     fn call(&self, request: &Request, now: SimTime, next: Next<'_>) -> Response {
         if self.core.outage() {
-            return Response {
-                status: 503,
-                body: json!({"error": "service unavailable"}),
-            };
+            return Response::error(503, "service unavailable");
         }
         next.run(request, now)
     }

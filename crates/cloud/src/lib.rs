@@ -44,6 +44,7 @@ pub mod geolocate;
 mod handlers;
 pub mod instance;
 pub mod layer;
+pub mod payload;
 pub mod predict;
 pub mod profile;
 pub mod router;
@@ -59,6 +60,11 @@ pub use auth::{AuthToken, DeviceIdentity, UserId};
 pub use geolocate::CellDatabase;
 pub use instance::{CloudInstance, SharedCloud, SHARD_COUNT};
 pub use layer::{Layer, Next};
+pub use payload::{
+    ArrivalBody, DiscoverBody, GeolocateBody, GeolocateSignatureBody, LabelBody, NextVisitBody,
+    Payload, PlaceOnlyBody, RegistrationBody, RouteQueryBody, SocialQueryBody, SyncContactsBody,
+    SyncPlacesBody, SyncProfileBody, SyncRoutesBody,
+};
 pub use profile::{ActivitySummary, ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};
 pub use router::{RateClass, Route, RouteAuth, ALL_RATE_CLASSES, ENDPOINT_LABELS, ROUTES};
 pub use transport::{

@@ -11,6 +11,11 @@
 
 use crate::api::{Method, Request, Response};
 use crate::handlers::{self, Ctx, Handler};
+use crate::payload::{
+    self, ArrivalBody, BodyDecoder, DiscoverBody, GeolocateBody, GeolocateSignatureBody, LabelBody,
+    NextVisitBody, PlaceOnlyBody, RegistrationBody, RouteQueryBody, SocialQueryBody,
+    SyncContactsBody, SyncPlacesBody, SyncProfileBody, SyncRoutesBody,
+};
 
 /// Admission-control class of a route: which token bucket a request draws
 /// from when the deterministic admission controller is enabled. Classes
@@ -90,6 +95,9 @@ pub struct Route {
     pub label: &'static str,
     /// Handler function (see [`crate::handlers`]).
     pub(crate) handler: Handler,
+    /// Typed-body decoder for the wire boundary (see
+    /// [`crate::payload::Payload::from_json`]).
+    pub(crate) decode: BodyDecoder,
 }
 
 impl std::fmt::Debug for Route {
@@ -112,6 +120,7 @@ const fn route(
     rate_class: RateClass,
     label: &'static str,
     handler: Handler,
+    decode: BodyDecoder,
 ) -> Route {
     Route {
         method,
@@ -120,6 +129,7 @@ const fn route(
         rate_class,
         label,
         handler,
+        decode,
     }
 }
 
@@ -141,6 +151,7 @@ pub const ROUTES: [Route; 20] = [
         Auth,
         "register",
         handlers::registration::register,
+        payload::decode::<RegistrationBody>,
     ),
     route(
         Post,
@@ -149,6 +160,7 @@ pub const ROUTES: [Route; 20] = [
         Auth,
         "token_refresh",
         handlers::registration::token_refresh,
+        payload::decode_none,
     ),
     route(
         Post,
@@ -157,6 +169,7 @@ pub const ROUTES: [Route; 20] = [
         Ingest,
         "places_discover",
         handlers::places::discover,
+        payload::decode::<DiscoverBody>,
     ),
     route(
         Post,
@@ -165,6 +178,7 @@ pub const ROUTES: [Route; 20] = [
         Ingest,
         "places_sync",
         handlers::places::sync,
+        payload::decode::<SyncPlacesBody>,
     ),
     route(
         Get,
@@ -173,6 +187,7 @@ pub const ROUTES: [Route; 20] = [
         Query,
         "places_list",
         handlers::places::list,
+        payload::decode_none,
     ),
     route(
         Post,
@@ -181,6 +196,7 @@ pub const ROUTES: [Route; 20] = [
         Ingest,
         "places_label",
         handlers::places::label,
+        payload::decode::<LabelBody>,
     ),
     route(
         Post,
@@ -189,6 +205,7 @@ pub const ROUTES: [Route; 20] = [
         Ingest,
         "routes_sync",
         handlers::routes::sync,
+        payload::decode::<SyncRoutesBody>,
     ),
     route(
         Get,
@@ -197,6 +214,7 @@ pub const ROUTES: [Route; 20] = [
         Query,
         "routes_list",
         handlers::routes::list,
+        payload::decode_none,
     ),
     route(
         Post,
@@ -205,6 +223,7 @@ pub const ROUTES: [Route; 20] = [
         Query,
         "routes_query",
         handlers::routes::query,
+        payload::decode::<RouteQueryBody>,
     ),
     route(
         Post,
@@ -213,6 +232,7 @@ pub const ROUTES: [Route; 20] = [
         Ingest,
         "profiles_sync",
         handlers::profiles::sync,
+        payload::decode::<SyncProfileBody>,
     ),
     route(
         Get,
@@ -221,6 +241,7 @@ pub const ROUTES: [Route; 20] = [
         Query,
         "profiles_get",
         handlers::profiles::get_day,
+        payload::decode_none,
     ),
     route(
         Post,
@@ -229,6 +250,7 @@ pub const ROUTES: [Route; 20] = [
         Ingest,
         "social_sync",
         handlers::social::sync,
+        payload::decode::<SyncContactsBody>,
     ),
     route(
         Post,
@@ -237,6 +259,7 @@ pub const ROUTES: [Route; 20] = [
         Query,
         "social_query",
         handlers::social::query,
+        payload::decode::<SocialQueryBody>,
     ),
     route(
         Post,
@@ -245,6 +268,7 @@ pub const ROUTES: [Route; 20] = [
         Query,
         "geolocate",
         handlers::geolocate::by_cell,
+        payload::decode::<GeolocateBody>,
     ),
     route(
         Post,
@@ -253,6 +277,7 @@ pub const ROUTES: [Route; 20] = [
         Query,
         "geolocate_signature",
         handlers::geolocate::by_signature,
+        payload::decode::<GeolocateSignatureBody>,
     ),
     route(
         Post,
@@ -261,6 +286,7 @@ pub const ROUTES: [Route; 20] = [
         Analytics,
         "analytics_arrival",
         handlers::analytics::arrival,
+        payload::decode::<ArrivalBody>,
     ),
     route(
         Post,
@@ -269,6 +295,7 @@ pub const ROUTES: [Route; 20] = [
         Analytics,
         "analytics_next_visit",
         handlers::analytics::next_visit,
+        payload::decode::<NextVisitBody>,
     ),
     route(
         Post,
@@ -277,6 +304,7 @@ pub const ROUTES: [Route; 20] = [
         Analytics,
         "analytics_frequency",
         handlers::analytics::frequency,
+        payload::decode::<PlaceOnlyBody>,
     ),
     route(
         Post,
@@ -285,6 +313,7 @@ pub const ROUTES: [Route; 20] = [
         Analytics,
         "analytics_activity",
         handlers::analytics::activity,
+        payload::decode_none,
     ),
     route(
         Post,
@@ -293,6 +322,7 @@ pub const ROUTES: [Route; 20] = [
         Analytics,
         "analytics_next_place",
         handlers::analytics::next_place,
+        payload::decode::<PlaceOnlyBody>,
     ),
 ];
 

@@ -46,7 +46,6 @@ use pmware_obs::{Counter, FieldValue, Obs};
 use pmware_world::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde_json::json;
 
 use crate::api::{Request, Response};
 use crate::instance::SharedCloud;
@@ -463,10 +462,7 @@ impl FaultyCloud {
     }
 
     fn timeout_response() -> Response {
-        Response {
-            status: STATUS_TIMEOUT,
-            body: json!({ "error": "request timed out" }),
-        }
+        Response::error(STATUS_TIMEOUT, "request timed out")
     }
 }
 
@@ -496,10 +492,9 @@ impl Layer for FaultyCloud {
                 response
             }
             Some(FaultKind::Drop) => Self::timeout_response(),
-            Some(FaultKind::Error) => Response {
-                status: STATUS_INJECTED_ERROR,
-                body: json!({ "error": "bad gateway (injected)" }),
-            },
+            Some(FaultKind::Error) => {
+                Response::error(STATUS_INJECTED_ERROR, "bad gateway (injected)")
+            }
             Some(FaultKind::Delay) => {
                 let due = now + state.plan.delay;
                 state.held.push_back(HeldRequest {
@@ -527,9 +522,16 @@ impl Layer for FaultyCloud {
 
 impl CloudTransport for FaultyCloud {
     fn send(&self, request: &Request, now: SimTime) -> Response {
-        // The decorator *is* a layer; as a standalone transport it runs
-        // that layer over the wrapped cloud with nothing in between.
-        self.call(request, now, Next::new(&[], &self.inner))
+        // The fault boundary is where the wire exists: spell the request
+        // as JSON bytes (rendered once and cached on the request, so a
+        // retry schedule re-sends the same encoding), parse them back,
+        // run the fault layer over the wrapped cloud, and round-trip the
+        // response the same way — the full marshalling path the Django
+        // service saw. An undecorated [`SharedCloud`] endpoint skips all
+        // of this and moves typed payloads end-to-end.
+        let parsed = Request::from_bytes(request.wire_bytes()).expect("request round-trips");
+        let response = self.call(&parsed, now, Next::new(&[], &self.inner));
+        Response::from_bytes(&response.to_bytes()).expect("response round-trips")
     }
 }
 
@@ -538,6 +540,7 @@ mod tests {
     use super::*;
     use crate::geolocate::CellDatabase;
     use crate::instance::CloudInstance;
+    use serde_json::json;
 
     fn cloud() -> SharedCloud {
         SharedCloud::new(CloudInstance::new(CellDatabase::new(), 9))
@@ -552,7 +555,7 @@ mod tests {
             SimTime::EPOCH,
         );
         assert!(resp.is_success(), "{resp:?}");
-        resp.body["token"].as_str().unwrap().to_owned()
+        resp.json()["token"].as_str().unwrap().to_owned()
     }
 
     #[test]
@@ -639,12 +642,12 @@ mod tests {
         // Not delivered yet: the server still has no places.
         let list = Request::get("/api/v1/places").with_token(&token);
         let resp = shared.handle(&list, SimTime::EPOCH);
-        assert_eq!(resp.body["places"].as_array().unwrap().len(), 0);
+        assert_eq!(resp.json()["places"].as_array().unwrap().len(), 0);
         // Later traffic past the due time carries it in.
         let resp = endpoint.send(&list, SimTime::EPOCH + SimDuration::from_minutes(6));
         assert!(resp.is_success());
         assert_eq!(
-            resp.body["places"].as_array().unwrap().len(),
+            resp.json()["places"].as_array().unwrap().len(),
             1,
             "held request must land before the later one"
         );
@@ -705,7 +708,8 @@ mod tests {
         );
         assert!(resp.is_success());
         assert_eq!(
-            resp.body["stored"], 2,
+            resp.json()["stored"],
+            2,
             "blind extend absorbed the duplicate"
         );
         assert_eq!(faulty.stats().duplicates, 1);

@@ -17,7 +17,7 @@ fn register(cloud: &CloudInstance, n: u32) -> String {
         SimTime::EPOCH,
     );
     assert!(resp.is_success());
-    resp.body["token"].as_str().unwrap().to_owned()
+    resp.json()["token"].as_str().unwrap().to_owned()
 }
 
 /// Replays a fixed query schedule against a fresh instance and returns
@@ -58,7 +58,7 @@ fn deny_carries_an_exact_retry_after_hint() {
     assert!(cloud.handle(&list, SimTime::EPOCH).is_success());
     let denied = cloud.handle(&list, SimTime::EPOCH);
     assert_eq!(denied.status, STATUS_RATE_LIMITED);
-    let hint = denied.body["retry_after_s"].as_u64().unwrap();
+    let hint = denied.json()["retry_after_s"].as_u64().unwrap();
     assert!(hint > 0 && hint <= 45, "hint {hint} out of range");
     // Waiting exactly the hint is sufficient: the very next request at
     // that instant is admitted.

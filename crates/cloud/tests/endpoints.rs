@@ -28,7 +28,7 @@ fn register(cloud: &CloudInstance, n: u32, now: SimTime) -> String {
     );
     let resp = cloud.handle(&req, now);
     assert!(resp.is_success(), "{resp:?}");
-    resp.body["token"].as_str().unwrap().to_owned()
+    resp.json()["token"].as_str().unwrap().to_owned()
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn token_refresh_rotates() {
         now + SimDuration::from_hours(20),
     );
     assert!(resp.is_success());
-    let new_token = resp.body["token"].as_str().unwrap().to_owned();
+    let new_token = resp.json()["token"].as_str().unwrap().to_owned();
     assert_ne!(new_token, token);
     // The old token no longer validates.
     let resp = c.handle(
@@ -142,11 +142,12 @@ fn gca_offload_discovers_and_stores() {
         now,
     );
     assert!(resp.is_success(), "{resp:?}");
-    let places = resp.body["places"].as_array().unwrap();
+    let body = resp.json();
+    let places = body["places"].as_array().unwrap();
     assert_eq!(places.len(), 1);
     // And the places are now listed.
     let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
-    assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
+    assert_eq!(resp.json()["places"].as_array().unwrap().len(), 1);
 }
 
 #[test]
@@ -175,7 +176,7 @@ fn discover_absorbs_suffixes_without_forgetting_places() {
         now,
     );
     assert!(resp.is_success(), "{resp:?}");
-    assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
+    assert_eq!(resp.json()["places"].as_array().unwrap().len(), 1);
     // Night 2 offloads ONLY the new suffix: a stay somewhere else.
     // Before the persistent per-user engine this *replaced* the stored
     // places, silently forgetting place {1,2}.
@@ -188,7 +189,8 @@ fn discover_absorbs_suffixes_without_forgetting_places() {
         now,
     );
     assert!(resp.is_success(), "{resp:?}");
-    let places = resp.body["places"].as_array().unwrap();
+    let body = resp.json();
+    let places = body["places"].as_array().unwrap();
     assert_eq!(places.len(), 2, "suffix offload must keep night-1 places");
     // And the reply matches one batch clustering of the whole stream.
     let full: Vec<GsmObservation> = (0..40)
@@ -226,7 +228,7 @@ fn discover_rewind_restarts_from_the_new_batch() {
     let second = c.handle(&req, now);
     assert!(second.is_success());
     assert_eq!(first.body, second.body);
-    assert_eq!(second.body["places"].as_array().unwrap().len(), 1);
+    assert_eq!(second.json()["places"].as_array().unwrap().len(), 1);
 }
 
 #[test]
@@ -256,7 +258,7 @@ fn next_place_cache_invalidates_on_profile_upsert() {
             now,
         );
         assert!(resp.is_success());
-        resp.body["predictions"].as_array().unwrap()[0][0]
+        resp.json()["predictions"].as_array().unwrap()[0][0]
             .as_u64()
             .unwrap()
     };
@@ -295,7 +297,7 @@ fn place_labelling() {
     );
     assert!(resp.is_success(), "{resp:?}");
     let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
-    assert_eq!(resp.body["places"][0]["label"], "Home");
+    assert_eq!(resp.json()["places"][0]["label"], "Home");
     // Unknown place → 404.
     let resp = c.handle(
         &Request::post("/api/v1/places/label", json!({"place": 9, "label": "X"}))
@@ -323,7 +325,7 @@ fn profile_sync_and_fetch() {
     assert!(resp.is_success());
     let resp = c.handle(&Request::get("/api/v1/profiles/2").with_token(&token), now);
     assert!(resp.is_success());
-    assert_eq!(resp.body["profile"]["day"], 2);
+    assert_eq!(resp.json()["profile"]["day"], 2);
     // Missing day → 404; malformed day → 400.
     assert_eq!(
         c.handle(&Request::get("/api/v1/profiles/9").with_token(&token), now)
@@ -375,7 +377,7 @@ fn analytics_endpoints_answer_the_papers_queries() {
         now,
     );
     assert!(resp.is_success());
-    assert_eq!(resp.body["second_of_day"].as_u64().unwrap() / 3_600, 18);
+    assert_eq!(resp.json()["second_of_day"].as_u64().unwrap() / 3_600, 18);
     // Query 2: next visit to place 1.
     let resp = c.handle(
         &Request::post(
@@ -392,14 +394,15 @@ fn analytics_endpoints_answer_the_papers_queries() {
         now,
     );
     assert!(resp.is_success());
-    assert!((resp.body["visits_per_week"].as_f64().unwrap() - 7.0).abs() < 1e-9);
+    assert!((resp.json()["visits_per_week"].as_f64().unwrap() - 7.0).abs() < 1e-9);
     // Markov next place from work is home.
     let resp = c.handle(
         &Request::post("/api/v1/analytics/next_place", json!({"place": 1})).with_token(&token),
         now,
     );
     assert!(resp.is_success());
-    let preds = resp.body["predictions"].as_array().unwrap();
+    let body = resp.json();
+    let preds = body["predictions"].as_array().unwrap();
     assert_eq!(preds[0][0], 0);
 }
 
@@ -427,7 +430,7 @@ fn geolocation_endpoint_uses_cell_database() {
         now,
     );
     assert!(resp.is_success());
-    let lat = resp.body["latitude"].as_f64().unwrap();
+    let lat = resp.json()["latitude"].as_f64().unwrap();
     assert!((lat - tower.position().latitude()).abs() < 1e-9);
     // Unknown cell → 404.
     let resp = c.handle(
@@ -470,7 +473,8 @@ fn social_sync_and_query_by_place() {
         &Request::post("/api/v1/social/query", json!({"place": 0})).with_token(&token),
         now,
     );
-    let got = resp.body["contacts"].as_array().unwrap();
+    let body = resp.json();
+    let got = body["contacts"].as_array().unwrap();
     assert_eq!(got.len(), 1);
     assert_eq!(got[0]["contact"], "peer-1");
     // Unfiltered query returns everything.
@@ -478,7 +482,7 @@ fn social_sync_and_query_by_place() {
         &Request::post("/api/v1/social/query", json!({"place": null})).with_token(&token),
         now,
     );
-    assert_eq!(resp.body["contacts"].as_array().unwrap().len(), 2);
+    assert_eq!(resp.json()["contacts"].as_array().unwrap().len(), 2);
 }
 
 #[test]
@@ -513,7 +517,7 @@ fn sequenced_discover_skips_absorbed_prefixes() {
     // First offload absorbs everything.
     let first = discover(&stream, 0);
     assert!(first.is_success(), "{first:?}");
-    assert_eq!(first.body["absorbed_upto"], 40);
+    assert_eq!(first.json()["absorbed_upto"], 40);
     let user = UserId(0);
     assert_eq!(c.observation_count(user), 40);
     // A duplicated delivery of the same batch absorbs nothing new.
@@ -530,7 +534,7 @@ fn sequenced_discover_skips_absorbed_prefixes() {
         .collect();
     let resp = discover(&tail, 30);
     assert!(resp.is_success());
-    assert_eq!(resp.body["absorbed_upto"], 50);
+    assert_eq!(resp.json()["absorbed_upto"], 50);
     assert_eq!(c.observation_count(user), 50);
 }
 
@@ -562,18 +566,18 @@ fn sequenced_contacts_deduplicate_resent_buffers() {
     let batch: Vec<ContactEntry> = (0..2).map(entry).collect();
     let resp = sync(&batch, 0);
     assert!(resp.is_success());
-    assert_eq!(resp.body["acked_upto"], 2);
+    assert_eq!(resp.json()["acked_upto"], 2);
     let resent: Vec<ContactEntry> = (0..3).map(entry).collect();
     let resp = sync(&resent, 0);
     assert!(resp.is_success());
-    assert_eq!(resp.body["acked_upto"], 3);
+    assert_eq!(resp.json()["acked_upto"], 3);
     assert_eq!(c.contact_count(user), 3, "re-sent prefix must be skipped");
     let stored = c.contacts_of(user);
     let names: Vec<&str> = stored.iter().map(|e| e.contact.as_str()).collect();
     assert_eq!(names, ["peer-0", "peer-1", "peer-2"]);
     // A pure duplicate delivery is a no-op.
     let resp = sync(&resent, 0);
-    assert_eq!(resp.body["acked_upto"], 3);
+    assert_eq!(resp.json()["acked_upto"], 3);
     assert_eq!(c.contact_count(user), 3);
 }
 
@@ -601,13 +605,16 @@ fn stale_profile_and_snapshot_syncs_are_ignored() {
         )
     };
     // Newer version of day 0 lands first (reorder), stale one follows.
-    assert_eq!(sync(&profile(0, 2), 5).body["stale"], false);
+    assert_eq!(sync(&profile(0, 2), 5).json()["stale"], false);
     let resp = sync(&profile(0, 1), 3);
     assert!(resp.is_success());
-    assert_eq!(resp.body["stale"], true);
+    assert_eq!(resp.json()["stale"], true);
     let fetched = c.handle(&Request::get("/api/v1/profiles/0").with_token(&token), now);
     assert_eq!(
-        fetched.body["profile"]["places"].as_array().unwrap().len(),
+        fetched.json()["profile"]["places"]
+            .as_array()
+            .unwrap()
+            .len(),
         2,
         "stale sync must not clobber the newer profile"
     );
@@ -625,14 +632,14 @@ fn stale_profile_and_snapshot_syncs_are_ignored() {
         .with_token(&token),
         now,
     );
-    assert_eq!(resp.body["stale"], false);
+    assert_eq!(resp.json()["stale"], false);
     let resp = c.handle(
         &Request::post("/api/v1/places/sync", json!({ "places": [], "seq": 6 })).with_token(&token),
         now,
     );
-    assert_eq!(resp.body["stale"], true);
+    assert_eq!(resp.json()["stale"], true);
     let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
-    assert_eq!(resp.body["places"].as_array().unwrap().len(), 1);
+    assert_eq!(resp.json()["places"].as_array().unwrap().len(), 1);
 }
 
 #[test]
@@ -651,7 +658,7 @@ fn users_are_isolated() {
         now,
     );
     let resp = c.handle(&Request::get("/api/v1/places").with_token(&t1), now);
-    assert_eq!(resp.body["places"].as_array().unwrap().len(), 0);
+    assert_eq!(resp.json()["places"].as_array().unwrap().len(), 0);
 }
 
 #[test]
@@ -661,9 +668,9 @@ fn unknown_route_is_404() {
     let token = register(&c, 0, now);
     let resp = c.handle(&Request::get("/api/v1/nope").with_token(&token), now);
     assert_eq!(resp.status, 404);
-    assert_eq!(resp.body["error"], "no route for /api/v1/nope");
+    assert_eq!(resp.json()["error"], "no route for /api/v1/nope");
     assert!(
-        resp.body.get("allow").is_none(),
+        resp.json().get("allow").is_none(),
         "404 carries no allow list"
     );
 }
@@ -678,13 +685,13 @@ fn wrong_method_on_known_path_is_405_with_allow() {
     let token = register(&c, 0, now);
     let resp = c.handle(&Request::get("/api/v1/places/sync").with_token(&token), now);
     assert_eq!(resp.status, 405, "{resp:?}");
-    assert_eq!(resp.body["allow"], json!(["POST"]));
+    assert_eq!(resp.json()["allow"], json!(["POST"]));
     let resp = c.handle(
         &Request::post("/api/v1/places", Value::Null).with_token(&token),
         now,
     );
     assert_eq!(resp.status, 405, "{resp:?}");
-    assert_eq!(resp.body["allow"], json!(["GET"]));
+    assert_eq!(resp.json()["allow"], json!(["GET"]));
     // Auth still precedes method dispatch: without a token the wrong
     // method is indistinguishable from any other unauthenticated request.
     let resp = c.handle(&Request::get("/api/v1/places/sync"), now);
@@ -806,7 +813,8 @@ fn shared_cloud_serves_threads_concurrently() {
     // Every user sees exactly their own single place.
     for (n, token) in tokens.iter().enumerate() {
         let resp = shared.handle(&Request::get("/api/v1/places").with_token(token), now);
-        let places = resp.body["places"].as_array().unwrap();
+        let body = resp.json();
+        let places = body["places"].as_array().unwrap();
         assert_eq!(places.len(), 1, "user {n}");
         assert_eq!(places[0]["id"], n as u64);
     }

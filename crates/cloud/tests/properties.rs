@@ -146,7 +146,7 @@ proptest! {
             ),
             SimTime::EPOCH,
         );
-        let token = resp.body["token"].as_str().unwrap().to_owned();
+        let token = resp.json()["token"].as_str().unwrap().to_owned();
         let mut req = Request::post(format!("/api/v1/{path_tail}"), json!({"x": body_num}));
         if with_token {
             req = req.with_token(&token);
@@ -190,7 +190,7 @@ proptest! {
         status in 100u16..600,
         body in arb_json(),
     ) {
-        let resp = pmware_cloud::Response { status, body };
+        let resp = pmware_cloud::Response { status, body: body.into() };
         let bytes = resp.to_bytes();
         let back: pmware_cloud::Response = serde_json::from_slice(&bytes).unwrap();
         prop_assert_eq!(back, resp);
@@ -216,7 +216,7 @@ proptest! {
                 ),
                 now,
             );
-            tokens.push(resp.body["token"].as_str().unwrap().to_owned());
+            tokens.push(resp.json()["token"].as_str().unwrap().to_owned());
         }
 
         // Local models of what each user wrote. Place ids are disjoint by
@@ -291,7 +291,7 @@ proptest! {
             let token = &tokens[u];
             // Place list is exactly what this user last synced.
             let resp = cloud.handle(&Request::get("/api/v1/places").with_token(token), now);
-            let got: Vec<u32> = resp.body["places"]
+            let got: Vec<u32> = resp.json()["places"]
                 .as_array()
                 .unwrap()
                 .iter()
@@ -305,7 +305,7 @@ proptest! {
                     now,
                 );
                 prop_assert!(resp.is_success());
-                let got = resp.body["profile"]["places"][0]["place"].as_u64().unwrap();
+                let got = resp.json()["profile"]["places"][0]["place"].as_u64().unwrap();
                 prop_assert_eq!(got as u32, place, "user {} day {}", u, day);
             }
             // Contacts accumulate only this user's peers.
@@ -314,13 +314,237 @@ proptest! {
                     .with_token(token),
                 now,
             );
-            let got: Vec<String> = resp.body["contacts"]
+            let got: Vec<String> = resp.json()["contacts"]
                 .as_array()
                 .unwrap()
                 .iter()
                 .map(|c| c["contact"].as_str().unwrap().to_owned())
                 .collect();
             prop_assert_eq!(&got, &expected_contacts[u], "user {} contacts", u);
+        }
+    }
+}
+
+/// One operation against the cloud, generated so the stream covers every
+/// interesting dispatch outcome: typed-route hits, unknown paths (404),
+/// wrong methods (405 with `allow`), and malformed bodies (400).
+#[derive(Debug, Clone)]
+enum WireOp {
+    Register {
+        imei: String,
+        email: String,
+    },
+    SyncPlaces {
+        ids: Vec<u32>,
+        seq: u64,
+    },
+    Label {
+        place: u32,
+        label: String,
+    },
+    Geolocate {
+        mcc: u16,
+        mnc: u16,
+        lac: u32,
+        cid: u32,
+    },
+    SocialQuery {
+        place: Option<u32>,
+    },
+    UnknownPath {
+        tail: String,
+    },
+    WrongMethod {
+        get_on_post: bool,
+    },
+    Malformed,
+}
+
+fn arb_wire_op() -> impl Strategy<Value = WireOp> {
+    (
+        0u8..8,
+        ("[a-z0-9]{1,12}", "[a-zA-Z ]{0,12}", "[a-z0-9/]{1,20}"),
+        (
+            prop::collection::vec(0u32..16, 0..6),
+            0u64..40,
+            prop::option::of(0u32..16),
+        ),
+        (0u16..999, 0u16..999, 0u32..99, 0u32..99),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(kind, (imei, label, tail), (ids, seq, place), (mcc, mnc, lac, cid), flag)| match kind
+            {
+                0 => WireOp::Register {
+                    email: format!("{imei}@x.com"),
+                    imei,
+                },
+                1 => WireOp::SyncPlaces { ids, seq },
+                2 => WireOp::Label {
+                    place: (seq % 16) as u32,
+                    label,
+                },
+                3 => WireOp::Geolocate { mcc, mnc, lac, cid },
+                4 => WireOp::SocialQuery { place },
+                5 => WireOp::UnknownPath { tail },
+                6 => WireOp::WrongMethod { get_on_post: flag },
+                _ => WireOp::Malformed,
+            },
+        )
+}
+
+fn op_request(op: &WireOp, token: &str) -> Request {
+    use pmware_algorithms::signature::{DiscoveredPlace, PlaceSignature};
+    match op {
+        WireOp::Register { imei, email } => Request::post(
+            "/api/v1/registration",
+            json!({"imei": imei, "email": email}),
+        ),
+        WireOp::SyncPlaces { ids, seq } => {
+            let places: Vec<DiscoveredPlace> = ids
+                .iter()
+                .map(|&id| {
+                    DiscoveredPlace::new(
+                        DiscoveredPlaceId(id),
+                        PlaceSignature::WifiAps(Default::default()),
+                        vec![],
+                    )
+                })
+                .collect();
+            Request::post("/api/v1/places/sync", json!({"places": places, "seq": seq}))
+                .with_token(token)
+        }
+        WireOp::Label { place, label } => Request::post(
+            "/api/v1/places/label",
+            json!({"place": place, "label": label}),
+        )
+        .with_token(token),
+        WireOp::Geolocate { mcc, mnc, lac, cid } => Request::post(
+            "/api/v1/misc/geolocate",
+            json!({"mcc": mcc, "mnc": mnc, "lac": lac, "cid": cid}),
+        )
+        .with_token(token),
+        WireOp::SocialQuery { place } => {
+            Request::post("/api/v1/social/query", json!({"place": place})).with_token(token)
+        }
+        WireOp::UnknownPath { tail } => Request::get(format!("/api/v1/{tail}")).with_token(token),
+        WireOp::WrongMethod { get_on_post } => {
+            if *get_on_post {
+                // places/sync only accepts POST → 405 with allow: ["POST"].
+                Request::get("/api/v1/places/sync").with_token(token)
+            } else {
+                // places only accepts GET → 405 with allow: ["GET"].
+                Request::post("/api/v1/places", serde_json::Value::Null).with_token(token)
+            }
+        }
+        WireOp::Malformed => {
+            Request::post("/api/v1/places/sync", json!({"wrong": true})).with_token(token)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's byte-identity contract: the in-process typed path
+    /// and the marshalled wire path (request and response each serialized
+    /// to JSON bytes and re-parsed, as the fault decorator does) must
+    /// produce the same status and byte-identical response bodies for the
+    /// same operation stream — including 404s and 405-with-`allow`.
+    #[test]
+    fn typed_and_marshalled_paths_are_byte_identical(
+        ops in prop::collection::vec(arb_wire_op(), 1..25)
+    ) {
+        let typed = CloudInstance::new(CellDatabase::new(), 77);
+        let wired = CloudInstance::new(CellDatabase::new(), 77);
+        let now = SimTime::EPOCH;
+        let reg = Request::post(
+            "/api/v1/registration",
+            json!({"imei": "imei-0", "email": "u0@x.com"}),
+        );
+        let token = typed.handle(&reg, now).json()["token"]
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let wired_token = wired.handle(&reg, now).json()["token"]
+            .as_str()
+            .unwrap()
+            .to_owned();
+        prop_assert_eq!(&token, &wired_token, "seeded registration must agree");
+
+        for op in &ops {
+            let request = op_request(op, &token);
+            // Typed path: the request travels as built, no serde anywhere.
+            let typed_resp = typed.handle(&request, now);
+            // Marshalled path: both directions cross JSON bytes, exactly
+            // what FaultyCloud's wire boundary does.
+            let wire_request = Request::from_bytes(&request.to_bytes()).unwrap();
+            let wired_resp =
+                pmware_cloud::Response::from_bytes(&wired.handle(&wire_request, now).to_bytes())
+                    .unwrap();
+            prop_assert_eq!(typed_resp.status, wired_resp.status, "status for {:?}", op);
+            prop_assert_eq!(
+                typed_resp.to_bytes(),
+                wired_resp.to_bytes(),
+                "body bytes for {:?}",
+                op
+            );
+        }
+    }
+
+    /// Typed request payloads survive their own wire spelling: rendering
+    /// to JSON and re-resolving against the route table reconstructs the
+    /// same typed variant (never the `Json` fallback), so the server-side
+    /// decode step is lossless for everything the client builds.
+    #[test]
+    fn typed_payloads_round_trip_through_their_wire_spelling(
+        imei in "[a-z0-9]{1,12}",
+        email in "[a-z0-9]{1,8}",
+        place in 0u32..1000,
+        label in "[a-zA-Z ]{0,16}",
+        mcc in 0u16..999,
+        mnc in 0u16..999,
+        lac in 0u16..9999,
+        cid in 0u32..9999,
+        social_place in prop::option::of(0u32..1000),
+    ) {
+        use pmware_cloud::{GeolocateBody, LabelBody, Method, Payload, RegistrationBody,
+            SocialQueryBody};
+        let cases: Vec<(Method, &str, Payload)> = vec![
+            (
+                Method::Post,
+                "/api/v1/registration",
+                RegistrationBody { imei, email }.into(),
+            ),
+            (
+                Method::Post,
+                "/api/v1/places/label",
+                LabelBody { place: DiscoveredPlaceId(place), label }.into(),
+            ),
+            (
+                Method::Post,
+                "/api/v1/misc/geolocate",
+                GeolocateBody { mcc, mnc, lac, cid }.into(),
+            ),
+            (
+                Method::Post,
+                "/api/v1/social/query",
+                SocialQueryBody {
+                    place: social_place.map(DiscoveredPlaceId),
+                }
+                .into(),
+            ),
+        ];
+        for (method, path, payload) in cases {
+            let spelled = payload.to_json();
+            let back = Payload::from_json(method, path, &spelled);
+            prop_assert!(
+                !matches!(back, Payload::Json(_)),
+                "{} must re-resolve typed, got Json fallback",
+                path
+            );
+            prop_assert_eq!(&back, &payload, "{} round-trip", path);
+            prop_assert_eq!(back.to_json(), spelled, "{} spelling stable", path);
         }
     }
 }

@@ -4,14 +4,16 @@
 //! REST API based communication with the cloud instance and inter
 //! application communication between PMS and connected applications."*
 //!
-//! Every call serialises the request to wire bytes and parses them back on
-//! the "server" side, so the JSON marshalling path is exercised exactly as
-//! it would be over HTTP. The client talks to a [`CloudEndpoint`] — the
-//! real [`SharedCloud`] or a fault-injecting decorator — and owns the
-//! *retry policy*: every request class has a bounded number of attempts
-//! with capped exponential backoff and deterministic SimTime-derived
-//! jitter, so a lossy link is survived without ever consulting a wall
-//! clock (fault runs replay bit-identically from a seed).
+//! Every call builds a typed [`Payload`] directly — no JSON tree on the
+//! hot path. Against an in-process [`SharedCloud`] the payload travels
+//! typed end-to-end with zero serde work; only the fault-injecting
+//! decorator (the wire boundary) spells it as JSON bytes, and those bytes
+//! are rendered **once** per request and reused across the whole retry
+//! schedule. The client owns the *retry policy*: every request class has
+//! a bounded number of attempts with capped exponential backoff and
+//! deterministic SimTime-derived jitter, so a lossy link is survived
+//! without ever consulting a wall clock (fault runs replay bit-identically
+//! from a seed).
 //!
 //! Mutating endpoints carry idempotency keys (sequence numbers and stream
 //! offsets) so that the retries, duplicates and reorderings a faulty
@@ -21,16 +23,53 @@ use pmware_algorithms::route::CanonicalRoute;
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
 use pmware_cloud::wire::ObservationBatch;
 use pmware_cloud::{
-    CloudEndpoint, MobilityProfile, Request, Response, UserId, STATUS_BUDGET_EXHAUSTED,
-    STATUS_RATE_LIMITED, STATUS_TIMEOUT,
+    CloudEndpoint, DiscoverBody, GeolocateSignatureBody, LabelBody, MobilityProfile, Payload,
+    RegistrationBody, Request, Response, SyncContactsBody, SyncPlacesBody, SyncProfileBody,
+    SyncRoutesBody, UserId, STATUS_BUDGET_EXHAUSTED, STATUS_RATE_LIMITED, STATUS_TIMEOUT,
 };
 use pmware_geo::GeoPoint;
 use pmware_obs::{Counter, FieldValue, Histogram, Obs};
 use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use serde_json::json;
 
 use crate::error::PmsError;
+
+/// A response rendered to its JSON spelling — what the untyped
+/// [`CloudClient::call`]/[`CloudClient::get`] escape hatch returns, so
+/// app-level callers can keep indexing bodies (`resp.body["places"]`)
+/// without caring which typed variant the server produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonResponse {
+    /// HTTP-style status code.
+    pub status: u16,
+    /// The body's JSON wire spelling.
+    pub body: serde_json::Value,
+}
+
+impl JsonResponse {
+    /// Returns `true` for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Deserialises the body into a typed value (by reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` when the body does not match `T`.
+    pub fn parse<T: serde::de::DeserializeOwned>(&self) -> Result<T, serde_json::Error> {
+        T::from_json_value(&self.body).map_err(serde_json::Error::from)
+    }
+}
+
+impl From<Response> for JsonResponse {
+    fn from(response: Response) -> JsonResponse {
+        JsonResponse {
+            status: response.status,
+            body: response.body.into_json(),
+        }
+    }
+}
 
 /// How persistently a request is retried. Classes mirror how much a lost
 /// request costs: an offload or sync must eventually land (the maintenance
@@ -199,22 +238,33 @@ impl CloudClient {
         };
         let request = Request::post(
             "/api/v1/registration",
-            json!({ "imei": imei, "email": email }),
+            RegistrationBody {
+                imei: imei.to_owned(),
+                email: email.to_owned(),
+            },
         );
         let response = client.send_with_retry(&request, now, RequestClass::Auth);
         let response = Self::check(&request, response)?;
-        #[derive(Deserialize)]
-        struct Body {
-            user: UserId,
-            token: String,
-            expires_at: SimTime,
-        }
-        let body: Body = response
-            .parse()
-            .map_err(|e| PmsError::Decode(e.to_string()))?;
-        client.user = body.user;
-        client.token = body.token;
-        client.token_expires = body.expires_at;
+        let (user, token, expires_at) = match response.body {
+            Payload::Registered {
+                user,
+                token,
+                expires_at,
+            } => (user, token, expires_at),
+            body => {
+                #[derive(Deserialize)]
+                struct Body {
+                    user: UserId,
+                    token: String,
+                    expires_at: SimTime,
+                }
+                let body: Body = body.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+                (body.user, body.token, body.expires_at)
+            }
+        };
+        client.user = user;
+        client.token = token;
+        client.token_expires = expires_at;
         Ok(client)
     }
 
@@ -340,19 +390,24 @@ impl CloudClient {
         if now + margin < self.token_expires {
             return Ok(false);
         }
-        let request = Request::post("/api/v1/token/refresh", json!(null)).with_token(&self.token);
+        let request =
+            Request::post("/api/v1/token/refresh", Payload::Empty).with_token(&self.token);
         let response = self.send_with_retry(&request, now, RequestClass::Auth);
         let response = Self::check(&request, response)?;
-        #[derive(Deserialize)]
-        struct Body {
-            token: String,
-            expires_at: SimTime,
-        }
-        let body: Body = response
-            .parse()
-            .map_err(|e| PmsError::Decode(e.to_string()))?;
-        self.token = body.token;
-        self.token_expires = body.expires_at;
+        let (token, expires_at) = match response.body {
+            Payload::TokenRefreshed { token, expires_at } => (token, expires_at),
+            body => {
+                #[derive(Deserialize)]
+                struct Body {
+                    token: String,
+                    expires_at: SimTime,
+                }
+                let body: Body = body.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+                (body.token, body.expires_at)
+            }
+        };
+        self.token = token;
+        self.token_expires = expires_at;
         Ok(true)
     }
 
@@ -371,7 +426,14 @@ impl CloudClient {
         start: u64,
         now: SimTime,
     ) -> Result<Vec<DiscoveredPlace>, PmsError> {
-        self.discover_request(json!({ "observations": observations, "start": start }), now)
+        self.discover_request(
+            DiscoverBody {
+                observations: observations.to_vec(),
+                batch: None,
+                start: Some(start),
+            },
+            now,
+        )
     }
 
     /// [`discover_places`](Self::discover_places) over the batched wire
@@ -392,25 +454,35 @@ impl CloudClient {
         now: SimTime,
     ) -> Result<Vec<DiscoveredPlace>, PmsError> {
         let batch = ObservationBatch::encode(observations);
-        self.discover_request(json!({ "batch": batch, "start": start }), now)
+        self.discover_request(
+            DiscoverBody {
+                observations: Vec::new(),
+                batch: Some(batch),
+                start: Some(start),
+            },
+            now,
+        )
     }
 
     fn discover_request(
         &mut self,
-        body: serde_json::Value,
+        body: DiscoverBody,
         now: SimTime,
     ) -> Result<Vec<DiscoveredPlace>, PmsError> {
         let request = Request::post("/api/v1/places/discover", body).with_token(&self.token);
         let response = self.send_with_retry(&request, now, RequestClass::Offload);
         let response = Self::check(&request, response)?;
-        #[derive(Deserialize)]
-        struct Body {
-            places: Vec<DiscoveredPlace>,
+        match response.body {
+            Payload::Discovered { places, .. } => Ok(places),
+            body => {
+                #[derive(Deserialize)]
+                struct Body {
+                    places: Vec<DiscoveredPlace>,
+                }
+                let body: Body = body.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+                Ok(body.places)
+            }
         }
-        let body: Body = response
-            .parse()
-            .map_err(|e| PmsError::Decode(e.to_string()))?;
-        Ok(body.places)
     }
 
     /// Pushes the authoritative place list to the cloud. Stamped with the
@@ -428,7 +500,10 @@ impl CloudClient {
         let seq = self.next_seq();
         self.call_class(
             "/api/v1/places/sync",
-            json!({ "places": places, "seq": seq }),
+            SyncPlacesBody {
+                places: places.to_vec(),
+                seq: Some(seq),
+            },
             now,
             RequestClass::Sync,
         )?;
@@ -448,7 +523,10 @@ impl CloudClient {
     ) -> Result<(), PmsError> {
         self.call_class(
             "/api/v1/places/label",
-            json!({ "place": place, "label": label }),
+            LabelBody {
+                place,
+                label: label.to_owned(),
+            },
             now,
             RequestClass::Sync,
         )?;
@@ -470,7 +548,10 @@ impl CloudClient {
         let seq = self.next_seq();
         self.call_class(
             "/api/v1/profiles/sync",
-            json!({ "profile": profile, "seq": seq }),
+            SyncProfileBody {
+                profile: profile.clone(),
+                seq: Some(seq),
+            },
             now,
             RequestClass::Sync,
         )?;
@@ -486,7 +567,10 @@ impl CloudClient {
         let seq = self.next_seq();
         self.call_class(
             "/api/v1/routes/sync",
-            json!({ "routes": routes, "seq": seq }),
+            SyncRoutesBody {
+                routes: routes.to_vec(),
+                seq: Some(seq),
+            },
             now,
             RequestClass::Sync,
         )?;
@@ -509,18 +593,24 @@ impl CloudClient {
     ) -> Result<u64, PmsError> {
         let response = self.call_class(
             "/api/v1/social/sync",
-            json!({ "contacts": contacts, "first_seq": first_seq }),
+            SyncContactsBody {
+                contacts: contacts.to_vec(),
+                first_seq: Some(first_seq),
+            },
             now,
             RequestClass::Sync,
         )?;
-        #[derive(Deserialize)]
-        struct Body {
-            acked_upto: u64,
+        match response.body {
+            Payload::ContactsAck { acked_upto, .. } => Ok(acked_upto),
+            body => {
+                #[derive(Deserialize)]
+                struct Body {
+                    acked_upto: u64,
+                }
+                let body: Body = body.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+                Ok(body.acked_upto)
+            }
         }
-        let body: Body = response
-            .parse()
-            .map_err(|e| PmsError::Decode(e.to_string()))?;
-        Ok(body.acked_upto)
     }
 
     /// Resolves a cell-set signature to approximate coordinates via the
@@ -537,7 +627,9 @@ impl CloudClient {
     ) -> Result<Option<GeoPoint>, PmsError> {
         let request = Request::post(
             "/api/v1/misc/geolocate_signature",
-            json!({ "cells": cells }),
+            GeolocateSignatureBody {
+                cells: cells.to_vec(),
+            },
         )
         .with_token(&self.token);
         let response = self.send_with_retry(&request, now, RequestClass::Query);
@@ -545,15 +637,22 @@ impl CloudClient {
             return Ok(None);
         }
         let response = Self::check(&request, response)?;
-        #[derive(Deserialize)]
-        struct Body {
-            latitude: f64,
-            longitude: f64,
-        }
-        let body: Body = response
-            .parse()
-            .map_err(|e| PmsError::Decode(e.to_string()))?;
-        GeoPoint::new(body.latitude, body.longitude)
+        let (latitude, longitude) = match response.body {
+            Payload::Position {
+                latitude,
+                longitude,
+            } => (latitude, longitude),
+            body => {
+                #[derive(Deserialize)]
+                struct Body {
+                    latitude: f64,
+                    longitude: f64,
+                }
+                let body: Body = body.parse().map_err(|e| PmsError::Decode(e.to_string()))?;
+                (body.latitude, body.longitude)
+            }
+        };
+        GeoPoint::new(latitude, longitude)
             .map(Some)
             .map_err(|e| PmsError::Decode(e.to_string()))
     }
@@ -569,8 +668,9 @@ impl CloudClient {
         path: &str,
         body: serde_json::Value,
         now: SimTime,
-    ) -> Result<Response, PmsError> {
+    ) -> Result<JsonResponse, PmsError> {
         self.call_class(path, body, now, RequestClass::Query)
+            .map(JsonResponse::from)
     }
 
     /// Sends an authenticated GET.
@@ -578,16 +678,16 @@ impl CloudClient {
     /// # Errors
     ///
     /// Returns [`PmsError::Cloud`] for non-2xx responses.
-    pub fn get(&mut self, path: &str, now: SimTime) -> Result<Response, PmsError> {
+    pub fn get(&mut self, path: &str, now: SimTime) -> Result<JsonResponse, PmsError> {
         let request = Request::get(path).with_token(&self.token);
         let response = self.send_with_retry(&request, now, RequestClass::Query);
-        Self::check(&request, response)
+        Self::check(&request, response).map(JsonResponse::from)
     }
 
     fn call_class(
         &mut self,
         path: &str,
-        body: serde_json::Value,
+        body: impl Into<Payload>,
         now: SimTime,
         class: RequestClass,
     ) -> Result<Response, PmsError> {
@@ -614,13 +714,15 @@ impl CloudClient {
         }
     }
 
-    /// The retrying wire: serialise, deliver, deserialise — both
-    /// directions — and re-send on transport-level failure with capped
-    /// exponential backoff. Retry waits advance a *virtual* send clock
-    /// (`now` plus the accumulated backoff), so the whole schedule is a
-    /// pure function of simulated time. A retried request is byte-for-byte
-    /// identical to its first send: the idempotency keys inside the body
-    /// are what make the retries safe.
+    /// The retrying send loop. The request travels to the endpoint as a
+    /// typed value; a wire-boundary endpoint (the fault decorator) renders
+    /// its JSON bytes lazily via [`Request::wire_bytes`], and because that
+    /// cache lives on the request, every retry reuses the first encoding —
+    /// a retried request is byte-for-byte identical to its first send, and
+    /// the idempotency keys inside the body are what make retries safe.
+    /// Retry waits advance a *virtual* send clock (`now` plus the
+    /// accumulated backoff), so the whole schedule is a pure function of
+    /// simulated time.
     fn send_with_retry(
         &mut self,
         request: &Request,
@@ -638,14 +740,14 @@ impl CloudClient {
                     "client.budget_exhausted",
                     &[("path", FieldValue::from(request.path.as_str()))],
                 );
-                return Response {
-                    status: STATUS_BUDGET_EXHAUSTED,
-                    body: json!({ "error": "maintenance request budget exhausted" }),
-                };
+                return Response::error(
+                    STATUS_BUDGET_EXHAUSTED,
+                    "maintenance request budget exhausted",
+                );
             }
             self.wire_requests += 1;
             self.metrics.wire_requests.inc();
-            let response = Self::transport(&self.endpoint, request, at);
+            let response = self.endpoint.send(request, at);
             if response.status == STATUS_TIMEOUT {
                 self.metrics.timeouts.inc();
             }
@@ -664,7 +766,7 @@ impl CloudClient {
             // to spread). A guided wait does not advance the exponential
             // schedule either — the hint, not the attempt count, paces us.
             let hinted = if self.honor_retry_after {
-                response.body["retry_after_s"].as_u64()
+                response.retry_after_s()
             } else {
                 None
             };
@@ -696,15 +798,6 @@ impl CloudClient {
         }
     }
 
-    /// The wire: serialise, deliver, deserialise — both directions.
-    fn transport(endpoint: &CloudEndpoint, request: &Request, now: SimTime) -> Response {
-        let bytes = request.to_bytes();
-        let parsed = Request::from_bytes(&bytes).expect("request round-trips");
-        let response = endpoint.send(&parsed, now);
-        let bytes = response.to_bytes();
-        serde_json::from_slice(&bytes).expect("response round-trips")
-    }
-
     fn check(request: &Request, response: Response) -> Result<Response, PmsError> {
         if response.is_success() {
             Ok(response)
@@ -712,8 +805,8 @@ impl CloudClient {
             Err(PmsError::Cloud {
                 path: request.path.clone(),
                 status: response.status,
-                message: response.body["error"]
-                    .as_str()
+                message: response
+                    .error_message()
                     .unwrap_or("unknown error")
                     .to_owned(),
             })
