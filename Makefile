@@ -1,15 +1,16 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke bench-wire lint-wire obs
+.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke bench-wire bench-federation lint-wire obs test-federation
 
 # The full pre-merge gate: release build, the whole test suite, a
 # warning-free clippy pass over every target in the workspace, a
 # formatting check, the chaos gate (fault-injection matrix + soak), the
 # observability gate (byte-identical golden exports + zero-perturbation
-# overhead bench), a tiny-config throughput smoke run that fails if
-# parallel and sequential studies ever diverge, and the wire lint that
-# keeps untyped JSON from creeping back onto the hot path.
-verify: build test clippy fmt lint-wire chaos obs bench-smoke
+# overhead bench), the federation gate (failover matrix + soak), a
+# tiny-config throughput smoke run that fails if parallel and
+# sequential studies ever diverge, and the wire lint that keeps untyped
+# JSON from creeping back onto the hot path.
+verify: build test clippy fmt lint-wire chaos obs test-federation bench-smoke
 
 build:
 	cargo build --release --workspace
@@ -68,6 +69,22 @@ lint-wire:
 	@! sed -n '1,/^mod tests {/p' crates/core/src/cloud_client.rs | grep -n 'json!(' \
 		|| { echo 'lint-wire: json! crept back into the CloudClient request builders'; exit 1; }
 	@echo 'lint-wire: ok'
+
+# The federation gate: the failover & migration matrix (every arm of
+# N instances x balancing policy x kill instant, plain and under 30 %
+# transport chaos, asserting byte-identical convergence to the
+# single-instance baseline and the zero-steady-state-router pin), then
+# the federation soak, which writes BENCH_federation.json and exits
+# nonzero if the arm diverges or a control-plane pin breaks.
+test-federation:
+	cargo test --release -q --test federation_matrix
+	$(MAKE) bench-federation
+
+# Multi-instance soak: capacity split, migration sim-latency, and
+# control-plane cost; writes BENCH_federation.json in the repo root.
+# Flags: --instances, --balance-policy, --failover-at-day, --chaos-rate.
+bench-federation:
+	cargo run --release -p pmware-bench --bin federation_soak
 
 # The observability gate: golden determinism tests (same seed => byte-
 # identical metrics snapshot and trace JSONL, at any thread count; obs

@@ -377,6 +377,30 @@ mod tests {
         ));
     }
 
+    /// Sweeps a jittery, partially reordered request schedule over two
+    /// users and asserts no denial ever hints `retry_after_s == 0` — a
+    /// zero hint would tell the client to retry at the same instant and
+    /// busy-spin, so the boundary must always resolve to admit-now or a
+    /// hint of at least one second.
+    #[test]
+    fn hints_are_never_zero_under_any_schedule() {
+        let ac = AdmissionControl::default();
+        ac.enable(AdmissionConfig::uniform(11, budget(3, 17)));
+        let mut denies = 0;
+        for i in 0..500u64 {
+            // Every fifth step replays a stale clock 40 steps behind.
+            let step = if i % 5 == 3 { i.saturating_sub(40) } else { i };
+            let t = SimTime::from_seconds(step * 3);
+            if let Admission::Deny { retry_after } =
+                ac.admit(UserId((i % 2) as u32), RateClass::Query, t)
+            {
+                denies += 1;
+                assert!(retry_after.as_seconds() >= 1, "zero hint at step {i}");
+            }
+        }
+        assert!(denies > 0, "schedule never outpaced the budget");
+    }
+
     #[test]
     fn disable_resets_buckets() {
         let ac = AdmissionControl::default();

@@ -120,6 +120,21 @@ impl TokenStore {
     pub fn purge_expired(&mut self, now: SimTime) {
         self.tokens.retain(|_, (_, exp)| now < *exp);
     }
+
+    /// The user registered under `identity`, if any. Federation migration
+    /// uses this to find the user a replayed WAL registered on the target
+    /// instance before transplanting the client's live session onto it.
+    pub fn user_of(&self, identity: &DeviceIdentity) -> Option<UserId> {
+        self.by_identity.get(identity).copied()
+    }
+
+    /// Grafts an externally-issued token string onto `user`. Federation
+    /// session adoption: after a failover migrates a user's state here,
+    /// the token the client is *already holding* must keep validating on
+    /// this instance — the client never learns its instance changed.
+    pub fn adopt(&mut self, user: UserId, token: &str, expires_at: SimTime) {
+        self.tokens.insert(token.to_owned(), (user, expires_at));
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,17 @@
+//! The liveness probe behind `GET /api/v1/health`.
+//!
+//! One handler, no state: reaching it at all *is* the health signal. The
+//! route is public (the topology router probes without a token) and the
+//! request still descends the whole layer stack, so an injected outage
+//! short-circuits to 503 before this handler runs — a dead instance
+//! fails its heartbeat exactly the way it fails client traffic.
+
+use crate::api::{Request, Response};
+use crate::payload::Payload;
+
+use super::Ctx;
+
+/// `GET /api/v1/health` — answers `{"status": "ok"}` unconditionally.
+pub(crate) fn status(_ctx: &Ctx<'_>, _request: &Request) -> Response {
+    Response::ok(Payload::Health)
+}

@@ -8,6 +8,7 @@
 
 pub(crate) mod analytics;
 pub(crate) mod geolocate;
+pub(crate) mod health;
 pub(crate) mod places;
 pub(crate) mod profiles;
 pub(crate) mod registration;

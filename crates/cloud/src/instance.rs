@@ -13,8 +13,8 @@
 //!   database, GCA config, admission controller, metrics), shared with
 //!   every layer;
 //! * **the stack** — outage → request metrics → admission control → auth
-//!   → shard accounting ([`crate::layer`]), bottoming out in the
-//!   route-table dispatcher ([`crate::router`]);
+//!   → relocation → shard accounting ([`crate::layer`]), bottoming out in
+//!   the route-table dispatcher ([`crate::router`]);
 //! * **construction and accessors** — builders (`with_obs`,
 //!   `with_admission`) plus the snapshot views tests and benches read.
 //!
@@ -25,6 +25,7 @@
 //! flag and token RNG use an atomic and a small mutex. All methods take
 //! `&self`; [`SharedCloud`] is the cheap cloneable handle clients hold.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -38,11 +39,11 @@ use rand::SeedableRng;
 
 use crate::admission::AdmissionConfig;
 use crate::api::{Request, Response};
-use crate::auth::{TokenStore, UserId};
+use crate::auth::{DeviceIdentity, TokenStore, UserId};
 use crate::geolocate::CellDatabase;
 use crate::layer::{
-    AdmissionLayer, AuthLayer, Layer, Next, OutageLayer, RequestMetricsLayer, RouterService,
-    ShardAccountingLayer,
+    AdmissionLayer, AuthLayer, Layer, Next, OutageLayer, RelocationLayer, RequestMetricsLayer,
+    RouterService, ShardAccountingLayer,
 };
 use crate::profile::{ContactEntry, MobilityProfile};
 use crate::state::{CloudCore, CloudMetrics, Shard};
@@ -127,6 +128,7 @@ impl CloudInstance {
             outage: AtomicBool::new(false),
             admission: Default::default(),
             metrics: CloudMetrics::new(),
+            relocated: RwLock::new(HashSet::new()),
         })
     }
 
@@ -149,6 +151,9 @@ impl CloudInstance {
                 core: Arc::clone(&core),
             }),
             Arc::new(AuthLayer {
+                core: Arc::clone(&core),
+            }),
+            Arc::new(RelocationLayer {
                 core: Arc::clone(&core),
             }),
             Arc::new(ShardAccountingLayer {
@@ -362,6 +367,37 @@ impl CloudInstance {
         let store = self.core.store_of(user);
         let store = store.lock();
         store.history.iter().cloned().collect()
+    }
+
+    /// Marks `user`'s state as migrated away: the relocation layer will
+    /// answer their authenticated requests with
+    /// [`crate::STATUS_MISDIRECTED`] until (if ever) the user is adopted
+    /// back. Driven by the federation [`crate::topology::TopologyRouter`]
+    /// at failover/drain time.
+    pub fn mark_relocated(&self, user: UserId) {
+        self.core.relocated.write().insert(user);
+    }
+
+    /// Transplants a live client session onto this instance after a
+    /// migration replay: looks up the user the replayed WAL registered
+    /// under `identity`, grafts the client's current `token` onto it, and
+    /// clears any relocation mark (fail-back). Returns the local
+    /// [`UserId`] now answering for the session, or `None` if no replay
+    /// registered the identity here.
+    pub fn adopt_session(
+        &self,
+        identity: &DeviceIdentity,
+        token: &str,
+        expires_at: SimTime,
+    ) -> Option<UserId> {
+        let user = {
+            let mut tokens = self.core.tokens.write();
+            let user = tokens.user_of(identity)?;
+            tokens.adopt(user, token, expires_at);
+            user
+        };
+        self.core.relocated.write().remove(&user);
+        Some(user)
     }
 
     /// Handles one request at simulated instant `now` — the single entry

@@ -197,6 +197,38 @@ impl Layer for AuthLayer {
     }
 }
 
+/// Relocation gate for federated deployments. After a failover migrates a
+/// user's state to another instance, any authenticated request from that
+/// user reaching *this* instance would mutate abandoned state — so it is
+/// answered with [`crate::STATUS_MISDIRECTED`] (421) instead, which the
+/// federated endpoint turns into a topology refresh and a resend. Sits
+/// below auth: only a caller who proved their identity can learn they
+/// were moved, and expired tokens still get the ordinary 401.
+#[derive(Debug)]
+pub(crate) struct RelocationLayer {
+    pub(crate) core: Arc<CloudCore>,
+}
+
+impl Layer for RelocationLayer {
+    fn call(&self, request: &Request, now: SimTime, next: Next<'_>) -> Response {
+        if !is_public(request) {
+            let user = request
+                .token
+                .as_deref()
+                .and_then(|t| self.core.tokens.read().validate(t, now));
+            if let Some(user) = user {
+                if self.core.relocated.read().contains(&user) {
+                    return Response::error(
+                        crate::transport::STATUS_MISDIRECTED,
+                        "user relocated to another instance",
+                    );
+                }
+            }
+        }
+        next.run(request, now)
+    }
+}
+
 /// Per-shard request attribution for every authenticated request (the
 /// legacy `total_requests`/`shard_request_counts` views). Below auth, so
 /// only requests that actually carried a valid token count; public

@@ -49,6 +49,7 @@ pub mod predict;
 pub mod profile;
 pub mod router;
 mod state;
+pub mod topology;
 pub mod transport;
 pub mod wire;
 
@@ -61,13 +62,17 @@ pub use geolocate::CellDatabase;
 pub use instance::{CloudInstance, SharedCloud, SHARD_COUNT};
 pub use layer::{Layer, Next};
 pub use payload::{
-    ArrivalBody, DiscoverBody, GeolocateBody, GeolocateSignatureBody, LabelBody, NextVisitBody,
-    Payload, PlaceOnlyBody, RegistrationBody, RouteQueryBody, SocialQueryBody, SyncContactsBody,
-    SyncPlacesBody, SyncProfileBody, SyncRoutesBody,
+    ArrivalBody, DiscoverBody, GeolocateBody, GeolocateSignatureBody, HandshakeBody, LabelBody,
+    NextVisitBody, Payload, PlaceOnlyBody, RegistrationBody, RouteQueryBody, SocialQueryBody,
+    SyncContactsBody, SyncPlacesBody, SyncProfileBody, SyncRoutesBody, REGISTRATION_PATH,
+    TOPOLOGY_HANDSHAKE_PATH,
 };
 pub use profile::{ActivitySummary, ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};
 pub use router::{RateClass, Route, RouteAuth, ALL_RATE_CLASSES, ENDPOINT_LABELS, ROUTES};
+pub use topology::{
+    ActivityFanout, BalancePolicy, FailoverReport, FederatedEndpoint, InstanceId, TopologyRouter,
+};
 pub use transport::{
     CloudEndpoint, CloudTransport, FaultKind, FaultPlan, FaultStats, FaultyCloud, ALL_FAULT_KINDS,
-    STATUS_BUDGET_EXHAUSTED, STATUS_INJECTED_ERROR, STATUS_TIMEOUT,
+    STATUS_BUDGET_EXHAUSTED, STATUS_INJECTED_ERROR, STATUS_MISDIRECTED, STATUS_TIMEOUT,
 };

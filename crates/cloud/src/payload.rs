@@ -52,6 +52,27 @@ pub struct RegistrationBody {
     pub email: String,
 }
 
+/// `POST /api/v1/topology/handshake` body — the one control-plane
+/// request of the federation layer. Served by the `TopologyRouter`
+/// itself, never by an instance, so the path is **not** a route-table
+/// row (see [`TOPOLOGY_HANDSHAKE_PATH`]).
+#[derive(Debug, Clone, Deserialize)]
+pub struct HandshakeBody {
+    /// Device IMEI (identity key, with `email`).
+    pub imei: String,
+    /// Account email (identity key, with `imei`).
+    pub email: String,
+}
+
+/// Path of the topology-handshake control-plane endpoint. Deliberately
+/// absent from the instance route table: an instance answering it would
+/// put the router back on the hot path.
+pub const TOPOLOGY_HANDSHAKE_PATH: &str = "/api/v1/topology/handshake";
+
+/// Path of the one public instance route. The federation layer treats a
+/// successful POST here as the start of a user's migration log.
+pub const REGISTRATION_PATH: &str = "/api/v1/registration";
+
 /// `POST /api/v1/places/discover` body.
 #[derive(Debug, Clone, Deserialize)]
 pub struct DiscoverBody {
@@ -253,6 +274,8 @@ pub enum Payload {
     NextVisit(NextVisitBody),
     /// `POST /api/v1/analytics/{frequency,next_place}`.
     PlaceOnly(PlaceOnlyBody),
+    /// `POST /api/v1/topology/handshake` (the federation control plane).
+    Handshake(HandshakeBody),
 
     // ---- response bodies (one per handler success shape) -----------------
     /// Registration reply.
@@ -358,6 +381,18 @@ pub enum Payload {
     Predictions {
         /// `(place, probability)` pairs, most likely first.
         predictions: Vec<(DiscoveredPlaceId, f64)>,
+    },
+    /// Health-probe reply (`GET /api/v1/health`): `{"status": "ok"}`.
+    Health,
+    /// Topology-handshake reply: the versioned placement snapshot a
+    /// client caches at session start.
+    Topology {
+        /// Snapshot version; bumped on every placement or health change.
+        version: u64,
+        /// The instance assigned to the caller.
+        assigned: u32,
+        /// `(instance id, healthy)` for every registered instance.
+        instances: Vec<(u32, bool)>,
     },
 }
 
@@ -471,6 +506,10 @@ impl Payload {
                 .build(),
             Payload::NextVisit(b) => Obj::new().put("now", &b.now).put("place", &b.place).build(),
             Payload::PlaceOnly(b) => Obj::new().put("place", &b.place).build(),
+            Payload::Handshake(b) => Obj::new()
+                .put("email", &b.email)
+                .put("imei", &b.imei)
+                .build(),
 
             Payload::Registered {
                 user,
@@ -534,6 +573,18 @@ impl Payload {
             Payload::Predictions { predictions } => {
                 Obj::new().put("predictions", predictions).build()
             }
+            Payload::Health => Obj::new()
+                .put_value("status", Value::String("ok".to_owned()))
+                .build(),
+            Payload::Topology {
+                version,
+                assigned,
+                instances,
+            } => Obj::new()
+                .put("assigned", assigned)
+                .put("instances", instances)
+                .put("version", version)
+                .build(),
         }
     }
 
@@ -556,6 +607,16 @@ impl Payload {
     pub fn from_json(method: Method, path: &str, body: &Value) -> Payload {
         if body.is_null() {
             return Payload::Empty;
+        }
+        // The topology handshake is the one request shape served outside
+        // the route table (the router's control plane), so it gets its
+        // own decode attempt — under the same byte-identity guard.
+        if method == Method::Post && path == TOPOLOGY_HANDSHAKE_PATH {
+            if let Some(typed) = decode::<HandshakeBody>(body) {
+                if typed.to_json() == *body {
+                    return typed;
+                }
+            }
         }
         if let Resolution::Matched { route, .. } = resolve(method, path) {
             if let Some(typed) = (route.decode)(body) {
@@ -676,6 +737,7 @@ request_bodies! {
     ArrivalBody => Arrival,
     NextVisitBody => NextVisit,
     PlaceOnlyBody => PlaceOnly,
+    HandshakeBody => Handshake,
 }
 
 /// A route's body decoder: tries the route's typed request shape.
@@ -794,6 +856,32 @@ mod tests {
             json!({ "error": "rate limited", "class": "ingest", "retry_after_s": 12 })
         );
         assert_eq!(r.retry_after_s(), Some(12));
+    }
+
+    #[test]
+    fn topology_payloads_pin_their_wire_spelling() {
+        let handshake = Payload::Handshake(HandshakeBody {
+            imei: "350".to_owned(),
+            email: "a@x".to_owned(),
+        });
+        let wire = json!({ "email": "a@x", "imei": "350" });
+        assert_eq!(handshake.to_json(), wire);
+        // The handshake path is off the route table yet still
+        // reconstructs typed at the wire boundary.
+        let back = Payload::from_json(Method::Post, TOPOLOGY_HANDSHAKE_PATH, &wire);
+        assert!(matches!(back, Payload::Handshake(_)), "{back:?}");
+        assert_eq!(back.to_json(), wire);
+
+        assert_eq!(Payload::Health.to_json(), json!({ "status": "ok" }));
+        let topo = Payload::Topology {
+            version: 3,
+            assigned: 1,
+            instances: vec![(0, true), (1, false)],
+        };
+        assert_eq!(
+            topo.to_json(),
+            json!({ "assigned": 1, "instances": [[0, true], [1, false]], "version": 3 })
+        );
     }
 
     #[test]

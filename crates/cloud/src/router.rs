@@ -143,7 +143,7 @@ use RouteAuth::{Bearer, Public};
 /// the row index **is** the endpoint's metric-label index — append new
 /// rows rather than reordering, or historical metric dumps stop lining
 /// up.
-pub const ROUTES: [Route; 20] = [
+pub const ROUTES: [Route; 21] = [
     route(
         Post,
         Exact("/api/v1/registration"),
@@ -324,6 +324,19 @@ pub const ROUTES: [Route; 20] = [
         handlers::analytics::next_place,
         payload::decode::<PlaceOnlyBody>,
     ),
+    // The federation heartbeat: public so the topology router can probe
+    // an instance without holding any user's token, and it runs through
+    // the full layer stack so an injected outage answers 503 — which is
+    // exactly how a dead instance is detected.
+    route(
+        Get,
+        Exact("/api/v1/health"),
+        Public,
+        Query,
+        "health",
+        handlers::health::status,
+        payload::decode_none,
+    ),
 ];
 
 /// Number of endpoint metric labels: one per route plus `other` (unrouted
@@ -475,6 +488,7 @@ mod tests {
             "analytics_frequency",
             "analytics_activity",
             "analytics_next_place",
+            "health",
             "other",
         ];
         assert_eq!(ENDPOINT_LABELS.as_slice(), expected.as_slice());

@@ -7,7 +7,7 @@
 //! and touch exactly the state they need, instead of one monolith owning
 //! both the state and every behavior.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -192,6 +192,12 @@ pub(crate) struct CloudCore {
     pub(crate) outage: AtomicBool,
     pub(crate) admission: AdmissionControl,
     pub(crate) metrics: CloudMetrics,
+    /// Users whose state has been migrated to another instance during a
+    /// federation failover or drain. The relocation layer answers their
+    /// authenticated requests with 421 so the federated endpoint refreshes
+    /// its topology instead of mutating abandoned state. A user re-adopted
+    /// by this instance (fail-back) is removed from the set.
+    pub(crate) relocated: RwLock<HashSet<UserId>>,
 }
 
 impl CloudCore {

@@ -1,0 +1,73 @@
+//! The per-user migration write-ahead log.
+//!
+//! The federated endpoint appends every *successful mutating* request —
+//! registration plus the `Ingest`-class offloads and syncs — keyed by the
+//! device identity. A failover replays the log, in order, into the user's
+//! new instance; the server-side sequence watermarks (`absorbed_upto`,
+//! per-day profile sequences, places/routes sync sequences) make the
+//! replay idempotent, so the rebuilt state is byte-identical to what the
+//! dead instance held. Queries and token refreshes are never logged: they
+//! do not shape user state, and the live token is transplanted separately
+//! at adoption time.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::api::Request;
+
+/// Append-only per-user request log, keyed by identity key.
+#[derive(Debug, Default)]
+pub(super) struct MigrationWal {
+    entries: Mutex<BTreeMap<String, Vec<Request>>>,
+}
+
+impl MigrationWal {
+    /// Appends one replayable request under `key`.
+    pub(super) fn append(&self, key: &str, request: Request) {
+        self.entries
+            .lock()
+            .entry(key.to_owned())
+            .or_default()
+            .push(request);
+    }
+
+    /// A clone of `key`'s log, in append order.
+    pub(super) fn replay_of(&self, key: &str) -> Vec<Request> {
+        self.entries.lock().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Number of logged requests for `key`.
+    pub(super) fn len_of(&self, key: &str) -> usize {
+        self.entries.lock().get(key).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn append_preserves_order_per_key() {
+        let wal = MigrationWal::default();
+        wal.append(
+            "a",
+            Request::post("/api/v1/registration", json!({"imei": "1"})),
+        );
+        wal.append(
+            "a",
+            Request::post("/api/v1/places/sync", json!({"places": []})),
+        );
+        wal.append(
+            "b",
+            Request::post("/api/v1/registration", json!({"imei": "2"})),
+        );
+        let a = wal.replay_of("a");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].path, "/api/v1/registration");
+        assert_eq!(a[1].path, "/api/v1/places/sync");
+        assert_eq!(wal.len_of("b"), 1);
+        assert_eq!(wal.len_of("missing"), 0);
+    }
+}

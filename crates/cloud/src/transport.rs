@@ -64,6 +64,13 @@ pub const STATUS_INJECTED_ERROR: u16 = 502;
 /// pass — the next pass gets a fresh budget.
 pub const STATUS_BUDGET_EXHAUSTED: u16 = 597;
 
+/// The request reached an instance that no longer owns the caller's
+/// state (the user was migrated away during a federation failover or
+/// drain). The client should refresh its topology snapshot and re-send
+/// to its new instance; the federated endpoint does exactly that before
+/// the client's retry loop ever sees the status.
+pub const STATUS_MISDIRECTED: u16 = 421;
+
 /// Anything a cloud client can talk to: the real [`SharedCloud`] or a
 /// fault-injecting decorator around it.
 pub trait CloudTransport: Send + Sync + fmt::Debug {

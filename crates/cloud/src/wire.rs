@@ -205,6 +205,64 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_batch_round_trips() {
+        let log = vec![obs(86_400, 3, -55.5)];
+        let batch = ObservationBatch::encode(&log);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.t0, 86_400);
+        assert_eq!(batch.dt, vec![0]);
+        assert_eq!(batch.cells.len(), 1);
+        assert_eq!(batch.decode().unwrap(), log);
+    }
+
+    /// Timestamp deltas at the wrapping boundaries of the u64↔i64 cast:
+    /// a log straddling `i64::MAX` seconds produces deltas that only
+    /// round-trip because both directions use wrapping arithmetic. No
+    /// panic, exact reconstruction.
+    #[test]
+    fn wrapping_boundary_deltas_round_trip() {
+        let log = vec![
+            obs(u64::MAX - 1, 1, -60.0),
+            obs(u64::MAX, 1, -61.0),
+            obs(0, 2, -62.0), // wraps forward past u64::MAX
+            obs(5, 2, -63.0),
+            obs(u64::MAX, 1, -64.0), // wraps backward
+        ];
+        let batch = ObservationBatch::encode(&log);
+        assert_eq!(batch.decode().unwrap(), log);
+
+        // A delta of exactly i64::MIN survives the cast round trip too.
+        let far = vec![obs(1 << 63, 3, -50.0), obs(0, 3, -51.0)];
+        let batch = ObservationBatch::encode(&far);
+        assert_eq!(batch.dt[1], i64::MIN);
+        assert_eq!(batch.decode().unwrap(), far);
+    }
+
+    /// A hostile batch with extreme column values must return `Err` (or
+    /// reconstruct harmlessly), never panic — the server feeds decode
+    /// straight from the wire.
+    #[test]
+    fn hostile_extreme_batches_never_panic() {
+        // Dictionary symbol u32::MAX on an otherwise valid batch.
+        let mut batch = ObservationBatch::encode(&[obs(60, 1, -60.0)]);
+        batch.cell[0] = u32::MAX;
+        let err = batch.decode().unwrap_err();
+        assert!(err.contains("outside dictionary"), "{err}");
+
+        // Empty dictionary with a non-empty observation column.
+        let mut batch = ObservationBatch::encode(&[obs(60, 1, -60.0)]);
+        batch.cells.clear();
+        assert!(batch.decode().is_err());
+
+        // Extreme t0 and delta columns decode without panicking.
+        let mut batch = ObservationBatch::encode(&[obs(0, 1, -60.0), obs(1, 1, -60.0)]);
+        batch.t0 = u64::MAX;
+        batch.dt = vec![i64::MIN, i64::MAX];
+        let decoded = batch.decode().unwrap();
+        assert_eq!(decoded.len(), 2);
+    }
+
+    #[test]
     fn ragged_batch_is_an_error_not_a_panic() {
         let mut batch = ObservationBatch::encode(&[obs(60, 1, -60.0)]);
         batch.rssi_dbm.clear();

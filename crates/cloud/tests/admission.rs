@@ -108,6 +108,89 @@ fn registration_is_never_throttled() {
     }
 }
 
+/// The boundary case the hint arithmetic must get right: one second
+/// before the bucket refills the hint is exactly 1 — never 0, which
+/// would tell the client to retry at the same instant and busy-spin —
+/// and at the refill instant itself the request is admitted outright,
+/// so a 0-second hint is never needed.
+#[test]
+fn hint_is_one_just_before_the_refill_boundary_and_admit_at_it() {
+    let cloud = CloudInstance::new(CellDatabase::new(), 1).with_admission(
+        AdmissionConfig::uniform(5, RateBudget::new(1, SimDuration::from_seconds(45))),
+    );
+    let token = register(&cloud, 0);
+    let list = Request::get("/api/v1/places").with_token(&token);
+    // Drain the single-token bucket; the refill lands at EPOCH + 45.
+    assert!(cloud.handle(&list, SimTime::EPOCH).is_success());
+    let just_before = SimTime::EPOCH + SimDuration::from_seconds(44);
+    let denied = cloud.handle(&list, just_before);
+    assert_eq!(denied.status, STATUS_RATE_LIMITED);
+    assert_eq!(denied.json()["retry_after_s"].as_u64(), Some(1));
+    // The boundary instant belongs to the client.
+    let boundary = SimTime::EPOCH + SimDuration::from_seconds(45);
+    assert!(cloud.handle(&list, boundary).is_success());
+}
+
+/// Denials count down to the refill instant second by second: every
+/// hint equals the exact remaining delay (denying never moves the
+/// refill clock), no hint is ever 0, and waiting precisely the hinted
+/// delay is always sufficient.
+#[test]
+fn deny_hints_count_down_exactly_to_the_refill_instant() {
+    let cloud = CloudInstance::new(CellDatabase::new(), 1).with_admission(
+        AdmissionConfig::uniform(8, RateBudget::new(1, SimDuration::from_seconds(30))),
+    );
+    let token = register(&cloud, 0);
+    let list = Request::get("/api/v1/places").with_token(&token);
+    assert!(cloud.handle(&list, SimTime::EPOCH).is_success());
+    for s in 0..30 {
+        let now = SimTime::EPOCH + SimDuration::from_seconds(s);
+        let denied = cloud.handle(&list, now);
+        assert_eq!(denied.status, STATUS_RATE_LIMITED, "at +{s}s");
+        assert_eq!(
+            denied.json()["retry_after_s"].as_u64(),
+            Some(30 - s),
+            "hint at +{s}s"
+        );
+    }
+    // Thirty denials later the refill instant is unchanged.
+    let boundary = SimTime::EPOCH + SimDuration::from_seconds(30);
+    assert!(cloud.handle(&list, boundary).is_success());
+    assert_eq!(cloud.admission_denials(), 30);
+}
+
+/// A client whose retry clock runs behind the server's stream of
+/// simulated instants (reordered delivery across the lockstep wall)
+/// earns no credit from the past: the stale probe is denied with a
+/// hint measured against the real refill instant, mints no tokens,
+/// and the arithmetic never panics on the negative elapsed time.
+#[test]
+fn reordered_sim_time_earns_no_credit_through_the_stack() {
+    let cloud = CloudInstance::new(CellDatabase::new(), 1).with_admission(
+        AdmissionConfig::uniform(13, RateBudget::new(1, SimDuration::from_seconds(60))),
+    );
+    let token = register(&cloud, 0);
+    let list = Request::get("/api/v1/places").with_token(&token);
+    let t0 = SimTime::from_seconds(1_000);
+    // Drain at t=1000; the refill lands at t=1060.
+    assert!(cloud.handle(&list, t0).is_success());
+    // A stale instant far in the past: denied, hint spans the whole gap
+    // up to the true refill instant.
+    let stale = SimTime::from_seconds(100);
+    let denied = cloud.handle(&list, stale);
+    assert_eq!(denied.status, STATUS_RATE_LIMITED);
+    assert_eq!(denied.json()["retry_after_s"].as_u64(), Some(960));
+    // The stale probe minted nothing: one second before the refill the
+    // bucket is still empty, and at the refill instant it admits.
+    let just_before = SimTime::from_seconds(1_059);
+    let denied = cloud.handle(&list, just_before);
+    assert_eq!(denied.status, STATUS_RATE_LIMITED);
+    assert_eq!(denied.json()["retry_after_s"].as_u64(), Some(1));
+    assert!(cloud
+        .handle(&list, SimTime::from_seconds(1_060))
+        .is_success());
+}
+
 #[test]
 fn disabled_admission_never_denies() {
     let cloud = CloudInstance::new(CellDatabase::new(), 1);

@@ -819,3 +819,76 @@ fn shared_cloud_serves_threads_concurrently() {
         assert_eq!(places[0]["id"], n as u64);
     }
 }
+
+/// Malformed batched offloads (ISSUE 8 regression set): every decode
+/// failure in [`pmware_cloud::wire::ObservationBatch`] must surface as a
+/// structured 400 at the endpoint — a hostile or confused client can
+/// never panic the server — while empty and single-sample batches are
+/// legitimate and absorb cleanly.
+#[test]
+fn batched_discover_edge_cases_yield_400_not_panics() {
+    use pmware_cloud::wire::ObservationBatch;
+
+    let c = cloud();
+    let now = SimTime::EPOCH;
+    let token = register(&c, 0, now);
+    let obs = |second: u64, id: u32| GsmObservation {
+        time: SimTime::from_seconds(second),
+        cell: CellGlobalId {
+            plmn: Plmn { mcc: 404, mnc: 45 },
+            lac: Lac(1),
+            cell: CellId(id),
+        },
+        layer: NetworkLayer::G2,
+        rssi_dbm: -70.0,
+    };
+    let discover = |batch: &ObservationBatch| {
+        c.handle(
+            &Request::post(
+                "/api/v1/places/discover",
+                json!({"batch": batch, "start": 0}),
+            )
+            .with_token(&token),
+            now,
+        )
+    };
+
+    // Empty batch: legitimate (an idle day), absorbs nothing, 200.
+    let resp = discover(&ObservationBatch::encode(&[]));
+    assert!(resp.is_success(), "{resp:?}");
+
+    // Single-sample batch: the smallest real offload, 200.
+    let resp = discover(&ObservationBatch::encode(&[obs(60, 1)]));
+    assert!(resp.is_success(), "{resp:?}");
+
+    // Dictionary symbol out of range → 400 with the decode error.
+    let mut bad = ObservationBatch::encode(&[obs(60, 1)]);
+    bad.cell[0] = 7;
+    let resp = discover(&bad);
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.error_message().unwrap().contains("outside dictionary"),
+        "{resp:?}"
+    );
+
+    // Ragged parallel columns → 400.
+    let mut ragged = ObservationBatch::encode(&[obs(60, 1), obs(120, 2)]);
+    ragged.rssi_dbm.pop();
+    let resp = discover(&ragged);
+    assert_eq!(resp.status, 400);
+    assert!(resp.error_message().unwrap().contains("ragged"), "{resp:?}");
+
+    // Wrapping-boundary deltas: decode is defined (wrapping), so the
+    // endpoint must absorb rather than 500 — and the server state stays
+    // usable afterwards.
+    let mut wrapping = ObservationBatch::encode(&[obs(0, 1), obs(1, 1)]);
+    wrapping.t0 = u64::MAX;
+    wrapping.dt = vec![i64::MAX, i64::MIN];
+    let resp = discover(&wrapping);
+    assert!(
+        resp.status == 200 || resp.status == 400,
+        "wrapping batch must not 5xx: {resp:?}"
+    );
+    let resp = c.handle(&Request::get("/api/v1/places").with_token(&token), now);
+    assert!(resp.is_success(), "server survived: {resp:?}");
+}

@@ -548,3 +548,208 @@ proptest! {
         }
     }
 }
+
+/// A canonical sample request payload for every route label. The match is
+/// exhaustive over the live table: adding a [`pmware_cloud::ROUTES`] row
+/// without extending this function makes
+/// `route_table_and_payload_layer_are_exhaustively_tied` panic, which is
+/// the point — a route must never exist without a typed payload story.
+fn sample_request_payload(label: &str) -> pmware_cloud::Payload {
+    use pmware_algorithms::signature::{DiscoveredPlace, PlaceSignature};
+    use pmware_cloud::{
+        ArrivalBody, DiscoverBody, GeolocateBody, GeolocateSignatureBody, LabelBody, NextVisitBody,
+        Payload, PlaceOnlyBody, RegistrationBody, RouteQueryBody, SocialQueryBody,
+        SyncContactsBody, SyncPlacesBody, SyncProfileBody, SyncRoutesBody,
+    };
+    match label {
+        "register" => RegistrationBody {
+            imei: "350000000000000".into(),
+            email: "a@x.com".into(),
+        }
+        .into(),
+        // Body-less routes: the typed story is `Payload::Empty` (wire
+        // spelling `null`).
+        "token_refresh" | "places_list" | "routes_list" | "profiles_get" | "analytics_activity"
+        | "health" => Payload::Empty,
+        "places_discover" => DiscoverBody {
+            observations: vec![],
+            batch: None,
+            start: Some(0),
+        }
+        .into(),
+        "places_sync" => SyncPlacesBody {
+            places: vec![DiscoveredPlace::new(
+                DiscoveredPlaceId(1),
+                PlaceSignature::WifiAps(Default::default()),
+                vec![],
+            )],
+            seq: Some(1),
+        }
+        .into(),
+        "places_label" => LabelBody {
+            place: DiscoveredPlaceId(1),
+            label: "Home".into(),
+        }
+        .into(),
+        "routes_sync" => SyncRoutesBody {
+            routes: vec![],
+            seq: Some(1),
+        }
+        .into(),
+        "routes_query" => RouteQueryBody {
+            from: DiscoveredPlaceId(0),
+            to: DiscoveredPlaceId(1),
+        }
+        .into(),
+        "profiles_sync" => SyncProfileBody {
+            profile: MobilityProfile::new(0),
+            seq: Some(1),
+        }
+        .into(),
+        "social_sync" => SyncContactsBody {
+            contacts: vec![],
+            first_seq: Some(0),
+        }
+        .into(),
+        "social_query" => SocialQueryBody {
+            place: Some(DiscoveredPlaceId(2)),
+        }
+        .into(),
+        "geolocate" => GeolocateBody {
+            mcc: 404,
+            mnc: 10,
+            lac: 1,
+            cid: 2,
+        }
+        .into(),
+        "geolocate_signature" => GeolocateSignatureBody { cells: vec![] }.into(),
+        "analytics_arrival" => ArrivalBody {
+            place: DiscoveredPlaceId(0),
+            window: Some((15, 24)),
+        }
+        .into(),
+        "analytics_next_visit" => NextVisitBody {
+            place: DiscoveredPlaceId(0),
+            now: SimTime::from_seconds(60),
+        }
+        .into(),
+        "analytics_frequency" | "analytics_next_place" => PlaceOnlyBody {
+            place: DiscoveredPlaceId(0),
+        }
+        .into(),
+        other => panic!("route {other:?} has no sample body — extend sample_request_payload"),
+    }
+}
+
+/// Exhaustiveness tie between the route table and the payload layer:
+/// every route resolves back to its own row, has a typed request payload
+/// whose wire spelling decodes to the same variant (never the `Json`
+/// fallback), and carries a non-empty metric label. New rows fail here
+/// until both sides exist.
+#[test]
+fn route_table_and_payload_layer_are_exhaustively_tied() {
+    use pmware_cloud::router::{resolve, PathSpec, Resolution, ROUTES};
+    use pmware_cloud::Payload;
+
+    let mut labels = std::collections::BTreeSet::new();
+    for (index, route) in ROUTES.iter().enumerate() {
+        let path = match route.path {
+            PathSpec::Exact(p) => p.to_owned(),
+            PathSpec::Prefix(p) => format!("{p}3"),
+        };
+        match resolve(route.method, &path) {
+            Resolution::Matched { index: hit, .. } => {
+                assert_eq!(
+                    hit, index,
+                    "route {} shadowed by an earlier row",
+                    route.label
+                );
+            }
+            other => panic!("route {} does not resolve: {other:?}", route.label),
+        }
+        assert!(!route.label.is_empty());
+        assert!(
+            labels.insert(route.label),
+            "duplicate metric label {:?}",
+            route.label
+        );
+
+        let payload = sample_request_payload(route.label);
+        let spelled = payload.to_json();
+        let back = Payload::from_json(route.method, &path, &spelled);
+        assert!(
+            !matches!(back, Payload::Json(_)),
+            "route {}: canonical body fell back to Json",
+            route.label
+        );
+        assert_eq!(back, payload, "route {}: lossy decode", route.label);
+        assert_eq!(
+            back.to_json(),
+            spelled,
+            "route {}: unstable wire spelling",
+            route.label
+        );
+    }
+    assert_eq!(labels.len(), ROUTES.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fuzzed unrouted traffic pins its error **bytes**, not just the
+    /// status: a 404 is exactly `{"error":"no route for <path>"}` and a
+    /// 405 exactly `{"allow":[...],"error":"method not allowed"}` in the
+    /// canonical envelope — the spellings clients and the federation
+    /// layer key on.
+    #[test]
+    fn unrouted_requests_pin_their_error_bytes(
+        tail in "[a-z0-9/._-]{0,24}",
+        is_get in any::<bool>(),
+        body in arb_json(),
+    ) {
+        use pmware_cloud::router::{resolve, Resolution};
+        use pmware_cloud::Method;
+
+        let cloud = CloudInstance::new(CellDatabase::new(), 5);
+        let reg = cloud.handle(
+            &Request::post("/api/v1/registration", json!({"imei": "i", "email": "e"})),
+            SimTime::EPOCH,
+        );
+        let token = reg.json()["token"].as_str().unwrap().to_owned();
+
+        let path = format!("/api/v1/{tail}");
+        let method = if is_get { Method::Get } else { Method::Post };
+        let request = if is_get {
+            Request::get(&path)
+        } else {
+            Request::post(&path, body)
+        }
+        .with_token(&token);
+        let response = cloud.handle(&request, SimTime::EPOCH);
+        let wire = String::from_utf8(response.to_bytes().to_vec()).unwrap();
+
+        match resolve(method, &path) {
+            Resolution::NotFound => {
+                prop_assert_eq!(response.status, 404);
+                let expected =
+                    format!(r#"{{"body":{{"error":"no route for {path}"}},"status":404}}"#);
+                prop_assert_eq!(wire, expected);
+            }
+            Resolution::MethodNotAllowed { allow } => {
+                prop_assert_eq!(response.status, 405);
+                let allowed = allow
+                    .iter()
+                    .map(|m| format!("\"{}\"", m.as_str()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let expected = format!(
+                    r#"{{"body":{{"allow":[{allowed}],"error":"method not allowed"}},"status":405}}"#
+                );
+                prop_assert_eq!(wire, expected);
+            }
+            // The fuzzer occasionally lands on a real route; those are
+            // owned by the endpoint tests, not this pin.
+            Resolution::Matched { .. } => {}
+        }
+    }
+}

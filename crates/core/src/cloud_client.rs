@@ -25,7 +25,8 @@ use pmware_cloud::wire::ObservationBatch;
 use pmware_cloud::{
     CloudEndpoint, DiscoverBody, GeolocateSignatureBody, LabelBody, MobilityProfile, Payload,
     RegistrationBody, Request, Response, SyncContactsBody, SyncPlacesBody, SyncProfileBody,
-    SyncRoutesBody, UserId, STATUS_BUDGET_EXHAUSTED, STATUS_RATE_LIMITED, STATUS_TIMEOUT,
+    SyncRoutesBody, UserId, STATUS_BUDGET_EXHAUSTED, STATUS_MISDIRECTED, STATUS_RATE_LIMITED,
+    STATUS_TIMEOUT,
 };
 use pmware_geo::GeoPoint;
 use pmware_obs::{Counter, FieldValue, Histogram, Obs};
@@ -114,10 +115,13 @@ impl RequestClass {
 
 /// Transport-level failures worth retrying: 5xx (outage, injected errors,
 /// synthetic timeouts) plus 429 (admission control shed the request — it
-/// will be admitted once the token bucket refills). Other 4xx are the
-/// server telling us the request itself is wrong — retrying cannot help.
+/// will be admitted once the token bucket refills) plus 421 (a federated
+/// deployment moved this user's state to another instance; the federated
+/// endpoint refreshes its topology before the retry is sent, so the retry
+/// lands on the right instance). Other 4xx are the server telling us the
+/// request itself is wrong — retrying cannot help.
 fn retryable(status: u16) -> bool {
-    status == STATUS_RATE_LIMITED || (500..=599).contains(&status)
+    status == STATUS_RATE_LIMITED || status == STATUS_MISDIRECTED || (500..=599).contains(&status)
 }
 
 /// Deterministic jitter in `[0, cap]` seconds, derived purely from the
