@@ -1,6 +1,6 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke bench-wire bench-federation lint-wire obs test-federation
+.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke bench-wire bench-federation bench-latency lint-wire lint-latency obs test-federation
 
 # The full pre-merge gate: release build, the whole test suite, a
 # warning-free clippy pass over every target in the workspace, a
@@ -8,9 +8,11 @@
 # observability gate (byte-identical golden exports + zero-perturbation
 # overhead bench), the federation gate (failover matrix + soak), a
 # tiny-config throughput smoke run that fails if parallel and
-# sequential studies ever diverge, and the wire lint that keeps untyped
-# JSON from creeping back onto the hot path.
-verify: build test clippy fmt lint-wire chaos obs test-federation bench-smoke
+# sequential studies ever diverge, the wire lint that keeps untyped
+# JSON from creeping back onto the hot path, the wall-clock lint that
+# keeps real time out of simulation code, and the latency soak with its
+# built-in shed/convergence gates.
+verify: build test clippy fmt lint-wire lint-latency chaos obs test-federation bench-smoke bench-latency
 
 build:
 	cargo build --release --workspace
@@ -70,6 +72,27 @@ lint-wire:
 		|| { echo 'lint-wire: json! crept back into the CloudClient request builders'; exit 1; }
 	@echo 'lint-wire: ok'
 
+# The wall-clock lint: the request latency model (DESIGN.md §5j) is
+# sim-time only, so no simulation code may read a real clock. The only
+# sanctioned wall-clock readers are the feature-gated profiler
+# (crates/obs/src/profiling.rs, `wallclock` feature) and the
+# throughput/overhead bench binaries in crates/bench/src/bin, which
+# measure wall time on purpose.
+lint-latency:
+	@! grep -rn 'std::time::\(Instant\|SystemTime\)' crates \
+		--include='*.rs' --exclude-dir=bin --exclude=profiling.rs \
+		|| { echo 'lint-latency: wall-clock time crept into simulation code'; exit 1; }
+	@echo 'lint-latency: ok'
+
+# The latency soak: request quantiles vs a doubling offered-load
+# ladder, max users per instance at a fixed p99 SLO, and the
+# flash-crowd arm (must shed, must converge to the unshedded
+# baseline's exact state); writes BENCH_latency.json in the repo root.
+# Flags: --seed, --reqs, --max-users, --slo-p99-ms, --flash-users,
+# --shed-depth.
+bench-latency:
+	cargo run --release -p pmware-bench --bin latency_soak
+
 # The federation gate: the failover & migration matrix (every arm of
 # N instances x balancing policy x kill instant, plain and under 30 %
 # transport chaos, asserting byte-identical convergence to the
@@ -88,8 +111,10 @@ bench-federation:
 
 # The observability gate: golden determinism tests (same seed => byte-
 # identical metrics snapshot and trace JSONL, at any thread count; obs
-# on == obs off to the last bit) plus the overhead bench, which writes
-# BENCH_obs.json and exits nonzero if instrumentation perturbs results.
+# on == obs off to the last bit), the latency-model goldens (the model
+# annotates, never perturbs; span/histogram exports byte-stable), plus
+# the overhead bench, which writes BENCH_obs.json and exits nonzero if
+# instrumentation perturbs results.
 obs:
-	cargo test --release -q -p pmware-bench --test obs_golden
+	cargo test --release -q -p pmware-bench --test obs_golden --test latency_matrix
 	cargo run --release -p pmware-bench --bin obs_overhead

@@ -14,7 +14,7 @@
 use pmware_algorithms::matching::{classify_places, GroundTruthVisit, MatchOutcome};
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSignature};
 use pmware_apps::{AdInventory, LifeLogApp, PlaceAdsApp, UserTasteModel};
-use pmware_cloud::{AdmissionConfig, CellDatabase, CloudInstance, SharedCloud};
+use pmware_cloud::{AdmissionConfig, CellDatabase, CloudInstance, LatencyProfile, SharedCloud};
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::registry::PmPlaceId;
 use pmware_device::{Device, EnergyModel};
@@ -187,6 +187,19 @@ pub fn run_study_with_admission(
     config: &StudyConfig,
     admission: Option<AdmissionConfig>,
 ) -> StudyResults {
+    run_study_with_options(config, admission, None)
+}
+
+/// Runs the study with optional admission control *and* an optional
+/// sim-time latency model on the cloud instance. Both `None` is exactly
+/// [`run_study`]. With a latency profile (and no shedding threshold) the
+/// study's discovery/tagging/energy outcomes are unchanged — latency only
+/// adds sub-second annotations, histograms, and spans on top.
+pub fn run_study_with_options(
+    config: &StudyConfig,
+    admission: Option<AdmissionConfig>,
+    latency: Option<LatencyProfile>,
+) -> StudyResults {
     let world = WorldBuilder::new(config.region.clone())
         .seed(config.seed)
         .build();
@@ -194,6 +207,7 @@ pub fn run_study_with_admission(
         CloudInstance::new(CellDatabase::from_world(&world), config.seed + 1).with_obs(&config.obs),
     );
     cloud.set_admission(admission);
+    cloud.set_latency(latency);
     let population = Population::generate(&world, config.participants, config.seed + 2);
 
     // Everything a participant needs is derived from per-participant seeds

@@ -1,0 +1,96 @@
+//! The latency-model determinism golden tests.
+//!
+//! The service-time model is an *annotation* layer: with no shedding
+//! threshold it may never change a study outcome — discovery, tagging,
+//! energy, and the cloud's request count must be bit-identical to a run
+//! without the model. And the artefacts it adds on top — latency
+//! histograms, request-span JSONL, and the Chrome trace — must be
+//! byte-reproducible: same seed, same bytes, at any worker thread count.
+//!
+//! Span determinism leans on one structural fact: every span id of a
+//! trace is allocated by the single thread driving that client (root →
+//! attempt → server-side children during the synchronous send → backoff),
+//! so the tree never depends on cross-participant scheduling.
+
+use pmware_bench::deployment::{run_study, run_study_with_options, StudyConfig, StudyResults};
+use pmware_cloud::LatencyProfile;
+use pmware_obs::Obs;
+use pmware_world::builder::RegionProfile;
+
+fn config(threads: usize, obs: Obs) -> StudyConfig {
+    StudyConfig {
+        participants: 5,
+        days: 3,
+        seed: 4242,
+        region: RegionProfile::urban_india(),
+        threads,
+        obs,
+        offload_batch_days: 0,
+    }
+}
+
+/// Runs one latency-enabled, span-collecting study and returns
+/// (results, metrics JSON, span JSONL, Chrome trace).
+fn modeled(threads: usize) -> (StudyResults, String, String, String) {
+    let obs = Obs::with_trace(65_536).with_spans();
+    let results = run_study_with_options(
+        &config(threads, obs.clone()),
+        None,
+        Some(LatencyProfile::calibrated(7)),
+    );
+    (
+        results,
+        obs.metrics_json().expect("metrics enabled"),
+        obs.spans_jsonl().expect("spans enabled"),
+        obs.spans_chrome().expect("spans enabled"),
+    )
+}
+
+#[test]
+fn latency_model_never_perturbs_study_outcomes() {
+    let plain = run_study(&config(1, Obs::disabled()));
+    let (timed, metrics, spans, _) = modeled(1);
+    assert_eq!(
+        plain, timed,
+        "an unshedded latency profile changed study outcomes"
+    );
+    assert!(
+        metrics.contains("cloud_request_latency_us"),
+        "latency histograms missing from the metrics export"
+    );
+    assert!(
+        spans.contains("\"name\":\"op:/api/v1/places/sync\""),
+        "no sync operation spans were recorded:\n{}",
+        spans.lines().take(5).collect::<Vec<_>>().join("\n")
+    );
+    assert!(
+        spans.contains("\"name\":\"attempt\""),
+        "operation spans have no attempt children"
+    );
+}
+
+#[test]
+fn latency_artifacts_are_thread_and_run_deterministic() {
+    let (sequential, metrics_1, spans_1, chrome_1) = modeled(1);
+    let (fanned, metrics_8, spans_8, chrome_8) = modeled(8);
+    assert_eq!(sequential, fanned, "thread count changed study outcomes");
+    assert_eq!(
+        metrics_1, metrics_8,
+        "metrics JSON differs across thread counts"
+    );
+    assert_eq!(spans_1, spans_8, "span JSONL differs across thread counts");
+    assert_eq!(
+        chrome_1, chrome_8,
+        "Chrome trace differs across thread counts"
+    );
+    assert!(!spans_1.is_empty(), "span export is empty");
+
+    let (rerun, metrics_again, spans_again, chrome_again) = modeled(8);
+    assert_eq!(fanned, rerun, "same-seed rerun changed study outcomes");
+    assert_eq!(metrics_8, metrics_again, "same-seed metrics bytes differ");
+    assert_eq!(spans_8, spans_again, "same-seed span bytes differ");
+    assert_eq!(
+        chrome_8, chrome_again,
+        "same-seed Chrome trace bytes differ"
+    );
+}

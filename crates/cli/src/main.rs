@@ -6,7 +6,8 @@
 //!                 [--metrics-out F] [--trace-out F]
 //! pmware study    [--participants N] [--days N] [--seed N]
 //!                 [--admission-burst N] [--admission-refill-s N]
-//!                 [--metrics-out F] [--trace-out F]
+//!                 [--latency-profile off|calibrated|uniform] [--slo-p99-ms N]
+//!                 [--metrics-out F] [--trace-out F] [--spans-out F]
 //! pmware query    [--seed N] [--days N]
 //! pmware help
 //! ```
@@ -17,8 +18,10 @@ use std::process::ExitCode;
 
 use args::Args;
 use pmware_apps::{AdInventory, PlaceAdsApp, UserTasteModel};
-use pmware_bench::deployment::{run_study_with_admission, StudyConfig};
-use pmware_cloud::{AdmissionConfig, CellDatabase, CloudInstance, RateBudget, SharedCloud};
+use pmware_bench::deployment::{run_study_with_options, StudyConfig};
+use pmware_cloud::{
+    AdmissionConfig, CellDatabase, CloudInstance, LatencyProfile, RateBudget, SharedCloud,
+};
 use pmware_core::intents::IntentFilter;
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::requirements::{AppRequirement, Granularity};
@@ -66,41 +69,69 @@ deterministic (seeded, sim-time driven); clients honor the 429
 `retry_after_s` hint, so a throttled study still converges to the same
 final state, just with fewer wasted wire requests.
 
+LATENCY MODEL (study):
+    --latency-profile p     off|calibrated|uniform  (default off)
+    --slo-p99-ms N          p99 target for the slo_report (default 100;
+                            needs --latency-profile)
+`calibrated` draws per-endpoint service times shaped like the paper's
+deployment; `uniform` draws 1±1 ms everywhere. Either adds a shared
+sim-time FIFO ahead of the handlers and prints an SLO report after the
+study. With no shedding threshold the model never changes study
+outcomes — it only annotates them.
+
 OBSERVABILITY (simulate, study):
     --metrics-out FILE      Write the final metrics snapshot as JSON
     --trace-out FILE        Write the sim-time trace as JSONL
-Collecting either never changes simulation results: metrics and traces
-are keyed by simulated time, and the same seed produces byte-identical
-output at any thread count.
+    --spans-out FILE        Write causal request spans as JSONL
+Collecting any of these never changes simulation results: metrics,
+traces, and spans are keyed by simulated time, and the same seed
+produces byte-identical output at any thread count.
 ";
 
-/// Builds the observability sink the `--metrics-out` / `--trace-out`
-/// flags ask for ([`Obs::disabled`] when neither is given), and returns
-/// the output paths.
-fn obs_from_args(args: &Args) -> (Obs, Option<String>, Option<String>) {
-    let metrics_out = args.flag("metrics-out").map(str::to_owned);
-    let trace_out = args.flag("trace-out").map(str::to_owned);
-    let obs = match (&metrics_out, &trace_out) {
-        (None, None) => Obs::disabled(),
-        (_, None) => Obs::new(),
-        (_, Some(_)) => Obs::with_trace(65_536),
-    };
-    (obs, metrics_out, trace_out)
+/// The observability output paths requested on the command line.
+struct ObsOutputs {
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    spans_out: Option<String>,
 }
 
-/// Writes the collected snapshot/trace to the requested files.
-fn write_obs_outputs(
-    obs: &Obs,
-    metrics_out: Option<&str>,
-    trace_out: Option<&str>,
-) -> Result<(), String> {
-    if let (Some(path), Some(json)) = (metrics_out, obs.metrics_json()) {
+/// Builds the observability sink the `--metrics-out` / `--trace-out` /
+/// `--spans-out` flags ask for ([`Obs::disabled`] when none is given and
+/// nothing else needs metrics), plus the output paths. `force_metrics`
+/// keeps the registry live even without `--metrics-out` — the latency
+/// model's SLO report reads from it.
+fn obs_from_args(args: &Args, force_metrics: bool) -> (Obs, ObsOutputs) {
+    let outputs = ObsOutputs {
+        metrics_out: args.flag("metrics-out").map(str::to_owned),
+        trace_out: args.flag("trace-out").map(str::to_owned),
+        spans_out: args.flag("spans-out").map(str::to_owned),
+    };
+    let mut obs = if outputs.trace_out.is_some() {
+        Obs::with_trace(65_536)
+    } else if outputs.metrics_out.is_some() || force_metrics {
+        Obs::new()
+    } else {
+        Obs::disabled()
+    };
+    if outputs.spans_out.is_some() {
+        obs = obs.with_spans();
+    }
+    (obs, outputs)
+}
+
+/// Writes the collected snapshot/trace/spans to the requested files.
+fn write_obs_outputs(obs: &Obs, outputs: &ObsOutputs) -> Result<(), String> {
+    if let (Some(path), Some(json)) = (outputs.metrics_out.as_deref(), obs.metrics_json()) {
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics snapshot written to {path}");
     }
-    if let (Some(path), Some(jsonl)) = (trace_out, obs.trace_jsonl()) {
+    if let (Some(path), Some(jsonl)) = (outputs.trace_out.as_deref(), obs.trace_jsonl()) {
         std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
         println!("trace written to {path}");
+    }
+    if let (Some(path), Some(jsonl)) = (outputs.spans_out.as_deref(), obs.spans_jsonl()) {
+        std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("request spans written to {path}");
     }
     Ok(())
 }
@@ -172,6 +203,26 @@ fn admission(args: &Args, seed: u64) -> Result<Option<AdmissionConfig>, String> 
     )))
 }
 
+/// Parses `--latency-profile` into a [`LatencyProfile`] (`None` when
+/// `off`, the default). `--slo-p99-ms` without a profile is a user
+/// error — there would be no latency data to report against it.
+fn latency(args: &Args, seed: u64) -> Result<Option<LatencyProfile>, String> {
+    let profile = match args.flag("latency-profile").unwrap_or("off") {
+        "off" => None,
+        "calibrated" => Some(LatencyProfile::calibrated(seed)),
+        "uniform" => Some(LatencyProfile::uniform(seed, 1_000, 1_000)),
+        other => {
+            return Err(format!(
+                "unknown latency profile {other:?} (off|calibrated|uniform)"
+            ))
+        }
+    };
+    if profile.is_none() && args.has("slo-p99-ms") {
+        return Err("--slo-p99-ms needs --latency-profile calibrated|uniform".into());
+    }
+    Ok(profile)
+}
+
 fn build_world(args: &Args) -> Result<(World, u64), String> {
     let seed = args.get("seed", 2014u64).map_err(|e| e.to_string())?;
     let world = WorldBuilder::new(region(args)?).seed(seed).build();
@@ -223,7 +274,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let (world, seed) = build_world(args)?;
     let days = args.get("days", 7u64).map_err(|e| e.to_string())?;
     let granularity = granularity(args)?;
-    let (obs, metrics_out, trace_out) = obs_from_args(args);
+    let (obs, outputs) = obs_from_args(args, false);
     let population = Population::generate(&world, 1, seed + 1);
     let agent = &population.agents()[0];
     let itinerary = population.itinerary(&world, agent.id(), days);
@@ -278,18 +329,20 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     for (interface, joules) in &report.energy_by_interface {
         println!("  {:>14}: {joules:>9.1} J", interface.label());
     }
-    write_obs_outputs(&obs, metrics_out.as_deref(), trace_out.as_deref())?;
+    write_obs_outputs(&obs, &outputs)?;
     Ok(())
 }
 
 fn cmd_study(args: &Args) -> Result<(), String> {
-    let (obs, metrics_out, trace_out) = obs_from_args(args);
+    let seed = args.get("seed", 2014u64).map_err(|e| e.to_string())?;
+    let latency = latency(args, seed)?;
+    let (obs, outputs) = obs_from_args(args, latency.is_some());
     let config = StudyConfig {
         participants: args
             .get("participants", 16usize)
             .map_err(|e| e.to_string())?,
         days: args.get("days", 14u64).map_err(|e| e.to_string())?,
-        seed: args.get("seed", 2014u64).map_err(|e| e.to_string())?,
+        seed,
         region: region(args)?,
         threads: args.get("threads", 1usize).map_err(|e| e.to_string())?,
         obs: obs.clone(),
@@ -306,8 +359,12 @@ fn cmd_study(args: &Args) -> Result<(), String> {
         if admission.is_some() {
             println!("admission control: on (per-user token buckets)");
         }
+        if latency.is_some() {
+            println!("latency model: on (sim-time service draws + FIFO queues)");
+        }
     }
-    let results = run_study_with_admission(&config, admission);
+    let latency_on = latency.is_some();
+    let results = run_study_with_options(&config, admission, latency);
     println!(
         "places discovered : {:>4}  (paper: 123)",
         results.total_discovered()
@@ -332,7 +389,34 @@ fn cmd_study(args: &Args) -> Result<(), String> {
         results.dislikes(),
         results.like_fraction() * 100.0
     );
-    write_obs_outputs(&obs, metrics_out.as_deref(), trace_out.as_deref())?;
+    if latency_on {
+        let target_us = args.get("slo-p99-ms", 100u64).map_err(|e| e.to_string())? * 1_000;
+        let report = obs
+            .metrics()
+            .expect("latency model forces a live registry")
+            .snapshot()
+            .merged_histogram("cloud_request_latency_us{")
+            .map(|h| h.slo_report(target_us));
+        match report {
+            Some(report) => println!(
+                "slo_report: p50 {} µs, p99 {} µs, p999 {} µs over {} requests; \
+                 target p99 ≤ {} µs: {} ({:.1}% certifiably within)",
+                report.p50_us,
+                report.p99_us,
+                report.p999_us,
+                report.count,
+                report.target_us,
+                if report.attained {
+                    "attained"
+                } else {
+                    "MISSED"
+                },
+                report.attainment() * 100.0
+            ),
+            None => println!("slo_report: no latency observations recorded"),
+        }
+    }
+    write_obs_outputs(&obs, &outputs)?;
     Ok(())
 }
 
@@ -454,6 +538,41 @@ mod tests {
             1
         )
         .is_err());
+    }
+
+    #[test]
+    fn latency_flag_mapping() {
+        // Absent or off: model stays disabled.
+        assert!(latency(&Args::parse(Vec::<String>::new()), 1)
+            .unwrap()
+            .is_none());
+        assert!(latency(&Args::parse(["--latency-profile", "off"]), 1)
+            .unwrap()
+            .is_none());
+        assert!(
+            latency(&Args::parse(["--latency-profile", "calibrated"]), 1)
+                .unwrap()
+                .is_some()
+        );
+        assert!(latency(&Args::parse(["--latency-profile", "uniform"]), 1)
+            .unwrap()
+            .is_some());
+        assert!(latency(&Args::parse(["--latency-profile", "gaussian"]), 1).is_err());
+        // An SLO target with no latency data is a user error.
+        assert!(latency(&Args::parse(["--slo-p99-ms", "50"]), 1).is_err());
+    }
+
+    #[test]
+    fn spans_flag_enables_span_collection() {
+        let (obs, outputs) = obs_from_args(&Args::parse(["--spans-out", "/tmp/s.jsonl"]), false);
+        assert!(obs.spans().is_some());
+        assert_eq!(outputs.spans_out.as_deref(), Some("/tmp/s.jsonl"));
+        // Without the flag (and nothing forcing metrics) obs stays off.
+        let (obs, _) = obs_from_args(&Args::parse(Vec::<String>::new()), false);
+        assert!(!obs.is_enabled());
+        // The latency model forces a live registry for the SLO report.
+        let (obs, _) = obs_from_args(&Args::parse(Vec::<String>::new()), true);
+        assert!(obs.metrics().is_some());
     }
 
     #[test]

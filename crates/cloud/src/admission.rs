@@ -262,13 +262,13 @@ impl AdmissionControl {
 
     /// The 429 response for a denial.
     pub(crate) fn deny_response(class: RateClass, retry_after: SimDuration) -> Response {
-        Response {
-            status: STATUS_RATE_LIMITED,
-            body: crate::payload::Payload::RateLimited {
+        Response::with_status(
+            STATUS_RATE_LIMITED,
+            crate::payload::Payload::RateLimited {
                 class,
                 retry_after_s: retry_after.as_seconds(),
             },
-        }
+        )
     }
 }
 

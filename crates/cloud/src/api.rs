@@ -36,6 +36,25 @@ impl Method {
     }
 }
 
+/// Causal-span context riding on a request: the trace it belongs to and
+/// the span to parent server-side/in-transit annotations under. Pure
+/// diagnostics — never serialized, never compared, zero when no span
+/// collector is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanCtx {
+    /// Trace id ([`pmware_obs::SpanSink::trace_id`]); `0` = no trace.
+    pub trace: u64,
+    /// Parent span id within the trace; `0` = root.
+    pub parent: u64,
+}
+
+impl SpanCtx {
+    /// Whether a trace is attached.
+    pub fn is_active(self) -> bool {
+        self.trace != 0
+    }
+}
+
 /// A request to the cloud instance.
 ///
 /// Treat a request as immutable once built: [`Request::wire_bytes`]
@@ -52,6 +71,10 @@ pub struct Request {
     pub token: Option<String>,
     /// Typed body ([`Payload::Empty`] for body-less requests).
     pub body: Payload,
+    /// Causal-span context (diagnostics only — not wire state, excluded
+    /// from equality and serialization; a wire round-trip resets it and
+    /// the fault boundary copies it back across).
+    pub ctx: SpanCtx,
     /// Lazily rendered wire bytes; retries reuse the first encoding.
     wire: OnceLock<Bytes>,
 }
@@ -64,6 +87,7 @@ impl Request {
             path: path.into(),
             token: None,
             body: Payload::Empty,
+            ctx: SpanCtx::default(),
             wire: OnceLock::new(),
         }
     }
@@ -75,6 +99,7 @@ impl Request {
             path: path.into(),
             token: None,
             body: body.into(),
+            ctx: SpanCtx::default(),
             wire: OnceLock::new(),
         }
     }
@@ -83,6 +108,13 @@ impl Request {
     pub fn with_token(mut self, token: impl Into<String>) -> Request {
         self.token = Some(token.into());
         self.wire = OnceLock::new();
+        self
+    }
+
+    /// Attaches a causal-span context (diagnostics; does not touch the
+    /// wire cache — the context is not wire state).
+    pub fn with_ctx(mut self, ctx: SpanCtx) -> Request {
+        self.ctx = ctx;
         self
     }
 
@@ -160,27 +192,58 @@ impl<'de> Deserialize<'de> for Request {
             path,
             token,
             body,
+            ctx: SpanCtx::default(),
             wire: OnceLock::new(),
         })
     }
 }
 
 /// A response from the cloud instance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP-style status code.
     pub status: u16,
     /// Typed body.
     pub body: Payload,
+    /// Latency annotation `(queue µs, service µs)` stamped by the queue
+    /// layer when the latency model is enabled. Diagnostics only — not
+    /// wire state, excluded from equality and serialization.
+    latency_us: Option<(u64, u64)>,
+}
+
+/// Wire equality: the latency annotation is ignored (derived diagnostics,
+/// not wire state).
+impl PartialEq for Response {
+    fn eq(&self, other: &Response) -> bool {
+        self.status == other.status && self.body == other.body
+    }
 }
 
 impl Response {
+    /// A response with an arbitrary status and body.
+    pub fn with_status(status: u16, body: impl Into<Payload>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            latency_us: None,
+        }
+    }
+
     /// 200 with a body.
     pub fn ok(body: impl Into<Payload>) -> Response {
-        Response {
-            status: 200,
-            body: body.into(),
-        }
+        Response::with_status(200, body)
+    }
+
+    /// Stamps the latency annotation (queue layer only).
+    pub fn with_latency(mut self, queue_us: u64, service_us: u64) -> Response {
+        self.latency_us = Some((queue_us, service_us));
+        self
+    }
+
+    /// The latency annotation `(queue µs, service µs)`, when the latency
+    /// model timed this response.
+    pub fn latency_us(&self) -> Option<(u64, u64)> {
+        self.latency_us
     }
 
     /// 400 with an error message.
@@ -202,23 +265,23 @@ impl Response {
     /// methods the path does accept (the HTTP `Allow` header, carried in
     /// the body here).
     pub fn method_not_allowed(allow: &[Method]) -> Response {
-        Response {
-            status: 405,
-            body: Payload::MethodNotAllowed {
+        Response::with_status(
+            405,
+            Payload::MethodNotAllowed {
                 allow: allow.to_vec(),
             },
-        }
+        )
     }
 
     /// An arbitrary-status error response with the canonical
     /// `{"error": message}` body.
     pub fn error(status: u16, message: impl Into<String>) -> Response {
-        Response {
+        Response::with_status(
             status,
-            body: Payload::Error {
+            Payload::Error {
                 message: message.into(),
             },
-        }
+        )
     }
 
     /// Returns `true` for 2xx statuses.
@@ -292,7 +355,11 @@ impl<'de> Deserialize<'de> for Response {
             None | Some(Value::Null) => Payload::Empty,
             Some(v) => Payload::Json(v.clone()),
         };
-        Ok(Response { status, body })
+        Ok(Response {
+            status,
+            body,
+            latency_us: None,
+        })
     }
 }
 

@@ -1,17 +1,25 @@
 //! The liveness probe behind `GET /api/v1/health`.
 //!
-//! One handler, no state: reaching it at all *is* the health signal. The
-//! route is public (the topology router probes without a token) and the
-//! request still descends the whole layer stack, so an injected outage
+//! Reaching the handler at all *is* the liveness signal: the route is
+//! public (the topology router probes without a token) and the request
+//! still descends the whole layer stack, so an injected outage
 //! short-circuits to 503 before this handler runs — a dead instance
-//! fails its heartbeat exactly the way it fails client traffic.
+//! fails its heartbeat exactly the way it fails client traffic. The body
+//! additionally carries the instance's load view (queue depth and p99
+//! latency from the latency model — both 0 while the model is disabled),
+//! which load-aware placement policies read off the same probe.
 
 use crate::api::{Request, Response};
 use crate::payload::Payload;
 
 use super::Ctx;
 
-/// `GET /api/v1/health` — answers `{"status": "ok"}` unconditionally.
-pub(crate) fn status(_ctx: &Ctx<'_>, _request: &Request) -> Response {
-    Response::ok(Payload::Health)
+/// `GET /api/v1/health` — answers
+/// `{"p99_us": .., "queue_depth": .., "status": "ok"}`.
+pub(crate) fn status(ctx: &Ctx<'_>, _request: &Request) -> Response {
+    let (queue_depth, p99_us) = ctx.core.latency.health_stats(ctx.now);
+    Response::ok(Payload::Health {
+        queue_depth,
+        p99_us,
+    })
 }

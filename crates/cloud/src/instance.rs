@@ -12,9 +12,10 @@
 //! * **state** — an `Arc<`[`CloudCore`]`>` (token store, user shards, cell
 //!   database, GCA config, admission controller, metrics), shared with
 //!   every layer;
-//! * **the stack** — outage → request metrics → admission control → auth
-//!   → relocation → shard accounting ([`crate::layer`]), bottoming out in
-//!   the route-table dispatcher ([`crate::router`]);
+//! * **the stack** — outage → request metrics → latency queue →
+//!   admission control → auth → relocation → shard accounting
+//!   ([`crate::layer`]), bottoming out in the route-table dispatcher
+//!   ([`crate::router`]);
 //! * **construction and accessors** — builders (`with_obs`,
 //!   `with_admission`) plus the snapshot views tests and benches read.
 //!
@@ -41,9 +42,10 @@ use crate::admission::AdmissionConfig;
 use crate::api::{Request, Response};
 use crate::auth::{DeviceIdentity, TokenStore, UserId};
 use crate::geolocate::CellDatabase;
+use crate::latency::LatencyProfile;
 use crate::layer::{
-    AdmissionLayer, AuthLayer, Layer, Next, OutageLayer, RelocationLayer, RequestMetricsLayer,
-    RouterService, ShardAccountingLayer,
+    AdmissionLayer, AuthLayer, Layer, Next, OutageLayer, QueueLayer, RelocationLayer,
+    RequestMetricsLayer, RouterService, ShardAccountingLayer,
 };
 use crate::profile::{ContactEntry, MobilityProfile};
 use crate::state::{CloudCore, CloudMetrics, Shard};
@@ -127,6 +129,7 @@ impl CloudInstance {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             outage: AtomicBool::new(false),
             admission: Default::default(),
+            latency: Default::default(),
             metrics: CloudMetrics::new(),
             relocated: RwLock::new(HashSet::new()),
         })
@@ -145,6 +148,9 @@ impl CloudInstance {
                 core: Arc::clone(&core),
             }),
             Arc::new(RequestMetricsLayer {
+                core: Arc::clone(&core),
+            }),
+            Arc::new(QueueLayer {
                 core: Arc::clone(&core),
             }),
             Arc::new(AdmissionLayer {
@@ -249,6 +255,46 @@ impl CloudInstance {
     pub fn with_admission(self, config: AdmissionConfig) -> CloudInstance {
         self.set_admission(Some(config));
         self
+    }
+
+    /// Enables the sim-time latency model with `profile`, as a builder.
+    /// Off by default; see [`CloudInstance::set_latency`].
+    pub fn with_latency(self, profile: LatencyProfile) -> CloudInstance {
+        self.set_latency(Some(profile));
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) the sim-time latency model
+    /// at runtime. Enabling resets all queues and binds the
+    /// `cloud_request_latency_us{endpoint,class}` histograms and the
+    /// `cloud_queue_shed_total` counter to the instance's registry — call
+    /// after [`CloudInstance::with_obs`] so they land in the shared one.
+    /// Disabled (the default) the model adds zero metric keys and zero
+    /// cost beyond one atomic load per request.
+    pub fn set_latency(&self, profile: Option<LatencyProfile>) {
+        match profile {
+            Some(profile) => self.core.latency.enable(profile, &self.core.metrics.shared),
+            None => self.core.latency.disable(),
+        }
+    }
+
+    /// The instance's current queue depth (admitted, unfinished requests)
+    /// at simulated instant `now`; 0 while the latency model is disabled.
+    pub fn queue_depth(&self, now: SimTime) -> u64 {
+        self.core.latency.health_stats(now).0
+    }
+
+    /// p99 request latency observed so far, in microseconds (bucket
+    /// bound); 0 while the latency model is disabled.
+    pub fn latency_p99_us(&self) -> u64 {
+        // Depth needs a clock; p99 does not — pass the epoch and take
+        // only the quantile half of the pair.
+        self.core.latency.health_stats(SimTime::EPOCH).1
+    }
+
+    /// Requests shed by the queue layer so far.
+    pub fn queue_shed_count(&self) -> u64 {
+        self.core.latency.shed_count()
     }
 
     /// Enables (`Some`) or disables (`None`) admission control at

@@ -126,6 +126,51 @@ impl Layer for RequestMetricsLayer {
     }
 }
 
+/// The sim-time latency model (see [`crate::latency`]): draws a
+/// service time for every request, queues validated users' requests
+/// behind their lane (or the shared instance FIFO), and sheds arrivals
+/// over the configured depth with a 429 whose `retry_after_s` is the
+/// queue's actual drain time. Sits between request metrics (a shed
+/// request was still offered load) and admission control (a queue-shed
+/// request must not also consume an admission token — it was never
+/// served). Timed responses carry a `(queue µs, service µs)` annotation
+/// for the client's span collector. Disabled (the default) this is one
+/// atomic load.
+#[derive(Debug)]
+pub(crate) struct QueueLayer {
+    pub(crate) core: Arc<CloudCore>,
+}
+
+impl Layer for QueueLayer {
+    fn call(&self, request: &Request, now: SimTime, next: Next<'_>) -> Response {
+        if !self.core.latency.is_enabled() {
+            return next.run(request, now);
+        }
+        let endpoint = router::endpoint_index(request.method, &request.path);
+        let class = match router::resolve(request.method, &request.path) {
+            Resolution::Matched { route, .. } => route.rate_class,
+            _ => router::RateClass::Query,
+        };
+        // Queue on the *validated* caller only — an invalid token must
+        // not open a lane, and the public registration route stays
+        // unqueued so a shedding instance never locks users out entirely.
+        let user = request
+            .token
+            .as_deref()
+            .and_then(|t| self.core.tokens.read().validate(t, now));
+        match self.core.latency.process(endpoint, user, now) {
+            crate::latency::QueueOutcome::Pass => next.run(request, now),
+            crate::latency::QueueOutcome::Shed { retry_after } => {
+                AdmissionControl::deny_response(class, retry_after)
+            }
+            crate::latency::QueueOutcome::Timed {
+                queue_us,
+                service_us,
+            } => next.run(request, now).with_latency(queue_us, service_us),
+        }
+    }
+}
+
 /// Deterministic admission control (see [`crate::admission`]). Sits
 /// *before* auth on purpose: shedding load must be cheaper than serving
 /// it, and answering an over-budget client 429 instead of 401 keeps an

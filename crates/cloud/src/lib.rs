@@ -43,6 +43,7 @@ pub mod auth;
 pub mod geolocate;
 mod handlers;
 pub mod instance;
+pub mod latency;
 pub mod layer;
 pub mod payload;
 pub mod predict;
@@ -56,10 +57,14 @@ pub mod wire;
 pub use admission::{
     Admission, AdmissionConfig, AdmissionControl, RateBudget, STATUS_RATE_LIMITED,
 };
-pub use api::{Method, Request, Response};
+pub use api::{Method, Request, Response, SpanCtx};
 pub use auth::{AuthToken, DeviceIdentity, UserId};
 pub use geolocate::CellDatabase;
 pub use instance::{CloudInstance, SharedCloud, SHARD_COUNT};
+pub use latency::{
+    EndpointCost, LatencyControl, LatencyProfile, QueueConfig, QueueMode, QueueOutcome,
+    LATENCY_BOUNDS_US,
+};
 pub use layer::{Layer, Next};
 pub use payload::{
     ArrivalBody, DiscoverBody, GeolocateBody, GeolocateSignatureBody, HandshakeBody, LabelBody,

@@ -382,8 +382,16 @@ pub enum Payload {
         /// `(place, probability)` pairs, most likely first.
         predictions: Vec<(DiscoveredPlaceId, f64)>,
     },
-    /// Health-probe reply (`GET /api/v1/health`): `{"status": "ok"}`.
-    Health,
+    /// Health-probe reply (`GET /api/v1/health`): liveness plus the
+    /// instance's load view — `{"p99_us": .., "queue_depth": ..,
+    /// "status": "ok"}`. Both numbers are 0 while the latency model is
+    /// disabled, keeping the historical body shape's information content.
+    Health {
+        /// Admitted, unfinished requests queued on the instance.
+        queue_depth: u64,
+        /// p99 request latency so far, microseconds (bucket bound).
+        p99_us: u64,
+    },
     /// Topology-handshake reply: the versioned placement snapshot a
     /// client caches at session start.
     Topology {
@@ -573,7 +581,12 @@ impl Payload {
             Payload::Predictions { predictions } => {
                 Obj::new().put("predictions", predictions).build()
             }
-            Payload::Health => Obj::new()
+            Payload::Health {
+                queue_depth,
+                p99_us,
+            } => Obj::new()
+                .put("p99_us", p99_us)
+                .put("queue_depth", queue_depth)
                 .put_value("status", Value::String("ok".to_owned()))
                 .build(),
             Payload::Topology {
@@ -872,7 +885,14 @@ mod tests {
         assert!(matches!(back, Payload::Handshake(_)), "{back:?}");
         assert_eq!(back.to_json(), wire);
 
-        assert_eq!(Payload::Health.to_json(), json!({ "status": "ok" }));
+        let health = Payload::Health {
+            queue_depth: 4,
+            p99_us: 2_500,
+        };
+        assert_eq!(
+            health.to_json(),
+            json!({ "p99_us": 2500, "queue_depth": 4, "status": "ok" })
+        );
         let topo = Payload::Topology {
             version: 3,
             assigned: 1,

@@ -22,6 +22,7 @@ use crate::admission::AdmissionControl;
 use crate::analytics::ProfileHistory;
 use crate::auth::{TokenStore, UserId};
 use crate::geolocate::CellDatabase;
+use crate::latency::LatencyControl;
 use crate::predict::MarkovPredictor;
 use crate::profile::ContactEntry;
 use crate::router::{ENDPOINT_COUNT, ENDPOINT_LABELS};
@@ -99,6 +100,12 @@ pub(crate) struct Shard {
 pub(crate) struct CloudMetrics {
     /// Private always-on registry backing the legacy snapshot views.
     pub(crate) private: Obs,
+    /// The registry aggregate metrics bind to (the shared study registry
+    /// after `with_obs`, else the private one). Kept so late enablers —
+    /// the latency model resolves its histograms at `set_latency` time,
+    /// not construction time — bind to the same registry. Lazy resolution
+    /// is what keeps a disabled model from adding metric keys.
+    pub(crate) shared: Obs,
     pub(crate) shard_requests: Vec<Counter>,
     /// Indexed by [`crate::router::endpoint_index`].
     pub(crate) endpoint_requests: Vec<Counter>,
@@ -152,6 +159,7 @@ impl CloudMetrics {
             })
             .collect();
         CloudMetrics {
+            shared: obs.clone(),
             shard_requests,
             endpoint_requests,
             replay_discover: obs.counter("cloud_replays_total", &[("endpoint", "places_discover")]),
@@ -191,6 +199,9 @@ pub(crate) struct CloudCore {
     pub(crate) rng: Mutex<StdRng>,
     pub(crate) outage: AtomicBool,
     pub(crate) admission: AdmissionControl,
+    /// The sim-time latency model: per-endpoint service draws, queueing,
+    /// and load shedding (see [`crate::latency`]). Disabled by default.
+    pub(crate) latency: LatencyControl,
     pub(crate) metrics: CloudMetrics,
     /// Users whose state has been migrated to another instance during a
     /// federation failover or drain. The relocation layer answers their

@@ -23,9 +23,10 @@
 //! mutating requests are appended to the user's migration WAL.
 
 use parking_lot::Mutex;
+use pmware_obs::FieldValue;
 use pmware_world::SimTime;
 
-use crate::api::{Request, Response};
+use crate::api::{Request, Response, SpanCtx};
 use crate::auth::{DeviceIdentity, UserId};
 use crate::payload::{HandshakeBody, Payload, REGISTRATION_PATH, TOPOLOGY_HANDSHAKE_PATH};
 use crate::transport::{CloudEndpoint, CloudTransport, STATUS_MISDIRECTED};
@@ -75,11 +76,16 @@ impl FederatedEndpoint {
     }
 
     /// One control-plane round trip: handshake as `identity`, resolve the
-    /// assigned instance's client endpoint.
+    /// assigned instance's client endpoint. When the triggering request
+    /// carries a span context and the router has a span sink bound, the
+    /// exchange is recorded as a child span named `name` (`handshake` on
+    /// first contact, `rehandshake` on a 421/503-triggered refresh).
     fn handshake(
         &self,
         identity: &DeviceIdentity,
         now: SimTime,
+        ctx: SpanCtx,
+        name: &'static str,
     ) -> Result<(InstanceId, CloudEndpoint), Box<Response>> {
         let request = Request::post(
             TOPOLOGY_HANDSHAKE_PATH,
@@ -89,6 +95,21 @@ impl FederatedEndpoint {
             }),
         );
         let response = self.router.control(&request, now);
+        if ctx.is_active() {
+            if let Some(sink) = self.router.span_sink() {
+                let at_us = now.as_seconds().saturating_mul(1_000_000);
+                let id = sink.alloc(ctx.trace);
+                sink.record(
+                    ctx.trace,
+                    id,
+                    ctx.parent,
+                    name,
+                    at_us,
+                    at_us,
+                    &[("status", FieldValue::from(u64::from(response.status)))],
+                );
+            }
+        }
         if let Payload::Topology { assigned, .. } = response.body {
             let id = InstanceId(assigned);
             match self.router.endpoint_of(id) {
@@ -170,7 +191,7 @@ impl CloudTransport for FederatedEndpoint {
                     "no topology handshake performed; register first",
                 );
             };
-            match self.handshake(&identity, now) {
+            match self.handshake(&identity, now, request.ctx, "handshake") {
                 Ok(target) => slot.target = Some(target),
                 Err(response) => return *response,
             }
@@ -185,7 +206,9 @@ impl CloudTransport for FederatedEndpoint {
             let Some(identity) = slot.identity.clone() else {
                 return response;
             };
-            let Ok((new_instance, new_endpoint)) = self.handshake(&identity, now) else {
+            let Ok((new_instance, new_endpoint)) =
+                self.handshake(&identity, now, request.ctx, "rehandshake")
+            else {
                 return response;
             };
             slot.target = Some((new_instance, new_endpoint.clone()));

@@ -37,6 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use pmware_obs::{FieldValue, Obs, SpanSink};
 use pmware_world::SimTime;
 
 use crate::api::{Method, Request, Response};
@@ -144,6 +145,12 @@ struct InstanceEntry {
     /// decorator over `cloud`.
     endpoint: CloudEndpoint,
     healthy: bool,
+    /// Load view from the last heartbeat's health body: admitted but
+    /// unfinished requests, and the p99 request latency bucket bound in
+    /// microseconds. Both stay 0 until an instance with the latency
+    /// model enabled answers a probe.
+    queue_depth: u64,
+    p99_us: u64,
 }
 
 #[derive(Debug, Default)]
@@ -208,10 +215,17 @@ impl RouterState {
                 chosen
             }
             BalancePolicy::LeastConnections => {
+                // Load = routed sessions + the instance's own queue depth
+                // from its last heartbeat, so a latency-model-enabled
+                // federation steers new users away from a backed-up
+                // instance. With the model disabled every depth is 0 and
+                // the decision reduces to pure session counting.
                 let mut best = candidates[0];
-                let mut best_load = usize::MAX;
+                let mut best_load = u64::MAX;
                 for id in candidates {
-                    let load = self.placements.values().filter(|p| **p == id).count();
+                    let sessions = self.placements.values().filter(|p| **p == id).count() as u64;
+                    let queued = self.entry(id).map_or(0, |e| e.queue_depth);
+                    let load = sessions + queued;
                     if load < best_load {
                         best = id;
                         best_load = load;
@@ -258,6 +272,10 @@ struct RouterInner {
     /// 421/503-triggered refreshes only. The federation matrix pins this
     /// to zero growth at steady state: the router is off the hot path.
     control_requests: AtomicU64,
+    /// Observability handle, disabled by default. Its span sink (when
+    /// present) is where federated endpoints record handshake spans and
+    /// the migration engine records WAL-replay spans.
+    obs: Mutex<Obs>,
 }
 
 /// The federation control plane: instance registry, placement, health,
@@ -297,6 +315,7 @@ impl TopologyRouter {
                 }),
                 wal: MigrationWal::default(),
                 control_requests: AtomicU64::new(0),
+                obs: Mutex::new(Obs::disabled()),
             }),
         }
     }
@@ -320,6 +339,8 @@ impl TopologyRouter {
             cloud,
             endpoint,
             healthy: true,
+            queue_depth: 0,
+            p99_us: 0,
         });
         state.rebuild_ring();
         state.version += 1;
@@ -344,6 +365,20 @@ impl TopologyRouter {
         let mut state = self.shared.state.lock();
         state.overrides.insert(identity_key(imei, email), instance);
         state.version += 1;
+    }
+
+    /// Binds an observability handle. When it carries a span sink (see
+    /// [`Obs::with_spans`]), federated endpoints record their
+    /// handshake/re-handshake exchanges and [`TopologyRouter::fail_over`]
+    /// records WAL-replay work as children of the originating request's
+    /// trace. Disabled by default — binding nothing costs nothing.
+    pub fn set_obs(&self, obs: &Obs) {
+        *self.shared.obs.lock() = obs.clone();
+    }
+
+    /// The bound span sink, if any.
+    pub(crate) fn span_sink(&self) -> Option<Arc<SpanSink>> {
+        self.shared.obs.lock().spans().cloned()
     }
 
     /// Control-plane requests answered so far (handshakes + refreshes).
@@ -449,14 +484,27 @@ impl TopologyRouter {
     /// Probes every instance with `GET /api/v1/health` through its full
     /// layer stack (an injected outage answers 503 exactly like real
     /// client traffic would fail). Updates health flags, rebuilds the
-    /// ring, and bumps the version when anything changed. Returns the
+    /// ring, and bumps the version when anything changed. The typed
+    /// health body also carries each instance's queue depth and p99
+    /// latency, which the probe folds into the load view that
+    /// [`BalancePolicy::LeastConnections`] placement reads. Returns the
     /// post-probe `(instance, healthy)` snapshot.
     pub fn heartbeat(&self, now: SimTime) -> Vec<(InstanceId, bool)> {
         let probe = Request::get("/api/v1/health");
         let mut state = self.shared.state.lock();
         let mut changed = false;
         for i in 0..state.instances.len() {
-            let healthy = state.instances[i].cloud.handle(&probe, now).is_success();
+            let response = state.instances[i].cloud.handle(&probe, now);
+            let healthy = response.is_success();
+            let (queue_depth, p99_us) = match response.body {
+                Payload::Health {
+                    queue_depth,
+                    p99_us,
+                } => (queue_depth, p99_us),
+                _ => (0, 0),
+            };
+            state.instances[i].queue_depth = queue_depth;
+            state.instances[i].p99_us = p99_us;
             if healthy != state.instances[i].healthy {
                 state.instances[i].healthy = healthy;
                 changed = true;
@@ -467,6 +515,19 @@ impl TopologyRouter {
             state.version += 1;
         }
         state.instances.iter().map(|e| (e.id, e.healthy)).collect()
+    }
+
+    /// `(instance, queue depth, p99 µs)` as of the last heartbeat, in id
+    /// order — the load view placement decisions consult. All zeros until
+    /// a heartbeat runs against latency-model-enabled instances.
+    pub fn instance_load(&self) -> Vec<(InstanceId, u64, u64)> {
+        self.shared
+            .state
+            .lock()
+            .instances
+            .iter()
+            .map(|e| (e.id, e.queue_depth, e.p99_us))
+            .collect()
     }
 
     /// Heartbeats, then migrates every user placed on a now-unhealthy
@@ -541,6 +602,7 @@ impl TopologyRouter {
         // client's own retries did against the old instance.
         let mut replayed_total = 0usize;
         let mut adopted: Vec<(String, InstanceId, UserId)> = Vec::new();
+        let sink = self.span_sink();
         for job in &jobs {
             let mut replay_token: Option<String> = None;
             for entry in self.shared.wal.replay_of(&job.key) {
@@ -553,6 +615,30 @@ impl TopologyRouter {
                     }
                 };
                 let response = job.target.handle(&request, now);
+                // WAL entries keep the span context of the request that
+                // first sent them, so replay work shows up as a child of
+                // that original operation's trace. Failover runs from the
+                // single driving thread, which keeps the extra span ids
+                // deterministic.
+                if request.ctx.is_active() {
+                    if let Some(sink) = &sink {
+                        let at_us = now.as_seconds().saturating_mul(1_000_000);
+                        let id = sink.alloc(request.ctx.trace);
+                        sink.record(
+                            request.ctx.trace,
+                            id,
+                            request.ctx.parent,
+                            "replay",
+                            at_us,
+                            at_us,
+                            &[
+                                ("path", FieldValue::from(request.path.as_str())),
+                                ("status", FieldValue::from(u64::from(response.status))),
+                                ("target", FieldValue::from(u64::from(job.target_id.0))),
+                            ],
+                        );
+                    }
+                }
                 if response.is_success() {
                     replayed_total += 1;
                     if let Payload::Registered { token, .. } = &response.body {
@@ -767,6 +853,51 @@ mod tests {
             let (imei, email) = identity(n);
             assert_eq!(router.instance_of(&imei, &email), Some(InstanceId(1)));
         }
+    }
+
+    /// The heartbeat probe reads the typed health body (queue depth +
+    /// p99), and least-connections placement steers new users away from
+    /// the instance with the deeper queue.
+    #[test]
+    fn heartbeat_reads_load_and_least_connections_avoids_deep_queues() {
+        let router = router_with(2, BalancePolicy::LeastConnections);
+        let now = SimTime::EPOCH;
+        // Back up instance 0: shared FIFO, 1 s service time, and three
+        // authenticated requests all arriving at t=0.
+        let zero = router.shared.state.lock().instances[0].cloud.clone();
+        zero.set_latency(Some(
+            crate::latency::LatencyProfile::uniform(1, 1_000_000, 0).with_queue(
+                crate::latency::QueueConfig {
+                    mode: crate::latency::QueueMode::Shared,
+                    shed_depth: 0,
+                },
+            ),
+        ));
+        let reg = zero.handle(
+            &Request::post(
+                crate::payload::REGISTRATION_PATH,
+                json!({"imei": "queued", "email": "q@x.com"}),
+            ),
+            now,
+        );
+        assert!(reg.is_success(), "{reg:?}");
+        let token = reg.json()["token"].as_str().unwrap().to_owned();
+        for _ in 0..3 {
+            let response = zero.handle(&Request::get("/api/v1/places").with_token(&token), now);
+            assert!(response.is_success(), "{response:?}");
+        }
+        router.heartbeat(now);
+        let load = router.instance_load();
+        assert_eq!(load[0].0, InstanceId(0));
+        assert_eq!(load[0].1, 3, "three unfinished requests queue: {load:?}");
+        assert!(load[0].2 >= 1_000_000, "p99 covers the 1 s service time");
+        assert_eq!(load[1].1, 0, "instance 1 is idle");
+        // Neither instance holds a routed session, so pure session
+        // counting would tie (and pick instance 0). The queue depth
+        // breaks the tie toward the idle instance.
+        register(&router, 9, now);
+        let (imei, email) = identity(9);
+        assert_eq!(router.instance_of(&imei, &email), Some(InstanceId(1)));
     }
 
     #[test]

@@ -490,6 +490,26 @@ impl Layer for FaultyCloud {
                     ("path", FieldValue::from(request.path.as_str())),
                 ],
             );
+            // Annotate the caller's causal trace with the injection. The
+            // id is allocated here, on the caller's own thread, so span
+            // ids within a trace stay schedule-independent (held requests
+            // delivered later from other threads deliberately do NOT
+            // record spans — that allocation would race the owner's).
+            if request.ctx.is_active() {
+                if let Some(sink) = state.metrics.obs.spans() {
+                    let at_us = now.as_seconds().saturating_mul(1_000_000);
+                    let id = sink.alloc(request.ctx.trace);
+                    sink.record(
+                        request.ctx.trace,
+                        id,
+                        request.ctx.parent,
+                        &format!("fault:{}", kind.label()),
+                        at_us,
+                        at_us,
+                        &[("path", FieldValue::from(request.path.as_str()))],
+                    );
+                }
+            }
         }
         match decision {
             None => {
@@ -536,9 +556,19 @@ impl CloudTransport for FaultyCloud {
         // response the same way — the full marshalling path the Django
         // service saw. An undecorated [`SharedCloud`] endpoint skips all
         // of this and moves typed payloads end-to-end.
-        let parsed = Request::from_bytes(request.wire_bytes()).expect("request round-trips");
+        // The span context and latency annotation are diagnostics, not
+        // wire state: both are copied across the marshalling boundary by
+        // hand, exactly like a tracing header rides outside the body.
+        let parsed = Request::from_bytes(request.wire_bytes())
+            .expect("request round-trips")
+            .with_ctx(request.ctx);
         let response = self.call(&parsed, now, Next::new(&[], &self.inner));
-        Response::from_bytes(&response.to_bytes()).expect("response round-trips")
+        let latency = response.latency_us();
+        let wire = Response::from_bytes(&response.to_bytes()).expect("response round-trips");
+        match latency {
+            Some((queue_us, service_us)) => wire.with_latency(queue_us, service_us),
+            None => wire,
+        }
     }
 }
 

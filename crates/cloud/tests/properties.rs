@@ -190,7 +190,7 @@ proptest! {
         status in 100u16..600,
         body in arb_json(),
     ) {
-        let resp = pmware_cloud::Response { status, body: body.into() };
+        let resp = pmware_cloud::Response::with_status(status, body);
         let bytes = resp.to_bytes();
         let back: pmware_cloud::Response = serde_json::from_slice(&bytes).unwrap();
         prop_assert_eq!(back, resp);

@@ -24,12 +24,12 @@ use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId};
 use pmware_cloud::wire::ObservationBatch;
 use pmware_cloud::{
     CloudEndpoint, DiscoverBody, GeolocateSignatureBody, LabelBody, MobilityProfile, Payload,
-    RegistrationBody, Request, Response, SyncContactsBody, SyncPlacesBody, SyncProfileBody,
-    SyncRoutesBody, UserId, STATUS_BUDGET_EXHAUSTED, STATUS_MISDIRECTED, STATUS_RATE_LIMITED,
-    STATUS_TIMEOUT,
+    RegistrationBody, Request, Response, SpanCtx, SyncContactsBody, SyncPlacesBody,
+    SyncProfileBody, SyncRoutesBody, UserId, STATUS_BUDGET_EXHAUSTED, STATUS_MISDIRECTED,
+    STATUS_RATE_LIMITED, STATUS_TIMEOUT,
 };
 use pmware_geo::GeoPoint;
-use pmware_obs::{Counter, FieldValue, Histogram, Obs};
+use pmware_obs::{Counter, FieldValue, Histogram, Obs, SpanSink};
 use pmware_world::{CellGlobalId, GsmObservation, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -210,6 +210,11 @@ pub struct CloudClient {
     /// contention to spread. When false, 429s fall back to the same blind
     /// exponential backoff as 5xx (the baseline for the rate-limit study).
     honor_retry_after: bool,
+    /// Monotonic logical-operation counter: trace ids are
+    /// `SpanSink::trace_id(actor, op_seq)`, a pure function of the
+    /// workload. Transient — a restored client restarts at 0, which is
+    /// fine because span collection is per-study, not per-checkpoint.
+    op_seq: u64,
     metrics: ClientMetrics,
 }
 
@@ -238,6 +243,7 @@ impl CloudClient {
             retries: 0,
             rate_limited: 0,
             honor_retry_after: true,
+            op_seq: 0,
             metrics: ClientMetrics::default(),
         };
         let request = Request::post(
@@ -287,6 +293,7 @@ impl CloudClient {
             retries: 0,
             rate_limited: 0,
             honor_retry_after: true,
+            op_seq: 0,
             metrics: ClientMetrics::default(),
         }
     }
@@ -363,6 +370,7 @@ impl CloudClient {
     /// Returns [`PmsError::Cloud`] while the cloud stays unreachable.
     pub fn reregister(&mut self, imei: &str, email: &str, now: SimTime) -> Result<(), PmsError> {
         let fresh = CloudClient::register(self.endpoint.clone(), imei, email, now)?;
+        self.op_seq += fresh.op_seq;
         self.wire_requests += fresh.wire_requests;
         self.retries += fresh.retries;
         self.rate_limited += fresh.rate_limited;
@@ -727,16 +735,33 @@ impl CloudClient {
     /// Retry waits advance a *virtual* send clock (`now` plus the
     /// accumulated backoff), so the whole schedule is a pure function of
     /// simulated time.
+    ///
+    /// When the bound [`Obs`] carries a span sink, every call here opens
+    /// one root span (`op:<path>`) whose children are the individual
+    /// attempts and backoff waits; each attempt's [`SpanCtx`] rides on
+    /// the request, so server-side participants (fault injections,
+    /// federation re-handshakes, failover replay) attach their own spans
+    /// under it. All ids of one trace are allocated from this thread, in
+    /// call order — the tree is schedule-independent.
     fn send_with_retry(
         &mut self,
         request: &Request,
         now: SimTime,
         class: RequestClass,
     ) -> Response {
+        self.op_seq += 1;
+        let span = self.metrics.obs.spans().cloned().map(|sink| {
+            let trace = SpanSink::trace_id(self.metrics.obs.actor(), self.op_seq);
+            let root = sink.alloc(trace);
+            (sink, trace, root)
+        });
+        let op_name = format!("op:{}", request.path);
+        let start_us = now.as_seconds().saturating_mul(1_000_000);
         let mut at = now;
         let mut backoff = class.base_backoff();
         let mut attempt = 0;
         loop {
+            let at_us = at.as_seconds().saturating_mul(1_000_000);
             if !self.take_budget() {
                 self.metrics.budget_denied.inc();
                 self.metrics.obs.event(
@@ -744,6 +769,23 @@ impl CloudClient {
                     "client.budget_exhausted",
                     &[("path", FieldValue::from(request.path.as_str()))],
                 );
+                if let Some((sink, trace, root)) = &span {
+                    sink.record(
+                        *trace,
+                        *root,
+                        0,
+                        &op_name,
+                        start_us,
+                        at_us,
+                        &[
+                            ("attempts", FieldValue::from(u64::from(attempt))),
+                            (
+                                "status",
+                                FieldValue::from(u64::from(STATUS_BUDGET_EXHAUSTED)),
+                            ),
+                        ],
+                    );
+                }
                 return Response::error(
                     STATUS_BUDGET_EXHAUSTED,
                     "maintenance request budget exhausted",
@@ -751,7 +793,37 @@ impl CloudClient {
             }
             self.wire_requests += 1;
             self.metrics.wire_requests.inc();
-            let response = self.endpoint.send(request, at);
+            let (response, end_us) = match &span {
+                Some((sink, trace, root)) => {
+                    let attempt_id = sink.alloc(*trace);
+                    let tagged = request.clone().with_ctx(SpanCtx {
+                        trace: *trace,
+                        parent: attempt_id,
+                    });
+                    let response = self.endpoint.send(&tagged, at);
+                    // The latency model's sub-second cost (queue + service
+                    // µs) shows up only here; the client's sim-seconds
+                    // retry clock never advances from it.
+                    let end_us = at_us
+                        + response
+                            .latency_us()
+                            .map_or(0, |(queue, service)| queue + service);
+                    sink.record(
+                        *trace,
+                        attempt_id,
+                        *root,
+                        "attempt",
+                        at_us,
+                        end_us,
+                        &[
+                            ("attempt", FieldValue::from(u64::from(attempt))),
+                            ("status", FieldValue::from(u64::from(response.status))),
+                        ],
+                    );
+                    (response, end_us)
+                }
+                None => (self.endpoint.send(request, at), at_us),
+            };
             if response.status == STATUS_TIMEOUT {
                 self.metrics.timeouts.inc();
             }
@@ -760,6 +832,20 @@ impl CloudClient {
                 self.metrics.rate_limited.inc();
             }
             if !retryable(response.status) || attempt + 1 >= class.max_attempts() {
+                if let Some((sink, trace, root)) = &span {
+                    sink.record(
+                        *trace,
+                        *root,
+                        0,
+                        &op_name,
+                        start_us,
+                        end_us,
+                        &[
+                            ("attempts", FieldValue::from(u64::from(attempt + 1))),
+                            ("status", FieldValue::from(u64::from(response.status))),
+                        ],
+                    );
+                }
                 return response;
             }
             self.retries += 1;
@@ -797,6 +883,19 @@ impl CloudClient {
                     ("wait_s", FieldValue::from(wait.as_seconds())),
                 ],
             );
+            if let Some((sink, trace, root)) = &span {
+                let wake_us = (at + wait).as_seconds().saturating_mul(1_000_000);
+                let backoff_id = sink.alloc(*trace);
+                sink.record(
+                    *trace,
+                    backoff_id,
+                    *root,
+                    "backoff",
+                    end_us,
+                    wake_us,
+                    &[("wait_s", FieldValue::from(wait.as_seconds()))],
+                );
+            }
             at += wait;
             attempt += 1;
         }
@@ -1071,6 +1170,75 @@ mod tests {
         // All four Sync attempts burned against a bucket that never
         // refilled within the backoff horizon.
         assert_eq!(client.rate_limited(), 4);
+    }
+
+    /// One logical operation through two injected drops produces a full
+    /// causal tree — root op span, three attempts, two backoff waits, and
+    /// the server-side fault spans — and the export is byte-identical
+    /// across runs of the same seed.
+    #[test]
+    fn spans_cover_retries_faults_and_are_deterministic() {
+        let run = || {
+            let obs = Obs::disabled().with_spans();
+            let faulty = FaultyCloud::new(
+                cloud(),
+                FaultPlan::with_schedule(1, vec![(0, FaultKind::Drop), (1, FaultKind::Drop)])
+                    .only_path("/places/sync"),
+            );
+            faulty.set_obs(&obs.for_actor("cloud"));
+            let mut client =
+                CloudClient::register(faulty.clone(), "imei-1", "a@x.com", SimTime::EPOCH).unwrap();
+            client.set_obs(&obs.for_actor("p0001"));
+            client.sync_places(&[], SimTime::EPOCH).unwrap();
+            obs.spans_jsonl().unwrap()
+        };
+        let jsonl = run();
+        assert!(
+            jsonl.contains("\"name\":\"op:/api/v1/places/sync\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"name\":\"attempt\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"backoff\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"fault:drop\""), "{jsonl}");
+        assert_eq!(
+            jsonl.lines().count(),
+            8,
+            "1 root + 3 attempts + 2 backoffs + 2 faults:\n{jsonl}"
+        );
+        assert_eq!(jsonl, run(), "same seed, same bytes");
+    }
+
+    /// Federation control-plane work joins the trace: a failover-displaced
+    /// client's next call records a `rehandshake` child, and the WAL
+    /// replay driven by the failover records `replay` children under the
+    /// operation that originally sent each replayed request.
+    #[test]
+    fn federated_rehandshake_and_wal_replay_record_spans() {
+        use pmware_cloud::topology::{BalancePolicy, TopologyRouter};
+        let obs = Obs::disabled().with_spans();
+        let router = TopologyRouter::new(BalancePolicy::RoundRobin);
+        for i in 0..2 {
+            router.add_instance(SharedCloud::new(CloudInstance::new(
+                CellDatabase::new(),
+                40 + i,
+            )));
+        }
+        router.set_obs(&obs);
+        let mut client =
+            CloudClient::register(router.endpoint(), "imei-9", "f@x.com", SimTime::EPOCH).unwrap();
+        client.set_obs(&obs.for_actor("p0009"));
+        client.sync_places(&[], SimTime::EPOCH).unwrap();
+        let home = router.instance_of("imei-9", "f@x.com").unwrap();
+        router.kill_instance(home);
+        let later = SimTime::EPOCH + SimDuration::from_hours(1);
+        let report = router.fail_over(later);
+        assert!(report.replayed >= 1, "{report:?}");
+        // The displaced client's next call re-handshakes transparently.
+        client.sync_places(&[], later).unwrap();
+        let jsonl = obs.spans_jsonl().unwrap();
+        assert!(jsonl.contains("\"name\":\"replay\""), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"rehandshake\""), "{jsonl}");
+        assert_eq!(client.retries(), 0, "the federation seam hid the move");
     }
 
     #[test]

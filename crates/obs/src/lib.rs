@@ -55,13 +55,16 @@
 
 pub mod metrics;
 pub mod profiling;
+pub mod span;
 pub mod trace;
 
 use std::sync::Arc;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SnapshotValue,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SloReport,
+    SnapshotValue,
 };
+pub use span::{SpanRecord, SpanSink};
 pub use trace::{FieldValue, TraceBus};
 
 use pmware_world::SimTime;
@@ -77,6 +80,7 @@ use pmware_world::SimTime;
 pub struct Obs {
     metrics: Option<Arc<MetricsRegistry>>,
     trace: Option<Arc<TraceBus>>,
+    spans: Option<Arc<SpanSink>>,
     actor: Arc<str>,
 }
 
@@ -91,6 +95,7 @@ impl std::fmt::Debug for Obs {
         f.debug_struct("Obs")
             .field("metrics", &self.metrics.is_some())
             .field("trace", &self.trace.is_some())
+            .field("spans", &self.spans.is_some())
             .field("actor", &self.actor)
             .finish()
     }
@@ -102,6 +107,7 @@ impl Obs {
         Obs {
             metrics: None,
             trace: None,
+            spans: None,
             actor: Arc::from("main"),
         }
     }
@@ -111,6 +117,7 @@ impl Obs {
         Obs {
             metrics: Some(Arc::new(MetricsRegistry::new())),
             trace: None,
+            spans: None,
             actor: Arc::from("main"),
         }
     }
@@ -121,16 +128,25 @@ impl Obs {
         Obs {
             metrics: Some(Arc::new(MetricsRegistry::new())),
             trace: Some(Arc::new(TraceBus::new(capacity))),
+            spans: None,
             actor: Arc::from("main"),
         }
     }
 
-    /// A clone of this handle attributed to `actor`. The registry and bus
-    /// are shared; only the attribution changes.
+    /// This handle with a fresh [`SpanSink`] attached: components on the
+    /// request path start recording causal request spans through it.
+    pub fn with_spans(mut self) -> Obs {
+        self.spans = Some(Arc::new(SpanSink::new()));
+        self
+    }
+
+    /// A clone of this handle attributed to `actor`. The registry, bus,
+    /// and span sink are shared; only the attribution changes.
     pub fn for_actor(&self, actor: &str) -> Obs {
         Obs {
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
+            spans: self.spans.clone(),
             actor: Arc::from(actor),
         }
     }
@@ -161,9 +177,14 @@ impl Obs {
         self.trace.as_ref()
     }
 
-    /// Whether either metrics or tracing is live.
+    /// The shared span sink, if request spans are enabled.
+    pub fn spans(&self) -> Option<&Arc<SpanSink>> {
+        self.spans.as_ref()
+    }
+
+    /// Whether metrics, tracing, or spans are live.
     pub fn is_enabled(&self) -> bool {
-        self.metrics.is_some() || self.trace.is_some()
+        self.metrics.is_some() || self.trace.is_some() || self.spans.is_some()
     }
 
     /// Resolves a counter; a no-op handle when metrics are disabled.
@@ -210,15 +231,37 @@ impl Obs {
     }
 
     /// A deterministic JSON rendering of the current metrics snapshot, or
-    /// `None` when metrics are disabled.
+    /// `None` when metrics are disabled. Trace-ring overflow counts are
+    /// synced into the snapshot first (`obs_trace_dropped_total{actor}`),
+    /// so a truncated trace is never silent.
     pub fn metrics_json(&self) -> Option<String> {
-        self.metrics.as_ref().map(|r| r.snapshot().to_json())
+        let registry = self.metrics.as_ref()?;
+        if let Some(bus) = &self.trace {
+            for (actor, dropped) in bus.dropped_counts() {
+                registry
+                    .counter("obs_trace_dropped_total", &[("actor", &actor)])
+                    .set(dropped);
+            }
+        }
+        Some(registry.snapshot().to_json())
     }
 
     /// A deterministic JSONL rendering of the trace buffers, or `None`
     /// when tracing is disabled.
     pub fn trace_jsonl(&self) -> Option<String> {
         self.trace.as_ref().map(|b| b.export_jsonl())
+    }
+
+    /// A deterministic JSONL rendering of the recorded request spans, or
+    /// `None` when spans are disabled.
+    pub fn spans_jsonl(&self) -> Option<String> {
+        self.spans.as_ref().map(|s| s.export_jsonl())
+    }
+
+    /// A Chrome-trace-format (`chrome://tracing`) rendering of the
+    /// recorded request spans, or `None` when spans are disabled.
+    pub fn spans_chrome(&self) -> Option<String> {
+        self.spans.as_ref().map(|s| s.export_chrome())
     }
 }
 
@@ -268,5 +311,47 @@ mod tests {
         // A handle with its own registry keeps it.
         let own = Obs::new().metrics_or(&private);
         assert_eq!(own.counter("kept", &[]).get(), 0);
+    }
+
+    /// Ring overflow must be visible in the metrics snapshot, not only as
+    /// a trailing meta line deep in the trace JSONL.
+    #[test]
+    fn trace_drops_surface_in_metrics() {
+        let obs = Obs::with_trace(2);
+        let a = obs.for_actor("a");
+        for i in 0..5 {
+            a.event(SimTime::from_seconds(i), "e", &[]);
+        }
+        // Another actor stays under capacity and must not appear.
+        obs.for_actor("quiet").event(SimTime::EPOCH, "e", &[]);
+        let json = obs.metrics_json().expect("metrics live");
+        assert!(
+            json.contains("obs_trace_dropped_total{actor=\\\"a\\\"}"),
+            "drops are silent: {json}"
+        );
+        assert_eq!(
+            obs.metrics()
+                .unwrap()
+                .counter("obs_trace_dropped_total", &[("actor", "a")])
+                .get(),
+            3
+        );
+        assert!(!json.contains("obs_trace_dropped_total{actor=\\\"quiet\\\"}"));
+    }
+
+    #[test]
+    fn spans_flow_through_the_handle() {
+        let obs = Obs::disabled().with_spans();
+        assert!(obs.is_enabled());
+        let sink = obs.spans().expect("sink attached").clone();
+        let trace = SpanSink::trace_id(obs.actor(), 1);
+        let id = sink.alloc(trace);
+        sink.record(trace, id, 0, "op:/x", 0, 42, &[]);
+        let jsonl = obs.spans_jsonl().expect("spans live");
+        assert!(jsonl.contains("\"name\":\"op:/x\""));
+        assert!(obs.spans_chrome().unwrap().contains("\"traceEvents\""));
+        // for_actor shares the sink.
+        assert_eq!(obs.for_actor("b").spans().unwrap().len(), 1);
+        assert!(Obs::disabled().spans_jsonl().is_none());
     }
 }

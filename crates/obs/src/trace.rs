@@ -60,7 +60,7 @@ impl From<String> for FieldValue {
 }
 
 impl FieldValue {
-    fn to_value(&self) -> Value {
+    pub(crate) fn to_value(&self) -> Value {
         match self {
             FieldValue::U64(v) => Value::Number(Number::PosInt(*v)),
             FieldValue::I64(v) => Value::Number(Number::from_i64(*v)),
@@ -157,6 +157,19 @@ impl TraceBus {
                 .map(|(k, v)| (k.to_string(), v.clone()))
                 .collect(),
         });
+    }
+
+    /// Per-actor ring-overflow drop counts, sorted by actor, for actors
+    /// that dropped at least one record. The metrics snapshot surfaces
+    /// these as `obs_trace_dropped_total{actor}` so a truncated trace is
+    /// visible without reading the JSONL's trailing meta lines.
+    pub fn dropped_counts(&self) -> Vec<(String, u64)> {
+        self.actors
+            .lock()
+            .iter()
+            .filter(|(_, ring)| ring.dropped > 0)
+            .map(|(actor, ring)| (actor.clone(), ring.dropped))
+            .collect()
     }
 
     /// Total records currently buffered, across actors.
