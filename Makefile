@@ -1,6 +1,6 @@
 # Convenience targets for the PMWare reproduction workspace.
 
-.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke bench-wire bench-federation bench-latency lint-wire lint-latency obs test-federation
+.PHONY: verify build test clippy fmt chaos bench bench-gca bench-smoke bench-wire bench-federation bench-latency bench-storage lint-wire lint-latency lint-storage obs test-federation test-storage
 
 # The full pre-merge gate: release build, the whole test suite, a
 # warning-free clippy pass over every target in the workspace, a
@@ -11,8 +11,10 @@
 # sequential studies ever diverge, the wire lint that keeps untyped
 # JSON from creeping back onto the hot path, the wall-clock lint that
 # keeps real time out of simulation code, and the latency soak with its
-# built-in shed/convergence gates.
-verify: build test clippy fmt lint-wire lint-latency chaos obs test-federation bench-smoke bench-latency
+# built-in shed/convergence gates, and the storage gate (durable
+# crash-recovery goldens, the residency lint, and the RSS/hydration/
+# recovery soak with its built-in capped-below-uncapped assertion).
+verify: build test clippy fmt lint-wire lint-latency lint-storage chaos obs test-federation test-storage bench-smoke bench-latency bench-storage
 
 build:
 	cargo build --release --workspace
@@ -108,6 +110,33 @@ test-federation:
 # Flags: --instances, --balance-policy, --failover-at-day, --chaos-rate.
 bench-federation:
 	cargo run --release -p pmware-bench --bin federation_soak
+
+# The storage gate: the engine's golden tests — byte-identical durable
+# replay after a crash, deterministic LRU eviction, evicted-user
+# failover, and the capped-vs-uncapped proptest equivalence — plus the
+# durable arm of the chaos matrix.
+test-storage:
+	cargo test --release -q -p pmware-cloud --test storage
+	cargo test --release --test chaos_matrix chaos_matrix_durable_crash_recovery_converges
+
+# Storage soak: capped-RSS-vs-population ladder (each arm in its own
+# child process so peak RSS is honest), hydration latency vs history
+# length, and crash-recovery time; writes BENCH_storage.json in the
+# repo root and exits nonzero if the residency cap leaks or the capped
+# arm's peak RSS reaches the uncapped arm's. Flags: --cap, --rounds,
+# --seed.
+bench-storage:
+	cargo run --release -p pmware-bench --bin storage_soak
+
+# The storage-boundary lint: every UserStore access goes through the
+# engine (DESIGN.md §5k), so outside crates/cloud/src/storage/ no cloud
+# code may reach into a `.users.` shard map or mint a bare
+# `Arc<Mutex<UserStore>>` of its own.
+lint-storage:
+	@! grep -rn '\.users\.\|Arc::new(Mutex::new(UserStore' crates/cloud/src \
+		--include='*.rs' | grep -v 'src/storage/' \
+		|| { echo 'lint-storage: UserStore access leaked around the storage engine'; exit 1; }
+	@echo 'lint-storage: ok'
 
 # The observability gate: golden determinism tests (same seed => byte-
 # identical metrics snapshot and trace JSONL, at any thread count; obs

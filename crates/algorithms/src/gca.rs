@@ -592,6 +592,15 @@ impl IncrementalGca {
         self.log.len()
     }
 
+    /// The full absorbed observation log, in absorption order. A fresh
+    /// engine fed this log in one `absorb` reproduces this engine's
+    /// client-visible state exactly (the split-invariance property), which
+    /// is what lets durable snapshots store `(config, log)` instead of the
+    /// engine's internal indexes.
+    pub fn observations(&self) -> &[GsmObservation] {
+        &self.log
+    }
+
     /// Returns `true` when nothing has been absorbed yet.
     pub fn is_empty(&self) -> bool {
         self.log.is_empty()

@@ -14,7 +14,9 @@
 use pmware_algorithms::matching::{classify_places, GroundTruthVisit, MatchOutcome};
 use pmware_algorithms::signature::{DiscoveredPlace, DiscoveredPlaceId, PlaceSignature};
 use pmware_apps::{AdInventory, LifeLogApp, PlaceAdsApp, UserTasteModel};
-use pmware_cloud::{AdmissionConfig, CellDatabase, CloudInstance, LatencyProfile, SharedCloud};
+use pmware_cloud::{
+    AdmissionConfig, CellDatabase, CloudInstance, LatencyProfile, SharedCloud, StorageConfig,
+};
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
 use pmware_core::registry::PmPlaceId;
 use pmware_device::{Device, EnergyModel};
@@ -50,6 +52,14 @@ pub struct StudyConfig {
     /// Discovery outcomes are identical at any value — only wire traffic
     /// changes.
     pub offload_batch_days: u32,
+    /// Cloud storage-engine configuration ([`StorageConfig`]): a resident
+    /// cap bounds how many user stores stay in RAM (cold ones park in
+    /// compacted snapshots), and a store directory makes the instance
+    /// durable (per-shard WAL + snapshots on disk). `None` (the default)
+    /// keeps the plain all-resident in-memory cloud; study outcomes are
+    /// bit-identical either way — the engine only changes *where* state
+    /// lives.
+    pub storage: Option<StorageConfig>,
 }
 
 impl Default for StudyConfig {
@@ -62,6 +72,7 @@ impl Default for StudyConfig {
             threads: 1,
             obs: Obs::disabled(),
             offload_batch_days: 0,
+            storage: None,
         }
     }
 }
@@ -206,6 +217,7 @@ pub fn run_study_with_options(
     let cloud = SharedCloud::new(
         CloudInstance::new(CellDatabase::from_world(&world), config.seed + 1).with_obs(&config.obs),
     );
+    cloud.set_storage(config.storage.clone());
     cloud.set_admission(admission);
     cloud.set_latency(latency);
     let population = Population::generate(&world, config.participants, config.seed + 2);
@@ -384,6 +396,7 @@ mod tests {
             threads: 1,
             obs: Obs::disabled(),
             offload_batch_days: 0,
+            storage: None,
         };
         let results = run_study(&config);
         assert_eq!(results.participants.len(), 4);

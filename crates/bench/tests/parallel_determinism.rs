@@ -24,6 +24,7 @@ fn config(threads: usize) -> StudyConfig {
         threads,
         obs: pmware_obs::Obs::disabled(),
         offload_batch_days: 0,
+        storage: None,
     }
 }
 

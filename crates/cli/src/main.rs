@@ -7,6 +7,7 @@
 //! pmware study    [--participants N] [--days N] [--seed N]
 //!                 [--admission-burst N] [--admission-refill-s N]
 //!                 [--latency-profile off|calibrated|uniform] [--slo-p99-ms N]
+//!                 [--store-dir DIR] [--resident-cap N] [--snapshot-every-days N]
 //!                 [--metrics-out F] [--trace-out F] [--spans-out F]
 //! pmware query    [--seed N] [--days N]
 //! pmware help
@@ -21,6 +22,7 @@ use pmware_apps::{AdInventory, PlaceAdsApp, UserTasteModel};
 use pmware_bench::deployment::{run_study_with_options, StudyConfig};
 use pmware_cloud::{
     AdmissionConfig, CellDatabase, CloudInstance, LatencyProfile, RateBudget, SharedCloud,
+    StorageConfig,
 };
 use pmware_core::intents::IntentFilter;
 use pmware_core::pms::{PmsConfig, PmwareMobileService};
@@ -78,6 +80,18 @@ deployment; `uniform` draws 1±1 ms everywhere. Either adds a shared
 sim-time FIFO ahead of the handlers and prints an SLO report after the
 study. With no shedding threshold the model never changes study
 outcomes — it only annotates them.
+
+STORAGE ENGINE (study):
+    --resident-cap N        Max user stores resident in RAM; cold users
+                            park in compacted snapshots and hydrate on
+                            demand (default: unlimited)
+    --store-dir DIR         Durable mode: per-shard WAL + snapshots under
+                            DIR; a crashed instance recovers bit-identical
+                            state from it
+    --snapshot-every-days N Compaction cadence in sim-days (default 7;
+                            needs --store-dir)
+The engine never changes study outcomes — eviction is deterministic
+sim-time LRU, and replay rebuilds byte-identical stores.
 
 OBSERVABILITY (simulate, study):
     --metrics-out FILE      Write the final metrics snapshot as JSON
@@ -201,6 +215,38 @@ fn admission(args: &Args, seed: u64) -> Result<Option<AdmissionConfig>, String> 
         seed,
         RateBudget::new(burst, pmware_world::SimDuration::from_seconds(refill)),
     )))
+}
+
+/// Parses the `--store-dir` / `--resident-cap` / `--snapshot-every-days`
+/// trio into a [`StorageConfig`]. All absent (the default) leaves the
+/// storage engine off — the plain all-resident in-memory cloud.
+fn storage(args: &Args) -> Result<Option<StorageConfig>, String> {
+    let cap = args
+        .get("resident-cap", 0usize)
+        .map_err(|e| e.to_string())?;
+    if args.has("resident-cap") && cap == 0 {
+        return Err("--resident-cap must be positive".into());
+    }
+    let store_dir = args.flag("store-dir").map(std::path::PathBuf::from);
+    if store_dir.is_none() {
+        if args.has("snapshot-every-days") {
+            return Err("--snapshot-every-days needs --store-dir".into());
+        }
+        if cap == 0 {
+            return Ok(None);
+        }
+    }
+    let every = args
+        .get("snapshot-every-days", 7u64)
+        .map_err(|e| e.to_string())?;
+    if every == 0 {
+        return Err("--snapshot-every-days must be positive".into());
+    }
+    Ok(Some(StorageConfig {
+        resident_cap: (cap > 0).then_some(cap),
+        store_dir,
+        snapshot_every_days: every,
+    }))
 }
 
 /// Parses `--latency-profile` into a [`LatencyProfile`] (`None` when
@@ -349,6 +395,7 @@ fn cmd_study(args: &Args) -> Result<(), String> {
         offload_batch_days: args
             .get("offload-batch-days", 0u32)
             .map_err(|e| e.to_string())?,
+        storage: storage(args)?,
     };
     let admission = admission(args, config.seed)?;
     if !args.has("quiet") {
@@ -361,6 +408,18 @@ fn cmd_study(args: &Args) -> Result<(), String> {
         }
         if latency.is_some() {
             println!("latency model: on (sim-time service draws + FIFO queues)");
+        }
+        if let Some(storage) = &config.storage {
+            println!(
+                "storage engine: on (resident cap {}, {})",
+                storage
+                    .resident_cap
+                    .map_or_else(|| "unlimited".to_owned(), |cap| cap.to_string()),
+                match &storage.store_dir {
+                    Some(dir) => format!("durable in {}", dir.display()),
+                    None => "in-memory snapshots".to_owned(),
+                }
+            );
         }
     }
     let latency_on = latency.is_some();
@@ -560,6 +619,41 @@ mod tests {
         assert!(latency(&Args::parse(["--latency-profile", "gaussian"]), 1).is_err());
         // An SLO target with no latency data is a user error.
         assert!(latency(&Args::parse(["--slo-p99-ms", "50"]), 1).is_err());
+    }
+
+    #[test]
+    fn storage_flag_mapping() {
+        // Absent: the engine stays off.
+        assert!(storage(&Args::parse(Vec::<String>::new()))
+            .unwrap()
+            .is_none());
+        // A cap alone: in-memory snapshots, bounded residency.
+        let config = storage(&Args::parse(["--resident-cap", "8"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(config.resident_cap, Some(8));
+        assert!(config.store_dir.is_none());
+        // A store dir alone: durable, unlimited residency, default cadence.
+        let config = storage(&Args::parse(["--store-dir", "/tmp/pmware-store"]))
+            .unwrap()
+            .unwrap();
+        assert!(config.resident_cap.is_none());
+        assert_eq!(
+            config.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/pmware-store"))
+        );
+        assert_eq!(config.snapshot_every_days, 7);
+        // Explicit zeros and a cadence with nowhere to snapshot are user
+        // errors, not silent no-ops.
+        assert!(storage(&Args::parse(["--resident-cap", "0"])).is_err());
+        assert!(storage(&Args::parse(["--snapshot-every-days", "3"])).is_err());
+        assert!(storage(&Args::parse([
+            "--store-dir",
+            "/tmp/pmware-store",
+            "--snapshot-every-days",
+            "0"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -15,14 +15,12 @@ pub(crate) mod registration;
 pub(crate) mod routes;
 pub(crate) mod social;
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
 use pmware_world::SimTime;
 
 use crate::api::{Request, Response};
 use crate::auth::UserId;
-use crate::state::{CloudCore, UserStore};
+use crate::state::CloudCore;
+use crate::storage::StoreGuard;
 
 /// Everything a handler may touch: the shared core, the validated caller
 /// (absent only on public routes), the raw bearer token (the refresh
@@ -41,9 +39,11 @@ impl Ctx<'_> {
         self.user.expect("bearer route always has a validated user")
     }
 
-    /// The caller's per-user store (created on first touch).
-    pub(crate) fn store(&self) -> Arc<Mutex<UserStore>> {
-        self.core.store_of(self.user())
+    /// The caller's per-user store (created — or hydrated from its parked
+    /// snapshot — on first touch). The guard pins the store against
+    /// eviction for as long as the handler holds it.
+    pub(crate) fn store(&self) -> StoreGuard {
+        self.core.store_at(self.user(), self.now)
     }
 }
 

@@ -1,31 +1,19 @@
 //! Place discovery offload, sync, listing and labelling (§2.3.1/§2.3.3).
-
-use pmware_algorithms::gca::IncrementalGca;
-use pmware_world::GsmObservation;
+//!
+//! The store-mutating cores live in [`crate::storage::apply`] — shared
+//! with WAL hydration — so a replayed request reproduces exactly what the
+//! original handler did. The handlers here add metrics and build the wire
+//! responses.
 
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
 use crate::payload::{DiscoverBody, LabelBody, Payload, SyncPlacesBody};
+use crate::storage::apply;
 
 /// `POST /api/v1/places/discover` — the GCA offload: fold a GSM
 /// observation batch into the caller's persistent incremental engine.
 pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<DiscoverBody>(request, |body| {
-        // A batched body decodes to the exact observation sequence the
-        // client encoded, so both spellings feed the same absorb path and
-        // reach the same engine state. The plain-array path borrows the
-        // typed body directly — no copy.
-        let decoded;
-        let observations: &[GsmObservation] = match &body.batch {
-            Some(batch) => match batch.decode() {
-                Ok(observations) => {
-                    decoded = observations;
-                    &decoded
-                }
-                Err(e) => return Response::bad_request(format!("invalid batch: {e}")),
-            },
-            None => &body.observations,
-        };
         // Clone the config before taking the user lock (lock order: config
         // lock is never held across a store lock). Absorbing under the
         // user lock only serializes this user's own requests — other users
@@ -33,55 +21,18 @@ pub(crate) fn discover(ctx: &Ctx<'_>, request: &Request) -> Response {
         let config = ctx.core.gca_config.read().clone();
         let store = ctx.store();
         let mut store = store.lock();
-        match body.start {
-            Some(start) => {
-                // Sequenced offload: `start` is the batch's offset in the
-                // client's observation stream. A duplicated or retried
-                // delivery re-sends a prefix the engine already absorbed —
-                // skip it; only the unseen tail is folded in. A start past
-                // the watermark means the server lost its engine (config
-                // reset): restart from this batch, which is authoritative.
-                let len = observations.len() as u64;
-                if start > store.absorbed_upto || store.gca.is_none() {
-                    store.gca = Some(IncrementalGca::new(config));
-                    store.absorbed_upto = start;
-                }
-                let skip = (store.absorbed_upto - start) as usize;
-                if skip > 0 {
+        match apply::apply_discover(&mut store, &config, body) {
+            Ok(outcome) => {
+                if outcome.replayed {
                     ctx.core.metrics.replay_discover.inc();
                 }
-                if (skip as u64) < len {
-                    store.absorbed_upto = start + len;
-                    let engine = store.gca.as_mut().expect("engine ensured above");
-                    engine.absorb(&observations[skip..]);
-                    store.places = engine.places().places;
-                }
+                Response::ok(Payload::Discovered {
+                    places: store.places.clone(),
+                    absorbed_upto: store.absorbed_upto,
+                })
             }
-            None => {
-                // Legacy unsequenced offload: a batch that rewinds behind
-                // the absorbed stream means the client restarted or
-                // re-sent history — start over from exactly this batch.
-                // Otherwise fold the suffix into the accumulated engine.
-                let rewinds = match (&store.gca, observations.first()) {
-                    (Some(engine), Some(first)) => {
-                        engine.last_time().is_some_and(|t| first.time < t)
-                    }
-                    _ => false,
-                };
-                if rewinds || store.gca.is_none() {
-                    store.gca = Some(IncrementalGca::new(config));
-                    store.absorbed_upto = 0;
-                }
-                store.absorbed_upto += observations.len() as u64;
-                let engine = store.gca.as_mut().expect("engine ensured above");
-                engine.absorb(observations);
-                store.places = engine.places().places;
-            }
+            Err(message) => Response::bad_request(message),
         }
-        Response::ok(Payload::Discovered {
-            places: store.places.clone(),
-            absorbed_upto: store.absorbed_upto,
-        })
     })
 }
 
@@ -91,21 +42,13 @@ pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<SyncPlacesBody>(request, |body| {
         let store = ctx.store();
         let mut store = store.lock();
-        // A full replacement that was reordered behind a newer one (or
-        // delivered twice) must not clobber it.
-        let stale = body.seq.is_some_and(|seq| seq <= store.places_seq);
-        if stale {
+        let outcome = apply::apply_places_sync(&mut store, body);
+        if outcome.stale {
             ctx.core.metrics.replay_places_sync.inc();
         }
-        if !stale {
-            store.places = body.places.clone();
-            if let Some(seq) = body.seq {
-                store.places_seq = seq;
-            }
-        }
         Response::ok(Payload::SyncAck {
-            stored: store.places.len(),
-            stale,
+            stored: outcome.stored,
+            stale: outcome.stale,
         })
     })
 }
@@ -122,11 +65,8 @@ pub(crate) fn label(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<LabelBody>(request, |body| {
         let store = ctx.store();
         let mut store = store.lock();
-        match store.places.iter_mut().find(|p| p.id == body.place) {
-            Some(place) => {
-                place.label = Some(body.label.clone());
-                Response::ok(Payload::Labelled { labelled: place.id })
-            }
+        match apply::apply_label(&mut store, body) {
+            Some(labelled) => Response::ok(Payload::Labelled { labelled }),
             None => Response::not_found("unknown place"),
         }
     })

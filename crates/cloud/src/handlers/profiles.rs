@@ -3,36 +3,24 @@
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
 use crate::payload::{Payload, SyncProfileBody};
+use crate::storage::apply;
 
 /// Path prefix of the by-day fetch route; the remainder is the day index.
 pub(crate) const DAY_PREFIX: &str = "/api/v1/profiles/";
 
 /// `POST /api/v1/profiles/sync` — per-day profile upsert with per-day
-/// sequence staleness.
+/// sequence staleness (the shared core in [`crate::storage::apply`]).
 pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<SyncProfileBody>(request, |body| {
-        let day = body.profile.day;
         let store = ctx.store();
         let mut store = store.lock();
-        // Per-day upsert sequencing: a duplicate delivery or a stale
-        // version reordered behind a newer one is acknowledged without
-        // re-applying, so the history (and its generation) only moves for
-        // new data.
-        let stale = body
-            .seq
-            .is_some_and(|seq| store.profile_seq.get(&day).is_some_and(|&s| seq <= s));
-        if stale {
+        let outcome = apply::apply_profiles_sync(&mut store, body);
+        if outcome.stale {
             ctx.core.metrics.replay_profiles_sync.inc();
         }
-        if !stale {
-            store.history.upsert(body.profile.clone());
-            if let Some(seq) = body.seq {
-                store.profile_seq.insert(day, seq);
-            }
-        }
         Response::ok(Payload::ProfileSynced {
-            synced_day: day,
-            stale,
+            synced_day: outcome.day,
+            stale: outcome.stale,
         })
     })
 }

@@ -22,8 +22,9 @@ pub(crate) fn register(ctx: &Ctx<'_>, request: &Request) -> Response {
                 .write()
                 .register(identity, ctx.now, &mut *ctx.core.rng.lock());
         // Materialize the store so first touch happens under registration,
-        // not on the hot request path.
-        let _ = ctx.core.store_of(user);
+        // not on the hot request path. A re-registration of an evicted
+        // identity hydrates the parked store here.
+        let _ = ctx.core.store_at(user, ctx.now);
         Response::ok(Payload::Registered {
             user,
             token: token.token,

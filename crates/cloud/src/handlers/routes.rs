@@ -1,48 +1,26 @@
 //! Route sync, listing and point-to-point queries (§2.3.3 routes module).
 
-use pmware_algorithms::route::{CanonicalRoute, RouteObservation, RouteStore};
+use pmware_algorithms::route::CanonicalRoute;
 
 use super::{with_body, Ctx};
 use crate::api::{Request, Response};
 use crate::payload::{Payload, RouteQueryBody, SyncRoutesBody};
+use crate::storage::apply;
 
 /// `POST /api/v1/routes/sync` — full replacement of the stored routes,
-/// sequence-guarded; the canonical set is rebuilt from the traversals.
+/// sequence-guarded; the canonical set is rebuilt from the traversals
+/// (the shared core in [`crate::storage::apply`]).
 pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<SyncRoutesBody>(request, |body| {
-        {
-            let store = ctx.store();
-            let store = store.lock();
-            if body.seq.is_some_and(|seq| seq <= store.routes_seq) {
-                ctx.core.metrics.replay_routes_sync.inc();
-                return Response::ok(Payload::SyncAck {
-                    stored: store.routes.routes().len(),
-                    stale: true,
-                });
-            }
-        }
-        let mut fresh = RouteStore::new(0.5);
-        for route in &body.routes {
-            for start in &route.traversals {
-                let _ = fresh.record(RouteObservation {
-                    from: route.from,
-                    to: route.to,
-                    start: *start,
-                    end: *start,
-                    geometry: route.geometry.clone(),
-                });
-            }
-        }
-        let stored = fresh.routes().len();
         let store = ctx.store();
         let mut store = store.lock();
-        store.routes = fresh;
-        if let Some(seq) = body.seq {
-            store.routes_seq = seq;
+        let outcome = apply::apply_routes_sync(&mut store, body);
+        if outcome.stale {
+            ctx.core.metrics.replay_routes_sync.inc();
         }
         Response::ok(Payload::SyncAck {
-            stored,
-            stale: false,
+            stored: outcome.stored,
+            stale: outcome.stale,
         })
     })
 }

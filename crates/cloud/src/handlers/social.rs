@@ -4,45 +4,22 @@ use super::{with_body, Ctx};
 use crate::api::{Request, Response};
 use crate::payload::{Payload, SocialQueryBody, SyncContactsBody};
 use crate::profile::ContactEntry;
+use crate::storage::apply;
 
 /// `POST /api/v1/social/sync` — append encounters, deduplicating re-sent
-/// prefixes through the sequence watermark.
+/// prefixes through the sequence watermark (the shared core in
+/// [`crate::storage::apply`]).
 pub(crate) fn sync(ctx: &Ctx<'_>, request: &Request) -> Response {
     with_body::<SyncContactsBody>(request, |body| {
         let store = ctx.store();
         let mut store = store.lock();
-        match body.first_seq {
-            Some(first_seq) => {
-                // Sequenced sync: skip the prefix already absorbed (a
-                // retried buffer re-sends from its unacknowledged base),
-                // append only unseen entries, and acknowledge the new
-                // watermark so the client can drain its buffer. A base
-                // past the watermark means the server lost state — absorb
-                // everything and resync.
-                let len = body.contacts.len() as u64;
-                if first_seq > store.contacts_absorbed {
-                    store.contacts_absorbed = first_seq;
-                }
-                let skip = (store.contacts_absorbed - first_seq) as usize;
-                if skip > 0 {
-                    ctx.core.metrics.replay_social_sync.inc();
-                }
-                if (skip as u64) < len {
-                    store
-                        .contacts
-                        .extend(body.contacts.iter().skip(skip).cloned());
-                    store.contacts_absorbed = first_seq + len;
-                }
-            }
-            None => {
-                // Legacy blind extend.
-                store.contacts_absorbed += body.contacts.len() as u64;
-                store.contacts.extend(body.contacts.iter().cloned());
-            }
+        let outcome = apply::apply_social_sync(&mut store, body);
+        if outcome.replayed {
+            ctx.core.metrics.replay_social_sync.inc();
         }
         Response::ok(Payload::ContactsAck {
-            stored: store.contacts.len(),
-            acked_upto: store.contacts_absorbed,
+            stored: outcome.stored,
+            acked_upto: outcome.acked_upto,
         })
     })
 }

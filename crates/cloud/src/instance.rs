@@ -48,7 +48,8 @@ use crate::layer::{
     RequestMetricsLayer, RouterService, ShardAccountingLayer,
 };
 use crate::profile::{ContactEntry, MobilityProfile};
-use crate::state::{CloudCore, CloudMetrics, Shard};
+use crate::state::{CloudCore, CloudMetrics};
+use crate::storage::{StorageConfig, StorageEngine};
 
 pub use crate::state::SHARD_COUNT;
 
@@ -123,7 +124,7 @@ impl CloudInstance {
     pub fn new(cells: CellDatabase, seed: u64) -> Self {
         Self::assemble(CloudCore {
             tokens: RwLock::new(TokenStore::new(SimDuration::from_hours(24))),
-            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            storage: StorageEngine::new(),
             cells,
             gca_config: RwLock::new(GcaConfig::default()),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
@@ -264,6 +265,112 @@ impl CloudInstance {
         self
     }
 
+    /// Enables the storage engine with `config`, as a builder. Off by
+    /// default; see [`CloudInstance::set_storage`].
+    pub fn with_storage(self, config: StorageConfig) -> CloudInstance {
+        self.set_storage(Some(config));
+        self
+    }
+
+    /// Enables (`Some`) or disables (`None`) the storage engine at
+    /// runtime: LRU residency under `resident_cap`, the durable WAL and
+    /// on-disk snapshots under `store_dir`, and the day-cadence
+    /// snapshot+compaction sweep. Enabling binds the
+    /// `cloud_store_resident_users` gauge and the eviction/hydration
+    /// counters to the instance's registry — call after
+    /// [`CloudInstance::with_obs`] so they land in the shared one.
+    /// Disabling re-hydrates every parked snapshot back into RAM.
+    /// Disabled (the default) the engine is byte-identical to the
+    /// historical in-RAM store path.
+    pub fn set_storage(&self, config: Option<StorageConfig>) {
+        let gca = self.core.gca_config.read().clone();
+        self.core
+            .storage
+            .configure(config, &self.core.metrics.shared, &gca);
+    }
+
+    /// Rebuilds an instance from a durable store directory after a crash.
+    ///
+    /// `config.store_dir` must point at the directory a previous
+    /// durable-mode instance wrote. The WAL shard files and parked
+    /// snapshots are loaded, every logged registration is replayed (in
+    /// identity-key order) to re-mint users and auth state, and the
+    /// tokens the dead instance issued are re-adopted so clients' live
+    /// sessions keep validating. User *stores* are not rebuilt eagerly:
+    /// each hydrates on first touch from its snapshot plus the WAL suffix
+    /// — recovery cost is O(users) registrations, not O(history).
+    pub fn recover(
+        cells: CellDatabase,
+        seed: u64,
+        config: StorageConfig,
+        now: SimTime,
+    ) -> CloudInstance {
+        let instance = CloudInstance::new(cells, seed);
+        instance.set_storage(Some(config));
+        instance.core.storage.load_dir();
+        instance.core.storage.set_replaying(true);
+        let mut adoptions: Vec<(UserId, String, SimTime)> = Vec::new();
+        for key in instance.core.storage.recovery_keys() {
+            let records = instance.core.storage.records_of(&key);
+            let mut registered: Option<UserId> = None;
+            let summary = crate::storage::wal::replay_session(
+                &records,
+                |request| {
+                    let response = instance.handle(request, now);
+                    if let crate::payload::Payload::Registered { user, .. } = &response.body {
+                        registered = Some(*user);
+                    }
+                    response
+                },
+                // Skip every non-registration record: stores hydrate
+                // lazily from snapshot + WAL suffix on first touch.
+                u64::MAX,
+                |_, _| {},
+            );
+            if let Some(user) = registered {
+                instance.core.storage.rebind_recovered(user, &key);
+                for (token, expires_at) in summary.grants {
+                    adoptions.push((user, token, expires_at));
+                }
+            }
+        }
+        instance.core.storage.set_replaying(false);
+        // Graft the logged token grants only after *every* key has
+        // replayed: replayed registrations re-mint from the original
+        // seed, so a mint later in the loop can reproduce the very token
+        // string a grant already bound — grants must have the last word.
+        {
+            let mut tokens = instance.core.tokens.write();
+            for (user, token, expires_at) in adoptions {
+                tokens.adopt(user, &token, expires_at);
+            }
+        }
+        instance
+    }
+
+    /// Stores currently resident in RAM (all touched users while the
+    /// storage engine is disabled).
+    pub fn resident_users(&self) -> usize {
+        self.core.storage.resident_users()
+    }
+
+    /// Whether `user`'s store is resident in RAM (as opposed to parked in
+    /// a snapshot). Always true for a touched user while the storage
+    /// engine is disabled.
+    pub fn is_resident(&self, user: UserId) -> bool {
+        self.core.storage.is_resident(user)
+    }
+
+    /// Users evicted to snapshots so far.
+    pub fn eviction_count(&self) -> u64 {
+        self.core.storage.eviction_count()
+    }
+
+    /// Stores hydrated from snapshots/WAL so far.
+    pub fn hydration_count(&self) -> u64 {
+        self.core.storage.hydration_count()
+    }
+
     /// Enables (`Some`) or disables (`None`) the sim-time latency model
     /// at runtime. Enabling resets all queues and binds the
     /// `cloud_request_latency_us{endpoint,class}` histograms and the
@@ -328,13 +435,9 @@ impl CloudInstance {
     pub fn set_gca_config(&self, config: GcaConfig) {
         *self.core.gca_config.write() = config;
         // The config write lock is released before any user lock is taken
-        // (same lock-order rule as the discover endpoint).
-        for shard in &self.core.shards {
-            let users: Vec<_> = shard.users.read().values().cloned().collect();
-            for store in users {
-                store.lock().gca = None;
-            }
-        }
+        // (same lock-order rule as the discover endpoint). The engine
+        // invalidates resident *and* parked (snapshotted) engines.
+        self.core.storage.invalidate_gca();
     }
 
     /// Number of registered users.
@@ -344,7 +447,7 @@ impl CloudInstance {
 
     /// Number of per-user lock shards.
     pub fn shard_count(&self) -> usize {
-        self.core.shards.len()
+        SHARD_COUNT
     }
 
     /// Authenticated requests handled so far, broken down by shard — a
@@ -450,6 +553,10 @@ impl CloudInstance {
     /// point, exactly like an HTTP dispatcher: the request runs down the
     /// middleware stack into the route-table dispatcher.
     pub fn handle(&self, request: &Request, now: SimTime) -> Response {
+        // Storage-engine clock tick (accessor-path LRU stamps) and the
+        // day-cadence compaction hook; an atomic store + load when the
+        // engine is disabled.
+        self.core.storage.tick(now);
         Next::new(&self.layers, &self.service).run(request, now)
     }
 }

@@ -50,6 +50,7 @@ pub mod predict;
 pub mod profile;
 pub mod router;
 mod state;
+mod storage;
 pub mod topology;
 pub mod transport;
 pub mod wire;
@@ -74,6 +75,7 @@ pub use payload::{
 };
 pub use profile::{ActivitySummary, ContactEntry, MobilityProfile, PlaceEntry, RouteEntry};
 pub use router::{RateClass, Route, RouteAuth, ALL_RATE_CLASSES, ENDPOINT_LABELS, ROUTES};
+pub use storage::StorageConfig;
 pub use topology::{
     ActivityFanout, BalancePolicy, FailoverReport, FederatedEndpoint, InstanceId, TopologyRouter,
 };

@@ -384,13 +384,17 @@ pub enum Payload {
     },
     /// Health-probe reply (`GET /api/v1/health`): liveness plus the
     /// instance's load view — `{"p99_us": .., "queue_depth": ..,
-    /// "status": "ok"}`. Both numbers are 0 while the latency model is
-    /// disabled, keeping the historical body shape's information content.
+    /// "resident_users": .., "status": "ok"}`. Queue depth and p99 are 0
+    /// while the latency model is disabled, keeping the historical body
+    /// shape's information content; `resident_users` counts in-memory
+    /// user stores (equal to total users unless a residency cap is set).
     Health {
         /// Admitted, unfinished requests queued on the instance.
         queue_depth: u64,
         /// p99 request latency so far, microseconds (bucket bound).
         p99_us: u64,
+        /// User stores currently resident in memory.
+        resident_users: u64,
     },
     /// Topology-handshake reply: the versioned placement snapshot a
     /// client caches at session start.
@@ -584,9 +588,11 @@ impl Payload {
             Payload::Health {
                 queue_depth,
                 p99_us,
+                resident_users,
             } => Obj::new()
                 .put("p99_us", p99_us)
                 .put("queue_depth", queue_depth)
+                .put("resident_users", resident_users)
                 .put_value("status", Value::String("ok".to_owned()))
                 .build(),
             Payload::Topology {
@@ -888,10 +894,11 @@ mod tests {
         let health = Payload::Health {
             queue_depth: 4,
             p99_us: 2_500,
+            resident_users: 7,
         };
         assert_eq!(
             health.to_json(),
-            json!({ "p99_us": 2500, "queue_depth": 4, "status": "ok" })
+            json!({ "p99_us": 2500, "queue_depth": 4, "resident_users": 7, "status": "ok" })
         );
         let topo = Payload::Topology {
             version: 3,

@@ -453,7 +453,18 @@ pub(crate) fn dispatch(
                 token: request.token.as_deref(),
                 now,
             };
-            (route.handler)(&ctx, request)
+            let response = (route.handler)(&ctx, request);
+            // Storage-engine WAL hook: successful mutating requests are
+            // logged *after* the handler, so a logged record is always a
+            // request that actually shaped state. One atomic load while
+            // the engine is disabled.
+            core.storage.record_success(
+                request,
+                &response,
+                user,
+                route.rate_class == RateClass::Ingest,
+            );
+            response
         }
         Resolution::MethodNotAllowed { allow } => Response::method_not_allowed(allow),
         Resolution::NotFound => Response::not_found(format!("no route for {}", request.path)),

@@ -9,13 +9,13 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use pmware_algorithms::gca::{GcaConfig, IncrementalGca};
 use pmware_algorithms::route::RouteStore;
 use pmware_algorithms::signature::DiscoveredPlace;
 use pmware_obs::{Counter, Obs};
+use pmware_world::SimTime;
 use rand::rngs::StdRng;
 
 use crate::admission::AdmissionControl;
@@ -26,6 +26,7 @@ use crate::latency::LatencyControl;
 use crate::predict::MarkovPredictor;
 use crate::profile::ContactEntry;
 use crate::router::{ENDPOINT_COUNT, ENDPOINT_LABELS};
+use crate::storage::{StorageEngine, StoreGuard};
 
 /// Number of per-user lock shards.
 pub const SHARD_COUNT: usize = 16;
@@ -78,12 +79,6 @@ impl Default for UserStore {
             routes_seq: 0,
         }
     }
-}
-
-/// One lock shard: the users whose id hashes here.
-#[derive(Debug, Default)]
-pub(crate) struct Shard {
-    pub(crate) users: RwLock<HashMap<UserId, Arc<Mutex<UserStore>>>>,
 }
 
 /// Registry-backed cloud counters.
@@ -193,7 +188,10 @@ impl CloudMetrics {
 #[derive(Debug)]
 pub(crate) struct CloudCore {
     pub(crate) tokens: RwLock<TokenStore>,
-    pub(crate) shards: Vec<Shard>,
+    /// The storage engine every `UserStore` access flows through: the
+    /// sharded resident maps plus (when enabled) the WAL, snapshots, and
+    /// the LRU residency manager. See [`crate::storage`].
+    pub(crate) storage: StorageEngine,
     pub(crate) cells: CellDatabase,
     pub(crate) gca_config: RwLock<GcaConfig>,
     pub(crate) rng: Mutex<StdRng>,
@@ -217,23 +215,17 @@ impl CloudCore {
         self.outage.load(Ordering::SeqCst)
     }
 
-    /// The shard a user's state lives in.
-    pub(crate) fn shard(&self, user: UserId) -> &Shard {
-        &self.shards[user.0 as usize % self.shards.len()]
+    /// The per-user store at simulated instant `now`, created (or
+    /// hydrated from its parked snapshot) if not resident. The guard pins
+    /// the user against eviction while held.
+    pub(crate) fn store_at(&self, user: UserId, now: SimTime) -> StoreGuard {
+        self.storage.acquire(user, now, &self.gca_config)
     }
 
-    /// The per-user store, creating it if absent. Fast path is a shard
-    /// read lock; the write lock is only taken on first touch.
-    pub(crate) fn store_of(&self, user: UserId) -> Arc<Mutex<UserStore>> {
-        let shard = self.shard(user);
-        if let Some(store) = shard.users.read().get(&user) {
-            return store.clone();
-        }
-        shard
-            .users
-            .write()
-            .entry(user)
-            .or_insert_with(|| Arc::new(Mutex::new(UserStore::default())))
-            .clone()
+    /// [`CloudCore::store_at`] stamped with the engine's last-seen
+    /// clock — the accessor-path spelling for callers that carry no
+    /// simulated instant of their own.
+    pub(crate) fn store_of(&self, user: UserId) -> StoreGuard {
+        self.store_at(user, self.storage.clock_now())
     }
 }

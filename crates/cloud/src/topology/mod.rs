@@ -299,10 +299,9 @@ pub struct TopologyRouter {
     shared: Arc<RouterInner>,
 }
 
-/// The device identity key placement is computed over.
-pub(crate) fn identity_key(imei: &str, email: &str) -> String {
-    format!("{imei}|{email}")
-}
+// The device identity key placement is computed over — shared with the
+// durable storage engine, which keys its WAL and snapshots the same way.
+pub(crate) use crate::storage::identity_key;
 
 impl TopologyRouter {
     /// An empty federation using `policy` for new placements.
@@ -500,6 +499,7 @@ impl TopologyRouter {
                 Payload::Health {
                     queue_depth,
                     p99_us,
+                    ..
                 } => (queue_depth, p99_us),
                 _ => (0, 0),
             };
@@ -604,48 +604,40 @@ impl TopologyRouter {
         let mut adopted: Vec<(String, InstanceId, UserId)> = Vec::new();
         let sink = self.span_sink();
         for job in &jobs {
-            let mut replay_token: Option<String> = None;
-            for entry in self.shared.wal.replay_of(&job.key) {
-                let request = if entry.path == crate::payload::REGISTRATION_PATH {
-                    entry
-                } else {
-                    match &replay_token {
-                        Some(token) => entry.with_token(token.clone()),
-                        None => continue,
+            let records = self.shared.wal.replay_of(&job.key);
+            // The shared idempotent replay path (also the crash-recovery
+            // engine). WAL entries keep the span context of the request
+            // that first sent them, so replay work shows up as a child of
+            // that original operation's trace. Failover runs from the
+            // single driving thread, which keeps the extra span ids
+            // deterministic.
+            let summary = crate::storage::wal::replay_session(
+                &records,
+                |request| job.target.handle(request, now),
+                0,
+                |request, response| {
+                    if request.ctx.is_active() {
+                        if let Some(sink) = &sink {
+                            let at_us = now.as_seconds().saturating_mul(1_000_000);
+                            let id = sink.alloc(request.ctx.trace);
+                            sink.record(
+                                request.ctx.trace,
+                                id,
+                                request.ctx.parent,
+                                "replay",
+                                at_us,
+                                at_us,
+                                &[
+                                    ("path", FieldValue::from(request.path.as_str())),
+                                    ("status", FieldValue::from(u64::from(response.status))),
+                                    ("target", FieldValue::from(u64::from(job.target_id.0))),
+                                ],
+                            );
+                        }
                     }
-                };
-                let response = job.target.handle(&request, now);
-                // WAL entries keep the span context of the request that
-                // first sent them, so replay work shows up as a child of
-                // that original operation's trace. Failover runs from the
-                // single driving thread, which keeps the extra span ids
-                // deterministic.
-                if request.ctx.is_active() {
-                    if let Some(sink) = &sink {
-                        let at_us = now.as_seconds().saturating_mul(1_000_000);
-                        let id = sink.alloc(request.ctx.trace);
-                        sink.record(
-                            request.ctx.trace,
-                            id,
-                            request.ctx.parent,
-                            "replay",
-                            at_us,
-                            at_us,
-                            &[
-                                ("path", FieldValue::from(request.path.as_str())),
-                                ("status", FieldValue::from(u64::from(response.status))),
-                                ("target", FieldValue::from(u64::from(job.target_id.0))),
-                            ],
-                        );
-                    }
-                }
-                if response.is_success() {
-                    replayed_total += 1;
-                    if let Payload::Registered { token, .. } = &response.body {
-                        replay_token = Some(token.clone());
-                    }
-                }
-            }
+                },
+            );
+            replayed_total += summary.replayed;
             if let Some(session) = &job.session {
                 if let Some(user) =
                     job.target

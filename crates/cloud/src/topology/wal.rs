@@ -3,43 +3,43 @@
 //! The federated endpoint appends every *successful mutating* request —
 //! registration plus the `Ingest`-class offloads and syncs — keyed by the
 //! device identity. A failover replays the log, in order, into the user's
-//! new instance; the server-side sequence watermarks (`absorbed_upto`,
-//! per-day profile sequences, places/routes sync sequences) make the
-//! replay idempotent, so the rebuilt state is byte-identical to what the
-//! dead instance held. Queries and token refreshes are never logged: they
-//! do not shape user state, and the live token is transplanted separately
-//! at adoption time.
-
-use std::collections::BTreeMap;
+//! new instance through [`crate::storage::wal::replay_session`] — the same
+//! idempotent replay path crash recovery uses, over the same
+//! [`WalRecord`] type. The server-side sequence watermarks
+//! (`absorbed_upto`, per-day profile sequences, places/routes sync
+//! sequences) make the replay idempotent, so the rebuilt state is
+//! byte-identical to what the dead instance held. Queries and token
+//! refreshes are never logged: they do not shape user state, and the live
+//! token is transplanted separately at adoption time.
 
 use parking_lot::Mutex;
 
 use crate::api::Request;
+use crate::storage::wal::{WalLog, WalOp, WalRecord};
 
-/// Append-only per-user request log, keyed by identity key.
+/// Append-only per-user request log, keyed by identity key. A thin
+/// thread-safe façade over the shared [`WalLog`] record store.
 #[derive(Debug, Default)]
 pub(super) struct MigrationWal {
-    entries: Mutex<BTreeMap<String, Vec<Request>>>,
+    log: Mutex<WalLog>,
 }
 
 impl MigrationWal {
     /// Appends one replayable request under `key`.
     pub(super) fn append(&self, key: &str, request: Request) {
-        self.entries
+        self.log
             .lock()
-            .entry(key.to_owned())
-            .or_default()
-            .push(request);
+            .append(key, WalOp::request(request).compacted());
     }
 
-    /// A clone of `key`'s log, in append order.
-    pub(super) fn replay_of(&self, key: &str) -> Vec<Request> {
-        self.entries.lock().get(key).cloned().unwrap_or_default()
+    /// A clone of `key`'s records, in sequence order.
+    pub(super) fn replay_of(&self, key: &str) -> Vec<WalRecord> {
+        self.log.lock().suffix(key, 0)
     }
 
-    /// Number of logged requests for `key`.
+    /// Number of logged records for `key`.
     pub(super) fn len_of(&self, key: &str) -> usize {
-        self.entries.lock().get(key).map_or(0, Vec::len)
+        self.log.lock().len_of(key)
     }
 }
 
@@ -65,8 +65,9 @@ mod tests {
         );
         let a = wal.replay_of("a");
         assert_eq!(a.len(), 2);
-        assert_eq!(a[0].path, "/api/v1/registration");
-        assert_eq!(a[1].path, "/api/v1/places/sync");
+        assert_eq!((a[0].seq, a[1].seq), (1, 2));
+        assert!(matches!(&a[0].op, WalOp::Request(r) if r.path == "/api/v1/registration"));
+        assert!(matches!(&a[1].op, WalOp::Request(r) if r.path == "/api/v1/places/sync"));
         assert_eq!(wal.len_of("b"), 1);
         assert_eq!(wal.len_of("missing"), 0);
     }

@@ -15,7 +15,7 @@
 //! converge — chaos tests assert eventual consistency, not availability
 //! under active failure.
 
-use pmware::cloud::{ContactEntry, FaultStats, ALL_FAULT_KINDS};
+use pmware::cloud::{ContactEntry, FaultStats, StorageConfig, ALL_FAULT_KINDS};
 use pmware::core::pms::PeerProvider;
 use pmware::core::registry::PmPlace;
 use pmware::core::CloudClient;
@@ -517,6 +517,190 @@ fn analytics_queries_ride_out_every_fault_kind() {
             );
         }
     }
+}
+
+/// A [`run_study`] variant on a *durable* storage engine whose cloud
+/// crashes mid-study: the first half runs against a capped durable
+/// instance under the fault plan, then the whole instance is dropped —
+/// held wire traffic and resident stores and all — and a fresh process
+/// recovers from the store directory. The device reboots from its own
+/// checkpoint at the same instant (a site-wide power cut) and finishes
+/// the study against the recovered cloud. Returns the final state and the
+/// total faults injected across both halves.
+fn run_durable_crash_study(
+    sw: &StudyWorld,
+    plan: impl Fn() -> Option<FaultPlan>,
+    storage: StorageConfig,
+    cloud_seed: u64,
+    device_seed: u64,
+) -> (FinalState, u64) {
+    let cells = || CellDatabase::from_world(&sw.world);
+    let shared =
+        SharedCloud::new(CloudInstance::new(cells(), cloud_seed).with_storage(storage.clone()));
+    let inject = plan().is_some();
+    let arm = |cloud: SharedCloud| {
+        FaultyCloud::new(
+            cloud,
+            plan().unwrap_or_else(|| FaultPlan::with_rate(0, 0.0)),
+        )
+    };
+    let faulty = arm(shared.clone());
+    faulty.set_enabled(false);
+
+    let env = RadioEnvironment::new(&sw.world, RadioConfig::default());
+    let device = Device::new(env, &sw.itinerary, EnergyModel::htc_explorer(), device_seed);
+    let config = PmsConfig::for_participant(PARTICIPANT);
+    let mut pms = PmwareMobileService::new(device, faulty.clone(), config.clone(), SimTime::EPOCH)
+        .expect("registration is fault-free");
+    let user = pms.cloud_client_mut().user();
+    let mut _rx = pms.register_app("chaos-app", app_requirement(), IntentFilter::all());
+    pms.set_peer_provider(Box::new(ShadowPeer {
+        itinerary: sw.itinerary.clone(),
+    }));
+    faulty.set_enabled(inject);
+
+    // First half, then the power cut: the device checkpoints (as in every
+    // reboot cell), but the cloud is simply *gone* — anything the fault
+    // plan was holding on the wire dies with it.
+    let crash_at = midday_reboot();
+    pms.run(crash_at).expect("first half");
+    let checkpoint =
+        PmsCheckpoint::from_json(&pms.checkpoint().to_json()).expect("checkpoint parses back");
+    let device = pms.shutdown();
+    let faults_before_crash = faulty.stats().faults;
+    drop(faulty);
+    drop(shared);
+
+    let recovered = SharedCloud::new(CloudInstance::recover(
+        cells(),
+        cloud_seed,
+        storage,
+        crash_at,
+    ));
+    let faulty = arm(recovered.clone());
+    faulty.set_enabled(false);
+    let mut pms = PmwareMobileService::restore(device, faulty.clone(), config.clone(), checkpoint);
+    _rx = pms.register_app("chaos-app", app_requirement(), IntentFilter::all());
+    pms.set_peer_provider(Box::new(ShadowPeer {
+        itinerary: sw.itinerary.clone(),
+    }));
+    faulty.set_enabled(inject);
+
+    pms.run(link_recovers_at()).expect("second half");
+    faulty.set_enabled(false);
+    faulty.flush(link_recovers_at());
+    pms.run(study_end()).expect("final night");
+
+    let report = pms.finish(study_end());
+    faulty.flush(study_end());
+    let state = FinalState {
+        client_places: report.places,
+        energy_bits: report.energy_joules.to_bits(),
+        cloud_places: recovered.places_of(user),
+        cloud_profiles: recovered.profiles_of(user),
+        cloud_observations: recovered.observation_count(user),
+        cloud_contacts: recovered.contacts_of(user),
+    };
+    (state, faults_before_crash + faulty.stats().faults)
+}
+
+/// The durable arm of the matrix (EXPERIMENTS § SCALE-STORAGE): a cap-1
+/// durable engine under the usual 30 % fault rate, plus a mid-study cloud
+/// crash-recover, must still converge bit-identically to the plain
+/// in-memory fault-free baseline. Durability, eviction churn, WAL replay,
+/// and token re-adoption are all invisible at the study's end.
+#[test]
+fn chaos_matrix_durable_crash_recovery_converges() {
+    let sw = study_world(9_000);
+    let baseline = run_study(&sw, None, None, 9_055, 9_065);
+    assert!(!baseline.state.cloud_places.is_empty());
+    assert!(!baseline.state.cloud_contacts.is_empty());
+
+    let scratch = |arm: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("pmware-chaos-durable-{}-{arm}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let storage = |dir: std::path::PathBuf| StorageConfig {
+        resident_cap: Some(1),
+        store_dir: Some(dir),
+        snapshot_every_days: 1,
+    };
+
+    // Fault-free first: durability + crash-recovery alone must be
+    // invisible before faults are layered on top.
+    let dir = scratch("clean");
+    let (state, faults) = run_durable_crash_study(&sw, || None, storage(dir.clone()), 9_055, 9_065);
+    assert_eq!(faults, 0);
+    assert_eq!(
+        state, baseline.state,
+        "fault-free durable crash-recovery diverged from the in-memory baseline"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Per-endpoint arms. The faulted window here is thin — only the
+    // pre-crash maintenance pass sees faults, everything after the heal
+    // is clean by design — so these arms use *scheduled* faults (drop the
+    // first matching request, duplicate its retry) rather than dice: the
+    // injection is guaranteed wherever the window carries traffic.
+    let mut injected = 0;
+    for (pi, path) in ENDPOINTS.iter().enumerate() {
+        let dir = scratch(&format!("sched-{pi}"));
+        let plan_seed = 9_070 + pi as u64;
+        let (state, faults) = run_durable_crash_study(
+            &sw,
+            || {
+                Some(
+                    FaultPlan::with_schedule(
+                        plan_seed,
+                        vec![(0, FaultKind::Drop), (1, FaultKind::Duplicate)],
+                    )
+                    .only_path(*path),
+                )
+            },
+            storage(dir.clone()),
+            9_055,
+            9_065,
+        );
+        injected += faults;
+        assert_eq!(
+            state, baseline.state,
+            "diverged under durable crash-recovery with faults on {path}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        injected > 0,
+        "the scheduled faults must fire at least once across the durable arms"
+    );
+
+    // And one rate arm at the matrix's usual 30 %, aimed at the `/sync`
+    // fragment (profile, social, and places sync all match) so the thin
+    // window still offers the dice enough matching requests.
+    let dir = scratch("rate");
+    let (state, faults) = run_durable_crash_study(
+        &sw,
+        || {
+            Some(
+                FaultPlan::with_rate(9_080, RATE)
+                    .kinds(&[FaultKind::Drop, FaultKind::Duplicate])
+                    .only_path("/sync"),
+            )
+        },
+        storage(dir.clone()),
+        9_055,
+        9_065,
+    );
+    assert!(
+        faults > 0,
+        "a {RATE} rate over every sync endpoint must fire in the faulted window"
+    );
+    assert_eq!(
+        state, baseline.state,
+        "diverged under durable crash-recovery with a {RATE} fault rate on /sync"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Regression for the old retry path that re-sent the whole contact
